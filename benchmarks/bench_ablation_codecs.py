@@ -1,0 +1,77 @@
+"""Ablation — codec choice per trie level (paper Section 3.1 design choices).
+
+The paper settles on PEF for node sequences (Compact for the last level of
+SPO) after the Table 1 analysis.  This ablation builds the full 2Tp index
+under alternative uniform codec choices and reports the resulting space and
+?PO / SP? speed, making the trade-off the paper describes directly visible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+import common
+from repro.bench.measure import measure_pattern_workload
+from repro.bench.tables import format_table
+from repro.core.builder import IndexBuilder
+from repro.core.patterns import PatternKind
+from repro.core.trie import TrieConfig
+
+PROFILE = "dbpedia"
+CONFIGS = {
+    "paper (pef + compact SPO L3)": None,  # the builder default
+    "all compact": TrieConfig(level1_nodes="compact", level2_nodes="compact"),
+    "all ef": TrieConfig(level1_nodes="ef", level2_nodes="ef"),
+    "all pef": TrieConfig(level1_nodes="pef", level2_nodes="pef"),
+    "all vbyte": TrieConfig(level1_nodes="vbyte", level2_nodes="vbyte"),
+}
+
+
+@lru_cache(maxsize=None)
+def _index(config_name: str):
+    store = common.dataset(PROFILE)
+    config = CONFIGS[config_name]
+    if config is None:
+        return IndexBuilder(store).build("2tp")
+    overrides = {name: config for name in ("spo", "pos")}
+    return IndexBuilder(store, trie_configs=overrides).build("2tp")
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    workloads = common.workloads_for(PROFILE)
+    rows = []
+    for config_name in CONFIGS:
+        index = _index(config_name)
+        po = measure_pattern_workload(index, workloads[PatternKind.PO].patterns[:250])
+        sp = measure_pattern_workload(index, workloads[PatternKind.SP].patterns[:250])
+        rows.append([config_name, index.bits_per_triple(),
+                     po.ns_per_triple, sp.ns_per_triple])
+    return format_table(
+        ["codec configuration", "bits/triple", "?PO ns/triple", "SP? ns/triple"],
+        rows, precision=2,
+        title="Ablation — codec choice for the 2Tp trie levels")
+
+
+def test_report_codec_ablation(benchmark):
+    """Emit the ablation table; benchmark the paper-default configuration."""
+    index = _index("paper (pef + compact SPO L3)")
+    patterns = common.workloads_for(PROFILE)[PatternKind.PO].patterns[:250]
+    benchmark(lambda: measure_pattern_workload(index, patterns))
+    common.write_result("ablation_codecs", _table())
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_codec_config_speed(benchmark, config_name):
+    """Benchmark SP? for each codec configuration."""
+    index = _index(config_name)
+    patterns = common.workloads_for(PROFILE)[PatternKind.SP].patterns[:200]
+
+    def run():
+        for pattern in patterns:
+            for _ in index.select(pattern):
+                pass
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

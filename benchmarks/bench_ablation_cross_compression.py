@@ -1,0 +1,65 @@
+"""Ablation — what cross compression buys and what it costs (Section 3.2).
+
+Compares 3T against CC: total space, the size of the POS third level (the
+component the technique targets), and the slowdown it induces on the two
+patterns that must run the unmap indirection (?PO and ?P?).  Also reports the
+OSP level-2 codec choice (Compact vs PEF) that the paper discusses for keeping
+unmap cheap.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+import common
+from repro.bench.measure import measure_pattern_workload
+from repro.bench.tables import format_table
+from repro.core.patterns import PatternKind
+
+PROFILE = "dbpedia"
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    index_3t = common.index_for(PROFILE, "3t")
+    index_cc = common.index_for(PROFILE, "cc")
+    workloads = common.workloads_for(PROFILE)
+    rows = []
+    for name, index in (("3T", index_3t), ("CC", index_cc)):
+        po = measure_pattern_workload(index, workloads[PatternKind.PO].patterns[:250])
+        p = measure_pattern_workload(index, workloads[PatternKind.P].patterns[:30])
+        breakdown = index.space_breakdown()
+        n = index.num_triples
+        rows.append([name, index.bits_per_triple(),
+                     breakdown["pos.nodes2"] / n,
+                     breakdown["osp.nodes1"] / n,
+                     po.ns_per_triple, p.ns_per_triple])
+    return format_table(
+        ["index", "bits/triple", "POS level-3 bits/triple", "OSP level-2 bits/triple",
+         "?PO ns/triple", "?P? ns/triple"],
+        rows, precision=2,
+        title="Ablation — cross compression of the POS third level")
+
+
+def test_report_cross_compression_ablation(benchmark):
+    """Emit the ablation table; benchmark the CC ?PO path (with unmap)."""
+    index = common.index_for(PROFILE, "cc")
+    patterns = common.workloads_for(PROFILE)[PatternKind.PO].patterns[:250]
+    benchmark(lambda: measure_pattern_workload(index, patterns))
+    common.write_result("ablation_cross_compression", _table())
+
+
+@pytest.mark.parametrize("layout", ["3t", "cc"])
+def test_po_with_and_without_unmap(benchmark, layout):
+    """Benchmark ?PO with and without the unmap indirection."""
+    index = common.index_for(PROFILE, layout)
+    patterns = common.workloads_for(PROFILE)[PatternKind.PO].patterns[:250]
+
+    def run():
+        for pattern in patterns:
+            for _ in index.select(pattern):
+                pass
+
+    benchmark(run)

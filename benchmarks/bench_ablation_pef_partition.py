@@ -1,0 +1,85 @@
+"""Ablation — PEF partition size.
+
+The partitioned Elias-Fano codec trades compression for locality through its
+partition size.  This ablation encodes the POS third level (the largest
+component of the 3T index) under several partition sizes and reports space and
+find speed, justifying the default of 128 used throughout.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import List, Tuple
+
+import pytest
+
+import common
+from repro.bench.tables import format_table
+from repro.core.builder import IndexBuilder
+from repro.core.trie import TrieConfig
+
+PROFILE = "dbpedia"
+PARTITION_SIZES = (32, 64, 128, 256, 512)
+
+
+@lru_cache(maxsize=None)
+def _trie(partition_size: int):
+    store = common.dataset(PROFILE)
+    config = TrieConfig(level1_nodes="pef", level2_nodes="pef",
+                        codec_options={"pef": {"partition_size": partition_size}})
+    return IndexBuilder(store, trie_configs={"pos": config}).build_trie("pos")
+
+
+@lru_cache(maxsize=None)
+def _find_jobs() -> List[Tuple[int, int, int]]:
+    """(range, subject) jobs on the POS third level for the find measurement."""
+    store = common.dataset(PROFILE)
+    trie = _trie(128)
+    jobs = []
+    for s, p, o in store.sample(1500, seed=31):
+        position = trie.find_child(p, o)
+        if position < 0:
+            continue
+        begin, end = trie.pair_children_range(position)
+        jobs.append((begin, end, s))
+    return jobs
+
+
+def _measure_find(trie) -> float:
+    jobs = _find_jobs()
+    start = time.perf_counter()
+    for begin, end, subject in jobs:
+        trie.find_third(begin, end, subject)
+    return (time.perf_counter() - start) * 1e9 / max(1, len(jobs))
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    num_triples = len(common.dataset(PROFILE))
+    rows = []
+    for partition_size in PARTITION_SIZES:
+        trie = _trie(partition_size)
+        rows.append([partition_size,
+                     trie.nodes_level2.size_in_bits() / num_triples,
+                     trie.size_in_bits() / num_triples,
+                     _measure_find(trie)])
+    return format_table(
+        ["partition size", "POS level-3 bits/triple", "POS trie bits/triple",
+         "find ns"],
+        rows, precision=2,
+        title="Ablation — PEF partition size on the POS trie")
+
+
+def test_report_pef_partition_ablation(benchmark):
+    """Emit the ablation table; benchmark find at the default partition size."""
+    trie = _trie(128)
+    benchmark(lambda: _measure_find(trie))
+    common.write_result("ablation_pef_partition", _table())
+
+
+@pytest.mark.parametrize("partition_size", PARTITION_SIZES)
+def test_find_speed_by_partition_size(benchmark, partition_size):
+    """Benchmark find on the POS third level for each partition size."""
+    trie = _trie(partition_size)
+    benchmark(lambda: _measure_find(trie))

@@ -1,0 +1,116 @@
+"""Figure 6 — output sensitivity of the ??O and ?P? patterns.
+
+The paper plots the average ns/triple as queries cover a growing fraction of
+the triples, ordered by decreasing number of matches, comparing:
+
+* Fig. 6a (??O): the select algorithm (on a trie whose first level is the
+  object — 3T/2To) against the inverted algorithm used by 2Tp;
+* Fig. 6b (?P?): select (3T/2Tp), select+CC (the cross-compressed index) and
+  the inverted algorithm used by 2To.
+
+This benchmark regenerates both series as coverage/ns tables.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import List, Tuple
+
+import pytest
+
+import common
+from repro.bench.tables import format_table
+from repro.core.patterns import TriplePattern
+from repro.core.stats import object_frequency_ranking, predicate_frequency_ranking
+
+PROFILE = "dbpedia"
+COVERAGE_STEPS = (0.14, 0.28, 0.42, 0.57, 0.71, 0.85, 1.0)
+
+
+def _coverage_buckets(ranking: List[Tuple[int, int]], total: int):
+    """Split a frequency-ranked ID list into cumulative coverage buckets."""
+    buckets = []
+    cumulative = 0
+    step_index = 0
+    current: List[int] = []
+    for identifier, count in ranking:
+        current.append(identifier)
+        cumulative += count
+        while step_index < len(COVERAGE_STEPS) and \
+                cumulative >= COVERAGE_STEPS[step_index] * total:
+            buckets.append((COVERAGE_STEPS[step_index], list(current)))
+            step_index += 1
+    while step_index < len(COVERAGE_STEPS):
+        buckets.append((COVERAGE_STEPS[step_index], list(current)))
+        step_index += 1
+    return buckets
+
+
+def _measure(index, patterns) -> float:
+    matched = 0
+    start = time.perf_counter()
+    for pattern in patterns:
+        for _ in index.select(pattern):
+            matched += 1
+    elapsed = time.perf_counter() - start
+    return elapsed * 1e9 / max(1, matched)
+
+
+@lru_cache(maxsize=None)
+def _figure6a() -> str:
+    store = common.dataset(PROFILE)
+    ranking = object_frequency_ranking(store)
+    buckets = _coverage_buckets(ranking, len(store))
+    select_index = common.index_for(PROFILE, "2to")   # ??O solved by select on OPS
+    inverted_index = common.index_for(PROFILE, "2tp")  # ??O solved by inverted
+    rows = []
+    for coverage, objects in buckets:
+        patterns = [TriplePattern(None, None, o) for o in objects[:400]]
+        rows.append([int(coverage * 100),
+                     _measure(select_index, patterns),
+                     _measure(inverted_index, patterns)])
+    return format_table(
+        ["coverage %", "select ns/triple", "inverted ns/triple"], rows, precision=1,
+        title="Figure 6a — ??O by decreasing number of matches")
+
+
+@lru_cache(maxsize=None)
+def _figure6b() -> str:
+    store = common.dataset(PROFILE)
+    ranking = predicate_frequency_ranking(store)
+    buckets = _coverage_buckets(ranking, len(store))
+    select_index = common.index_for(PROFILE, "3t")
+    cc_index = common.index_for(PROFILE, "cc")
+    inverted_index = common.index_for(PROFILE, "2to")  # ?P? solved by inverted
+    rows = []
+    for coverage, predicates in buckets:
+        patterns = [TriplePattern(None, p, None) for p in predicates[:50]]
+        rows.append([int(coverage * 100),
+                     _measure(select_index, patterns),
+                     _measure(cc_index, patterns),
+                     _measure(inverted_index, patterns)])
+    return format_table(
+        ["coverage %", "select ns/triple", "select+CC ns/triple", "inverted ns/triple"],
+        rows, precision=1,
+        title="Figure 6b — ?P? by decreasing number of matches")
+
+
+def test_report_fig6a(benchmark):
+    """Emit the Fig. 6a series; benchmark the inverted ??O path."""
+    store = common.dataset(PROFILE)
+    hot_objects = [o for o, _ in object_frequency_ranking(store)[:50]]
+    index = common.index_for(PROFILE, "2tp")
+    patterns = [TriplePattern(None, None, o) for o in hot_objects]
+    benchmark.pedantic(lambda: _measure(index, patterns), rounds=1, iterations=1)
+    common.write_result("fig6a_object_pattern", _figure6a())
+
+
+def test_report_fig6b(benchmark):
+    """Emit the Fig. 6b series; benchmark the select+CC ?P? path."""
+    store = common.dataset(PROFILE)
+    hot_predicates = [p for p, _ in predicate_frequency_ranking(store)[:10]]
+    index = common.index_for(PROFILE, "cc")
+    patterns = [TriplePattern(None, p, None) for p in hot_predicates]
+    benchmark.pedantic(lambda: _measure(index, patterns), rounds=1, iterations=1)
+    common.write_result("fig6b_predicate_pattern", _figure6b())

@@ -1,0 +1,89 @@
+"""Figure 7 — select vs enumerate for S?O as a function of subject fan-out.
+
+The paper buckets S?O queries by the number of predicate children C of the
+subject and shows that the enumerate algorithm (on SPO) beats the select
+algorithm (on OSP) for small C — which is the common case, as the background
+distribution of C shows — and loses only for large C.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from functools import lru_cache
+from typing import Dict, List
+
+import pytest
+
+import common
+from repro.bench.tables import format_table
+from repro.core.patterns import TriplePattern
+from repro.core.stats import subject_out_degree_distribution
+
+PROFILE = "dbpedia"
+MAX_QUERIES_PER_BUCKET = 200
+
+
+@lru_cache(maxsize=None)
+def _queries_by_children() -> Dict[int, List[TriplePattern]]:
+    """S?O patterns bucketed by the subject's number of predicate children."""
+    store = common.dataset(PROFILE)
+    spo_trie = common.index_for(PROFILE, "2tp").trie("spo")
+    buckets: Dict[int, List[TriplePattern]] = defaultdict(list)
+    for s, p, o in store.sample(6000, seed=23):
+        children = spo_trie.num_children(s)
+        if len(buckets[children]) < MAX_QUERIES_PER_BUCKET:
+            buckets[children].append(TriplePattern(s, None, o))
+    return dict(sorted(buckets.items()))
+
+
+def _measure(index, patterns) -> float:
+    matched = 0
+    start = time.perf_counter()
+    for pattern in patterns:
+        for _ in index.select(pattern):
+            matched += 1
+    elapsed = time.perf_counter() - start
+    return elapsed * 1e9 / max(1, matched)
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    select_index = common.index_for(PROFILE, "3t")    # S?O via select on OSP
+    enumerate_index = common.index_for(PROFILE, "2tp")  # S?O via enumerate on SPO
+    distribution = subject_out_degree_distribution(common.dataset(PROFILE))
+    rows = []
+    for children, patterns in _queries_by_children().items():
+        rows.append([children, distribution.get(children, 0), len(patterns),
+                     _measure(select_index, patterns),
+                     _measure(enumerate_index, patterns)])
+    return format_table(
+        ["children C", "subjects with C", "queries", "select ns/triple",
+         "enumerate ns/triple"],
+        rows, precision=1,
+        title="Figure 7 — S?O: select (OSP) vs enumerate (SPO) by subject fan-out")
+
+
+def test_report_fig7(benchmark):
+    """Emit the Fig. 7 series; benchmark the enumerate path on all buckets."""
+    enumerate_index = common.index_for(PROFILE, "2tp")
+    all_patterns = [p for patterns in _queries_by_children().values()
+                    for p in patterns][:800]
+    benchmark.pedantic(lambda: _measure(enumerate_index, all_patterns),
+                       rounds=1, iterations=1)
+    common.write_result("fig7_enumerate_vs_select", _table())
+
+
+@pytest.mark.parametrize("algorithm", ["select", "enumerate"])
+def test_so_algorithms(benchmark, algorithm):
+    """Benchmark the two S?O algorithms over the same query mix."""
+    index = common.index_for(PROFILE, "3t" if algorithm == "select" else "2tp")
+    patterns = [p for patterns in _queries_by_children().values()
+                for p in patterns][:500]
+
+    def run():
+        for pattern in patterns:
+            for _ in index.select(pattern):
+                pass
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

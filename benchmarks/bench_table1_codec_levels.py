@@ -1,0 +1,157 @@
+"""Table 1 — codec space/time on the node levels of the SPO/POS/OSP tries.
+
+The paper's Table 1 reports, for the DBpedia dataset, the space (bits/triple)
+and the access / find / scan speed of Compact, EF, PEF and VByte applied to
+the level-2 and level-3 node sequences of the three tries.  This benchmark
+regenerates the same matrix on the DBpedia-shaped synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import pytest
+
+import common
+from repro.core.builder import IndexBuilder
+from repro.core.permutations import PERMUTATIONS
+from repro.core.trie import TrieConfig
+from repro.bench.tables import format_table
+
+CODECS = ("compact", "ef", "pef", "vbyte")
+TRIES = ("spo", "pos", "osp")
+PROFILE = "dbpedia"
+NUM_PROBES = 1500
+
+
+@lru_cache(maxsize=None)
+def _tries_for_codec(codec: str):
+    """All three tries with ``codec`` on both node levels."""
+    store = common.dataset(PROFILE)
+    builder = IndexBuilder(store, trie_configs={
+        name: TrieConfig(level1_nodes=codec, level2_nodes=codec) for name in TRIES})
+    return {name: builder.build_trie(name) for name in TRIES}
+
+
+@lru_cache(maxsize=None)
+def _probes(trie_name: str) -> List[Tuple[int, int, int]]:
+    """Sampled triples permuted to the trie's component order."""
+    store = common.dataset(PROFILE)
+    permutation = PERMUTATIONS[trie_name]
+    return [permutation.apply(t) for t in store.sample(NUM_PROBES, seed=11)]
+
+
+def _measure_level(trie, probes, level: int) -> Dict[str, float]:
+    """access / find / scan (ns per element) on one node level of a trie."""
+    # Pre-compute the ranges and the target values, as the paper pre-computes
+    # the access positions.
+    jobs = []
+    for first, second, third in probes:
+        begin, end = trie.children_range(first)
+        if begin == end:
+            continue
+        if level == 2:
+            jobs.append((begin, end, second))
+        else:
+            position = trie.find_child(first, second)
+            if position < 0:
+                continue
+            child_begin, child_end = trie.pair_children_range(position)
+            jobs.append((child_begin, child_end, third))
+    nodes = trie.nodes_level1 if level == 2 else trie.nodes_level2
+
+    positions = []
+    start = time.perf_counter()
+    for begin, end, value in jobs:
+        positions.append((begin, end, nodes.find_in_range(begin, end, value)))
+    find_ns = (time.perf_counter() - start) * 1e9 / max(1, len(jobs))
+
+    start = time.perf_counter()
+    for begin, end, position in positions:
+        if position >= 0:
+            nodes.access_in_range(begin, end, position)
+    access_ns = (time.perf_counter() - start) * 1e9 / max(1, len(positions))
+
+    decoded = 0
+    start = time.perf_counter()
+    for begin, end, _ in jobs:
+        for _value in nodes.scan_range(begin, end):
+            decoded += 1
+    scan_ns = (time.perf_counter() - start) * 1e9 / max(1, decoded)
+    return {"access": access_ns, "find": find_ns, "scan": scan_ns}
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    store = common.dataset(PROFILE)
+    num_triples = len(store)
+    rows = []
+    for level, level_name in ((2, "Level 2"), (3, "Level 3")):
+        for codec in CODECS:
+            tries = _tries_for_codec(codec)
+            row = [level_name, codec]
+            for trie_name in TRIES:
+                trie = tries[trie_name]
+                nodes = trie.nodes_level1 if level == 2 else trie.nodes_level2
+                bits = nodes.size_in_bits() / num_triples
+                timing = _measure_level(trie, _probes(trie_name), level)
+                row.extend([bits, timing["access"], timing["find"], timing["scan"]])
+            rows.append(row)
+    headers = ["level", "codec"]
+    for trie_name in TRIES:
+        headers.extend([f"{trie_name} bits/triple", f"{trie_name} access",
+                        f"{trie_name} find", f"{trie_name} scan"])
+    return format_table(
+        headers, rows,
+        title=f"Table 1 — codec space/time on trie node levels ({PROFILE}-like, "
+              f"{num_triples} triples; times in ns)")
+
+
+def test_report_table1(benchmark):
+    """Emit the Table 1 reproduction and benchmark the PEF level-2 measurement."""
+    benchmark(lambda: _measure_level(_tries_for_codec("pef")["spo"], _probes("spo"), 2))
+    common.write_result("table1_codec_levels", _table())
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_find_on_spo_level2(benchmark, codec):
+    """Benchmark: find on the SPO second level, per codec (Table 1 'find')."""
+    trie = _tries_for_codec(codec)["spo"]
+    probes = _probes("spo")
+    jobs = []
+    for first, second, _third in probes:
+        begin, end = trie.children_range(first)
+        if begin != end:
+            jobs.append((begin, end, second))
+
+    def run():
+        nodes = trie.nodes_level1
+        for begin, end, value in jobs:
+            nodes.find_in_range(begin, end, value)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_access_on_spo_level3(benchmark, codec):
+    """Benchmark: random access on the SPO third level, per codec."""
+    trie = _tries_for_codec(codec)["spo"]
+    probes = _probes("spo")
+    jobs = []
+    for first, second, third in probes:
+        position = trie.find_child(first, second)
+        if position < 0:
+            continue
+        child_begin, child_end = trie.pair_children_range(position)
+        found = trie.find_third(child_begin, child_end, third)
+        if found >= 0:
+            jobs.append((child_begin, child_end, found))
+
+    def run():
+        nodes = trie.nodes_level2
+        for begin, end, position in jobs:
+            nodes.access_in_range(begin, end, position)
+
+    benchmark(run)

@@ -1,0 +1,34 @@
+"""Table 2 — number of children of the trie nodes (DBpedia).
+
+Reports the average and maximum fan-out of the first and second levels of the
+SPO, POS and OSP tries: the statistic the paper uses to motivate both the
+cross-compression technique (Section 3.2) and the enumerate algorithm
+(Section 3.3).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import common
+from repro.bench.tables import format_table
+from repro.core.stats import children_statistics_from_store
+
+PROFILE = "dbpedia"
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    store = common.dataset(PROFILE)
+    rows = [[row.trie.upper(), row.level, row.average, row.maximum]
+            for row in children_statistics_from_store(store)]
+    return format_table(
+        ["trie", "level", "average", "maximum"], rows,
+        title=f"Table 2 — children per trie node ({PROFILE}-like, {len(store)} triples)")
+
+
+def test_report_table2(benchmark):
+    """Emit Table 2 and benchmark the statistics computation itself."""
+    store = common.dataset(PROFILE)
+    benchmark(lambda: children_statistics_from_store(store))
+    common.write_result("table2_children_stats", _table())

@@ -1,0 +1,105 @@
+"""Table 4 — 3T vs CC vs 2To vs 2Tp: space and per-pattern query speed.
+
+Reproduces the upper part of Table 4 (bits/triple for the four layouts) and
+its lower part (average nanoseconds per returned triple for every selection
+pattern) on two profile-shaped datasets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+import common
+from repro.bench.measure import measure_pattern_workload
+from repro.bench.tables import format_table, space_overhead_percent
+from repro.core.patterns import PatternKind
+
+LAYOUTS = ("3t", "cc", "2to", "2tp")
+PROFILES = ("dblp", "dbpedia")
+KINDS = (PatternKind.SPO, PatternKind.SP, PatternKind.S, PatternKind.ALL_WILDCARDS,
+         PatternKind.SO, PatternKind.PO, PatternKind.O, PatternKind.P)
+
+#: Per-kind workload caps so the low-selectivity patterns (?P?, ??O, ???)
+#: keep the whole suite at laptop-scale runtimes.
+KIND_LIMITS = {
+    PatternKind.P: 25,
+    PatternKind.O: 120,
+    PatternKind.ALL_WILDCARDS: 1,
+}
+
+
+def _patterns(profile: str, kind: PatternKind):
+    workload = common.workloads_for(profile)[kind]
+    return workload.patterns[: KIND_LIMITS.get(kind, len(workload.patterns))]
+
+
+@lru_cache(maxsize=None)
+def _space_table() -> str:
+    rows = []
+    for layout in LAYOUTS:
+        row = [layout.upper()]
+        for profile in PROFILES:
+            bits = common.index_for(profile, layout).bits_per_triple()
+            best = min(common.index_for(profile, l).bits_per_triple() for l in LAYOUTS)
+            overhead = space_overhead_percent(best, bits)
+            row.append(bits)
+            row.append(overhead)
+        rows.append(row)
+    headers = ["index"]
+    for profile in PROFILES:
+        headers.extend([f"{profile} bits/triple", f"{profile} (+%)"])
+    return format_table(headers, rows,
+                        title="Table 4 (space) — permuted trie layouts, bits/triple")
+
+
+@lru_cache(maxsize=None)
+def _time_table() -> str:
+    rows = []
+    for kind in KINDS:
+        for layout in LAYOUTS:
+            row = [kind.value.upper(), layout.upper()]
+            for profile in PROFILES:
+                index = common.index_for(profile, layout)
+                timing = measure_pattern_workload(index, _patterns(profile, kind),
+                                                  kind=kind.value)
+                row.append(timing.ns_per_triple)
+            rows.append(row)
+    headers = ["pattern", "index"] + [f"{p} ns/triple" for p in PROFILES]
+    return format_table(headers, rows, precision=1,
+                        title="Table 4 (time) — ns per returned triple per pattern")
+
+
+def test_report_table4_space(benchmark):
+    """Emit the space half of Table 4; benchmark building the 2Tp index."""
+    store = common.dataset(PROFILES[0])
+    from repro.core.builder import IndexBuilder
+    benchmark.pedantic(lambda: IndexBuilder(store).build("2tp"), rounds=1, iterations=1)
+    common.write_result("table4_space", _space_table())
+
+
+def test_report_table4_time(benchmark):
+    """Emit the time half of Table 4; benchmark the 2Tp ?PO workload."""
+    index = common.index_for(PROFILES[0], "2tp")
+    workload = common.workloads_for(PROFILES[0])[PatternKind.PO]
+    benchmark(lambda: measure_pattern_workload(index, workload.patterns))
+    common.write_result("table4_time", _time_table())
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+@pytest.mark.parametrize("kind", [PatternKind.SO, PatternKind.PO, PatternKind.P,
+                                  PatternKind.O])
+def test_pattern_speed(benchmark, layout, kind):
+    """Benchmark every layout on the patterns where the layouts differ."""
+    index = common.index_for(PROFILES[0], layout)
+    patterns = common.workloads_for(PROFILES[0])[kind].patterns[:150]
+
+    def run():
+        matched = 0
+        for pattern in patterns:
+            for _ in index.select(pattern):
+                matched += 1
+        return matched
+
+    benchmark(run)

@@ -1,0 +1,114 @@
+"""Table 5 — 2Tp against the state of the art (HDT-FoQ, TripleBit).
+
+Reproduces the paper's headline comparison: total space in bits/triple and
+average nanoseconds per returned triple for the selection patterns of Table 5
+(?PO, S?O, SP?, S??, ?P?, ??O), on two profile-shaped datasets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+import common
+from repro.bench.measure import measure_pattern_workload
+from repro.bench.tables import format_table, space_overhead_percent, speedup
+from repro.core.patterns import PatternKind
+
+PROFILES = ("dblp", "dbpedia")
+COMPETITORS = ("hdt-foq", "triplebit", "vertical-partitioning")
+KINDS = (PatternKind.PO, PatternKind.SO, PatternKind.SP, PatternKind.S,
+         PatternKind.P, PatternKind.O)
+
+#: Per-kind workload caps (the slow baselines make low-selectivity patterns
+#: expensive to sweep in full).
+KIND_LIMITS = {
+    PatternKind.P: 15,
+    PatternKind.O: 60,
+    PatternKind.SO: 150,
+    PatternKind.S: 200,
+}
+
+
+def _patterns(profile: str, kind: PatternKind):
+    workload = common.workloads_for(profile)[kind]
+    return workload.patterns[: KIND_LIMITS.get(kind, len(workload.patterns))]
+
+
+def _index(profile: str, name: str):
+    if name == "2tp":
+        return common.index_for(profile, "2tp")
+    return common.baseline_for(profile, name)
+
+
+@lru_cache(maxsize=None)
+def _space_table() -> str:
+    rows = []
+    for name in ("2tp",) + COMPETITORS:
+        row = [name]
+        for profile in PROFILES:
+            bits = _index(profile, name).bits_per_triple()
+            reference = _index(profile, "2tp").bits_per_triple()
+            row.extend([bits, space_overhead_percent(reference, bits)])
+        rows.append(row)
+    headers = ["index"]
+    for profile in PROFILES:
+        headers.extend([f"{profile} bits/triple", f"{profile} (+% vs 2Tp)"])
+    return format_table(headers, rows,
+                        title="Table 5 (space) — 2Tp vs state of the art")
+
+
+@lru_cache(maxsize=None)
+def _time_table() -> str:
+    rows = []
+    for kind in KINDS:
+        reference_ns = {}
+        for name in ("2tp",) + COMPETITORS:
+            row = [kind.value.upper(), name]
+            for profile in PROFILES:
+                index = _index(profile, name)
+                timing = measure_pattern_workload(index, _patterns(profile, kind),
+                                                  kind=kind.value)
+                ns = timing.ns_per_triple
+                if name == "2tp":
+                    reference_ns[profile] = ns
+                factor = speedup(reference_ns.get(profile, 0.0), ns)
+                row.extend([ns, factor])
+            rows.append(row)
+    headers = ["pattern", "index"]
+    for profile in PROFILES:
+        headers.extend([f"{profile} ns/triple", f"{profile} x vs 2Tp"])
+    return format_table(headers, rows, precision=1,
+                        title="Table 5 (time) — ns per returned triple vs state of the art")
+
+
+def test_report_table5_space(benchmark):
+    """Emit the space half of Table 5; benchmark HDT-FoQ construction."""
+    from repro.baselines import HdtFoqIndex
+    store = common.dataset(PROFILES[0])
+    benchmark.pedantic(lambda: HdtFoqIndex(store), rounds=1, iterations=1)
+    common.write_result("table5_space", _space_table())
+
+
+def test_report_table5_time(benchmark):
+    """Emit the time half of Table 5; benchmark HDT-FoQ on ?P? (its weak spot)."""
+    index = common.baseline_for(PROFILES[0], "hdt-foq")
+    patterns = common.workloads_for(PROFILES[0])[PatternKind.P].patterns[:30]
+    benchmark.pedantic(
+        lambda: measure_pattern_workload(index, patterns), rounds=1, iterations=1)
+    common.write_result("table5_time", _time_table())
+
+
+@pytest.mark.parametrize("name", ("2tp",) + COMPETITORS)
+def test_so_pattern_speed(benchmark, name):
+    """Benchmark S?O — the pattern with the paper's largest speedups (up to 2057x)."""
+    index = _index(PROFILES[0], name)
+    patterns = common.workloads_for(PROFILES[0])[PatternKind.SO].patterns[:100]
+
+    def run():
+        for pattern in patterns:
+            for _ in index.select(pattern):
+                pass
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,100 @@
+"""Table 6 — WatDiv and LUBM SPARQL query logs.
+
+Decomposes every query of the bundled WatDiv/LUBM-style logs into a sequence
+of triple selection patterns (with the same selectivity-driven planner for all
+indexes, as the paper does with TripleBit's planner) and measures space plus
+average seconds per query for 2Tp, HDT-FoQ and TripleBit.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+import pytest
+
+import common
+from repro.baselines import HdtFoqIndex, TripleBitIndex
+from repro.bench.tables import format_table, space_overhead_percent, speedup
+from repro.core.builder import IndexBuilder
+from repro.queries import execute_bgp, lubm_query_log, watdiv_query_log
+
+MAX_RESULTS = 20_000
+
+
+@lru_cache(maxsize=None)
+def _stores():
+    return {
+        "watdiv": common.watdiv_dataset().store,
+        "lubm": common.lubm_dataset(),
+    }
+
+
+@lru_cache(maxsize=None)
+def _indexes():
+    built = {}
+    for dataset_name, store in _stores().items():
+        built[dataset_name] = {
+            "2tp": IndexBuilder(store).build("2tp"),
+            "hdt-foq": HdtFoqIndex(store),
+            "triplebit": TripleBitIndex(store),
+        }
+    return built
+
+
+def _logs():
+    return {"watdiv": watdiv_query_log(), "lubm": lubm_query_log()}
+
+
+def _run_log(index, store, queries) -> float:
+    """Average seconds per query over the log."""
+    start = time.perf_counter()
+    for query in queries:
+        execute_bgp(index, query, store=store, max_results=MAX_RESULTS)
+    return (time.perf_counter() - start) / len(queries)
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    rows = []
+    logs = _logs()
+    for name in ("2tp", "hdt-foq", "triplebit"):
+        row = [name]
+        for dataset_name, store in _stores().items():
+            index = _indexes()[dataset_name][name]
+            reference = _indexes()[dataset_name]["2tp"]
+            bits = index.bits_per_triple()
+            seconds = _run_log(index, store, logs[dataset_name])
+            reference_seconds = _run_log(reference, store, logs[dataset_name]) \
+                if name != "2tp" else seconds
+            row.extend([bits,
+                        space_overhead_percent(reference.bits_per_triple(), bits),
+                        seconds,
+                        speedup(reference_seconds, seconds)])
+        rows.append(row)
+    headers = ["index"]
+    for dataset_name, store in _stores().items():
+        headers.extend([f"{dataset_name} bits/triple", f"{dataset_name} (+%)",
+                        f"{dataset_name} sec/query", f"{dataset_name} x vs 2Tp"])
+    sizes = ", ".join(f"{name}: {len(store)} triples" for name, store in _stores().items())
+    return format_table(headers, rows, precision=4,
+                        title=f"Table 6 — SPARQL query logs ({sizes})")
+
+
+def test_report_table6(benchmark):
+    """Emit Table 6; benchmark the 2Tp WatDiv log execution."""
+    store = _stores()["watdiv"]
+    index = _indexes()["watdiv"]["2tp"]
+    queries = _logs()["watdiv"]
+    benchmark.pedantic(lambda: _run_log(index, store, queries), rounds=1, iterations=1)
+    common.write_result("table6_query_logs", _table())
+
+
+@pytest.mark.parametrize("index_name", ["2tp", "hdt-foq", "triplebit"])
+@pytest.mark.parametrize("dataset_name", ["watdiv", "lubm"])
+def test_query_log(benchmark, dataset_name, index_name):
+    """Benchmark each index on each query log (the Table 6 cells)."""
+    store = _stores()[dataset_name]
+    index = _indexes()[dataset_name][index_name]
+    queries = _logs()[dataset_name]
+    benchmark.pedantic(lambda: _run_log(index, store, queries), rounds=1, iterations=1)

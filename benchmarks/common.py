@@ -1,0 +1,91 @@
+"""Shared datasets, indexes and reporting helpers for the benchmark suite.
+
+Everything heavy is cached with ``functools.lru_cache`` so that the benchmark
+files can share one build per dataset/layout within a pytest session.  The
+dataset sizes are chosen so that the whole suite finishes in minutes on a
+laptop while still being large enough for the paper's relative behaviours to
+show; scale them up with the ``REPRO_BENCH_TRIPLES`` environment variable for
+longer, higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.baselines import (
+    BitMatIndex,
+    HdtFoqIndex,
+    Rdf3xIndex,
+    TripleBitIndex,
+    VerticalPartitioningIndex,
+)
+from repro.core.builder import IndexBuilder
+from repro.datasets import generate_from_profile, generate_lubm, generate_watdiv
+from repro.queries import build_workloads
+from repro.rdf.triples import TripleStore
+
+#: Number of triples for the profile-driven datasets (override via env var).
+DEFAULT_TRIPLES = int(os.environ.get("REPRO_BENCH_TRIPLES", "40000"))
+
+#: Workload size (the paper uses 5 000; scaled down with the datasets).
+WORKLOAD_SIZE = int(os.environ.get("REPRO_BENCH_WORKLOAD", "400"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+BASELINE_CLASSES = {
+    "hdt-foq": HdtFoqIndex,
+    "triplebit": TripleBitIndex,
+    "vertical-partitioning": VerticalPartitioningIndex,
+    "rdf-3x": Rdf3xIndex,
+    "bitmat": BitMatIndex,
+}
+
+
+@lru_cache(maxsize=None)
+def dataset(profile_name: str, num_triples: int = DEFAULT_TRIPLES,
+            seed: int = 42) -> TripleStore:
+    """A profile-shaped dataset, cached per (profile, size, seed)."""
+    return generate_from_profile(profile_name, num_triples, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def watdiv_dataset(scale: int = 900, seed: int = 3):
+    """A WatDiv-like dataset (with numeric literals), cached per scale."""
+    return generate_watdiv(scale=scale, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def lubm_dataset(num_universities: int = 8, seed: int = 3) -> TripleStore:
+    """A LUBM-like dataset, cached per size."""
+    return generate_lubm(num_universities=num_universities, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def index_for(profile_name: str, layout: str,
+              num_triples: int = DEFAULT_TRIPLES):
+    """A paper-layout index over a profile dataset, cached."""
+    return IndexBuilder(dataset(profile_name, num_triples)).build(layout)
+
+
+@lru_cache(maxsize=None)
+def baseline_for(profile_name: str, baseline: str,
+                 num_triples: int = DEFAULT_TRIPLES):
+    """A baseline index over a profile dataset, cached."""
+    return BASELINE_CLASSES[baseline](dataset(profile_name, num_triples))
+
+
+@lru_cache(maxsize=None)
+def workloads_for(profile_name: str, num_triples: int = DEFAULT_TRIPLES,
+                  count: int = WORKLOAD_SIZE, seed: int = 7):
+    """Per-pattern-kind workloads over a profile dataset, cached."""
+    return build_workloads(dataset(profile_name, num_triples), count=count, seed=seed)
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a paper-style table and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

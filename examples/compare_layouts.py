@@ -1,0 +1,58 @@
+"""Compare the paper's index layouts and the baselines on a DBpedia-like dataset.
+
+Builds 3T, CC, 2Tp and 2To plus the HDT-FoQ and TripleBit baselines over a
+scaled-down DBpedia-shaped dataset, then prints a miniature version of the
+paper's Tables 4 and 5: bits/triple and ns-per-returned-triple for every
+selection pattern.
+
+Run with::
+
+    python examples/compare_layouts.py [num_triples]
+"""
+
+import sys
+
+from repro import IndexBuilder
+from repro.baselines import HdtFoqIndex, TripleBitIndex
+from repro.bench import format_table, measure_pattern_workload
+from repro.core.patterns import PatternKind
+from repro.datasets import generate_from_profile
+from repro.queries import build_workloads
+
+
+def main(num_triples: int = 30_000) -> None:
+    print(f"generating a DBpedia-shaped dataset with ~{num_triples} triples ...")
+    store = generate_from_profile("dbpedia", num_triples, seed=42)
+    print(f"  {store.statistics()}\n")
+
+    builder = IndexBuilder(store)
+    indexes = {
+        "3T": builder.build("3t"),
+        "CC": builder.build("cc"),
+        "2To": builder.build("2to"),
+        "2Tp": builder.build("2tp"),
+        "HDT-FoQ": HdtFoqIndex(store),
+        "TripleBit": TripleBitIndex(store),
+    }
+
+    workloads = build_workloads(store, count=200, seed=7)
+
+    rows = []
+    for name, index in indexes.items():
+        row = [name, index.bits_per_triple()]
+        for kind in (PatternKind.SPO, PatternKind.SP, PatternKind.S, PatternKind.SO,
+                     PatternKind.PO, PatternKind.P, PatternKind.O):
+            timing = measure_pattern_workload(index, workloads[kind].patterns,
+                                              kind=kind.value)
+            row.append(timing.ns_per_triple)
+        rows.append(row)
+
+    headers = ["index", "bits/triple", "SPO", "SP?", "S??", "S?O", "?PO", "?P?", "??O"]
+    print(format_table(headers, rows,
+                       title="space (bits/triple) and speed (ns per returned triple)"))
+    print("\nThe ns figures are Python-scale; compare the *ratios* between rows "
+          "with the paper's Tables 4 and 5.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30_000)

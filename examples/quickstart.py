@@ -1,0 +1,68 @@
+"""Quickstart: index a handful of RDF statements and run every selection pattern.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import IndexBuilder, TriplePattern
+from repro.rdf.dictionary import RdfDictionary
+from repro.rdf.ntriples import parse_ntriples, term_triples_to_keys
+
+NTRIPLES = """\
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/carol> .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/name> "Alice" .
+<http://example.org/bob> <http://xmlns.com/foaf/0.1/knows> <http://example.org/carol> .
+<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> "Bob" .
+<http://example.org/carol> <http://xmlns.com/foaf/0.1/name> "Carol" .
+<http://example.org/carol> <http://xmlns.com/foaf/0.1/worksFor> <http://example.org/acme> .
+<http://example.org/acme> <http://xmlns.com/foaf/0.1/name> "ACME Inc." .
+"""
+
+
+def main() -> None:
+    # 1. Parse N-Triples and build the per-role string dictionaries plus the
+    #    integer triple store (the dictionary is a separate concern from the
+    #    index, exactly as in the paper).
+    term_triples = list(parse_ntriples(NTRIPLES.splitlines()))
+    dictionary, store = RdfDictionary.from_term_triples(
+        term_triples_to_keys(term_triples))
+    print(f"parsed {len(store)} triples "
+          f"({store.num_subjects} subjects, {store.num_predicates} predicates, "
+          f"{store.num_objects} objects)")
+
+    # 2. Build the paper's preferred layout (2Tp: SPO + POS tries).
+    index = IndexBuilder(store).build("2tp")
+    print(f"2Tp index: {index.bits_per_triple():.2f} bits/triple\n")
+
+    # 3. Ask a few selection patterns.  Wildcards are written as None.
+    knows = dictionary.predicates.id_of("<http://xmlns.com/foaf/0.1/knows>")
+    alice = dictionary.subjects.id_of("<http://example.org/alice>")
+    carol_obj = dictionary.objects.id_of("<http://example.org/carol>")
+
+    print("Who does Alice know?            (alice, knows, ?)")
+    for triple in index.select(TriplePattern(alice, knows, None)):
+        print("   ", dictionary.decode(triple))
+
+    print("Who knows Carol?                (?, knows, carol)")
+    for triple in index.select(TriplePattern(None, knows, carol_obj)):
+        print("   ", dictionary.decode(triple))
+
+    print("Everything about Alice:         (alice, ?, ?)")
+    for triple in index.select(TriplePattern(alice, None, None)):
+        print("   ", dictionary.decode(triple))
+
+    print("Any relation Alice -> Carol?    (alice, ?, carol)  [enumerate algorithm]")
+    for triple in index.select(TriplePattern(alice, None, carol_obj)):
+        print("   ", dictionary.decode(triple))
+
+    # 4. Count-style usage and the space breakdown.
+    print(f"\ntriples with predicate 'knows': {index.count((None, knows, None))}")
+    print("space breakdown (bits):")
+    for component, bits in index.space_breakdown().items():
+        print(f"    {component:<18} {bits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Range-constrained selection patterns on a WatDiv-like dataset.
+
+Reproduces the Section 3.1 / Section 4.1 range-query machinery: numeric
+literals get IDs in value order, their sorted values live in the compressed
+``R`` structure, and a constraint ``low < value < high`` turns into two binary
+searches plus ordinary selection patterns.
+
+Run with::
+
+    python examples/range_queries.py [scale]
+"""
+
+import sys
+
+from repro import build_index
+from repro.core.range_queries import RangeQueryEngine
+from repro.datasets import generate_watdiv
+from repro.datasets.watdiv import WATDIV_PREDICATES
+
+
+def main(scale: int = 400) -> None:
+    dataset = generate_watdiv(scale=scale, seed=3)
+    store = dataset.store
+    index = build_index(store, "2tp")
+    engine = RangeQueryEngine(index, dataset.numeric_index, dataset.numeric_id_offset)
+
+    print(f"dataset: {len(store)} triples, "
+          f"{len(dataset.numeric_index)} distinct numeric literals")
+    print(f"index:   {index.bits_per_triple():.2f} bits/triple")
+    print(f"R structure: {engine.extra_bits_per_triple():.4f} extra bits/triple "
+          "(the paper reports < 0.1 on WatDiv)\n")
+
+    price = WATDIV_PREDICATES["price"]
+    rating = WATDIV_PREDICATES["rating"]
+
+    cheap = list(engine.select_object_range((None, price, None), 0.0, 50.0))
+    print(f"products with price in (0, 50): {len(cheap)} matches")
+    for s, p, o in cheap[:5]:
+        print(f"    product {s}  price {engine.object_value(o)}")
+
+    top_rated = list(engine.select_object_range((None, rating, None), 8.0, 10.0,
+                                                inclusive=True))
+    print(f"\nreviews with rating in [8, 10]: {len(top_rated)} matches")
+    for s, p, o in top_rated[:5]:
+        print(f"    review {s}  rating {engine.object_value(o)}")
+
+    count = engine.count_object_range((None, price, None), 100.0, 200.0)
+    print(f"\nproducts priced in (100, 200): {count}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

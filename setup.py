@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this reproduction targets has no ``wheel`` package available,
+so PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This legacy ``setup.py`` lets ``python setup.py develop`` (or
+``pip install -e . --no-use-pep517`` on older pips) provide the same editable
+install.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a pure-Python reproduction of "Compressed Indexes for Fast Search
+of Semantic Data" (Perego, Pibiri, Venturini).
+
+The package is organised in layers:
+
+* :mod:`repro.sequences` — compressed integer-sequence codecs (Compact,
+  Elias-Fano, partitioned Elias-Fano, VByte) and the bit-vector / rank-select
+  substrate they are built on.
+* :mod:`repro.structures` — auxiliary succinct structures (wavelet tree).
+* :mod:`repro.rdf` — RDF data model: triples, N-Triples parsing, string
+  dictionaries.
+* :mod:`repro.core` — the paper's contribution: the permuted trie indexes
+  (3T), the cross-compressed variant (CC) and the two-trie variants
+  (2Tp / 2To), together with the select / enumerate / inverted pattern
+  matching algorithms.
+* :mod:`repro.baselines` — the competitors evaluated in the paper
+  (HDT-FoQ, TripleBit, vertical partitioning, RDF-3X-like, BitMat-like).
+* :mod:`repro.datasets` — synthetic dataset generators calibrated to the
+  statistics of the paper's datasets, plus WatDiv- and LUBM-like generators.
+* :mod:`repro.queries` — triple-pattern workloads, a small SPARQL BGP
+  front-end and the selectivity-based query planner used to decompose
+  SPARQL queries into sequences of triple selection patterns.
+* :mod:`repro.bench` — measurement harness (bits/triple, ns/triple) and
+  paper-style table rendering used by the ``benchmarks/`` suite.
+
+Quickstart
+----------
+
+>>> from repro import TripleStore, IndexBuilder
+>>> store = TripleStore.from_triples([(0, 0, 2), (0, 1, 0), (1, 0, 4)])
+>>> index = IndexBuilder(store).build("2tp")
+>>> sorted(index.select((0, None, None)))
+[(0, 0, 2), (0, 1, 0)]
+"""
+
+from repro.core.builder import IndexBuilder, build_index
+from repro.core.index_2t import TwoTrieIndex
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.cross_compression import CrossCompressedIndex
+from repro.core.patterns import TriplePattern, PatternKind
+from repro.rdf.triples import Triple, TripleStore
+from repro.rdf.dictionary import Dictionary, RdfDictionary
+
+__all__ = [
+    "IndexBuilder",
+    "build_index",
+    "PermutedTrieIndex",
+    "CrossCompressedIndex",
+    "TwoTrieIndex",
+    "TriplePattern",
+    "PatternKind",
+    "Triple",
+    "TripleStore",
+    "Dictionary",
+    "RdfDictionary",
+]
+
+__version__ = "1.0.0"

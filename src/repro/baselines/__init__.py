@@ -1,0 +1,32 @@
+"""Reimplementations of the competitors evaluated in the paper.
+
+Every baseline implements :class:`repro.core.base.TripleIndex`, so the
+benchmark harness can compare them against the permuted-trie indexes with the
+same workloads:
+
+* :class:`repro.baselines.hdt_foq.HdtFoqIndex` — HDT-FoQ (Focused on
+  Querying): single SPO trie, wavelet-tree predicate level, object-based
+  inverted lists;
+* :class:`repro.baselines.triplebit.TripleBitIndex` — TripleBit: per-predicate
+  bit-matrix chunks storing (s, o) and (o, s) columns with byte-aligned codes;
+* :class:`repro.baselines.vertical_partitioning.VerticalPartitioningIndex` —
+  one (subject, object) table per predicate (SW-Store style);
+* :class:`repro.baselines.rdf3x.Rdf3xIndex` — RDF-3X-like exhaustive indexing:
+  all six permutations in VByte-compressed clustered blocks;
+* :class:`repro.baselines.bitmat.BitMatIndex` — BitMat-like 3D bit-cube with
+  gap-coded slices.
+"""
+
+from repro.baselines.hdt_foq import HdtFoqIndex
+from repro.baselines.triplebit import TripleBitIndex
+from repro.baselines.vertical_partitioning import VerticalPartitioningIndex
+from repro.baselines.rdf3x import Rdf3xIndex
+from repro.baselines.bitmat import BitMatIndex
+
+__all__ = [
+    "HdtFoqIndex",
+    "TripleBitIndex",
+    "VerticalPartitioningIndex",
+    "Rdf3xIndex",
+    "BitMatIndex",
+]

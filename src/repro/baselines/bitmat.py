@@ -1,0 +1,144 @@
+"""BitMat-like baseline (Atre et al., WWW 2010).
+
+BitMat models the dataset as a 3D bit-cube with one dimension per component.
+The cube is sliced along the predicate dimension into |P| subject x object
+bit matrices; each matrix row (one subject) is a bit string over the object
+space, compressed with run-length / gap encoding.  To answer object-bound
+patterns the transposed (object x subject) slices are kept as well, which is
+one of the reasons the format is large — the paper measures 483 bits/triple on
+DBpedia against ~54 for 2Tp.
+
+The reimplementation stores, per predicate:
+
+* a row directory (which subjects have a non-empty row) and, per row, the
+  gap-encoded object IDs;
+* the transposed equivalent for object-bound access.
+
+Pattern matching ANDs/scans the relevant rows, as the original join processor
+does for single patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import PatternLike, TripleIndex
+from repro.core.patterns import TriplePattern
+from repro.errors import IndexBuildError
+from repro.rdf.triples import TripleStore
+from repro.sequences.vbyte import encode_vbyte_stream, decode_vbyte_stream
+
+_WORD_BITS = 64
+
+
+class _BitSlice:
+    """One predicate's bit matrix stored as per-row gap-encoded adjacency lists."""
+
+    __slots__ = ("_rows", "_row_lengths", "count")
+
+    def __init__(self, majors: np.ndarray, minors: np.ndarray):
+        self.count = int(majors.size)
+        order = np.lexsort((minors, majors))
+        majors = majors[order]
+        minors = minors[order]
+        self._rows: Dict[int, bytes] = {}
+        self._row_lengths: Dict[int, int] = {}
+        boundaries = np.nonzero(np.diff(majors))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [majors.size]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            row_id = int(majors[start])
+            row_minors = minors[start:stop]
+            gaps = np.diff(row_minors, prepend=row_minors[0]).tolist()
+            gaps[0] = int(row_minors[0])
+            self._rows[row_id] = bytes(encode_vbyte_stream(gaps))
+            self._row_lengths[row_id] = stop - start
+
+    def row(self, row_id: int) -> List[int]:
+        """Decode the (sorted) minor IDs set in ``row_id``'s bit row."""
+        payload = self._rows.get(row_id)
+        if payload is None:
+            return []
+        length = self._row_lengths[row_id]
+        gaps = decode_vbyte_stream(payload, length)
+        values = []
+        current = 0
+        for i, gap in enumerate(gaps):
+            current = gap if i == 0 else current + gap
+            values.append(current)
+        return values
+
+    def rows(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield every (row_id, minors) pair."""
+        for row_id in sorted(self._rows):
+            yield row_id, self.row(row_id)
+
+    def has(self, row_id: int, minor_id: int) -> bool:
+        """Whether the bit (row_id, minor_id) is set."""
+        return minor_id in self.row(row_id)
+
+    def size_in_bits(self) -> int:
+        payload = sum(len(p) for p in self._rows.values()) * 8
+        directory = len(self._rows) * 2 * 32
+        return payload + directory
+
+
+class BitMatIndex(TripleIndex):
+    """Per-predicate SxO and OxS gap-encoded bit matrices."""
+
+    name = "bitmat"
+
+    def __init__(self, store: TripleStore):
+        if len(store) == 0:
+            raise IndexBuildError("cannot build BitMat over an empty store")
+        subjects, predicates, objects = store.columns()
+        self._num_triples = len(store)
+        self._so_slices: Dict[int, _BitSlice] = {}
+        self._os_slices: Dict[int, _BitSlice] = {}
+        for predicate in np.unique(predicates):
+            predicate = int(predicate)
+            mask = predicates == predicate
+            self._so_slices[predicate] = _BitSlice(subjects[mask], objects[mask])
+            self._os_slices[predicate] = _BitSlice(objects[mask], subjects[mask])
+
+    # ------------------------------------------------------------------ #
+    # TripleIndex interface.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_triples(self) -> int:
+        return self._num_triples
+
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        pattern = TriplePattern.from_tuple(pattern)
+        subject, predicate, object_id = pattern.as_tuple()
+        predicates = [predicate] if predicate is not None else sorted(self._so_slices)
+        for p in predicates:
+            slice_so = self._so_slices.get(p)
+            if slice_so is None:
+                continue
+            if subject is not None and object_id is not None:
+                if slice_so.has(subject, object_id):
+                    yield (subject, p, object_id)
+            elif subject is not None:
+                for obj in slice_so.row(subject):
+                    yield (subject, p, obj)
+            elif object_id is not None:
+                for s in self._os_slices[p].row(object_id):
+                    yield (s, p, object_id)
+            else:
+                for s, objs in slice_so.rows():
+                    for obj in objs:
+                        yield (s, p, obj)
+
+    def size_in_bits(self) -> int:
+        return sum(self.space_breakdown().values())
+
+    def space_breakdown(self) -> Dict[str, int]:
+        return {
+            "subject_object_slices": sum(s.size_in_bits() for s in self._so_slices.values()),
+            "object_subject_slices": sum(s.size_in_bits() for s in self._os_slices.values()),
+            "directories": (len(self._so_slices) + len(self._os_slices)) * _WORD_BITS,
+        }

@@ -1,0 +1,18 @@
+"""Measurement harness used by the ``benchmarks/`` suite."""
+
+from repro.bench.measure import (
+    QueryTiming,
+    measure_pattern_workload,
+    measure_sequence_operations,
+    nanoseconds_per_triple,
+)
+from repro.bench.tables import format_table, format_bits_per_triple_table
+
+__all__ = [
+    "QueryTiming",
+    "measure_pattern_workload",
+    "measure_sequence_operations",
+    "nanoseconds_per_triple",
+    "format_table",
+    "format_bits_per_triple_table",
+]

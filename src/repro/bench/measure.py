@@ -1,0 +1,109 @@
+"""Timing and space measurement utilities.
+
+The paper reports two headline numbers: **bits/triple** for space and
+**nanoseconds per returned triple** for query speed.  The helpers here follow
+the same methodology — run a workload of selection patterns, count the matched
+triples, divide the elapsed time by that count — so the benchmark scripts stay
+small and uniform.
+
+Absolute values measured on a Python implementation are of course orders of
+magnitude larger than the paper's C++ numbers; the benchmarks compare *ratios*
+between indexes measured under identical conditions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.base import TripleIndex
+from repro.core.patterns import TriplePattern
+
+
+@dataclass
+class QueryTiming:
+    """Result of timing one workload against one index."""
+
+    index_name: str
+    kind: str
+    num_queries: int
+    matched_triples: int
+    elapsed_seconds: float
+
+    @property
+    def ns_per_triple(self) -> float:
+        """Nanoseconds per returned triple (the paper's speed metric)."""
+        if self.matched_triples == 0:
+            return 0.0
+        return self.elapsed_seconds * 1e9 / self.matched_triples
+
+    @property
+    def us_per_query(self) -> float:
+        """Microseconds per query, useful for the lookup-style patterns."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.elapsed_seconds * 1e6 / self.num_queries
+
+
+def measure_pattern_workload(index: TripleIndex, patterns: Sequence[TriplePattern],
+                             kind: str = "", repetitions: int = 1) -> QueryTiming:
+    """Execute every pattern and time the full sweep.
+
+    ``repetitions`` repeats the sweep to smooth fluctuations (the paper
+    averages five runs); the reported time is the average per sweep.
+    """
+    matched = 0
+    start = time.perf_counter()
+    for _ in range(max(1, repetitions)):
+        matched = 0
+        for pattern in patterns:
+            for _triple in index.select(pattern):
+                matched += 1
+    elapsed = (time.perf_counter() - start) / max(1, repetitions)
+    return QueryTiming(
+        index_name=getattr(index, "name", index.__class__.__name__),
+        kind=kind,
+        num_queries=len(patterns),
+        matched_triples=matched,
+        elapsed_seconds=elapsed,
+    )
+
+
+def nanoseconds_per_triple(index: TripleIndex, patterns: Sequence[TriplePattern],
+                           repetitions: int = 1) -> float:
+    """Shorthand for the paper's ns/triple metric over a workload."""
+    return measure_pattern_workload(index, patterns, repetitions=repetitions).ns_per_triple
+
+
+def measure_sequence_operations(sequence, positions: Sequence[int],
+                                ranges: Sequence[tuple],
+                                values: Sequence[int]) -> Dict[str, float]:
+    """Time access / find / scan on an encoded sequence (Table 1 methodology).
+
+    ``positions`` drive ``access``; ``ranges``+``values`` (parallel) drive
+    ``find``; ``scan`` decodes each range sequentially.  Results are
+    nanoseconds per operation (access, find) and per decoded integer (scan).
+    """
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    for position in positions:
+        sequence.access(position)
+    elapsed = time.perf_counter() - start
+    timings["access_ns"] = elapsed * 1e9 / max(1, len(positions))
+
+    start = time.perf_counter()
+    for (begin, end), value in zip(ranges, values):
+        sequence.find(begin, end, value)
+    elapsed = time.perf_counter() - start
+    timings["find_ns"] = elapsed * 1e9 / max(1, len(ranges))
+
+    decoded = 0
+    start = time.perf_counter()
+    for begin, end in ranges:
+        for _ in sequence.scan(begin, end):
+            decoded += 1
+    elapsed = time.perf_counter() - start
+    timings["scan_ns"] = elapsed * 1e9 / max(1, decoded)
+    return timings

@@ -1,0 +1,65 @@
+"""Plain-text table rendering in the style of the paper's tables.
+
+The benchmark scripts print their results with these helpers so the rows can
+be compared side by side with the corresponding table of the paper (see
+EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render an aligned plain-text table."""
+    formatted_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bits_per_triple_table(results: Mapping[str, Mapping[str, float]],
+                                 title: str = "bits/triple") -> str:
+    """Render an index -> dataset -> bits/triple matrix."""
+    datasets = sorted({dataset for per_index in results.values() for dataset in per_index})
+    headers = ["index"] + datasets
+    rows = []
+    for index_name, per_dataset in results.items():
+        rows.append([index_name] + [per_dataset.get(dataset) for dataset in datasets])
+    return format_table(headers, rows, title=title)
+
+
+def speedup(reference: float, other: float) -> Optional[float]:
+    """How many times slower ``other`` is than ``reference`` (paper's x factors)."""
+    if reference <= 0:
+        return None
+    return other / reference
+
+
+def space_overhead_percent(reference_bits: float, other_bits: float) -> Optional[float]:
+    """The paper's ``(+p%)`` notation: subtracting p% of ``other`` gives ``reference``."""
+    if other_bits <= 0:
+        return None
+    return 100.0 * (other_bits - reference_bits) / other_bits

@@ -1,0 +1,39 @@
+"""The paper's contribution: permuted trie indexes over integer triples.
+
+* :class:`repro.core.index_3t.PermutedTrieIndex` — the 3T layout (SPO + POS +
+  OSP) of Section 3.1;
+* :class:`repro.core.cross_compression.CrossCompressedIndex` — the CC variant
+  of Section 3.2 (POS third level re-written through OSP sub-trees);
+* :class:`repro.core.index_2t.TwoTrieIndex` — the 2Tp / 2To variants of
+  Section 3.3 (one permutation eliminated, ``S?O`` answered by the
+  ``enumerate`` algorithm, the remaining pattern by the ``inverted``
+  algorithm);
+* :class:`repro.core.builder.IndexBuilder` — constructs any of the above from
+  a :class:`repro.rdf.triples.TripleStore` with per-level codec selection.
+"""
+
+from repro.core.base import TripleIndex
+from repro.core.builder import IndexBuilder, build_index
+from repro.core.cross_compression import CrossCompressedIndex
+from repro.core.index_2t import TwoTrieIndex
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.patterns import PatternKind, TriplePattern
+from repro.core.permutations import PERMUTATIONS, Permutation
+from repro.core.range_queries import RangeQueryEngine
+from repro.core.trie import PermutationTrie, TrieConfig
+
+__all__ = [
+    "TripleIndex",
+    "IndexBuilder",
+    "build_index",
+    "PermutedTrieIndex",
+    "CrossCompressedIndex",
+    "TwoTrieIndex",
+    "PatternKind",
+    "TriplePattern",
+    "Permutation",
+    "PERMUTATIONS",
+    "PermutationTrie",
+    "TrieConfig",
+    "RangeQueryEngine",
+]

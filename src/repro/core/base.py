@@ -1,0 +1,77 @@
+"""Common interface shared by the paper's indexes and the baselines.
+
+Every index — 3T, CC, 2Tp, 2To, HDT-FoQ, TripleBit, vertical partitioning,
+RDF-3X-like, BitMat-like — answers triple selection patterns through the same
+:class:`TripleIndex` interface, which is what lets the benchmark harness treat
+them uniformly (as the paper's evaluation does).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.patterns import TriplePattern
+
+PatternLike = Union[TriplePattern, Sequence[Optional[int]]]
+
+
+class TripleIndex(ABC):
+    """Abstract compressed triple index answering selection patterns."""
+
+    #: Registry name used by the builder and the benchmark harness.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Mandatory interface.
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        """Yield every triple matching ``pattern`` in canonical (s, p, o) form."""
+
+    @abstractmethod
+    def size_in_bits(self) -> int:
+        """Total space of the index payload in bits (dictionary excluded)."""
+
+    @property
+    @abstractmethod
+    def num_triples(self) -> int:
+        """Number of indexed triples."""
+
+    # ------------------------------------------------------------------ #
+    # Derived operations.
+    # ------------------------------------------------------------------ #
+
+    def count(self, pattern: PatternLike) -> int:
+        """Number of triples matching ``pattern``."""
+        return sum(1 for _ in self.select(pattern))
+
+    def contains(self, triple: Tuple[int, int, int]) -> bool:
+        """Whether the fully-specified ``triple`` is present."""
+        s, p, o = triple
+        for _ in self.select(TriplePattern(s, p, o)):
+            return True
+        return False
+
+    def select_list(self, pattern: PatternLike) -> List[Tuple[int, int, int]]:
+        """Materialise the matches of ``pattern`` as a sorted list."""
+        return sorted(self.select(pattern))
+
+    def bits_per_triple(self) -> float:
+        """Average space per triple — the headline space metric of the paper."""
+        if self.num_triples == 0:
+            return 0.0
+        return self.size_in_bits() / self.num_triples
+
+    def space_breakdown(self) -> Dict[str, int]:
+        """Per-component space in bits (overridden by concrete indexes)."""
+        return {"total": self.size_in_bits()}
+
+    def supported_kinds(self) -> Tuple[str, ...]:
+        """Pattern kinds natively supported (all eight unless overridden)."""
+        return ("spo", "sp?", "s??", "?po", "?p?", "??o", "s?o", "???")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.__class__.__name__}(triples={self.num_triples}, "
+                f"bits_per_triple={self.bits_per_triple():.2f})")

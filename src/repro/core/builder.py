@@ -1,0 +1,167 @@
+"""Index builders.
+
+:class:`IndexBuilder` turns a :class:`repro.rdf.triples.TripleStore` into any
+of the paper's four layouts:
+
+=========  ==================================================================
+``"3t"``   SPO + POS + OSP (Section 3.1)
+``"cc"``   3T with the POS third level cross-compressed through OSP (3.2)
+``"2tp"``  SPO + POS, predicate-based two-trie index (Section 3.3)
+``"2to"``  SPO + OPS + PS auxiliary structure, object-based two-trie index
+=========  ==================================================================
+
+The default codec configuration follows the paper's space/time analysis
+(Table 1): PEF for every node sequence except the last level of SPO (Compact),
+plain EF for all pointers, and Compact for OSP's second level in the CC layout
+so that the ``unmap`` random accesses stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.cross_compression import (
+    CrossCompressedIndex,
+    compute_cross_compressed_third_level,
+)
+from repro.core.index_2t import TwoTrieIndex
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.pairs import PairStructure
+from repro.core.permutations import PERMUTATIONS, Permutation
+from repro.core.trie import PermutationTrie, TrieConfig
+from repro.errors import IndexBuildError
+from repro.rdf.triples import OBJECT, PREDICATE, SUBJECT, TripleStore
+
+#: The layouts understood by :meth:`IndexBuilder.build`.
+LAYOUTS = ("3t", "cc", "2tp", "2to")
+
+#: Default per-permutation codec configuration (paper Section 3.1).
+DEFAULT_TRIE_CONFIGS: Dict[str, TrieConfig] = {
+    "spo": TrieConfig(level1_nodes="pef", level2_nodes="compact"),
+    "pos": TrieConfig(level1_nodes="pef", level2_nodes="pef"),
+    "osp": TrieConfig(level1_nodes="pef", level2_nodes="pef"),
+    "ops": TrieConfig(level1_nodes="pef", level2_nodes="pef"),
+    "pso": TrieConfig(level1_nodes="pef", level2_nodes="pef"),
+    "sop": TrieConfig(level1_nodes="pef", level2_nodes="pef"),
+}
+
+
+class IndexBuilder:
+    """Builds permuted-trie indexes from a triple store."""
+
+    def __init__(self, store: TripleStore,
+                 trie_configs: Optional[Dict[str, TrieConfig]] = None):
+        if len(store) == 0:
+            raise IndexBuildError("cannot index an empty triple store")
+        self._store = store
+        self._configs = dict(DEFAULT_TRIE_CONFIGS)
+        if trie_configs:
+            self._configs.update(trie_configs)
+        # Universe sizes per role: the first trie level is implicit, so its
+        # size is the largest identifier + 1 of the role it represents.
+        columns = store.columns()
+        self._role_universe = {
+            SUBJECT: int(columns[SUBJECT].max()) + 1,
+            PREDICATE: int(columns[PREDICATE].max()) + 1,
+            OBJECT: int(columns[OBJECT].max()) + 1,
+        }
+
+    @property
+    def store(self) -> TripleStore:
+        """The triple store the indexes are built from."""
+        return self._store
+
+    def config_for(self, permutation_name: str) -> TrieConfig:
+        """The codec configuration used for ``permutation_name``."""
+        return self._configs[permutation_name]
+
+    # ------------------------------------------------------------------ #
+    # Trie construction.
+    # ------------------------------------------------------------------ #
+
+    def build_trie(self, permutation_name: str,
+                   config: Optional[TrieConfig] = None,
+                   third_override: Optional[np.ndarray] = None) -> PermutationTrie:
+        """Build the trie for one permutation of the triples."""
+        permutation = PERMUTATIONS.get(permutation_name.lower())
+        if permutation is None:
+            raise IndexBuildError(f"unknown permutation {permutation_name!r}")
+        config = config or self._configs[permutation.name]
+        first, second, third = self._store.sorted_columns(permutation.order)
+        num_first = self._role_universe[permutation.order[0]]
+        return PermutationTrie.from_sorted_columns(
+            first, second, third,
+            permutation_name=permutation.name,
+            config=config,
+            num_first=num_first,
+            third_override=third_override,
+        )
+
+    def build_ps_structure(self) -> PairStructure:
+        """Build the predicate -> subjects auxiliary structure used by 2To."""
+        subjects, predicates, _ = self._store.columns()
+        return PairStructure.from_pairs(
+            predicates, subjects, num_first=self._role_universe[PREDICATE])
+
+    # ------------------------------------------------------------------ #
+    # Index layouts.
+    # ------------------------------------------------------------------ #
+
+    def build(self, layout: str = "2tp"
+              ) -> Union[PermutedTrieIndex, CrossCompressedIndex, TwoTrieIndex]:
+        """Build an index with the requested ``layout`` (one of :data:`LAYOUTS`)."""
+        layout = layout.lower()
+        if layout == "3t":
+            return self.build_3t()
+        if layout == "cc":
+            return self.build_cc()
+        if layout == "2tp":
+            return self.build_2tp()
+        if layout == "2to":
+            return self.build_2to()
+        raise IndexBuildError(f"unknown layout {layout!r}; available: {LAYOUTS}")
+
+    def build_3t(self) -> PermutedTrieIndex:
+        """Build the 3T index (SPO + POS + OSP)."""
+        tries = {name: self.build_trie(name) for name in ("spo", "pos", "osp")}
+        return PermutedTrieIndex(tries)
+
+    def build_cc(self) -> CrossCompressedIndex:
+        """Build the cross-compressed index (3T with POS level 3 rewritten)."""
+        spo = self.build_trie("spo")
+        # OSP keeps Compact on its second level so the unmap random access is
+        # cheap, as the paper recommends.
+        osp_config = TrieConfig(
+            level1_nodes="compact",
+            level2_nodes=self._configs["osp"].level2_nodes,
+            codec_options=self._configs["osp"].codec_options,
+        )
+        osp = self.build_trie("osp", config=osp_config)
+        pos_permutation = PERMUTATIONS["pos"]
+        pos_first, pos_second, pos_third = self._store.sorted_columns(pos_permutation.order)
+        ranks = compute_cross_compressed_third_level(pos_first, pos_second, pos_third)
+        pos = PermutationTrie.from_sorted_columns(
+            pos_first, pos_second, pos_third,
+            permutation_name="pos",
+            config=self._configs["pos"],
+            num_first=self._role_universe[PREDICATE],
+            third_override=ranks,
+        )
+        return CrossCompressedIndex({"spo": spo, "pos": pos, "osp": osp})
+
+    def build_2tp(self) -> TwoTrieIndex:
+        """Build the predicate-based two-trie index (SPO + POS)."""
+        return TwoTrieIndex(self.build_trie("spo"), self.build_trie("pos"), variant="p")
+
+    def build_2to(self) -> TwoTrieIndex:
+        """Build the object-based two-trie index (SPO + OPS + PS)."""
+        return TwoTrieIndex(self.build_trie("spo"), self.build_trie("ops"),
+                            variant="o", ps_structure=self.build_ps_structure())
+
+
+def build_index(store: TripleStore, layout: str = "2tp",
+                trie_configs: Optional[Dict[str, TrieConfig]] = None):
+    """Convenience wrapper: ``IndexBuilder(store, trie_configs).build(layout)``."""
+    return IndexBuilder(store, trie_configs=trie_configs).build(layout)

@@ -1,0 +1,163 @@
+"""The two-trie indexes 2Tp and 2To (paper Section 3.3).
+
+Observing that subjects have very few predicate children, the paper pattern
+matches ``S?O`` directly on the SPO permutation with the ``enumerate``
+algorithm (Fig. 5), which makes the OSP permutation unnecessary.  Five of the
+eight patterns are then solved by SPO alone; a second permutation covers two
+more, and the final pattern falls back to the ``inverted`` algorithm:
+
+* **2Tp** (predicate-based) keeps **POS**: ``?PO`` and ``?P?`` are select
+  queries on POS, while ``??O`` is answered by probing the children of every
+  predicate for the object (``|P|`` find operations).
+* **2To** (object-based) keeps **OPS**: ``?PO`` and ``??O`` are select queries
+  on OPS, while ``?P?`` walks the auxiliary two-level ``PS`` structure (all
+  subjects of a predicate) and pattern matches ``s p ?`` on SPO for each.
+
+2Tp is the configuration the paper elects for the state-of-the-art comparison
+(Tables 5 and 6) because POS is cheaper to store than OPS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.base import PatternLike, TripleIndex
+from repro.core.pairs import PairStructure
+from repro.core.patterns import PatternKind, TriplePattern
+from repro.core.permutations import PERMUTATIONS
+from repro.core.trie import PermutationTrie
+from repro.errors import IndexBuildError, PatternError
+
+
+class TwoTrieIndex(TripleIndex):
+    """2T: SPO plus one additional permutation (POS for 2Tp, OPS for 2To)."""
+
+    def __init__(self, spo: PermutationTrie, second_trie: PermutationTrie,
+                 variant: str, ps_structure: Optional[PairStructure] = None):
+        if variant not in ("p", "o"):
+            raise IndexBuildError("variant must be 'p' (2Tp) or 'o' (2To)")
+        expected = "pos" if variant == "p" else "ops"
+        if second_trie.permutation_name != expected:
+            raise IndexBuildError(
+                f"2T{variant} requires the {expected.upper()} permutation, "
+                f"got {second_trie.permutation_name.upper()}")
+        if variant == "o" and ps_structure is None:
+            raise IndexBuildError("2To requires the auxiliary PS structure")
+        self._spo = spo
+        self._second = second_trie
+        self._variant = variant
+        self._ps = ps_structure
+
+    # ------------------------------------------------------------------ #
+    # Properties.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"2t{self._variant}"
+
+    @property
+    def variant(self) -> str:
+        """``"p"`` for 2Tp, ``"o"`` for 2To."""
+        return self._variant
+
+    @property
+    def num_triples(self) -> int:
+        return self._spo.num_triples
+
+    def trie(self, name: str) -> PermutationTrie:
+        """Access one of the two materialised tries by permutation name."""
+        if name == "spo":
+            return self._spo
+        if name == self._second.permutation_name:
+            return self._second
+        raise KeyError(f"trie {name!r} is not materialised by 2T{self._variant}")
+
+    @property
+    def ps_structure(self) -> Optional[PairStructure]:
+        """The auxiliary predicate -> subjects structure (2To only)."""
+        return self._ps
+
+    # ------------------------------------------------------------------ #
+    # Pattern matching.
+    # ------------------------------------------------------------------ #
+
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        pattern = TriplePattern.from_tuple(pattern)
+        kind = pattern.kind
+        if kind in (PatternKind.SPO, PatternKind.SP, PatternKind.S,
+                    PatternKind.ALL_WILDCARDS):
+            yield from self._select_on("spo", pattern)
+        elif kind is PatternKind.SO:
+            yield from self._enumerate(pattern)
+        elif self._variant == "p":
+            if kind in (PatternKind.PO, PatternKind.P):
+                yield from self._select_on("pos", pattern)
+            elif kind is PatternKind.O:
+                yield from self._inverted_object(pattern.object)
+            else:  # pragma: no cover - all kinds are handled above
+                raise PatternError(f"unhandled pattern kind {kind}")
+        else:
+            if kind in (PatternKind.PO, PatternKind.O):
+                yield from self._select_on("ops", pattern)
+            elif kind is PatternKind.P:
+                yield from self._inverted_predicate(pattern.predicate)
+            else:  # pragma: no cover - all kinds are handled above
+                raise PatternError(f"unhandled pattern kind {kind}")
+
+    def _select_on(self, trie_name: str, pattern: TriplePattern
+                   ) -> Iterator[Tuple[int, int, int]]:
+        trie = self._spo if trie_name == "spo" else self._second
+        permutation = PERMUTATIONS[trie_name]
+        first, second, third = permutation.apply_pattern(pattern)
+        for permuted in trie.select(first, second, third):
+            yield permutation.invert(permuted)
+
+    def _enumerate(self, pattern: TriplePattern) -> Iterator[Tuple[int, int, int]]:
+        """S?O on SPO with the enumerate algorithm (Fig. 5)."""
+        for subject, predicate, object_id in self._spo.enumerate_pairs(
+                pattern.subject, pattern.object):
+            yield (subject, predicate, object_id)
+
+    def _inverted_object(self, object_id: Optional[int]) -> Iterator[Tuple[int, int, int]]:
+        """??O on 2Tp: probe every predicate's children for the object on POS."""
+        if object_id is None:
+            raise PatternError("??O requires a bound object")
+        trie = self._second  # POS
+        for predicate in range(trie.num_first):
+            position = trie.find_child(predicate, object_id)
+            if position < 0:
+                continue
+            child_begin, child_end = trie.pair_children_range(position)
+            for subject in trie.scan_third(child_begin, child_end):
+                yield (subject, predicate, object_id)
+
+    def _inverted_predicate(self, predicate: Optional[int]) -> Iterator[Tuple[int, int, int]]:
+        """?P? on 2To: for every subject of the predicate, match s p ? on SPO."""
+        if predicate is None:
+            raise PatternError("?P? requires a bound predicate")
+        assert self._ps is not None
+        for subject in self._ps.values_of(predicate):
+            for s, p, o in self._spo.select(subject, predicate, None):
+                yield (s, p, o)
+
+    # ------------------------------------------------------------------ #
+    # Space accounting.
+    # ------------------------------------------------------------------ #
+
+    def size_in_bits(self) -> int:
+        total = self._spo.size_in_bits() + self._second.size_in_bits()
+        if self._ps is not None:
+            total += self._ps.size_in_bits()
+        return total
+
+    def space_breakdown(self) -> Dict[str, int]:
+        breakdown: Dict[str, int] = {}
+        for name, trie in (("spo", self._spo),
+                           (self._second.permutation_name, self._second)):
+            for component, bits in trie.space_breakdown().items():
+                breakdown[f"{name}.{component}"] = bits
+        if self._ps is not None:
+            for component, bits in self._ps.space_breakdown().items():
+                breakdown[f"ps.{component}"] = bits
+        return breakdown

@@ -1,0 +1,107 @@
+"""The 3T permuted trie index (paper Section 3.1).
+
+Three permutations are materialised — SPO, POS and OSP — so that every triple
+selection pattern with one or two wildcards is a *prefix* pattern on one of
+them and can be answered with the cache-friendly ``select`` algorithm:
+
+========  =========  ==================================
+pattern   trie       permuted shape
+========  =========  ==================================
+``SPO``   SPO        (s, p, o) — full lookup
+``SP?``   SPO        (s, p, ?)
+``S??``   SPO        (s, ?, ?)
+``???``   SPO        full scan
+``?PO``   POS        (p, o, ?)
+``?P?``   POS        (p, ?, ?)
+``S?O``   OSP        (o, s, ?)
+``??O``   OSP        (o, ?, ?)
+========  =========  ==================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.base import PatternLike, TripleIndex
+from repro.core.patterns import PatternKind, TriplePattern
+from repro.core.permutations import PERMUTATIONS, Permutation
+from repro.core.trie import PermutationTrie
+from repro.errors import PatternError
+
+
+class PermutedTrieIndex(TripleIndex):
+    """3T: SPO + POS + OSP permuted tries behind a single pattern interface."""
+
+    name = "3t"
+
+    #: pattern kind -> name of the trie that solves it.
+    DISPATCH: Dict[PatternKind, str] = {
+        PatternKind.SPO: "spo",
+        PatternKind.SP: "spo",
+        PatternKind.S: "spo",
+        PatternKind.ALL_WILDCARDS: "spo",
+        PatternKind.PO: "pos",
+        PatternKind.P: "pos",
+        PatternKind.SO: "osp",
+        PatternKind.O: "osp",
+    }
+
+    def __init__(self, tries: Dict[str, PermutationTrie]):
+        missing = {"spo", "pos", "osp"} - set(tries)
+        if missing:
+            raise PatternError(f"3T index requires tries {sorted(missing)}")
+        self._tries = tries
+
+    # ------------------------------------------------------------------ #
+    # TripleIndex interface.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_triples(self) -> int:
+        return self._tries["spo"].num_triples
+
+    def trie(self, name: str) -> PermutationTrie:
+        """Access one of the materialised permutation tries."""
+        return self._tries[name]
+
+    @property
+    def tries(self) -> Dict[str, PermutationTrie]:
+        """All materialised tries keyed by permutation name."""
+        return dict(self._tries)
+
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        pattern = TriplePattern.from_tuple(pattern)
+        trie_name = self.DISPATCH[pattern.kind]
+        yield from self._select_on(trie_name, pattern)
+
+    def _select_on(self, trie_name: str, pattern: TriplePattern
+                   ) -> Iterator[Tuple[int, int, int]]:
+        """Run the select algorithm of one trie and un-permute the results."""
+        trie = self._tries[trie_name]
+        permutation = PERMUTATIONS[trie_name]
+        first, second, third = permutation.apply_pattern(pattern)
+        for permuted in trie.select(first, second, third):
+            yield permutation.invert(permuted)
+
+    def size_in_bits(self) -> int:
+        return sum(trie.size_in_bits() for trie in self._tries.values())
+
+    def space_breakdown(self) -> Dict[str, int]:
+        """Per-trie, per-level space in bits."""
+        breakdown: Dict[str, int] = {}
+        for name, trie in self._tries.items():
+            for component, bits in trie.space_breakdown().items():
+                breakdown[f"{name}.{component}"] = bits
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by the experiments.
+    # ------------------------------------------------------------------ #
+
+    def dispatch_trie(self, pattern: PatternLike) -> str:
+        """Name of the trie a pattern is routed to (used by the benchmarks)."""
+        return self.DISPATCH[TriplePattern.from_tuple(pattern).kind]
+
+    def children_statistics(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Table 2: per-trie children statistics."""
+        return {name: trie.children_statistics() for name, trie in self._tries.items()}

@@ -1,0 +1,138 @@
+"""Triple selection patterns.
+
+A selection pattern fixes zero or more of the three components of a triple and
+leaves the rest as wildcards.  The paper enumerates the eight possible kinds:
+``SPO``, ``SP?``, ``S??``, ``?PO``, ``?P?``, ``??O``, ``S?O`` and ``???``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.errors import PatternError
+
+#: The value used for a wildcard component in tuple form.
+WILDCARD = None
+
+
+class PatternKind(Enum):
+    """The eight triple selection pattern shapes of the paper.
+
+    Member names list the bound components: ``SP`` is the paper's ``SP?``,
+    ``P`` is ``?P?``, ``ALL_WILDCARDS`` is ``???``, and so on.
+    """
+
+    SPO = "spo"
+    SP = "sp?"
+    S = "s??"
+    PO = "?po"
+    P = "?p?"
+    O = "??o"
+    SO = "s?o"
+    ALL_WILDCARDS = "???"
+
+    @property
+    def num_wildcards(self) -> int:
+        """Number of wildcard components in this pattern shape."""
+        return self.value.count("?")
+
+    @property
+    def bound_roles(self) -> Tuple[int, ...]:
+        """Indices (0=S, 1=P, 2=O) of the specified components."""
+        return tuple(i for i, c in enumerate(self.value) if c != "?")
+
+    @classmethod
+    def all_kinds(cls) -> Tuple["PatternKind", ...]:
+        """All eight kinds, in the order the paper's tables list them."""
+        return (cls.SPO, cls.SP, cls.S, cls.ALL_WILDCARDS, cls.SO, cls.PO, cls.O, cls.P)
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple selection pattern; ``None`` marks a wildcard component."""
+
+    subject: Optional[int] = None
+    predicate: Optional[int] = None
+    object: Optional[int] = None
+
+    def __post_init__(self):
+        for name, value in (("subject", self.subject), ("predicate", self.predicate),
+                            ("object", self.object)):
+            if value is not None and (not isinstance(value, (int,)) or value < 0):
+                raise PatternError(f"{name} must be None or a non-negative int, got {value!r}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_tuple(cls, pattern: Union["TriplePattern", Sequence[Optional[int]]]
+                   ) -> "TriplePattern":
+        """Accept either a :class:`TriplePattern` or an ``(s, p, o)`` tuple."""
+        if isinstance(pattern, TriplePattern):
+            return pattern
+        items = tuple(pattern)
+        if len(items) != 3:
+            raise PatternError(f"pattern must have 3 components, got {len(items)}")
+        return cls(*(int(x) if x is not None else None for x in items))
+
+    @classmethod
+    def from_triple_with_wildcards(cls, triple: Tuple[int, int, int],
+                                   kind: PatternKind) -> "TriplePattern":
+        """Mask a concrete triple into the shape ``kind``.
+
+        This is how the paper builds its query workloads: draw real triples
+        and replace components with wildcards.
+        """
+        components = [
+            triple[i] if c != "?" else None
+            for i, c in enumerate(kind.value)
+        ]
+        return cls(*components)
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+
+    def as_tuple(self) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+        """Return the ``(s, p, o)`` tuple with ``None`` wildcards."""
+        return (self.subject, self.predicate, self.object)
+
+    def component(self, role: int) -> Optional[int]:
+        """Component at ``role`` (0=S, 1=P, 2=O)."""
+        return self.as_tuple()[role]
+
+    @property
+    def kind(self) -> PatternKind:
+        """The shape of this pattern."""
+        key = "".join(
+            c if value is not None else "?"
+            for c, value in zip("spo", self.as_tuple())
+        )
+        return PatternKind(key)
+
+    @property
+    def num_wildcards(self) -> int:
+        """Number of wildcard components."""
+        return sum(1 for v in self.as_tuple() if v is None)
+
+    def matches(self, triple: Tuple[int, int, int]) -> bool:
+        """Whether a concrete triple satisfies the pattern."""
+        return all(value is None or value == triple[i]
+                   for i, value in enumerate(self.as_tuple()))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join("?" if v is None else str(v) for v in self.as_tuple()) + ")"
+
+
+def reference_select(triples: Iterable[Tuple[int, int, int]],
+                     pattern: Union[TriplePattern, Sequence[Optional[int]]]
+                     ) -> list:
+    """Naive reference implementation of pattern matching (used by tests).
+
+    Scans the whole collection; returned triples are sorted.
+    """
+    pattern = TriplePattern.from_tuple(pattern)
+    return sorted(t for t in triples if pattern.matches(tuple(t)))

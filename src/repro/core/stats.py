@@ -1,0 +1,114 @@
+"""Dataset and index statistics used throughout the paper's analysis.
+
+* Table 2 — children-per-node statistics of the trie levels;
+* Table 3 — dataset statistics (triples, distinct components, distinct pairs);
+* Table 1 (parenthesised values) — per-level space breakdowns as percentages
+  of the whole index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.permutations import PERMUTATIONS
+from repro.rdf.triples import TripleStore
+
+
+@dataclass(frozen=True)
+class ChildrenStatistics:
+    """Average and maximum fan-out of one trie level (one row of Table 2)."""
+
+    trie: str
+    level: int
+    average: float
+    maximum: int
+
+
+def dataset_statistics(store: TripleStore) -> Dict[str, int]:
+    """Table 3 statistics for a dataset."""
+    return store.statistics()
+
+
+def children_statistics_from_store(store: TripleStore) -> List[ChildrenStatistics]:
+    """Table 2 statistics computed directly from the triples (no index needed).
+
+    For each of the SPO / POS / OSP permutations, level 1 counts how many
+    distinct (first, second) pairs each first-component value has, and level 2
+    how many triples each (first, second) pair has.
+    """
+    results: List[ChildrenStatistics] = []
+    for name in ("spo", "pos", "osp"):
+        order = PERMUTATIONS[name].order
+        first = store.column(order[0])
+        second = store.column(order[1])
+        pairs = np.unique(np.stack([first, second], axis=1), axis=0)
+        _, level1_counts = np.unique(pairs[:, 0], return_counts=True)
+        stacked = np.stack([first, second], axis=1)
+        _, level2_counts = np.unique(stacked, axis=0, return_counts=True)
+        results.append(ChildrenStatistics(
+            name, 1, float(level1_counts.mean()), int(level1_counts.max())))
+        results.append(ChildrenStatistics(
+            name, 2, float(level2_counts.mean()), int(level2_counts.max())))
+    return results
+
+
+def children_statistics_table(store: TripleStore) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Table 2 as a nested dict: trie -> level -> {average, maximum}."""
+    table: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for row in children_statistics_from_store(store):
+        table.setdefault(row.trie, {})[row.level] = {
+            "average": row.average, "maximum": row.maximum,
+        }
+    return table
+
+
+def space_breakdown_percentages(index: PermutedTrieIndex) -> Dict[str, float]:
+    """Per-component space as a percentage of the whole index (Table 1 numbers)."""
+    breakdown = index.space_breakdown()
+    total = sum(breakdown.values())
+    if total == 0:
+        return {key: 0.0 for key in breakdown}
+    return {key: 100.0 * bits / total for key, bits in breakdown.items()}
+
+
+def bits_per_triple_breakdown(index: PermutedTrieIndex) -> Dict[str, float]:
+    """Per-component space in bits/triple."""
+    breakdown = index.space_breakdown()
+    n = index.num_triples
+    if n == 0:
+        return {key: 0.0 for key in breakdown}
+    return {key: bits / n for key, bits in breakdown.items()}
+
+
+def subject_out_degree_distribution(store: TripleStore) -> Dict[int, int]:
+    """How many subjects have exactly C predicate children (Fig. 7 background).
+
+    The "number of children" of a subject is the number of *distinct
+    predicates* it appears with, i.e. its fan-out in the first level of SPO.
+    """
+    subjects = store.column(0)
+    predicates = store.column(1)
+    pairs = np.unique(np.stack([subjects, predicates], axis=1), axis=0)
+    _, counts = np.unique(pairs[:, 0], return_counts=True)
+    values, frequencies = np.unique(counts, return_counts=True)
+    return {int(v): int(f) for v, f in zip(values, frequencies)}
+
+
+def object_frequency_ranking(store: TripleStore) -> List[Tuple[int, int]]:
+    """Objects ranked by decreasing number of triples (Fig. 6a query sweep)."""
+    objects = store.column(2)
+    values, counts = np.unique(objects, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    return [(int(values[i]), int(counts[i])) for i in order]
+
+
+def predicate_frequency_ranking(store: TripleStore) -> List[Tuple[int, int]]:
+    """Predicates ranked by decreasing number of triples (Fig. 6b query sweep)."""
+    predicates = store.column(1)
+    values, counts = np.unique(predicates, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    return [(int(values[i]), int(counts[i])) for i in order]

@@ -1,0 +1,343 @@
+"""The 3-level trie of the paper (Section 3.1) and its pattern matching
+algorithms.
+
+One :class:`PermutationTrie` stores all triples under a fixed permutation of
+the components.  Nodes of a level are concatenated into a single integer
+sequence; sibling groups are delimited by pointer sequences.  The first level
+is implicit (IDs are dense ``0 .. n-1``), so it contributes pointers only, and
+the last level has no pointers:
+
+``levels[0].pointers`` — where the children of first-level node ``i`` start;
+``levels[1].nodes``    — second components of the distinct (first, second) pairs;
+``levels[1].pointers`` — where the children of pair ``j`` start;
+``levels[2].nodes``    — third components of all triples.
+
+Three algorithms operate on this layout:
+
+* :meth:`PermutationTrie.select` — Fig. 2 of the paper, for patterns whose
+  bound components are a prefix of the permutation;
+* :meth:`PermutationTrie.enumerate_pairs` — Fig. 5, for the S?O pattern on the
+  SPO trie (first and third bound, second free);
+* full scans for the ``???`` pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexBuildError
+from repro.sequences.base import NOT_FOUND
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.factory import make_ranged_sequence
+from repro.sequences.prefix_sum import RangedSequence
+
+
+@dataclass(frozen=True)
+class TrieConfig:
+    """Codec selection for the levels of one trie.
+
+    The paper's preferred configuration (Section 3.1, "Performance") uses PEF
+    for all node sequences except the last level of SPO, which uses Compact,
+    and plain EF for all pointer sequences.  Pointer codecs other than EF are
+    not needed in practice, so only the node codecs are configurable here.
+    """
+
+    level1_nodes: str = "pef"
+    level2_nodes: str = "pef"
+    codec_options: Dict[str, dict] = field(default_factory=dict)
+
+    def options_for(self, codec: str) -> dict:
+        """Extra keyword arguments for ``codec`` (e.g. PEF partition size)."""
+        return self.codec_options.get(codec, {})
+
+
+class PermutationTrie:
+    """A 3-level trie over one permutation of the triples."""
+
+    __slots__ = ("permutation_name", "config", "_num_first", "_num_pairs",
+                 "_num_triples", "_pointers0", "_nodes1", "_pointers1", "_nodes2")
+
+    def __init__(self, permutation_name: str, config: TrieConfig, num_first: int,
+                 pointers0: EliasFano, nodes1: RangedSequence, pointers1: EliasFano,
+                 nodes2: RangedSequence, num_triples: int):
+        self.permutation_name = permutation_name
+        self.config = config
+        self._num_first = num_first
+        self._pointers0 = pointers0
+        self._nodes1 = nodes1
+        self._pointers1 = pointers1
+        self._nodes2 = nodes2
+        self._num_pairs = len(nodes1)
+        self._num_triples = num_triples
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_sorted_columns(cls, first: np.ndarray, second: np.ndarray, third: np.ndarray,
+                            permutation_name: str = "spo",
+                            config: Optional[TrieConfig] = None,
+                            num_first: Optional[int] = None,
+                            third_override: Optional[np.ndarray] = None
+                            ) -> "PermutationTrie":
+        """Build from columns already sorted lexicographically by (first, second, third).
+
+        ``third_override`` replaces the stored third-level values (used by the
+        cross-compression transform) while grouping is still derived from the
+        original columns.
+        """
+        config = config or TrieConfig()
+        n = int(first.size)
+        if not (first.size == second.size == third.size):
+            raise IndexBuildError("trie columns must have equal length")
+        if n == 0:
+            raise IndexBuildError("cannot build a trie over zero triples")
+
+        if num_first is None:
+            num_first = int(first.max()) + 1
+
+        # Level 0 pointers: for each first-level ID, where its (first, second)
+        # pairs start in the level-1 node sequence.  First find the distinct
+        # (first, second) pairs.
+        pair_change = np.empty(n, dtype=bool)
+        pair_change[0] = True
+        pair_change[1:] = (first[1:] != first[:-1]) | (second[1:] != second[:-1])
+        pair_starts = np.nonzero(pair_change)[0]
+        pair_first = first[pair_starts]
+        pair_second = second[pair_starts]
+        num_pairs = int(pair_starts.size)
+
+        pointers0_values = np.searchsorted(pair_first, np.arange(num_first + 1))
+        pointers1_values = np.append(pair_starts, n)
+
+        stored_third = third if third_override is None else third_override
+        if stored_third.size != n:
+            raise IndexBuildError("third_override must have one value per triple")
+
+        pointers0 = EliasFano.from_values(pointers0_values.tolist())
+        pointers1 = EliasFano.from_values(pointers1_values.tolist())
+        nodes1 = make_ranged_sequence(
+            pair_second.tolist(), pointers0_values.tolist(), config.level1_nodes,
+            **config.options_for(config.level1_nodes))
+        nodes2 = make_ranged_sequence(
+            stored_third.tolist(), pointers1_values.tolist(), config.level2_nodes,
+            **config.options_for(config.level2_nodes))
+        return cls(permutation_name, config, num_first, pointers0, nodes1,
+                   pointers1, nodes2, n)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_first(self) -> int:
+        """Number of first-level (implicit) nodes."""
+        return self._num_first
+
+    @property
+    def nodes_level1(self) -> RangedSequence:
+        """The encoded second-level node sequence (read-only)."""
+        return self._nodes1
+
+    @property
+    def nodes_level2(self) -> RangedSequence:
+        """The encoded third-level node sequence (read-only)."""
+        return self._nodes2
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of second-level nodes (distinct first-second pairs)."""
+        return self._num_pairs
+
+    @property
+    def num_triples(self) -> int:
+        """Number of third-level nodes, i.e. triples."""
+        return self._num_triples
+
+    def children_range(self, first_id: int) -> Tuple[int, int]:
+        """Range ``[begin, end)`` of first_id's children in the level-1 sequence."""
+        if not 0 <= first_id < self._num_first:
+            return (0, 0)
+        return (self._pointers0.access(first_id), self._pointers0.access(first_id + 1))
+
+    def pair_children_range(self, pair_position: int) -> Tuple[int, int]:
+        """Range ``[begin, end)`` of a level-1 node's children in the level-2 sequence."""
+        return (self._pointers1.access(pair_position),
+                self._pointers1.access(pair_position + 1))
+
+    def second_at(self, begin: int, end: int, position: int) -> int:
+        """Level-1 node value at ``position`` within sibling range ``[begin, end)``."""
+        return self._nodes1.access_in_range(begin, end, position)
+
+    def third_at(self, begin: int, end: int, position: int) -> int:
+        """Level-2 node value at ``position`` within sibling range ``[begin, end)``."""
+        return self._nodes2.access_in_range(begin, end, position)
+
+    def scan_third(self, begin: int, end: int) -> Iterator[int]:
+        """Decode the level-2 sibling range ``[begin, end)``."""
+        return self._nodes2.scan_range(begin, end)
+
+    def find_third(self, begin: int, end: int, value: int) -> int:
+        """Absolute position of ``value`` in the level-2 sibling range, or -1."""
+        if begin == end:
+            return NOT_FOUND
+        return self._nodes2.find_in_range(begin, end, value)
+
+    # ------------------------------------------------------------------ #
+    # select — Fig. 2 of the paper.
+    # ------------------------------------------------------------------ #
+
+    def select(self, first: Optional[int], second: Optional[int], third: Optional[int]
+               ) -> Iterator[Tuple[int, int, int]]:
+        """Match a pattern whose bound components form a prefix, plus full lookups.
+
+        Supported shapes (in permuted component order): ``(x, y, z)``,
+        ``(x, y, ?)``, ``(x, ?, ?)`` and ``(?, ?, ?)``.  Patterns binding the
+        first and third component only belong to :meth:`enumerate_pairs`.
+        """
+        if first is None:
+            if second is not None or third is not None:
+                raise IndexBuildError(
+                    f"trie {self.permutation_name} cannot select pattern "
+                    f"({first}, {second}, {third})")
+            yield from self.scan_all()
+            return
+        if first >= self._num_first:
+            return
+        begin, end = self.children_range(first)
+        if begin == end:
+            return
+        if second is not None:
+            position = self._nodes1.find_in_range(begin, end, second)
+            if position == NOT_FOUND:
+                return
+            yield from self._emit_pairs(first, position, position + 1, third)
+        else:
+            yield from self._emit_pairs(first, begin, end, third)
+
+    def _emit_pairs(self, first: int, pair_begin: int, pair_end: int,
+                    third: Optional[int]) -> Iterator[Tuple[int, int, int]]:
+        """Emit matches for the level-1 nodes in ``[pair_begin, pair_end)``."""
+        level1_begin, level1_end = self.children_range(first)
+        for pair_position in range(pair_begin, pair_end):
+            second_value = self._nodes1.access_in_range(level1_begin, level1_end,
+                                                        pair_position)
+            child_begin, child_end = self.pair_children_range(pair_position)
+            if third is not None:
+                position = self._nodes2.find_in_range(child_begin, child_end, third)
+                if position != NOT_FOUND:
+                    yield (first, second_value, third)
+            else:
+                for third_value in self._nodes2.scan_range(child_begin, child_end):
+                    yield (first, second_value, third_value)
+
+    def scan_all(self) -> Iterator[Tuple[int, int, int]]:
+        """Full scan (the ``???`` pattern), in lexicographic permuted order."""
+        for first in range(self._num_first):
+            begin, end = self.children_range(first)
+            for pair_position in range(begin, end):
+                second_value = self._nodes1.access_in_range(begin, end, pair_position)
+                child_begin, child_end = self.pair_children_range(pair_position)
+                for third_value in self._nodes2.scan_range(child_begin, child_end):
+                    yield (first, second_value, third_value)
+
+    # ------------------------------------------------------------------ #
+    # enumerate — Fig. 5 of the paper (first and third bound, second free).
+    # ------------------------------------------------------------------ #
+
+    def enumerate_pairs(self, first: int, third: int) -> Iterator[Tuple[int, int, int]]:
+        """For every child ``second`` of ``first``, check whether ``third`` is a
+        child of (first, second) and emit the matching triples."""
+        if not 0 <= first < self._num_first:
+            return
+        begin, end = self.children_range(first)
+        for pair_position in range(begin, end):
+            child_begin, child_end = self.pair_children_range(pair_position)
+            position = self._nodes2.find_in_range(child_begin, child_end, third)
+            if position != NOT_FOUND:
+                second_value = self._nodes1.access_in_range(begin, end, pair_position)
+                yield (first, second_value, third)
+
+    # ------------------------------------------------------------------ #
+    # Helpers for the inverted algorithm and cross compression.
+    # ------------------------------------------------------------------ #
+
+    def find_child(self, first: int, second: int) -> int:
+        """Absolute level-1 position of ``second`` among the children of ``first``
+        or -1."""
+        begin, end = self.children_range(first)
+        if begin == end:
+            return NOT_FOUND
+        return self._nodes1.find_in_range(begin, end, second)
+
+    def child_rank(self, first: int, second: int) -> int:
+        """Rank of ``second`` among the children of ``first`` (the paper's map)."""
+        position = self.find_child(first, second)
+        if position == NOT_FOUND:
+            return NOT_FOUND
+        begin, _ = self.children_range(first)
+        return position - begin
+
+    def child_by_rank(self, first: int, rank: int) -> int:
+        """The ``rank``-th child of ``first`` (the paper's unmap)."""
+        begin, end = self.children_range(first)
+        if not 0 <= rank < end - begin:
+            raise IndexError(f"node {first} has no child of rank {rank}")
+        return self._nodes1.access_in_range(begin, end, begin + rank)
+
+    def children_of(self, first: int) -> Iterator[int]:
+        """Yield the level-1 children values of ``first``."""
+        begin, end = self.children_range(first)
+        return self._nodes1.scan_range(begin, end)
+
+    def num_children(self, first: int) -> int:
+        """Number of level-1 children of ``first``."""
+        begin, end = self.children_range(first)
+        return end - begin
+
+    def pair_positions_of(self, first: int) -> range:
+        """Absolute level-1 positions of the children of ``first``."""
+        begin, end = self.children_range(first)
+        return range(begin, end)
+
+    # ------------------------------------------------------------------ #
+    # Space accounting and statistics.
+    # ------------------------------------------------------------------ #
+
+    def size_in_bits(self) -> int:
+        """Total space of the trie in bits."""
+        return sum(self.space_breakdown().values())
+
+    def space_breakdown(self) -> Dict[str, int]:
+        """Bits per component, matching the paper's Table 1 space breakdowns."""
+        return {
+            "pointers0": self._pointers0.size_in_bits(),
+            "nodes1": self._nodes1.size_in_bits(),
+            "pointers1": self._pointers1.size_in_bits(),
+            "nodes2": self._nodes2.size_in_bits(),
+        }
+
+    def children_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Average / maximum number of children per node for levels 1 and 2.
+
+        This is the Table 2 statistic that drives the cross-compression and
+        enumerate-algorithm arguments of the paper.
+        """
+        level1_counts = [self.num_children(first) for first in range(self._num_first)]
+        level2_counts = [
+            self.pair_children_range(j)[1] - self.pair_children_range(j)[0]
+            for j in range(self._num_pairs)
+        ]
+        def _summary(counts: List[int]) -> Dict[str, float]:
+            if not counts:
+                return {"average": 0.0, "maximum": 0}
+            return {"average": float(np.mean(counts)), "maximum": int(np.max(counts))}
+        return {"level1": _summary(level1_counts), "level2": _summary(level2_counts)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PermutationTrie({self.permutation_name}, first={self._num_first}, "
+                f"pairs={self._num_pairs}, triples={self._num_triples})")

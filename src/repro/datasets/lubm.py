@@ -1,0 +1,211 @@
+"""LUBM-like synthetic dataset (Lehigh University Benchmark).
+
+The original benchmark generates universities, departments, faculty, students,
+courses and publications connected by 17 predicates.  This generator keeps the
+same schema shape and degree characteristics (every student takes a handful of
+courses, every faculty member teaches a couple, advisors are faculty of the
+same department, ...), scaled by the number of universities, and produces
+integer-ID triples directly.
+
+Entity IDs are allocated densely in a single resource space shared by the
+subject and object roles, so that SPARQL variables joining the two roles refer
+to the same entity; class-object IDs equal the :data:`LUBM_CLASSES` constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.rdf.triples import TripleStore
+
+#: The LUBM predicate vocabulary (17 predicates), with stable IDs.
+LUBM_PREDICATES: Dict[str, int] = {
+    "type": 0,
+    "name": 1,
+    "memberOf": 2,
+    "subOrganizationOf": 3,
+    "undergraduateDegreeFrom": 4,
+    "mastersDegreeFrom": 5,
+    "doctoralDegreeFrom": 6,
+    "worksFor": 7,
+    "teacherOf": 8,
+    "takesCourse": 9,
+    "advisor": 10,
+    "publicationAuthor": 11,
+    "headOf": 12,
+    "researchInterest": 13,
+    "emailAddress": 14,
+    "telephone": 15,
+    "teachingAssistantOf": 16,
+}
+
+#: Class identifiers used as the objects of ``type`` statements.
+LUBM_CLASSES: Dict[str, int] = {
+    "University": 0,
+    "Department": 1,
+    "FullProfessor": 2,
+    "AssociateProfessor": 3,
+    "AssistantProfessor": 4,
+    "Lecturer": 5,
+    "UndergraduateStudent": 6,
+    "GraduateStudent": 7,
+    "Course": 8,
+    "GraduateCourse": 9,
+    "ResearchGroup": 10,
+    "Publication": 11,
+}
+
+
+@dataclass
+class _IdAllocator:
+    """Dense ID allocation for a role (subjects or objects)."""
+
+    next_id: int = 0
+    mapping: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def allocate(self, kind: str, local_id: int) -> int:
+        """Return the dense ID for entity (kind, local_id), allocating if new."""
+        key = (kind, local_id)
+        existing = self.mapping.get(key)
+        if existing is not None:
+            return existing
+        assigned = self.next_id
+        self.mapping[key] = assigned
+        self.next_id += 1
+        return assigned
+
+
+class LubmGenerator:
+    """Generates a LUBM-shaped dataset for a given number of universities."""
+
+    def __init__(self, num_universities: int = 4, seed: int = 0,
+                 departments_per_university: int = 8,
+                 students_per_department: int = 60,
+                 faculty_per_department: int = 12,
+                 courses_per_department: int = 18):
+        if num_universities <= 0:
+            raise DatasetError("num_universities must be positive")
+        self.num_universities = num_universities
+        self.seed = seed
+        self.departments_per_university = departments_per_university
+        self.students_per_department = students_per_department
+        self.faculty_per_department = faculty_per_department
+        self.courses_per_department = courses_per_department
+
+    # ------------------------------------------------------------------ #
+    # Generation.
+    # ------------------------------------------------------------------ #
+
+    def generate(self) -> TripleStore:
+        """Generate the triple store."""
+        rng = np.random.default_rng(self.seed)
+        # Subjects and objects share one resource ID space so that variables
+        # joining an object position to a subject position refer to the same
+        # entity (class IDs are allocated first and match LUBM_CLASSES).
+        resources = _IdAllocator()
+        triples: List[Tuple[int, int, int]] = []
+        entity_counter = 0
+
+        def new_entity() -> int:
+            nonlocal entity_counter
+            entity_counter += 1
+            return entity_counter
+
+        def add(subject_key: Tuple[str, int], predicate: str, object_key: Tuple[str, int]):
+            triples.append((
+                resources.allocate(*subject_key),
+                LUBM_PREDICATES[predicate],
+                resources.allocate(*object_key),
+            ))
+
+        # Class objects are allocated first so that ``type`` objects are the
+        # most associative ones, mirroring the real LUBM skew, and so that
+        # their IDs equal the LUBM_CLASSES constants used by the query log.
+        for class_name, class_id in LUBM_CLASSES.items():
+            resources.allocate("class", class_id)
+
+        for university in range(self.num_universities):
+            uni = ("university", university)
+            add(uni, "type", ("class", LUBM_CLASSES["University"]))
+            add(uni, "name", ("literal", new_entity()))
+            for _ in range(self.departments_per_university):
+                dept_id = new_entity()
+                dept = ("department", dept_id)
+                add(dept, "type", ("class", LUBM_CLASSES["Department"]))
+                add(dept, "subOrganizationOf", ("university", university))
+                add(dept, "name", ("literal", new_entity()))
+
+                # Courses of the department.
+                course_ids = [new_entity() for _ in range(self.courses_per_department)]
+                for i, course_id in enumerate(course_ids):
+                    course = ("course", course_id)
+                    class_name = "GraduateCourse" if i % 3 == 0 else "Course"
+                    add(course, "type", ("class", LUBM_CLASSES[class_name]))
+                    add(course, "name", ("literal", new_entity()))
+
+                # Faculty.
+                faculty_ids = [new_entity() for _ in range(self.faculty_per_department)]
+                for i, faculty_id in enumerate(faculty_ids):
+                    faculty = ("faculty", faculty_id)
+                    rank = ("FullProfessor", "AssociateProfessor",
+                            "AssistantProfessor", "Lecturer")[i % 4]
+                    add(faculty, "type", ("class", LUBM_CLASSES[rank]))
+                    add(faculty, "name", ("literal", new_entity()))
+                    add(faculty, "emailAddress", ("literal", new_entity()))
+                    add(faculty, "telephone", ("literal", new_entity()))
+                    add(faculty, "worksFor", ("department", dept_id))
+                    add(faculty, "undergraduateDegreeFrom",
+                        ("university", int(rng.integers(0, self.num_universities))))
+                    add(faculty, "mastersDegreeFrom",
+                        ("university", int(rng.integers(0, self.num_universities))))
+                    add(faculty, "doctoralDegreeFrom",
+                        ("university", int(rng.integers(0, self.num_universities))))
+                    add(faculty, "researchInterest", ("literal", new_entity()))
+                    taught = rng.choice(len(course_ids),
+                                        size=min(2, len(course_ids)), replace=False)
+                    for course_index in taught:
+                        add(faculty, "teacherOf", ("course", course_ids[int(course_index)]))
+                    # A couple of publications per faculty member.
+                    for _ in range(int(rng.integers(1, 4))):
+                        publication_id = new_entity()
+                        publication = ("publication", publication_id)
+                        add(publication, "type", ("class", LUBM_CLASSES["Publication"]))
+                        add(publication, "publicationAuthor", ("faculty", faculty_id))
+                add(("faculty", faculty_ids[0]), "headOf", ("department", dept_id))
+
+                # Students.
+                for _ in range(self.students_per_department):
+                    student_id = new_entity()
+                    graduate = bool(rng.random() < 0.25)
+                    student = ("student", student_id)
+                    class_name = "GraduateStudent" if graduate else "UndergraduateStudent"
+                    add(student, "type", ("class", LUBM_CLASSES[class_name]))
+                    add(student, "name", ("literal", new_entity()))
+                    add(student, "memberOf", ("department", dept_id))
+                    num_courses = int(rng.integers(2, 5))
+                    chosen = rng.choice(len(course_ids), size=min(num_courses, len(course_ids)),
+                                        replace=False)
+                    for course_index in chosen:
+                        add(student, "takesCourse", ("course", course_ids[int(course_index)]))
+                    if graduate:
+                        advisor_index = int(rng.integers(0, len(faculty_ids)))
+                        add(student, "advisor", ("faculty", faculty_ids[advisor_index]))
+                        add(student, "undergraduateDegreeFrom",
+                            ("university", int(rng.integers(0, self.num_universities))))
+                        assisted = int(rng.integers(0, len(course_ids)))
+                        add(student, "teachingAssistantOf",
+                            ("course", course_ids[assisted]))
+
+        # The store is *not* densified: subject and object IDs are allocated
+        # densely during generation, and predicate/class IDs must stay equal to
+        # the vocabulary constants so that the bundled query log resolves.
+        return TripleStore.from_triples(triples)
+
+
+def generate_lubm(num_universities: int = 4, seed: int = 0) -> TripleStore:
+    """Convenience wrapper around :class:`LubmGenerator`."""
+    return LubmGenerator(num_universities=num_universities, seed=seed).generate()

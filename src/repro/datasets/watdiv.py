@@ -1,0 +1,203 @@
+"""WatDiv-like synthetic dataset (Waterloo SPARQL Diversity Test Suite).
+
+WatDiv models an e-commerce domain — users, products, reviews, retailers,
+genres — with a mix of well-structured entities (every product has a price)
+and loosely structured ones, which is what makes its query templates stress
+indexes in diverse ways.  This generator keeps that shape at reduced scale and
+additionally assigns numeric literals (price, rating, age) IDs *in value
+order* at the tail of the object ID space, exactly the ID-assignment scheme
+the paper's Section 3.1 requires for range queries; the sorted values are
+returned as a :class:`repro.rdf.dictionary.NumericIndex` (the ``R``
+structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.rdf.dictionary import NumericIndex
+from repro.rdf.triples import TripleStore
+
+#: The WatDiv-like predicate vocabulary, with stable IDs.
+WATDIV_PREDICATES: Dict[str, int] = {
+    "type": 0,
+    "friendOf": 1,
+    "follows": 2,
+    "likes": 3,
+    "makesPurchase": 4,
+    "purchaseFor": 5,
+    "reviews": 6,
+    "reviewOf": 7,
+    "rating": 8,          # numeric
+    "price": 9,           # numeric
+    "age": 10,            # numeric
+    "hasGenre": 11,
+    "retailerOf": 12,
+    "caption": 13,
+    "title": 14,
+    "homepage": 15,
+}
+
+#: Predicates whose objects are numeric literals.
+WATDIV_NUMERIC_PREDICATES: Tuple[str, ...] = ("rating", "price", "age")
+
+#: Class identifiers used as the objects of ``type`` statements.
+WATDIV_CLASSES: Dict[str, int] = {
+    "User": 0,
+    "Product": 1,
+    "Review": 2,
+    "Retailer": 3,
+    "Purchase": 4,
+    "Genre": 5,
+}
+
+
+@dataclass
+class WatDivDataset:
+    """A generated WatDiv-like dataset plus its range-query support data."""
+
+    store: TripleStore
+    numeric_index: NumericIndex
+    numeric_id_offset: int
+    numeric_values_by_id: Dict[int, float]
+
+    @property
+    def num_triples(self) -> int:
+        """Number of triples in the dataset."""
+        return len(self.store)
+
+
+class WatDivGenerator:
+    """Generates a WatDiv-shaped dataset for a given scale factor."""
+
+    def __init__(self, scale: int = 100, seed: int = 0):
+        if scale <= 0:
+            raise DatasetError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+
+    def generate(self) -> WatDivDataset:
+        """Generate the dataset.
+
+        ``scale`` roughly corresponds to the number of users; products,
+        reviews and purchases scale proportionally, as in the original suite.
+        """
+        rng = np.random.default_rng(self.seed)
+        num_users = self.scale
+        num_products = max(4, self.scale // 2)
+        num_retailers = max(2, self.scale // 25)
+        num_genres = max(2, min(24, self.scale // 10))
+
+        triples: List[Tuple[int, int, int]] = []
+        numeric_statements: List[Tuple[int, int, float]] = []  # (subject, predicate, value)
+
+        # --- Resource ID allocation -------------------------------------- #
+        # Subjects and objects share one resource ID space (class IDs first,
+        # then entities and plain literals in order of first use), so that a
+        # variable joining an object position to a subject position refers to
+        # the same entity.  Numeric literals are appended afterwards in value
+        # order so their IDs respect the value order.
+        next_resource_id = len(WATDIV_CLASSES)
+        resource_of_entity: Dict[Tuple[str, int], int] = {}
+
+        def entity(kind: str, local_id: int) -> int:
+            nonlocal next_resource_id
+            key = (kind, local_id)
+            existing = resource_of_entity.get(key)
+            if existing is not None:
+                return existing
+            resource_of_entity[key] = next_resource_id
+            next_resource_id += 1
+            return next_resource_id - 1
+
+        def literal_object() -> int:
+            nonlocal next_resource_id
+            next_resource_id += 1
+            return next_resource_id - 1
+
+        # Aliases keeping the generation code below readable.
+        entity_subject = entity
+        entity_object = entity
+
+        P = WATDIV_PREDICATES
+        C = WATDIV_CLASSES
+
+        # Users.
+        for user in range(num_users):
+            s = entity_subject("user", user)
+            triples.append((s, P["type"], C["User"]))
+            numeric_statements.append((s, P["age"], float(int(rng.integers(18, 80)))))
+            num_friends = int(rng.integers(0, 6))
+            for friend in rng.integers(0, num_users, size=num_friends):
+                triples.append((s, P["friendOf"], entity_object("user", int(friend))))
+            num_follows = int(rng.integers(0, 4))
+            for followed in rng.integers(0, num_users, size=num_follows):
+                triples.append((s, P["follows"], entity_object("user", int(followed))))
+            num_likes = int(rng.integers(0, 5))
+            for product in rng.integers(0, num_products, size=num_likes):
+                triples.append((s, P["likes"], entity_object("product", int(product))))
+
+        # Products.
+        for product in range(num_products):
+            s = entity_subject("product", product)
+            triples.append((s, P["type"], C["Product"]))
+            triples.append((s, P["title"], literal_object()))
+            triples.append((s, P["hasGenre"],
+                            entity_object("genre", int(rng.integers(0, num_genres)))))
+            numeric_statements.append((s, P["price"],
+                                       round(float(rng.uniform(1.0, 500.0)), 2)))
+
+        # Retailers.
+        for retailer in range(num_retailers):
+            s = entity_subject("retailer", retailer)
+            triples.append((s, P["type"], C["Retailer"]))
+            triples.append((s, P["homepage"], literal_object()))
+            carried = rng.choice(num_products, size=min(num_products, 10), replace=False)
+            for product in carried:
+                triples.append((s, P["retailerOf"], entity_object("product", int(product))))
+
+        # Reviews and purchases.
+        num_reviews = num_users * 2
+        for review in range(num_reviews):
+            s = entity_subject("review", review)
+            product = int(rng.integers(0, num_products))
+            author = int(rng.integers(0, num_users))
+            triples.append((s, P["type"], C["Review"]))
+            triples.append((s, P["reviewOf"], entity_object("product", product)))
+            triples.append((s, P["caption"], literal_object()))
+            numeric_statements.append((s, P["rating"], float(int(rng.integers(1, 11)))))
+            triples.append((entity_subject("user", author), P["reviews"],
+                            entity_object("review", review)))
+
+        num_purchases = num_users * 3
+        for purchase in range(num_purchases):
+            s = entity_subject("purchase", purchase)
+            buyer = int(rng.integers(0, num_users))
+            product = int(rng.integers(0, num_products))
+            triples.append((s, P["type"], C["Purchase"]))
+            triples.append((s, P["purchaseFor"], entity_object("product", product)))
+            triples.append((entity_subject("user", buyer), P["makesPurchase"],
+                            entity_object("purchase", purchase)))
+
+        # --- Numeric literal objects: IDs in value order at the tail. --- #
+        numeric_values = sorted({value for _, _, value in numeric_statements})
+        numeric_id_offset = next_resource_id
+        id_of_value = {value: numeric_id_offset + i for i, value in enumerate(numeric_values)}
+        for subject, predicate, value in numeric_statements:
+            triples.append((subject, predicate, id_of_value[value]))
+
+        store = TripleStore.from_triples(triples)
+        numeric_index = NumericIndex(numeric_values, scale=2)
+        values_by_id = {identifier: value for value, identifier in id_of_value.items()}
+        return WatDivDataset(store=store, numeric_index=numeric_index,
+                             numeric_id_offset=numeric_id_offset,
+                             numeric_values_by_id=values_by_id)
+
+
+def generate_watdiv(scale: int = 100, seed: int = 0) -> WatDivDataset:
+    """Convenience wrapper around :class:`WatDivGenerator`."""
+    return WatDivGenerator(scale=scale, seed=seed).generate()

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the repro package.
+
+Keeping a single, small hierarchy lets callers catch ``ReproError`` to handle
+any library failure, or the narrower subclasses for programmatic handling.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class EncodingError(ReproError):
+    """A sequence could not be encoded with the requested codec.
+
+    Typical causes: a non-monotone input handed to a monotone-only codec
+    (Elias-Fano family), negative values, or values exceeding the declared
+    universe.
+    """
+
+
+class DecodingError(ReproError):
+    """A compressed payload is malformed or truncated."""
+
+
+class IndexBuildError(ReproError):
+    """The triple index could not be constructed from the given data."""
+
+
+class PatternError(ReproError):
+    """A triple selection pattern is malformed or unsupported by the index."""
+
+
+class DictionaryError(ReproError):
+    """String-dictionary lookups or construction failed."""
+
+
+class ParseError(ReproError):
+    """Raised for malformed N-Triples or SPARQL input."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset profile or generator is misconfigured."""

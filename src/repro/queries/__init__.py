@@ -1,0 +1,21 @@
+"""Query workloads, a minimal SPARQL BGP front-end and the query planner."""
+
+from repro.queries.workload import PatternWorkload, build_workloads, sample_patterns
+from repro.queries.sparql import BasicGraphPattern, SparqlQuery, TriplePatternTemplate, parse_sparql
+from repro.queries.planner import QueryPlanner, execute_bgp, decompose_into_patterns
+from repro.queries.logs import lubm_query_log, watdiv_query_log
+
+__all__ = [
+    "PatternWorkload",
+    "build_workloads",
+    "sample_patterns",
+    "BasicGraphPattern",
+    "SparqlQuery",
+    "TriplePatternTemplate",
+    "parse_sparql",
+    "QueryPlanner",
+    "execute_bgp",
+    "decompose_into_patterns",
+    "lubm_query_log",
+    "watdiv_query_log",
+]

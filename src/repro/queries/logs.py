@@ -1,0 +1,148 @@
+"""WatDiv- and LUBM-style SPARQL query logs.
+
+The paper's Table 6 executes the triple-selection-pattern sequences obtained
+from the public WatDiv and LUBM query logs.  Those logs reference entity URIs
+of the original billion-triple dumps, so this module ships *templates* with
+the same shapes (linear, star, snowflake and complex queries for WatDiv; the
+classic Q1–Q14 shapes for LUBM) expressed over the predicate and class
+vocabularies of the bundled generators.
+
+Every template uses ``{symbol}`` constants resolved against the generator
+vocabularies (:data:`repro.datasets.watdiv.WATDIV_PREDICATES` /
+:data:`repro.datasets.lubm.LUBM_PREDICATES` and the class tables), so the
+parsed queries run directly against generated datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.datasets.lubm import LUBM_CLASSES, LUBM_PREDICATES
+from repro.datasets.watdiv import WATDIV_CLASSES, WATDIV_PREDICATES
+from repro.queries.sparql import SparqlQuery, parse_sparql
+
+_WATDIV_TEMPLATES: Dict[str, str] = {
+    # Linear queries.
+    "L1": """SELECT ?u ?p ?g WHERE {
+        ?u {likes} ?p .
+        ?p {hasGenre} ?g .
+    }""",
+    "L2": """SELECT ?u ?pu ?pr WHERE {
+        ?u {makesPurchase} ?pu .
+        ?pu {purchaseFor} ?pr .
+    }""",
+    "L3": """SELECT ?r ?p ?g WHERE {
+        ?r {reviewOf} ?p .
+        ?p {hasGenre} ?g .
+    }""",
+    # Star queries.
+    "S1": """SELECT ?u ?a ?f ?p WHERE {
+        ?u {type} {User} .
+        ?u {age} ?a .
+        ?u {friendOf} ?f .
+        ?u {likes} ?p .
+    }""",
+    "S2": """SELECT ?p ?x ?g WHERE {
+        ?p {type} {Product} .
+        ?p {price} ?x .
+        ?p {hasGenre} ?g .
+    }""",
+    "S3": """SELECT ?r ?p ?x WHERE {
+        ?r {type} {Review} .
+        ?r {reviewOf} ?p .
+        ?r {rating} ?x .
+    }""",
+    # Snowflake queries.
+    "F1": """SELECT ?u ?r ?p ?g WHERE {
+        ?u {reviews} ?r .
+        ?r {reviewOf} ?p .
+        ?p {hasGenre} ?g .
+        ?p {price} ?c .
+    }""",
+    "F2": """SELECT ?rt ?p ?r WHERE {
+        ?rt {retailerOf} ?p .
+        ?r {reviewOf} ?p .
+        ?r {rating} ?x .
+    }""",
+    # Complex queries.
+    "C1": """SELECT ?u ?v ?p ?g WHERE {
+        ?u {friendOf} ?v .
+        ?v {likes} ?p .
+        ?p {hasGenre} ?g .
+    }""",
+    "C2": """SELECT ?u ?pu ?pr ?g WHERE {
+        ?u {makesPurchase} ?pu .
+        ?pu {purchaseFor} ?pr .
+        ?pr {hasGenre} ?g .
+        ?u {age} ?a .
+    }""",
+}
+
+_LUBM_TEMPLATES: Dict[str, str] = {
+    "Q1": """SELECT ?x ?c WHERE {
+        ?x {type} {GraduateStudent} .
+        ?x {takesCourse} ?c .
+    }""",
+    "Q2": """SELECT ?x ?y ?z WHERE {
+        ?x {type} {GraduateStudent} .
+        ?z {type} {Department} .
+        ?x {memberOf} ?z .
+        ?z {subOrganizationOf} ?y .
+        ?x {undergraduateDegreeFrom} ?y .
+    }""",
+    "Q4": """SELECT ?x ?n ?e ?t WHERE {
+        ?x {type} {FullProfessor} .
+        ?x {worksFor} ?d .
+        ?x {name} ?n .
+        ?x {emailAddress} ?e .
+        ?x {telephone} ?t .
+    }""",
+    "Q5": """SELECT ?x WHERE {
+        ?x {type} {UndergraduateStudent} .
+        ?x {memberOf} ?d .
+    }""",
+    "Q6": """SELECT ?x WHERE {
+        ?x {type} {UndergraduateStudent} .
+    }""",
+    "Q7": """SELECT ?x ?y WHERE {
+        ?y {type} {Course} .
+        ?x {takesCourse} ?y .
+        ?z {teacherOf} ?y .
+    }""",
+    "Q9": """SELECT ?x ?y ?z WHERE {
+        ?x {type} {GraduateStudent} .
+        ?y {type} {FullProfessor} .
+        ?x {advisor} ?y .
+        ?y {teacherOf} ?z .
+        ?x {takesCourse} ?z .
+    }""",
+    "Q14": """SELECT ?x WHERE {
+        ?x {type} {UndergraduateStudent} .
+    }""",
+}
+
+
+def _watdiv_symbols() -> Dict[str, int]:
+    symbols = dict(WATDIV_PREDICATES)
+    symbols.update(WATDIV_CLASSES)
+    return symbols
+
+
+def _lubm_symbols() -> Dict[str, int]:
+    symbols = dict(LUBM_PREDICATES)
+    symbols.update(LUBM_CLASSES)
+    return symbols
+
+
+def watdiv_query_log() -> List[SparqlQuery]:
+    """The WatDiv-style query log, parsed and ready to execute."""
+    symbols = _watdiv_symbols()
+    return [parse_sparql(text, symbols=symbols, name=name)
+            for name, text in _WATDIV_TEMPLATES.items()]
+
+
+def lubm_query_log() -> List[SparqlQuery]:
+    """The LUBM-style query log, parsed and ready to execute."""
+    symbols = _lubm_symbols()
+    return [parse_sparql(text, symbols=symbols, name=name)
+            for name, text in _LUBM_TEMPLATES.items()]

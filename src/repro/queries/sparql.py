@@ -1,0 +1,168 @@
+"""A minimal SPARQL basic-graph-pattern (BGP) front-end.
+
+The paper's Table 6 experiment executes the sequences of triple selection
+patterns obtained by decomposing the SPARQL queries of the WatDiv and LUBM
+logs.  This module provides just enough SPARQL to express those queries:
+``SELECT``/``WHERE`` with a conjunction of triple patterns whose terms are
+either variables (``?x``) or constants.
+
+Constants can be written three ways:
+
+* plain integers — interpreted directly as component IDs (the native currency
+  of the triple indexes);
+* ``<iri>`` or ``"literal"`` — resolved through an optional
+  :class:`repro.rdf.dictionary.RdfDictionary`;
+* ``{name}`` — resolved through an optional symbol table (used by the bundled
+  WatDiv / LUBM query templates to refer to predicate names).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.patterns import TriplePattern
+from repro.errors import ParseError
+
+Term = Union[int, str]  # int = constant ID, str starting with "?" = variable
+
+
+def is_variable(term: Term) -> bool:
+    """Whether a term is a SPARQL variable."""
+    return isinstance(term, str) and term.startswith("?")
+
+
+@dataclass(frozen=True)
+class TriplePatternTemplate:
+    """One BGP triple pattern whose terms are constants or variables."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def terms(self) -> Tuple[Term, Term, Term]:
+        """The three terms in (s, p, o) order."""
+        return (self.subject, self.predicate, self.object)
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables appearing in this template."""
+        return tuple(t for t in self.terms() if is_variable(t))
+
+    def num_bound(self) -> int:
+        """Number of constant terms."""
+        return sum(1 for t in self.terms() if not is_variable(t))
+
+    def bind(self, bindings: Dict[str, int]) -> "TriplePatternTemplate":
+        """Substitute every variable present in ``bindings``."""
+        return TriplePatternTemplate(*(
+            bindings.get(t, t) if is_variable(t) else t for t in self.terms()))
+
+    def to_selection_pattern(self) -> TriplePattern:
+        """Convert to a :class:`TriplePattern`; unbound variables become wildcards."""
+        return TriplePattern(*(
+            None if is_variable(t) else int(t) for t in self.terms()))
+
+
+@dataclass
+class BasicGraphPattern:
+    """A conjunction of triple pattern templates."""
+
+    templates: List[TriplePatternTemplate] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __iter__(self) -> Iterator[TriplePatternTemplate]:
+        return iter(self.templates)
+
+    def variables(self) -> Tuple[str, ...]:
+        """All distinct variables in order of first appearance."""
+        seen: List[str] = []
+        for template in self.templates:
+            for variable in template.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+
+@dataclass
+class SparqlQuery:
+    """A parsed ``SELECT`` query: projected variables plus its BGP."""
+
+    projection: Tuple[str, ...]
+    bgp: BasicGraphPattern
+    name: str = ""
+
+    def variables(self) -> Tuple[str, ...]:
+        """All variables of the query's BGP."""
+        return self.bgp.variables()
+
+
+_TOKEN_RE = re.compile(
+    r"""\?[A-Za-z_][A-Za-z0-9_]*   # variable
+      | <[^>]*>                    # IRI
+      | "(?:[^"\\]|\\.)*"          # literal
+      | \{[A-Za-z_][A-Za-z0-9_]*\} # symbolic constant
+      | \d+                        # numeric ID
+      """,
+    re.VERBOSE,
+)
+
+
+def _resolve_term(token: str, role: int, dictionary=None,
+                  symbols: Optional[Dict[str, int]] = None) -> Term:
+    """Resolve one token into a variable name or a constant ID."""
+    if token.startswith("?"):
+        return token
+    if token.isdigit():
+        return int(token)
+    if token.startswith("{") and token.endswith("}"):
+        name = token[1:-1]
+        if not symbols or name not in symbols:
+            raise ParseError(f"unknown symbolic constant {name!r}")
+        return symbols[name]
+    if dictionary is None:
+        raise ParseError(
+            f"constant {token!r} needs a dictionary to be resolved to an ID")
+    role_dictionary = (dictionary.subjects, dictionary.predicates,
+                       dictionary.objects)[role]
+    return role_dictionary.id_of(token)
+
+
+def parse_sparql(text: str, dictionary=None,
+                 symbols: Optional[Dict[str, int]] = None,
+                 name: str = "") -> SparqlQuery:
+    """Parse a ``SELECT ... WHERE { ... }`` query into a :class:`SparqlQuery`."""
+    match = re.search(r"SELECT\s+(?P<projection>.+?)\s+WHERE\s*\{(?P<body>.*)\}",
+                      text, re.IGNORECASE | re.DOTALL)
+    if match is None:
+        raise ParseError("query must have the form SELECT ... WHERE { ... }")
+    projection_text = match.group("projection").strip()
+    if projection_text == "*":
+        projection: Tuple[str, ...] = ()
+    else:
+        projection = tuple(re.findall(r"\?[A-Za-z_][A-Za-z0-9_]*", projection_text))
+
+    templates: List[TriplePatternTemplate] = []
+    # One triple pattern per line, or separated by " . " on a single line
+    # (IRIs may contain dots, so a bare split on "." would corrupt them).
+    body = match.group("body").replace(" . ", "\n")
+    for statement in body.splitlines():
+        statement = statement.strip()
+        if statement.endswith("."):
+            statement = statement[:-1].strip()
+        if not statement:
+            continue
+        tokens = _TOKEN_RE.findall(statement)
+        if len(tokens) != 3:
+            raise ParseError(f"malformed triple pattern {statement!r}")
+        terms = [_resolve_term(token, role, dictionary, symbols)
+                 for role, token in enumerate(tokens)]
+        templates.append(TriplePatternTemplate(*terms))
+    if not templates:
+        raise ParseError("the WHERE clause contains no triple patterns")
+    bgp = BasicGraphPattern(templates)
+    if not projection:
+        projection = bgp.variables()
+    return SparqlQuery(projection=projection, bgp=bgp, name=name)

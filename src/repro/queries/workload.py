@@ -1,0 +1,69 @@
+"""Triple-pattern workload generation.
+
+The paper's measurement methodology (Section 4, "Experimental setting and
+methodology") draws 5 000 triples at random from the indexed dataset and masks
+0, 1 or 2 of their components with wildcards; timings are then reported per
+*returned* triple.  :func:`build_workloads` reproduces that methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.patterns import PatternKind, TriplePattern
+from repro.rdf.triples import TripleStore
+
+#: Number of sampled triples used by the paper.
+DEFAULT_WORKLOAD_SIZE = 5000
+
+
+@dataclass
+class PatternWorkload:
+    """A set of selection patterns of one kind, derived from sampled triples."""
+
+    kind: PatternKind
+    patterns: List[TriplePattern] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+
+def sample_patterns(store: TripleStore, kind: PatternKind,
+                    count: int = DEFAULT_WORKLOAD_SIZE, seed: int = 0
+                    ) -> PatternWorkload:
+    """Sample ``count`` triples and mask them into patterns of ``kind``."""
+    triples = store.sample(count, seed=seed)
+    patterns = [TriplePattern.from_triple_with_wildcards(t, kind) for t in triples]
+    return PatternWorkload(kind=kind, patterns=patterns)
+
+
+def build_workloads(store: TripleStore, count: int = DEFAULT_WORKLOAD_SIZE,
+                    seed: int = 0,
+                    kinds: Sequence[PatternKind] = PatternKind.all_kinds()
+                    ) -> Dict[PatternKind, PatternWorkload]:
+    """Build one workload per pattern kind from the same sampled triples."""
+    triples = store.sample(count, seed=seed)
+    workloads: Dict[PatternKind, PatternWorkload] = {}
+    for kind in kinds:
+        patterns = [TriplePattern.from_triple_with_wildcards(t, kind) for t in triples]
+        if kind is PatternKind.ALL_WILDCARDS:
+            # One full scan is enough: every pattern of this kind is identical.
+            patterns = patterns[:1]
+        workloads[kind] = PatternWorkload(kind=kind, patterns=patterns)
+    return workloads
+
+
+def deduplicate_workload(workload: PatternWorkload) -> PatternWorkload:
+    """Drop duplicate patterns (useful for the low-variety kinds like ?P?)."""
+    seen = set()
+    unique: List[TriplePattern] = []
+    for pattern in workload.patterns:
+        key = pattern.as_tuple()
+        if key not in seen:
+            seen.add(key)
+            unique.append(pattern)
+    return PatternWorkload(kind=workload.kind, patterns=unique)

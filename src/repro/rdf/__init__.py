@@ -1,0 +1,17 @@
+"""RDF data model: integer triples, string dictionaries, N-Triples I/O."""
+
+from repro.rdf.triples import Triple, TripleStore
+from repro.rdf.dictionary import Dictionary, RdfDictionary, NumericIndex
+from repro.rdf.ntriples import parse_ntriples, parse_ntriples_file, write_ntriples, Term
+
+__all__ = [
+    "Triple",
+    "TripleStore",
+    "Dictionary",
+    "RdfDictionary",
+    "NumericIndex",
+    "Term",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "write_ntriples",
+]

@@ -1,0 +1,148 @@
+"""Minimal N-Triples reader and writer.
+
+Only the subset of the W3C N-Triples grammar that RDF dumps actually use is
+supported: IRIs in angle brackets, blank nodes, and literals with optional
+language tag or datatype.  The parser is line oriented and tolerant of extra
+whitespace; malformed lines raise :class:`repro.errors.ParseError` with the
+offending line number.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+
+_IRI = r"<(?P<{name}>[^>]*)>"
+_BNODE = r"(?P<{name}_bnode>_:[A-Za-z0-9_.\-]+)"
+_LITERAL = (
+    r'"(?P<{name}_lit>(?:[^"\\]|\\.)*)"'
+    r"(?:@(?P<{name}_lang>[A-Za-z][A-Za-z0-9\-]*)|\^\^<(?P<{name}_dt>[^>]*)>)?"
+)
+
+
+def _term_pattern(name: str, allow_literal: bool) -> str:
+    alternatives = [_IRI.format(name=name), _BNODE.format(name=name)]
+    if allow_literal:
+        alternatives.append(_LITERAL.format(name=name))
+    return "(?:" + "|".join(alternatives) + ")"
+
+
+_LINE_RE = re.compile(
+    r"^\s*" + _term_pattern("s", allow_literal=False) +
+    r"\s+" + _term_pattern("p", allow_literal=False) +
+    r"\s+" + _term_pattern("o", allow_literal=True) +
+    r"\s*\.\s*(?:#.*)?$"
+)
+
+_ESCAPES = {
+    "\\n": "\n", "\\r": "\r", "\\t": "\t",
+    '\\"': '"', "\\\\": "\\",
+}
+
+
+@dataclass(frozen=True)
+class Term:
+    """A parsed RDF term.
+
+    ``kind`` is one of ``"iri"``, ``"bnode"`` or ``"literal"``; literals carry
+    an optional ``language`` or ``datatype``.
+    """
+
+    kind: str
+    value: str
+    language: Optional[str] = None
+    datatype: Optional[str] = None
+
+    def is_numeric(self) -> bool:
+        """Whether the term is a numeric literal (xsd integer/decimal/double)."""
+        if self.kind != "literal" or self.datatype is None:
+            return False
+        return self.datatype.rsplit("#", 1)[-1] in {
+            "integer", "int", "long", "decimal", "double", "float",
+            "nonNegativeInteger", "gYear",
+        }
+
+    def numeric_value(self) -> float:
+        """Numeric value of a numeric literal."""
+        if not self.is_numeric():
+            raise ParseError(f"term {self!r} is not a numeric literal")
+        return float(self.value)
+
+    def ntriples(self) -> str:
+        """Serialise back to N-Triples syntax."""
+        if self.kind == "iri":
+            return f"<{self.value}>"
+        if self.kind == "bnode":
+            return self.value if self.value.startswith("_:") else f"_:{self.value}"
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def key(self) -> str:
+        """Canonical string used as dictionary key."""
+        return self.ntriples()
+
+
+def _unescape(value: str) -> str:
+    for escaped, raw in _ESCAPES.items():
+        value = value.replace(escaped, raw)
+    return value
+
+
+def _term_from_match(match: re.Match, name: str) -> Term:
+    iri = match.group(name)
+    if iri is not None:
+        return Term("iri", iri)
+    bnode = match.group(f"{name}_bnode")
+    if bnode is not None:
+        return Term("bnode", bnode)
+    literal = match.group(f"{name}_lit")
+    return Term("literal", _unescape(literal),
+                language=match.group(f"{name}_lang"),
+                datatype=match.group(f"{name}_dt"))
+
+
+def parse_ntriples(lines: Iterable[str]) -> Iterator[Tuple[Term, Term, Term]]:
+    """Parse an iterable of N-Triples lines into ``(s, p, o)`` :class:`Term` tuples.
+
+    Blank lines and comment lines are skipped.
+    """
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ParseError(f"malformed N-Triples statement at line {line_number}: {line!r}")
+        yield (_term_from_match(match, "s"),
+               _term_from_match(match, "p"),
+               _term_from_match(match, "o"))
+
+
+def parse_ntriples_file(path: Union[str, Path]) -> Iterator[Tuple[Term, Term, Term]]:
+    """Stream-parse an N-Triples file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from parse_ntriples(handle)
+
+
+def write_ntriples(triples: Iterable[Tuple[Term, Term, Term]], path: Union[str, Path]) -> int:
+    """Write term triples to ``path`` in N-Triples syntax; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for s, p, o in triples:
+            handle.write(f"{s.ntriples()} {p.ntriples()} {o.ntriples()} .\n")
+            count += 1
+    return count
+
+
+def term_triples_to_keys(triples: Iterable[Tuple[Term, Term, Term]]
+                         ) -> List[Tuple[str, str, str]]:
+    """Convert term triples into canonical-string triples for dictionary building."""
+    return [(s.key(), p.key(), o.key()) for s, p, o in triples]

@@ -1,0 +1,242 @@
+"""Integer triple containers.
+
+The triple indexing problem of the paper operates on triples of integer IDs
+(the string dictionary is a separate concern).  :class:`TripleStore` is the
+columnar container every index builder consumes: three parallel numpy arrays
+of subject, predicate and object IDs, deduplicated and with per-role dense ID
+spaces (IDs in ``[0, num_distinct)`` for each role), which is what makes the
+first trie level implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IndexBuildError
+
+#: Component order of the canonical permutation.
+SUBJECT, PREDICATE, OBJECT = 0, 1, 2
+
+_ROLE_NAMES = ("subject", "predicate", "object")
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """A single (subject, predicate, object) statement as integer IDs."""
+
+    subject: int
+    predicate: int
+    object: int
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return the plain ``(s, p, o)`` tuple."""
+        return (self.subject, self.predicate, self.object)
+
+    def component(self, role: int) -> int:
+        """Return the component at position ``role`` (0=S, 1=P, 2=O)."""
+        return self.as_tuple()[role]
+
+
+class TripleStore:
+    """Columnar, deduplicated set of integer triples with dense per-role IDs."""
+
+    __slots__ = ("_subjects", "_predicates", "_objects")
+
+    def __init__(self, subjects: np.ndarray, predicates: np.ndarray, objects: np.ndarray):
+        if not (subjects.shape == predicates.shape == objects.shape):
+            raise IndexBuildError("triple columns must have identical shapes")
+        self._subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        self._predicates = np.ascontiguousarray(predicates, dtype=np.int64)
+        self._objects = np.ascontiguousarray(objects, dtype=np.int64)
+        if self._subjects.size:
+            for name, column in zip(_ROLE_NAMES, self.columns()):
+                if int(column.min()) < 0:
+                    raise IndexBuildError(f"negative {name} identifier")
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Tuple[int, int, int]],
+                     dedup: bool = True, densify: bool = False) -> "TripleStore":
+        """Build a store from an iterable of ``(s, p, o)`` integer tuples.
+
+        ``dedup`` removes duplicate statements (the paper's datasets are sets).
+        ``densify`` remaps every role to a dense ``[0, n)`` ID space, which is
+        required by the tries when the input IDs have gaps.
+        """
+        materialised = [t.as_tuple() if isinstance(t, Triple) else tuple(t) for t in triples]
+        if materialised:
+            array = np.asarray(materialised, dtype=np.int64)
+        else:
+            array = np.zeros((0, 3), dtype=np.int64)
+        if array.ndim != 2 or (array.size and array.shape[1] != 3):
+            raise IndexBuildError("triples must be (s, p, o) tuples")
+        store = cls(array[:, 0].copy(), array[:, 1].copy(), array[:, 2].copy())
+        if dedup:
+            store = store.deduplicated()
+        if densify:
+            store, _ = store.densified()
+        return store
+
+    @classmethod
+    def from_columns(cls, subjects: Sequence[int], predicates: Sequence[int],
+                     objects: Sequence[int], dedup: bool = True) -> "TripleStore":
+        """Build a store from three parallel columns."""
+        store = cls(np.asarray(subjects, dtype=np.int64),
+                    np.asarray(predicates, dtype=np.int64),
+                    np.asarray(objects, dtype=np.int64))
+        return store.deduplicated() if dedup else store
+
+    def deduplicated(self) -> "TripleStore":
+        """Return a copy without duplicate statements (sorted SPO order)."""
+        if not len(self):
+            return self
+        stacked = np.stack([self._subjects, self._predicates, self._objects], axis=1)
+        unique = np.unique(stacked, axis=0)
+        return TripleStore(unique[:, 0], unique[:, 1], unique[:, 2])
+
+    def densified(self) -> Tuple["TripleStore", Dict[str, np.ndarray]]:
+        """Remap each role to a dense ID space.
+
+        Returns the remapped store and, per role name, the array mapping new
+        dense IDs back to the original identifiers.
+        """
+        mappings: Dict[str, np.ndarray] = {}
+        new_columns: List[np.ndarray] = []
+        for name, column in zip(_ROLE_NAMES, self.columns()):
+            originals, inverse = np.unique(column, return_inverse=True)
+            mappings[name] = originals
+            new_columns.append(inverse.astype(np.int64))
+        return TripleStore(*new_columns), mappings
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors.
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self._subjects.size)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        for s, p, o in zip(self._subjects.tolist(), self._predicates.tolist(),
+                           self._objects.tolist()):
+            yield (s, p, o)
+
+    def __contains__(self, triple: Tuple[int, int, int]) -> bool:
+        s, p, o = triple
+        mask = (self._subjects == s) & (self._predicates == p) & (self._objects == o)
+        return bool(mask.any())
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the (subjects, predicates, objects) columns."""
+        return self._subjects, self._predicates, self._objects
+
+    def column(self, role: int) -> np.ndarray:
+        """Return one column by role index (0=S, 1=P, 2=O)."""
+        return self.columns()[role]
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over :class:`Triple` objects."""
+        for s, p, o in self:
+            yield Triple(s, p, o)
+
+    def to_array(self) -> np.ndarray:
+        """Return an ``(n, 3)`` array of the triples in SPO column order."""
+        return np.stack([self._subjects, self._predicates, self._objects], axis=1)
+
+    def sample(self, count: int, seed: int = 0) -> List[Tuple[int, int, int]]:
+        """Sample ``count`` triples uniformly at random (with a fixed seed).
+
+        This mirrors the paper's methodology of drawing 5 000 triples from the
+        indexed dataset to build query workloads.
+        """
+        if not len(self):
+            return []
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, len(self), size=min(count, len(self)))
+        return [(int(self._subjects[i]), int(self._predicates[i]), int(self._objects[i]))
+                for i in indices]
+
+    # ------------------------------------------------------------------ #
+    # Ordering.
+    # ------------------------------------------------------------------ #
+
+    def sorted_columns(self, order: Tuple[int, int, int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the three columns permuted to ``order`` and lexicographically sorted.
+
+        ``order`` lists the roles (0=S, 1=P, 2=O) from most to least
+        significant, e.g. ``(1, 2, 0)`` produces the POS permutation: the
+        returned first column holds predicates, the second objects, the third
+        subjects, sorted lexicographically in that order.
+        """
+        if sorted(order) != [0, 1, 2]:
+            raise IndexBuildError(f"invalid permutation order {order}")
+        first = self.column(order[0])
+        second = self.column(order[1])
+        third = self.column(order[2])
+        # np.lexsort sorts by the last key first.
+        sorted_index = np.lexsort((third, second, first))
+        return first[sorted_index], second[sorted_index], third[sorted_index]
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table 3 of the paper).
+    # ------------------------------------------------------------------ #
+
+    def num_distinct(self, role: int) -> int:
+        """Number of distinct identifiers appearing in ``role``."""
+        column = self.column(role)
+        return int(np.unique(column).size) if column.size else 0
+
+    @property
+    def num_subjects(self) -> int:
+        """Number of distinct subjects."""
+        return self.num_distinct(SUBJECT)
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of distinct predicates."""
+        return self.num_distinct(PREDICATE)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of distinct objects."""
+        return self.num_distinct(OBJECT)
+
+    def num_distinct_pairs(self, first_role: int, second_role: int) -> int:
+        """Number of distinct (first_role, second_role) pairs, e.g. SP, PO, OS."""
+        first = self.column(first_role)
+        second = self.column(second_role)
+        if not first.size:
+            return 0
+        stacked = np.stack([first, second], axis=1)
+        return int(np.unique(stacked, axis=0).shape[0])
+
+    def statistics(self) -> Dict[str, int]:
+        """Return the Table 3 statistics for this dataset."""
+        return {
+            "triples": len(self),
+            "subjects": self.num_subjects,
+            "predicates": self.num_predicates,
+            "objects": self.num_objects,
+            "sp_pairs": self.num_distinct_pairs(SUBJECT, PREDICATE),
+            "po_pairs": self.num_distinct_pairs(PREDICATE, OBJECT),
+            "os_pairs": self.num_distinct_pairs(OBJECT, SUBJECT),
+        }
+
+    def is_dense(self) -> bool:
+        """Whether every role uses a dense ``[0, n)`` ID space."""
+        for column in self.columns():
+            if not column.size:
+                continue
+            distinct = np.unique(column)
+            if int(distinct[0]) != 0 or int(distinct[-1]) != distinct.size - 1:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TripleStore(triples={len(self)}, subjects={self.num_subjects}, "
+                f"predicates={self.num_predicates}, objects={self.num_objects})")

@@ -1,0 +1,58 @@
+"""Compressed integer-sequence codecs.
+
+This subpackage is the succinct substrate of the library.  Every codec
+implements the :class:`repro.sequences.base.EncodedSequence` interface, which
+mirrors the operations the paper's ``select`` algorithm needs (Fig. 2):
+
+* ``access(i)`` — random access to the ``i``-th element,
+* ``find(begin, end, x)`` — position of ``x`` inside the sorted range
+  ``[begin, end)`` or ``-1``,
+* ``scan(begin, end)`` — sequential decoding of a range,
+* ``iterator_at(i)`` — a forward iterator positioned at ``i``,
+* ``size_in_bits()`` — the space accounted for in the paper's bits/triple
+  figures.
+
+Available codecs (paper Section 3.1, "Representation"):
+
+========================  ==============================================
+``CompactVector``         fixed-width bit packing ("Compact")
+``EliasFano``             Elias-Fano for monotone sequences ("EF")
+``PartitionedEliasFano``  partitioned Elias-Fano ("PEF")
+``VByte``                 byte-aligned variable-length coding ("VByte")
+========================  ==============================================
+
+Non-monotone trie levels can still be encoded with the Elias-Fano family via
+:class:`repro.sequences.prefix_sum.PrefixSummedSequence`, which applies the
+per-range prefix-sum transform described in the paper.
+"""
+
+from repro.sequences.base import EncodedSequence, SequenceIterator
+from repro.sequences.bitvector import BitVector, BitVectorBuilder
+from repro.sequences.compact import CompactVector
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.partitioned_elias_fano import PartitionedEliasFano
+from repro.sequences.vbyte import VByte
+from repro.sequences.prefix_sum import PrefixSummedSequence, RangedSequence
+from repro.sequences.factory import (
+    CODECS,
+    MONOTONE_CODECS,
+    encode_sequence,
+    make_ranged_sequence,
+)
+
+__all__ = [
+    "EncodedSequence",
+    "SequenceIterator",
+    "BitVector",
+    "BitVectorBuilder",
+    "CompactVector",
+    "EliasFano",
+    "PartitionedEliasFano",
+    "VByte",
+    "PrefixSummedSequence",
+    "RangedSequence",
+    "CODECS",
+    "MONOTONE_CODECS",
+    "encode_sequence",
+    "make_ranged_sequence",
+]

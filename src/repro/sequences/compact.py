@@ -1,0 +1,139 @@
+"""Fixed-width bit packing ("Compact" in the paper).
+
+Every element is stored with ``ceil(log2(max_value + 1))`` bits.  Random
+access needs only a couple of shift/mask operations, which is why the paper
+reports it as the fastest — but least space-efficient — representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.sequences.base import EncodedSequence
+
+_WORD_BITS = 64
+
+
+class CompactVector(EncodedSequence):
+    """Sequence of non-negative integers packed at a fixed bit width."""
+
+    requires_monotone = False
+    name = "compact"
+
+    __slots__ = ("_words", "_width", "_size")
+
+    def __init__(self, words: np.ndarray, width: int, size: int):
+        self._words = words
+        self._width = width
+        self._size = size
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_values(cls, values: Sequence[int], width: Optional[int] = None) -> "CompactVector":
+        """Encode ``values``; ``width`` defaults to the minimum usable width."""
+        array = np.asarray(values, dtype=np.int64)
+        if array.size and int(array.min()) < 0:
+            raise EncodingError("CompactVector cannot encode negative values")
+        max_value = int(array.max()) if array.size else 0
+        min_width = max(1, max_value.bit_length())
+        if width is None:
+            width = min_width
+        elif width < min_width:
+            raise EncodingError(
+                f"width {width} too small for maximum value {max_value}"
+            )
+        if width > 64:
+            raise EncodingError("CompactVector supports widths up to 64 bits")
+
+        size = int(array.size)
+        num_words = (size * width + _WORD_BITS - 1) // _WORD_BITS + 1
+        words = np.zeros(num_words, dtype=np.uint64)
+        if size:
+            unsigned = array.astype(np.uint64)
+            bit_positions = np.arange(size, dtype=np.uint64) * np.uint64(width)
+            word_index = (bit_positions >> np.uint64(6)).astype(np.int64)
+            offsets = bit_positions & np.uint64(63)
+            low_parts = unsigned << offsets
+            np.bitwise_or.at(words, word_index, low_parts)
+            # Values spilling over the word boundary contribute their top bits
+            # to the next word.
+            spill = offsets > np.uint64(64 - width)
+            if np.any(spill):
+                shift = (np.uint64(64) - offsets[spill])
+                high_parts = unsigned[spill] >> shift
+                np.bitwise_or.at(words, word_index[spill] + 1, high_parts)
+        return cls(words, width, size)
+
+    # ------------------------------------------------------------------ #
+    # EncodedSequence interface.
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def width(self) -> int:
+        """Number of bits used per element."""
+        return self._width
+
+    def access(self, i: int) -> int:
+        if not 0 <= i < self._size:
+            raise IndexError(f"index {i} out of range [0, {self._size})")
+        bit_position = i * self._width
+        word_index = bit_position >> 6
+        offset = bit_position & 63
+        mask = (1 << self._width) - 1
+        low = int(self._words[word_index]) >> offset
+        if offset + self._width > _WORD_BITS:
+            high = int(self._words[word_index + 1]) << (_WORD_BITS - offset)
+            low |= high
+        return low & mask
+
+    def scan(self, begin: int = 0, end: Optional[int] = None) -> Iterator[int]:
+        if end is None:
+            end = self._size
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        decoded = self.decode_range(begin, end)
+        return iter(decoded.tolist())
+
+    def decode_range(self, begin: int, end: int) -> np.ndarray:
+        """Vectorised decoding of ``[begin, end)`` into a numpy array."""
+        count = end - begin
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        width = np.uint64(self._width)
+        indices = np.arange(begin, end, dtype=np.uint64)
+        bit_positions = indices * width
+        word_index = (bit_positions >> np.uint64(6)).astype(np.int64)
+        offsets = bit_positions & np.uint64(63)
+        mask = np.uint64((1 << self._width) - 1)
+        low = self._words[word_index] >> offsets
+        needs_high = offsets > np.uint64(64 - self._width)
+        if np.any(needs_high):
+            high = np.zeros_like(low)
+            high[needs_high] = self._words[word_index[needs_high] + 1] << (
+                np.uint64(64) - offsets[needs_high]
+            )
+            low = low | high
+        return (low & mask).astype(np.int64)
+
+    def to_numpy(self) -> np.ndarray:
+        """Decode the full sequence into a numpy array."""
+        return self.decode_range(0, self._size)
+
+    def size_in_bits(self) -> int:
+        # Payload plus the two 64-bit header fields (width and size) a
+        # serialised representation would carry.
+        return self._size * self._width + 2 * _WORD_BITS
+
+    @classmethod
+    def empty(cls) -> "CompactVector":
+        """An empty vector (useful as a placeholder level)."""
+        return cls.from_values([])

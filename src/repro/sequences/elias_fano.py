@@ -1,0 +1,168 @@
+"""Elias-Fano encoding of monotone non-decreasing integer sequences.
+
+A sequence ``S[0, n)`` drawn from a universe ``u`` is split into low parts of
+``l = max(0, floor(log2(u / n)))`` bits stored verbatim, and high parts stored
+as a unary-coded bit vector of ``n + (u >> l) + 1`` bits.  Random access costs
+one ``select1`` on the high bits; ``next_geq`` (the primitive behind ``find``)
+costs one ``select0`` plus a short scan.  Total space is at most
+``n * ceil(log2(u / n)) + 2n`` bits, as quoted in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.sequences.base import NOT_FOUND, EncodedSequence
+from repro.sequences.bitvector import BitVector
+from repro.sequences.compact import CompactVector
+
+_WORD_BITS = 64
+
+
+class EliasFano(EncodedSequence):
+    """Elias-Fano representation of a monotone non-decreasing sequence."""
+
+    requires_monotone = True
+    name = "ef"
+
+    __slots__ = ("_low", "_high", "_size", "_universe", "_low_bits")
+
+    def __init__(self, low: Optional[CompactVector], high: BitVector, size: int,
+                 universe: int, low_bits: int):
+        self._low = low
+        self._high = high
+        self._size = size
+        self._universe = universe
+        self._low_bits = low_bits
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_values(cls, values: Sequence[int], universe: Optional[int] = None) -> "EliasFano":
+        """Encode a monotone non-decreasing sequence of non-negative ints."""
+        array = np.asarray(values, dtype=np.int64)
+        size = int(array.size)
+        if size == 0:
+            empty_high = BitVector.from_positions(1, [])
+            return cls(None, empty_high, 0, 0, 0)
+        if int(array.min()) < 0:
+            raise EncodingError("Elias-Fano cannot encode negative values")
+        if np.any(np.diff(array) < 0):
+            raise EncodingError("Elias-Fano requires a monotone non-decreasing sequence")
+        last = int(array[-1])
+        if universe is None:
+            universe = last + 1
+        elif universe <= last:
+            raise EncodingError(f"universe {universe} not larger than maximum value {last}")
+
+        low_bits = max(0, (universe // size).bit_length() - 1)
+        unsigned = array.astype(np.uint64)
+        if low_bits:
+            low_values = unsigned & np.uint64((1 << low_bits) - 1)
+            low = CompactVector.from_values(low_values.astype(np.int64), width=low_bits)
+        else:
+            low = None
+        high_values = (unsigned >> np.uint64(low_bits)).astype(np.int64)
+        positions = high_values + np.arange(size, dtype=np.int64)
+        num_high_bits = size + (universe >> low_bits) + 1
+        high = BitVector.from_positions(int(num_high_bits), positions)
+        return cls(low, high, size, universe, low_bits)
+
+    # ------------------------------------------------------------------ #
+    # EncodedSequence interface.
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def universe(self) -> int:
+        """Exclusive upper bound on the encoded values."""
+        return self._universe
+
+    @property
+    def low_bits(self) -> int:
+        """Number of bits stored verbatim per element."""
+        return self._low_bits
+
+    def access(self, i: int) -> int:
+        if not 0 <= i < self._size:
+            raise IndexError(f"index {i} out of range [0, {self._size})")
+        high = self._high.select1(i) - i
+        low = self._low.access(i) if self._low is not None else 0
+        return (high << self._low_bits) | low
+
+    def size_in_bits(self) -> int:
+        low_bits = self._low.size_in_bits() if self._low is not None else 0
+        return low_bits + self._high.size_in_bits() + 2 * _WORD_BITS
+
+    # ------------------------------------------------------------------ #
+    # Elias-Fano specific operations.
+    # ------------------------------------------------------------------ #
+
+    def next_geq(self, value: int, begin: int = 0, end: Optional[int] = None) -> Tuple[int, int]:
+        """Return ``(position, element)`` of the first element >= ``value``.
+
+        The search is restricted to ``[begin, end)``.  If no such element
+        exists, returns ``(end, -1)``.
+        """
+        if end is None:
+            end = self._size
+        if self._size == 0 or begin >= end:
+            return end, -1
+        if value <= self.access(begin):
+            return begin, self.access(begin)
+        if value > self.access(end - 1):
+            return end, -1
+        high_value = value >> self._low_bits
+        # Candidates with the same high part start after the (high_value-1)-th
+        # zero of the high bit vector.
+        if high_value == 0:
+            position = 0
+        else:
+            if high_value - 1 >= self._high.num_zeros:
+                return end, -1
+            position = self._high.select0(high_value - 1) - (high_value - 1)
+        position = max(position, begin)
+        while position < end:
+            element = self.access(position)
+            if element >= value:
+                return position, element
+            position += 1
+        return end, -1
+
+    def find(self, begin: int, end: int, value: int) -> int:
+        """Position of ``value`` in ``[begin, end)`` or ``-1`` (uses next_geq)."""
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        position, element = self.next_geq(value, begin, end)
+        if position < end and element == value:
+            return position
+        return NOT_FOUND
+
+    def scan(self, begin: int = 0, end: Optional[int] = None) -> Iterator[int]:
+        if end is None:
+            end = self._size
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        if begin == end:
+            return iter(())
+        return self._scan_from(begin, end)
+
+    def _scan_from(self, begin: int, end: int) -> Iterator[int]:
+        """Sequentially decode ``[begin, end)`` walking the high bit vector."""
+        high_position = self._high.select1(begin)
+        index = begin
+        while index < end:
+            while not self._high.get(high_position):
+                high_position += 1
+            high = high_position - index
+            low = self._low.access(index) if self._low is not None else 0
+            yield (high << self._low_bits) | low
+            high_position += 1
+            index += 1

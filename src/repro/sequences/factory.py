@@ -1,0 +1,60 @@
+"""Codec registry and helpers used by the index builders.
+
+The builders refer to codecs by the short names the paper uses in Table 1
+(``compact``, ``ef``, ``pef``, ``vbyte``); :func:`make_ranged_sequence` hides
+the difference between codecs that can encode raw (non-monotone) levels and
+monotone-only codecs that need the prefix-sum transform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Type
+
+from repro.errors import EncodingError
+from repro.sequences.base import EncodedSequence
+from repro.sequences.compact import CompactVector
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.partitioned_elias_fano import PartitionedEliasFano
+from repro.sequences.prefix_sum import PrefixSummedSequence, RangedSequence
+from repro.sequences.vbyte import VByte
+
+#: All registered codecs, keyed by the names used throughout the paper.
+CODECS: Dict[str, Type[EncodedSequence]] = {
+    "compact": CompactVector,
+    "ef": EliasFano,
+    "pef": PartitionedEliasFano,
+    "vbyte": VByte,
+}
+
+#: Codecs that require monotone non-decreasing input.
+MONOTONE_CODECS = frozenset(name for name, cls in CODECS.items() if cls.requires_monotone)
+
+
+def codec_class(name: str) -> Type[EncodedSequence]:
+    """Return the codec class registered under ``name``."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise EncodingError(
+            f"unknown codec {name!r}; available: {sorted(CODECS)}"
+        ) from None
+
+
+def encode_sequence(values: Sequence[int], codec: str, **kwargs) -> EncodedSequence:
+    """Encode ``values`` with the codec registered under ``codec``."""
+    return codec_class(codec).from_values(values, **kwargs)
+
+
+def make_ranged_sequence(values: Sequence[int], boundaries: Sequence[int],
+                         codec: str, **kwargs) -> RangedSequence:
+    """Encode a trie node level addressed by sibling ranges.
+
+    ``boundaries`` is the pointer sequence delimiting sibling ranges.  When the
+    requested codec is monotone-only, the level is routed through
+    :class:`PrefixSummedSequence` (the paper's prefix-sum transform); otherwise
+    the values are encoded verbatim.
+    """
+    cls = codec_class(codec)
+    if cls.requires_monotone:
+        return PrefixSummedSequence.from_values(values, boundaries, cls, **kwargs)
+    return RangedSequence(cls.from_values(values, **kwargs))

@@ -1,0 +1,134 @@
+"""Range-aware views over encoded sequences.
+
+Trie node levels are *not* globally monotone: only the sub-sequences of
+sibling nodes are sorted.  The paper (Section 3.1) encodes them with the
+Elias-Fano family anyway by adding to every node ID the prefix sum of the
+previously coded sub-sequence, which makes the whole level monotone.  The
+price is that the decoder must subtract the base of the enclosing sibling
+range, which is always known to the ``select`` algorithm.
+
+Two classes implement that contract:
+
+* :class:`RangedSequence` — trivial pass-through for codecs that store the
+  original values (Compact, VByte);
+* :class:`PrefixSummedSequence` — stores the transformed monotone sequence in
+  a monotone codec (EF / PEF) and undoes the transform on access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.sequences.base import NOT_FOUND, EncodedSequence
+
+
+class RangedSequence:
+    """A view over an :class:`EncodedSequence` addressed by sibling ranges.
+
+    ``begin``/``end`` arguments always delimit one sibling range, i.e. a range
+    whose boundaries coincide with the trie pointers used at construction
+    time.
+    """
+
+    def __init__(self, sequence: EncodedSequence):
+        self._sequence = sequence
+
+    @property
+    def sequence(self) -> EncodedSequence:
+        """The underlying encoded sequence."""
+        return self._sequence
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    def access_in_range(self, begin: int, end: int, i: int) -> int:
+        """Value at absolute position ``i`` inside the sibling range ``[begin, end)``."""
+        return self._sequence.access(i)
+
+    def find_in_range(self, begin: int, end: int, value: int) -> int:
+        """Absolute position of ``value`` inside ``[begin, end)``, or -1."""
+        return self._sequence.find(begin, end, value)
+
+    def scan_range(self, begin: int, end: int) -> Iterator[int]:
+        """Decode the sibling range ``[begin, end)``."""
+        return self._sequence.scan(begin, end)
+
+    def size_in_bits(self) -> int:
+        """Space of the underlying representation."""
+        return self._sequence.size_in_bits()
+
+    def bits_per_element(self) -> float:
+        """Average bits per element of the underlying representation."""
+        return self._sequence.bits_per_element()
+
+    def to_list_by_ranges(self, boundaries: Sequence[int]) -> List[int]:
+        """Decode the whole level given its range ``boundaries`` (pointers)."""
+        values: List[int] = []
+        for k in range(len(boundaries) - 1):
+            values.extend(self.scan_range(int(boundaries[k]), int(boundaries[k + 1])))
+        return values
+
+
+class PrefixSummedSequence(RangedSequence):
+    """Monotone-codec view of a non-monotone level via the prefix-sum transform.
+
+    Given the level values ``v`` and the sibling-range boundaries, the stored
+    sequence is ``t[i] = v[i] + base(range of i)`` where ``base`` of a range is
+    the transformed value of the last element of the previous range.  ``t`` is
+    globally non-decreasing, hence encodable with EF / PEF.
+    """
+
+    def __init__(self, sequence: EncodedSequence):
+        super().__init__(sequence)
+
+    @classmethod
+    def from_values(cls, values: Sequence[int], boundaries: Sequence[int],
+                    codec, **codec_kwargs) -> "PrefixSummedSequence":
+        """Build by transforming ``values`` (sibling ranges given by ``boundaries``).
+
+        ``codec`` is a monotone-capable codec class exposing ``from_values``.
+        ``boundaries`` is the pointer sequence: ``len(boundaries) == num_ranges + 1``
+        and ``boundaries[-1] == len(values)``.
+        """
+        array = np.asarray(values, dtype=np.int64)
+        bounds = np.asarray(boundaries, dtype=np.int64)
+        if bounds.size == 0 or int(bounds[-1]) != array.size:
+            raise EncodingError("boundaries must cover the whole value sequence")
+        transformed = np.empty_like(array)
+        base = 0
+        for k in range(bounds.size - 1):
+            begin, end = int(bounds[k]), int(bounds[k + 1])
+            if end < begin:
+                raise EncodingError("boundaries must be non-decreasing")
+            if end == begin:
+                continue
+            chunk = array[begin:end]
+            if np.any(np.diff(chunk) < 0):
+                raise EncodingError("each sibling range must be sorted")
+            transformed[begin:end] = chunk + base
+            base = int(transformed[end - 1])
+        encoded = codec.from_values(transformed.tolist(), **codec_kwargs)
+        return cls(encoded)
+
+    def _base(self, begin: int) -> int:
+        if begin == 0:
+            return 0
+        return self._sequence.access(begin - 1)
+
+    def access_in_range(self, begin: int, end: int, i: int) -> int:
+        if not begin <= i < end:
+            raise IndexError(f"position {i} outside sibling range [{begin}, {end})")
+        return self._sequence.access(i) - self._base(begin)
+
+    def find_in_range(self, begin: int, end: int, value: int) -> int:
+        if begin == end:
+            return NOT_FOUND
+        return self._sequence.find(begin, end, value + self._base(begin))
+
+    def scan_range(self, begin: int, end: int) -> Iterator[int]:
+        base = self._base(begin) if end > begin else 0
+        for transformed in self._sequence.scan(begin, end):
+            yield transformed - base

@@ -1,0 +1,5 @@
+"""Auxiliary succinct structures (currently the wavelet tree used by HDT-FoQ)."""
+
+from repro.structures.wavelet_tree import WaveletTree
+
+__all__ = ["WaveletTree"]

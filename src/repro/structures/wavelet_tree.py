@@ -1,0 +1,178 @@
+"""Level-wise (pointerless) wavelet tree over an integer alphabet.
+
+HDT-FoQ represents the predicate level of its single SPO trie with a wavelet
+tree so that all occurrences of a predicate can be located with ``select``
+operations.  The paper attributes HDT-FoQ's poor ``?P?`` performance to the
+cache misses of exactly this structure, so the baseline reimplementation uses
+a faithful wavelet tree rather than a shortcut.
+
+The implementation is the classic level-wise layout: one bit vector per bit of
+the alphabet width, with symbols routed left/right by their most significant
+remaining bit.  ``access``, ``rank`` and ``select`` all run in
+``O(ceil(log2 sigma))`` bit-vector operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.sequences.bitvector import BitVector
+
+_WORD_BITS = 64
+
+
+class _Level:
+    """One level of the wavelet tree."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: BitVector):
+        self.bits = bits
+
+
+class WaveletTree:
+    """Wavelet tree supporting ``access``, ``rank``, ``select`` and range counting."""
+
+    __slots__ = ("_levels", "_size", "_max_symbol", "_num_levels", "_zeros_per_level")
+
+    def __init__(self, values: Sequence[int]):
+        array = np.asarray(values, dtype=np.int64)
+        if array.size and int(array.min()) < 0:
+            raise EncodingError("wavelet tree symbols must be non-negative")
+        self._size = int(array.size)
+        self._max_symbol = int(array.max()) if array.size else 0
+        self._num_levels = max(1, self._max_symbol.bit_length())
+        self._levels: List[_Level] = []
+        self._zeros_per_level: List[int] = []
+        current = array.copy()
+        for level in range(self._num_levels):
+            shift = self._num_levels - level - 1
+            bits = (current >> shift) & 1
+            bit_vector = BitVector.from_positions(
+                self._size, np.nonzero(bits)[0].astype(np.int64)
+            )
+            self._levels.append(_Level(bit_vector))
+            self._zeros_per_level.append(int(self._size - bit_vector.num_ones))
+            # Stable partition: zeros (left child) first, ones (right child) after.
+            if self._size:
+                order = np.argsort(bits, kind="stable")
+                current = current[order]
+        del current
+
+    # ------------------------------------------------------------------ #
+    # Basic properties.
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_levels(self) -> int:
+        """Height of the tree (bits of the alphabet)."""
+        return self._num_levels
+
+    @property
+    def max_symbol(self) -> int:
+        """Largest symbol stored."""
+        return self._max_symbol
+
+    def size_in_bits(self) -> int:
+        """Space of all level bit vectors plus per-level bookkeeping."""
+        return sum(level.bits.size_in_bits() for level in self._levels) + \
+            self._num_levels * _WORD_BITS
+
+    # ------------------------------------------------------------------ #
+    # Core operations.
+    # ------------------------------------------------------------------ #
+
+    def access(self, i: int) -> int:
+        """Return the symbol at position ``i``."""
+        if not 0 <= i < self._size:
+            raise IndexError(f"index {i} out of range [0, {self._size})")
+        symbol = 0
+        position = i
+        for level_index, level in enumerate(self._levels):
+            bit = level.bits.get(position)
+            symbol = (symbol << 1) | int(bit)
+            if bit:
+                position = self._zeros_per_level[level_index] + level.bits.rank1(position)
+            else:
+                position = level.bits.rank0(position)
+        return symbol
+
+    def __getitem__(self, i: int) -> int:
+        return self.access(i)
+
+    def rank(self, symbol: int, position: int) -> int:
+        """Number of occurrences of ``symbol`` in ``[0, position)``."""
+        if not 0 <= position <= self._size:
+            raise IndexError(f"rank position {position} out of range")
+        if symbol > self._max_symbol or symbol < 0:
+            return 0
+        begin, end = 0, position
+        for level_index, level in enumerate(self._levels):
+            shift = self._num_levels - level_index - 1
+            bit = (symbol >> shift) & 1
+            if bit:
+                offset = self._zeros_per_level[level_index]
+                begin = offset + level.bits.rank1(begin)
+                end = offset + level.bits.rank1(end)
+            else:
+                begin = level.bits.rank0(begin)
+                end = level.bits.rank0(end)
+            if begin >= end:
+                return 0
+        return end - begin
+
+    def count(self, symbol: int) -> int:
+        """Total number of occurrences of ``symbol``."""
+        return self.rank(symbol, self._size)
+
+    def select(self, symbol: int, k: int) -> int:
+        """Position of the ``k``-th (0-based) occurrence of ``symbol``.
+
+        Raises :class:`IndexError` when fewer than ``k + 1`` occurrences exist.
+        """
+        if symbol > self._max_symbol or symbol < 0:
+            raise IndexError(f"symbol {symbol} never occurs")
+        # Descend to the symbol's leaf interval, then walk back up mapping the
+        # k-th leaf position outward with select operations.
+        begin = 0
+        for level_index, level in enumerate(self._levels):
+            shift = self._num_levels - level_index - 1
+            bit = (symbol >> shift) & 1
+            if bit:
+                begin = self._zeros_per_level[level_index] + level.bits.rank1(begin)
+            else:
+                begin = level.bits.rank0(begin)
+        position = begin + k
+        if self.count(symbol) <= k:
+            raise IndexError(f"symbol {symbol} has fewer than {k + 1} occurrences")
+        for level_index in range(self._num_levels - 1, -1, -1):
+            level = self._levels[level_index]
+            shift = self._num_levels - level_index - 1
+            bit = (symbol >> shift) & 1
+            if bit:
+                position = level.bits.select1(position - self._zeros_per_level[level_index])
+            else:
+                position = level.bits.select0(position)
+        return position
+
+    def occurrences(self, symbol: int) -> Iterator[int]:
+        """Yield every position holding ``symbol`` in increasing order."""
+        total = self.count(symbol)
+        for k in range(total):
+            yield self.select(symbol, k)
+
+    def to_list(self) -> List[int]:
+        """Decode the whole sequence."""
+        return [self.access(i) for i in range(self._size)]
+
+    def rank_range(self, symbol: int, begin: int, end: int) -> int:
+        """Number of occurrences of ``symbol`` in ``[begin, end)``."""
+        if begin > end:
+            raise IndexError("invalid range")
+        return self.rank(symbol, end) - self.rank(symbol, begin)

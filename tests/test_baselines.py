@@ -1,0 +1,139 @@
+"""Tests for the baseline indexes (HDT-FoQ, TripleBit, vertical partitioning,
+RDF-3X-like, BitMat-like)."""
+
+import pytest
+
+from repro.baselines import (
+    BitMatIndex,
+    HdtFoqIndex,
+    Rdf3xIndex,
+    TripleBitIndex,
+    VerticalPartitioningIndex,
+)
+from repro.core.patterns import PatternKind, TriplePattern, reference_select
+from repro.errors import IndexBuildError
+from repro.rdf.triples import TripleStore
+
+ALL_BASELINES = [HdtFoqIndex, TripleBitIndex, VerticalPartitioningIndex,
+                 Rdf3xIndex, BitMatIndex]
+
+
+@pytest.fixture(scope="module", params=ALL_BASELINES,
+                ids=lambda cls: cls.name)
+def baseline(request, small_store):
+    return request.param(small_store)
+
+
+class TestCommonBehaviour:
+    def test_empty_store_rejected(self):
+        empty = TripleStore.from_triples([])
+        for cls in ALL_BASELINES:
+            with pytest.raises(IndexBuildError):
+                cls(empty)
+
+    def test_num_triples(self, baseline, reference_triples):
+        assert baseline.num_triples == len(reference_triples)
+
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_matches_reference(self, baseline, reference_triples, kind):
+        sample = reference_triples[:: max(1, len(reference_triples) // 15)][:15]
+        for triple in sample:
+            pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+            assert baseline.select_list(pattern) == \
+                reference_select(reference_triples, pattern)
+            if kind is PatternKind.ALL_WILDCARDS:
+                break
+
+    def test_unknown_ids_return_nothing(self, baseline, small_store):
+        max_subject = int(small_store.column(0).max())
+        max_predicate = int(small_store.column(1).max())
+        max_object = int(small_store.column(2).max())
+        assert baseline.select_list((max_subject + 7, None, None)) == []
+        assert baseline.select_list((None, max_predicate + 7, None)) == []
+        assert baseline.select_list((None, None, max_object + 7)) == []
+
+    def test_space_accounting(self, baseline):
+        assert baseline.size_in_bits() > 0
+        assert baseline.bits_per_triple() > 0
+        breakdown = baseline.space_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(baseline.size_in_bits())
+
+    def test_contains(self, baseline, reference_triples):
+        assert baseline.contains(reference_triples[0])
+        assert not baseline.contains((10**6, 10**6, 10**6))
+
+
+class TestHdtFoq:
+    def test_wavelet_tree_is_used_for_predicates(self, small_store):
+        index = HdtFoqIndex(small_store)
+        assert "predicates_wavelet_tree" in index.space_breakdown()
+
+    def test_object_index_components(self, small_store):
+        index = HdtFoqIndex(small_store)
+        breakdown = index.space_breakdown()
+        assert "object_index_pointers" in breakdown
+        assert "object_index_positions" in breakdown
+
+    def test_predicate_pattern_via_wavelet_select(self, small_store, reference_triples):
+        index = HdtFoqIndex(small_store)
+        predicate = reference_triples[0][1]
+        expected = sorted(t for t in reference_triples if t[1] == predicate)
+        assert index.select_list((None, predicate, None)) == expected
+
+
+class TestTripleBit:
+    def test_two_buckets_per_predicate(self, small_store):
+        index = TripleBitIndex(small_store)
+        breakdown = index.space_breakdown()
+        assert breakdown["so_buckets"] > 0
+        assert breakdown["os_buckets"] > 0
+
+    def test_duplicated_storage_is_larger_than_single_permutation(self, small_store):
+        triplebit = TripleBitIndex(small_store)
+        vertical = VerticalPartitioningIndex(small_store)
+        assert triplebit.size_in_bits() > vertical.size_in_bits()
+
+    def test_supported_kinds_include_spo(self, small_store):
+        assert "spo" in TripleBitIndex(small_store).supported_kinds()
+
+
+class TestRdf3x:
+    def test_six_permutations_materialised(self, small_store):
+        index = Rdf3xIndex(small_store)
+        breakdown = index.space_breakdown()
+        for name in ("spo", "sop", "pso", "pos", "osp", "ops"):
+            assert name in breakdown
+
+    def test_aggregates_add_space(self, small_store):
+        with_aggregates = Rdf3xIndex(small_store, include_aggregates=True)
+        without = Rdf3xIndex(small_store, include_aggregates=False)
+        assert with_aggregates.size_in_bits() > without.size_in_bits()
+
+    def test_rdf3x_is_much_larger_than_2tp(self, small_store, index_2tp):
+        index = Rdf3xIndex(small_store)
+        assert index.size_in_bits() > 2 * index_2tp.size_in_bits()
+
+
+class TestBitMat:
+    def test_two_slice_sets(self, small_store):
+        index = BitMatIndex(small_store)
+        breakdown = index.space_breakdown()
+        assert breakdown["subject_object_slices"] > 0
+        assert breakdown["object_subject_slices"] > 0
+
+    def test_bitmat_larger_than_2tp(self, small_store, index_2tp):
+        # The paper measures 483 bits/triple for BitMat vs 54 for 2Tp.
+        assert BitMatIndex(small_store).size_in_bits() > index_2tp.size_in_bits()
+
+
+class TestVerticalPartitioning:
+    def test_one_table_per_predicate(self, small_store):
+        index = VerticalPartitioningIndex(small_store)
+        # One entry per predicate table plus the table directory.
+        assert len(index.space_breakdown()) == small_store.num_predicates + 1
+
+    def test_predicate_bound_patterns(self, small_store, reference_triples):
+        index = VerticalPartitioningIndex(small_store)
+        s, p, o = reference_triples[0]
+        expected = sorted(t for t in reference_triples if t[1] == p)
+        assert index.select_list((None, p, None)) == expected

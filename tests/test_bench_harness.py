@@ -1,0 +1,80 @@
+"""Tests for the measurement harness and the table renderer."""
+
+import pytest
+
+from repro.bench.measure import (
+    QueryTiming,
+    measure_pattern_workload,
+    measure_sequence_operations,
+    nanoseconds_per_triple,
+)
+from repro.bench.tables import (
+    format_bits_per_triple_table,
+    format_table,
+    space_overhead_percent,
+    speedup,
+)
+from repro.core.patterns import TriplePattern
+from repro.sequences.elias_fano import EliasFano
+
+
+class TestQueryTiming:
+    def test_ns_per_triple(self):
+        timing = QueryTiming("x", "sp?", num_queries=10, matched_triples=1000,
+                             elapsed_seconds=0.001)
+        assert timing.ns_per_triple == pytest.approx(1000.0)
+        assert timing.us_per_query == pytest.approx(100.0)
+
+    def test_zero_matches(self):
+        timing = QueryTiming("x", "spo", num_queries=0, matched_triples=0,
+                             elapsed_seconds=0.5)
+        assert timing.ns_per_triple == 0.0
+        assert timing.us_per_query == 0.0
+
+
+class TestMeasurement:
+    def test_measure_pattern_workload(self, index_2tp, reference_triples):
+        patterns = [TriplePattern(s, None, None) for s, _, _ in reference_triples[:20]]
+        timing = measure_pattern_workload(index_2tp, patterns, kind="s??")
+        expected = sum(sum(1 for t in reference_triples if t[0] == p.subject)
+                       for p in patterns)
+        assert timing.matched_triples == expected
+        assert timing.num_queries == 20
+        assert timing.elapsed_seconds > 0
+        assert timing.kind == "s??"
+
+    def test_nanoseconds_per_triple_shorthand(self, index_2tp, reference_triples):
+        patterns = [TriplePattern(*reference_triples[0])]
+        assert nanoseconds_per_triple(index_2tp, patterns) > 0
+
+    def test_measure_sequence_operations(self):
+        sequence = EliasFano.from_values(list(range(0, 1000, 3)))
+        result = measure_sequence_operations(
+            sequence, positions=[1, 5, 100], ranges=[(0, 50), (50, 200)],
+            values=[9, 222])
+        assert set(result) == {"access_ns", "find_ns", "scan_ns"}
+        assert all(v >= 0 for v in result.values())
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.3456], ["xy", None]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bbb" in lines[0]
+        assert "2.35" in text
+        assert "—" in text
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_bits_per_triple_matrix(self):
+        text = format_bits_per_triple_table(
+            {"2tp": {"dblp": 52.0, "dbpedia": 54.1}, "3t": {"dblp": 75.2}})
+        assert "2tp" in text and "dbpedia" in text
+
+    def test_speedup_and_overhead(self):
+        assert speedup(2.0, 8.0) == 4.0
+        assert speedup(0.0, 8.0) is None
+        assert space_overhead_percent(52.0, 76.9) == pytest.approx(32.4, abs=0.1)
+        assert space_overhead_percent(50.0, 0.0) is None

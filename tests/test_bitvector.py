@@ -1,0 +1,160 @@
+"""Tests for the bit vector with rank/select support."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sequences.bitvector import BitVector, BitVectorBuilder
+
+
+class TestConstruction:
+    def test_from_bits_round_trip(self):
+        bits = [1, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1]
+        vector = BitVector.from_bits(bits)
+        assert vector.to_list() == bits
+        assert len(vector) == len(bits)
+
+    def test_from_positions(self):
+        vector = BitVector.from_positions(10, [0, 3, 9])
+        assert vector.to_list() == [1, 0, 0, 1, 0, 0, 0, 0, 0, 1]
+
+    def test_empty_vector(self):
+        vector = BitVector.from_positions(0, [])
+        assert len(vector) == 0
+        assert vector.num_ones == 0
+
+    def test_builder_rejects_out_of_range(self):
+        builder = BitVectorBuilder(8)
+        with pytest.raises(IndexError):
+            builder.set(8)
+
+    def test_builder_set_many_rejects_out_of_range(self):
+        builder = BitVectorBuilder(8)
+        with pytest.raises(IndexError):
+            builder.set_many([1, 2, 100])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(EncodingError):
+            BitVectorBuilder(-1)
+
+    def test_multiword_vector(self):
+        positions = [0, 63, 64, 127, 128, 200]
+        vector = BitVector.from_positions(201, positions)
+        assert [i for i in range(201) if vector.get(i)] == positions
+
+
+class TestAccessors:
+    def test_get_out_of_range(self):
+        vector = BitVector.from_positions(5, [1])
+        with pytest.raises(IndexError):
+            vector.get(5)
+        with pytest.raises(IndexError):
+            vector.get(-1)
+
+    def test_num_ones_and_zeros(self):
+        vector = BitVector.from_positions(100, range(0, 100, 3))
+        expected_ones = len(range(0, 100, 3))
+        assert vector.num_ones == expected_ones
+        assert vector.num_zeros == 100 - expected_ones
+
+    def test_getitem(self):
+        vector = BitVector.from_positions(4, [2])
+        assert vector[2] is True
+        assert vector[1] is False
+
+    def test_iter_ones(self):
+        positions = [3, 17, 64, 65, 190]
+        vector = BitVector.from_positions(200, positions)
+        assert list(vector.iter_ones()) == positions
+
+
+class TestRank:
+    def test_rank_basic(self):
+        vector = BitVector.from_bits([1, 0, 1, 1, 0, 0, 1])
+        assert vector.rank1(0) == 0
+        assert vector.rank1(1) == 1
+        assert vector.rank1(4) == 3
+        assert vector.rank1(7) == 4
+        assert vector.rank0(7) == 3
+
+    def test_rank_full_length(self):
+        vector = BitVector.from_positions(130, [0, 64, 129])
+        assert vector.rank1(130) == 3
+        assert vector.rank0(130) == 127
+
+    def test_rank_out_of_range(self):
+        vector = BitVector.from_positions(10, [1])
+        with pytest.raises(IndexError):
+            vector.rank1(11)
+
+
+class TestSelect:
+    def test_select1_basic(self):
+        positions = [2, 5, 8, 70, 71, 300]
+        vector = BitVector.from_positions(400, positions)
+        for k, expected in enumerate(positions):
+            assert vector.select1(k) == expected
+
+    def test_select0_basic(self):
+        vector = BitVector.from_bits([1, 0, 1, 0, 0, 1])
+        assert vector.select0(0) == 1
+        assert vector.select0(1) == 3
+        assert vector.select0(2) == 4
+
+    def test_select_out_of_range(self):
+        vector = BitVector.from_positions(10, [4])
+        with pytest.raises(IndexError):
+            vector.select1(1)
+        with pytest.raises(IndexError):
+            vector.select0(9)
+
+    def test_successor1(self):
+        vector = BitVector.from_positions(20, [3, 10, 17])
+        assert vector.successor1(0) == 3
+        assert vector.successor1(3) == 3
+        assert vector.successor1(4) == 10
+        assert vector.successor1(18) is None
+        assert vector.successor1(25) is None
+
+    def test_rank_select_inverse(self):
+        vector = BitVector.from_positions(513, [0, 1, 63, 64, 511, 512])
+        for k in range(vector.num_ones):
+            position = vector.select1(k)
+            assert vector.rank1(position) == k
+            assert vector.get(position)
+
+
+class TestSpace:
+    def test_size_in_bits_counts_payload_and_samples(self):
+        vector = BitVector.from_positions(1024, range(0, 1024, 2))
+        assert vector.size_in_bits() >= 1024
+        # Overhead should stay bounded (samples every 512 bits).
+        assert vector.size_in_bits() <= 1024 + 64 * (1024 // 512 + 1) + 64
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=700))
+def test_rank_select_match_naive(bits):
+    """Property: rank/select agree with a naive recomputation."""
+    vector = BitVector.from_bits([int(b) for b in bits])
+    ones = [i for i, b in enumerate(bits) if b]
+    zeros = [i for i, b in enumerate(bits) if not b]
+    for i in range(0, len(bits) + 1, max(1, len(bits) // 10)):
+        assert vector.rank1(i) == sum(1 for p in ones if p < i)
+        assert vector.rank0(i) == sum(1 for p in zeros if p < i)
+    for k, position in enumerate(ones):
+        assert vector.select1(k) == position
+    for k, position in enumerate(zeros):
+        assert vector.select0(k) == position
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=5000), min_size=1, max_size=300))
+def test_sparse_positions_round_trip(positions):
+    """Property: building from positions reproduces exactly those positions."""
+    universe = max(positions) + 1
+    vector = BitVector.from_positions(universe, sorted(positions))
+    assert set(vector.iter_ones()) == positions
+    assert vector.num_ones == len(positions)

@@ -1,0 +1,83 @@
+"""Tests for the IndexBuilder."""
+
+import pytest
+
+from repro.core.builder import DEFAULT_TRIE_CONFIGS, LAYOUTS, IndexBuilder, build_index
+from repro.core.cross_compression import CrossCompressedIndex
+from repro.core.index_2t import TwoTrieIndex
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.trie import TrieConfig
+from repro.errors import IndexBuildError
+from repro.rdf.triples import TripleStore
+
+
+class TestBuild:
+    def test_layout_types(self, builder):
+        assert isinstance(builder.build("3t"), PermutedTrieIndex)
+        assert isinstance(builder.build("cc"), CrossCompressedIndex)
+        assert isinstance(builder.build("2tp"), TwoTrieIndex)
+        assert isinstance(builder.build("2to"), TwoTrieIndex)
+
+    def test_layouts_constant(self):
+        assert set(LAYOUTS) == {"3t", "cc", "2tp", "2to"}
+
+    def test_unknown_layout(self, builder):
+        with pytest.raises(IndexBuildError):
+            builder.build("7t")
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(IndexBuildError):
+            IndexBuilder(TripleStore.from_triples([]))
+
+    def test_build_index_convenience(self, small_store, reference_triples):
+        index = build_index(small_store, "2tp")
+        assert index.num_triples == len(reference_triples)
+
+    def test_case_insensitive_layout(self, builder):
+        assert isinstance(builder.build("2TP"), TwoTrieIndex)
+
+    def test_unknown_permutation(self, builder):
+        with pytest.raises(IndexBuildError):
+            builder.build_trie("xyz")
+
+
+class TestConfigs:
+    def test_default_config_matches_paper(self):
+        # PEF everywhere except the last level of SPO (Compact).
+        assert DEFAULT_TRIE_CONFIGS["spo"].level2_nodes == "compact"
+        assert DEFAULT_TRIE_CONFIGS["spo"].level1_nodes == "pef"
+        assert DEFAULT_TRIE_CONFIGS["pos"].level2_nodes == "pef"
+        assert DEFAULT_TRIE_CONFIGS["osp"].level2_nodes == "pef"
+
+    def test_config_override(self, small_store, reference_triples):
+        configs = {"spo": TrieConfig(level1_nodes="compact", level2_nodes="compact")}
+        index = IndexBuilder(small_store, trie_configs=configs).build("2tp")
+        assert index.select_list((reference_triples[0][0], None, None)) == \
+            sorted(t for t in reference_triples if t[0] == reference_triples[0][0])
+
+    def test_config_for(self, builder):
+        assert builder.config_for("spo").level2_nodes == "compact"
+
+    def test_codec_options_are_forwarded(self, small_store):
+        configs = {
+            "spo": TrieConfig(level1_nodes="pef", level2_nodes="pef",
+                              codec_options={"pef": {"partition_size": 32}}),
+        }
+        trie = IndexBuilder(small_store, trie_configs=configs).build_trie("spo")
+        assert list(trie.scan_all()) == sorted(small_store)
+
+
+class TestPieces:
+    def test_build_single_trie(self, builder, reference_triples):
+        trie = builder.build_trie("osp")
+        assert trie.permutation_name == "osp"
+        assert trie.num_triples == len(reference_triples)
+
+    def test_ps_structure(self, builder, reference_triples):
+        ps = builder.build_ps_structure()
+        predicate = reference_triples[0][1]
+        expected = sorted({s for s, p, _ in reference_triples if p == predicate})
+        assert list(ps.values_of(predicate)) == expected
+
+    def test_store_property(self, builder, small_store):
+        assert builder.store is small_store

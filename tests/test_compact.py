@@ -1,0 +1,147 @@
+"""Tests for the fixed-width CompactVector codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sequences.compact import CompactVector
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        values = [5, 0, 17, 3, 3, 255, 12]
+        vector = CompactVector.from_values(values)
+        assert vector.to_list() == values
+        assert len(vector) == len(values)
+
+    def test_minimum_width_is_used(self):
+        vector = CompactVector.from_values([0, 1, 2, 3])
+        assert vector.width == 2
+        vector = CompactVector.from_values([0, 0, 0])
+        assert vector.width == 1
+
+    def test_explicit_width(self):
+        vector = CompactVector.from_values([1, 2, 3], width=16)
+        assert vector.width == 16
+        assert vector.to_list() == [1, 2, 3]
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(EncodingError):
+            CompactVector.from_values([300], width=8)
+
+    def test_width_too_large_rejected(self):
+        with pytest.raises(EncodingError):
+            CompactVector.from_values([1], width=65)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            CompactVector.from_values([1, -2, 3])
+
+    def test_empty(self):
+        vector = CompactVector.empty()
+        assert len(vector) == 0
+        assert vector.to_list() == []
+
+    def test_accepts_numpy_input(self):
+        values = np.array([9, 8, 7], dtype=np.int64)
+        vector = CompactVector.from_values(values)
+        assert vector.to_list() == [9, 8, 7]
+
+
+class TestAccess:
+    def test_access_matches_values(self):
+        values = list(range(100, 0, -1))
+        vector = CompactVector.from_values(values)
+        for i, expected in enumerate(values):
+            assert vector.access(i) == expected
+            assert vector[i] == expected
+
+    def test_access_out_of_range(self):
+        vector = CompactVector.from_values([1, 2, 3])
+        with pytest.raises(IndexError):
+            vector.access(3)
+        with pytest.raises(IndexError):
+            vector.access(-1)
+
+    def test_word_boundary_crossing(self):
+        # Width 7 guarantees elements straddling 64-bit word boundaries.
+        values = [i % 100 for i in range(300)]
+        vector = CompactVector.from_values(values, width=7)
+        assert vector.to_list() == values
+
+    def test_wide_values(self):
+        vector = CompactVector.from_values([2**40, 123], width=41)
+        assert vector.access(0) == 2**40
+        assert vector.access(1) == 123
+        assert vector.width == 41
+
+
+class TestFindAndScan:
+    def test_find_in_sorted_range(self):
+        values = [9, 1, 3, 5, 7, 11, 2, 2]
+        vector = CompactVector.from_values(values)
+        # Range [1, 6) is sorted: 1 3 5 7 11.
+        assert vector.find(1, 6, 5) == 3
+        assert vector.find(1, 6, 6) == -1
+        assert vector.find(1, 6, 1) == 1
+        assert vector.find(1, 6, 11) == 5
+
+    def test_find_invalid_range(self):
+        vector = CompactVector.from_values([1, 2, 3])
+        with pytest.raises(IndexError):
+            vector.find(2, 5, 1)
+
+    def test_scan_range(self):
+        values = [4, 8, 15, 16, 23, 42]
+        vector = CompactVector.from_values(values)
+        assert list(vector.scan(2, 5)) == [15, 16, 23]
+        assert list(vector.scan()) == values
+
+    def test_decode_range_vectorised(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        vector = CompactVector.from_values(values)
+        assert vector.decode_range(2, 6).tolist() == [4, 1, 5, 9]
+        assert vector.to_numpy().tolist() == values
+
+    def test_iterator_at(self):
+        vector = CompactVector.from_values([10, 20, 30])
+        iterator = vector.iterator_at(1)
+        assert iterator.next() == 20
+        assert iterator.next() == 30
+        assert not iterator.has_next()
+
+
+class TestSpace:
+    def test_size_scales_with_width(self):
+        narrow = CompactVector.from_values([1] * 1000)
+        wide = CompactVector.from_values([2**30] * 1000)
+        assert narrow.size_in_bits() < wide.size_in_bits()
+        assert narrow.bits_per_element() == pytest.approx(1.0, abs=0.2)
+
+    def test_bits_per_element_empty(self):
+        assert CompactVector.empty().bits_per_element() == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=400))
+def test_round_trip_property(values):
+    """Property: encode/decode is the identity for arbitrary non-negative ints."""
+    vector = CompactVector.from_values(values)
+    assert vector.to_list() == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300),
+       st.integers(min_value=0, max_value=10_000))
+def test_find_property(values, needle):
+    """Property: find in a fully sorted vector matches list.index semantics."""
+    values = sorted(values)
+    vector = CompactVector.from_values(values)
+    position = vector.find(0, len(values), needle)
+    if needle in values:
+        assert values[position] == needle
+        assert position == values.index(needle)
+    else:
+        assert position == -1

@@ -1,0 +1,89 @@
+"""Tests for the cross-compressed (CC) index."""
+
+import numpy as np
+import pytest
+
+from repro.core.cross_compression import (
+    CrossCompressedIndex,
+    compute_cross_compressed_third_level,
+)
+from repro.core.patterns import PatternKind, TriplePattern, reference_select
+from repro.core.permutations import PERMUTATIONS
+from repro.errors import IndexBuildError
+from repro.rdf.triples import TripleStore
+
+
+class TestRankComputation:
+    def test_ranks_are_positions_in_object_subject_lists(self):
+        triples = [(0, 0, 5), (1, 0, 5), (2, 0, 5), (1, 1, 5), (0, 0, 6)]
+        store = TripleStore.from_triples(triples)
+        pos_first, pos_second, pos_third = store.sorted_columns(PERMUTATIONS["pos"].order)
+        ranks = compute_cross_compressed_third_level(pos_first, pos_second, pos_third)
+        # Object 5 has subjects {0, 1, 2}; object 6 has subjects {0}.
+        for (p, o, s), rank in zip(zip(pos_first, pos_second, pos_third), ranks):
+            subjects_of_object = sorted({ss for ss, _, oo in triples if oo == o})
+            assert subjects_of_object[rank] == s
+
+    def test_ranks_are_small(self):
+        # Ranks are bounded by the object's subject fan-out, not by |S|.
+        triples = [(s, 0, s % 3) for s in range(30)]
+        store = TripleStore.from_triples(triples)
+        pos = store.sorted_columns(PERMUTATIONS["pos"].order)
+        ranks = compute_cross_compressed_third_level(*pos)
+        assert ranks.max() <= 9
+        assert ranks.min() == 0
+
+    def test_empty_input(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert compute_cross_compressed_third_level(empty, empty, empty).size == 0
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(IndexBuildError):
+            compute_cross_compressed_third_level(
+                np.array([1]), np.array([1, 2]), np.array([1]))
+
+
+class TestMapUnmap:
+    def test_map_unmap_round_trip(self, index_cc, reference_triples):
+        for s, p, o in reference_triples[:200]:
+            rank = index_cc.map_subject(o, s)
+            assert rank >= 0
+            assert index_cc.unmap_subject(o, rank) == s
+
+    def test_map_unknown_subject(self, index_cc, small_store):
+        # A subject never co-occurring with the object maps to -1.
+        objects = small_store.column(2)
+        subjects = small_store.column(0)
+        o = int(objects[0])
+        subjects_of_o = {int(s) for s, obj in zip(subjects, objects) if obj == o}
+        missing = next(s for s in range(small_store.num_subjects)
+                       if s not in subjects_of_o)
+        assert index_cc.map_subject(o, missing) == -1
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_matches_reference_for_every_kind(self, index_cc, reference_triples, kind):
+        sample = reference_triples[:: max(1, len(reference_triples) // 30)][:30]
+        for triple in sample:
+            pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+            assert index_cc.select_list(pattern) == \
+                reference_select(reference_triples, pattern)
+            if kind is PatternKind.ALL_WILDCARDS:
+                break
+
+    def test_cc_equals_3t_results(self, index_cc, index_3t, reference_triples):
+        for triple in reference_triples[:25]:
+            for kind in (PatternKind.PO, PatternKind.P):
+                pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+                assert index_cc.select_list(pattern) == index_3t.select_list(pattern)
+
+
+class TestSpace:
+    def test_cc_smaller_than_3t(self, index_cc, index_3t):
+        # The whole point of cross compression (paper reports ~11% on average).
+        assert index_cc.size_in_bits() < index_3t.size_in_bits()
+
+    def test_pos_third_level_shrinks(self, index_cc, index_3t):
+        assert index_cc.space_breakdown()["pos.nodes2"] < \
+            index_3t.space_breakdown()["pos.nodes2"]

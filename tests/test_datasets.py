@@ -1,0 +1,189 @@
+"""Tests for the dataset profiles and the synthetic generators."""
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.patterns import reference_select
+from repro.datasets.lubm import LUBM_CLASSES, LUBM_PREDICATES, LubmGenerator, generate_lubm
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile, profile
+from repro.datasets.synthetic import generate_from_profile, generate_uniform
+from repro.datasets.watdiv import (
+    WATDIV_CLASSES,
+    WATDIV_NUMERIC_PREDICATES,
+    WATDIV_PREDICATES,
+    WatDivGenerator,
+    generate_watdiv,
+)
+from repro.errors import DatasetError
+
+
+class TestProfiles:
+    def test_all_six_paper_datasets(self):
+        assert set(DATASET_PROFILES) == {"dblp", "geonames", "dbpedia", "watdiv",
+                                         "lubm", "freebase"}
+
+    def test_published_statistics(self):
+        dbpedia = profile("dbpedia")
+        assert dbpedia.triples == 351_592_624
+        assert dbpedia.predicates == 1480
+        assert dbpedia.subjects == 27_318_781
+
+    def test_derived_fanouts_match_table2(self):
+        # Table 2 reports 5.54 / 2.32 for SPO levels 1-2 on DBpedia.
+        dbpedia = profile("dbpedia")
+        assert dbpedia.sp_per_subject == pytest.approx(5.54, abs=0.02)
+        assert dbpedia.triples_per_sp == pytest.approx(2.32, abs=0.01)
+        assert dbpedia.triples_per_po == pytest.approx(2.59, abs=0.01)
+        assert dbpedia.os_per_object == pytest.approx(2.69, abs=0.02)
+        assert dbpedia.triples_per_os == pytest.approx(1.13, abs=0.01)
+
+    def test_scaling_preserves_ratios(self):
+        scaled = profile("dblp").scaled(50_000)
+        original = profile("dblp")
+        assert scaled.triples == 50_000
+        assert scaled.subject_ratio == pytest.approx(original.subject_ratio, rel=0.05)
+        assert scaled.predicates <= original.predicates
+
+    def test_scaling_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            profile("dblp").scaled(0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(DatasetError):
+            profile("wikidata")
+
+    def test_as_table3_row(self):
+        row = profile("geonames").as_table3_row()
+        assert row["triples"] == 123_020_821
+        assert set(row) == {"triples", "subjects", "predicates", "objects",
+                            "sp_pairs", "po_pairs", "os_pairs"}
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        a = generate_from_profile("dblp", 5000, seed=1)
+        b = generate_from_profile("dblp", 5000, seed=1)
+        assert sorted(a) == sorted(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_from_profile("dblp", 5000, seed=1)
+        b = generate_from_profile("dblp", 5000, seed=2)
+        assert sorted(a) != sorted(b)
+
+    def test_size_close_to_target(self):
+        store = generate_from_profile("dbpedia", 20_000, seed=3)
+        assert 0.6 * 20_000 <= len(store) <= 1.4 * 20_000
+
+    def test_dense_ids(self):
+        store = generate_from_profile("dbpedia", 8000, seed=3)
+        assert store.is_dense()
+
+    def test_fanout_shape_roughly_matches_profile(self):
+        store = generate_from_profile("dbpedia", 25_000, seed=4)
+        stats = store.statistics()
+        sp_per_subject = stats["sp_pairs"] / stats["subjects"]
+        triples_per_sp = stats["triples"] / stats["sp_pairs"]
+        assert sp_per_subject == pytest.approx(profile("dbpedia").sp_per_subject, rel=0.4)
+        assert triples_per_sp == pytest.approx(profile("dbpedia").triples_per_sp, rel=0.4)
+
+    def test_accepts_profile_object(self):
+        custom = DatasetProfile(name="custom", triples=1000, subjects=100,
+                                predicates=5, objects=300, sp_pairs=400,
+                                po_pairs=350, os_pairs=900)
+        store = generate_from_profile(custom, 2000, seed=0)
+        assert len(store) > 0
+
+    def test_invalid_size(self):
+        with pytest.raises(DatasetError):
+            generate_from_profile("dblp", 0)
+
+    def test_generated_data_is_indexable(self):
+        store = generate_from_profile("geonames", 4000, seed=5)
+        index = build_index(store, "2tp")
+        triples = sorted(store)
+        probe = triples[len(triples) // 2]
+        assert index.select_list((probe[0], None, None)) == \
+            reference_select(triples, (probe[0], None, None))
+
+    def test_uniform_generator(self):
+        store = generate_uniform(3000, 100, 10, 200, seed=1)
+        assert len(store) > 0
+        assert store.num_predicates <= 10
+        with pytest.raises(DatasetError):
+            generate_uniform(0, 1, 1, 1)
+
+
+class TestLubmGenerator:
+    def test_deterministic(self):
+        assert sorted(generate_lubm(2, seed=3)) == sorted(generate_lubm(2, seed=3))
+
+    def test_scales_with_universities(self):
+        small = generate_lubm(1, seed=0)
+        large = generate_lubm(3, seed=0)
+        assert len(large) > 2 * len(small)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            LubmGenerator(num_universities=0)
+
+    def test_all_predicates_used(self):
+        store = generate_lubm(2, seed=1)
+        used = set(store.column(1).tolist())
+        assert used == set(LUBM_PREDICATES.values())
+
+    def test_class_objects_match_vocabulary(self):
+        store = generate_lubm(1, seed=1)
+        type_id = LUBM_PREDICATES["type"]
+        type_objects = {o for s, p, o in store if p == type_id}
+        assert type_objects <= set(LUBM_CLASSES.values())
+
+    def test_every_student_takes_courses(self):
+        store = generate_lubm(1, seed=2)
+        takes = LUBM_PREDICATES["takesCourse"]
+        type_id = LUBM_PREDICATES["type"]
+        students = {s for s, p, o in store
+                    if p == type_id and o in (LUBM_CLASSES["UndergraduateStudent"],
+                                              LUBM_CLASSES["GraduateStudent"])}
+        enrolled = {s for s, p, o in store if p == takes}
+        assert students <= enrolled
+
+
+class TestWatDivGenerator:
+    def test_deterministic(self):
+        a = generate_watdiv(50, seed=4)
+        b = generate_watdiv(50, seed=4)
+        assert sorted(a.store) == sorted(b.store)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            WatDivGenerator(scale=0)
+
+    def test_numeric_ids_are_value_ordered_at_tail(self, watdiv_dataset):
+        offset = watdiv_dataset.numeric_id_offset
+        index = watdiv_dataset.numeric_index
+        # IDs offset + i must correspond to the i-th smallest value.
+        previous = float("-inf")
+        for i in range(len(index)):
+            value = index.value_at(i)
+            assert value >= previous
+            previous = value
+            assert watdiv_dataset.numeric_values_by_id[offset + i] == value
+
+    def test_numeric_predicates_only_have_numeric_objects(self, watdiv_dataset):
+        numeric_ids = {WATDIV_PREDICATES[name] for name in WATDIV_NUMERIC_PREDICATES}
+        offset = watdiv_dataset.numeric_id_offset
+        for s, p, o in watdiv_dataset.store:
+            if p in numeric_ids:
+                assert o >= offset
+
+    def test_type_objects_are_classes(self, watdiv_dataset):
+        type_id = WATDIV_PREDICATES["type"]
+        classes = set(WATDIV_CLASSES.values())
+        for s, p, o in watdiv_dataset.store:
+            if p == type_id:
+                assert o in classes
+
+    def test_scales_with_parameter(self):
+        small = generate_watdiv(40, seed=1)
+        large = generate_watdiv(160, seed=1)
+        assert len(large.store) > 2 * len(small.store)

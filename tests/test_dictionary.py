@@ -1,0 +1,124 @@
+"""Tests for the string dictionaries and the numeric R structure."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.rdf.dictionary import Dictionary, NumericIndex, RdfDictionary
+
+
+class TestDictionary:
+    def test_lexicographic_assignment(self):
+        dictionary = Dictionary.from_terms(["banana", "apple", "cherry", "apple"])
+        assert dictionary.id_of("apple") == 0
+        assert dictionary.id_of("banana") == 1
+        assert dictionary.id_of("cherry") == 2
+        assert len(dictionary) == 3
+
+    def test_term_of(self):
+        dictionary = Dictionary.from_terms(["b", "a"])
+        assert dictionary.term_of(0) == "a"
+        assert dictionary.term_of(1) == "b"
+
+    def test_unknown_term(self):
+        dictionary = Dictionary.from_terms(["a"])
+        with pytest.raises(DictionaryError):
+            dictionary.id_of("zzz")
+        assert dictionary.get("zzz") is None
+        assert dictionary.get("zzz", -1) == -1
+
+    def test_bad_identifier(self):
+        dictionary = Dictionary.from_terms(["a"])
+        with pytest.raises(DictionaryError):
+            dictionary.term_of(5)
+
+    def test_contains(self):
+        dictionary = Dictionary.from_terms(["x"])
+        assert "x" in dictionary
+        assert "y" not in dictionary
+
+    def test_terms_in_id_order(self):
+        dictionary = Dictionary.from_terms(["m", "z", "a"])
+        assert dictionary.terms() == ["a", "m", "z"]
+
+    def test_prefix_range(self):
+        dictionary = Dictionary.from_terms(
+            ["http://a/1", "http://a/2", "http://b/1", "ftp://x"])
+        lo, hi = dictionary.prefix_range("http://a/")
+        matching = dictionary.terms()[lo:hi]
+        assert matching == ["http://a/1", "http://a/2"]
+
+    def test_round_trip_all(self):
+        terms = [f"term-{i:03d}" for i in range(50)]
+        dictionary = Dictionary.from_terms(terms)
+        for term in terms:
+            assert dictionary.term_of(dictionary.id_of(term)) == term
+
+
+class TestNumericIndex:
+    def test_value_round_trip(self):
+        index = NumericIndex([5.0, 1.0, 3.0, 10.0])
+        assert len(index) == 4
+        assert [index.value_at(i) for i in range(4)] == [1.0, 3.0, 5.0, 10.0]
+
+    def test_scaled_decimals(self):
+        index = NumericIndex([1.25, 0.5, 2.75], scale=2)
+        assert [index.value_at(i) for i in range(3)] == [0.5, 1.25, 2.75]
+
+    def test_id_range_exclusive(self):
+        index = NumericIndex([1, 2, 3, 4, 5, 6])
+        lo, hi = index.id_range(2, 5)
+        assert [index.value_at(i) for i in range(lo, hi)] == [3.0, 4.0]
+
+    def test_id_range_inclusive(self):
+        index = NumericIndex([1, 2, 3, 4, 5, 6])
+        lo, hi = index.id_range(2, 5, inclusive=True)
+        assert [index.value_at(i) for i in range(lo, hi)] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_id_range_bounds_absent_from_data(self):
+        index = NumericIndex([10, 20, 30, 40])
+        lo, hi = index.id_range(12, 35)
+        assert [index.value_at(i) for i in range(lo, hi)] == [20.0, 30.0]
+
+    def test_id_range_outside_universe(self):
+        index = NumericIndex([10, 20, 30])
+        lo, hi = index.id_range(100, 200)
+        assert lo >= hi or lo == len(index)
+        lo, hi = index.id_range(0, 5)
+        assert list(range(lo, hi)) == []
+
+    def test_empty(self):
+        index = NumericIndex([])
+        assert index.id_range(0, 10) == (0, 0)
+
+    def test_size_in_bits_positive(self):
+        assert NumericIndex([1, 2, 3]).size_in_bits() > 0
+
+
+class TestRdfDictionary:
+    def test_from_term_triples(self):
+        term_triples = [
+            ("<s1>", "<p1>", "<o1>"),
+            ("<s1>", "<p2>", '"literal"'),
+            ("<s2>", "<p1>", "<o1>"),
+        ]
+        dictionary, store = RdfDictionary.from_term_triples(term_triples)
+        assert len(store) == 3
+        # Subjects and objects share one resource dictionary: s1, s2, o1, literal.
+        assert len(dictionary.subjects) == 4
+        assert len(dictionary.predicates) == 2
+        assert dictionary.objects is dictionary.subjects
+        for term_triple in term_triples:
+            encoded = dictionary.encode(*term_triple)
+            assert encoded in store
+            assert dictionary.decode(encoded) == term_triple
+
+    def test_size_summary(self):
+        dictionary, _ = RdfDictionary.from_term_triples([("<a>", "<b>", "<c>")])
+        assert dictionary.size_summary() == {"subjects": 2, "predicates": 1, "objects": 2}
+
+    def test_shared_subject_object_space(self):
+        # The same term keeps one ID whether it appears as subject or object,
+        # so joins on a shared variable are meaningful.
+        dictionary, _ = RdfDictionary.from_term_triples(
+            [("<x>", "<p>", "<x>"), ("<a>", "<p>", "<b>")])
+        assert dictionary.subjects.id_of("<x>") == dictionary.objects.id_of("<x>")

@@ -1,0 +1,177 @@
+"""Tests for the Elias-Fano codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sequences.elias_fano import EliasFano
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        values = [0, 0, 3, 7, 7, 12, 100, 100, 1000]
+        sequence = EliasFano.from_values(values)
+        assert sequence.to_list() == values
+        assert len(sequence) == len(values)
+
+    def test_empty(self):
+        sequence = EliasFano.from_values([])
+        assert len(sequence) == 0
+        assert sequence.to_list() == []
+
+    def test_single_element(self):
+        sequence = EliasFano.from_values([42])
+        assert sequence.access(0) == 42
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(EncodingError):
+            EliasFano.from_values([3, 2, 5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            EliasFano.from_values([-1, 2])
+
+    def test_explicit_universe(self):
+        sequence = EliasFano.from_values([1, 5, 9], universe=1000)
+        assert sequence.universe == 1000
+        assert sequence.to_list() == [1, 5, 9]
+
+    def test_universe_too_small_rejected(self):
+        with pytest.raises(EncodingError):
+            EliasFano.from_values([1, 5, 9], universe=9)
+
+    def test_all_zeros(self):
+        sequence = EliasFano.from_values([0] * 50)
+        assert sequence.to_list() == [0] * 50
+
+    def test_dense_consecutive(self):
+        values = list(range(1000))
+        sequence = EliasFano.from_values(values)
+        assert sequence.access(500) == 500
+        # Dense sequences need roughly 2 bits per element plus overhead.
+        assert sequence.bits_per_element() < 5
+
+
+class TestAccess:
+    def test_access_positions(self):
+        values = [2, 4, 4, 10, 90, 91, 2000]
+        sequence = EliasFano.from_values(values)
+        for i, expected in enumerate(values):
+            assert sequence.access(i) == expected
+
+    def test_access_out_of_range(self):
+        sequence = EliasFano.from_values([1, 2])
+        with pytest.raises(IndexError):
+            sequence.access(2)
+
+    def test_low_bits_zero_case(self):
+        # Universe smaller than size forces zero low bits.
+        values = [0, 0, 1, 1, 2, 2, 3, 3]
+        sequence = EliasFano.from_values(values)
+        assert sequence.low_bits == 0
+        assert sequence.to_list() == values
+
+
+class TestNextGeqAndFind:
+    def test_next_geq_basic(self):
+        sequence = EliasFano.from_values([3, 7, 7, 15, 40])
+        assert sequence.next_geq(0) == (0, 3)
+        assert sequence.next_geq(3) == (0, 3)
+        assert sequence.next_geq(4) == (1, 7)
+        assert sequence.next_geq(8) == (3, 15)
+        assert sequence.next_geq(40) == (4, 40)
+        assert sequence.next_geq(41) == (5, -1)
+
+    def test_next_geq_restricted_range(self):
+        sequence = EliasFano.from_values([3, 7, 7, 15, 40])
+        position, element = sequence.next_geq(5, begin=2, end=4)
+        assert (position, element) == (2, 7)
+        position, element = sequence.next_geq(50, begin=0, end=3)
+        assert position == 3 and element == -1
+
+    def test_find(self):
+        sequence = EliasFano.from_values([1, 5, 5, 9, 20])
+        assert sequence.find(0, 5, 5) == 1
+        assert sequence.find(0, 5, 9) == 3
+        assert sequence.find(0, 5, 2) == -1
+        assert sequence.find(2, 4, 5) == 2
+        assert sequence.find(0, 5, 100) == -1
+
+    def test_find_invalid_range(self):
+        sequence = EliasFano.from_values([1, 2, 3])
+        with pytest.raises(IndexError):
+            sequence.find(0, 4, 1)
+
+
+class TestScan:
+    def test_scan_full(self):
+        values = [0, 5, 6, 6, 30, 31, 100]
+        sequence = EliasFano.from_values(values)
+        assert list(sequence.scan()) == values
+
+    def test_scan_range(self):
+        values = [0, 5, 6, 6, 30, 31, 100]
+        sequence = EliasFano.from_values(values)
+        assert list(sequence.scan(2, 5)) == [6, 6, 30]
+        assert list(sequence.scan(3, 3)) == []
+
+    def test_iterator_protocol(self):
+        values = [1, 2, 3]
+        assert list(EliasFano.from_values(values)) == values
+
+
+class TestSpace:
+    def test_space_close_to_theory(self):
+        # n log(u/n) + 2n plus small overheads.
+        values = list(range(0, 100_000, 7))
+        sequence = EliasFano.from_values(values)
+        n = len(values)
+        universe = values[-1] + 1
+        theoretical = n * max(1, (universe // n).bit_length()) + 2 * n
+        assert sequence.size_in_bits() <= theoretical * 1.6 + 512
+
+    def test_sparse_vs_dense(self):
+        dense = EliasFano.from_values(list(range(1000)))
+        sparse = EliasFano.from_values([i * 10_000 for i in range(1000)])
+        assert dense.bits_per_element() < sparse.bits_per_element()
+
+
+monotone_lists = st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                          max_size=300).map(
+    lambda gaps: [sum(gaps[:i + 1]) for i in range(len(gaps))])
+
+
+@settings(max_examples=60, deadline=None)
+@given(monotone_lists)
+def test_round_trip_property(values):
+    """Property: Elias-Fano round-trips arbitrary monotone sequences."""
+    sequence = EliasFano.from_values(values)
+    assert sequence.to_list() == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(monotone_lists, st.integers(min_value=0, max_value=60_000))
+def test_next_geq_property(values, needle):
+    """Property: next_geq returns the leftmost element >= needle."""
+    sequence = EliasFano.from_values(values)
+    position, element = sequence.next_geq(needle)
+    candidates = [i for i, v in enumerate(values) if v >= needle]
+    if candidates:
+        assert position == candidates[0]
+        assert element == values[candidates[0]]
+    else:
+        assert position == len(values)
+        assert element == -1
+
+
+@settings(max_examples=40, deadline=None)
+@given(monotone_lists, st.integers(min_value=0, max_value=60_000))
+def test_find_property(values, needle):
+    """Property: find locates the first occurrence or returns -1."""
+    sequence = EliasFano.from_values(values)
+    position = sequence.find(0, len(values), needle)
+    if needle in values:
+        assert position == values.index(needle)
+    else:
+        assert position == -1

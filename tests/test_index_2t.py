@@ -1,0 +1,99 @@
+"""Tests for the two-trie indexes (2Tp and 2To)."""
+
+import pytest
+
+from repro.core.index_2t import TwoTrieIndex
+from repro.core.patterns import PatternKind, TriplePattern, reference_select
+from repro.errors import IndexBuildError, PatternError
+
+
+class TestConstruction:
+    def test_variant_names(self, index_2tp, index_2to):
+        assert index_2tp.name == "2tp"
+        assert index_2to.name == "2to"
+        assert index_2tp.variant == "p"
+        assert index_2to.variant == "o"
+
+    def test_invalid_variant_rejected(self, builder):
+        with pytest.raises(IndexBuildError):
+            TwoTrieIndex(builder.build_trie("spo"), builder.build_trie("pos"),
+                         variant="x")
+
+    def test_wrong_second_permutation_rejected(self, builder):
+        with pytest.raises(IndexBuildError):
+            TwoTrieIndex(builder.build_trie("spo"), builder.build_trie("osp"),
+                         variant="p")
+
+    def test_2to_requires_ps_structure(self, builder):
+        with pytest.raises(IndexBuildError):
+            TwoTrieIndex(builder.build_trie("spo"), builder.build_trie("ops"),
+                         variant="o", ps_structure=None)
+
+    def test_trie_accessor(self, index_2tp):
+        assert index_2tp.trie("spo").permutation_name == "spo"
+        assert index_2tp.trie("pos").permutation_name == "pos"
+        with pytest.raises(KeyError):
+            index_2tp.trie("osp")
+
+    def test_ps_structure_only_for_2to(self, index_2tp, index_2to):
+        assert index_2tp.ps_structure is None
+        assert index_2to.ps_structure is not None
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_2tp_matches_reference(self, index_2tp, reference_triples, kind):
+        sample = reference_triples[:: max(1, len(reference_triples) // 30)][:30]
+        for triple in sample:
+            pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+            assert index_2tp.select_list(pattern) == \
+                reference_select(reference_triples, pattern)
+            if kind is PatternKind.ALL_WILDCARDS:
+                break
+
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_2to_matches_reference(self, index_2to, reference_triples, kind):
+        sample = reference_triples[:: max(1, len(reference_triples) // 30)][:30]
+        for triple in sample:
+            pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+            assert index_2to.select_list(pattern) == \
+                reference_select(reference_triples, pattern)
+            if kind is PatternKind.ALL_WILDCARDS:
+                break
+
+    def test_enumerate_used_for_so(self, index_2tp, reference_triples):
+        # S?O must return every predicate connecting the pair.
+        s, p, o = reference_triples[0]
+        expected = sorted(t for t in reference_triples if t[0] == s and t[2] == o)
+        assert index_2tp.select_list((s, None, o)) == expected
+
+    def test_inverted_object_on_2tp(self, index_2tp, reference_triples):
+        o = reference_triples[0][2]
+        expected = sorted(t for t in reference_triples if t[2] == o)
+        assert index_2tp.select_list((None, None, o)) == expected
+
+    def test_inverted_predicate_on_2to(self, index_2to, reference_triples):
+        p = reference_triples[0][1]
+        expected = sorted(t for t in reference_triples if t[1] == p)
+        assert index_2to.select_list((None, p, None)) == expected
+
+    def test_unknown_ids_return_nothing(self, index_2tp, index_2to, small_store):
+        for index in (index_2tp, index_2to):
+            assert index.select_list((small_store.num_subjects + 3, None, None)) == []
+            assert index.select_list((None, None, small_store.num_objects + 3)) == []
+
+
+class TestSpace:
+    def test_2t_smaller_than_3t(self, all_indexes):
+        # Dropping a permutation saves roughly a third (paper Section 3.3).
+        for variant in ("2tp", "2to"):
+            saving = 1 - all_indexes[variant].size_in_bits() / all_indexes["3t"].size_in_bits()
+            assert saving > 0.15
+
+    def test_2tp_smaller_than_2to(self, all_indexes):
+        # POS is cheaper to store than OPS (paper Table 4).
+        assert all_indexes["2tp"].size_in_bits() < all_indexes["2to"].size_in_bits()
+
+    def test_space_breakdown(self, index_2tp, index_2to):
+        assert sum(index_2tp.space_breakdown().values()) == index_2tp.size_in_bits()
+        assert any(key.startswith("ps.") for key in index_2to.space_breakdown())

@@ -1,0 +1,77 @@
+"""Tests for the 3T permuted trie index."""
+
+import pytest
+
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.patterns import PatternKind, TriplePattern, reference_select
+from repro.errors import PatternError
+
+
+class TestDispatch:
+    def test_dispatch_table_covers_all_kinds(self):
+        assert set(PermutedTrieIndex.DISPATCH) == set(PatternKind)
+
+    def test_dispatch_matches_paper(self, index_3t):
+        assert index_3t.dispatch_trie((1, 2, 3)) == "spo"
+        assert index_3t.dispatch_trie((1, 2, None)) == "spo"
+        assert index_3t.dispatch_trie((1, None, None)) == "spo"
+        assert index_3t.dispatch_trie((None, None, None)) == "spo"
+        assert index_3t.dispatch_trie((None, 2, 3)) == "pos"
+        assert index_3t.dispatch_trie((None, 2, None)) == "pos"
+        assert index_3t.dispatch_trie((1, None, 3)) == "osp"
+        assert index_3t.dispatch_trie((None, None, 3)) == "osp"
+
+    def test_requires_all_three_tries(self, index_3t):
+        with pytest.raises(PatternError):
+            PermutedTrieIndex({"spo": index_3t.trie("spo")})
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_matches_reference_for_every_kind(self, index_3t, reference_triples, kind):
+        sample = reference_triples[:: max(1, len(reference_triples) // 40)][:40]
+        for triple in sample:
+            pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+            got = index_3t.select_list(pattern)
+            expected = reference_select(reference_triples, pattern)
+            assert got == expected
+            if kind is PatternKind.ALL_WILDCARDS:
+                break  # identical for every sampled triple
+
+    def test_absent_components_return_nothing(self, index_3t, small_store):
+        missing = small_store.num_subjects + 10
+        assert index_3t.select_list((missing, None, None)) == []
+        assert index_3t.select_list((None, None, small_store.num_objects + 5)) == []
+
+    def test_contains_and_count(self, index_3t, reference_triples):
+        present = reference_triples[0]
+        assert index_3t.contains(present)
+        assert not index_3t.contains((present[0], present[1], 10_000))
+        subject = present[0]
+        expected = len([t for t in reference_triples if t[0] == subject])
+        assert index_3t.count((subject, None, None)) == expected
+
+    def test_num_triples(self, index_3t, reference_triples):
+        assert index_3t.num_triples == len(reference_triples)
+
+
+class TestSpace:
+    def test_bits_per_triple_positive(self, index_3t):
+        assert index_3t.bits_per_triple() > 0
+
+    def test_space_breakdown_has_all_tries(self, index_3t):
+        breakdown = index_3t.space_breakdown()
+        for trie_name in ("spo", "pos", "osp"):
+            assert any(key.startswith(trie_name + ".") for key in breakdown)
+        assert sum(breakdown.values()) == index_3t.size_in_bits()
+
+    def test_3t_is_largest_layout(self, all_indexes):
+        # The paper's Table 4 ordering: 3T > CC > 2To > 2Tp.
+        assert all_indexes["3t"].size_in_bits() > all_indexes["cc"].size_in_bits()
+        assert all_indexes["cc"].size_in_bits() > all_indexes["2tp"].size_in_bits()
+
+    def test_children_statistics_structure(self, index_3t):
+        statistics = index_3t.children_statistics()
+        assert set(statistics) == {"spo", "pos", "osp"}
+        for per_trie in statistics.values():
+            assert set(per_trie) == {"level1", "level2"}

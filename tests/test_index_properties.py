@@ -1,0 +1,69 @@
+"""Property-based cross-checks: every index layout and every baseline must
+agree with the naive reference on arbitrary triple sets and patterns."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BitMatIndex,
+    HdtFoqIndex,
+    Rdf3xIndex,
+    TripleBitIndex,
+    VerticalPartitioningIndex,
+)
+from repro.core.builder import build_index
+from repro.core.patterns import PatternKind, TriplePattern, reference_select
+from repro.rdf.triples import TripleStore
+
+triple_sets = st.sets(
+    st.tuples(st.integers(0, 15), st.integers(0, 4), st.integers(0, 15)),
+    min_size=1, max_size=80)
+
+
+def _check_index_against_reference(index, triples):
+    triples = sorted(triples)
+    probes = triples[:: max(1, len(triples) // 8)]
+    for triple in probes:
+        for kind in PatternKind:
+            pattern = TriplePattern.from_triple_with_wildcards(triple, kind)
+            assert index.select_list(pattern) == reference_select(triples, pattern)
+    # Also probe IDs that are absent.
+    assert index.select_list((1000, None, None)) == []
+    assert index.select_list((None, 1000, None)) == []
+    assert index.select_list((None, None, 1000)) == []
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(triple_sets, st.sampled_from(["3t", "cc", "2tp", "2to"]))
+def test_paper_layouts_match_reference(triples, layout):
+    """Property: the four paper layouts answer every pattern kind correctly."""
+    store = TripleStore.from_triples(sorted(triples))
+    index = build_index(store, layout)
+    assert index.num_triples == len(triples)
+    _check_index_against_reference(index, triples)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(triple_sets,
+       st.sampled_from([HdtFoqIndex, TripleBitIndex, VerticalPartitioningIndex,
+                        Rdf3xIndex, BitMatIndex]))
+def test_baselines_match_reference(triples, index_class):
+    """Property: every baseline answers every pattern kind correctly."""
+    store = TripleStore.from_triples(sorted(triples))
+    index = index_class(store)
+    assert index.num_triples == len(triples)
+    _check_index_against_reference(index, triples)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(triple_sets)
+def test_layouts_agree_with_each_other(triples):
+    """Property: all four layouts return identical result sets."""
+    store = TripleStore.from_triples(sorted(triples))
+    indexes = [build_index(store, layout) for layout in ("3t", "cc", "2tp", "2to")]
+    probe = sorted(triples)[0]
+    for kind in PatternKind:
+        pattern = TriplePattern.from_triple_with_wildcards(probe, kind)
+        results = [index.select_list(pattern) for index in indexes]
+        assert all(r == results[0] for r in results[1:])

@@ -1,0 +1,99 @@
+"""End-to-end integration tests: N-Triples -> dictionary -> index -> queries,
+and a full pipeline on generated WatDiv data including range queries."""
+
+import pytest
+
+from repro.core.builder import IndexBuilder, build_index
+from repro.core.patterns import reference_select
+from repro.core.range_queries import RangeQueryEngine
+from repro.core.stats import children_statistics_table, space_breakdown_percentages
+from repro.datasets.watdiv import WATDIV_PREDICATES
+from repro.queries import execute_bgp, parse_sparql
+from repro.rdf.dictionary import RdfDictionary
+from repro.rdf.ntriples import parse_ntriples, term_triples_to_keys
+
+NTRIPLES = """\
+<http://ex/alice> <http://ex/knows> <http://ex/bob> .
+<http://ex/alice> <http://ex/knows> <http://ex/carol> .
+<http://ex/bob> <http://ex/knows> <http://ex/carol> .
+<http://ex/alice> <http://ex/worksFor> <http://ex/acme> .
+<http://ex/bob> <http://ex/worksFor> <http://ex/acme> .
+<http://ex/carol> <http://ex/worksFor> <http://ex/initech> .
+<http://ex/alice> <http://ex/name> "Alice" .
+<http://ex/bob> <http://ex/name> "Bob" .
+<http://ex/carol> <http://ex/name> "Carol" .
+"""
+
+
+class TestNTriplesPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        terms = term_triples_to_keys(parse_ntriples(NTRIPLES.splitlines()))
+        dictionary, store = RdfDictionary.from_term_triples(terms)
+        index = build_index(store, "2tp")
+        return dictionary, store, index
+
+    def test_counts(self, pipeline):
+        dictionary, store, index = pipeline
+        assert len(store) == 9
+        assert index.num_triples == 9
+        assert len(dictionary.predicates) == 3
+
+    def test_pattern_query_with_decoding(self, pipeline):
+        dictionary, store, index = pipeline
+        knows = dictionary.predicates.id_of("<http://ex/knows>")
+        results = [dictionary.decode(t) for t in index.select((None, knows, None))]
+        assert ("<http://ex/alice>", "<http://ex/knows>", "<http://ex/bob>") in results
+        assert len(results) == 3
+
+    def test_sparql_over_dictionary(self, pipeline):
+        dictionary, store, index = pipeline
+        query = parse_sparql(
+            "SELECT ?x ?y WHERE { ?x <http://ex/knows> ?y . "
+            "?y <http://ex/worksFor> <http://ex/acme> . }",
+            dictionary=dictionary)
+        results, stats = execute_bgp(index, query, store=store)
+        decoded = {(dictionary.subjects.term_of(r["?x"]),) for r in results}
+        assert ("<http://ex/alice>",) in decoded
+        assert stats.patterns_executed >= 2
+
+    def test_all_layouts_agree(self, pipeline):
+        _, store, _ = pipeline
+        triples = sorted(store)
+        builder = IndexBuilder(store)
+        for layout in ("3t", "cc", "2tp", "2to"):
+            index = builder.build(layout)
+            assert index.select_list((None, None, None)) == triples
+
+
+class TestWatDivPipeline:
+    def test_full_pipeline(self, watdiv_dataset):
+        store = watdiv_dataset.store
+        index = build_index(store, "2tp")
+        triples = sorted(store)
+
+        # Selection patterns agree with the reference.
+        probe = triples[len(triples) // 3]
+        for pattern in [(probe[0], None, None), (None, probe[1], probe[2]),
+                        (probe[0], None, probe[2])]:
+            assert index.select_list(pattern) == reference_select(triples, pattern)
+
+        # Range queries through the numeric structure.
+        engine = RangeQueryEngine(index, watdiv_dataset.numeric_index,
+                                  watdiv_dataset.numeric_id_offset)
+        price = WATDIV_PREDICATES["price"]
+        matches = list(engine.select_object_range((None, price, None), 0.0, 1000.0))
+        expected_count = index.count((None, price, None))
+        assert len(matches) == expected_count
+
+        # Statistics helpers run end-to-end.
+        table2 = children_statistics_table(store)
+        assert table2["spo"][1]["average"] >= 1.0
+        percentages = space_breakdown_percentages(build_index(store, "3t"))
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_layouts_have_expected_space_ordering(self, watdiv_dataset):
+        builder = IndexBuilder(watdiv_dataset.store)
+        sizes = {layout: builder.build(layout).size_in_bits()
+                 for layout in ("3t", "cc", "2tp")}
+        assert sizes["3t"] > sizes["cc"] > sizes["2tp"]

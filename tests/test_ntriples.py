@@ -1,0 +1,110 @@
+"""Tests for the N-Triples parser and writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.ntriples import (
+    Term,
+    parse_ntriples,
+    parse_ntriples_file,
+    term_triples_to_keys,
+    write_ntriples,
+)
+
+SAMPLE = """\
+# a comment line
+<http://example.org/s> <http://example.org/p> <http://example.org/o> .
+
+<http://example.org/s> <http://example.org/name> "Alice" .
+<http://example.org/s> <http://example.org/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://example.org/s> <http://example.org/label> "Bonjour"@fr .
+_:blank1 <http://example.org/p> _:blank2 .
+"""
+
+
+class TestParsing:
+    def test_parse_all_statements(self):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        assert len(triples) == 5
+
+    def test_iri_terms(self):
+        s, p, o = next(iter(parse_ntriples(SAMPLE.splitlines())))
+        assert s == Term("iri", "http://example.org/s")
+        assert p.kind == "iri"
+        assert o.kind == "iri"
+
+    def test_plain_literal(self):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        literal = triples[1][2]
+        assert literal.kind == "literal"
+        assert literal.value == "Alice"
+        assert literal.language is None
+        assert literal.datatype is None
+
+    def test_typed_literal(self):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        literal = triples[2][2]
+        assert literal.datatype.endswith("integer")
+        assert literal.is_numeric()
+        assert literal.numeric_value() == 42.0
+
+    def test_language_tagged_literal(self):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        literal = triples[3][2]
+        assert literal.language == "fr"
+        assert literal.value == "Bonjour"
+
+    def test_blank_nodes(self):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        s, _, o = triples[4]
+        assert s.kind == "bnode"
+        assert o.kind == "bnode"
+
+    def test_escaped_quotes(self):
+        line = '<http://e/s> <http://e/p> "say \\"hi\\"" .'
+        (_, _, o), = parse_ntriples([line])
+        assert o.value == 'say "hi"'
+
+    def test_malformed_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(parse_ntriples(["<only> <two> ."]))
+        assert "line 1" in str(excinfo.value)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            list(parse_ntriples(['"literal" <http://e/p> <http://e/o> .']))
+
+    def test_non_numeric_literal(self):
+        term = Term("literal", "abc")
+        assert not term.is_numeric()
+        with pytest.raises(ParseError):
+            term.numeric_value()
+
+
+class TestSerialisation:
+    def test_round_trip_via_file(self, tmp_path):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        path = tmp_path / "out.nt"
+        count = write_ntriples(triples, path)
+        assert count == len(triples)
+        parsed_back = list(parse_ntriples_file(path))
+        assert parsed_back == triples
+
+    def test_term_serialisation(self):
+        assert Term("iri", "http://x").ntriples() == "<http://x>"
+        assert Term("bnode", "_:b0").ntriples() == "_:b0"
+        assert Term("literal", "hi").ntriples() == '"hi"'
+        assert Term("literal", "hi", language="en").ntriples() == '"hi"@en'
+        assert Term("literal", "5", datatype="http://dt").ntriples() == '"5"^^<http://dt>'
+
+    def test_keys_are_distinct_across_kinds(self):
+        iri = Term("iri", "x")
+        literal = Term("literal", "x")
+        assert iri.key() != literal.key()
+
+    def test_term_triples_to_keys(self):
+        triples = list(parse_ntriples(SAMPLE.splitlines()))
+        keys = term_triples_to_keys(triples)
+        assert len(keys) == len(triples)
+        assert all(len(key) == 3 for key in keys)
+        assert keys[0][0] == "<http://example.org/s>"

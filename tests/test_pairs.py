@@ -1,0 +1,72 @@
+"""Tests for the two-level PairStructure."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairs import PairStructure
+from repro.errors import IndexBuildError
+
+FIRSTS = np.array([0, 0, 1, 1, 1, 3, 3, 0])
+SECONDS = np.array([5, 9, 2, 2, 7, 1, 4, 5])
+
+
+class TestConstruction:
+    def test_from_pairs_deduplicates(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS)
+        assert structure.num_pairs == 6  # (0,5) and (1,2) duplicated
+        assert structure.num_first == 4
+
+    def test_explicit_num_first(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS, num_first=10)
+        assert structure.num_first == 10
+        assert list(structure.values_of(9)) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexBuildError):
+            PairStructure.from_pairs(np.array([]), np.array([]))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(IndexBuildError):
+            PairStructure.from_pairs(np.array([1, 2]), np.array([1]))
+
+    @pytest.mark.parametrize("codec", ["pef", "ef", "compact", "vbyte"])
+    def test_codecs(self, codec):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS, codec=codec)
+        assert list(structure.values_of(0)) == [5, 9]
+        assert list(structure.values_of(1)) == [2, 7]
+
+
+class TestLookups:
+    def test_values_sorted_per_first(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS)
+        assert list(structure.values_of(0)) == [5, 9]
+        assert list(structure.values_of(1)) == [2, 7]
+        assert list(structure.values_of(2)) == []
+        assert list(structure.values_of(3)) == [1, 4]
+
+    def test_count_of(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS)
+        assert structure.count_of(0) == 2
+        assert structure.count_of(2) == 0
+        assert structure.count_of(99) == 0
+
+    def test_contains(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS)
+        assert structure.contains(0, 5)
+        assert structure.contains(3, 4)
+        assert not structure.contains(0, 4)
+        assert not structure.contains(2, 1)
+        assert not structure.contains(50, 1)
+
+    def test_range_of(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS)
+        begin, end = structure.range_of(1)
+        assert end - begin == 2
+
+
+class TestSpace:
+    def test_size_and_breakdown(self):
+        structure = PairStructure.from_pairs(FIRSTS, SECONDS)
+        breakdown = structure.space_breakdown()
+        assert set(breakdown) == {"pointers", "values"}
+        assert structure.size_in_bits() == sum(breakdown.values())

@@ -1,0 +1,146 @@
+"""Tests for the partitioned Elias-Fano codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.partitioned_elias_fano import PartitionedEliasFano
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        values = [0, 1, 1, 4, 9, 9, 9, 200, 201, 500, 10_000]
+        sequence = PartitionedEliasFano.from_values(values, partition_size=4)
+        assert sequence.to_list() == values
+        assert len(sequence) == len(values)
+
+    def test_empty(self):
+        sequence = PartitionedEliasFano.from_values([])
+        assert len(sequence) == 0
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(EncodingError):
+            PartitionedEliasFano.from_values([5, 4])
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            PartitionedEliasFano.from_values([-3, 4])
+
+    def test_invalid_partition_size(self):
+        with pytest.raises(EncodingError):
+            PartitionedEliasFano.from_values([1, 2], partition_size=0)
+
+    def test_partition_count(self):
+        values = list(range(0, 1000, 2))
+        sequence = PartitionedEliasFano.from_values(values, partition_size=128)
+        assert sequence.num_partitions == (len(values) + 127) // 128
+        assert sequence.partition_size == 128
+
+    def test_run_partition_is_free(self):
+        # A strictly consecutive run should use the "run" encoder: almost no
+        # payload beyond the per-partition header.
+        run = PartitionedEliasFano.from_values(list(range(1, 257)), partition_size=128)
+        scattered = PartitionedEliasFano.from_values(
+            [i * 37 for i in range(256)], partition_size=128)
+        assert run.size_in_bits() < scattered.size_in_bits()
+        assert run.to_list() == list(range(1, 257))
+
+    def test_duplicates_across_partition_boundary(self):
+        values = [5] * 300
+        sequence = PartitionedEliasFano.from_values(values, partition_size=128)
+        assert sequence.to_list() == values
+
+    def test_dense_partition_uses_bitmap_or_ef(self):
+        values = sorted(set(range(1, 200, 2)) | set(range(200, 260)))
+        sequence = PartitionedEliasFano.from_values(values, partition_size=64)
+        assert sequence.to_list() == values
+
+
+class TestAccessAndFind:
+    def test_access(self):
+        values = [3 * i + (i % 3) for i in range(500)]
+        sequence = PartitionedEliasFano.from_values(values, partition_size=64)
+        for i in (0, 1, 63, 64, 65, 127, 128, 300, 499):
+            assert sequence.access(i) == values[i]
+
+    def test_access_out_of_range(self):
+        sequence = PartitionedEliasFano.from_values([1, 2, 3])
+        with pytest.raises(IndexError):
+            sequence.access(3)
+
+    def test_find_within_single_partition(self):
+        values = [2, 4, 6, 8, 10, 12]
+        sequence = PartitionedEliasFano.from_values(values, partition_size=128)
+        assert sequence.find(0, 6, 8) == 3
+        assert sequence.find(0, 6, 7) == -1
+        assert sequence.find(2, 5, 10) == 4
+
+    def test_find_across_partitions(self):
+        values = list(range(0, 1000, 3))
+        sequence = PartitionedEliasFano.from_values(values, partition_size=32)
+        for needle in (0, 3, 96, 300, 999):
+            expected = values.index(needle) if needle in values else -1
+            assert sequence.find(0, len(values), needle) == expected
+
+    def test_find_restricted_range(self):
+        values = list(range(100))
+        sequence = PartitionedEliasFano.from_values(values, partition_size=16)
+        assert sequence.find(50, 60, 55) == 55
+        assert sequence.find(50, 60, 70) == -1
+        assert sequence.find(10, 10, 10) == -1
+
+    def test_find_invalid_range(self):
+        sequence = PartitionedEliasFano.from_values([1, 2, 3])
+        with pytest.raises(IndexError):
+            sequence.find(0, 4, 2)
+
+    def test_scan(self):
+        values = [0, 1, 5, 5, 9, 22, 23, 23, 40]
+        sequence = PartitionedEliasFano.from_values(values, partition_size=4)
+        assert list(sequence.scan(2, 7)) == values[2:7]
+
+
+class TestSpace:
+    def test_partitioning_helps_clustered_data(self):
+        # Clustered values: long consecutive runs separated by huge jumps.
+        # Most partitions fall entirely inside a run and cost almost nothing,
+        # while plain Elias-Fano pays the large universe on every element.
+        values = []
+        base = 0
+        for _cluster in range(40):
+            values.extend(base + i for i in range(1, 513))
+            base += 1_000_000
+        pef = PartitionedEliasFano.from_values(values, partition_size=64)
+        ef = EliasFano.from_values(values)
+        assert pef.size_in_bits() < ef.size_in_bits()
+
+    def test_size_positive(self):
+        sequence = PartitionedEliasFano.from_values([5])
+        assert sequence.size_in_bits() > 0
+
+
+monotone_lists = st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                          max_size=400).map(
+    lambda gaps: [sum(gaps[:i + 1]) for i in range(len(gaps))])
+
+
+@settings(max_examples=50, deadline=None)
+@given(monotone_lists, st.integers(min_value=2, max_value=64))
+def test_round_trip_property(values, partition_size):
+    """Property: PEF round-trips monotone sequences for any partition size."""
+    sequence = PartitionedEliasFano.from_values(values, partition_size=partition_size)
+    assert sequence.to_list() == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(monotone_lists, st.integers(min_value=0, max_value=20_000))
+def test_find_matches_naive(values, needle):
+    """Property: PEF find agrees with the naive first-occurrence search."""
+    sequence = PartitionedEliasFano.from_values(values, partition_size=16)
+    position = sequence.find(0, len(values), needle)
+    if needle in values:
+        assert position == values.index(needle)
+    else:
+        assert position == -1

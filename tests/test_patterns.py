@@ -1,0 +1,84 @@
+"""Tests for triple selection patterns."""
+
+import pytest
+
+from repro.core.patterns import PatternKind, TriplePattern, reference_select
+from repro.errors import PatternError
+
+
+class TestPatternKind:
+    def test_all_eight_kinds(self):
+        assert len(PatternKind) == 8
+        assert len(PatternKind.all_kinds()) == 8
+
+    def test_num_wildcards(self):
+        assert PatternKind.SPO.num_wildcards == 0
+        assert PatternKind.SP.num_wildcards == 1
+        assert PatternKind.P.num_wildcards == 2
+        assert PatternKind.ALL_WILDCARDS.num_wildcards == 3
+
+    def test_bound_roles(self):
+        assert PatternKind.SPO.bound_roles == (0, 1, 2)
+        assert PatternKind.SO.bound_roles == (0, 2)
+        assert PatternKind.P.bound_roles == (1,)
+        assert PatternKind.ALL_WILDCARDS.bound_roles == ()
+
+
+class TestTriplePattern:
+    def test_kind_detection(self):
+        assert TriplePattern(1, 2, 3).kind is PatternKind.SPO
+        assert TriplePattern(1, 2, None).kind is PatternKind.SP
+        assert TriplePattern(1, None, None).kind is PatternKind.S
+        assert TriplePattern(None, 2, 3).kind is PatternKind.PO
+        assert TriplePattern(None, 2, None).kind is PatternKind.P
+        assert TriplePattern(None, None, 3).kind is PatternKind.O
+        assert TriplePattern(1, None, 3).kind is PatternKind.SO
+        assert TriplePattern(None, None, None).kind is PatternKind.ALL_WILDCARDS
+
+    def test_from_tuple(self):
+        pattern = TriplePattern.from_tuple((1, None, 3))
+        assert pattern == TriplePattern(1, None, 3)
+        assert TriplePattern.from_tuple(pattern) is pattern
+
+    def test_from_tuple_wrong_arity(self):
+        with pytest.raises(PatternError):
+            TriplePattern.from_tuple((1, 2))
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(PatternError):
+            TriplePattern(-1, None, None)
+
+    def test_from_triple_with_wildcards(self):
+        triple = (7, 8, 9)
+        assert TriplePattern.from_triple_with_wildcards(triple, PatternKind.SP) == \
+            TriplePattern(7, 8, None)
+        assert TriplePattern.from_triple_with_wildcards(triple, PatternKind.O) == \
+            TriplePattern(None, None, 9)
+        assert TriplePattern.from_triple_with_wildcards(
+            triple, PatternKind.ALL_WILDCARDS) == TriplePattern(None, None, None)
+
+    def test_matches(self):
+        pattern = TriplePattern(1, None, 3)
+        assert pattern.matches((1, 5, 3))
+        assert not pattern.matches((1, 5, 4))
+        assert TriplePattern(None, None, None).matches((0, 0, 0))
+
+    def test_component_and_as_tuple(self):
+        pattern = TriplePattern(4, None, 6)
+        assert pattern.as_tuple() == (4, None, 6)
+        assert pattern.component(0) == 4
+        assert pattern.component(1) is None
+
+    def test_num_wildcards(self):
+        assert TriplePattern(1, None, None).num_wildcards == 2
+
+    def test_str(self):
+        assert str(TriplePattern(1, None, 3)) == "(1, ?, 3)"
+
+
+class TestReferenceSelect:
+    def test_filters_and_sorts(self):
+        triples = [(2, 0, 0), (1, 0, 0), (1, 1, 5), (0, 0, 0)]
+        assert reference_select(triples, (1, None, None)) == [(1, 0, 0), (1, 1, 5)]
+        assert reference_select(triples, (None, None, None)) == sorted(triples)
+        assert reference_select(triples, (9, None, None)) == []

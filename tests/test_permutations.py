@@ -1,0 +1,43 @@
+"""Tests for the S-P-O permutation machinery."""
+
+import pytest
+
+from repro.core.patterns import TriplePattern
+from repro.core.permutations import PERMUTATIONS, Permutation, permutation
+from repro.errors import IndexBuildError
+
+
+class TestPermutation:
+    def test_all_six_defined(self):
+        assert set(PERMUTATIONS) == {"spo", "sop", "pso", "pos", "osp", "ops"}
+
+    def test_apply(self):
+        triple = (10, 20, 30)
+        assert PERMUTATIONS["spo"].apply(triple) == (10, 20, 30)
+        assert PERMUTATIONS["pos"].apply(triple) == (20, 30, 10)
+        assert PERMUTATIONS["osp"].apply(triple) == (30, 10, 20)
+        assert PERMUTATIONS["ops"].apply(triple) == (30, 20, 10)
+        assert PERMUTATIONS["pso"].apply(triple) == (20, 10, 30)
+        assert PERMUTATIONS["sop"].apply(triple) == (10, 30, 20)
+
+    def test_invert_is_inverse_of_apply(self):
+        triple = (7, 8, 9)
+        for perm in PERMUTATIONS.values():
+            assert perm.invert(perm.apply(triple)) == triple
+
+    def test_apply_pattern_preserves_wildcards(self):
+        pattern = TriplePattern(5, None, 7)
+        assert PERMUTATIONS["osp"].apply_pattern(pattern) == (7, 5, None)
+        assert PERMUTATIONS["pos"].apply_pattern(pattern) == (None, 7, 5)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(IndexBuildError):
+            Permutation("bad", (0, 0, 2))
+
+    def test_lookup(self):
+        assert permutation("POS").name == "pos"
+        with pytest.raises(IndexBuildError):
+            permutation("xyz")
+
+    def test_roles_alias(self):
+        assert PERMUTATIONS["pos"].roles == (1, 2, 0)

@@ -1,0 +1,146 @@
+"""Tests for the range-aware sequence views (prefix-sum transform)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sequences.compact import CompactVector
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.factory import make_ranged_sequence
+from repro.sequences.partitioned_elias_fano import PartitionedEliasFano
+from repro.sequences.prefix_sum import PrefixSummedSequence, RangedSequence
+
+# A trie-level-like input: each sibling range is sorted, the concatenation is
+# not globally monotone.
+VALUES = [2, 3, 0, 4, 0, 1, 2, 0, 1, 2, 4]
+BOUNDARIES = [0, 2, 3, 4, 6, 7, 8, 10, 11]
+
+
+def ranges():
+    return [(BOUNDARIES[i], BOUNDARIES[i + 1]) for i in range(len(BOUNDARIES) - 1)]
+
+
+class TestRangedSequencePassThrough:
+    def test_access_and_scan(self):
+        view = RangedSequence(CompactVector.from_values(VALUES))
+        for begin, end in ranges():
+            assert list(view.scan_range(begin, end)) == VALUES[begin:end]
+            for i in range(begin, end):
+                assert view.access_in_range(begin, end, i) == VALUES[i]
+
+    def test_find(self):
+        view = RangedSequence(CompactVector.from_values(VALUES))
+        assert view.find_in_range(0, 2, 3) == 1
+        assert view.find_in_range(0, 2, 5) == -1
+        assert view.find_in_range(4, 6, 1) == 5
+
+    def test_len_and_size(self):
+        view = RangedSequence(CompactVector.from_values(VALUES))
+        assert len(view) == len(VALUES)
+        assert view.size_in_bits() > 0
+
+    def test_to_list_by_ranges(self):
+        view = RangedSequence(CompactVector.from_values(VALUES))
+        assert view.to_list_by_ranges(BOUNDARIES) == VALUES
+
+
+class TestPrefixSummedSequence:
+    @pytest.mark.parametrize("codec", [EliasFano, PartitionedEliasFano])
+    def test_round_trip(self, codec):
+        view = PrefixSummedSequence.from_values(VALUES, BOUNDARIES, codec)
+        assert view.to_list_by_ranges(BOUNDARIES) == VALUES
+
+    @pytest.mark.parametrize("codec", [EliasFano, PartitionedEliasFano])
+    def test_access_in_range(self, codec):
+        view = PrefixSummedSequence.from_values(VALUES, BOUNDARIES, codec)
+        for begin, end in ranges():
+            for i in range(begin, end):
+                assert view.access_in_range(begin, end, i) == VALUES[i]
+
+    @pytest.mark.parametrize("codec", [EliasFano, PartitionedEliasFano])
+    def test_find_in_range(self, codec):
+        view = PrefixSummedSequence.from_values(VALUES, BOUNDARIES, codec)
+        for begin, end in ranges():
+            for i in range(begin, end):
+                assert view.find_in_range(begin, end, VALUES[i]) == VALUES[begin:end].index(VALUES[i]) + begin
+            missing = max(VALUES[begin:end]) + 1
+            assert view.find_in_range(begin, end, missing) == -1
+
+    def test_access_outside_range_rejected(self):
+        view = PrefixSummedSequence.from_values(VALUES, BOUNDARIES, EliasFano)
+        with pytest.raises(IndexError):
+            view.access_in_range(0, 2, 5)
+
+    def test_empty_range(self):
+        values = [1, 2, 7]
+        boundaries = [0, 2, 2, 3]
+        view = PrefixSummedSequence.from_values(values, boundaries, EliasFano)
+        assert list(view.scan_range(2, 2)) == []
+        assert view.find_in_range(2, 2, 7) == -1
+        assert view.access_in_range(2, 3, 2) == 7
+
+    def test_unsorted_sibling_range_rejected(self):
+        with pytest.raises(EncodingError):
+            PrefixSummedSequence.from_values([3, 1], [0, 2], EliasFano)
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(EncodingError):
+            PrefixSummedSequence.from_values([1, 2, 3], [0, 2], EliasFano)
+        with pytest.raises(EncodingError):
+            PrefixSummedSequence.from_values([1, 2], [0, 2, 1, 2], EliasFano)
+
+
+class TestFactory:
+    def test_monotone_codec_gets_transform(self):
+        view = make_ranged_sequence(VALUES, BOUNDARIES, "pef")
+        assert isinstance(view, PrefixSummedSequence)
+        assert view.to_list_by_ranges(BOUNDARIES) == VALUES
+
+    def test_direct_codec_passthrough(self):
+        view = make_ranged_sequence(VALUES, BOUNDARIES, "compact")
+        assert isinstance(view, RangedSequence)
+        assert not isinstance(view, PrefixSummedSequence)
+        assert view.to_list_by_ranges(BOUNDARIES) == VALUES
+
+    def test_vbyte_passthrough(self):
+        view = make_ranged_sequence(VALUES, BOUNDARIES, "vbyte")
+        assert view.to_list_by_ranges(BOUNDARIES) == VALUES
+
+    def test_unknown_codec(self):
+        with pytest.raises(EncodingError):
+            make_ranged_sequence(VALUES, BOUNDARIES, "nope")
+
+
+@st.composite
+def level_like(draw):
+    """Random (values, boundaries) pairs with sorted sibling ranges."""
+    num_ranges = draw(st.integers(min_value=1, max_value=20))
+    values = []
+    boundaries = [0]
+    for _ in range(num_ranges):
+        chunk = sorted(draw(st.lists(st.integers(min_value=0, max_value=500),
+                                     min_size=0, max_size=15)))
+        values.extend(chunk)
+        boundaries.append(len(values))
+    return values, boundaries
+
+
+@settings(max_examples=50, deadline=None)
+@given(level_like(), st.sampled_from(["ef", "pef", "compact", "vbyte"]))
+def test_ranged_round_trip_property(data, codec):
+    """Property: any codec round-trips a level addressed by its sibling ranges."""
+    values, boundaries = data
+    if not values:
+        return
+    view = make_ranged_sequence(values, boundaries, codec)
+    assert view.to_list_by_ranges(boundaries) == values
+    # find_in_range agrees with membership for each range.
+    for k in range(len(boundaries) - 1):
+        begin, end = boundaries[k], boundaries[k + 1]
+        if begin == end:
+            continue
+        target = values[begin]
+        position = view.find_in_range(begin, end, target)
+        assert begin <= position < end
+        assert view.access_in_range(begin, end, position) == target

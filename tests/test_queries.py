@@ -1,0 +1,235 @@
+"""Tests for workloads, the SPARQL front-end, the planner and the query logs."""
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.patterns import PatternKind, TriplePattern
+from repro.datasets.lubm import LUBM_PREDICATES
+from repro.datasets.watdiv import WATDIV_PREDICATES
+from repro.errors import ParseError, PatternError
+from repro.queries.logs import lubm_query_log, watdiv_query_log
+from repro.queries.planner import QueryPlanner, decompose_into_patterns, execute_bgp
+from repro.queries.sparql import (
+    BasicGraphPattern,
+    TriplePatternTemplate,
+    is_variable,
+    parse_sparql,
+)
+from repro.queries.workload import (
+    DEFAULT_WORKLOAD_SIZE,
+    build_workloads,
+    deduplicate_workload,
+    sample_patterns,
+)
+from repro.rdf.dictionary import RdfDictionary
+from repro.rdf.triples import TripleStore
+
+
+class TestWorkloads:
+    def test_sample_patterns_shape(self, small_store):
+        workload = sample_patterns(small_store, PatternKind.SP, count=50, seed=1)
+        assert len(workload) == 50
+        assert all(p.kind is PatternKind.SP for p in workload)
+
+    def test_patterns_come_from_real_triples(self, small_store, reference_triples):
+        triple_set = set(reference_triples)
+        workload = sample_patterns(small_store, PatternKind.PO, count=30, seed=2)
+        for pattern in workload:
+            assert any(pattern.matches(t) for t in triple_set)
+
+    def test_build_workloads_all_kinds(self, small_store):
+        workloads = build_workloads(small_store, count=20, seed=0)
+        assert set(workloads) == set(PatternKind.all_kinds())
+        assert len(workloads[PatternKind.ALL_WILDCARDS]) == 1
+        assert len(workloads[PatternKind.SP]) == 20
+
+    def test_default_size_matches_paper(self):
+        assert DEFAULT_WORKLOAD_SIZE == 5000
+
+    def test_deduplicate(self, small_store):
+        workload = sample_patterns(small_store, PatternKind.P, count=100, seed=3)
+        unique = deduplicate_workload(workload)
+        assert len(unique) <= len(workload)
+        assert len({p.as_tuple() for p in unique}) == len(unique)
+
+
+class TestSparqlParsing:
+    def test_parse_with_integer_constants(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x 3 ?y . ?y 4 7 . }")
+        assert query.projection == ("?x",)
+        assert len(query.bgp) == 2
+        assert query.bgp.templates[0] == TriplePatternTemplate("?x", 3, "?y")
+        assert query.bgp.templates[1] == TriplePatternTemplate("?y", 4, 7)
+
+    def test_parse_with_symbols(self):
+        query = parse_sparql("SELECT ?s WHERE { ?s {knows} {Alice} . }",
+                             symbols={"knows": 2, "Alice": 9})
+        assert query.bgp.templates[0] == TriplePatternTemplate("?s", 2, 9)
+
+    def test_parse_with_dictionary(self):
+        dictionary, _ = RdfDictionary.from_term_triples(
+            [("<s>", "<p>", "<o>"), ("<s2>", "<p>", "<o2>")])
+        query = parse_sparql("SELECT ?x WHERE { <s> <p> ?x . }", dictionary=dictionary)
+        template = query.bgp.templates[0]
+        assert template.subject == dictionary.subjects.id_of("<s>")
+        assert template.predicate == dictionary.predicates.id_of("<p>")
+
+    def test_star_projection(self):
+        query = parse_sparql("SELECT * WHERE { ?a 1 ?b . }")
+        assert set(query.projection) == {"?a", "?b"}
+
+    def test_malformed_query(self):
+        with pytest.raises(ParseError):
+            parse_sparql("ASK { ?x 1 ?y }")
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT ?x WHERE { ?x 1 . }")
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT ?x WHERE { }")
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT ?x WHERE { ?x {nope} ?y . }", symbols={})
+
+    def test_constant_without_dictionary(self):
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT ?x WHERE { <s> 1 ?x . }")
+
+    def test_template_helpers(self):
+        template = TriplePatternTemplate("?x", 5, "?y")
+        assert template.variables() == ("?x", "?y")
+        assert template.num_bound() == 1
+        assert is_variable("?x") and not is_variable(5)
+        bound = template.bind({"?x": 7})
+        assert bound == TriplePatternTemplate(7, 5, "?y")
+        assert bound.to_selection_pattern() == TriplePattern(7, 5, None)
+
+    def test_bgp_variables_in_order(self):
+        bgp = BasicGraphPattern([TriplePatternTemplate("?b", 1, "?a"),
+                                 TriplePatternTemplate("?a", 2, "?c")])
+        assert bgp.variables() == ("?b", "?a", "?c")
+
+
+class TestPlanner:
+    def test_most_selective_first(self, small_store):
+        bgp = BasicGraphPattern([
+            TriplePatternTemplate("?x", "?p", "?y"),      # 0 bound
+            TriplePatternTemplate("?x", 0, 1),            # 2 bound
+            TriplePatternTemplate("?x", 0, "?y"),         # 1 bound
+        ])
+        plan = QueryPlanner(small_store).plan(bgp)
+        assert plan[0].num_bound() == 2
+
+    def test_connected_templates_preferred(self):
+        bgp = BasicGraphPattern([
+            TriplePatternTemplate("?a", 0, "?b"),
+            TriplePatternTemplate("?c", 1, "?d"),   # disconnected from ?a/?b
+            TriplePatternTemplate("?b", 2, "?e"),
+        ])
+        plan = QueryPlanner().plan(bgp)
+        first_vars = set(plan[0].variables())
+        assert first_vars.intersection(plan[1].variables())
+
+    def test_empty_bgp_rejected(self):
+        with pytest.raises(PatternError):
+            QueryPlanner().plan(BasicGraphPattern([]))
+
+    def test_decompose_helper(self):
+        query = parse_sparql("SELECT ?x WHERE { ?x 1 ?y . ?y 2 3 . }")
+        plan = decompose_into_patterns(query)
+        assert len(plan) == 2
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def graph_index(self):
+        # A small social-like graph: 0 knows 1/2, 1 knows 2, 2 worksFor 10, ...
+        knows, works_for, likes = 0, 1, 2
+        triples = [
+            (0, knows, 1), (0, knows, 2), (1, knows, 2), (3, knows, 0),
+            (2, works_for, 10), (1, works_for, 10), (3, works_for, 11),
+            (0, likes, 20), (1, likes, 20), (2, likes, 21),
+        ]
+        store = TripleStore.from_triples(triples)
+        return build_index(store, "2tp"), store, (knows, works_for, likes)
+
+    def test_single_pattern(self, graph_index):
+        index, store, (knows, _, _) = graph_index
+        query = parse_sparql("SELECT ?x ?y WHERE { ?x {knows} ?y . }",
+                             symbols={"knows": knows})
+        results, stats = execute_bgp(index, query, store=store)
+        assert {(r["?x"], r["?y"]) for r in results} == \
+            {(0, 1), (0, 2), (1, 2), (3, 0)}
+        assert stats.patterns_executed == 1
+
+    def test_two_pattern_join(self, graph_index):
+        index, store, (knows, works_for, _) = graph_index
+        query = parse_sparql(
+            "SELECT ?x ?y ?c WHERE { ?x {knows} ?y . ?y {worksFor} ?c . }",
+            symbols={"knows": knows, "worksFor": works_for})
+        results, stats = execute_bgp(index, query, store=store)
+        assert {(r["?x"], r["?y"], r["?c"]) for r in results} == \
+            {(0, 1, 10), (0, 2, 10), (1, 2, 10)}
+        assert stats.patterns_executed >= 2
+        assert stats.results == 3
+
+    def test_repeated_variable_in_template(self, graph_index):
+        index, store, (knows, _, _) = graph_index
+        # ?x knows ?x has no solutions in this graph.
+        query = parse_sparql("SELECT ?x WHERE { ?x {knows} ?x . }",
+                             symbols={"knows": knows})
+        results, _ = execute_bgp(index, query, store=store)
+        assert results == []
+
+    def test_max_results_caps_output(self, graph_index):
+        index, store, (knows, _, _) = graph_index
+        query = parse_sparql("SELECT ?x ?y WHERE { ?x {knows} ?y . }",
+                             symbols={"knows": knows})
+        results, _ = execute_bgp(index, query, store=store, max_results=2)
+        assert len(results) <= 2
+
+    def test_statistics_record_patterns(self, graph_index):
+        index, store, (knows, works_for, _) = graph_index
+        query = parse_sparql(
+            "SELECT ?x ?c WHERE { ?x {knows} ?y . ?y {worksFor} ?c . }",
+            symbols={"knows": knows, "worksFor": works_for})
+        _, stats = execute_bgp(index, query, store=store)
+        assert len(stats.executed_patterns) == stats.patterns_executed
+        assert all(isinstance(p, TriplePattern) for p in stats.executed_patterns)
+
+
+class TestQueryLogs:
+    def test_watdiv_log_parses(self):
+        queries = watdiv_query_log()
+        assert len(queries) >= 10
+        assert all(len(q.bgp) >= 2 for q in queries)
+        assert all(q.name for q in queries)
+
+    def test_lubm_log_parses(self):
+        queries = lubm_query_log()
+        assert len(queries) >= 8
+        names = {q.name for q in queries}
+        assert {"Q1", "Q2", "Q9"} <= names
+
+    def test_watdiv_log_runs_on_generated_data(self, watdiv_dataset):
+        index = build_index(watdiv_dataset.store, "2tp")
+        type_id = WATDIV_PREDICATES["type"]
+        assert index.count((None, type_id, None)) > 0
+        total_results = 0
+        for query in watdiv_query_log():
+            results, stats = execute_bgp(index, query, store=watdiv_dataset.store,
+                                         max_results=500)
+            assert stats.patterns_executed >= 1
+            total_results += len(results)
+        assert total_results > 0
+
+    def test_lubm_log_runs_on_generated_data(self):
+        from repro.datasets.lubm import generate_lubm
+        store = generate_lubm(1, seed=7)
+        index = build_index(store, "2tp")
+        assert index.count((None, LUBM_PREDICATES["takesCourse"], None)) > 0
+        total_results = 0
+        for query in lubm_query_log():
+            results, stats = execute_bgp(index, query, store=store, max_results=500)
+            assert stats.patterns_executed >= 1
+            total_results += len(results)
+        assert total_results > 0

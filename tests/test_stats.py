@@ -1,0 +1,83 @@
+"""Tests for the statistics helpers (Tables 1-3 support)."""
+
+import pytest
+
+from repro.core.stats import (
+    bits_per_triple_breakdown,
+    children_statistics_from_store,
+    children_statistics_table,
+    dataset_statistics,
+    object_frequency_ranking,
+    predicate_frequency_ranking,
+    space_breakdown_percentages,
+    subject_out_degree_distribution,
+)
+from repro.rdf.triples import TripleStore
+
+TRIPLES = [(0, 0, 2), (0, 0, 3), (0, 1, 0), (1, 0, 4), (1, 2, 0), (1, 2, 1),
+           (2, 0, 2), (2, 1, 0), (3, 2, 1), (3, 2, 2), (4, 2, 4)]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore.from_triples(TRIPLES)
+
+
+class TestDatasetStatistics:
+    def test_table3_row(self, store):
+        stats = dataset_statistics(store)
+        assert stats["triples"] == len(TRIPLES)
+        assert stats["subjects"] == 5
+        assert stats["predicates"] == 3
+        assert stats["objects"] == 5
+
+
+class TestChildrenStatistics:
+    def test_rows_cover_three_permutations_two_levels(self, store):
+        rows = children_statistics_from_store(store)
+        assert len(rows) == 6
+        assert {(r.trie, r.level) for r in rows} == {
+            (t, l) for t in ("spo", "pos", "osp") for l in (1, 2)}
+
+    def test_spo_level1_matches_trie(self, store):
+        table = children_statistics_table(store)
+        # 8 distinct SP pairs over 5 subjects.
+        assert table["spo"][1]["average"] == pytest.approx(8 / 5)
+        assert table["spo"][1]["maximum"] == 2
+        # 11 triples over 8 SP pairs.
+        assert table["spo"][2]["average"] == pytest.approx(11 / 8)
+
+    def test_consistency_with_index(self, small_store, index_3t):
+        table = children_statistics_table(small_store)
+        from_index = index_3t.children_statistics()
+        for trie in ("spo", "pos", "osp"):
+            assert table[trie][1]["average"] == pytest.approx(
+                from_index[trie]["level1"]["average"])
+            assert table[trie][2]["maximum"] == from_index[trie]["level2"]["maximum"]
+
+
+class TestSpaceBreakdowns:
+    def test_percentages_sum_to_100(self, index_3t):
+        percentages = space_breakdown_percentages(index_3t)
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_bits_per_triple_breakdown(self, index_3t):
+        breakdown = bits_per_triple_breakdown(index_3t)
+        assert sum(breakdown.values()) == pytest.approx(index_3t.bits_per_triple())
+
+
+class TestRankings:
+    def test_subject_out_degree_distribution(self, store):
+        distribution = subject_out_degree_distribution(store)
+        # Subjects 0, 1, 2 have two distinct predicates; 3 and 4 have one.
+        assert distribution == {1: 2, 2: 3}
+
+    def test_object_frequency_ranking(self, store):
+        ranking = object_frequency_ranking(store)
+        assert ranking[0][0] == 0 and ranking[0][1] == 3
+        assert sum(count for _, count in ranking) == len(TRIPLES)
+
+    def test_predicate_frequency_ranking(self, store):
+        ranking = predicate_frequency_ranking(store)
+        assert {p for p, _ in ranking} == {0, 1, 2}
+        assert ranking[0][1] >= ranking[-1][1]

@@ -1,0 +1,183 @@
+"""Tests for the 3-level PermutationTrie and its algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.trie import PermutationTrie, TrieConfig
+from repro.errors import IndexBuildError
+
+# The running example of the paper's Fig. 1.
+FIG1_TRIPLES = [(0, 0, 2), (0, 0, 3), (0, 1, 0), (1, 0, 4), (1, 2, 0), (1, 2, 1),
+                (2, 0, 2), (2, 1, 0), (3, 2, 1), (3, 2, 2), (4, 2, 4)]
+
+
+def build_trie(triples=FIG1_TRIPLES, config=None, **kwargs):
+    triples = sorted(triples)
+    array = np.asarray(triples, dtype=np.int64)
+    return PermutationTrie.from_sorted_columns(
+        array[:, 0], array[:, 1], array[:, 2], config=config, **kwargs)
+
+
+class TestConstruction:
+    def test_counts(self):
+        trie = build_trie()
+        assert trie.num_triples == len(FIG1_TRIPLES)
+        assert trie.num_first == 5
+        assert trie.num_pairs == len({(s, p) for s, p, o in FIG1_TRIPLES})
+
+    def test_children_ranges_match_fig1(self):
+        # Fig. 1 pointers: levels[0].pointers = 0 2 3 4 6 7 8 10 11 for level 1
+        # grouped as 0..2, 2..3, ... ; the level-0 pointers are 0 2 4 6 7 8.
+        trie = build_trie()
+        assert trie.children_range(0) == (0, 2)
+        assert trie.children_range(1) == (2, 4)
+        assert trie.children_range(2) == (4, 6)
+        assert trie.children_range(3) == (6, 7)
+        assert trie.children_range(4) == (7, 8)
+
+    def test_children_values(self):
+        trie = build_trie()
+        assert list(trie.children_of(0)) == [0, 1]
+        assert list(trie.children_of(1)) == [0, 2]
+        assert list(trie.children_of(4)) == [2]
+        assert trie.num_children(0) == 2
+
+    def test_pair_children_range(self):
+        trie = build_trie()
+        # Pair (0, 0) is the first level-1 node and has children {2, 3}.
+        begin, end = trie.pair_children_range(0)
+        assert list(trie.scan_third(begin, end)) == [2, 3]
+
+    def test_empty_input_rejected(self):
+        empty = np.zeros(0, dtype=np.int64)
+        with pytest.raises(IndexBuildError):
+            PermutationTrie.from_sorted_columns(empty, empty, empty)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(IndexBuildError):
+            PermutationTrie.from_sorted_columns(
+                np.array([0, 1]), np.array([0]), np.array([0, 1]))
+
+    def test_gap_in_first_level_is_supported(self):
+        # First-level IDs need not be contiguous; missing IDs have no children.
+        triples = [(0, 0, 1), (3, 0, 2)]
+        trie = build_trie(triples)
+        assert trie.num_first == 4
+        assert trie.children_range(1) == (1, 1)
+        assert list(trie.select(1, None, None)) == []
+        assert list(trie.select(3, None, None)) == [(3, 0, 2)]
+
+    def test_num_first_override(self):
+        trie = build_trie(num_first=10)
+        assert trie.num_first == 10
+        assert list(trie.select(9, None, None)) == []
+
+    def test_third_override_must_match_length(self):
+        array = np.asarray(sorted(FIG1_TRIPLES), dtype=np.int64)
+        with pytest.raises(IndexBuildError):
+            PermutationTrie.from_sorted_columns(
+                array[:, 0], array[:, 1], array[:, 2],
+                third_override=np.array([1, 2, 3]))
+
+
+class TestSelect:
+    def test_paper_example_pattern(self):
+        # The paper walks pattern (1, 2, ?) and expects (1, 2, 0) and (1, 2, 1).
+        trie = build_trie()
+        assert list(trie.select(1, 2, None)) == [(1, 2, 0), (1, 2, 1)]
+
+    def test_full_lookup(self):
+        trie = build_trie()
+        assert list(trie.select(3, 2, 2)) == [(3, 2, 2)]
+        assert list(trie.select(3, 2, 9)) == []
+
+    def test_one_bound_component(self):
+        trie = build_trie()
+        assert list(trie.select(0, None, None)) == [(0, 0, 2), (0, 0, 3), (0, 1, 0)]
+
+    def test_out_of_range_first(self):
+        trie = build_trie()
+        assert list(trie.select(99, None, None)) == []
+
+    def test_missing_second(self):
+        trie = build_trie()
+        assert list(trie.select(0, 2, None)) == []
+
+    def test_scan_all(self):
+        trie = build_trie()
+        assert list(trie.scan_all()) == sorted(FIG1_TRIPLES)
+        assert list(trie.select(None, None, None)) == sorted(FIG1_TRIPLES)
+
+    def test_non_prefix_pattern_rejected(self):
+        trie = build_trie()
+        with pytest.raises(IndexBuildError):
+            list(trie.select(None, 2, None))
+
+    @pytest.mark.parametrize("config", [
+        TrieConfig(level1_nodes="compact", level2_nodes="compact"),
+        TrieConfig(level1_nodes="ef", level2_nodes="ef"),
+        TrieConfig(level1_nodes="pef", level2_nodes="vbyte"),
+        TrieConfig(level1_nodes="vbyte", level2_nodes="pef"),
+    ])
+    def test_all_codecs_agree(self, config):
+        trie = build_trie(config=config)
+        assert list(trie.scan_all()) == sorted(FIG1_TRIPLES)
+        assert list(trie.select(1, 2, None)) == [(1, 2, 0), (1, 2, 1)]
+        assert list(trie.enumerate_pairs(1, 0)) == [(1, 2, 0)]
+
+
+class TestEnumerate:
+    def test_enumerate_pairs(self):
+        trie = build_trie()
+        # subject 1 relates to object 0 through predicate 2 only.
+        assert list(trie.enumerate_pairs(1, 0)) == [(1, 2, 0)]
+        # subject 0 relates to object 2 only through predicate 0.
+        assert list(trie.enumerate_pairs(0, 2)) == [(0, 0, 2)]
+        assert list(trie.enumerate_pairs(0, 4)) == []
+        assert list(trie.enumerate_pairs(42, 0)) == []
+
+    def test_enumerate_multiple_predicates(self):
+        triples = [(5, 0, 7), (5, 1, 7), (5, 2, 8)]
+        trie = build_trie(triples)
+        assert list(trie.enumerate_pairs(5, 7)) == [(5, 0, 7), (5, 1, 7)]
+
+
+class TestChildHelpers:
+    def test_find_child_and_rank(self):
+        trie = build_trie()
+        assert trie.find_child(1, 2) == 3
+        assert trie.find_child(1, 1) == -1
+        assert trie.child_rank(1, 2) == 1
+        assert trie.child_rank(1, 0) == 0
+        assert trie.child_rank(1, 1) == -1
+
+    def test_child_by_rank(self):
+        trie = build_trie()
+        assert trie.child_by_rank(1, 0) == 0
+        assert trie.child_by_rank(1, 1) == 2
+        with pytest.raises(IndexError):
+            trie.child_by_rank(1, 2)
+
+    def test_map_unmap_round_trip(self):
+        trie = build_trie()
+        for first in range(trie.num_first):
+            for child in trie.children_of(first):
+                rank = trie.child_rank(first, child)
+                assert trie.child_by_rank(first, rank) == child
+
+
+class TestSpaceAndStats:
+    def test_space_breakdown_keys(self):
+        trie = build_trie()
+        breakdown = trie.space_breakdown()
+        assert set(breakdown) == {"pointers0", "nodes1", "pointers1", "nodes2"}
+        assert trie.size_in_bits() == sum(breakdown.values())
+        assert trie.size_in_bits() > 0
+
+    def test_children_statistics(self):
+        trie = build_trie()
+        stats = trie.children_statistics()
+        assert stats["level1"]["maximum"] == 2
+        assert stats["level1"]["average"] == pytest.approx(8 / 5)
+        assert stats["level2"]["maximum"] == 2
+        assert stats["level2"]["average"] == pytest.approx(11 / 8)

@@ -1,0 +1,155 @@
+"""Tests for the TripleStore container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexBuildError
+from repro.rdf.triples import Triple, TripleStore
+
+TRIPLES = [(0, 0, 2), (0, 0, 3), (0, 1, 0), (1, 0, 4), (1, 2, 0), (1, 2, 1),
+           (2, 0, 2), (2, 1, 0), (3, 2, 1), (3, 2, 2), (4, 2, 4)]
+
+
+class TestTriple:
+    def test_as_tuple_and_component(self):
+        triple = Triple(1, 2, 3)
+        assert triple.as_tuple() == (1, 2, 3)
+        assert triple.component(0) == 1
+        assert triple.component(2) == 3
+
+    def test_ordering(self):
+        assert Triple(0, 1, 2) < Triple(0, 2, 0)
+
+
+class TestConstruction:
+    def test_from_triples(self):
+        store = TripleStore.from_triples(TRIPLES)
+        assert len(store) == len(TRIPLES)
+        assert sorted(store) == sorted(TRIPLES)
+
+    def test_from_triple_objects(self):
+        store = TripleStore.from_triples([Triple(1, 2, 3), Triple(0, 0, 0)])
+        assert sorted(store) == [(0, 0, 0), (1, 2, 3)]
+
+    def test_deduplication(self):
+        store = TripleStore.from_triples(TRIPLES + TRIPLES)
+        assert len(store) == len(TRIPLES)
+
+    def test_dedup_disabled(self):
+        store = TripleStore.from_triples([(1, 1, 1), (1, 1, 1)], dedup=False)
+        assert len(store) == 2
+
+    def test_from_columns(self):
+        store = TripleStore.from_columns([1, 0], [2, 2], [3, 3])
+        assert sorted(store) == [(0, 2, 3), (1, 2, 3)]
+
+    def test_empty(self):
+        store = TripleStore.from_triples([])
+        assert len(store) == 0
+        assert store.statistics()["triples"] == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(IndexBuildError):
+            TripleStore.from_triples([(1, -2, 3)])
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(IndexBuildError):
+            TripleStore(np.array([1, 2]), np.array([1]), np.array([1, 2]))
+
+    def test_contains(self):
+        store = TripleStore.from_triples(TRIPLES)
+        assert (1, 2, 0) in store
+        assert (9, 9, 9) not in store
+
+    def test_densify(self):
+        store = TripleStore.from_triples([(10, 5, 100), (20, 5, 100), (10, 7, 300)])
+        dense, mappings = store.densified()
+        assert dense.is_dense()
+        assert len(dense) == 3
+        assert mappings["subject"].tolist() == [10, 20]
+        assert mappings["predicate"].tolist() == [5, 7]
+        assert mappings["object"].tolist() == [100, 300]
+
+    def test_densify_flag_in_constructor(self):
+        store = TripleStore.from_triples([(10, 5, 100)], densify=True)
+        assert sorted(store) == [(0, 0, 0)]
+
+
+class TestAccessors:
+    def test_columns_and_column(self):
+        store = TripleStore.from_triples(TRIPLES)
+        subjects, predicates, objects = store.columns()
+        assert subjects.size == len(TRIPLES)
+        assert store.column(1).tolist() == predicates.tolist()
+
+    def test_to_array(self):
+        store = TripleStore.from_triples(TRIPLES)
+        array = store.to_array()
+        assert array.shape == (len(TRIPLES), 3)
+        assert sorted(map(tuple, array.tolist())) == sorted(TRIPLES)
+
+    def test_triples_iterator(self):
+        store = TripleStore.from_triples(TRIPLES)
+        assert all(isinstance(t, Triple) for t in store.triples())
+
+    def test_sample_deterministic(self):
+        store = TripleStore.from_triples(TRIPLES)
+        assert store.sample(5, seed=3) == store.sample(5, seed=3)
+        assert len(store.sample(5, seed=3)) == 5
+        assert all(tuple(t) in set(TRIPLES) for t in store.sample(5, seed=3))
+
+    def test_sample_empty(self):
+        assert TripleStore.from_triples([]).sample(3) == []
+
+
+class TestSorting:
+    def test_sorted_columns_spo(self):
+        store = TripleStore.from_triples(TRIPLES)
+        first, second, third = store.sorted_columns((0, 1, 2))
+        combined = list(zip(first.tolist(), second.tolist(), third.tolist()))
+        assert combined == sorted(TRIPLES)
+
+    def test_sorted_columns_pos(self):
+        store = TripleStore.from_triples(TRIPLES)
+        first, second, third = store.sorted_columns((1, 2, 0))
+        combined = list(zip(first.tolist(), second.tolist(), third.tolist()))
+        expected = sorted((p, o, s) for s, p, o in TRIPLES)
+        assert combined == expected
+
+    def test_invalid_order_rejected(self):
+        store = TripleStore.from_triples(TRIPLES)
+        with pytest.raises(IndexBuildError):
+            store.sorted_columns((0, 0, 2))
+
+
+class TestStatistics:
+    def test_distinct_counts(self):
+        store = TripleStore.from_triples(TRIPLES)
+        assert store.num_subjects == 5
+        assert store.num_predicates == 3
+        assert store.num_objects == 5
+
+    def test_pair_counts(self):
+        store = TripleStore.from_triples(TRIPLES)
+        stats = store.statistics()
+        assert stats["sp_pairs"] == len({(s, p) for s, p, o in TRIPLES})
+        assert stats["po_pairs"] == len({(p, o) for s, p, o in TRIPLES})
+        assert stats["os_pairs"] == len({(o, s) for s, p, o in TRIPLES})
+
+    def test_is_dense(self):
+        assert TripleStore.from_triples(TRIPLES).is_dense()
+        assert not TripleStore.from_triples([(5, 0, 0)]).is_dense()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.tuples(st.integers(0, 30), st.integers(0, 5), st.integers(0, 30)),
+               min_size=1, max_size=200))
+def test_store_preserves_triple_set(triples):
+    """Property: the store is exactly the deduplicated input set."""
+    store = TripleStore.from_triples(list(triples))
+    assert set(store) == triples
+    stats = store.statistics()
+    assert stats["triples"] == len(triples)
+    assert stats["subjects"] == len({s for s, _, _ in triples})

@@ -1,0 +1,131 @@
+"""Tests for the blocked Variable-Byte codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sequences.vbyte import (
+    VByte,
+    decode_vbyte_stream,
+    encode_vbyte_stream,
+)
+
+
+class TestStreamCoding:
+    def test_small_values_one_byte(self):
+        stream = encode_vbyte_stream([0, 1, 127])
+        assert len(stream) == 3
+        assert decode_vbyte_stream(bytes(stream), 3) == [0, 1, 127]
+
+    def test_multi_byte_values(self):
+        values = [128, 16_384, 2_097_152, 300_000_000]
+        stream = encode_vbyte_stream(values)
+        assert decode_vbyte_stream(bytes(stream), len(values)) == values
+
+    def test_control_bit_on_last_byte(self):
+        stream = encode_vbyte_stream([300])
+        # 300 = 0b100101100 -> two bytes, the second carries the stop bit.
+        assert len(stream) == 2
+        assert stream[0] & 0x80 == 0
+        assert stream[1] & 0x80 == 0x80
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_vbyte_stream([-1])
+
+    def test_truncated_stream_rejected(self):
+        stream = bytes(encode_vbyte_stream([128]))[:1]
+        with pytest.raises(EncodingError):
+            decode_vbyte_stream(stream, 1)
+
+    def test_offset_decoding(self):
+        stream = bytes(encode_vbyte_stream([7, 300]))
+        assert decode_vbyte_stream(stream, 1, offset=1) == [300]
+
+
+class TestVByteSequence:
+    def test_round_trip_non_monotone(self):
+        values = [500, 3, 90, 90, 2, 10_000, 0]
+        sequence = VByte.from_values(values, block_size=4)
+        assert sequence.to_list() == values
+        assert not sequence.is_gapped
+
+    def test_round_trip_monotone_uses_gaps(self):
+        values = [1, 5, 5, 100, 1000, 1000, 20_000]
+        sequence = VByte.from_values(values, block_size=4)
+        assert sequence.is_gapped
+        assert sequence.to_list() == values
+
+    def test_empty(self):
+        sequence = VByte.from_values([])
+        assert len(sequence) == 0
+        assert sequence.to_list() == []
+
+    def test_single(self):
+        sequence = VByte.from_values([77])
+        assert sequence.access(0) == 77
+
+    def test_invalid_block_size(self):
+        with pytest.raises(EncodingError):
+            VByte.from_values([1], block_size=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            VByte.from_values([1, -1])
+
+    def test_access_across_blocks(self):
+        values = list(range(0, 700, 7))
+        sequence = VByte.from_values(values, block_size=16)
+        for i in (0, 15, 16, 17, 31, 32, 99):
+            assert sequence.access(i) == values[i]
+
+    def test_access_out_of_range(self):
+        sequence = VByte.from_values([1, 2])
+        with pytest.raises(IndexError):
+            sequence.access(2)
+
+    def test_find_sorted_range(self):
+        values = [3, 9, 9, 12, 40, 41, 100, 200, 201, 500]
+        sequence = VByte.from_values(values, block_size=4)
+        assert sequence.find(0, len(values), 40) == 4
+        assert sequence.find(0, len(values), 41) == 5
+        assert sequence.find(0, len(values), 42) == -1
+        assert sequence.find(3, 7, 100) == 6
+        assert sequence.find(0, 0, 3) == -1
+
+    def test_find_invalid_range(self):
+        sequence = VByte.from_values([1, 2, 3])
+        with pytest.raises(IndexError):
+            sequence.find(1, 4, 2)
+
+    def test_scan_range(self):
+        values = [10, 20, 30, 40, 50, 60, 70]
+        sequence = VByte.from_values(values, block_size=3)
+        assert list(sequence.scan(2, 6)) == [30, 40, 50, 60]
+        assert list(sequence.scan()) == values
+
+    def test_gapped_compresses_better_than_raw(self):
+        monotone = [i * 1000 for i in range(2000)]
+        gapped = VByte.from_values(monotone)
+        shuffled = list(monotone)
+        shuffled[0], shuffled[-1] = shuffled[-1], shuffled[0]
+        raw = VByte.from_values(shuffled)
+        assert gapped.size_in_bits() < raw.size_in_bits()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**35), min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=64))
+def test_round_trip_property(values, block_size):
+    """Property: VByte round-trips arbitrary non-negative sequences."""
+    sequence = VByte.from_values(values, block_size=block_size)
+    assert sequence.to_list() == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=200))
+def test_stream_round_trip_property(values):
+    """Property: the raw stream encoder/decoder are inverses."""
+    stream = bytes(encode_vbyte_stream(values))
+    assert decode_vbyte_stream(stream, len(values)) == values

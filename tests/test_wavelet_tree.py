@@ -1,0 +1,121 @@
+"""Tests for the wavelet tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.structures.wavelet_tree import WaveletTree
+
+SEQUENCE = [3, 1, 4, 1, 5, 2, 6, 5, 3, 5, 0, 7, 1]
+
+
+class TestConstruction:
+    def test_round_trip(self):
+        tree = WaveletTree(SEQUENCE)
+        assert tree.to_list() == SEQUENCE
+        assert len(tree) == len(SEQUENCE)
+
+    def test_empty(self):
+        tree = WaveletTree([])
+        assert len(tree) == 0
+        assert tree.to_list() == []
+
+    def test_single_symbol(self):
+        tree = WaveletTree([4, 4, 4, 4])
+        assert tree.to_list() == [4, 4, 4, 4]
+        assert tree.count(4) == 4
+        assert tree.count(3) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            WaveletTree([1, -1])
+
+    def test_num_levels(self):
+        assert WaveletTree([0, 1]).num_levels == 1
+        assert WaveletTree([0, 7]).num_levels == 3
+        assert WaveletTree([0, 8]).num_levels == 4
+        assert WaveletTree(SEQUENCE).max_symbol == 7
+
+
+class TestAccess:
+    def test_access_each_position(self):
+        tree = WaveletTree(SEQUENCE)
+        for i, symbol in enumerate(SEQUENCE):
+            assert tree.access(i) == symbol
+            assert tree[i] == symbol
+
+    def test_access_out_of_range(self):
+        tree = WaveletTree([1, 2])
+        with pytest.raises(IndexError):
+            tree.access(2)
+
+
+class TestRank:
+    def test_rank_matches_prefix_counts(self):
+        tree = WaveletTree(SEQUENCE)
+        for symbol in range(8):
+            for position in range(len(SEQUENCE) + 1):
+                expected = SEQUENCE[:position].count(symbol)
+                assert tree.rank(symbol, position) == expected
+
+    def test_rank_unknown_symbol(self):
+        tree = WaveletTree(SEQUENCE)
+        assert tree.rank(100, len(SEQUENCE)) == 0
+
+    def test_rank_range(self):
+        tree = WaveletTree(SEQUENCE)
+        assert tree.rank_range(5, 4, 10) == SEQUENCE[4:10].count(5)
+        with pytest.raises(IndexError):
+            tree.rank_range(5, 6, 2)
+
+    def test_count(self):
+        tree = WaveletTree(SEQUENCE)
+        assert tree.count(1) == 3
+        assert tree.count(5) == 3
+        assert tree.count(7) == 1
+
+
+class TestSelect:
+    def test_select_matches_occurrences(self):
+        tree = WaveletTree(SEQUENCE)
+        for symbol in set(SEQUENCE):
+            occurrences = [i for i, s in enumerate(SEQUENCE) if s == symbol]
+            for k, expected in enumerate(occurrences):
+                assert tree.select(symbol, k) == expected
+
+    def test_select_too_many(self):
+        tree = WaveletTree(SEQUENCE)
+        with pytest.raises(IndexError):
+            tree.select(7, 1)
+
+    def test_select_unknown_symbol(self):
+        tree = WaveletTree(SEQUENCE)
+        with pytest.raises(IndexError):
+            tree.select(99, 0)
+
+    def test_occurrences_iterator(self):
+        tree = WaveletTree(SEQUENCE)
+        assert list(tree.occurrences(5)) == [4, 7, 9]
+
+
+class TestSpace:
+    def test_size_scales_with_alphabet(self):
+        narrow = WaveletTree([i % 2 for i in range(1000)])
+        wide = WaveletTree([i % 256 for i in range(1000)])
+        assert narrow.size_in_bits() < wide.size_in_bits()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=250))
+def test_wavelet_tree_properties(values):
+    """Property: access/rank/select agree with the plain list."""
+    tree = WaveletTree(values)
+    assert tree.to_list() == values
+    probe_symbols = set(values[:10]) | {max(values), min(values)}
+    for symbol in probe_symbols:
+        occurrences = [i for i, s in enumerate(values) if s == symbol]
+        assert tree.count(symbol) == len(occurrences)
+        for k, expected in enumerate(occurrences):
+            assert tree.select(symbol, k) == expected
+        assert tree.rank(symbol, len(values)) == len(occurrences)
