@@ -17,7 +17,6 @@ import time
 from functools import lru_cache
 from typing import List, Tuple
 
-import pytest
 
 import common
 from repro.bench.tables import format_table

@@ -1,0 +1,108 @@
+"""Persistence round trip — save/load time vs rebuild time, and on-disk
+bits/triple next to the in-memory figures.
+
+This is the build-once/serve-many argument behind the storage subsystem: a
+saved index loads directly from its stored words (no re-encoding, no
+re-sorting), so process start-up pays file-read time instead of index-build
+time.  The table reports, per layout: in-memory and on-disk bits/triple, the
+one-off build and save costs, the load cost, and the build/load speedup.
+"""
+
+import tempfile
+import time
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+import common
+from repro.bench.tables import format_table
+from repro.core.builder import IndexBuilder
+from repro.storage import load_index
+
+LAYOUTS = ("3t", "cc", "2to", "2tp")
+PROFILE = "dbpedia"
+
+
+@lru_cache(maxsize=None)
+def _measurements():
+    store = common.dataset(PROFILE)
+    rows = []
+    for layout in LAYOUTS:
+        started = time.perf_counter()
+        index = IndexBuilder(store).build(layout)
+        build_seconds = time.perf_counter() - started
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"{layout}.ridx"
+            started = time.perf_counter()
+            index.save(path)
+            save_seconds = time.perf_counter() - started
+            on_disk_bytes = path.stat().st_size
+            started = time.perf_counter()
+            loaded = load_index(path).index
+            load_seconds = time.perf_counter() - started
+
+        # Sanity: the loaded index answers like the built one.
+        probe = store.sample(1, seed=11)[0]
+        assert loaded.select_list(probe) == index.select_list(probe)
+
+        n = index.num_triples
+        rows.append([
+            layout.upper(),
+            index.bits_per_triple(),
+            on_disk_bytes * 8 / n,
+            build_seconds,
+            save_seconds,
+            load_seconds,
+            build_seconds / load_seconds if load_seconds else float("inf"),
+        ])
+    return rows
+
+
+@lru_cache(maxsize=None)
+def _table() -> str:
+    headers = ["index", "memory bits/triple", "disk bits/triple",
+               "build s", "save s", "load s", "build/load x"]
+    return format_table(headers, _measurements(), precision=2,
+                        title=f"Persistence — save/load round trip ({PROFILE}, "
+                              f"{common.DEFAULT_TRIPLES} triples)")
+
+
+def test_report_persistence(benchmark):
+    """Emit the persistence table; benchmark one full save+load round trip."""
+    index = common.index_for(PROFILE, "2tp")
+
+    def round_trip():
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "bench.ridx"
+            index.save(path)
+            return load_index(path).index.num_triples
+
+    benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    common.write_result("persistence", _table())
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_loaded_index_answers_identically(layout):
+    """The loaded index returns byte-identical answers on a sampled workload."""
+    store = common.dataset(PROFILE)
+    index = common.index_for(PROFILE, layout)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{layout}.ridx"
+        index.save(path)
+        loaded = load_index(path).index
+    for s, p, o in store.sample(25, seed=3):
+        assert loaded.select_list((s, None, None)) == index.select_list((s, None, None))
+        assert loaded.select_list((None, p, o)) == index.select_list((None, p, o))
+        assert loaded.select_list((s, None, o)) == index.select_list((s, None, o))
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_load_speed(benchmark, layout):
+    """Benchmark pure load time per layout (the serve-side start-up cost)."""
+    index = common.index_for(PROFILE, layout)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{layout}.ridx"
+        index.save(path)
+        benchmark(lambda: load_index(path).index)

@@ -11,7 +11,6 @@ from __future__ import annotations
 import time
 from functools import lru_cache
 
-import pytest
 
 import common
 from repro.bench.tables import format_table

@@ -42,7 +42,8 @@ def _space_table() -> str:
         row = [layout.upper()]
         for profile in PROFILES:
             bits = common.index_for(profile, layout).bits_per_triple()
-            best = min(common.index_for(profile, l).bits_per_triple() for l in LAYOUTS)
+            best = min(common.index_for(profile, other).bits_per_triple()
+                       for other in LAYOUTS)
             overhead = space_overhead_percent(best, bits)
             row.append(bits)
             row.append(overhead)

@@ -13,7 +13,6 @@ from __future__ import annotations
 import os
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Tuple
 
 from repro.baselines import (
     BitMatIndex,

@@ -22,6 +22,10 @@ The package is organised in layers:
   SPARQL queries into sequences of triple selection patterns.
 * :mod:`repro.bench` — measurement harness (bits/triple, ns/triple) and
   paper-style table rendering used by the ``benchmarks/`` suite.
+* :mod:`repro.storage` — persistence: a versioned, checksummed binary
+  container format with save/load for every codec, trie, index family and
+  dictionary, behind the ``repro`` command-line interface
+  (:mod:`repro.cli`).
 
 Quickstart
 ----------
@@ -34,6 +38,7 @@ Quickstart
 """
 
 from repro.core.builder import IndexBuilder, build_index
+from repro.storage import load_index, save_index
 from repro.core.index_2t import TwoTrieIndex
 from repro.core.index_3t import PermutedTrieIndex
 from repro.core.cross_compression import CrossCompressedIndex
@@ -53,6 +58,8 @@ __all__ = [
     "TripleStore",
     "Dictionary",
     "RdfDictionary",
+    "save_index",
+    "load_index",
 ]
 
 __version__ = "1.0.0"

@@ -21,7 +21,7 @@ a block scan — the same access path as the real system, minus the disk.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.core.patterns import PatternKind, TriplePattern
 from repro.core.permutations import PERMUTATIONS, Permutation
 from repro.errors import IndexBuildError
 from repro.rdf.triples import TripleStore
-from repro.sequences.vbyte import encode_vbyte_stream, decode_vbyte_stream
+from repro.sequences.vbyte import encode_vbyte_stream
 
 _WORD_BITS = 64
 _BLOCK_TRIPLES = 1024

@@ -24,7 +24,7 @@ slow-downs the paper reports for ``S??`` and ``S?O``.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

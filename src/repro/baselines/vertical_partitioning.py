@@ -12,7 +12,7 @@ the (dense) subject space of the table plus a PEF-encoded object column.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.core.base import TripleIndex
 from repro.core.patterns import TriplePattern

@@ -7,7 +7,7 @@ EXPERIMENTS.md for the mapping).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 Cell = Union[str, int, float, None]
 

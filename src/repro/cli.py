@@ -1,0 +1,307 @@
+"""Command-line interface: build, query and inspect saved indexes.
+
+The CLI makes the system operable end-to-end without writing Python::
+
+    repro build data.nt -o data.ridx --layout 2tp
+    repro info data.ridx
+    repro query data.ridx --pattern '<http://example.org/alice> ? ?'
+    repro query data.ridx --sparql 'SELECT ?o WHERE { 0 1 ?o }'
+
+``build`` ingests an N-Triples file (or, with ``--ids``, whitespace-separated
+integer triples), builds one of the paper's four layouts and persists it —
+together with the string dictionaries when the input was N-Triples — into a
+single checksummed container file.  ``query`` loads such a file in a fresh
+process and answers triple selection patterns or SPARQL BGPs; ``info`` prints
+the file's metadata, per-section sizes and space statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ParseError, ReproError
+
+#: Pattern-term tokens accepted by ``query --pattern``: a wildcard (``?`` or
+#: ``?name``), an IRI, a literal with optional language tag or datatype, or a
+#: plain integer ID.
+_PATTERN_TOKEN_RE = re.compile(
+    r"""\?[A-Za-z0-9_]*                                 # wildcard
+      | <[^>]*>                                         # IRI
+      | "(?:[^"\\]|\\.)*"(?:@[A-Za-z][A-Za-z0-9\-]*|\^\^<[^>]*>)?  # literal
+      | \d+                                             # integer ID
+      """,
+    re.VERBOSE,
+)
+
+
+def _tokenize_pattern(text: str) -> List[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _PATTERN_TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"cannot parse pattern term at {text[position:]!r}")
+        tokens.append(match.group(0))
+        position = match.end()
+    return tokens
+
+
+def _resolve_pattern(text: str, dictionary) -> Optional[Tuple[Optional[int], ...]]:
+    """Turn ``--pattern 'S P O'`` into an ``(s, p, o)`` tuple of IDs/wildcards.
+
+    Returns ``None`` when a constant term is absent from the dictionary — the
+    pattern then provably matches nothing.
+    """
+    tokens = _tokenize_pattern(text)
+    if len(tokens) != 3:
+        raise ParseError(
+            f"a pattern needs exactly 3 terms (subject predicate object), "
+            f"got {len(tokens)}: {text!r}")
+    components: List[Optional[int]] = []
+    for role, token in enumerate(tokens):
+        if token.startswith("?"):
+            components.append(None)
+        elif token.isdigit():
+            components.append(int(token))
+        else:
+            if dictionary is None:
+                raise ParseError(
+                    f"term {token} needs a dictionary, but this index was "
+                    f"built without one (--ids); use integer IDs")
+            role_dictionary = (dictionary.subjects, dictionary.predicates,
+                               dictionary.objects)[role]
+            identifier = role_dictionary.get(token)
+            if identifier is None:
+                return None
+            components.append(identifier)
+    return tuple(components)
+
+
+def _format_triple(triple: Tuple[int, int, int], dictionary) -> str:
+    if dictionary is None:
+        return "{} {} {}".format(*triple)
+    s, p, o = dictionary.decode(triple)
+    return f"{s} {p} {o} ."
+
+
+# --------------------------------------------------------------------------- #
+# build
+# --------------------------------------------------------------------------- #
+
+def _read_id_triples(path: str) -> List[Tuple[int, int, int]]:
+    triples = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 3 or not all(part.isdigit() for part in parts):
+                raise ParseError(
+                    f"{path}:{line_number}: expected three integer IDs, "
+                    f"got {stripped!r}")
+            triples.append((int(parts[0]), int(parts[1]), int(parts[2])))
+    return triples
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    from repro.core.builder import IndexBuilder
+    from repro.rdf.dictionary import RdfDictionary
+    from repro.rdf.ntriples import parse_ntriples_file, term_triples_to_keys
+    from repro.rdf.triples import TripleStore
+
+    started = time.perf_counter()
+    if args.ids:
+        dictionary = None
+        store = TripleStore.from_triples(_read_id_triples(args.input))
+    else:
+        term_triples = term_triples_to_keys(parse_ntriples_file(args.input))
+        dictionary, store = RdfDictionary.from_term_triples(term_triples)
+    parse_seconds = time.perf_counter() - started
+    if len(store) == 0:
+        print(f"error: {args.input} contains no triples", file=sys.stderr)
+        return 1
+
+    started = time.perf_counter()
+    index = IndexBuilder(store).build(args.layout)
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    written = index.save(args.output, dictionary=dictionary)
+    save_seconds = time.perf_counter() - started
+
+    print(f"indexed {len(store)} triples "
+          f"({store.num_subjects} subjects, {store.num_predicates} predicates, "
+          f"{store.num_objects} objects)")
+    print(f"layout: {index.name}  ({index.bits_per_triple():.2f} bits/triple in memory)")
+    print(f"wrote {args.output}: {written} bytes "
+          f"({written * 8 / len(store):.2f} bits/triple on disk)")
+    print(f"timings: parse {parse_seconds:.3f}s, build {build_seconds:.3f}s, "
+          f"save {save_seconds:.3f}s")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# query
+# --------------------------------------------------------------------------- #
+
+def _run_pattern_query(index, dictionary, args: argparse.Namespace) -> int:
+    pattern = _resolve_pattern(args.pattern, dictionary)
+    matched = 0
+    if pattern is not None and (args.limit is None or args.limit > 0):
+        for triple in index.select(pattern):
+            matched += 1
+            if not args.count:
+                print(_format_triple(triple, dictionary))
+            if args.limit is not None and matched >= args.limit:
+                break
+    if args.count:
+        print(matched)
+    else:
+        print(f"{matched} matching triples", file=sys.stderr)
+    return 0
+
+
+def _run_sparql_query(index, dictionary, text: str, args: argparse.Namespace) -> int:
+    from repro.queries.planner import execute_bgp
+    from repro.queries.sparql import parse_sparql
+
+    query = parse_sparql(text, dictionary=dictionary)
+    results, statistics = execute_bgp(index, query, max_results=args.limit)
+    if args.count:
+        print(len(results))
+        return 0
+    variables = list(query.projection or query.variables())
+    print("\t".join(variables))
+    for binding in results:
+        print("\t".join(str(binding.get(variable, "")) for variable in variables))
+    print(f"{len(results)} solutions, {statistics.patterns_executed} atomic "
+          f"patterns executed", file=sys.stderr)
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.storage import load_index
+
+    loaded = load_index(args.index)
+    if args.pattern is not None:
+        return _run_pattern_query(loaded.index, loaded.dictionary, args)
+    if args.sparql is not None:
+        return _run_sparql_query(loaded.index, loaded.dictionary, args.sparql, args)
+    with open(args.sparql_file, "r", encoding="utf-8") as handle:
+        return _run_sparql_query(loaded.index, loaded.dictionary, handle.read(), args)
+
+
+# --------------------------------------------------------------------------- #
+# info
+# --------------------------------------------------------------------------- #
+
+def _command_info(args: argparse.Namespace) -> int:
+    from repro.storage import file_info
+
+    info = file_info(args.index, include_breakdown=args.breakdown)
+    meta = info["meta"]
+    print(f"file: {info['path']}")
+    print(f"container format version: {info['format_version']}")
+    print(f"written by repro version: {meta.get('library_version', '?')}")
+    print(f"layout: {meta.get('layout', '?')}")
+    num_triples = meta.get("num_triples", 0)
+    print(f"triples: {num_triples}")
+    print(f"dictionary bundled: {'yes' if meta.get('has_dictionary') else 'no'}")
+    total = info["total_bytes"]
+    print(f"file size: {total} bytes")
+    if num_triples:
+        print(f"on-disk bits/triple: {total * 8 / num_triples:.2f}")
+        size_in_bits = meta.get("size_in_bits")
+        if size_in_bits:
+            print(f"in-memory bits/triple: {size_in_bits / num_triples:.2f}")
+    print("sections:")
+    for name, size in sorted(info["section_bytes"].items()):
+        print(f"    {name:<12} {size} bytes")
+    if args.breakdown:
+        print("space breakdown (bits, in memory):")
+        for component, bits in info["space_breakdown"].items():
+            print(f"    {component:<18} {bits}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing.
+# --------------------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compressed RDF triple indexes: build, query and inspect "
+                    "persisted index files.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser(
+        "build", help="index an N-Triples file and save it")
+    build.add_argument("input", help="input file (N-Triples, or integer "
+                                     "triples with --ids)")
+    build.add_argument("-o", "--output", required=True,
+                       help="output index file path")
+    build.add_argument("--layout", default="2tp",
+                       choices=("3t", "cc", "2tp", "2to"),
+                       help="index layout (default: 2tp, the paper's pick)")
+    build.add_argument("--ids", action="store_true",
+                       help="input lines are 's p o' integer IDs; no "
+                            "dictionary is built")
+    build.set_defaults(handler=_command_build)
+
+    query = subparsers.add_parser(
+        "query", help="run a triple pattern or SPARQL BGP against a saved index")
+    query.add_argument("index", help="index file written by 'repro build'")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--pattern",
+                      help="triple pattern, e.g. '<iri> ? ?' or '1 ? 4' "
+                           "(? is a wildcard)")
+    what.add_argument("--sparql", help="SPARQL SELECT query text")
+    what.add_argument("--sparql-file", help="file containing a SPARQL query")
+    query.add_argument("--count", action="store_true",
+                       help="print only the number of results")
+    query.add_argument("--limit", type=int, default=None,
+                       help="stop after this many results")
+    query.set_defaults(handler=_command_query)
+
+    info = subparsers.add_parser(
+        "info", help="print size and statistics of a saved index")
+    info.add_argument("index", help="index file written by 'repro build'")
+    info.add_argument("--breakdown", action="store_true",
+                      help="also load the index and print its per-component "
+                           "space breakdown")
+    info.set_defaults(handler=_command_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro query ... | head``); die
+        # quietly like any Unix filter.  Redirect stdout to devnull so the
+        # interpreter's shutdown flush cannot raise again.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,38 @@ class TripleIndex(ABC):
         """Per-component space in bits (overridden by concrete indexes)."""
         return {"total": self.size_in_bits()}
 
+    # ------------------------------------------------------------------ #
+    # Persistence.
+    # ------------------------------------------------------------------ #
+
+    def save(self, path, dictionary=None) -> int:
+        """Persist this index (plus an optional RDF dictionary) to ``path``.
+
+        The file is a versioned, checksummed container readable by
+        :func:`repro.storage.load_index` and the ``repro`` CLI.  Only the
+        paper's index families are persistable; the educational baselines
+        raise :class:`repro.errors.StorageError`.
+        """
+        from repro.storage import save_index
+        return save_index(self, path, dictionary=dictionary)
+
+    @classmethod
+    def load(cls, path) -> "TripleIndex":
+        """Load the index stored in ``path`` (dictionary, if any, is dropped).
+
+        Called on a concrete class (``TwoTrieIndex.load(path)``) it verifies
+        the stored layout matches; called on :class:`TripleIndex` it accepts
+        any layout.  Use :func:`repro.storage.load_index` to also recover the
+        bundled dictionary.
+        """
+        from repro.errors import StorageError
+        from repro.storage import load_index
+        loaded = load_index(path, load_dictionary=False)
+        if not isinstance(loaded.index, cls):
+            raise StorageError(f"{path}: holds a {type(loaded.index).__name__}, "
+                               f"expected {cls.__name__}")
+        return loaded.index
+
     def supported_kinds(self) -> Tuple[str, ...]:
         """Pattern kinds natively supported (all eight unless overridden)."""
         return ("spo", "sp?", "s??", "?po", "?p?", "??o", "s?o", "???")

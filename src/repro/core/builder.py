@@ -29,7 +29,7 @@ from repro.core.cross_compression import (
 from repro.core.index_2t import TwoTrieIndex
 from repro.core.index_3t import PermutedTrieIndex
 from repro.core.pairs import PairStructure
-from repro.core.permutations import PERMUTATIONS, Permutation
+from repro.core.permutations import PERMUTATIONS
 from repro.core.trie import PermutationTrie, TrieConfig
 from repro.errors import IndexBuildError
 from repro.rdf.triples import OBJECT, PREDICATE, SUBJECT, TripleStore

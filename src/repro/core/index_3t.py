@@ -20,11 +20,11 @@ pattern   trie       permuted shape
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 from repro.core.base import PatternLike, TripleIndex
 from repro.core.patterns import PatternKind, TriplePattern
-from repro.core.permutations import PERMUTATIONS, Permutation
+from repro.core.permutations import PERMUTATIONS
 from repro.core.trie import PermutationTrie
 from repro.errors import PatternError
 

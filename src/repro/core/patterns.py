@@ -29,7 +29,7 @@ class PatternKind(Enum):
     S = "s??"
     PO = "?po"
     P = "?p?"
-    O = "??o"
+    O = "??o"  # noqa: E741 - paper nomenclature (O = object-bound pattern)
     SO = "s?o"
     ALL_WILDCARDS = "???"
 

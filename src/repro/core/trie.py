@@ -24,7 +24,7 @@ Three algorithms operate on this layout:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -303,6 +303,21 @@ class PermutationTrie:
         """Absolute level-1 positions of the children of ``first``."""
         begin, end = self.children_range(first)
         return range(begin, end)
+
+    # ------------------------------------------------------------------ #
+    # Persistence.
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> int:
+        """Persist this trie (all levels and pointers) to ``path``."""
+        from repro.storage import save_object
+        return save_object(self, path)
+
+    @classmethod
+    def load(cls, path) -> "PermutationTrie":
+        """Load a trie saved with :meth:`save`; nothing is rebuilt from values."""
+        from repro.storage import load_object
+        return load_object(path, expected_type=cls)
 
     # ------------------------------------------------------------------ #
     # Space accounting and statistics.

@@ -16,8 +16,6 @@ Generation is vectorised with numpy and deterministic given the seed.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.datasets.profiles import DatasetProfile, profile as lookup_profile

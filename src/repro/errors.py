@@ -40,3 +40,13 @@ class ParseError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset profile or generator is misconfigured."""
+
+
+class StorageError(ReproError):
+    """A persisted index file cannot be written or read back.
+
+    Typical causes: a file that is not a repro container (bad magic), a
+    format version this build does not understand, checksum mismatches from
+    on-disk corruption, truncated payloads, or an object graph containing a
+    type with no registered serializer.
+    """

@@ -21,7 +21,7 @@ what the Table 6 benchmark replays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.base import TripleIndex
 from repro.core.patterns import TriplePattern

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.patterns import TriplePattern
 from repro.errors import ParseError
@@ -130,6 +130,53 @@ def _resolve_term(token: str, role: int, dictionary=None,
     return role_dictionary.id_of(token)
 
 
+def _split_statements(body: str) -> List[str]:
+    """Split a WHERE body into statements at ``.`` separators and newlines.
+
+    A ``.`` only separates statements when it occurs *outside* an IRI
+    (``<...>``) or a literal (``"..."`` with backslash escapes), so IRIs and
+    literals containing dots are never corrupted.  Any spacing around the
+    separator is accepted — ``" . "``, ``" ."``, ``". "`` and a bare ``"."``
+    all delimit statements, unlike the historical ``" . "``-only split.
+    """
+    chunks: List[str] = []
+    current: List[str] = []
+    in_iri = False
+    in_literal = False
+    escaped = False
+    for character in body:
+        if in_iri:
+            current.append(character)
+            if character == ">":
+                in_iri = False
+        elif in_literal:
+            current.append(character)
+            if escaped:
+                escaped = False
+            elif character == "\\":
+                escaped = True
+            elif character == '"':
+                in_literal = False
+        elif character == "<":
+            in_iri = True
+            current.append(character)
+        elif character == '"':
+            in_literal = True
+            current.append(character)
+        elif character == ".":
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    chunks.append("".join(current))
+    # Newlines still delimit statements inside dot-free chunks (the
+    # line-oriented style the bundled query logs use).
+    statements: List[str] = []
+    for chunk in chunks:
+        statements.extend(line.strip() for line in chunk.splitlines())
+    return [statement for statement in statements if statement]
+
+
 def parse_sparql(text: str, dictionary=None,
                  symbols: Optional[Dict[str, int]] = None,
                  name: str = "") -> SparqlQuery:
@@ -145,15 +192,7 @@ def parse_sparql(text: str, dictionary=None,
         projection = tuple(re.findall(r"\?[A-Za-z_][A-Za-z0-9_]*", projection_text))
 
     templates: List[TriplePatternTemplate] = []
-    # One triple pattern per line, or separated by " . " on a single line
-    # (IRIs may contain dots, so a bare split on "." would corrupt them).
-    body = match.group("body").replace(" . ", "\n")
-    for statement in body.splitlines():
-        statement = statement.strip()
-        if statement.endswith("."):
-            statement = statement[:-1].strip()
-        if not statement:
-            continue
+    for statement in _split_statements(match.group("body")):
         tokens = _TOKEN_RE.findall(statement)
         if len(tokens) != 3:
             raise ParseError(f"malformed triple pattern {statement!r}")

@@ -9,7 +9,7 @@ methodology") draws 5 000 triples at random from the indexed dataset and masks
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.patterns import PatternKind, TriplePattern
 from repro.rdf.triples import TripleStore

@@ -43,6 +43,29 @@ class Dictionary:
         """Build from any iterable of terms (duplicates allowed)."""
         return cls(list(terms))
 
+    @classmethod
+    def _restore(cls, terms: Sequence[str]) -> "Dictionary":
+        """Rebuild from a term list already in ID (lexicographic) order.
+
+        Used by the persistence layer: skips the sort/dedup of ``__init__``
+        because the stored order *is* the ID assignment.
+        """
+        instance = cls.__new__(cls)
+        instance._terms = list(terms)
+        instance._ids = {term: i for i, term in enumerate(instance._terms)}
+        return instance
+
+    def save(self, path) -> int:
+        """Persist this dictionary to ``path``; returns bytes written."""
+        from repro.storage import save_object
+        return save_object(self, path)
+
+    @classmethod
+    def load(cls, path) -> "Dictionary":
+        """Load a dictionary saved with :meth:`save`."""
+        from repro.storage import load_object
+        return load_object(path, expected_type=cls)
+
     def __len__(self) -> int:
         return len(self._terms)
 
@@ -99,6 +122,16 @@ class NumericIndex:
         shifted = [v + self._offset for v in scaled]
         self._sequence = EliasFano.from_values(shifted)
         self._factor = factor
+
+    @classmethod
+    def _restore(cls, scale: int, offset: int, sequence: EliasFano) -> "NumericIndex":
+        """Rebuild from persisted state without re-sorting or re-encoding."""
+        instance = cls.__new__(cls)
+        instance._scale = scale
+        instance._factor = 10 ** scale
+        instance._offset = offset
+        instance._sequence = sequence
+        return instance
 
     def __len__(self) -> int:
         return len(self._sequence)
@@ -186,6 +219,22 @@ class RdfDictionary:
         s, p, o = triple
         return (self.subjects.term_of(s), self.predicates.term_of(p),
                 self.objects.term_of(o))
+
+    def save(self, path) -> int:
+        """Persist the role dictionaries (and numeric index) to ``path``."""
+        from repro.storage import save_object
+        return save_object(self, path)
+
+    @classmethod
+    def load(cls, path) -> "RdfDictionary":
+        """Load a dictionary bundle saved with :meth:`save`.
+
+        The subject/object sharing of :meth:`from_term_triples` is preserved:
+        if the saved bundle shared one resource dictionary, the loaded one
+        does too.
+        """
+        from repro.storage import load_object
+        return load_object(path, expected_type=cls)
 
     def size_summary(self) -> Dict[str, int]:
         """Number of terms per role (excluded from bits/triple accounting)."""

@@ -7,7 +7,7 @@ reports it as the fastest — but least space-efficient — representation.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 

@@ -1,0 +1,50 @@
+"""Persistence subsystem: a versioned binary container format plus
+save/load support for every layer of the package.
+
+Public surface:
+
+* :func:`save_index` / :func:`load_index` — whole index files (index +
+  optional RDF dictionary), the format behind the ``repro`` CLI;
+* :func:`save_object` / :func:`load_object` — standalone structures (any
+  sequence codec, a bit vector, one permutation trie, a dictionary);
+* :func:`file_info` — cheap inspection of a saved file;
+* :data:`FORMAT_VERSION`, :data:`MAGIC` — the container identity;
+* :func:`dumps_object` / :func:`loads_object` — in-memory (de)serialisation,
+  useful for tests and for shipping indexes over a wire.
+
+All failure modes raise :class:`repro.errors.StorageError`.
+"""
+
+from repro.storage.codecs import dumps_object, loads_object, type_name_of
+from repro.storage.container import (
+    FORMAT_VERSION,
+    MAGIC,
+    parse_container,
+    read_container,
+    write_container,
+)
+from repro.storage.index_io import (
+    LoadedIndex,
+    file_info,
+    load_index,
+    load_object,
+    save_index,
+    save_object,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "LoadedIndex",
+    "dumps_object",
+    "loads_object",
+    "type_name_of",
+    "parse_container",
+    "read_container",
+    "write_container",
+    "file_info",
+    "load_index",
+    "load_object",
+    "save_index",
+    "save_object",
+]

@@ -1,0 +1,265 @@
+"""Serializers for every persistable structure in the package.
+
+Each structure is registered with a stable type name, a ``to_state`` function
+producing a plain state tree (dicts / ints / arrays / nested registered
+objects — see :mod:`repro.storage.format`) and a ``from_state`` function
+rebuilding the live object *directly from the stored words*: no sequence is
+re-encoded, no prefix sum recomputed, no trie re-sorted.  The only work done
+at load time is reconstructing derived acceleration state (e.g. the bit
+vector's cumulative popcounts) from the exact payload words that were stored,
+which is what makes loading orders of magnitude cheaper than rebuilding.
+
+The registry is keyed by *exact* type, so :class:`CrossCompressedIndex` and
+its base class :class:`PermutedTrieIndex` round-trip to their own classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple, Type
+
+from repro.core.cross_compression import CrossCompressedIndex
+from repro.core.index_2t import TwoTrieIndex
+from repro.core.index_3t import PermutedTrieIndex
+from repro.core.pairs import PairStructure
+from repro.core.trie import PermutationTrie, TrieConfig
+from repro.errors import StorageError
+from repro.rdf.dictionary import Dictionary, NumericIndex, RdfDictionary
+from repro.sequences.bitvector import BitVector
+from repro.sequences.compact import CompactVector
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.partitioned_elias_fano import PartitionedEliasFano, _Partition
+from repro.sequences.prefix_sum import PrefixSummedSequence, RangedSequence
+from repro.sequences.vbyte import VByte
+from repro.storage import format as binary_format
+
+ToState = Callable[[Any], dict]
+FromState = Callable[[dict], Any]
+
+_BY_NAME: Dict[str, Tuple[Type, FromState]] = {}
+_BY_TYPE: Dict[Type, Tuple[str, ToState]] = {}
+
+
+def register(name: str, cls: Type, to_state: ToState, from_state: FromState) -> None:
+    """Register a serializer; exact-type keyed, stable-name addressed."""
+    if name in _BY_NAME or cls in _BY_TYPE:
+        raise StorageError(f"serializer {name!r} / {cls.__name__} already registered")
+    _BY_NAME[name] = (cls, from_state)
+    _BY_TYPE[cls] = (name, to_state)
+
+
+def type_name_of(obj: Any) -> str:
+    """The registered type name of ``obj`` (raises for unregistered types)."""
+    try:
+        return _BY_TYPE[type(obj)][0]
+    except KeyError:
+        raise StorageError(
+            f"no serializer registered for {type(obj).__name__}") from None
+
+
+def encode_object(obj: Any) -> Tuple[str, dict]:
+    """Hook for :func:`repro.storage.format.dumps`."""
+    try:
+        name, to_state = _BY_TYPE[type(obj)]
+    except KeyError:
+        raise StorageError(
+            f"no serializer registered for {type(obj).__name__}") from None
+    return name, to_state(obj)
+
+
+def decode_object(name: str, state: dict) -> Any:
+    """Hook for :func:`repro.storage.format.loads`."""
+    try:
+        _, from_state = _BY_NAME[name]
+    except KeyError:
+        raise StorageError(f"unknown stored type {name!r} "
+                           f"(file written by a newer build?)") from None
+    try:
+        return from_state(state)
+    except StorageError:
+        raise
+    except Exception as exc:
+        raise StorageError(f"malformed state for stored type {name!r}: {exc}") from exc
+
+
+def dumps_object(obj: Any) -> bytes:
+    """Serialise one registered object (and its nested objects) to bytes."""
+    return binary_format.dumps(obj, object_encoder=encode_object)
+
+
+def loads_object(data: bytes) -> Any:
+    """Rebuild an object serialised by :func:`dumps_object`."""
+    return binary_format.loads(data, object_decoder=decode_object)
+
+
+# --------------------------------------------------------------------------- #
+# Sequence substrate.
+# --------------------------------------------------------------------------- #
+
+register(
+    "bitvector", BitVector,
+    lambda bv: {"num_bits": len(bv), "words": bv._words},
+    # BitVector.__init__ rebuilds the cumulative rank counts from the exact
+    # stored words — nothing is re-encoded.
+    lambda state: BitVector(state["words"], state["num_bits"]),
+)
+
+register(
+    "compact", CompactVector,
+    lambda cv: {"words": cv._words, "width": cv.width, "size": len(cv)},
+    lambda state: CompactVector(state["words"], state["width"], state["size"]),
+)
+
+register(
+    "ef", EliasFano,
+    lambda ef: {"low": ef._low, "high": ef._high, "size": len(ef),
+                "universe": ef.universe, "low_bits": ef.low_bits},
+    lambda state: EliasFano(state["low"], state["high"], state["size"],
+                            state["universe"], state["low_bits"]),
+)
+
+register(
+    "pef-partition", _Partition,
+    lambda p: {"kind": p.kind, "base": p.base, "length": p.length,
+               "payload": p.payload},
+    lambda state: _Partition(state["kind"], state["base"], state["length"],
+                             state["payload"]),
+)
+
+register(
+    "pef", PartitionedEliasFano,
+    lambda pef: {"partitions": list(pef._partitions),
+                 "upper_bounds": pef._upper_bounds, "size": len(pef),
+                 "partition_size": pef.partition_size,
+                 "universe": pef._universe},
+    lambda state: PartitionedEliasFano(state["partitions"], state["upper_bounds"],
+                                       state["size"], state["partition_size"],
+                                       state["universe"]),
+)
+
+register(
+    "vbyte", VByte,
+    lambda vb: {"data": vb._data, "block_offsets": vb._block_offsets,
+                "block_firsts": vb._block_firsts, "size": len(vb),
+                "block_size": vb._block_size, "gapped": vb.is_gapped},
+    lambda state: VByte(state["data"], state["block_offsets"],
+                        state["block_firsts"], state["size"],
+                        state["block_size"], state["gapped"]),
+)
+
+register(
+    "ranged", RangedSequence,
+    lambda rs: {"sequence": rs.sequence},
+    lambda state: RangedSequence(state["sequence"]),
+)
+
+register(
+    "prefix-summed", PrefixSummedSequence,
+    lambda ps: {"sequence": ps.sequence},
+    lambda state: PrefixSummedSequence(state["sequence"]),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Trie layer.
+# --------------------------------------------------------------------------- #
+
+register(
+    "trie-config", TrieConfig,
+    lambda config: {"level1_nodes": config.level1_nodes,
+                    "level2_nodes": config.level2_nodes,
+                    "codec_options": {name: dict(options) for name, options
+                                      in config.codec_options.items()}},
+    lambda state: TrieConfig(state["level1_nodes"], state["level2_nodes"],
+                             state["codec_options"]),
+)
+
+register(
+    "trie", PermutationTrie,
+    lambda trie: {"permutation_name": trie.permutation_name,
+                  "config": trie.config,
+                  "num_first": trie.num_first,
+                  "num_triples": trie.num_triples,
+                  "pointers0": trie._pointers0,
+                  "nodes1": trie._nodes1,
+                  "pointers1": trie._pointers1,
+                  "nodes2": trie._nodes2},
+    lambda state: PermutationTrie(state["permutation_name"], state["config"],
+                                  state["num_first"], state["pointers0"],
+                                  state["nodes1"], state["pointers1"],
+                                  state["nodes2"], state["num_triples"]),
+)
+
+register(
+    "pairs", PairStructure,
+    lambda ps: {"num_first": ps.num_first, "num_pairs": ps.num_pairs,
+                "pointers": ps._pointers, "values": ps._values},
+    lambda state: PairStructure(state["num_first"], state["pointers"],
+                                state["values"], state["num_pairs"]),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Index families.
+# --------------------------------------------------------------------------- #
+
+register(
+    "index-3t", PermutedTrieIndex,
+    lambda index: {"tries": index.tries},
+    lambda state: PermutedTrieIndex(state["tries"]),
+)
+
+register(
+    "index-cc", CrossCompressedIndex,
+    lambda index: {"tries": index.tries},
+    lambda state: CrossCompressedIndex(state["tries"]),
+)
+
+register(
+    "index-2t", TwoTrieIndex,
+    lambda index: {"spo": index.trie("spo"),
+                   "second": index._second,
+                   "variant": index.variant,
+                   "ps": index.ps_structure},
+    lambda state: TwoTrieIndex(state["spo"], state["second"], state["variant"],
+                               ps_structure=state["ps"]),
+)
+
+
+# --------------------------------------------------------------------------- #
+# RDF dictionaries.
+# --------------------------------------------------------------------------- #
+
+register(
+    "dictionary", Dictionary,
+    lambda d: {"terms": d.terms()},
+    # _restore skips the sort/dedup of __init__: the stored term list is
+    # already in ID order.
+    lambda state: Dictionary._restore(state["terms"]),
+)
+
+register(
+    "numeric-index", NumericIndex,
+    lambda n: {"scale": n._scale, "offset": n._offset, "sequence": n._sequence},
+    lambda state: NumericIndex._restore(state["scale"], state["offset"],
+                                        state["sequence"]),
+)
+
+
+def _rdf_dictionary_state(d: RdfDictionary) -> dict:
+    shared = d.subjects is d.objects
+    return {"subjects": d.subjects,
+            "objects": None if shared else d.objects,
+            "shared_resources": shared,
+            "predicates": d.predicates,
+            "numeric_objects": d.numeric_objects}
+
+
+def _rdf_dictionary_from_state(state: dict) -> RdfDictionary:
+    subjects = state["subjects"]
+    objects = subjects if state["shared_resources"] else state["objects"]
+    return RdfDictionary(subjects=subjects, predicates=state["predicates"],
+                         objects=objects, numeric_objects=state["numeric_objects"])
+
+
+register("rdf-dictionary", RdfDictionary,
+         _rdf_dictionary_state, _rdf_dictionary_from_state)

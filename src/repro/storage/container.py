@@ -1,0 +1,158 @@
+"""The on-disk container: magic, format version, section table, checksums.
+
+A repro index file is a flat container of named byte sections::
+
+    +--------------------------------------------------------------+
+    | magic "REPROIDX" (8 bytes)                                   |
+    | format version   (uint32 LE)                                 |
+    | number of sections (uint32 LE)                               |
+    | section table: per section                                   |
+    |     name length (uint16 LE) + UTF-8 name                     |
+    |     payload offset (uint64 LE, absolute)                     |
+    |     payload length (uint64 LE)                               |
+    |     payload CRC-32 (uint32 LE)                               |
+    | header CRC-32    (uint32 LE, over everything above)          |
+    | section payloads, back to back                               |
+    +--------------------------------------------------------------+
+
+The header checksum catches table corruption before any offset is trusted;
+per-section CRC-32s catch payload corruption before any byte reaches the
+decoders.  Every failure mode raises :class:`repro.errors.StorageError` with a
+message naming what was violated, so callers (CLI included) can report the
+problem without a traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from repro.errors import StorageError
+
+MAGIC = b"REPROIDX"
+
+#: Version of the container format written by this build.  Readers reject
+#: files with any other version, which is what makes future layout changes
+#: safe: bump the version and old builds fail loudly instead of misreading.
+FORMAT_VERSION = 1
+
+_FIXED_HEADER = struct.Struct("<8sII")
+_TABLE_ENTRY_TAIL = struct.Struct("<QQI")
+_CRC = struct.Struct("<I")
+
+PathLike = Union[str, Path]
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def write_container(path: PathLike, sections: Mapping[str, bytes]) -> int:
+    """Write ``sections`` to ``path``; returns the total number of bytes written.
+
+    The write is atomic: bytes go to a temporary file in the destination
+    directory which is renamed over ``path`` only once fully written, so an
+    interrupted save (disk full, crash, Ctrl-C) never destroys a previously
+    valid index file.  Section order is preserved, so a round trip through
+    :func:`read_container` keeps files byte-identical.
+    """
+    if not sections:
+        raise StorageError("a container needs at least one section")
+    encoded_names: List[Tuple[bytes, bytes]] = []
+    for name, payload in sections.items():
+        encoded = name.encode("utf-8")
+        if not encoded or len(encoded) > 0xFFFF:
+            raise StorageError(f"invalid section name {name!r}")
+        encoded_names.append((encoded, payload))
+
+    table_size = sum(2 + len(encoded) + _TABLE_ENTRY_TAIL.size
+                     for encoded, _ in encoded_names)
+    payload_start = _FIXED_HEADER.size + table_size + _CRC.size
+
+    header = bytearray()
+    header += _FIXED_HEADER.pack(MAGIC, FORMAT_VERSION, len(encoded_names))
+    offset = payload_start
+    for encoded, payload in encoded_names:
+        header += struct.pack("<H", len(encoded))
+        header += encoded
+        header += _TABLE_ENTRY_TAIL.pack(offset, len(payload), _crc32(payload))
+        offset += len(payload)
+
+    destination = Path(path)
+    temporary = destination.with_name(destination.name + ".tmp")
+    try:
+        with open(temporary, "wb") as handle:
+            handle.write(header)
+            handle.write(_CRC.pack(_crc32(bytes(header))))
+            for _, payload in encoded_names:
+                handle.write(payload)
+        os.replace(temporary, destination)
+    except OSError:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+    return offset
+
+
+def read_container(path: PathLike) -> Dict[str, bytes]:
+    """Read and fully validate a container; returns sections by name."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from None
+    return parse_container(data, source=str(path))
+
+
+def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
+    """Validate an in-memory container image and return its sections."""
+    if len(data) < _FIXED_HEADER.size + _CRC.size:
+        raise StorageError(f"{source}: too short to be a repro container")
+    magic, version, num_sections = _FIXED_HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise StorageError(f"{source}: not a repro container (bad magic)")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"{source}: unsupported container format version {version} "
+            f"(this build reads version {FORMAT_VERSION})")
+
+    cursor = _FIXED_HEADER.size
+    table: List[Tuple[str, int, int, int]] = []
+    for _ in range(num_sections):
+        if cursor + 2 > len(data):
+            raise StorageError(f"{source}: truncated section table")
+        (name_length,) = struct.unpack_from("<H", data, cursor)
+        cursor += 2
+        if cursor + name_length + _TABLE_ENTRY_TAIL.size > len(data):
+            raise StorageError(f"{source}: truncated section table")
+        try:
+            name = data[cursor:cursor + name_length].decode("utf-8")
+        except UnicodeDecodeError:
+            raise StorageError(f"{source}: malformed section name") from None
+        cursor += name_length
+        offset, length, crc = _TABLE_ENTRY_TAIL.unpack_from(data, cursor)
+        cursor += _TABLE_ENTRY_TAIL.size
+        table.append((name, offset, length, crc))
+
+    if cursor + _CRC.size > len(data):
+        raise StorageError(f"{source}: truncated header checksum")
+    (header_crc,) = _CRC.unpack_from(data, cursor)
+    if header_crc != _crc32(data[:cursor]):
+        raise StorageError(f"{source}: header checksum mismatch (corrupted file)")
+
+    sections: Dict[str, bytes] = {}
+    for name, offset, length, crc in table:
+        if offset + length > len(data):
+            raise StorageError(f"{source}: section {name!r} extends past end of file")
+        payload = data[offset:offset + length]
+        if _crc32(payload) != crc:
+            raise StorageError(f"{source}: section {name!r} checksum mismatch "
+                               f"(corrupted file)")
+        if name in sections:
+            raise StorageError(f"{source}: duplicate section {name!r}")
+        sections[name] = payload
+    return sections

@@ -1,0 +1,262 @@
+"""Tagged binary encoding of the object-state trees the serializers produce.
+
+The persistence layer (see :mod:`repro.storage.codecs`) describes every codec,
+trie and index as a *state tree*: nested dicts and lists whose leaves are
+``None``, bools, ints, floats, strings, bytes or 1-D numpy arrays, plus nested
+serialisable objects.  This module encodes such a tree into a compact,
+self-describing byte string and decodes it back, with explicit bounds checks so
+that a truncated or corrupted payload raises :class:`repro.errors.StorageError`
+instead of crashing in numpy or struct internals.
+
+Every value starts with a one-byte tag.  Variable-length quantities (string
+and bytes lengths, collection sizes) use unsigned LEB128; integers use the
+zigzag transform on top of it so that the occasional negative value (e.g. the
+``NOT_FOUND`` sentinel) costs one byte instead of ten.  Arrays store their
+dtype in numpy's ``dtype.str`` notation followed by the raw little-endian
+buffer, which lets the decoder hand the words straight back to the rank/select
+structures without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_DICT = 0x08
+_TAG_ARRAY = 0x09
+_TAG_OBJECT = 0x0A
+
+#: ``object_encoder`` maps a rich object to ``(type_name, state_dict)``.
+ObjectEncoder = Callable[[Any], Tuple[str, dict]]
+#: ``object_decoder`` rebuilds a rich object from ``(type_name, state_dict)``.
+ObjectDecoder = Callable[[str, dict], Any]
+
+#: dtypes accepted for array payloads; anything else is a serialiser bug.
+_ALLOWED_DTYPES = frozenset({"<u8", "<i8", "<u4", "<i4", "<u2", "<i2",
+                             "|u1", "|i1", "<f8", "<f4"})
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise StorageError(f"cannot encode negative varint {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+class _Writer:
+    """Encodes one state tree into a bytearray."""
+
+    def __init__(self, object_encoder: Optional[ObjectEncoder]):
+        self._out = bytearray()
+        self._object_encoder = object_encoder
+
+    def getvalue(self) -> bytes:
+        return bytes(self._out)
+
+    def write(self, value: Any) -> None:
+        out = self._out
+        if value is None:
+            out.append(_TAG_NONE)
+        elif value is False:
+            out.append(_TAG_FALSE)
+        elif value is True:
+            out.append(_TAG_TRUE)
+        elif isinstance(value, (int, np.integer)):
+            out.append(_TAG_INT)
+            _write_uvarint(out, _zigzag(int(value)))
+        elif isinstance(value, (float, np.floating)):
+            out.append(_TAG_FLOAT)
+            out.extend(struct.pack("<d", float(value)))
+        elif isinstance(value, str):
+            encoded = value.encode("utf-8")
+            out.append(_TAG_STR)
+            _write_uvarint(out, len(encoded))
+            out.extend(encoded)
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            data = bytes(value)
+            out.append(_TAG_BYTES)
+            _write_uvarint(out, len(data))
+            out.extend(data)
+        elif isinstance(value, np.ndarray):
+            self._write_array(value)
+        elif isinstance(value, (list, tuple)):
+            out.append(_TAG_LIST)
+            _write_uvarint(out, len(value))
+            for item in value:
+                self.write(item)
+        elif isinstance(value, dict):
+            out.append(_TAG_DICT)
+            _write_uvarint(out, len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise StorageError(f"dict keys must be strings, got {key!r}")
+                encoded = key.encode("utf-8")
+                _write_uvarint(out, len(encoded))
+                out.extend(encoded)
+                self.write(item)
+        else:
+            self._write_object(value)
+
+    def _write_array(self, array: np.ndarray) -> None:
+        if array.ndim != 1:
+            raise StorageError(f"only 1-D arrays are storable, got shape {array.shape}")
+        contiguous = np.ascontiguousarray(array)
+        # dtype.str spells out the concrete byte order ('>u8') even when
+        # dtype.byteorder reports native ('='), so this also catches native
+        # arrays on big-endian hosts.
+        if contiguous.dtype.str.startswith(">"):
+            contiguous = contiguous.astype(contiguous.dtype.newbyteorder("<"))
+        dtype_code = contiguous.dtype.str
+        if dtype_code not in _ALLOWED_DTYPES:
+            raise StorageError(f"unsupported array dtype {dtype_code!r}")
+        encoded_dtype = dtype_code.encode("ascii")
+        out = self._out
+        out.append(_TAG_ARRAY)
+        _write_uvarint(out, len(encoded_dtype))
+        out.extend(encoded_dtype)
+        _write_uvarint(out, contiguous.size)
+        out.extend(contiguous.tobytes())
+
+    def _write_object(self, value: Any) -> None:
+        if self._object_encoder is None:
+            raise StorageError(f"cannot encode object of type {type(value).__name__}")
+        type_name, state = self._object_encoder(value)
+        if not isinstance(state, dict):
+            raise StorageError(f"serializer for {type_name!r} returned a non-dict state")
+        encoded = type_name.encode("utf-8")
+        self._out.append(_TAG_OBJECT)
+        _write_uvarint(self._out, len(encoded))
+        self._out.extend(encoded)
+        self.write(state)
+
+
+class _Reader:
+    """Decodes one state tree with explicit bounds checks."""
+
+    def __init__(self, data: bytes, object_decoder: Optional[ObjectDecoder]):
+        self._data = data
+        self._offset = 0
+        self._object_decoder = object_decoder
+
+    def _take(self, count: int) -> bytes:
+        end = self._offset + count
+        if count < 0 or end > len(self._data):
+            raise StorageError("truncated payload while decoding")
+        chunk = self._data[self._offset:end]
+        self._offset = end
+        return chunk
+
+    def _read_uvarint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self._take(1)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 70:
+                raise StorageError("malformed varint (too many continuation bytes)")
+
+    def at_end(self) -> bool:
+        return self._offset == len(self._data)
+
+    def read(self) -> Any:
+        tag = self._take(1)[0]
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_INT:
+            return _unzigzag(self._read_uvarint())
+        if tag == _TAG_FLOAT:
+            return struct.unpack("<d", self._take(8))[0]
+        if tag == _TAG_STR:
+            return self._decode_text(self._take(self._read_uvarint()))
+        if tag == _TAG_BYTES:
+            return self._take(self._read_uvarint())
+        if tag == _TAG_LIST:
+            count = self._read_uvarint()
+            return [self.read() for _ in range(count)]
+        if tag == _TAG_DICT:
+            count = self._read_uvarint()
+            result = {}
+            for _ in range(count):
+                key = self._decode_text(self._take(self._read_uvarint()))
+                result[key] = self.read()
+            return result
+        if tag == _TAG_ARRAY:
+            return self._read_array()
+        if tag == _TAG_OBJECT:
+            return self._read_object()
+        raise StorageError(f"unknown value tag 0x{tag:02x}")
+
+    @staticmethod
+    def _decode_text(data: bytes) -> str:
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise StorageError(f"malformed UTF-8 in payload: {exc}") from None
+
+    def _read_array(self) -> np.ndarray:
+        dtype_code = self._take(self._read_uvarint()).decode("ascii", "replace")
+        if dtype_code not in _ALLOWED_DTYPES:
+            raise StorageError(f"unsupported array dtype {dtype_code!r} in payload")
+        dtype = np.dtype(dtype_code)
+        size = self._read_uvarint()
+        raw = self._take(size * dtype.itemsize)
+        # .copy() yields an aligned, writable array owning its buffer.
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def _read_object(self) -> Any:
+        type_name = self._decode_text(self._take(self._read_uvarint()))
+        state = self.read()
+        if not isinstance(state, dict):
+            raise StorageError(f"object {type_name!r} carries a non-dict state")
+        if self._object_decoder is None:
+            raise StorageError(f"no object decoder available for {type_name!r}")
+        return self._object_decoder(type_name, state)
+
+
+def dumps(value: Any, object_encoder: Optional[ObjectEncoder] = None) -> bytes:
+    """Encode a state tree into bytes."""
+    writer = _Writer(object_encoder)
+    writer.write(value)
+    return writer.getvalue()
+
+
+def loads(data: bytes, object_decoder: Optional[ObjectDecoder] = None) -> Any:
+    """Decode bytes produced by :func:`dumps` back into a state tree."""
+    reader = _Reader(data, object_decoder)
+    value = reader.read()
+    if not reader.at_end():
+        raise StorageError("trailing garbage after payload")
+    return value

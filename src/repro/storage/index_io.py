@@ -1,0 +1,163 @@
+"""High-level persistence entry points: whole index files and standalone objects.
+
+A saved index file is a container (see :mod:`repro.storage.container`) with
+three sections:
+
+* ``meta``    — a small state tree describing what the file holds (stored
+  kind, layout name, triple count, producing library version);
+* ``index``   — the serialised index object graph;
+* ``dictionary`` — optional: the :class:`repro.rdf.dictionary.RdfDictionary`
+  needed to run term-level (rather than ID-level) queries.
+
+Standalone object files (a codec saved with ``sequence.save(path)``, a trie,
+a dictionary) use the same container with ``meta`` + ``payload`` sections, so
+every file produced by this package carries the same magic, version and
+checksum protection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, NamedTuple, Optional, Type, Union
+
+from repro.errors import StorageError
+from repro.storage import format as binary_format
+from repro.storage.codecs import dumps_object, loads_object, type_name_of
+from repro.storage.container import (
+    FORMAT_VERSION,
+    read_container,
+    write_container,
+)
+
+PathLike = Union[str, Path]
+
+SECTION_META = "meta"
+SECTION_INDEX = "index"
+SECTION_DICTIONARY = "dictionary"
+SECTION_PAYLOAD = "payload"
+
+
+def _library_version() -> str:
+    from repro import __version__
+    return __version__
+
+
+def _dump_meta(meta: dict) -> bytes:
+    return binary_format.dumps(meta)
+
+
+def _load_meta(sections: Dict[str, bytes], source: str) -> dict:
+    if SECTION_META not in sections:
+        raise StorageError(f"{source}: missing {SECTION_META!r} section")
+    meta = binary_format.loads(sections[SECTION_META])
+    if not isinstance(meta, dict):
+        raise StorageError(f"{source}: malformed {SECTION_META!r} section")
+    return meta
+
+
+class LoadedIndex(NamedTuple):
+    """What :func:`load_index` returns."""
+
+    index: Any
+    dictionary: Optional[Any]
+    meta: dict
+
+
+def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None) -> int:
+    """Persist ``index`` (and optionally its RDF dictionary) to ``path``.
+
+    Returns the number of bytes written.  The index may be any registered
+    index family (3T, CC, 2Tp, 2To).
+    """
+    meta = {
+        "kind": type_name_of(index),
+        "layout": getattr(index, "name", type_name_of(index)),
+        "num_triples": int(index.num_triples),
+        "size_in_bits": int(index.size_in_bits()),
+        "has_dictionary": dictionary is not None,
+        "library_version": _library_version(),
+    }
+    sections: Dict[str, bytes] = {
+        SECTION_META: _dump_meta(meta),
+        SECTION_INDEX: dumps_object(index),
+    }
+    if dictionary is not None:
+        sections[SECTION_DICTIONARY] = dumps_object(dictionary)
+    return write_container(path, sections)
+
+
+def load_index(path: PathLike, load_dictionary: bool = True) -> LoadedIndex:
+    """Load an index file written by :func:`save_index`.
+
+    ``load_dictionary=False`` skips decoding the (potentially large)
+    dictionary section for callers that only need the index payload.
+    """
+    sections = read_container(path)
+    meta = _load_meta(sections, str(path))
+    if SECTION_INDEX not in sections:
+        raise StorageError(f"{path}: missing {SECTION_INDEX!r} section "
+                           f"(not an index file?)")
+    index = loads_object(sections[SECTION_INDEX])
+    dictionary = None
+    if load_dictionary and SECTION_DICTIONARY in sections:
+        dictionary = loads_object(sections[SECTION_DICTIONARY])
+    return LoadedIndex(index=index, dictionary=dictionary, meta=meta)
+
+
+def save_object(obj: Any, path: PathLike) -> int:
+    """Persist one registered object (codec, trie, dictionary, ...) to ``path``."""
+    meta = {
+        "kind": type_name_of(obj),
+        "library_version": _library_version(),
+    }
+    sections = {
+        SECTION_META: _dump_meta(meta),
+        SECTION_PAYLOAD: dumps_object(obj),
+    }
+    return write_container(path, sections)
+
+
+def load_object(path: PathLike, expected_type: Optional[Type] = None) -> Any:
+    """Load an object file written by :func:`save_object`.
+
+    ``expected_type`` lets typed ``load`` classmethods reject files holding a
+    different structure with a clear error instead of an attribute crash.
+    """
+    sections = read_container(path)
+    _load_meta(sections, str(path))
+    if SECTION_PAYLOAD not in sections:
+        raise StorageError(f"{path}: missing {SECTION_PAYLOAD!r} section "
+                           f"(is this a full index file? use load_index)")
+    obj = loads_object(sections[SECTION_PAYLOAD])
+    if expected_type is not None and not isinstance(obj, expected_type):
+        raise StorageError(
+            f"{path}: holds a {type(obj).__name__}, expected "
+            f"{expected_type.__name__}")
+    return obj
+
+
+def file_info(path: PathLike, include_breakdown: bool = False) -> dict:
+    """Describe a container file without fully decoding its payloads.
+
+    Returns the decoded ``meta`` section plus per-section and total byte
+    sizes — the data behind the CLI ``info`` subcommand.  With
+    ``include_breakdown=True`` the index payload is additionally decoded
+    (from the same single read of the file) and its per-component
+    ``space_breakdown`` attached under ``"space_breakdown"``.
+    """
+    sections = read_container(path)
+    meta = _load_meta(sections, str(path))
+    section_sizes = {name: len(payload) for name, payload in sections.items()}
+    info = {
+        "path": str(path),
+        "format_version": FORMAT_VERSION,
+        "meta": meta,
+        "section_bytes": section_sizes,
+        "total_bytes": Path(path).stat().st_size,
+    }
+    if include_breakdown:
+        if SECTION_INDEX not in sections:
+            raise StorageError(f"{path}: missing {SECTION_INDEX!r} section "
+                               f"(not an index file?)")
+        info["space_breakdown"] = loads_object(sections[SECTION_INDEX]).space_breakdown()
+    return info

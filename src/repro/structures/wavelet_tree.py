@@ -14,7 +14,7 @@ remaining bit.  ``access``, ``rank`` and ``select`` all run in
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the bit vector with rank/select support."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,159 @@
+"""End-to-end tests for the ``repro`` command-line interface.
+
+Every test drives :func:`repro.cli.main` in process, exactly as the console
+entry point and ``python -m repro`` do, against files in ``tmp_path``.
+"""
+
+import pytest
+
+from repro.cli import main
+
+NTRIPLES = """\
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/bob> .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/knows> <http://example.org/carol> .
+<http://example.org/alice> <http://xmlns.com/foaf/0.1/name> "Alice" .
+<http://example.org/bob> <http://xmlns.com/foaf/0.1/knows> <http://example.org/carol> .
+<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> "Bob" .
+<http://example.org/carol> <http://xmlns.com/foaf/0.1/name> "Carol" .
+"""
+
+ALICE = "<http://example.org/alice>"
+KNOWS = "<http://xmlns.com/foaf/0.1/knows>"
+
+
+@pytest.fixture()
+def nt_file(tmp_path):
+    path = tmp_path / "data.nt"
+    path.write_text(NTRIPLES, encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def index_file(nt_file, tmp_path):
+    path = tmp_path / "data.ridx"
+    assert main(["build", str(nt_file), "-o", str(path), "--layout", "2tp"]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_reports_stats(self, nt_file, tmp_path, capsys):
+        out = tmp_path / "x.ridx"
+        assert main(["build", str(nt_file), "-o", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "indexed 6 triples" in captured.out
+        assert "bits/triple on disk" in captured.out
+        assert out.stat().st_size > 0
+
+    @pytest.mark.parametrize("layout", ["3t", "cc", "2tp", "2to"])
+    def test_every_layout_builds(self, nt_file, tmp_path, layout):
+        out = tmp_path / f"{layout}.ridx"
+        assert main(["build", str(nt_file), "-o", str(out),
+                     "--layout", layout]) == 0
+
+    def test_build_from_integer_ids(self, tmp_path, capsys):
+        source = tmp_path / "ids.txt"
+        source.write_text("0 0 1\n0 1 2\n1 0 2\n# comment\n", encoding="utf-8")
+        out = tmp_path / "ids.ridx"
+        assert main(["build", str(source), "-o", str(out), "--ids"]) == 0
+        assert "indexed 3 triples" in capsys.readouterr().out
+
+    def test_malformed_ids_fail(self, tmp_path, capsys):
+        source = tmp_path / "bad.txt"
+        source.write_text("0 0\n", encoding="utf-8")
+        assert main(["build", str(source), "-o", str(tmp_path / "x"), "--ids"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_input_fails(self, tmp_path, capsys):
+        assert main(["build", str(tmp_path / "nope.nt"),
+                     "-o", str(tmp_path / "x.ridx")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_pattern_with_terms(self, index_file, capsys):
+        assert main(["query", str(index_file),
+                     "--pattern", f"{ALICE} {KNOWS} ?"]) == 0
+        captured = capsys.readouterr()
+        assert "<http://example.org/bob>" in captured.out
+        assert "<http://example.org/carol>" in captured.out
+
+    def test_pattern_count(self, index_file, capsys):
+        assert main(["query", str(index_file), "--count",
+                     "--pattern", f"? {KNOWS} ?"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_pattern_unknown_term_matches_nothing(self, index_file, capsys):
+        assert main(["query", str(index_file), "--count",
+                     "--pattern", "<http://example.org/nobody> ? ?"]) == 0
+        assert capsys.readouterr().out.strip() == "0"
+
+    def test_pattern_limit(self, index_file, capsys):
+        assert main(["query", str(index_file), "--limit", "1",
+                     "--pattern", "? ? ?"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 1
+
+    def test_sparql_query(self, index_file, capsys):
+        assert main(["query", str(index_file), "--sparql",
+                     f"SELECT ?s ?o WHERE {{ ?s {KNOWS} ?o }}"]) == 0
+        output = capsys.readouterr().out.splitlines()
+        assert output[0].split("\t") == ["?s", "?o"]
+        assert len(output) == 4  # header + three solutions
+
+    def test_sparql_file(self, index_file, tmp_path, capsys):
+        query_path = tmp_path / "q.rq"
+        query_path.write_text(
+            f"SELECT ?o WHERE {{ {ALICE} {KNOWS} ?o }}", encoding="utf-8")
+        assert main(["query", str(index_file), "--count",
+                     "--sparql-file", str(query_path)]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_integer_pattern_on_ids_index(self, tmp_path, capsys):
+        source = tmp_path / "ids.txt"
+        source.write_text("0 0 1\n0 1 2\n1 0 2\n", encoding="utf-8")
+        out = tmp_path / "ids.ridx"
+        assert main(["build", str(source), "-o", str(out), "--ids"]) == 0
+        capsys.readouterr()
+        assert main(["query", str(out), "--pattern", "0 ? ?", "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_term_pattern_on_ids_index_fails(self, tmp_path, capsys):
+        source = tmp_path / "ids.txt"
+        source.write_text("0 0 1\n", encoding="utf-8")
+        out = tmp_path / "ids.ridx"
+        assert main(["build", str(source), "-o", str(out), "--ids"]) == 0
+        capsys.readouterr()
+        assert main(["query", str(out), "--pattern", "<http://x> ? ?"]) == 1
+        assert "needs a dictionary" in capsys.readouterr().err
+
+    def test_malformed_pattern_fails(self, index_file, capsys):
+        assert main(["query", str(index_file), "--pattern", "? ?"]) == 1
+        assert "exactly 3 terms" in capsys.readouterr().err
+
+    def test_corrupted_index_fails_cleanly(self, index_file, capsys):
+        data = bytearray(index_file.read_bytes())
+        data[-1] ^= 0xFF
+        index_file.write_bytes(bytes(data))
+        assert main(["query", str(index_file), "--pattern", "? ? ?"]) == 1
+        assert "checksum mismatch" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_output(self, index_file, capsys):
+        assert main(["info", str(index_file)]) == 0
+        output = capsys.readouterr().out
+        assert "layout: 2tp" in output
+        assert "triples: 6" in output
+        assert "dictionary bundled: yes" in output
+        assert "on-disk bits/triple:" in output
+
+    def test_info_breakdown(self, index_file, capsys):
+        assert main(["info", str(index_file), "--breakdown"]) == 0
+        output = capsys.readouterr().out
+        assert "spo.nodes2" in output
+
+    def test_info_on_garbage_fails(self, tmp_path, capsys):
+        path = tmp_path / "junk.ridx"
+        path.write_bytes(b"not an index" * 4)
+        assert main(["info", str(path)]) == 1
+        assert "bad magic" in capsys.readouterr().err

@@ -3,10 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.cross_compression import (
-    CrossCompressedIndex,
-    compute_cross_compressed_third_level,
-)
+from repro.core.cross_compression import compute_cross_compressed_third_level
 from repro.core.patterns import PatternKind, TriplePattern, reference_select
 from repro.core.permutations import PERMUTATIONS
 from repro.errors import IndexBuildError

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.index_2t import TwoTrieIndex
 from repro.core.patterns import PatternKind, TriplePattern, reference_select
-from repro.errors import IndexBuildError, PatternError
+from repro.errors import IndexBuildError
 
 
 class TestConstruction:

@@ -1,7 +1,6 @@
 """Property-based cross-checks: every index layout and every baseline must
 agree with the naive reference on arbitrary triple sets and patterns."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -109,6 +109,75 @@ class TestSparqlParsing:
         assert bgp.variables() == ("?b", "?a", "?c")
 
 
+class TestSparqlSeparators:
+    """Regression tests: ``.`` separators must work with any spacing.
+
+    The historical parser only split single-line bodies on the exact string
+    ``" . "``; a separator written ``" ."`` or ``". "`` silently merged two
+    patterns into one malformed statement.
+    """
+
+    def test_separator_without_trailing_space(self):
+        query = parse_sparql("SELECT * WHERE { ?x 1 ?y .?y 2 ?z }")
+        assert len(query.bgp) == 2
+        assert query.bgp.templates[1] == TriplePatternTemplate("?y", 2, "?z")
+
+    def test_separator_without_leading_space(self):
+        query = parse_sparql("SELECT * WHERE { ?x 1 ?y. ?y 2 ?z }")
+        assert len(query.bgp) == 2
+
+    def test_bare_dot_separator(self):
+        query = parse_sparql("SELECT * WHERE { ?x 1 ?y.?y 2 ?z.?z 3 7 }")
+        assert len(query.bgp) == 3
+        assert query.bgp.templates[2] == TriplePatternTemplate("?z", 3, 7)
+
+    def test_trailing_dot_tolerated(self):
+        query = parse_sparql("SELECT * WHERE { ?x 1 ?y .?y 2 ?z. }")
+        assert len(query.bgp) == 2
+
+    def test_dotted_iri_not_split(self):
+        dictionary, _ = RdfDictionary.from_term_triples(
+            [("<http://ex.org/a.b>", "<http://ex.org/p.q>", "<http://ex.org/c.d>")])
+        query = parse_sparql(
+            "SELECT * WHERE { <http://ex.org/a.b> <http://ex.org/p.q> ?o"
+            " .?s <http://ex.org/p.q> <http://ex.org/c.d> }",
+            dictionary=dictionary)
+        assert len(query.bgp) == 2
+        assert query.bgp.templates[0].subject == \
+            dictionary.subjects.id_of("<http://ex.org/a.b>")
+
+    def test_dotted_literal_not_split(self):
+        dictionary, _ = RdfDictionary.from_term_triples(
+            [("<s>", "<p>", '"v. 1.2"')])
+        query = parse_sparql('SELECT * WHERE { ?s <p> "v. 1.2".?s <p> ?o }',
+                             dictionary=dictionary)
+        assert len(query.bgp) == 2
+        assert query.bgp.templates[0].object == \
+            dictionary.objects.id_of('"v. 1.2"')
+
+    def test_multiline_without_dots_still_parses(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE {
+                ?x 1 ?y
+                ?y 2 ?z
+            }
+        """)
+        assert len(query.bgp) == 2
+
+    def test_multiline_with_mixed_dot_styles(self):
+        query = parse_sparql("""
+            SELECT ?x WHERE {
+                ?x 1 ?y .
+                ?y 2 ?z.
+                ?z 3 ?w }
+        """)
+        assert len(query.bgp) == 3
+
+    def test_merged_statement_still_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT * WHERE { ?x 1 ?y ?y 2 ?z }")
+
+
 class TestPlanner:
     def test_most_selective_first(self, small_store):
         bgp = BasicGraphPattern([

@@ -37,7 +37,7 @@ class TestChildrenStatistics:
         rows = children_statistics_from_store(store)
         assert len(rows) == 6
         assert {(r.trie, r.level) for r in rows} == {
-            (t, l) for t in ("spo", "pos", "osp") for l in (1, 2)}
+            (t, level) for t in ("spo", "pos", "osp") for level in (1, 2)}
 
     def test_spo_level1_matches_trie(self, store):
         table = children_statistics_table(store)
