@@ -1,0 +1,164 @@
+"""Serving-layer throughput: cold vs. result-cache-warm, 1 thread vs. a pool.
+
+The service's argument is build-once/serve-many taken one step further than
+persistence: one loaded index answers *many* queries, so the marginal cost of
+a repeated query should collapse to a cache lookup and concurrent clients
+should share the read-only index without stepping on each other.  Measured
+here, per LUBM log query and in aggregate:
+
+* **cold** — every query planned and executed from scratch (caches off);
+* **warm** — the same queries answered from the result cache;
+* the cold/warm speedup (the acceptance bar is >= 10x for a repeated query);
+* queries/second for 1 thread vs. a thread pool hammering one service.
+
+Writes ``benchmarks/results/BENCH_service.json`` (the machine-readable
+numbers) next to the usual plain-text table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from functools import lru_cache
+
+import common
+from repro.bench.tables import format_table
+from repro.core.builder import IndexBuilder
+from repro.queries import QueryPlanner, lubm_query_log
+from repro.service import QueryService
+
+NUM_THREADS = 8
+#: Repetitions per query when timing single executions.
+ROUNDS = int(os.environ.get("REPRO_BENCH_SERVICE_ROUNDS", "3"))
+#: Total requests for the throughput (queries/second) comparison; the cold
+#: side re-executes every query, so it gets a smaller budget.
+WARM_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_WARM_REQUESTS", "640"))
+COLD_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_COLD_REQUESTS", "64"))
+MAX_LIMIT = 1_000
+
+
+@lru_cache(maxsize=None)
+def _setup():
+    store = common.lubm_dataset()
+    index = IndexBuilder(store).build("2tp")
+    cardinalities = QueryPlanner.cardinalities_from_store(store)
+    queries = lubm_query_log()
+    return index, cardinalities, queries
+
+
+def _service(index, cardinalities, result_cache_size=256) -> QueryService:
+    return QueryService(index, cardinalities=cardinalities,
+                        result_cache_size=result_cache_size,
+                        max_limit=MAX_LIMIT)
+
+
+def _best_of(callable_, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@lru_cache(maxsize=None)
+def _measurements():
+    index, cardinalities, queries = _setup()
+    service = _service(index, cardinalities)
+
+    per_query = []
+    for query in queries:
+        cold_seconds = _best_of(
+            lambda: service.execute(query, use_cache=False), ROUNDS)
+        service.execute(query)  # populate the cache
+        warm_seconds = _best_of(lambda: service.execute(query), ROUNDS)
+        assert service.execute(query).cached is True
+        per_query.append({
+            "query": query.name,
+            "results": service.execute(query).count,
+            "cold_us": cold_seconds * 1e6,
+            "warm_us": warm_seconds * 1e6,
+            "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        })
+
+    def _throughput(num_threads: int, use_cache: bool) -> float:
+        throughput_service = _service(
+            index, cardinalities, result_cache_size=256 if use_cache else 0)
+        if use_cache:
+            for query in queries:
+                throughput_service.execute(query)
+        total = WARM_REQUESTS if use_cache else COLD_REQUESTS
+        per_thread = total // num_threads
+        barrier = threading.Barrier(num_threads + 1)
+
+        def worker(offset: int):
+            barrier.wait()
+            for position in range(per_thread):
+                query = queries[(offset + position) % len(queries)]
+                throughput_service.execute(query, use_cache=use_cache)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        return (per_thread * num_threads) / elapsed
+
+    throughput = {
+        "cold_1_thread_qps": _throughput(1, use_cache=False),
+        "cold_pool_qps": _throughput(NUM_THREADS, use_cache=False),
+        "warm_1_thread_qps": _throughput(1, use_cache=True),
+        "warm_pool_qps": _throughput(NUM_THREADS, use_cache=True),
+    }
+    return per_query, throughput
+
+
+def _report() -> dict:
+    per_query, throughput = _measurements()
+    speedups = [entry["speedup"] for entry in per_query]
+    return {
+        "dataset": "lubm",
+        "num_queries": len(per_query),
+        "per_query": per_query,
+        "median_cached_speedup": sorted(speedups)[len(speedups) // 2],
+        "min_cached_speedup": min(speedups),
+        "throughput": throughput,
+        "num_threads": NUM_THREADS,
+    }
+
+
+def test_result_cache_speedup_meets_bar():
+    """A repeated (cached) query is >= 10x faster than its cold execution."""
+    report = _report()
+    assert report["median_cached_speedup"] >= 10.0, report["per_query"]
+
+
+def test_report_service():
+    """Emit the serving table and BENCH_service.json."""
+    report = _report()
+    rows = [[entry["query"], entry["results"], entry["cold_us"],
+             entry["warm_us"], entry["speedup"]]
+            for entry in report["per_query"]]
+    table = format_table(
+        ["query", "results", "cold us", "cached us", "speedup x"], rows,
+        precision=1,
+        title=f"Service — result-cache speedup (LUBM log) and throughput; "
+              f"median speedup {report['median_cached_speedup']:.0f}x")
+    throughput = report["throughput"]
+    table += (
+        f"\nthroughput (qps; {COLD_REQUESTS} cold / {WARM_REQUESTS} warm "
+        f"requests): "
+        f"cold 1-thread {throughput['cold_1_thread_qps']:.0f}, "
+        f"cold {NUM_THREADS}-thread {throughput['cold_pool_qps']:.0f}, "
+        f"warm 1-thread {throughput['warm_1_thread_qps']:.0f}, "
+        f"warm {NUM_THREADS}-thread {throughput['warm_pool_qps']:.0f}")
+    common.write_result("service", table)
+    common.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (common.RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8")

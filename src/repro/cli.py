@@ -113,6 +113,7 @@ def _read_id_triples(path: str) -> List[Tuple[int, int, int]]:
 
 def _command_build(args: argparse.Namespace) -> int:
     from repro.core.builder import IndexBuilder
+    from repro.queries.planner import QueryPlanner
     from repro.rdf.dictionary import RdfDictionary
     from repro.rdf.ntriples import parse_ntriples_file, term_triples_to_keys
     from repro.rdf.triples import TripleStore
@@ -134,7 +135,10 @@ def _command_build(args: argparse.Namespace) -> int:
     build_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    written = index.save(args.output, dictionary=dictionary)
+    planner_stats = (None if args.no_stats
+                     else QueryPlanner.cardinalities_from_store(store))
+    written = index.save(args.output, dictionary=dictionary,
+                         planner_stats=planner_stats)
     save_seconds = time.perf_counter() - started
 
     print(f"indexed {len(store)} triples "
@@ -154,31 +158,47 @@ def _command_build(args: argparse.Namespace) -> int:
 
 def _run_pattern_query(index, dictionary, args: argparse.Namespace) -> int:
     pattern = _resolve_pattern(args.pattern, dictionary)
+    # Stream: only --json needs the triples materialised; --count and the
+    # plain listing must stay O(1) in memory on huge result sets.
     matched = 0
+    collected = [] if args.json else None
     if pattern is not None and (args.limit is None or args.limit > 0):
         for triple in index.select(pattern):
             matched += 1
-            if not args.count:
+            if collected is not None:
+                collected.append(triple)
+            elif not args.count:
                 print(_format_triple(triple, dictionary))
             if args.limit is not None and matched >= args.limit:
                 break
-    if args.count:
+    if args.json:
+        from repro.service import jsonio
+        print(jsonio.dumps(jsonio.pattern_results_to_json(
+            collected, dictionary=dictionary)))
+    elif args.count:
         print(matched)
     else:
         print(f"{matched} matching triples", file=sys.stderr)
     return 0
 
 
-def _run_sparql_query(index, dictionary, text: str, args: argparse.Namespace) -> int:
+def _run_sparql_query(index, dictionary, text: str, args: argparse.Namespace,
+                      cardinalities=None) -> int:
     from repro.queries.planner import execute_bgp
     from repro.queries.sparql import parse_sparql
 
     query = parse_sparql(text, dictionary=dictionary)
-    results, statistics = execute_bgp(index, query, max_results=args.limit)
+    results, statistics = execute_bgp(index, query, max_results=args.limit,
+                                      cardinalities=cardinalities)
+    variables = list(query.projection or query.variables())
+    if args.json:
+        from repro.service import jsonio
+        print(jsonio.dumps(jsonio.sparql_results_to_json(
+            variables, results, statistics)))
+        return 0
     if args.count:
         print(len(results))
         return 0
-    variables = list(query.projection or query.variables())
     print("\t".join(variables))
     for binding in results:
         print("\t".join(str(binding.get(variable, "")) for variable in variables))
@@ -194,9 +214,11 @@ def _command_query(args: argparse.Namespace) -> int:
     if args.pattern is not None:
         return _run_pattern_query(loaded.index, loaded.dictionary, args)
     if args.sparql is not None:
-        return _run_sparql_query(loaded.index, loaded.dictionary, args.sparql, args)
+        return _run_sparql_query(loaded.index, loaded.dictionary, args.sparql,
+                                 args, cardinalities=loaded.planner_stats)
     with open(args.sparql_file, "r", encoding="utf-8") as handle:
-        return _run_sparql_query(loaded.index, loaded.dictionary, handle.read(), args)
+        return _run_sparql_query(loaded.index, loaded.dictionary, handle.read(),
+                                 args, cardinalities=loaded.planner_stats)
 
 
 # --------------------------------------------------------------------------- #
@@ -207,6 +229,10 @@ def _command_info(args: argparse.Namespace) -> int:
     from repro.storage import file_info
 
     info = file_info(args.index, include_breakdown=args.breakdown)
+    if args.json:
+        from repro.service import jsonio
+        print(jsonio.dumps(jsonio.info_to_json(info)))
+        return 0
     meta = info["meta"]
     print(f"file: {info['path']}")
     print(f"container format version: {info['format_version']}")
@@ -233,6 +259,39 @@ def _command_info(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# serve
+# --------------------------------------------------------------------------- #
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService, build_server
+
+    started = time.perf_counter()
+    service = QueryService.from_file(
+        args.index,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+        default_timeout=args.timeout,
+        max_limit=args.max_limit)
+    load_seconds = time.perf_counter() - started
+    server = build_server(service, host=args.host, port=args.port,
+                          quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(f"loaded {args.index} in {load_seconds:.3f}s "
+          f"({service.index.num_triples} triples, layout "
+          f"{getattr(service.index, 'name', '?')})")
+    print(f"serving on http://{host}:{port}  "
+          f"(POST /query, GET /stats, GET /healthz; Ctrl-C to stop)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Argument parsing.
 # --------------------------------------------------------------------------- #
 
@@ -255,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--ids", action="store_true",
                        help="input lines are 's p o' integer IDs; no "
                             "dictionary is built")
+    build.add_argument("--no-stats", action="store_true",
+                       help="skip bundling the planner's cardinality "
+                            "histograms into the output file")
     build.set_defaults(handler=_command_build)
 
     query = subparsers.add_parser(
@@ -270,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print only the number of results")
     query.add_argument("--limit", type=int, default=None,
                        help="stop after this many results")
+    query.add_argument("--json", action="store_true",
+                       help="print results as JSON (same shape as the "
+                            "serve endpoint)")
     query.set_defaults(handler=_command_query)
 
     info = subparsers.add_parser(
@@ -278,7 +343,30 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--breakdown", action="store_true",
                       help="also load the index and print its per-component "
                            "space breakdown")
+    info.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
     info.set_defaults(handler=_command_info)
+
+    serve = subparsers.add_parser(
+        "serve", help="load an index once and serve HTTP queries from it")
+    serve.add_argument("index", help="index file written by 'repro build'")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="TCP port (default: 8377; 0 picks a free port)")
+    serve.add_argument("--plan-cache", type=int, default=256, metavar="N",
+                       help="plan cache entries (default: 256)")
+    serve.add_argument("--result-cache", type=int, default=256, metavar="N",
+                       help="result cache entries (default: 256; 0 disables)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                       help="default per-query wall-clock timeout "
+                            "(default: 30)")
+    serve.add_argument("--max-limit", type=int, default=100_000, metavar="N",
+                       help="largest result page a request may ask for "
+                            "(default: 100000)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

@@ -72,16 +72,20 @@ class TripleIndex(ABC):
     # Persistence.
     # ------------------------------------------------------------------ #
 
-    def save(self, path, dictionary=None) -> int:
+    def save(self, path, dictionary=None, planner_stats=None) -> int:
         """Persist this index (plus an optional RDF dictionary) to ``path``.
 
         The file is a versioned, checksummed container readable by
         :func:`repro.storage.load_index` and the ``repro`` CLI.  Only the
         paper's index families are persistable; the educational baselines
-        raise :class:`repro.errors.StorageError`.
+        raise :class:`repro.errors.StorageError`.  ``planner_stats`` are the
+        query planner's per-role cardinality histograms (see
+        ``QueryPlanner.cardinalities_from_store``); bundling them lets a
+        loaded index plan as well as a freshly built one.
         """
         from repro.storage import save_index
-        return save_index(self, path, dictionary=dictionary)
+        return save_index(self, path, dictionary=dictionary,
+                          planner_stats=planner_stats)
 
     @classmethod
     def load(cls, path) -> "TripleIndex":

@@ -42,6 +42,23 @@ class DatasetError(ReproError):
     """Raised when a synthetic dataset profile or generator is misconfigured."""
 
 
+class QueryTimeoutError(ReproError):
+    """A query exceeded its wall-clock execution budget.
+
+    Raised from the streaming BGP executor when a ``timeout`` was given; the
+    serving layer maps it to an HTTP 408 so one slow query cannot occupy a
+    worker thread forever.
+    """
+
+
+class ServiceError(ReproError):
+    """The query service received a request it cannot execute.
+
+    Typical causes: a malformed request body, a batch entry that is neither a
+    SPARQL string nor a pattern, or a request exceeding server-side limits.
+    """
+
+
 class StorageError(ReproError):
     """A persisted index file cannot be written or read back.
 

@@ -2,10 +2,20 @@
 
 from repro.queries.workload import PatternWorkload, build_workloads, sample_patterns
 from repro.queries.sparql import BasicGraphPattern, SparqlQuery, TriplePatternTemplate, parse_sparql
-from repro.queries.planner import QueryPlanner, execute_bgp, decompose_into_patterns
+from repro.queries.planner import (
+    CartesianProductWarning,
+    ExecutionStatistics,
+    QueryPlanner,
+    decompose_into_patterns,
+    execute_bgp,
+    stream_bgp,
+)
 from repro.queries.logs import lubm_query_log, watdiv_query_log
 
 __all__ = [
+    "CartesianProductWarning",
+    "ExecutionStatistics",
+    "stream_bgp",
     "PatternWorkload",
     "build_workloads",
     "sample_patterns",

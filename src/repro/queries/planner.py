@@ -13,19 +13,30 @@ greedy strategy:
    the already-planned part (to avoid Cartesian products), again preferring
    the most selective one.
 
-:func:`execute_bgp` then runs the plan with a nested-loop join over the index,
-recording every atomic selection pattern it issues — that recorded sequence is
-what the Table 6 benchmark replays.
+A BGP whose join graph is disconnected has no such ordering: the planner then
+falls back to an explicit Cartesian product between the connected components
+and says so with a :class:`CartesianProductWarning` (the nested-loop executor
+still produces the correct cross product, it is just expensive).
+
+Execution is *streaming*: :func:`stream_bgp` walks the plan as a depth-first
+nested-loop join and lazily yields one solution binding at a time, so a
+caller asking for the first ``k`` solutions (``LIMIT k``) never materialises
+the full result set and a wall-clock ``timeout`` can cut off a runaway query
+mid-join.  :func:`execute_bgp` is the eager wrapper that collects the stream
+into a list, recording every atomic selection pattern issued — that recorded
+sequence is what the Table 6 benchmark replays.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.base import TripleIndex
 from repro.core.patterns import TriplePattern
-from repro.errors import PatternError
+from repro.errors import PatternError, QueryTimeoutError
 from repro.queries.sparql import (
     BasicGraphPattern,
     SparqlQuery,
@@ -33,6 +44,14 @@ from repro.queries.sparql import (
     is_variable,
 )
 from repro.rdf.triples import TripleStore
+
+#: Per-role cardinality histograms: ``{role: {component_id: triple_count}}``
+#: for roles 0 (subject), 1 (predicate), 2 (object).
+Cardinalities = Dict[int, Dict[int, int]]
+
+
+class CartesianProductWarning(UserWarning):
+    """The BGP's join graph is disconnected; a Cartesian product was planned."""
 
 
 @dataclass
@@ -42,24 +61,47 @@ class ExecutionStatistics:
     patterns_executed: int = 0
     triples_matched: int = 0
     results: int = 0
+    cartesian_joins: int = 0
     executed_patterns: List[TriplePattern] = field(default_factory=list)
 
 
 class QueryPlanner:
-    """Selectivity-driven greedy ordering of BGP templates."""
+    """Selectivity-driven greedy ordering of BGP templates.
 
-    def __init__(self, store: Optional[TripleStore] = None):
-        self._cardinalities = self._component_cardinalities(store) if store else None
+    Selectivity estimates come from per-role cardinality histograms, obtained
+    either from a live :class:`TripleStore` (``store=``) or from previously
+    computed (e.g. persisted alongside a saved index, then loaded) histograms
+    (``cardinalities=``).  Without either, a bound-component heuristic is
+    used.
+    """
+
+    def __init__(self, store: Optional[TripleStore] = None,
+                 cardinalities: Optional[Cardinalities] = None):
+        if cardinalities is not None:
+            self._cardinalities: Optional[Cardinalities] = cardinalities
+        elif store is not None:
+            self._cardinalities = self._component_cardinalities(store)
+        else:
+            self._cardinalities = None
+
+    @property
+    def cardinalities(self) -> Optional[Cardinalities]:
+        """The histograms driving the estimates (``None`` = heuristic mode)."""
+        return self._cardinalities
 
     @staticmethod
-    def _component_cardinalities(store: TripleStore) -> Dict[int, Dict[int, int]]:
+    def _component_cardinalities(store: TripleStore) -> Cardinalities:
         """Per-role histograms: how many triples every bound ID would match."""
         import numpy as np
-        cardinalities: Dict[int, Dict[int, int]] = {}
+        cardinalities: Cardinalities = {}
         for role in (0, 1, 2):
             values, counts = np.unique(store.column(role), return_counts=True)
             cardinalities[role] = {int(v): int(c) for v, c in zip(values, counts)}
         return cardinalities
+
+    # Public alias: the serving/storage layers compute histograms once at
+    # build time and persist them next to the index.
+    cardinalities_from_store = _component_cardinalities
 
     def _selectivity_score(self, template: TriplePatternTemplate) -> Tuple[int, float]:
         """Lower scores are planned first."""
@@ -77,24 +119,45 @@ class QueryPlanner:
             estimate = {3: 1.0, 2: 10.0, 1: 1000.0, 0: 1e9}[bound]
         return (-bound, estimate)
 
-    def plan(self, bgp: BasicGraphPattern) -> List[TriplePatternTemplate]:
-        """Order the templates of ``bgp`` for execution."""
+    def plan_order(self, bgp: BasicGraphPattern) -> Tuple[Tuple[int, ...], int]:
+        """Plan ``bgp`` and return ``(template order, num Cartesian joins)``.
+
+        The order is a permutation of template indexes — a compact, immutable
+        value the serving layer caches per normalized BGP.  The second element
+        counts the joins taken without any shared variable (0 for a connected
+        BGP); each one triggered an explicit Cartesian-product fallback.
+        """
         if len(bgp) == 0:
             raise PatternError("cannot plan an empty basic graph pattern")
-        remaining = list(bgp.templates)
-        remaining.sort(key=self._selectivity_score)
-        planned: List[TriplePatternTemplate] = [remaining.pop(0)]
-        bound_variables: Set[str] = set(planned[0].variables())
+        indexed = list(enumerate(bgp.templates))
+        indexed.sort(key=lambda pair: self._selectivity_score(pair[1]))
+        order: List[int] = [indexed[0][0]]
+        remaining = indexed[1:]
+        bound_variables: Set[str] = set(indexed[0][1].variables())
+        cartesian_joins = 0
         while remaining:
-            connected = [t for t in remaining
-                         if bound_variables.intersection(t.variables())]
+            connected = [pair for pair in remaining
+                         if bound_variables.intersection(pair[1].variables())]
+            if not connected:
+                cartesian_joins += 1
             candidates = connected or remaining
-            candidates.sort(key=self._selectivity_score)
+            candidates.sort(key=lambda pair: self._selectivity_score(pair[1]))
             chosen = candidates[0]
             remaining.remove(chosen)
-            planned.append(chosen)
-            bound_variables.update(chosen.variables())
-        return planned
+            order.append(chosen[0])
+            bound_variables.update(chosen[1].variables())
+        if cartesian_joins:
+            warnings.warn(
+                f"basic graph pattern is disconnected: {cartesian_joins} "
+                f"join step(s) share no variable with the already-planned "
+                f"part; falling back to an explicit Cartesian product",
+                CartesianProductWarning, stacklevel=2)
+        return tuple(order), cartesian_joins
+
+    def plan(self, bgp: BasicGraphPattern) -> List[TriplePatternTemplate]:
+        """Order the templates of ``bgp`` for execution."""
+        order, _ = self.plan_order(bgp)
+        return [bgp.templates[i] for i in order]
 
 
 def decompose_into_patterns(query: SparqlQuery, store: Optional[TripleStore] = None
@@ -103,51 +166,138 @@ def decompose_into_patterns(query: SparqlQuery, store: Optional[TripleStore] = N
     return QueryPlanner(store).plan(query.bgp)
 
 
+def _extend_binding(binding: Dict[str, int], template: TriplePatternTemplate,
+                    triple: Tuple[int, int, int]) -> Optional[Dict[str, int]]:
+    """Extend ``binding`` with ``template``'s variables bound to ``triple``.
+
+    Returns ``None`` when the triple is inconsistent with the binding (a
+    repeated variable matched two different IDs).
+    """
+    extended = dict(binding)
+    for role, term in enumerate(template.terms()):
+        if is_variable(term):
+            value = triple[role]
+            if term in extended and extended[term] != value:
+                return None
+            extended[term] = value
+    return extended
+
+
+def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
+                 statistics: ExecutionStatistics,
+                 deadline: Optional[float]) -> Iterator[Dict[str, int]]:
+    """Depth-first nested-loop join over ``plan``, yielding full bindings.
+
+    Lazy end to end: the next solution is computed only when the consumer
+    asks for it, so downstream ``LIMIT``/pagination stops the join early
+    instead of materialising every intermediate binding list.
+    """
+    num_levels = len(plan)
+
+    def recurse(depth: int, binding: Dict[str, int]) -> Iterator[Dict[str, int]]:
+        template = plan[depth]
+        pattern = template.bind(binding).to_selection_pattern()
+        statistics.patterns_executed += 1
+        statistics.executed_patterns.append(pattern)
+        for triple in index.select(pattern):
+            statistics.triples_matched += 1
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryTimeoutError(
+                    "query exceeded its wall-clock timeout "
+                    f"after matching {statistics.triples_matched} triples")
+            extended = _extend_binding(binding, template, triple)
+            if extended is None:
+                continue
+            if depth + 1 == num_levels:
+                yield extended
+            else:
+                yield from recurse(depth + 1, extended)
+
+    if deadline is not None and time.monotonic() > deadline:
+        raise QueryTimeoutError("query exceeded its wall-clock timeout "
+                                "before executing any pattern")
+    yield from recurse(0, {})
+
+
+def stream_bgp(index: TripleIndex, query: SparqlQuery,
+               store: Optional[TripleStore] = None,
+               planner: Optional[QueryPlanner] = None,
+               plan: Optional[Sequence[TriplePatternTemplate]] = None,
+               limit: Optional[int] = None,
+               offset: int = 0,
+               timeout: Optional[float] = None,
+               statistics: Optional[ExecutionStatistics] = None
+               ) -> Iterator[Dict[str, int]]:
+    """Lazily yield the solutions of ``query``'s BGP, projected.
+
+    ``limit``/``offset`` implement result pagination: the first ``offset``
+    solutions are skipped (they must still be computed — this is a
+    nested-loop engine, not an indexed cursor) and at most ``limit`` are
+    yielded, after which the underlying join is abandoned without computing
+    the remaining solutions.  ``timeout`` (seconds) bounds wall-clock time;
+    exceeding it raises :class:`repro.errors.QueryTimeoutError`.
+
+    ``plan`` short-circuits planning with a pre-ordered template sequence
+    (the serving layer's plan cache); otherwise ``planner`` (or a fresh
+    planner over ``store``) orders the BGP.  Pass a ``statistics`` object to
+    observe progress; ``statistics.results`` counts the yielded solutions.
+    """
+    if limit is not None and limit <= 0:
+        return
+    stats = statistics if statistics is not None else ExecutionStatistics()
+    if plan is None:
+        order, cartesian_joins = (planner or QueryPlanner(store)
+                                  ).plan_order(query.bgp)
+        plan = [query.bgp.templates[i] for i in order]
+        stats.cartesian_joins = cartesian_joins
+    deadline = None if timeout is None else time.monotonic() + timeout
+    projection = query.projection or query.variables()
+    skipped = 0
+    yielded = 0
+    for binding in _stream_join(index, plan, stats, deadline):
+        if skipped < offset:
+            skipped += 1
+            continue
+        stats.results += 1
+        yielded += 1
+        yield {variable: binding[variable] for variable in projection
+               if variable in binding}
+        if limit is not None and yielded >= limit:
+            return
+
+
 def execute_bgp(index: TripleIndex, query: SparqlQuery,
                 store: Optional[TripleStore] = None,
-                max_results: Optional[int] = None
+                max_results: Optional[int] = None,
+                limit: Optional[int] = None,
+                offset: int = 0,
+                timeout: Optional[float] = None,
+                planner: Optional[QueryPlanner] = None,
+                plan: Optional[Sequence[TriplePatternTemplate]] = None,
+                cardinalities: Optional[Cardinalities] = None
                 ) -> Tuple[List[Dict[str, int]], ExecutionStatistics]:
     """Execute a BGP with nested-loop joins over ``index``.
 
     Returns the variable bindings of the solutions (projected onto the query's
     projection) and the execution statistics, including the exact sequence of
     atomic selection patterns issued — the unit of measurement of the paper's
-    Table 6.
+    Table 6.  ``max_results`` is the historical spelling of ``limit``; when
+    both are given the smaller wins.  See :func:`stream_bgp` for the
+    ``limit``/``offset``/``timeout`` semantics — this wrapper merely collects
+    the stream eagerly.
+
+    Note that ``limit`` bounds the *results*, not the join work: the first
+    ``limit`` solutions are exact (the historical per-level cap could
+    silently drop valid solutions), but a query whose solutions are sparse
+    may explore a large join before producing them — bound the work with
+    ``timeout`` when that matters.
     """
-    planner = QueryPlanner(store)
-    plan = planner.plan(query.bgp)
+    if max_results is not None:
+        limit = max_results if limit is None else min(limit, max_results)
+    if planner is None and (store is not None or cardinalities is not None):
+        planner = QueryPlanner(store, cardinalities=cardinalities)
     statistics = ExecutionStatistics()
-    bindings: List[Dict[str, int]] = [{}]
-    for template in plan:
-        next_bindings: List[Dict[str, int]] = []
-        for binding in bindings:
-            bound_template = template.bind(binding)
-            pattern = bound_template.to_selection_pattern()
-            statistics.patterns_executed += 1
-            statistics.executed_patterns.append(pattern)
-            for s, p, o in index.select(pattern):
-                statistics.triples_matched += 1
-                extended = dict(binding)
-                consistent = True
-                for role, term in enumerate(template.terms()):
-                    if is_variable(term):
-                        value = (s, p, o)[role]
-                        if term in extended and extended[term] != value:
-                            consistent = False
-                            break
-                        extended[term] = value
-                if consistent:
-                    next_bindings.append(extended)
-                if max_results is not None and len(next_bindings) >= max_results:
-                    break
-            if max_results is not None and len(next_bindings) >= max_results:
-                break
-        bindings = next_bindings
-        if not bindings:
-            break
-    projection = query.projection or query.variables()
-    results = [{variable: binding[variable] for variable in projection
-                if variable in binding}
-               for binding in bindings]
-    statistics.results = len(results)
+    results = list(stream_bgp(index, query, planner=planner, plan=plan,
+                              limit=limit, offset=offset, timeout=timeout,
+                              statistics=statistics))
     return results, statistics

@@ -1,0 +1,41 @@
+"""The serving layer: a long-lived, concurrent query service over one
+loaded index.
+
+The paper's compressed tries are immutable and read-optimised — the right
+shape for many threads sharing one in-memory index.  This package turns the
+batch CLI into a server:
+
+* :class:`QueryService` (:mod:`repro.service.engine`) — the embeddable
+  engine: plan cache, LRU result cache with statistics, streaming
+  execution with limit/offset/timeout, batch calls;
+* :func:`build_server` / :func:`serve` (:mod:`repro.service.http`) — the
+  stdlib-only threaded HTTP front-end (``POST /query``, ``GET /stats``,
+  ``GET /healthz``) behind ``repro serve``;
+* :mod:`repro.service.cache` — the LRU + BGP-normalisation primitives;
+* :mod:`repro.service.jsonio` — the JSON serialisation shared with the
+  CLI's ``--json`` output.
+"""
+
+from repro.service.cache import CacheStatistics, LRUCache, normalize_bgp
+from repro.service.engine import PatternResult, QueryResult, QueryService
+from repro.service.http import (
+    QueryServiceHandler,
+    QueryServiceServer,
+    build_server,
+    serve,
+    status_for_error,
+)
+
+__all__ = [
+    "CacheStatistics",
+    "LRUCache",
+    "normalize_bgp",
+    "PatternResult",
+    "QueryResult",
+    "QueryService",
+    "QueryServiceHandler",
+    "QueryServiceServer",
+    "build_server",
+    "serve",
+    "status_for_error",
+]

@@ -1,0 +1,142 @@
+"""Caching primitives for the query service.
+
+Two small, thread-safe building blocks:
+
+* :class:`LRUCache` — a bounded least-recently-used map with hit / miss /
+  eviction counters, used both for query plans and for result pages;
+* :func:`normalize_bgp` — the canonicalisation that makes those caches
+  effective: variable names are rewritten to ``?v0, ?v1, ...`` in order of
+  first appearance, so alpha-equivalent queries (same shape, different
+  variable spellings) share one cache entry.  The mapping is returned so a
+  hit can be translated back into the requester's variable names.
+
+The index itself is immutable, which is what makes caching safe: a cached
+plan or result page can never be invalidated by a write.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.queries.sparql import BasicGraphPattern, is_variable
+
+#: One normalized BGP: a tuple of per-template ``(s, p, o)`` term tuples
+#: whose variables are ``?v0, ?v1, ...`` in order of first appearance.
+BgpKey = Tuple[Tuple[Any, Any, Any], ...]
+
+
+def normalize_bgp(bgp: BasicGraphPattern) -> Tuple[BgpKey, Dict[str, str]]:
+    """Canonicalise ``bgp``'s variable names.
+
+    Returns ``(key, mapping)`` where ``mapping`` translates each original
+    variable to its canonical name (``{"?person": "?v0", ...}``).
+    """
+    mapping: Dict[str, str] = {}
+    key_templates = []
+    for template in bgp.templates:
+        terms = []
+        for term in template.terms():
+            if is_variable(term):
+                if term not in mapping:
+                    mapping[term] = f"?v{len(mapping)}"
+                terms.append(mapping[term])
+            else:
+                terms.append(int(term))
+        key_templates.append(tuple(terms))
+    return tuple(key_templates), mapping
+
+
+@dataclass
+class CacheStatistics:
+    """Counters of one cache's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy for ``/stats`` serialisation."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used cache with statistics.
+
+    ``capacity <= 0`` disables the cache entirely (every lookup misses,
+    nothing is stored) — handy for benchmarking cold paths.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._statistics = CacheStatistics()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def statistics(self) -> CacheStatistics:
+        return self._statistics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value or ``None``; counts a hit or a miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._statistics.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._statistics.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently used."""
+        if self._capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._statistics.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Statistics plus current occupancy, for ``/stats``."""
+        with self._lock:
+            size = len(self._entries)
+        report = self._statistics.snapshot()
+        report.update({"size": size, "capacity": self._capacity})
+        return report

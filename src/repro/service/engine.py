@@ -1,0 +1,382 @@
+"""The embeddable query engine behind ``repro serve``.
+
+A :class:`QueryService` owns one loaded, immutable :class:`TripleIndex`
+(plus its optional RDF dictionary and planner statistics) and answers SPARQL
+BGPs and triple selection patterns from any number of threads:
+
+* **plan cache** — planning is selectivity-driven and deterministic, so the
+  greedy template order is cached per *normalized* BGP (variables renamed to
+  canonical ``?v0, ?v1, ...``), making alpha-equivalent queries share a plan;
+* **result cache** — an LRU over result *pages* (normalized BGP + projection
+  + limit/offset), so repeated hot queries skip the join entirely; cached
+  bindings are stored under canonical variable names and translated back to
+  each requester's spelling on a hit;
+* **streaming execution** — misses run through
+  :func:`repro.queries.planner.stream_bgp`, so ``limit`` pages never
+  materialise the full result set and a per-request wall-clock ``timeout``
+  bounds runaway joins;
+* **statistics** — hit/miss/eviction counters for both caches, query and
+  timeout totals, and latency percentiles over a sliding window, all
+  exported by :meth:`QueryService.statistics` (the ``/stats`` endpoint).
+
+Everything is thread-safe: the index is read-only, the caches lock
+internally, and the counters share one service lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.base import TripleIndex
+from repro.errors import ServiceError
+from repro.queries.planner import (
+    Cardinalities,
+    ExecutionStatistics,
+    QueryPlanner,
+    stream_bgp,
+)
+from repro.queries.sparql import SparqlQuery, parse_sparql
+from repro.service.cache import LRUCache, normalize_bgp
+
+#: What :meth:`QueryService.execute` accepts: SPARQL text or a parsed query.
+QueryLike = Union[str, SparqlQuery]
+#: A selection pattern: three terms, ``None`` meaning wildcard.
+PatternLike = Sequence[Optional[int]]
+
+
+@dataclass
+class QueryResult:
+    """One answered query: a page of bindings plus how it was produced."""
+
+    variables: Tuple[str, ...]
+    bindings: List[Dict[str, int]]
+    cached: bool
+    elapsed_seconds: float
+    limit: Optional[int] = None
+    offset: int = 0
+    #: Whether more solutions exist beyond this page (``None`` = unknown,
+    #: i.e. the query ran without a limit and the page is complete).
+    has_more: Optional[bool] = None
+    #: Plain-dict execution summary (``patterns_executed`` etc.); for a
+    #: cache hit this is the summary recorded when the entry was computed.
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.bindings)
+
+
+@dataclass
+class PatternResult:
+    """One answered triple selection pattern."""
+
+    triples: List[Tuple[int, int, int]]
+    cached: bool
+    elapsed_seconds: float
+    limit: Optional[int] = None
+    offset: int = 0
+    has_more: Optional[bool] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.triples)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class QueryService:
+    """A long-lived, thread-safe query engine over one loaded index.
+
+    ``max_limit`` caps the page size a single request may ask for (and is
+    the implicit limit when a request gives none) — the guard rail that
+    keeps one pathological query from materialising millions of bindings
+    inside a shared server.  ``default_timeout`` (seconds) applies to every
+    request that does not bring its own.
+    """
+
+    def __init__(self, index: TripleIndex, dictionary: Optional[Any] = None,
+                 cardinalities: Optional[Cardinalities] = None,
+                 plan_cache_size: int = 256,
+                 result_cache_size: int = 256,
+                 default_timeout: Optional[float] = None,
+                 max_limit: Optional[int] = None,
+                 latency_window: int = 2048,
+                 meta: Optional[dict] = None):
+        self._index = index
+        self._dictionary = dictionary
+        self._planner = QueryPlanner(cardinalities=cardinalities)
+        self._meta = dict(meta or {})
+        self._plan_cache = LRUCache(plan_cache_size)
+        self._result_cache = LRUCache(result_cache_size)
+        self._default_timeout = default_timeout
+        self._max_limit = max_limit
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=max(1, latency_window))
+        self._queries_executed = 0
+        self._patterns_executed = 0
+        self._batches_executed = 0
+        self._timeouts = 0
+        self._errors = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_file(cls, path, **options) -> "QueryService":
+        """Load a saved index file once and serve it indefinitely.
+
+        Planner statistics bundled in the file (``repro build`` writes them
+        by default) become the service's selectivity estimates.
+        """
+        from repro.storage import load_index
+        loaded = load_index(path)
+        return cls(loaded.index, dictionary=loaded.dictionary,
+                   cardinalities=loaded.planner_stats, meta=loaded.meta,
+                   **options)
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index(self) -> TripleIndex:
+        return self._index
+
+    @property
+    def dictionary(self) -> Optional[Any]:
+        return self._dictionary
+
+    def parse(self, text: str) -> SparqlQuery:
+        """Parse SPARQL text against this service's dictionary."""
+        return parse_sparql(text, dictionary=self._dictionary)
+
+    # ------------------------------------------------------------------ #
+    # Execution.
+    # ------------------------------------------------------------------ #
+
+    def _effective_limit(self, limit: Optional[int]) -> Optional[int]:
+        if limit is None:
+            return self._max_limit
+        if limit < 0:
+            raise ServiceError(f"limit must be >= 0, got {limit}")
+        if self._max_limit is not None:
+            return min(limit, self._max_limit)
+        return limit
+
+    def _plan_for(self, query: SparqlQuery, key) -> Tuple[Tuple[int, ...], int]:
+        """The cached ``(template order, num Cartesian joins)`` for ``key``."""
+        entry = self._plan_cache.get(key)
+        if entry is None:
+            entry = self._planner.plan_order(query.bgp)
+            self._plan_cache.put(key, entry)
+        return entry
+
+    def _record(self, elapsed: float, timed_out: bool = False,
+                failed: bool = False, pattern: bool = False) -> None:
+        with self._lock:
+            self._latencies.append(elapsed)
+            if pattern:
+                self._patterns_executed += 1
+            else:
+                self._queries_executed += 1
+            if timed_out:
+                self._timeouts += 1
+            if failed:
+                self._errors += 1
+
+    def execute(self, query: QueryLike, limit: Optional[int] = None,
+                offset: int = 0, timeout: Optional[float] = None,
+                use_cache: bool = True) -> QueryResult:
+        """Answer one SPARQL BGP, preferring the result cache.
+
+        ``query`` is SPARQL text (parsed against the bundled dictionary) or
+        an already-parsed :class:`SparqlQuery`.  The result page honours
+        ``limit``/``offset`` (clamped to the service's ``max_limit``) and
+        reports ``has_more`` whenever a limit was in force.
+        """
+        if offset < 0:
+            raise ServiceError(f"offset must be >= 0, got {offset}")
+        started = time.monotonic()
+        try:
+            if isinstance(query, str):
+                query = self.parse(query)
+            limit = self._effective_limit(limit)
+            timeout = self._default_timeout if timeout is None else timeout
+
+            key, mapping = normalize_bgp(query.bgp)
+            projection = tuple(query.projection or query.variables())
+            # Projection-only variables (absent from the BGP) are prefixed so
+            # they can never collide with the canonical ``?vN`` names.
+            normalized_projection = tuple(mapping.get(v, "?_" + v)
+                                          for v in projection)
+            reverse = {canonical: original
+                       for original, canonical in mapping.items()}
+            result_key = (key, normalized_projection, limit, offset)
+
+            if use_cache:
+                entry = self._result_cache.get(result_key)
+                if entry is not None:
+                    normalized_bindings, has_more, summary = entry
+                    bindings = [
+                        {reverse[variable]: value
+                         for variable, value in binding.items()}
+                        for binding in normalized_bindings]
+                    elapsed = time.monotonic() - started
+                    self._record(elapsed)
+                    return QueryResult(
+                        variables=projection, bindings=bindings, cached=True,
+                        elapsed_seconds=elapsed, limit=limit, offset=offset,
+                        has_more=has_more, statistics=dict(summary))
+
+            statistics = ExecutionStatistics()
+            order, cartesian_joins = self._plan_for(query, key)
+            statistics.cartesian_joins = cartesian_joins
+            # Fetch one solution past the page to learn whether more exist.
+            fetch = None if limit is None else limit + 1
+            bindings = list(stream_bgp(
+                self._index, query, planner=self._planner,
+                plan=[query.bgp.templates[i] for i in order],
+                limit=fetch, offset=offset, timeout=timeout,
+                statistics=statistics))
+            has_more: Optional[bool] = None
+            if limit is not None:
+                has_more = len(bindings) > limit
+                bindings = bindings[:limit]
+            summary = {
+                "patterns_executed": statistics.patterns_executed,
+                "triples_matched": statistics.triples_matched,
+                "cartesian_joins": statistics.cartesian_joins,
+            }
+            if use_cache:
+                normalized_bindings = [
+                    {mapping.get(variable, "?_" + variable): value
+                     for variable, value in binding.items()}
+                    for binding in bindings]
+                self._result_cache.put(
+                    result_key, (normalized_bindings, has_more, dict(summary)))
+            elapsed = time.monotonic() - started
+            self._record(elapsed)
+            return QueryResult(
+                variables=projection, bindings=bindings, cached=False,
+                elapsed_seconds=elapsed, limit=limit, offset=offset,
+                has_more=has_more, statistics=summary)
+        except Exception as error:
+            from repro.errors import QueryTimeoutError
+            elapsed = time.monotonic() - started
+            self._record(elapsed, timed_out=isinstance(error, QueryTimeoutError),
+                         failed=not isinstance(error, QueryTimeoutError))
+            raise
+
+    def execute_batch(self, queries: Iterable[QueryLike],
+                      limit: Optional[int] = None, offset: int = 0,
+                      timeout: Optional[float] = None,
+                      use_cache: bool = True) -> List[QueryResult]:
+        """Answer several queries in one call (shared options apply to all).
+
+        One call, one pass over the service: batching amortises the
+        per-request overhead for clients that replay query logs or fan out
+        template instantiations.
+        """
+        results = [self.execute(query, limit=limit, offset=offset,
+                                timeout=timeout, use_cache=use_cache)
+                   for query in queries]
+        with self._lock:
+            self._batches_executed += 1
+        return results
+
+    def select(self, pattern: PatternLike, limit: Optional[int] = None,
+               offset: int = 0, use_cache: bool = True) -> PatternResult:
+        """Answer one triple selection pattern (``None`` terms = wildcards)."""
+        if len(pattern) != 3:
+            raise ServiceError(
+                f"a selection pattern needs exactly 3 terms, got {len(pattern)}")
+        if offset < 0:
+            raise ServiceError(f"offset must be >= 0, got {offset}")
+        started = time.monotonic()
+        limit = self._effective_limit(limit)
+        key = ("pattern", tuple(pattern), limit, offset)
+        if use_cache:
+            entry = self._result_cache.get(key)
+            if entry is not None:
+                triples, has_more = entry
+                elapsed = time.monotonic() - started
+                self._record(elapsed, pattern=True)
+                return PatternResult(triples=list(triples), cached=True,
+                                     elapsed_seconds=elapsed, limit=limit,
+                                     offset=offset, has_more=has_more)
+        triples: List[Tuple[int, int, int]] = []
+        has_more: Optional[bool] = None
+        fetch = None if limit is None else offset + limit + 1
+        for position, triple in enumerate(self._index.select(tuple(pattern))):
+            if position < offset:
+                continue
+            triples.append(triple)
+            if fetch is not None and position + 1 >= fetch:
+                break
+        if limit is not None:
+            has_more = len(triples) > limit
+            triples = triples[:limit]
+        if use_cache:
+            self._result_cache.put(key, (list(triples), has_more))
+        elapsed = time.monotonic() - started
+        self._record(elapsed, pattern=True)
+        return PatternResult(triples=triples, cached=False,
+                             elapsed_seconds=elapsed, limit=limit,
+                             offset=offset, has_more=has_more)
+
+    # ------------------------------------------------------------------ #
+    # Statistics.
+    # ------------------------------------------------------------------ #
+
+    def statistics(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the service's behaviour so far."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            queries = self._queries_executed
+            patterns = self._patterns_executed
+            batches = self._batches_executed
+            timeouts = self._timeouts
+            errors = self._errors
+        index = self._index
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "index": {
+                "layout": getattr(index, "name", type(index).__name__),
+                "num_triples": int(index.num_triples),
+                "size_in_bits": int(index.size_in_bits()),
+                "bits_per_triple": index.bits_per_triple(),
+                "has_dictionary": self._dictionary is not None,
+                "has_planner_stats": self._planner.cardinalities is not None,
+            },
+            "requests": {
+                "queries": queries,
+                "patterns": patterns,
+                "batches": batches,
+                "timeouts": timeouts,
+                "errors": errors,
+            },
+            "result_cache": self._result_cache.snapshot(),
+            "plan_cache": self._plan_cache.snapshot(),
+            "latency_ms": {
+                "window": len(latencies),
+                "mean": (sum(latencies) / len(latencies) * 1e3
+                         if latencies else 0.0),
+                "p50": _percentile(latencies, 0.50) * 1e3,
+                "p90": _percentile(latencies, 0.90) * 1e3,
+                "p99": _percentile(latencies, 0.99) * 1e3,
+                "max": (latencies[-1] * 1e3) if latencies else 0.0,
+            },
+        }

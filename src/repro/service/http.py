@@ -1,0 +1,232 @@
+"""A threaded HTTP front-end for :class:`repro.service.engine.QueryService`.
+
+Stdlib only (``http.server``): a :class:`ThreadingHTTPServer` dispatches each
+request to its own thread, all of them sharing one read-only index through
+the service — the shape the paper's immutable compressed tries are built for.
+
+Endpoints:
+
+* ``POST /query`` — body is a JSON object with either ``"sparql"`` (query
+  text) or ``"pattern"`` (three terms, ``null`` = wildcard), plus optional
+  ``"limit"``, ``"offset"``, ``"timeout"``, ``"cache"`` and — for patterns
+  with a bundled dictionary — ``"decode"``.  A ``"batch"`` key with a list
+  of such objects answers many queries in one round trip; failed entries
+  carry an ``"error"`` object instead of killing the whole batch.
+* ``GET /stats`` — cache hit rates, latency percentiles, index sizes.
+* ``GET /healthz`` — liveness probe.
+
+Failures are structured: every error response is
+``{"error": {"type": ..., "message": ...}}`` with the HTTP status mapped
+from the :mod:`repro.errors` hierarchy (bad input 400, timeout 408,
+storage trouble 500).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    DictionaryError,
+    ParseError,
+    PatternError,
+    QueryTimeoutError,
+    ReproError,
+    ServiceError,
+    StorageError,
+)
+from repro.service.engine import QueryService
+from repro.service.jsonio import pattern_result_to_json, query_result_to_json
+
+#: ``repro.errors`` to HTTP status; first match wins (order matters:
+#: subclasses before :class:`ReproError`).
+_STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
+    (ParseError, 400),
+    (PatternError, 400),
+    (DictionaryError, 400),
+    (ServiceError, 400),
+    (QueryTimeoutError, 408),
+    (StorageError, 500),
+    (ReproError, 400),
+)
+
+
+#: Largest request body accepted (a SPARQL BGP or a batch of them fits in
+#: far less); bigger declared bodies are rejected with 413 before reading.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def status_for_error(error: Exception) -> int:
+    """The HTTP status code a failure maps to (500 for non-repro errors)."""
+    for error_type, status in _STATUS_BY_ERROR:
+        if isinstance(error, error_type):
+            return status
+    return 500
+
+
+def error_body(error: Exception) -> Dict[str, Any]:
+    """The structured JSON body describing ``error``."""
+    return {"error": {"type": type(error).__name__, "message": str(error)}}
+
+
+def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one request object against ``service`` and serialise it."""
+    if not isinstance(request, dict):
+        raise ServiceError("each query must be a JSON object")
+    unknown = set(request) - {"sparql", "pattern", "limit", "offset",
+                              "timeout", "cache", "decode"}
+    if unknown:
+        raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
+    limit = request.get("limit")
+    offset = request.get("offset", 0)
+    timeout = request.get("timeout")
+    use_cache = bool(request.get("cache", True))
+    if limit is not None and not isinstance(limit, int):
+        raise ServiceError("limit must be an integer")
+    if not isinstance(offset, int):
+        raise ServiceError("offset must be an integer")
+    if timeout is not None and not isinstance(timeout, (int, float)):
+        raise ServiceError("timeout must be a number (seconds)")
+
+    if "sparql" in request:
+        text = request["sparql"]
+        if not isinstance(text, str):
+            raise ServiceError("'sparql' must be a string")
+        result = service.execute(text, limit=limit, offset=offset,
+                                 timeout=timeout, use_cache=use_cache)
+        return query_result_to_json(result)
+    if "pattern" in request:
+        pattern = request["pattern"]
+        if (not isinstance(pattern, (list, tuple)) or len(pattern) != 3 or
+                not all(term is None or isinstance(term, int)
+                        for term in pattern)):
+            raise ServiceError(
+                "'pattern' must be a list of 3 terms, each an integer ID "
+                "or null for a wildcard")
+        result = service.select(pattern, limit=limit, offset=offset,
+                                use_cache=use_cache)
+        dictionary = service.dictionary if request.get("decode") else None
+        return pattern_result_to_json(result, dictionary=dictionary)
+    raise ServiceError("a query needs either a 'sparql' or a 'pattern' field")
+
+
+class QueryServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the shared :class:`QueryService`."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not getattr(self.server, "quiet", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_json(self, error: Exception) -> None:
+        self._send_json(status_for_error(error), error_body(error))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {
+                    "status": "ok",
+                    "num_triples": int(self.service.index.num_triples),
+                })
+            elif self.path == "/stats":
+                self._send_json(200, self.service.statistics())
+            elif self.path == "/query":
+                self._send_json(405, {"error": {
+                    "type": "MethodNotAllowed",
+                    "message": "use POST /query"}})
+            else:
+                self._send_json(404, {"error": {
+                    "type": "NotFound",
+                    "message": f"unknown path {self.path!r}"}})
+        except Exception as error:  # pragma: no cover - handler guard
+            self._send_error_json(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path != "/query":
+            self._send_json(404, {"error": {
+                "type": "NotFound",
+                "message": f"unknown path {self.path!r}"}})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                # The unread body would poison the next keep-alive request.
+                self.close_connection = True
+                self._send_json(413, {"error": {
+                    "type": "PayloadTooLarge",
+                    "message": f"request body of {length} bytes exceeds the "
+                               f"{MAX_BODY_BYTES} byte limit"}})
+                return
+            raw = self.rfile.read(length) if length else b""
+            try:
+                request = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ServiceError(f"request body is not valid JSON: {error}"
+                                   ) from error
+            if not isinstance(request, dict):
+                raise ServiceError("request body must be a JSON object")
+            if "batch" in request:
+                batch = request["batch"]
+                if not isinstance(batch, list):
+                    raise ServiceError("'batch' must be a list of query objects")
+                results = []
+                for entry in batch:
+                    try:
+                        results.append(_run_one(self.service, entry))
+                    except Exception as error:
+                        body = error_body(error)
+                        body["error"]["status"] = status_for_error(error)
+                        results.append(body)
+                self._send_json(200, {"results": results,
+                                      "count": len(results)})
+            else:
+                self._send_json(200, _run_one(self.service, request))
+        except Exception as error:
+            self._send_error_json(error)
+
+
+class QueryServiceServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one shared :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService,
+                 quiet: bool = False):
+        super().__init__(address, QueryServiceHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+def build_server(service: QueryService, host: str = "127.0.0.1",
+                 port: int = 8377, quiet: bool = False) -> QueryServiceServer:
+    """Bind a server (``port=0`` picks a free port) without starting it.
+
+    Call ``serve_forever()`` to run; the bound port is
+    ``server.server_address[1]``.
+    """
+    return QueryServiceServer((host, port), service, quiet=quiet)
+
+
+def serve(index_path, host: str = "127.0.0.1", port: int = 8377,
+          quiet: bool = False,
+          service: Optional[QueryService] = None,
+          **service_options) -> QueryServiceServer:
+    """One-call embedding API: load ``index_path`` and bind a server on it."""
+    if service is None:
+        service = QueryService.from_file(index_path, **service_options)
+    return build_server(service, host=host, port=port, quiet=quiet)

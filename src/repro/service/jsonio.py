@@ -1,0 +1,126 @@
+"""One JSON serialisation path shared by the HTTP endpoints and the CLI.
+
+``repro query --json``, ``repro info --json``, ``POST /query`` and
+``GET /stats`` all produce their payloads through the helpers here, so
+scripts that consume one consume them all.  Conventions:
+
+* variables lose their ``?`` sigil (``?person`` → ``"person"``), matching
+  the spirit of the SPARQL JSON results format;
+* bindings are flat objects mapping variable name to integer component ID
+  (the native currency of the indexes — the string dictionary is an
+  orthogonal, optional layer);
+* elapsed times are reported in milliseconds as ``elapsed_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.queries.planner import ExecutionStatistics
+
+
+def variable_name(variable: str) -> str:
+    """``?person`` → ``person`` (already-bare names pass through)."""
+    return variable[1:] if variable.startswith("?") else variable
+
+
+def bindings_to_json(variables: Sequence[str],
+                     bindings: Sequence[Dict[str, int]]
+                     ) -> Tuple[List[str], List[Dict[str, int]]]:
+    """Bare-name variable list + binding rows, ready for ``json.dumps``."""
+    names = [variable_name(v) for v in variables]
+    rows = [{variable_name(v): value for v, value in binding.items()}
+            for binding in bindings]
+    return names, rows
+
+
+def execution_statistics_to_json(statistics: ExecutionStatistics) -> Dict[str, int]:
+    return {
+        "patterns_executed": statistics.patterns_executed,
+        "triples_matched": statistics.triples_matched,
+        "cartesian_joins": statistics.cartesian_joins,
+    }
+
+
+def sparql_results_to_json(variables: Sequence[str],
+                           bindings: Sequence[Dict[str, int]],
+                           statistics: Optional[ExecutionStatistics] = None
+                           ) -> Dict[str, Any]:
+    """The CLI's ``repro query --sparql --json`` payload."""
+    names, rows = bindings_to_json(variables, bindings)
+    payload: Dict[str, Any] = {
+        "variables": names,
+        "bindings": rows,
+        "count": len(rows),
+    }
+    if statistics is not None:
+        payload["statistics"] = execution_statistics_to_json(statistics)
+    return payload
+
+
+def query_result_to_json(result) -> Dict[str, Any]:
+    """Serialise a :class:`repro.service.engine.QueryResult`."""
+    payload = sparql_results_to_json(result.variables, result.bindings)
+    payload["statistics"] = dict(result.statistics)
+    payload.update({
+        "cached": result.cached,
+        "elapsed_ms": result.elapsed_seconds * 1e3,
+        "limit": result.limit,
+        "offset": result.offset,
+        "has_more": result.has_more,
+    })
+    return payload
+
+
+def triples_to_json(triples: Sequence[Tuple[int, int, int]],
+                    dictionary=None) -> List[List[Any]]:
+    """Triple rows; with a dictionary, IDs are decoded back to RDF terms."""
+    if dictionary is None:
+        return [list(triple) for triple in triples]
+    return [list(dictionary.decode(triple)) for triple in triples]
+
+
+def pattern_results_to_json(triples: Sequence[Tuple[int, int, int]],
+                            dictionary=None) -> Dict[str, Any]:
+    """The CLI's ``repro query --pattern --json`` payload."""
+    return {
+        "triples": triples_to_json(triples, dictionary=dictionary),
+        "count": len(triples),
+    }
+
+
+def pattern_result_to_json(result, dictionary=None) -> Dict[str, Any]:
+    """Serialise a :class:`repro.service.engine.PatternResult`."""
+    payload = pattern_results_to_json(result.triples, dictionary=dictionary)
+    payload.update({
+        "cached": result.cached,
+        "elapsed_ms": result.elapsed_seconds * 1e3,
+        "limit": result.limit,
+        "offset": result.offset,
+        "has_more": result.has_more,
+    })
+    return payload
+
+
+def info_to_json(info: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``repro info --json`` payload (``file_info`` is already plain)."""
+    payload = {
+        "path": info["path"],
+        "format_version": info["format_version"],
+        "meta": dict(info["meta"]),
+        "section_bytes": dict(info["section_bytes"]),
+        "total_bytes": info["total_bytes"],
+    }
+    if "space_breakdown" in info:
+        payload["space_breakdown"] = {name: int(bits) for name, bits
+                                      in info["space_breakdown"].items()}
+    num_triples = payload["meta"].get("num_triples") or 0
+    if num_triples:
+        payload["on_disk_bits_per_triple"] = payload["total_bytes"] * 8 / num_triples
+    return payload
+
+
+def dumps(payload: Dict[str, Any]) -> str:
+    """The one ``json.dumps`` configuration every producer shares."""
+    return json.dumps(payload, indent=2, sort_keys=False)

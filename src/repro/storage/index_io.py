@@ -1,13 +1,17 @@
 """High-level persistence entry points: whole index files and standalone objects.
 
 A saved index file is a container (see :mod:`repro.storage.container`) with
-three sections:
+up to four sections:
 
 * ``meta``    — a small state tree describing what the file holds (stored
   kind, layout name, triple count, producing library version);
 * ``index``   — the serialised index object graph;
 * ``dictionary`` — optional: the :class:`repro.rdf.dictionary.RdfDictionary`
-  needed to run term-level (rather than ID-level) queries.
+  needed to run term-level (rather than ID-level) queries;
+* ``stats``   — optional: the query planner's per-role cardinality
+  histograms, so a loaded index plans with the same selectivity estimates as
+  a freshly built one (without them the planner falls back to a
+  bound-component heuristic).
 
 Standalone object files (a codec saved with ``sequence.save(path)``, a trie,
 a dictionary) use the same container with ``meta`` + ``payload`` sections, so
@@ -34,6 +38,7 @@ PathLike = Union[str, Path]
 SECTION_META = "meta"
 SECTION_INDEX = "index"
 SECTION_DICTIONARY = "dictionary"
+SECTION_STATS = "stats"
 SECTION_PAYLOAD = "payload"
 
 
@@ -61,13 +66,49 @@ class LoadedIndex(NamedTuple):
     index: Any
     dictionary: Optional[Any]
     meta: dict
+    planner_stats: Optional[Dict[int, Dict[int, int]]] = None
 
 
-def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None) -> int:
+def _dump_planner_stats(cardinalities: Dict[int, Dict[int, int]]) -> bytes:
+    """Encode per-role histograms as sorted (values, counts) array pairs."""
+    import numpy as np
+    roles = []
+    for role in (0, 1, 2):
+        histogram = cardinalities.get(role, {})
+        values = np.fromiter(sorted(histogram), dtype=np.uint64,
+                             count=len(histogram))
+        counts = np.fromiter((histogram[int(v)] for v in values),
+                             dtype=np.uint64, count=len(histogram))
+        roles.append({"values": values, "counts": counts})
+    return binary_format.dumps({"roles": roles})
+
+
+def _load_planner_stats(payload: bytes, source: str) -> Dict[int, Dict[int, int]]:
+    state = binary_format.loads(payload)
+    if not isinstance(state, dict) or len(state.get("roles", ())) != 3:
+        raise StorageError(f"{source}: malformed {SECTION_STATS!r} section")
+    cardinalities: Dict[int, Dict[int, int]] = {}
+    for role, entry in enumerate(state["roles"]):
+        try:
+            values, counts = entry["values"], entry["counts"]
+            cardinalities[role] = {int(v): int(c)
+                                   for v, c in zip(values, counts)}
+        except (KeyError, TypeError, ValueError) as error:
+            raise StorageError(
+                f"{source}: malformed {SECTION_STATS!r} section "
+                f"(role {role}: {error})") from None
+    return cardinalities
+
+
+def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
+               planner_stats: Optional[Dict[int, Dict[int, int]]] = None) -> int:
     """Persist ``index`` (and optionally its RDF dictionary) to ``path``.
 
     Returns the number of bytes written.  The index may be any registered
-    index family (3T, CC, 2Tp, 2To).
+    index family (3T, CC, 2Tp, 2To).  ``planner_stats`` — the
+    :class:`repro.queries.planner.QueryPlanner` per-role cardinality
+    histograms — travel with the file so selectivity-driven planning
+    survives the save/load round trip.
     """
     meta = {
         "kind": type_name_of(index),
@@ -75,6 +116,7 @@ def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None) -> 
         "num_triples": int(index.num_triples),
         "size_in_bits": int(index.size_in_bits()),
         "has_dictionary": dictionary is not None,
+        "has_planner_stats": planner_stats is not None,
         "library_version": _library_version(),
     }
     sections: Dict[str, bytes] = {
@@ -83,6 +125,8 @@ def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None) -> 
     }
     if dictionary is not None:
         sections[SECTION_DICTIONARY] = dumps_object(dictionary)
+    if planner_stats is not None:
+        sections[SECTION_STATS] = _dump_planner_stats(planner_stats)
     return write_container(path, sections)
 
 
@@ -101,7 +145,11 @@ def load_index(path: PathLike, load_dictionary: bool = True) -> LoadedIndex:
     dictionary = None
     if load_dictionary and SECTION_DICTIONARY in sections:
         dictionary = loads_object(sections[SECTION_DICTIONARY])
-    return LoadedIndex(index=index, dictionary=dictionary, meta=meta)
+    planner_stats = None
+    if SECTION_STATS in sections:
+        planner_stats = _load_planner_stats(sections[SECTION_STATS], str(path))
+    return LoadedIndex(index=index, dictionary=dictionary, meta=meta,
+                       planner_stats=planner_stats)
 
 
 def save_object(obj: Any, path: PathLike) -> int:

@@ -157,3 +157,95 @@ class TestInfo:
         path.write_bytes(b"not an index" * 4)
         assert main(["info", str(path)]) == 1
         assert "bad magic" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_sparql_query_json(self, index_file, capsys):
+        import json
+
+        assert main(["query", str(index_file), "--json", "--sparql",
+                     f"SELECT ?s ?o WHERE {{ ?s {KNOWS} ?o }}"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variables"] == ["s", "o"]
+        assert payload["count"] == 3
+        assert len(payload["bindings"]) == 3
+        assert payload["statistics"]["patterns_executed"] == 1
+
+    def test_pattern_query_json(self, index_file, capsys):
+        import json
+
+        assert main(["query", str(index_file), "--json",
+                     "--pattern", f"{ALICE} ? ?"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 3
+        assert all(len(triple) == 3 for triple in payload["triples"])
+
+    def test_info_json(self, index_file, capsys):
+        import json
+
+        assert main(["info", str(index_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["num_triples"] == 6
+        assert payload["meta"]["has_planner_stats"] is True
+        assert payload["section_bytes"]["stats"] > 0
+        assert payload["on_disk_bits_per_triple"] > 0
+
+    def test_build_no_stats(self, nt_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "nostats.ridx"
+        assert main(["build", str(nt_file), "-o", str(out), "--no-stats"]) == 0
+        capsys.readouterr()
+        assert main(["info", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["has_planner_stats"] is False
+        assert "stats" not in payload["section_bytes"]
+
+
+class TestServe:
+    def test_serve_loads_and_binds(self, index_file, capsys, monkeypatch):
+        from repro.service.http import QueryServiceServer
+
+        served = {}
+
+        def fake_serve_forever(self):
+            served["service"] = self.service
+
+        monkeypatch.setattr(QueryServiceServer, "serve_forever",
+                            fake_serve_forever)
+        assert main(["serve", str(index_file), "--port", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+        service = served["service"]
+        assert service.index.num_triples == 6
+        # The bundled dictionary and planner stats made it into the service.
+        report = service.statistics()["index"]
+        assert report["has_dictionary"] is True
+        assert report["has_planner_stats"] is True
+
+    def test_serve_answers_http_queries_end_to_end(self, index_file):
+        import json
+        import threading
+        import urllib.request
+
+        from repro.service import QueryService, build_server
+
+        service = QueryService.from_file(index_file)
+        server = build_server(service, port=0, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query",
+                data=json.dumps({
+                    "sparql": f"SELECT ?s ?o WHERE {{ ?s {KNOWS} ?o }}"
+                }).encode("utf-8"),
+                method="POST")
+            with urllib.request.urlopen(request, timeout=10) as response:
+                payload = json.loads(response.read())
+            assert payload["count"] == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -302,3 +302,132 @@ class TestQueryLogs:
             assert stats.patterns_executed >= 1
             total_results += len(results)
         assert total_results > 0
+
+
+class TestStreamingExecution:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        knows, works_for = 0, 1
+        triples = sorted({(i, knows, (i + 1) % 12) for i in range(12)}
+                         | {(i, knows, (i + 3) % 12) for i in range(12)}
+                         | {(i, works_for, 100 + i % 2) for i in range(12)})
+        store = TripleStore.from_triples(triples)
+        return build_index(store, "2tp"), store
+
+    def test_stream_yields_lazily(self, graph):
+        from itertools import islice
+
+        from repro.queries.planner import ExecutionStatistics, stream_bgp
+
+        index, store = graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o }")
+        statistics = ExecutionStatistics()
+        stream = stream_bgp(index, query, store=store, statistics=statistics)
+        first_three = list(islice(stream, 3))
+        assert len(first_three) == 3
+        # Only the consumed solutions were computed, not the 24 matches.
+        assert statistics.triples_matched == 3
+
+    def test_limit_stops_the_join_early(self, graph):
+        index, store = graph
+        query = parse_sparql("SELECT ?x ?c WHERE { ?x 0 ?y . ?y 1 ?c }")
+        results, stats = execute_bgp(index, query, store=store, limit=2)
+        assert len(results) == 2
+        full, full_stats = execute_bgp(index, query, store=store)
+        assert stats.triples_matched < full_stats.triples_matched
+
+    def test_offset_pages_tile(self, graph):
+        index, store = graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o }")
+        full, _ = execute_bgp(index, query, store=store)
+        page, _ = execute_bgp(index, query, store=store, limit=5, offset=3)
+        assert page == full[3:8]
+
+    def test_limit_zero_is_empty(self, graph):
+        index, store = graph
+        query = parse_sparql("SELECT ?s WHERE { ?s 0 ?o }")
+        results, _ = execute_bgp(index, query, store=store, limit=0)
+        assert results == []
+
+    def test_max_results_and_limit_smaller_wins(self, graph):
+        index, store = graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o }")
+        results, _ = execute_bgp(index, query, store=store,
+                                 max_results=4, limit=9)
+        assert len(results) == 4
+
+    def test_timeout_expires(self, graph):
+        from repro.errors import QueryTimeoutError
+
+        index, store = graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o }")
+        with pytest.raises(QueryTimeoutError):
+            execute_bgp(index, query, store=store, timeout=0.0)
+
+    def test_results_match_pre_streaming_semantics(self, graph):
+        index, store = graph
+        query = parse_sparql("SELECT ?x ?c WHERE { ?x 0 ?y . ?y 1 ?c }")
+        results, stats = execute_bgp(index, query, store=store)
+        assert {(r["?x"], r["?c"]) for r in results} == \
+            {(i, 100 + ((i + 1) % 12) % 2) for i in range(12)} \
+            | {(i, 100 + ((i + 3) % 12) % 2) for i in range(12)}
+        assert stats.results == len(results)
+
+
+class TestDisconnectedBgp:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        triples = [(0, 0, 1), (0, 0, 2), (3, 1, 4), (5, 1, 6), (5, 1, 7)]
+        store = TripleStore.from_triples(triples)
+        return build_index(store, "2tp"), store
+
+    def test_cartesian_product_fallback_warns(self, graph):
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        query = parse_sparql("SELECT ?a ?b ?c ?d WHERE { ?a 0 ?b . ?c 1 ?d }")
+        with pytest.warns(CartesianProductWarning):
+            results, stats = execute_bgp(index, query, store=store)
+        # 2 matches of (?a 0 ?b) x 3 matches of (?c 1 ?d).
+        assert len(results) == 6
+        assert stats.cartesian_joins == 1
+        assert {(r["?a"], r["?b"], r["?c"], r["?d"]) for r in results} == {
+            (a, b, c, d)
+            for (a, b) in ((0, 1), (0, 2))
+            for (c, d) in ((3, 4), (5, 6), (5, 7))}
+
+    def test_connected_bgp_does_not_warn(self, graph):
+        import warnings as warnings_module
+
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a 0 ?b . 0 0 ?b }")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", CartesianProductWarning)
+            results, stats = execute_bgp(index, query, store=store)
+        assert stats.cartesian_joins == 0
+        assert len(results) == 2
+
+
+class TestPlannerCardinalities:
+    def test_explicit_cardinalities_plan_like_a_store(self, small_store):
+        from repro.queries.planner import QueryPlanner
+
+        histograms = QueryPlanner.cardinalities_from_store(small_store)
+        bgp = BasicGraphPattern([
+            TriplePatternTemplate("?x", 0, "?y"),
+            TriplePatternTemplate("?y", 1, "?z"),
+            TriplePatternTemplate("?x", 2, 3),
+        ])
+        from_store = QueryPlanner(store=small_store).plan(bgp)
+        from_histograms = QueryPlanner(cardinalities=histograms).plan(bgp)
+        assert from_store == from_histograms
+
+    def test_cardinalities_property_exposed(self, small_store):
+        from repro.queries.planner import QueryPlanner
+
+        assert QueryPlanner().cardinalities is None
+        planner = QueryPlanner(store=small_store)
+        assert planner.cardinalities is not None
+        assert set(planner.cardinalities) == {0, 1, 2}

@@ -1,0 +1,353 @@
+"""Tests for the serving layer engine: caching, streaming, concurrency.
+
+The HTTP front-end has its own file (``test_service_http.py``); here the
+:class:`QueryService` is driven directly, the way an embedding application
+would.
+"""
+
+import itertools
+import threading
+
+import pytest
+
+from repro.core.base import TripleIndex
+from repro.core.builder import build_index
+from repro.errors import QueryTimeoutError, ServiceError
+from repro.queries.planner import execute_bgp
+from repro.queries.sparql import BasicGraphPattern, TriplePatternTemplate, parse_sparql
+from repro.rdf.triples import TripleStore
+from repro.service import LRUCache, QueryService, normalize_bgp
+
+KNOWS, WORKS_FOR, LIKES = 0, 1, 2
+NUM_PEOPLE = 24
+
+
+def _graph_triples():
+    """A small social graph: a knows-ring, employers, and liked items."""
+    triples = set()
+    for person in range(NUM_PEOPLE):
+        triples.add((person, KNOWS, (person + 1) % NUM_PEOPLE))
+        triples.add((person, KNOWS, (person + 5) % NUM_PEOPLE))
+        triples.add((person, WORKS_FOR, 100 + person % 3))
+        if person % 2 == 0:
+            triples.add((person, LIKES, 200 + person % 7))
+    return sorted(triples)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore.from_triples(_graph_triples())
+
+
+@pytest.fixture(scope="module")
+def index(store):
+    return build_index(store, "2tp")
+
+
+@pytest.fixture(scope="module")
+def cardinalities(store):
+    from repro.queries.planner import QueryPlanner
+    return QueryPlanner.cardinalities_from_store(store)
+
+
+@pytest.fixture()
+def service(index, cardinalities):
+    """A fresh service per test so cache statistics start at zero.
+
+    Planning from the same cardinality histograms as a store-backed
+    ``execute_bgp`` keeps result order comparable across the two paths.
+    """
+    return QueryService(index, cardinalities=cardinalities)
+
+
+JOIN_QUERY = "SELECT ?x ?y ?c WHERE { ?x 0 ?y . ?y 1 ?c }"
+
+
+class TestExecute:
+    def test_matches_execute_bgp(self, service, index, store):
+        query = parse_sparql(JOIN_QUERY)
+        expected, _ = execute_bgp(index, query, store=store)
+        result = service.execute(JOIN_QUERY)
+        assert result.bindings == expected
+        assert result.cached is False
+        assert result.variables == ("?x", "?y", "?c")
+        assert result.statistics["patterns_executed"] >= 1
+
+    def test_parsed_query_accepted(self, service):
+        query = parse_sparql(JOIN_QUERY)
+        assert service.execute(query).count == service.execute(JOIN_QUERY).count
+
+    def test_repeat_is_served_from_cache(self, service):
+        cold = service.execute(JOIN_QUERY)
+        warm = service.execute(JOIN_QUERY)
+        assert warm.cached is True
+        assert warm.bindings == cold.bindings
+        assert warm.statistics == cold.statistics
+        report = service.statistics()
+        assert report["result_cache"]["hits"] == 1
+        assert report["result_cache"]["misses"] == 1
+
+    def test_alpha_equivalent_queries_share_the_cache(self, service):
+        cold = service.execute("SELECT ?x ?y WHERE { ?x 0 ?y }")
+        renamed = service.execute("SELECT ?person ?friend WHERE { ?person 0 ?friend }")
+        assert renamed.cached is True
+        assert renamed.variables == ("?person", "?friend")
+        assert [{"?person": b["?x"], "?friend": b["?y"]} for b in cold.bindings] \
+            == renamed.bindings
+
+    def test_use_cache_false_recomputes(self, service):
+        service.execute(JOIN_QUERY)
+        again = service.execute(JOIN_QUERY, use_cache=False)
+        assert again.cached is False
+
+    def test_plan_cache_shared_across_pages(self, service):
+        service.execute(JOIN_QUERY, limit=2)
+        service.execute(JOIN_QUERY, limit=2, offset=2)  # new result page,
+        report = service.statistics()                   # same cached plan
+        assert report["plan_cache"]["hits"] == 1
+        assert report["plan_cache"]["misses"] == 1
+        assert report["result_cache"]["hits"] == 0
+
+    def test_bad_limit_and_offset_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.execute(JOIN_QUERY, limit=-1)
+        with pytest.raises(ServiceError):
+            service.execute(JOIN_QUERY, offset=-1)
+
+
+class TestPagination:
+    def test_pages_tile_the_full_result(self, service):
+        full = service.execute(JOIN_QUERY).bindings
+        pages = []
+        offset = 0
+        while True:
+            page = service.execute(JOIN_QUERY, limit=7, offset=offset)
+            pages.extend(page.bindings)
+            if not page.has_more:
+                break
+            offset += 7
+        assert pages == full
+
+    def test_has_more_flag(self, service):
+        total = service.execute(JOIN_QUERY).count
+        assert service.execute(JOIN_QUERY, limit=total).has_more is False
+        assert service.execute(JOIN_QUERY, limit=total - 1).has_more is True
+        assert service.execute(JOIN_QUERY).has_more is None
+
+    def test_limit_zero(self, service):
+        page = service.execute(JOIN_QUERY, limit=0)
+        assert page.bindings == []
+        assert page.has_more is True
+
+    def test_max_limit_caps_every_request(self, index):
+        service = QueryService(index, max_limit=3)
+        unbounded = service.execute(JOIN_QUERY)
+        assert unbounded.count == 3
+        assert unbounded.has_more is True
+        assert service.execute(JOIN_QUERY, limit=10).count == 3
+
+
+class _CountingIndex(TripleIndex):
+    """Delegating index that counts the triples pulled out of ``select``."""
+
+    name = "counting"
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.triples_pulled = 0
+
+    def select(self, pattern):
+        for triple in self._inner.select(pattern):
+            self.triples_pulled += 1
+            yield triple
+
+    def size_in_bits(self):
+        return self._inner.size_in_bits()
+
+    @property
+    def num_triples(self):
+        return self._inner.num_triples
+
+
+class TestStreaming:
+    def test_limited_page_does_not_materialise_everything(self, index):
+        counting = _CountingIndex(index)
+        service = QueryService(counting)
+        full_count = service.execute("SELECT ?s ?o WHERE { ?s 0 ?o }",
+                                     use_cache=False).count
+        assert full_count == 2 * NUM_PEOPLE
+        counting.triples_pulled = 0
+        page = service.execute("SELECT ?s ?o WHERE { ?s 0 ?o }", limit=3,
+                               use_cache=False)
+        assert page.count == 3
+        # limit+1 pulls (the has_more probe), nowhere near the full scan.
+        assert counting.triples_pulled == 4
+
+    def test_timeout_raises_and_is_counted(self, service):
+        with pytest.raises(QueryTimeoutError):
+            service.execute(JOIN_QUERY, timeout=0.0)
+        report = service.statistics()
+        assert report["requests"]["timeouts"] == 1
+        assert report["requests"]["errors"] == 0
+
+
+class TestPatternSelect:
+    def test_select_matches_index(self, service, index):
+        result = service.select((0, None, None))
+        assert result.triples == list(index.select((0, None, None)))
+        assert result.cached is False
+
+    def test_select_cached_and_paged(self, service):
+        cold = service.select((None, KNOWS, None), limit=5)
+        warm = service.select((None, KNOWS, None), limit=5)
+        assert warm.cached is True
+        assert warm.triples == cold.triples
+        assert cold.has_more is True
+        assert len(cold.triples) == 5
+
+    def test_select_offset(self, service):
+        full = service.select((None, KNOWS, None)).triples
+        page = service.select((None, KNOWS, None), limit=4, offset=3)
+        assert page.triples == full[3:7]
+
+    def test_malformed_pattern_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.select((None, None))
+
+
+class TestEviction:
+    def test_lru_eviction_is_counted(self, index):
+        service = QueryService(index, result_cache_size=2)
+        queries = ["SELECT ?x WHERE { ?x 0 %d }" % i for i in range(4)]
+        for text in queries:
+            service.execute(text)
+        report = service.statistics()["result_cache"]
+        assert report["evictions"] == 2
+        assert report["size"] == 2
+        # The most recent query is still cached, the oldest is not.
+        assert service.execute(queries[-1]).cached is True
+        assert service.execute(queries[0]).cached is False
+
+
+class TestBatch:
+    def test_batch_matches_individual_execution(self, service):
+        texts = [JOIN_QUERY,
+                 "SELECT ?x WHERE { ?x 1 100 }",
+                 "SELECT ?s ?o WHERE { ?s 2 ?o }"]
+        batch = service.execute_batch(texts)
+        assert [r.count for r in batch] == \
+            [service.execute(t).count for t in texts]
+        assert service.statistics()["requests"]["batches"] == 1
+
+
+class TestFromFile:
+    def test_serves_a_saved_index_with_stats_and_dictionary(self, tmp_path):
+        from repro.queries.planner import QueryPlanner
+        from repro.rdf.dictionary import RdfDictionary
+
+        term_triples = [("<a>", "<knows>", "<b>"), ("<a>", "<knows>", "<c>"),
+                        ("<b>", "<knows>", "<c>"), ("<b>", "<likes>", "<d>")]
+        dictionary, store = RdfDictionary.from_term_triples(term_triples)
+        index = build_index(store, "2tp")
+        path = tmp_path / "graph.ridx"
+        index.save(path, dictionary=dictionary,
+                   planner_stats=QueryPlanner.cardinalities_from_store(store))
+
+        service = QueryService.from_file(path)
+        report = service.statistics()["index"]
+        assert report["has_dictionary"] is True
+        assert report["has_planner_stats"] is True
+        result = service.execute("SELECT ?x WHERE { <a> <knows> ?x }")
+        assert result.count == 2
+
+
+class TestConcurrency:
+    def test_many_threads_hammering_one_service(self, index, store, cardinalities):
+        service = QueryService(index, result_cache_size=8,
+                               cardinalities=cardinalities)
+        texts = [JOIN_QUERY,
+                 "SELECT ?x ?y WHERE { ?x 0 ?y }",
+                 "SELECT ?x WHERE { ?x 1 100 }",
+                 "SELECT ?s ?o WHERE { ?s 2 ?o }",
+                 "SELECT ?a ?b WHERE { ?a 0 ?b . ?b 0 ?c }"]
+        expected = {text: execute_bgp(index, parse_sparql(text),
+                                      store=store)[0]
+                    for text in texts}
+        num_threads, per_thread = 8, 40
+        failures = []
+        barrier = threading.Barrier(num_threads)
+
+        def worker(seed):
+            rotation = itertools.islice(
+                itertools.cycle(texts[seed % len(texts):]
+                                + texts[:seed % len(texts)]), per_thread)
+            barrier.wait()
+            for text in rotation:
+                result = service.execute(text)
+                if result.bindings != expected[text]:
+                    failures.append((text, result.bindings))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert failures == []
+        report = service.statistics()
+        assert report["requests"]["queries"] == num_threads * per_thread
+        cache = report["result_cache"]
+        assert cache["hits"] + cache["misses"] == num_threads * per_thread
+        assert cache["hits"] > 0
+
+
+class TestLRUCacheUnit:
+    def test_basic_lru_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refreshes "a"
+        cache.put("c", 3)                   # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.statistics.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_snapshot_shape(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        snapshot = cache.snapshot()
+        assert snapshot == {"hits": 1, "misses": 1, "evictions": 0,
+                            "hit_rate": 0.5, "size": 1, "capacity": 4}
+
+
+class TestNormalizeBgp:
+    def test_alpha_equivalence(self):
+        first, first_mapping = normalize_bgp(
+            parse_sparql("SELECT ?x WHERE { ?x 0 ?y . ?y 1 ?z }").bgp)
+        second, second_mapping = normalize_bgp(
+            parse_sparql("SELECT ?a WHERE { ?a 0 ?b . ?b 1 ?c }").bgp)
+        assert first == second
+        assert first_mapping == {"?x": "?v0", "?y": "?v1", "?z": "?v2"}
+        assert second_mapping == {"?a": "?v0", "?b": "?v1", "?c": "?v2"}
+
+    def test_structure_is_preserved(self):
+        different, _ = normalize_bgp(
+            parse_sparql("SELECT ?x WHERE { ?x 0 ?y . ?x 1 ?z }").bgp)
+        chained, _ = normalize_bgp(
+            parse_sparql("SELECT ?x WHERE { ?x 0 ?y . ?y 1 ?z }").bgp)
+        assert different != chained
+
+    def test_constants_kept_verbatim(self):
+        key, _ = normalize_bgp(BasicGraphPattern(
+            [TriplePatternTemplate(3, 1, "?x")]))
+        assert key == ((3, 1, "?v0"),)

@@ -1,0 +1,235 @@
+"""Tests for the HTTP front-end: endpoints, error mapping, concurrency.
+
+One threaded server (bound to an ephemeral port) is shared by the whole
+module; every test talks real HTTP through ``urllib`` — no handler mocking.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.rdf.dictionary import RdfDictionary
+from repro.service import QueryService, build_server
+
+KNOWS = "<http://example.org/knows>"
+LIKES = "<http://example.org/likes>"
+
+
+def _person(name):
+    return f"<http://example.org/{name}>"
+
+
+TERM_TRIPLES = [
+    (_person("alice"), KNOWS, _person("bob")),
+    (_person("alice"), KNOWS, _person("carol")),
+    (_person("bob"), KNOWS, _person("carol")),
+    (_person("bob"), KNOWS, _person("dave")),
+    (_person("carol"), KNOWS, _person("dave")),
+    (_person("alice"), LIKES, _person("dave")),
+]
+
+
+@pytest.fixture(scope="module")
+def server():
+    dictionary, store = RdfDictionary.from_term_triples(TERM_TRIPLES)
+    service = QueryService(build_index(store, "2tp"), dictionary=dictionary)
+    instance = build_server(service, host="127.0.0.1", port=0, quiet=True)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(url, body):
+    data = json.dumps(body).encode("utf-8") if isinstance(body, dict) else body
+    request = urllib.request.Request(url + "/query", data=data, method="POST",
+                                     headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestProbes:
+    def test_healthz(self, base_url):
+        status, body = _get(base_url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["num_triples"] == len(TERM_TRIPLES)
+
+    def test_stats_shape(self, base_url):
+        status, body = _get(base_url + "/stats")
+        assert status == 200
+        assert body["index"]["num_triples"] == len(TERM_TRIPLES)
+        for section in ("result_cache", "plan_cache", "latency_ms",
+                        "requests"):
+            assert section in body
+        assert 0.0 <= body["result_cache"]["hit_rate"] <= 1.0
+
+    def test_unknown_path_is_404(self, base_url):
+        status, body = _get(base_url + "/nope")
+        assert status == 404
+        assert body["error"]["type"] == "NotFound"
+
+    def test_get_query_is_405(self, base_url):
+        status, body = _get(base_url + "/query")
+        assert status == 405
+
+
+class TestQueryEndpoint:
+    def test_sparql_query(self, base_url):
+        status, body = _post(base_url, {
+            "sparql": f"SELECT ?who WHERE {{ {_person('alice')} {KNOWS} ?who }}"})
+        assert status == 200
+        assert body["count"] == 2
+        assert body["variables"] == ["who"]
+        assert body["cached"] is False
+        assert body["statistics"]["patterns_executed"] == 1
+
+    def test_repeat_query_reports_cached(self, base_url):
+        request = {"sparql": f"SELECT ?a ?b WHERE {{ ?a {LIKES} ?b }}"}
+        _post(base_url, request)
+        status, body = _post(base_url, request)
+        assert status == 200
+        assert body["cached"] is True
+        assert body["count"] == 1
+
+    def test_pagination(self, base_url):
+        request = {"sparql": f"SELECT ?a ?b WHERE {{ ?a {KNOWS} ?b }}",
+                   "limit": 3}
+        status, first = _post(base_url, request)
+        assert status == 200
+        assert first["count"] == 3
+        assert first["has_more"] is True
+        status, rest = _post(base_url, dict(request, offset=3))
+        assert rest["count"] == 2
+        assert rest["has_more"] is False
+
+    def test_pattern_query_with_decode(self, base_url, server):
+        knows_id = server.service.dictionary.predicates.id_of(KNOWS)
+        status, body = _post(base_url, {"pattern": [None, knows_id, None]})
+        assert status == 200
+        assert body["count"] == 5
+        assert all(isinstance(term, int) for term in body["triples"][0])
+        status, decoded = _post(base_url, {"pattern": [None, knows_id, None],
+                                           "decode": True})
+        assert decoded["triples"][0][1] == KNOWS
+
+    def test_batch_mixes_successes_and_errors(self, base_url):
+        status, body = _post(base_url, {"batch": [
+            {"sparql": f"SELECT ?who WHERE {{ {_person('bob')} {KNOWS} ?who }}"},
+            {"sparql": "SELECT nonsense"},
+            {"pattern": [None, None, None], "limit": 2},
+        ]})
+        assert status == 200
+        assert body["count"] == 3
+        assert body["results"][0]["count"] == 2
+        assert body["results"][1]["error"]["type"] == "ParseError"
+        assert body["results"][1]["error"]["status"] == 400
+        assert body["results"][2]["count"] == 2
+
+
+class TestErrorPaths:
+    def test_bad_sparql_is_400(self, base_url):
+        status, body = _post(base_url, {"sparql": "this is not sparql"})
+        assert status == 400
+        assert body["error"]["type"] == "ParseError"
+
+    def test_unknown_term_is_400(self, base_url):
+        status, body = _post(base_url, {
+            "sparql": f"SELECT ?x WHERE {{ <http://example.org/nobody> {KNOWS} ?x }}"})
+        assert status == 400
+        assert body["error"]["type"] == "DictionaryError"
+        assert "unknown term" in body["error"]["message"]
+
+    def test_timeout_is_408(self, base_url):
+        status, body = _post(base_url, {
+            "sparql": f"SELECT ?a ?b ?c WHERE {{ ?a {KNOWS} ?b . ?b {KNOWS} ?c }}",
+            "timeout": 0.0, "cache": False})
+        assert status == 408
+        assert body["error"]["type"] == "QueryTimeoutError"
+
+    def test_invalid_json_body_is_400(self, base_url):
+        status, body = _post(base_url, b"{not json")
+        assert status == 400
+        assert body["error"]["type"] == "ServiceError"
+
+    def test_missing_query_field_is_400(self, base_url):
+        status, body = _post(base_url, {"limit": 5})
+        assert status == 400
+        assert "'sparql' or a 'pattern'" in body["error"]["message"]
+
+    def test_unknown_field_is_400(self, base_url):
+        status, body = _post(base_url, {"sparql": "SELECT ?x WHERE { ?x 0 ?y }",
+                                        "sparkle": True})
+        assert status == 400
+        assert "sparkle" in body["error"]["message"]
+
+    def test_malformed_pattern_is_400(self, base_url):
+        status, body = _post(base_url, {"pattern": [1, "two", 3]})
+        assert status == 400
+        assert body["error"]["type"] == "ServiceError"
+
+
+class TestConcurrentClients:
+    def test_parallel_posts_all_answered_consistently(self, base_url):
+        request = {"sparql": f"SELECT ?a ?b WHERE {{ ?a {KNOWS} ?b }}"}
+        results = []
+        errors = []
+
+        def client():
+            try:
+                for _ in range(10):
+                    status, body = _post(base_url, request)
+                    results.append((status, body["count"]))
+            except Exception as error:  # pragma: no cover - diagnostic aid
+                errors.append(error)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert len(results) == 80
+        assert set(results) == {(200, 5)}
+
+
+class TestBodySizeLimit:
+    def test_oversized_body_rejected_with_413(self, base_url):
+        import urllib.error
+        import urllib.request
+
+        from repro.service.http import MAX_BODY_BYTES
+
+        request = urllib.request.Request(
+            base_url + "/query", data=b"x",
+            headers={"Content-Length": str(MAX_BODY_BYTES + 1)},
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 413
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "PayloadTooLarge"

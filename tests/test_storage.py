@@ -371,3 +371,61 @@ class TestDictionaryRoundTrips:
         assert len(results) == 2
         decoded = {loaded.dictionary.decode(t) for t in results}
         assert ("<http://e/a>", "<http://e/knows>", "<http://e/b>") in decoded
+
+
+class TestPlannerStatsPersistence:
+    def _store(self):
+        return TripleStore.from_triples(
+            [(0, 0, 1), (0, 0, 2), (1, 0, 2), (2, 1, 3), (3, 1, 4), (3, 2, 0)])
+
+    def test_round_trip(self, tmp_path):
+        from repro.queries.planner import QueryPlanner
+
+        store = self._store()
+        index = build_index(store, "2tp")
+        histograms = QueryPlanner.cardinalities_from_store(store)
+        path = tmp_path / "with_stats.ridx"
+        save_index(index, path, planner_stats=histograms)
+        loaded = load_index(path)
+        assert loaded.meta["has_planner_stats"] is True
+        assert loaded.planner_stats == histograms
+        # The loaded histograms drive planning exactly like the live store.
+        assert QueryPlanner(cardinalities=loaded.planner_stats).cardinalities \
+            == QueryPlanner(store=store).cardinalities
+
+    def test_absent_stats_load_as_none(self, tmp_path):
+        store = self._store()
+        index = build_index(store, "2tp")
+        path = tmp_path / "without_stats.ridx"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.planner_stats is None
+        assert loaded.meta["has_planner_stats"] is False
+
+    def test_stats_section_visible_in_file_info(self, tmp_path):
+        from repro.queries.planner import QueryPlanner
+
+        store = self._store()
+        index = build_index(store, "2tp")
+        path = tmp_path / "with_stats.ridx"
+        save_index(index, path,
+                   planner_stats=QueryPlanner.cardinalities_from_store(store))
+        info = file_info(path)
+        assert "stats" in info["section_bytes"]
+        assert info["section_bytes"]["stats"] > 0
+
+    def test_malformed_stats_section_raises_storage_error(self, tmp_path):
+        from repro.storage import format as binary_format
+        from repro.storage.container import read_container, write_container
+
+        store = self._store()
+        index = build_index(store, "2tp")
+        path = tmp_path / "broken_stats.ridx"
+        from repro.queries.planner import QueryPlanner
+        save_index(index, path,
+                   planner_stats=QueryPlanner.cardinalities_from_store(store))
+        sections = dict(read_container(path))
+        sections["stats"] = binary_format.dumps({"roles": [{}, {}, {}]})
+        write_container(path, sections)
+        with pytest.raises(StorageError, match="malformed 'stats' section"):
+            load_index(path)
