@@ -188,8 +188,10 @@ def _run_sparql_query(index, dictionary, text: str, args: argparse.Namespace,
     from repro.queries.sparql import parse_sparql
 
     query = parse_sparql(text, dictionary=dictionary)
+    engine = getattr(args, "engine", None) or "auto"
     results, statistics = execute_bgp(index, query, max_results=args.limit,
-                                      cardinalities=cardinalities)
+                                      cardinalities=cardinalities,
+                                      engine=engine)
     variables = list(query.projection or query.variables())
     if args.json:
         from repro.service import jsonio
@@ -203,13 +205,19 @@ def _run_sparql_query(index, dictionary, text: str, args: argparse.Namespace,
     for binding in results:
         print("\t".join(str(binding.get(variable, "")) for variable in variables))
     print(f"{len(results)} solutions, {statistics.patterns_executed} atomic "
-          f"patterns executed", file=sys.stderr)
+          f"patterns executed ({statistics.engine} engine)", file=sys.stderr)
     return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
     from repro.storage import load_index
 
+    if args.pattern is not None and args.engine is not None:
+        # Mirror the HTTP endpoint: the executor knob has no meaning for a
+        # single selection pattern, so reject it instead of ignoring it.
+        print("error: --engine only applies to SPARQL queries, not --pattern",
+              file=sys.stderr)
+        return 2
     loaded = load_index(args.index)
     if args.pattern is not None:
         return _run_pattern_query(loaded.index, loaded.dictionary, args)
@@ -271,7 +279,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         plan_cache_size=args.plan_cache,
         result_cache_size=args.result_cache,
         default_timeout=args.timeout,
-        max_limit=args.max_limit)
+        max_limit=args.max_limit,
+        engine=args.engine)
     load_seconds = time.perf_counter() - started
     server = build_server(service, host=args.host, port=args.port,
                           quiet=args.quiet)
@@ -335,6 +344,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true",
                        help="print results as JSON (same shape as the "
                             "serve endpoint)")
+    # Kept as literals (mirroring repro.queries.ENGINES) so building the
+    # parser stays import-light; the library layer re-validates anyway.
+    # Default None = "auto", distinguished so --pattern can reject an
+    # explicit --engine the way the HTTP endpoint does.
+    query.add_argument("--engine", default=None,
+                       choices=("nested", "wcoj", "auto"),
+                       help="BGP executor (SPARQL only): nested-loop "
+                            "pipeline, leapfrog worst-case-optimal multiway "
+                            "join, or auto (default: auto picks wcoj for "
+                            "cyclic/multi-join BGPs)")
     query.set_defaults(handler=_command_query)
 
     info = subparsers.add_parser(
@@ -364,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-limit", type=int, default=100_000, metavar="N",
                        help="largest result page a request may ask for "
                             "(default: 100000)")
+    serve.add_argument("--engine", default="auto",
+                       choices=("nested", "wcoj", "auto"),
+                       help="default BGP executor for requests that do not "
+                            "choose one (default: auto)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     serve.set_defaults(handler=_command_serve)

@@ -23,7 +23,7 @@ with the Compact codec, exactly as the paper recommends.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Mapping, Tuple
 
 import numpy as np
 
@@ -31,8 +31,14 @@ from repro.core.base import PatternLike
 from repro.core.index_3t import PermutedTrieIndex
 from repro.core.patterns import PatternKind, TriplePattern
 from repro.core.permutations import PERMUTATIONS
-from repro.core.trie import PermutationTrie
+from repro.core.trie import (
+    ArrayCursor,
+    FilteredChildrenCursor,
+    FunctionCursor,
+    PermutationTrie,
+)
 from repro.errors import IndexBuildError
+from repro.sequences.base import NOT_FOUND
 
 
 def compute_cross_compressed_third_level(pos_first: np.ndarray, pos_second: np.ndarray,
@@ -99,6 +105,50 @@ class CrossCompressedIndex(PermutedTrieIndex):
             yield from self._select_on_pos_unmapping(pattern)
         else:
             yield from super().select(pattern)
+
+    # ------------------------------------------------------------------ #
+    # Seekable successor cursors: POS stores ranks in its third level, so the
+    # deep POS cursors must translate through the unmap indirection.  The
+    # rank sequence under one (predicate, object) pair is strictly increasing
+    # and unmap is monotone in the rank, so the translated stream stays
+    # sorted and seekable (by binary search over the rank positions).
+    # ------------------------------------------------------------------ #
+
+    def _build_trie_cursor(self, name: str, trie: PermutationTrie,
+                           bound: Mapping[int, int], role: int):
+        order = PERMUTATIONS[name].order
+        k = order.index(role)
+        if name != "pos" or k == 0:
+            return super()._build_trie_cursor(name, trie, bound, role)
+        predicate = bound[order[0]]
+        if k == 2:
+            # Subjects of (predicate, object): unmap each stored rank.
+            object_id = bound[order[1]]
+            position = trie.find_child(predicate, object_id)
+            if position == NOT_FOUND:
+                return ArrayCursor([])
+            begin, end = trie.pair_children_range(position)
+            def subject_at(i: int) -> int:
+                return self.unmap_subject(object_id,
+                                          trie.third_at(begin, end, i))
+            return FunctionCursor(subject_at, begin, end)
+        if order[2] in bound:
+            # Objects of predicate that have the bound subject: map the
+            # subject to its rank under each candidate object, then probe
+            # the rank among the pair's stored children.
+            subject = bound[order[2]]
+            level1_begin, level1_end = trie.children_range(predicate)
+            def has_subject(pair_position: int) -> bool:
+                object_id = trie.second_at(level1_begin, level1_end,
+                                           pair_position)
+                rank = self.map_subject(object_id, subject)
+                if rank == NOT_FOUND:
+                    return False
+                begin, end = trie.pair_children_range(pair_position)
+                return trie.find_third(begin, end, rank) != NOT_FOUND
+            return FilteredChildrenCursor(trie, predicate, has_subject)
+        # Level-1 objects are stored verbatim; the default cursor is fine.
+        return super()._build_trie_cursor(name, trie, bound, role)
 
     def _select_on_pos_unmapping(self, pattern: TriplePattern
                                  ) -> Iterator[Tuple[int, int, int]]:

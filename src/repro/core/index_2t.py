@@ -19,14 +19,16 @@ more, and the final pattern falls back to the ``inverted`` algorithm:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.base import PatternLike, TripleIndex
+from repro.core.index_3t import build_trie_cursor, plan_trie_cursor
 from repro.core.pairs import PairStructure
 from repro.core.patterns import PatternKind, TriplePattern
 from repro.core.permutations import PERMUTATIONS
 from repro.core.trie import PermutationTrie
 from repro.errors import IndexBuildError, PatternError
+from repro.rdf.triples import OBJECT, PREDICATE, SUBJECT
 
 
 class TwoTrieIndex(TripleIndex):
@@ -140,6 +142,40 @@ class TwoTrieIndex(TripleIndex):
         for subject in self._ps.values_of(predicate):
             for s, p, o in self._spo.select(subject, predicate, None):
                 yield (s, p, o)
+
+    # ------------------------------------------------------------------ #
+    # Seekable successor cursors (the wcoj protocol).
+    # ------------------------------------------------------------------ #
+
+    def seek_cursor(self, bound: Mapping[int, int], role: int):
+        """Sorted, seekable cursor over candidate values of component ``role``.
+
+        Same contract as :meth:`PermutedTrieIndex.seek_cursor`, restricted to
+        the two materialised tries; 2To additionally serves ``?P? -> subject``
+        successors exactly from its auxiliary PS structure.
+        """
+        best = None
+        for name, trie in (("spo", self._spo),
+                           (self._second.permutation_name, self._second)):
+            plan = plan_trie_cursor(PERMUTATIONS[name].order, bound, role)
+            if plan is None:
+                continue
+            score, exact, _level = plan
+            if best is None or score > best[0]:
+                best = (score, exact, name, trie)
+        # The PS structure lists the distinct subjects of a predicate: an
+        # exact successor source for the (?s, p, ?o) shape that neither SPO
+        # nor OPS can answer without a scan.
+        if (self._ps is not None and role == SUBJECT and PREDICATE in bound
+                and SUBJECT not in bound and OBJECT not in bound):
+            ps_score = (1, 1, 1)
+            if best is None or ps_score > best[0]:
+                return self._ps.cursor_of(bound[PREDICATE]), True
+        if best is None:
+            return None
+        _score, exact, name, trie = best
+        return build_trie_cursor(trie, PERMUTATIONS[name].order, bound,
+                                 role), exact
 
     # ------------------------------------------------------------------ #
     # Space accounting.

@@ -20,13 +20,58 @@ pattern   trie       permuted shape
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.base import PatternLike, TripleIndex
 from repro.core.patterns import PatternKind, TriplePattern
 from repro.core.permutations import PERMUTATIONS
 from repro.core.trie import PermutationTrie
 from repro.errors import PatternError
+
+#: Cursor-plan score: ``(exact, constants enforced, plain level)`` — higher is
+#: better.  A plain level cursor beats the filtered "middle" cursor at equal
+#: strength because its per-step cost is one access instead of one find.
+_CursorScore = Tuple[int, int, int]
+
+
+def plan_trie_cursor(permutation_order: Tuple[int, int, int],
+                     bound: Mapping[int, int], role: int
+                     ) -> Optional[Tuple[_CursorScore, bool, int]]:
+    """Decide how one trie permutation can serve successors of ``role``.
+
+    ``bound`` maps roles (0=S, 1=P, 2=O) to the constants fixed so far; the
+    trie can serve the target when all permuted positions before ``role``'s
+    are bound.  Returns ``(score, exact, level)`` — ``exact`` means the cursor
+    enumerates precisely the distinct values of ``role`` among matching
+    triples; inexact cursors over-approximate (implicit roots ignore deeper
+    constants) and are only safe when another variable of the same pattern is
+    still to be constrained.  ``None`` means this permutation cannot help.
+    """
+    k = permutation_order.index(role)
+    if any(r not in bound for r in permutation_order[:k]):
+        return None
+    if k == 0:
+        return (0, 0, 1), False, 0
+    if k == 1:
+        if permutation_order[2] in bound:
+            return (1, 2, 0), True, 1
+        return (1, 1, 1), True, 1
+    return (1, 2, 1), True, 2
+
+
+def build_trie_cursor(trie: PermutationTrie,
+                      permutation_order: Tuple[int, int, int],
+                      bound: Mapping[int, int], role: int):
+    """Materialise the cursor that :func:`plan_trie_cursor` selected."""
+    k = permutation_order.index(role)
+    if k == 0:
+        return trie.root_cursor()
+    first = bound[permutation_order[0]]
+    if k == 1:
+        if permutation_order[2] in bound:
+            return trie.middle_cursor(first, bound[permutation_order[2]])
+        return trie.children_cursor(first)
+    return trie.prefix_cursor(first, bound[permutation_order[1]])
 
 
 class PermutedTrieIndex(TripleIndex):
@@ -93,6 +138,43 @@ class PermutedTrieIndex(TripleIndex):
             for component, bits in trie.space_breakdown().items():
                 breakdown[f"{name}.{component}"] = bits
         return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Seekable successor cursors (the wcoj protocol).
+    # ------------------------------------------------------------------ #
+
+    def seek_cursor(self, bound: Mapping[int, int], role: int):
+        """Sorted, seekable cursor over candidate values of component ``role``.
+
+        ``bound`` maps roles to the components already fixed (constants plus
+        variables bound by outer join levels).  Returns ``(cursor, exact)``
+        where ``exact`` tells whether the cursor enumerates precisely the
+        distinct ``role`` values of the matching triples (an inexact cursor
+        yields a superset), or ``None`` when no materialised permutation can
+        serve the shape — the join engine then falls back to materialising
+        the candidates through :meth:`select`.
+        """
+        best = None
+        for name, trie in self._tries.items():
+            plan = plan_trie_cursor(PERMUTATIONS[name].order, bound, role)
+            if plan is None:
+                continue
+            score, exact, _level = plan
+            if best is None or score > best[0]:
+                best = (score, exact, name, trie)
+        if best is None:
+            return None
+        _score, exact, name, trie = best
+        return self._build_trie_cursor(name, trie, bound, role), exact
+
+    def _build_trie_cursor(self, name: str, trie: PermutationTrie,
+                           bound: Mapping[int, int], role: int):
+        """Materialise the cursor chosen by :meth:`seek_cursor` on one trie.
+
+        A method (not the bare function) so :class:`CrossCompressedIndex` can
+        intercept the rank-rewritten POS levels.
+        """
+        return build_trie_cursor(trie, PERMUTATIONS[name].order, bound, role)
 
     # ------------------------------------------------------------------ #
     # Introspection used by the experiments.

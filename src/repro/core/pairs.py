@@ -78,6 +78,12 @@ class PairStructure:
         begin, end = self.range_of(first)
         return self._values.scan_range(begin, end)
 
+    def cursor_of(self, first: int):
+        """Seekable cursor over the sorted second components of ``first``."""
+        from repro.core.trie import LevelCursor
+        begin, end = self.range_of(first)
+        return LevelCursor(self._values, begin, end)
+
     def count_of(self, first: int) -> int:
         """Number of second components associated with ``first``."""
         begin, end = self.range_of(first)

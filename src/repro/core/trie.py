@@ -19,12 +19,19 @@ Three algorithms operate on this layout:
 * :meth:`PermutationTrie.enumerate_pairs` — Fig. 5, for the S?O pattern on the
   SPO trie (first and third bound, second free);
 * full scans for the ``???`` pattern.
+
+On top of those, the module provides *seekable cursors* — sorted streams of
+sibling values supporting ``seek(value)`` (jump to the first element >= value)
+backed by the Elias-Fano ``next_geq`` machinery.  They are the successor-list
+protocol the leapfrog-style worst-case-optimal join engine
+(:mod:`repro.queries.wcoj`) intersects level by level.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +40,181 @@ from repro.sequences.base import NOT_FOUND
 from repro.sequences.elias_fano import EliasFano
 from repro.sequences.factory import make_ranged_sequence
 from repro.sequences.prefix_sum import RangedSequence
+
+
+# --------------------------------------------------------------------------- #
+# Seekable cursors: the successor-list protocol of the multiway join engine.
+#
+# Every cursor exposes one attribute and two methods:
+#
+# ``key``       — the current element, or ``None`` once exhausted;
+# ``advance()`` — move past the current element;
+# ``seek(v)``   — move to the first element >= ``v`` (no-op if key >= v).
+#
+# Elements are distinct and strictly increasing, which every trie sibling
+# range guarantees (triples are deduplicated).
+# --------------------------------------------------------------------------- #
+
+
+class RangeCursor:
+    """Cursor over the virtual dense range ``[begin, end)`` (implicit level 0)."""
+
+    __slots__ = ("_end", "key")
+
+    def __init__(self, begin: int, end: int):
+        self._end = end
+        self.key: Optional[int] = begin if begin < end else None
+
+    def advance(self) -> None:
+        position = self.key + 1
+        self.key = position if position < self._end else None
+
+    def seek(self, value: int) -> None:
+        if self.key is None or value <= self.key:
+            return
+        self.key = value if value < self._end else None
+
+
+class ArrayCursor:
+    """Cursor over a materialised sorted list of distinct values."""
+
+    __slots__ = ("_values", "_position", "_end", "key")
+
+    def __init__(self, values: Sequence[int]):
+        self._values = values
+        self._position = 0
+        self._end = len(values)
+        self.key: Optional[int] = values[0] if values else None
+
+    def advance(self) -> None:
+        self._position += 1
+        self.key = (self._values[self._position]
+                    if self._position < self._end else None)
+
+    def seek(self, value: int) -> None:
+        if self.key is None or value <= self.key:
+            return
+        position = bisect_left(self._values, value, self._position, self._end)
+        self._position = position
+        self.key = self._values[position] if position < self._end else None
+
+
+class LevelCursor:
+    """Cursor over one encoded sibling range ``[begin, end)`` of a trie level.
+
+    ``seek`` delegates to the codec's ``next_geq`` (Elias-Fano ``select0`` /
+    PEF partition pruning), so a successor jump costs far less than scanning.
+    """
+
+    __slots__ = ("_nodes", "_begin", "_end", "_position", "key")
+
+    def __init__(self, nodes: RangedSequence, begin: int, end: int):
+        self._nodes = nodes
+        self._begin = begin
+        self._end = end
+        self._position = begin
+        self.key: Optional[int] = (nodes.access_in_range(begin, end, begin)
+                                   if begin < end else None)
+
+    def advance(self) -> None:
+        self._position += 1
+        if self._position < self._end:
+            self.key = self._nodes.access_in_range(self._begin, self._end,
+                                                   self._position)
+        else:
+            self.key = None
+
+    def seek(self, value: int) -> None:
+        if self.key is None or value <= self.key:
+            return
+        position, element = self._nodes.next_geq_in_range(
+            self._begin, self._end, value)
+        if position < self._end:
+            self._position = position
+            self.key = element
+        else:
+            self._position = self._end
+            self.key = None
+
+
+class FunctionCursor:
+    """Cursor over a strictly increasing function of positions ``[begin, end)``.
+
+    Used where stored values need a monotone indirection before comparison —
+    e.g. the cross-compressed POS third level, whose stored ranks map through
+    ``unmap`` to increasing subject IDs.
+    """
+
+    __slots__ = ("_fn", "_position", "_end", "key")
+
+    def __init__(self, fn: Callable[[int], int], begin: int, end: int):
+        self._fn = fn
+        self._position = begin
+        self._end = end
+        self.key: Optional[int] = fn(begin) if begin < end else None
+
+    def advance(self) -> None:
+        self._position += 1
+        self.key = (self._fn(self._position)
+                    if self._position < self._end else None)
+
+    def seek(self, value: int) -> None:
+        if self.key is None or value <= self.key:
+            return
+        fn = self._fn
+        lo, hi = self._position + 1, self._end
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if fn(mid) < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._position = lo
+        self.key = fn(lo) if lo < self._end else None
+
+
+class FilteredChildrenCursor:
+    """Cursor over the level-1 children of ``first`` that pass a predicate.
+
+    The predicate receives the absolute level-1 position of a child; the
+    canonical use is the ``enumerate`` shape (Fig. 5): children ``second`` of
+    ``first`` whose pair ``(first, second)`` has ``third`` among its children.
+    """
+
+    __slots__ = ("_trie", "_begin", "_end", "_position", "_predicate", "key")
+
+    def __init__(self, trie: "PermutationTrie", first: int,
+                 predicate: Callable[[int], bool]):
+        self._trie = trie
+        begin, end = trie.children_range(first)
+        self._begin = begin
+        self._end = end
+        self._predicate = predicate
+        self._position = begin
+        self.key: Optional[int] = None
+        self._settle()
+
+    def _settle(self) -> None:
+        """Move forward to the next position passing the predicate."""
+        while self._position < self._end:
+            if self._predicate(self._position):
+                self.key = self._trie.second_at(self._begin, self._end,
+                                                self._position)
+                return
+            self._position += 1
+        self.key = None
+
+    def advance(self) -> None:
+        self._position += 1
+        self._settle()
+
+    def seek(self, value: int) -> None:
+        if self.key is None or value <= self.key:
+            return
+        position, _ = self._trie.nodes_level1.next_geq_in_range(
+            self._begin, self._end, value)
+        self._position = position
+        self._settle()
 
 
 @dataclass(frozen=True)
@@ -261,6 +443,47 @@ class PermutationTrie:
             if position != NOT_FOUND:
                 second_value = self._nodes1.access_in_range(begin, end, pair_position)
                 yield (first, second_value, third)
+
+    # ------------------------------------------------------------------ #
+    # Seekable cursors (the wcoj successor-list protocol).
+    # ------------------------------------------------------------------ #
+
+    def root_cursor(self) -> RangeCursor:
+        """Cursor over the implicit first level: every ID in ``[0, num_first)``.
+
+        Note that IDs whose children range is empty are included — the cursor
+        over-approximates the set of populated roots, which the join engine
+        compensates for by constraining deeper levels.
+        """
+        return RangeCursor(0, self._num_first)
+
+    def children_cursor(self, first: int) -> LevelCursor:
+        """Seekable cursor over the sorted level-1 children of ``first``."""
+        begin, end = self.children_range(first)
+        return LevelCursor(self._nodes1, begin, end)
+
+    def pair_children_cursor(self, pair_position: int) -> LevelCursor:
+        """Seekable cursor over the sorted level-2 children of a level-1 node."""
+        begin, end = self.pair_children_range(pair_position)
+        return LevelCursor(self._nodes2, begin, end)
+
+    def prefix_cursor(self, first: int, second: int) -> LevelCursor:
+        """Level-2 cursor under the path ``(first, second)`` (empty if absent)."""
+        position = self.find_child(first, second)
+        if position == NOT_FOUND:
+            return LevelCursor(self._nodes2, 0, 0)
+        return self.pair_children_cursor(position)
+
+    def middle_cursor(self, first: int, third: int) -> FilteredChildrenCursor:
+        """Cursor over the ``second`` values with ``(first, second, third)`` present.
+
+        The seekable counterpart of :meth:`enumerate_pairs` (Fig. 5): children
+        of ``first`` whose pair has ``third`` among its level-2 children.
+        """
+        def has_third(pair_position: int) -> bool:
+            begin, end = self.pair_children_range(pair_position)
+            return self.find_third(begin, end, third) != NOT_FOUND
+        return FilteredChildrenCursor(self, first, has_third)
 
     # ------------------------------------------------------------------ #
     # Helpers for the inverted algorithm and cross compression.

@@ -3,6 +3,7 @@
 from repro.queries.workload import PatternWorkload, build_workloads, sample_patterns
 from repro.queries.sparql import BasicGraphPattern, SparqlQuery, TriplePatternTemplate, parse_sparql
 from repro.queries.planner import (
+    ENGINES,
     CartesianProductWarning,
     ExecutionStatistics,
     QueryPlanner,
@@ -10,12 +11,17 @@ from repro.queries.planner import (
     execute_bgp,
     stream_bgp,
 )
+from repro.queries.wcoj import choose_engine, plan_variable_order, stream_bgp_wcoj
 from repro.queries.logs import lubm_query_log, watdiv_query_log
 
 __all__ = [
+    "ENGINES",
     "CartesianProductWarning",
     "ExecutionStatistics",
     "stream_bgp",
+    "stream_bgp_wcoj",
+    "choose_engine",
+    "plan_variable_order",
     "PatternWorkload",
     "build_workloads",
     "sample_patterns",

@@ -49,6 +49,9 @@ from repro.rdf.triples import TripleStore
 #: for roles 0 (subject), 1 (predicate), 2 (object).
 Cardinalities = Dict[int, Dict[int, int]]
 
+#: The BGP executors every layer (library, service, HTTP, CLI) accepts.
+ENGINES = ("nested", "wcoj", "auto")
+
 
 class CartesianProductWarning(UserWarning):
     """The BGP's join graph is disconnected; a Cartesian product was planned."""
@@ -62,6 +65,9 @@ class ExecutionStatistics:
     triples_matched: int = 0
     results: int = 0
     cartesian_joins: int = 0
+    #: Which executor produced the results: ``"nested"`` (binary nested-loop
+    #: pipeline) or ``"wcoj"`` (leapfrog worst-case-optimal multiway join).
+    engine: str = "nested"
     executed_patterns: List[TriplePattern] = field(default_factory=list)
 
 
@@ -118,6 +124,16 @@ class QueryPlanner:
         else:
             estimate = {3: 1.0, 2: 10.0, 1: 1000.0, 0: 1e9}[bound]
         return (-bound, estimate)
+
+    def selectivity_key(self, template: TriplePatternTemplate) -> Tuple[int, float]:
+        """Public ordering key: templates with lower keys are more selective.
+
+        The second element is the cardinality estimate (product of the bound
+        components' histogram counts, or a bound-count heuristic without
+        histograms).  The wcoj engine uses this to pick variable elimination
+        orders and materialisation victims.
+        """
+        return self._selectivity_score(template)
 
     def plan_order(self, bgp: BasicGraphPattern) -> Tuple[Tuple[int, ...], int]:
         """Plan ``bgp`` and return ``(template order, num Cartesian joins)``.
@@ -226,7 +242,8 @@ def stream_bgp(index: TripleIndex, query: SparqlQuery,
                limit: Optional[int] = None,
                offset: int = 0,
                timeout: Optional[float] = None,
-               statistics: Optional[ExecutionStatistics] = None
+               statistics: Optional[ExecutionStatistics] = None,
+               engine: str = "nested"
                ) -> Iterator[Dict[str, int]]:
     """Lazily yield the solutions of ``query``'s BGP, projected.
 
@@ -237,14 +254,62 @@ def stream_bgp(index: TripleIndex, query: SparqlQuery,
     the remaining solutions.  ``timeout`` (seconds) bounds wall-clock time;
     exceeding it raises :class:`repro.errors.QueryTimeoutError`.
 
+    ``engine`` selects the executor: ``"nested"`` (this module's depth-first
+    nested-loop pipeline, the default), ``"wcoj"`` (the leapfrog multiway
+    join of :mod:`repro.queries.wcoj`) or ``"auto"`` (wcoj for cyclic and
+    multi-join BGPs, nested otherwise).  Both produce the same solution
+    multiset; the enumeration order differs.  ``statistics.engine`` records
+    which executor ran.
+
     ``plan`` short-circuits planning with a pre-ordered template sequence
     (the serving layer's plan cache); otherwise ``planner`` (or a fresh
     planner over ``store``) orders the BGP.  Pass a ``statistics`` object to
     observe progress; ``statistics.results`` counts the yielded solutions.
+
+    This wrapper validates and resolves ``engine`` eagerly — a bad engine
+    name raises here, at call time, not at the first ``next()``.  A
+    pre-ordered ``plan`` is inherently a nested-loop artifact: passing one
+    pins ``engine="auto"`` to the nested executor, and combining it with
+    ``engine="wcoj"`` is rejected (the multiway join orders variables, not
+    templates, so the plan could not be honoured).
     """
+    if engine not in ENGINES:
+        raise PatternError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "auto":
+        if plan is not None:
+            engine = "nested"
+        else:
+            from repro.queries.wcoj import choose_engine
+            engine = choose_engine(query.bgp)
+    if engine == "wcoj":
+        if plan is not None:
+            raise PatternError(
+                "a pre-ordered template plan only applies to the nested-loop "
+                "executor; drop plan= or use engine='nested'")
+        from repro.queries.wcoj import stream_bgp_wcoj
+        return stream_bgp_wcoj(
+            index, query, store=store, planner=planner, limit=limit,
+            offset=offset, timeout=timeout, statistics=statistics)
+    return _stream_bgp_nested(index, query, store=store, planner=planner,
+                              plan=plan, limit=limit, offset=offset,
+                              timeout=timeout, statistics=statistics)
+
+
+def _stream_bgp_nested(index: TripleIndex, query: SparqlQuery,
+                       store: Optional[TripleStore] = None,
+                       planner: Optional[QueryPlanner] = None,
+                       plan: Optional[Sequence[TriplePatternTemplate]] = None,
+                       limit: Optional[int] = None,
+                       offset: int = 0,
+                       timeout: Optional[float] = None,
+                       statistics: Optional[ExecutionStatistics] = None
+                       ) -> Iterator[Dict[str, int]]:
+    """The nested-loop executor behind :func:`stream_bgp`."""
     if limit is not None and limit <= 0:
         return
     stats = statistics if statistics is not None else ExecutionStatistics()
+    stats.engine = "nested"
     if plan is None:
         order, cartesian_joins = (planner or QueryPlanner(store)
                                   ).plan_order(query.bgp)
@@ -274,7 +339,8 @@ def execute_bgp(index: TripleIndex, query: SparqlQuery,
                 timeout: Optional[float] = None,
                 planner: Optional[QueryPlanner] = None,
                 plan: Optional[Sequence[TriplePatternTemplate]] = None,
-                cardinalities: Optional[Cardinalities] = None
+                cardinalities: Optional[Cardinalities] = None,
+                engine: str = "nested"
                 ) -> Tuple[List[Dict[str, int]], ExecutionStatistics]:
     """Execute a BGP with nested-loop joins over ``index``.
 
@@ -283,8 +349,8 @@ def execute_bgp(index: TripleIndex, query: SparqlQuery,
     atomic selection patterns issued — the unit of measurement of the paper's
     Table 6.  ``max_results`` is the historical spelling of ``limit``; when
     both are given the smaller wins.  See :func:`stream_bgp` for the
-    ``limit``/``offset``/``timeout`` semantics — this wrapper merely collects
-    the stream eagerly.
+    ``limit``/``offset``/``timeout``/``engine`` semantics — this wrapper
+    merely collects the stream eagerly.
 
     Note that ``limit`` bounds the *results*, not the join work: the first
     ``limit`` solutions are exact (the historical per-level cap could
@@ -299,5 +365,5 @@ def execute_bgp(index: TripleIndex, query: SparqlQuery,
     statistics = ExecutionStatistics()
     results = list(stream_bgp(index, query, planner=planner, plan=plan,
                               limit=limit, offset=offset, timeout=timeout,
-                              statistics=statistics))
+                              statistics=statistics, engine=engine))
     return results, statistics

@@ -1,0 +1,391 @@
+"""Worst-case-optimal multiway join execution (leapfrog triejoin style).
+
+The nested-loop pipeline of :mod:`repro.queries.planner` joins one triple
+pattern at a time, which on cyclic BGPs (the canonical example being the
+triangle ``?a p ?b . ?b p ?c . ?c p ?a``) can materialise intermediate
+results quadratically larger than the final output.  The engine here instead
+picks one *global variable elimination order* and, level by level, intersects
+the sorted candidate streams that every pattern containing the current
+variable exposes — the classic leapfrog triejoin scheme whose running time is
+bounded by the AGM worst-case output size.
+
+The trie-shaped index families of the paper are exactly the right substrate:
+every sibling range is sorted and seekable through the Elias-Fano ``next_geq``
+machinery, surfaced as the cursor protocol of :mod:`repro.core.trie` and the
+``seek_cursor`` method of the index families.
+
+Two care points keep the engine correct on arbitrary BGPs and arbitrary
+index families:
+
+* **Exactness.**  A native cursor may over-approximate its candidate set
+  (e.g. the implicit trie root ignores constants at deeper levels).  That is
+  sound while the pattern still has unbound variables — deeper levels
+  re-constrain — but the cursor used at a pattern's *last* unbound variable
+  must be exact.  When no materialised permutation offers an exact cursor
+  (or a variable occurs twice in one pattern, as in ``?x ?p ?x``), the
+  engine falls back to materialising the sorted distinct candidates through
+  ``index.select`` — which also makes the engine work, unaccelerated, on any
+  :class:`~repro.core.base.TripleIndex`, including the baseline oracles.
+* **Drivers.**  If every cursor for a variable over-approximates, the
+  intersection would degenerate to enumeration; the engine then materialises
+  the most selective pattern's candidates so at least one exact, tight
+  stream drives the leapfrog.
+
+:func:`stream_bgp_wcoj` mirrors the ``limit``/``offset``/``timeout``
+semantics of :func:`repro.queries.planner.stream_bgp`; :func:`choose_engine`
+implements the ``engine="auto"`` policy (wcoj for cyclic or multi-join BGPs,
+nested-loop otherwise).
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.base import TripleIndex
+from repro.core.trie import ArrayCursor
+from repro.errors import PatternError, QueryTimeoutError
+from repro.queries.planner import (
+    CartesianProductWarning,
+    ExecutionStatistics,
+    QueryPlanner,
+)
+from repro.queries.sparql import (
+    BasicGraphPattern,
+    SparqlQuery,
+    TriplePatternTemplate,
+    is_variable,
+)
+from repro.rdf.triples import TripleStore
+
+#: Materialised candidate lists are memoised per (pattern, variable, bound
+#: constants); the cache is dropped wholesale if a pathological query keeps
+#: producing fresh prefixes.
+_MATERIALISE_CACHE_LIMIT = 65536
+
+
+# --------------------------------------------------------------------------- #
+# Join-graph analysis: engine policy and variable elimination order.
+# --------------------------------------------------------------------------- #
+
+def _variable_templates(bgp: BasicGraphPattern) -> Dict[str, List[int]]:
+    """Map every variable to the indexes of the templates containing it."""
+    occurrences: Dict[str, List[int]] = {}
+    for position, template in enumerate(bgp.templates):
+        for variable in set(template.variables()):
+            occurrences.setdefault(variable, []).append(position)
+    return occurrences
+
+
+def _num_components(bgp: BasicGraphPattern) -> int:
+    """Connected components of the join graph (templates linked by variables)."""
+    occurrences = _variable_templates(bgp)
+    parent = list(range(len(bgp)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for positions in occurrences.values():
+        root = find(positions[0])
+        for position in positions[1:]:
+            parent[find(position)] = root
+    return len({find(i) for i in range(len(bgp))})
+
+
+def choose_engine(bgp: BasicGraphPattern) -> str:
+    """The ``engine="auto"`` policy: ``"wcoj"`` or ``"nested"``.
+
+    Multiway intersection pays off when a variable is constrained by several
+    patterns at once: cyclic join graphs (triangles, squares, ...) and
+    multi-joins (one variable shared by three or more patterns).  Chain and
+    simple star shapes stay on the nested-loop pipeline, whose single-pattern
+    scans are cheaper per solution.
+    """
+    if len(bgp) < 2:
+        return "nested"
+    occurrences = _variable_templates(bgp)
+    if any(len(positions) >= 3 for positions in occurrences.values()):
+        return "wcoj"
+    # Cycle detection on the bipartite variable/template incidence graph:
+    # a forest has exactly (nodes - components) edges, anything more closes
+    # a cycle.  Counting multiplicity-one edges per (variable, template)
+    # also catches two patterns sharing two variables.
+    edges = sum(len(positions) for positions in occurrences.values())
+    nodes = len(bgp) + len(occurrences)
+    if edges > nodes - _num_components(bgp):
+        return "wcoj"
+    return "nested"
+
+
+def plan_variable_order(bgp: BasicGraphPattern,
+                        planner: Optional[QueryPlanner] = None) -> Tuple[str, ...]:
+    """Pick a global variable elimination order for ``bgp``.
+
+    Greedy: repeatedly take the variable constrained by the most patterns
+    (ties broken by the smallest cardinality estimate among its patterns,
+    then by first appearance), preferring variables connected to the part
+    already ordered so that disconnected components are eliminated one after
+    the other rather than interleaved.
+    """
+    if len(bgp) == 0:
+        raise PatternError("cannot plan an empty basic graph pattern")
+    planner = planner or QueryPlanner()
+    occurrences = _variable_templates(bgp)
+    appearance = {variable: rank for rank, variable
+                  in enumerate(bgp.variables())}
+    estimates = {
+        variable: min(planner.selectivity_key(bgp.templates[i])[1]
+                      for i in positions)
+        for variable, positions in occurrences.items()
+    }
+    order: List[str] = []
+    ordered_templates: Set[int] = set()
+    remaining = set(occurrences)
+    while remaining:
+        connected = {variable for variable in remaining
+                     if ordered_templates.intersection(occurrences[variable])}
+        candidates = connected or remaining
+        chosen = min(candidates,
+                     key=lambda v: (-len(occurrences[v]), estimates[v],
+                                    appearance[v]))
+        order.append(chosen)
+        ordered_templates.update(occurrences[chosen])
+        remaining.discard(chosen)
+    return tuple(order)
+
+
+# --------------------------------------------------------------------------- #
+# Candidate cursors per (pattern, variable).
+# --------------------------------------------------------------------------- #
+
+class _CursorFactory:
+    """Builds successor cursors, falling back to (memoised) materialisation."""
+
+    def __init__(self, index: TripleIndex, statistics: ExecutionStatistics,
+                 deadline: Optional[float]):
+        self._index = index
+        self._seek_cursor = getattr(index, "seek_cursor", None)
+        self._statistics = statistics
+        self._deadline = deadline
+        self._cache: Dict[tuple, List[int]] = {}
+
+    def cursor_for(self, template_index: int, template: TriplePatternTemplate,
+                   binding: Dict[str, int], variable: str):
+        """``(cursor, exact)`` for ``variable``'s candidates in one pattern."""
+        bound_template = template.bind(binding)
+        terms = bound_template.terms()
+        positions = [role for role, term in enumerate(terms) if term == variable]
+        has_other_free = any(is_variable(term) and term != variable
+                             for term in terms)
+        if len(positions) == 1 and self._seek_cursor is not None:
+            bound = {role: int(term) for role, term in enumerate(terms)
+                     if not is_variable(term)}
+            native = self._seek_cursor(bound, positions[0])
+            if native is not None:
+                cursor, exact = native
+                if exact or has_other_free:
+                    self._statistics.patterns_executed += 1
+                    return cursor, exact
+        return self.materialise(template_index, bound_template, variable), True
+
+    def materialise(self, template_index: int,
+                    bound_template: TriplePatternTemplate,
+                    variable: str) -> ArrayCursor:
+        """Sorted distinct candidates of ``variable`` via ``index.select``.
+
+        Exact by construction: rows violating a repeated variable inside the
+        pattern are dropped before projecting.  Results are memoised on the
+        bound constants, so re-entering the same prefix is free (a memo hit
+        issues no index operation and is not counted in
+        ``patterns_executed``).
+        """
+        pattern = bound_template.to_selection_pattern()
+        key = (template_index, variable, pattern.as_tuple())
+        cached = self._cache.get(key)
+        if cached is not None:
+            return ArrayCursor(cached)
+        self._statistics.patterns_executed += 1
+        terms = bound_template.terms()
+        deadline = self._deadline
+        values: Set[int] = set()
+        for triple in self._index.select(pattern):
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryTimeoutError(
+                    "query exceeded its wall-clock timeout while "
+                    f"materialising candidates for {variable}")
+            consistent: Dict[str, int] = {}
+            ok = True
+            for role, term in enumerate(terms):
+                if is_variable(term):
+                    seen = consistent.get(term)
+                    if seen is not None and seen != triple[role]:
+                        ok = False
+                        break
+                    consistent[term] = triple[role]
+            if ok:
+                values.add(consistent[variable])
+        candidates = sorted(values)
+        if len(self._cache) >= _MATERIALISE_CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = candidates
+        return ArrayCursor(candidates)
+
+
+def _leapfrog(cursors: Sequence, statistics: ExecutionStatistics,
+              deadline: Optional[float]) -> Iterator[int]:
+    """Intersect sorted distinct cursors, yielding each common value once."""
+    for cursor in cursors:
+        if cursor.key is None:
+            return
+    if len(cursors) == 1:
+        cursor = cursors[0]
+        while cursor.key is not None:
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryTimeoutError(
+                    "query exceeded its wall-clock timeout during the "
+                    "multiway intersection")
+            statistics.triples_matched += 1
+            yield cursor.key
+            cursor.advance()
+        return
+    while True:
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueryTimeoutError(
+                "query exceeded its wall-clock timeout during the "
+                "multiway intersection")
+        lowest = highest = cursors[0].key
+        for cursor in cursors[1:]:
+            key = cursor.key
+            if key < lowest:
+                lowest = key
+            elif key > highest:
+                highest = key
+        if lowest == highest:
+            statistics.triples_matched += 1
+            yield highest
+            for cursor in cursors:
+                cursor.advance()
+                if cursor.key is None:
+                    return
+        else:
+            for cursor in cursors:
+                if cursor.key < highest:
+                    cursor.seek(highest)
+                    if cursor.key is None:
+                        return
+
+
+# --------------------------------------------------------------------------- #
+# The streaming executor.
+# --------------------------------------------------------------------------- #
+
+def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
+                    store: Optional[TripleStore] = None,
+                    planner: Optional[QueryPlanner] = None,
+                    limit: Optional[int] = None,
+                    offset: int = 0,
+                    timeout: Optional[float] = None,
+                    statistics: Optional[ExecutionStatistics] = None,
+                    variable_order: Optional[Sequence[str]] = None
+                    ) -> Iterator[Dict[str, int]]:
+    """Lazily yield the solutions of ``query``'s BGP via multiway joins.
+
+    Same contract as :func:`repro.queries.planner.stream_bgp` — projected
+    bindings, ``offset`` solutions skipped, at most ``limit`` yielded,
+    ``timeout`` seconds of wall clock before
+    :class:`repro.errors.QueryTimeoutError` — but the solutions are produced
+    by variable elimination, so the *enumeration order* differs from the
+    nested-loop executor (the solution multiset is identical).
+    """
+    stats = statistics if statistics is not None else ExecutionStatistics()
+    stats.engine = "wcoj"
+    bgp = query.bgp
+    if len(bgp) == 0:
+        raise PatternError("cannot plan an empty basic graph pattern")
+    if limit is not None and limit <= 0:
+        return
+    planner = planner or QueryPlanner(store)
+    if variable_order is not None:
+        order = tuple(variable_order)
+        expected = set(bgp.variables())
+        if len(set(order)) != len(order) or set(order) != expected:
+            raise PatternError(
+                f"variable order {order!r} must be a permutation of the "
+                f"BGP's variables {sorted(expected)!r}")
+    else:
+        order = plan_variable_order(bgp, planner)
+    cartesian_joins = _num_components(bgp) - 1
+    stats.cartesian_joins = cartesian_joins
+    if cartesian_joins:
+        warnings.warn(
+            f"basic graph pattern is disconnected: {cartesian_joins} "
+            f"component boundary(ies) share no variable; the multiway "
+            f"join enumerates their Cartesian product",
+            CartesianProductWarning, stacklevel=2)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    if deadline is not None and time.monotonic() > deadline:
+        raise QueryTimeoutError("query exceeded its wall-clock timeout "
+                                "before executing any pattern")
+    factory = _CursorFactory(index, stats, deadline)
+
+    # Patterns with no variables at all are containment checks.
+    for template in bgp.templates:
+        if not template.variables():
+            pattern = template.to_selection_pattern()
+            stats.patterns_executed += 1
+            if not any(index.select(pattern)):
+                return
+
+    templates_for: Dict[str, List[Tuple[int, TriplePatternTemplate]]] = {
+        variable: [(i, bgp.templates[i]) for i in positions]
+        for variable, positions in _variable_templates(bgp).items()
+    }
+
+    def recurse(depth: int, binding: Dict[str, int]) -> Iterator[Dict[str, int]]:
+        variable = order[depth]
+        cursors = []
+        any_exact = False
+        for template_index, template in templates_for[variable]:
+            cursor, exact = factory.cursor_for(template_index, template,
+                                               binding, variable)
+            if cursor.key is None:
+                return
+            any_exact = any_exact or exact
+            cursors.append(cursor)
+        if not any_exact:
+            # Every stream over-approximates; materialise the most selective
+            # pattern so an exact, tight stream drives the intersection.
+            victim_index, victim = min(
+                templates_for[variable],
+                key=lambda pair: planner.selectivity_key(pair[1].bind(binding)))
+            cursor = factory.materialise(victim_index, victim.bind(binding),
+                                         variable)
+            if cursor.key is None:
+                return
+            cursors.append(cursor)
+        for value in _leapfrog(cursors, stats, deadline):
+            binding[variable] = value
+            if depth + 1 == len(order):
+                yield dict(binding)
+            else:
+                yield from recurse(depth + 1, binding)
+        binding.pop(variable, None)
+
+    projection = query.projection or query.variables()
+    skipped = 0
+    yielded = 0
+    solutions = (recurse(0, {}) if order else iter(({},)))
+    for binding in solutions:
+        if skipped < offset:
+            skipped += 1
+            continue
+        stats.results += 1
+        yielded += 1
+        yield {variable: binding[variable] for variable in projection
+               if variable in binding}
+        if limit is not None and yielded >= limit:
+            return

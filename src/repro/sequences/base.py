@@ -9,7 +9,7 @@ algorithms of the paper (Fig. 2 and Fig. 5): constant-or-logarithmic random
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EncodingError
 
@@ -112,6 +112,31 @@ class EncodedSequence(ABC):
         if lo < end and self.access(lo) == value:
             return lo
         return NOT_FOUND
+
+    def next_geq(self, value: int, begin: int = 0,
+                 end: Optional[int] = None) -> Tuple[int, int]:
+        """Return ``(position, element)`` of the first element >= ``value``.
+
+        The search is restricted to the sorted range ``[begin, end)``; when no
+        element qualifies, returns ``(end, -1)``.  This is the successor
+        primitive behind the worst-case-optimal join cursors; codecs with a
+        structural shortcut (Elias-Fano ``select0``, PEF partition bounds)
+        override the default binary search.
+        """
+        if end is None:
+            end = len(self)
+        if begin < 0 or end > len(self) or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {len(self)}")
+        lo, hi = begin, end
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.access(mid) < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < end:
+            return lo, self.access(lo)
+        return end, -1
 
     def scan(self, begin: int = 0, end: Optional[int] = None) -> Iterator[int]:
         """Yield the elements in ``[begin, end)`` in order."""

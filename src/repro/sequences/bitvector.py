@@ -14,6 +14,7 @@ this Python port and is not charged.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -25,6 +26,10 @@ _RANK_SAMPLE_BITS = 512  # one 64-bit absolute sample every 8 words
 
 #: popcount of every byte value, used for in-word select.
 _BYTE_POPCOUNT = np.array([bin(b).count("1") for b in range(256)], dtype=np.uint8)
+
+#: Same table as a plain list: scalar lookups in the select hot path cost a
+#: fraction of a numpy fancy index.
+_BYTE_POPCOUNT_LIST: List[int] = _BYTE_POPCOUNT.tolist()
 
 
 def _popcount_words(words: np.ndarray) -> np.ndarray:
@@ -39,15 +44,17 @@ def _select_in_word(word: int, k: int) -> int:
     """Return the position (0..63) of the ``k``-th set bit (0-based) of ``word``."""
     for byte_index in range(8):
         byte = (word >> (8 * byte_index)) & 0xFF
-        count = int(_BYTE_POPCOUNT[byte])
+        count = _BYTE_POPCOUNT_LIST[byte]
         if k < count:
-            for bit in range(8):
-                if byte & (1 << bit):
+            bit = 8 * byte_index
+            while True:
+                if byte & 1:
                     if k == 0:
-                        return 8 * byte_index + bit
+                        return bit
                     k -= 1
-        else:
-            k -= count
+                byte >>= 1
+                bit += 1
+        k -= count
     raise ValueError("word does not contain enough set bits")
 
 
@@ -85,7 +92,7 @@ class BitVectorBuilder:
 class BitVector:
     """Immutable bit vector supporting ``rank1/rank0`` and ``select1/select0``."""
 
-    __slots__ = ("_words", "_num_bits", "_cum_ones", "_num_ones")
+    __slots__ = ("_words", "_num_bits", "_num_ones", "_cum_list", "_word_list")
 
     def __init__(self, words: np.ndarray, num_bits: int):
         expected_words = (num_bits + _WORD_BITS - 1) // _WORD_BITS
@@ -93,9 +100,25 @@ class BitVector:
             raise EncodingError("inconsistent word array for bit vector")
         self._words = words
         self._num_bits = num_bits
-        counts = _popcount_words(words)
-        self._cum_ones = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        self._num_ones = int(self._cum_ones[-1])
+        self._num_ones = int(_popcount_words(words).sum())
+        # Plain-Python mirrors of the rank/select acceleration state, built
+        # lazily on the first scalar operation: ``bisect`` on a list and list
+        # indexing beat their numpy scalar counterparts by an order of
+        # magnitude in the hot paths, but a Python int list costs ~5x the
+        # numpy words, so vectors that are only ever scanned or persisted
+        # never pay for it (derived state — not persisted, not charged by
+        # ``size_in_bits``).
+        self._cum_list: Optional[List[int]] = None
+        self._word_list: Optional[List[int]] = None
+
+    def _mirrors(self) -> "List[int]":
+        """Materialise (once) and return the plain-Python word mirror."""
+        if self._word_list is None:
+            counts = _popcount_words(self._words)
+            self._cum_list = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))).tolist()
+            self._word_list = self._words.tolist()
+        return self._word_list
 
     # ------------------------------------------------------------------ #
     # Construction helpers.
@@ -137,8 +160,10 @@ class BitVector:
         """Return the bit at ``position``."""
         if not 0 <= position < self._num_bits:
             raise IndexError(f"bit {position} out of range [0, {self._num_bits})")
-        word = int(self._words[position >> 6])
-        return bool((word >> (position & 63)) & 1)
+        words = self._word_list
+        if words is None:
+            words = self._mirrors()
+        return bool((words[position >> 6] >> (position & 63)) & 1)
 
     def __getitem__(self, position: int) -> bool:
         return self.get(position)
@@ -155,11 +180,14 @@ class BitVector:
         """Number of 1 bits in ``[0, position)``."""
         if not 0 <= position <= self._num_bits:
             raise IndexError(f"rank position {position} out of range")
+        words = self._word_list
+        if words is None:
+            words = self._mirrors()
         word_index = position >> 6
         offset = position & 63
-        rank = int(self._cum_ones[word_index])
+        rank = self._cum_list[word_index]
         if offset:
-            word = int(self._words[word_index]) & ((1 << offset) - 1)
+            word = words[word_index] & ((1 << offset) - 1)
             rank += bin(word).count("1")
         return rank
 
@@ -171,27 +199,33 @@ class BitVector:
         """Position of the ``k``-th (0-based) set bit."""
         if not 0 <= k < self._num_ones:
             raise IndexError(f"select1({k}) out of range, only {self._num_ones} ones")
-        word_index = int(np.searchsorted(self._cum_ones, k + 1, side="left")) - 1
-        remaining = k - int(self._cum_ones[word_index])
-        word = int(self._words[word_index])
-        return (word_index << 6) + _select_in_word(word, remaining)
+        words = self._word_list
+        if words is None:
+            words = self._mirrors()
+        word_index = bisect_right(self._cum_list, k) - 1
+        remaining = k - self._cum_list[word_index]
+        return (word_index << 6) + _select_in_word(words[word_index], remaining)
 
     def select0(self, k: int) -> int:
         """Position of the ``k``-th (0-based) unset bit."""
         if not 0 <= k < self.num_zeros:
             raise IndexError(f"select0({k}) out of range, only {self.num_zeros} zeros")
         # Cumulative zero counts per word are 64*i - cum_ones[i]; binary search.
+        words = self._word_list
+        if words is None:
+            words = self._mirrors()
+        cum = self._cum_list
         lo, hi = 0, self._words.size
         while lo < hi:
             mid = (lo + hi) // 2
-            zeros_before = (mid << 6) - int(self._cum_ones[mid])
+            zeros_before = (mid << 6) - cum[mid]
             if zeros_before <= k:
                 lo = mid + 1
             else:
                 hi = mid
         word_index = lo - 1
-        remaining = k - ((word_index << 6) - int(self._cum_ones[word_index]))
-        word = ~int(self._words[word_index]) & ((1 << 64) - 1)
+        remaining = k - ((word_index << 6) - cum[word_index])
+        word = ~words[word_index] & ((1 << 64) - 1)
         # Bits beyond num_bits in the last word are zero in the stored word and
         # hence 1 in the complement; they are never reachable because k is
         # bounded by num_zeros counted on valid bits only when the tail bits

@@ -23,12 +23,18 @@ class CompactVector(EncodedSequence):
     requires_monotone = False
     name = "compact"
 
-    __slots__ = ("_words", "_width", "_size")
+    __slots__ = ("_words", "_width", "_size", "_word_list")
 
     def __init__(self, words: np.ndarray, width: int, size: int):
         self._words = words
         self._width = width
         self._size = size
+        # Plain-Python mirror of the packed words, built lazily on the first
+        # scalar ``access``: it avoids boxing a numpy scalar per call in the
+        # join hot paths, but costs ~5x the numpy words, so vectors that are
+        # only scanned (vectorised) or persisted never pay for it (derived
+        # state — not persisted, not charged by ``size_in_bits``).
+        self._word_list: Optional[list] = None
 
     # ------------------------------------------------------------------ #
     # Construction.
@@ -85,13 +91,16 @@ class CompactVector(EncodedSequence):
     def access(self, i: int) -> int:
         if not 0 <= i < self._size:
             raise IndexError(f"index {i} out of range [0, {self._size})")
+        words = self._word_list
+        if words is None:
+            words = self._word_list = self._words.tolist()
         bit_position = i * self._width
         word_index = bit_position >> 6
         offset = bit_position & 63
         mask = (1 << self._width) - 1
-        low = int(self._words[word_index]) >> offset
+        low = words[word_index] >> offset
         if offset + self._width > _WORD_BITS:
-            high = int(self._words[word_index + 1]) << (_WORD_BITS - offset)
+            high = words[word_index + 1] << (_WORD_BITS - offset)
             low |= high
         return low & mask
 

@@ -16,7 +16,7 @@ because it adapts to the highly clustered node-ID distributions of RDF data.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -191,6 +191,47 @@ class PartitionedEliasFano(EncodedSequence):
             if hi > lo and partition.access(lo - partition_start) > value:
                 return NOT_FOUND
         return NOT_FOUND
+
+    def next_geq(self, value: int, begin: int = 0,
+                 end: Optional[int] = None) -> Tuple[int, int]:
+        """First element >= ``value`` in ``[begin, end)`` (see the base class).
+
+        The partition upper bounds — themselves Elias-Fano encoded — prune the
+        search to the first partition that can contain the successor, so a
+        seek touches O(1) partitions plus one local binary search.
+        """
+        if end is None:
+            end = self._size
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        if begin == end:
+            return end, -1
+        first_partition = begin // self._partition_size
+        last_partition = (end - 1) // self._partition_size
+        # The first partition whose upper bound reaches ``value`` is the only
+        # one that can hold the successor; earlier ones are entirely smaller.
+        candidate, _ = self._upper_bounds.next_geq(value, first_partition,
+                                                  last_partition + 1)
+        if candidate > last_partition:
+            return end, -1
+        partition = self._partitions[candidate]
+        partition_start = candidate * self._partition_size
+        lo = max(begin, partition_start)
+        hi = min(end, partition_start + partition.length)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if partition.access(mid - partition_start) < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        bound = min(end, partition_start + partition.length)
+        if lo < bound:
+            return lo, partition.access(lo - partition_start)
+        # ``value`` exceeds every element of the candidate partition that lies
+        # inside [begin, end); the successor, if any, opens the next partition.
+        if lo < end:
+            return lo, self.access(lo)
+        return end, -1
 
     @staticmethod
     def _binary_search_partition(partition: _Partition, partition_start: int,

@@ -17,7 +17,7 @@ Two classes implement that contract:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,16 @@ class RangedSequence:
     def find_in_range(self, begin: int, end: int, value: int) -> int:
         """Absolute position of ``value`` inside ``[begin, end)``, or -1."""
         return self._sequence.find(begin, end, value)
+
+    def next_geq_in_range(self, begin: int, end: int, value: int) -> Tuple[int, int]:
+        """``(position, element)`` of the first element >= ``value`` in the
+        sibling range ``[begin, end)``; ``(end, -1)`` when none qualifies.
+
+        This is the seek primitive of the worst-case-optimal join cursors; it
+        delegates to the codec's ``next_geq`` (Elias-Fano ``select0``, PEF
+        partition pruning, or a plain binary search).
+        """
+        return self._sequence.next_geq(value, begin, end)
 
     def scan_range(self, begin: int, end: int) -> Iterator[int]:
         """Decode the sibling range ``[begin, end)``."""
@@ -127,6 +137,15 @@ class PrefixSummedSequence(RangedSequence):
         if begin == end:
             return NOT_FOUND
         return self._sequence.find(begin, end, value + self._base(begin))
+
+    def next_geq_in_range(self, begin: int, end: int, value: int) -> Tuple[int, int]:
+        if begin == end:
+            return end, -1
+        base = self._base(begin)
+        position, element = self._sequence.next_geq(value + base, begin, end)
+        if position == end:
+            return end, -1
+        return position, element - base
 
     def scan_range(self, begin: int, end: int) -> Iterator[int]:
         base = self._base(begin) if end > begin else 0

@@ -33,12 +33,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.base import TripleIndex
 from repro.errors import ServiceError
+from repro.queries.planner import ENGINES as _ENGINES
 from repro.queries.planner import (
     Cardinalities,
     ExecutionStatistics,
     QueryPlanner,
     stream_bgp,
 )
+from repro.queries.wcoj import plan_variable_order, stream_bgp_wcoj
 from repro.queries.sparql import SparqlQuery, parse_sparql
 from repro.service.cache import LRUCache, normalize_bgp
 
@@ -103,7 +105,15 @@ class QueryService:
     keeps one pathological query from materialising millions of bindings
     inside a shared server.  ``default_timeout`` (seconds) applies to every
     request that does not bring its own.
+
+    ``engine`` is the default executor for SPARQL BGPs: ``"nested"`` (the
+    nested-loop pipeline), ``"wcoj"`` (the leapfrog multiway join) or
+    ``"auto"`` (wcoj for cyclic/multi-join BGPs).  Requests may override it
+    per call; every result's statistics record which executor actually ran.
     """
+
+    #: The accepted executor names, shared with the query layer.
+    ENGINES = _ENGINES
 
     def __init__(self, index: TripleIndex, dictionary: Optional[Any] = None,
                  cardinalities: Optional[Cardinalities] = None,
@@ -112,10 +122,15 @@ class QueryService:
                  default_timeout: Optional[float] = None,
                  max_limit: Optional[int] = None,
                  latency_window: int = 2048,
+                 engine: str = "auto",
                  meta: Optional[dict] = None):
+        if engine not in self.ENGINES:
+            raise ServiceError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}")
         self._index = index
         self._dictionary = dictionary
         self._planner = QueryPlanner(cardinalities=cardinalities)
+        self._default_engine = engine
         self._meta = dict(meta or {})
         self._plan_cache = LRUCache(plan_cache_size)
         self._result_cache = LRUCache(result_cache_size)
@@ -128,6 +143,7 @@ class QueryService:
         self._batches_executed = 0
         self._timeouts = 0
         self._errors = 0
+        self._engine_counts: Dict[str, int] = {"nested": 0, "wcoj": 0}
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -185,7 +201,8 @@ class QueryService:
         return entry
 
     def _record(self, elapsed: float, timed_out: bool = False,
-                failed: bool = False, pattern: bool = False) -> None:
+                failed: bool = False, pattern: bool = False,
+                engine: Optional[str] = None) -> None:
         with self._lock:
             self._latencies.append(elapsed)
             if pattern:
@@ -196,16 +213,36 @@ class QueryService:
                 self._timeouts += 1
             if failed:
                 self._errors += 1
+            if engine is not None:
+                self._engine_counts[engine] = (
+                    self._engine_counts.get(engine, 0) + 1)
+
+    def _resolve_engine(self, query: SparqlQuery, engine: Optional[str]) -> str:
+        """Pick the executor for one request (``None`` = service default)."""
+        if engine is None:
+            engine = self._default_engine
+        if engine not in self.ENGINES:
+            raise ServiceError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}")
+        if engine == "auto":
+            from repro.queries.wcoj import choose_engine
+            engine = choose_engine(query.bgp)
+        return engine
 
     def execute(self, query: QueryLike, limit: Optional[int] = None,
                 offset: int = 0, timeout: Optional[float] = None,
-                use_cache: bool = True) -> QueryResult:
+                use_cache: bool = True,
+                engine: Optional[str] = None) -> QueryResult:
         """Answer one SPARQL BGP, preferring the result cache.
 
         ``query`` is SPARQL text (parsed against the bundled dictionary) or
         an already-parsed :class:`SparqlQuery`.  The result page honours
         ``limit``/``offset`` (clamped to the service's ``max_limit``) and
-        reports ``has_more`` whenever a limit was in force.
+        reports ``has_more`` whenever a limit was in force.  ``engine``
+        overrides the service's default executor for this request; the
+        result's ``statistics["engine"]`` records which executor ran (pages
+        are cached per executor — the two engines enumerate the same solution
+        multiset in different orders).
         """
         if offset < 0:
             raise ServiceError(f"offset must be >= 0, got {offset}")
@@ -215,6 +252,7 @@ class QueryService:
                 query = self.parse(query)
             limit = self._effective_limit(limit)
             timeout = self._default_timeout if timeout is None else timeout
+            engine = self._resolve_engine(query, engine)
 
             key, mapping = normalize_bgp(query.bgp)
             projection = tuple(query.projection or query.variables())
@@ -224,7 +262,7 @@ class QueryService:
                                           for v in projection)
             reverse = {canonical: original
                        for original, canonical in mapping.items()}
-            result_key = (key, normalized_projection, limit, offset)
+            result_key = (key, normalized_projection, limit, offset, engine)
 
             if use_cache:
                 entry = self._result_cache.get(result_key)
@@ -235,6 +273,8 @@ class QueryService:
                          for variable, value in binding.items()}
                         for binding in normalized_bindings]
                     elapsed = time.monotonic() - started
+                    # Cache hits do not run an executor, so they do not
+                    # count toward the per-engine execution counters.
                     self._record(elapsed)
                     return QueryResult(
                         variables=projection, bindings=bindings, cached=True,
@@ -242,15 +282,32 @@ class QueryService:
                         has_more=has_more, statistics=dict(summary))
 
             statistics = ExecutionStatistics()
-            order, cartesian_joins = self._plan_for(query, key)
-            statistics.cartesian_joins = cartesian_joins
             # Fetch one solution past the page to learn whether more exist.
             fetch = None if limit is None else limit + 1
-            bindings = list(stream_bgp(
-                self._index, query, planner=self._planner,
-                plan=[query.bgp.templates[i] for i in order],
-                limit=fetch, offset=offset, timeout=timeout,
-                statistics=statistics))
+            if engine == "wcoj":
+                # The variable elimination order is cached per normalized
+                # BGP (stored under canonical variable names, translated to
+                # this request's spelling) — the wcoj counterpart of the
+                # nested path's template-order plan cache.
+                cached_order = self._plan_cache.get(("wcoj", key))
+                if cached_order is None:
+                    order = plan_variable_order(query.bgp, self._planner)
+                    self._plan_cache.put(
+                        ("wcoj", key), tuple(mapping[v] for v in order))
+                else:
+                    order = tuple(reverse[v] for v in cached_order)
+                bindings = list(stream_bgp_wcoj(
+                    self._index, query, planner=self._planner,
+                    limit=fetch, offset=offset, timeout=timeout,
+                    statistics=statistics, variable_order=order))
+            else:
+                order, cartesian_joins = self._plan_for(query, key)
+                statistics.cartesian_joins = cartesian_joins
+                bindings = list(stream_bgp(
+                    self._index, query, planner=self._planner,
+                    plan=[query.bgp.templates[i] for i in order],
+                    limit=fetch, offset=offset, timeout=timeout,
+                    statistics=statistics))
             has_more: Optional[bool] = None
             if limit is not None:
                 has_more = len(bindings) > limit
@@ -259,6 +316,7 @@ class QueryService:
                 "patterns_executed": statistics.patterns_executed,
                 "triples_matched": statistics.triples_matched,
                 "cartesian_joins": statistics.cartesian_joins,
+                "engine": statistics.engine,
             }
             if use_cache:
                 normalized_bindings = [
@@ -268,7 +326,7 @@ class QueryService:
                 self._result_cache.put(
                     result_key, (normalized_bindings, has_more, dict(summary)))
             elapsed = time.monotonic() - started
-            self._record(elapsed)
+            self._record(elapsed, engine=statistics.engine)
             return QueryResult(
                 variables=projection, bindings=bindings, cached=False,
                 elapsed_seconds=elapsed, limit=limit, offset=offset,
@@ -283,7 +341,8 @@ class QueryService:
     def execute_batch(self, queries: Iterable[QueryLike],
                       limit: Optional[int] = None, offset: int = 0,
                       timeout: Optional[float] = None,
-                      use_cache: bool = True) -> List[QueryResult]:
+                      use_cache: bool = True,
+                      engine: Optional[str] = None) -> List[QueryResult]:
         """Answer several queries in one call (shared options apply to all).
 
         One call, one pass over the service: batching amortises the
@@ -291,7 +350,8 @@ class QueryService:
         template instantiations.
         """
         results = [self.execute(query, limit=limit, offset=offset,
-                                timeout=timeout, use_cache=use_cache)
+                                timeout=timeout, use_cache=use_cache,
+                                engine=engine)
                    for query in queries]
         with self._lock:
             self._batches_executed += 1
@@ -350,6 +410,7 @@ class QueryService:
             batches = self._batches_executed
             timeouts = self._timeouts
             errors = self._errors
+            engine_counts = dict(self._engine_counts)
         index = self._index
         return {
             "uptime_seconds": time.monotonic() - self._started,
@@ -367,7 +428,9 @@ class QueryService:
                 "batches": batches,
                 "timeouts": timeouts,
                 "errors": errors,
+                "engines": engine_counts,
             },
+            "engine": self._default_engine,
             "result_cache": self._result_cache.snapshot(),
             "plan_cache": self._plan_cache.snapshot(),
             "latency_ms": {

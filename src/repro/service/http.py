@@ -8,7 +8,8 @@ Endpoints:
 
 * ``POST /query`` — body is a JSON object with either ``"sparql"`` (query
   text) or ``"pattern"`` (three terms, ``null`` = wildcard), plus optional
-  ``"limit"``, ``"offset"``, ``"timeout"``, ``"cache"`` and — for patterns
+  ``"limit"``, ``"offset"``, ``"timeout"``, ``"cache"``, ``"engine"``
+  (SPARQL only: ``"nested"``, ``"wcoj"`` or ``"auto"``) and — for patterns
   with a bundled dictionary — ``"decode"``.  A ``"batch"`` key with a list
   of such objects answers many queries in one round trip; failed entries
   carry an ``"error"`` object instead of killing the whole batch.
@@ -75,27 +76,35 @@ def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
     if not isinstance(request, dict):
         raise ServiceError("each query must be a JSON object")
     unknown = set(request) - {"sparql", "pattern", "limit", "offset",
-                              "timeout", "cache", "decode"}
+                              "timeout", "cache", "decode", "engine"}
     if unknown:
         raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
     limit = request.get("limit")
     offset = request.get("offset", 0)
     timeout = request.get("timeout")
     use_cache = bool(request.get("cache", True))
+    engine = request.get("engine")
     if limit is not None and not isinstance(limit, int):
         raise ServiceError("limit must be an integer")
     if not isinstance(offset, int):
         raise ServiceError("offset must be an integer")
     if timeout is not None and not isinstance(timeout, (int, float)):
         raise ServiceError("timeout must be a number (seconds)")
+    if engine is not None and engine not in QueryService.ENGINES:
+        raise ServiceError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{list(QueryService.ENGINES)}")
 
     if "sparql" in request:
         text = request["sparql"]
         if not isinstance(text, str):
             raise ServiceError("'sparql' must be a string")
         result = service.execute(text, limit=limit, offset=offset,
-                                 timeout=timeout, use_cache=use_cache)
+                                 timeout=timeout, use_cache=use_cache,
+                                 engine=engine)
         return query_result_to_json(result)
+    if engine is not None:
+        raise ServiceError("'engine' only applies to SPARQL queries")
     if "pattern" in request:
         pattern = request["pattern"]
         if (not isinstance(pattern, (list, tuple)) or len(pattern) != 3 or

@@ -35,11 +35,12 @@ def bindings_to_json(variables: Sequence[str],
     return names, rows
 
 
-def execution_statistics_to_json(statistics: ExecutionStatistics) -> Dict[str, int]:
+def execution_statistics_to_json(statistics: ExecutionStatistics) -> Dict[str, Any]:
     return {
         "patterns_executed": statistics.patterns_executed,
         "triples_matched": statistics.triples_matched,
         "cartesian_joins": statistics.cartesian_joins,
+        "engine": statistics.engine,
     }
 
 

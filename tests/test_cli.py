@@ -130,6 +130,19 @@ class TestQuery:
         assert main(["query", str(index_file), "--pattern", "? ?"]) == 1
         assert "exactly 3 terms" in capsys.readouterr().err
 
+    def test_engine_flag_selects_executor(self, index_file, capsys):
+        for engine in ("nested", "wcoj", "auto"):
+            assert main(["query", str(index_file), "--count",
+                         "--engine", engine, "--sparql",
+                         f"SELECT ?s ?o WHERE {{ ?s {KNOWS} ?o }}"]) == 0
+            assert capsys.readouterr().out.strip() == "3"
+
+    def test_engine_flag_rejected_for_patterns(self, index_file, capsys):
+        # Mirrors the HTTP endpoint: engine only applies to SPARQL queries.
+        assert main(["query", str(index_file), "--engine", "wcoj",
+                     "--pattern", "? ? ?"]) == 2
+        assert "--engine only applies to SPARQL" in capsys.readouterr().err
+
     def test_corrupted_index_fails_cleanly(self, index_file, capsys):
         data = bytearray(index_file.read_bytes())
         data[-1] ^= 0xFF

@@ -1,0 +1,171 @@
+"""Cross-index, cross-executor differential testing.
+
+Hypothesis generates random small graphs and random BGPs, and every
+combination of index family (3T, CC, 2Tp, 2To) and executor (nested-loop,
+wcoj) must produce the *same sorted solution multiset* as the vertical
+partitioning baseline — an implementation so simple it serves as the oracle.
+
+Join reordering and intersection code is exactly where subtle bugs hide
+(off-by-one seeks, over-approximated candidate sets surviving to the output,
+duplicate-variable patterns, disconnected BGPs), so this harness is the
+safety net under both executors and all index families at once.
+
+Run locally with a bigger budget::
+
+    PYTHONPATH=src HYPOTHESIS_PROFILE=ci python -m pytest tests/test_differential.py
+
+The ``ci`` profile disables deadlines and prints the failure blob so any
+counterexample can be replayed exactly.
+"""
+
+import os
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.vertical_partitioning import VerticalPartitioningIndex
+from repro.core.builder import IndexBuilder
+from repro.queries.planner import CartesianProductWarning, execute_bgp
+from repro.queries.sparql import (
+    BasicGraphPattern,
+    SparqlQuery,
+    TriplePatternTemplate,
+)
+from repro.rdf.triples import TripleStore
+
+LAYOUTS = ("3t", "cc", "2tp", "2to")
+ENGINES = ("nested", "wcoj")
+
+settings.register_profile(
+    "default", max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow], deadline=None)
+settings.register_profile(
+    "ci", max_examples=60, deadline=None, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+#: Small universes keep the graphs dense enough that joins actually match.
+NUM_SUBJECTS, NUM_PREDICATES, NUM_OBJECTS = 12, 3, 12
+VARIABLES = ("?a", "?b", "?c", "?d")
+
+
+@st.composite
+def graphs(draw):
+    """A deduplicated, densified triple store with 1..60 triples."""
+    triples = draw(st.lists(
+        st.tuples(st.integers(0, NUM_SUBJECTS - 1),
+                  st.integers(0, NUM_PREDICATES - 1),
+                  st.integers(0, NUM_OBJECTS - 1)),
+        min_size=1, max_size=60))
+    return TripleStore.from_triples(triples, densify=True)
+
+
+@st.composite
+def templates(draw, store):
+    """One triple pattern over ``store``'s dense ID spaces."""
+    terms = []
+    for universe in (store.num_subjects, store.num_predicates,
+                     store.num_objects):
+        if draw(st.booleans()):
+            terms.append(draw(st.sampled_from(VARIABLES)))
+        else:
+            # Mostly in-universe constants; occasionally out of range to
+            # exercise the empty-result paths.
+            value = draw(st.integers(0, universe + 1))
+            terms.append(value)
+    return TriplePatternTemplate(*terms)
+
+
+@st.composite
+def cases(draw):
+    store = draw(graphs())
+    num_templates = draw(st.integers(1, 3))
+    bgp = BasicGraphPattern([draw(templates(store))
+                             for _ in range(num_templates)])
+    return store, bgp
+
+
+def solution_bag(results):
+    return sorted(tuple(sorted(binding.items())) for binding in results)
+
+
+def reference_solutions(store, query):
+    """Oracle: the nested-loop executor over the vertical partitioning index."""
+    oracle = VerticalPartitioningIndex(store)
+    results, _ = execute_bgp(oracle, query, store=store, engine="nested")
+    return solution_bag(results)
+
+
+@given(cases())
+def test_executors_and_layouts_agree(case):
+    store, bgp = case
+    if not bgp.variables():
+        # Variable-free BGPs are containment checks; covered elsewhere.
+        return
+    query = SparqlQuery(projection=bgp.variables(), bgp=bgp)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CartesianProductWarning)
+        expected = reference_solutions(store, query)
+        builder = IndexBuilder(store)
+        for layout in LAYOUTS:
+            index = builder.build(layout)
+            for engine in ENGINES:
+                results, statistics = execute_bgp(index, query, store=store,
+                                                  engine=engine)
+                assert solution_bag(results) == expected, (
+                    f"{layout}/{engine} diverged from the oracle on "
+                    f"{[t.terms() for t in bgp.templates]}")
+                assert statistics.engine == engine
+
+
+@given(cases(), st.integers(0, 70), st.integers(0, 10))
+def test_pagination_is_consistent_per_engine(case, offset, limit):
+    """offset/limit slice the engine's own full enumeration, on every layout."""
+    store, bgp = case
+    if not bgp.variables():
+        return
+    query = SparqlQuery(projection=bgp.variables(), bgp=bgp)
+    index = IndexBuilder(store).build("2tp")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CartesianProductWarning)
+        for engine in ENGINES:
+            full, _ = execute_bgp(index, query, store=store, engine=engine)
+            page, _ = execute_bgp(index, query, store=store, engine=engine,
+                                  offset=offset, limit=limit)
+            assert page == full[offset:offset + limit]
+
+
+@given(cases())
+def test_wcoj_oracle_fallback_without_seek_cursors(case):
+    """The wcoj executor is correct on indexes with no native cursor support."""
+    store, bgp = case
+    if not bgp.variables():
+        return
+    query = SparqlQuery(projection=bgp.variables(), bgp=bgp)
+    oracle = VerticalPartitioningIndex(store)
+    assert not hasattr(oracle, "seek_cursor")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CartesianProductWarning)
+        expected = reference_solutions(store, query)
+        results, _ = execute_bgp(oracle, query, store=store, engine="wcoj")
+        assert solution_bag(results) == expected
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_known_triangle_fixture(layout):
+    """A deterministic anchor next to the generative sweep."""
+    store = TripleStore.from_triples(
+        [(0, 0, 1), (1, 0, 2), (2, 0, 0), (1, 0, 0), (2, 1, 2)], densify=True)
+    index = IndexBuilder(store).build(layout)
+    bgp = BasicGraphPattern([
+        TriplePatternTemplate("?a", 0, "?b"),
+        TriplePatternTemplate("?b", 0, "?c"),
+        TriplePatternTemplate("?c", 0, "?a"),
+    ])
+    query = SparqlQuery(projection=bgp.variables(), bgp=bgp)
+    nested, _ = execute_bgp(index, query, store=store, engine="nested")
+    wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+    assert solution_bag(nested) == solution_bag(wcoj)
+    assert solution_bag(wcoj) == reference_solutions(store, query)

@@ -144,3 +144,23 @@ def test_find_matches_naive(values, needle):
         assert position == values.index(needle)
     else:
         assert position == -1
+
+
+@settings(max_examples=40, deadline=None)
+@given(monotone_lists, st.integers(min_value=2, max_value=64),
+       st.integers(min_value=0, max_value=60), st.data())
+def test_next_geq_matches_naive(values, partition_size, needle, data):
+    """Property: partition-pruned next_geq agrees with a naive scan."""
+    from bisect import bisect_left
+
+    values = sorted(values)
+    sequence = PartitionedEliasFano.from_values(values,
+                                                partition_size=partition_size)
+    begin = data.draw(st.integers(0, len(values)))
+    end = data.draw(st.integers(begin, len(values)))
+    position, element = sequence.next_geq(needle, begin, end)
+    expected = bisect_left(values, needle, begin, end)
+    if expected == end:
+        assert (position, element) == (end, -1)
+    else:
+        assert (position, element) == (expected, values[expected])

@@ -410,6 +410,112 @@ class TestDisconnectedBgp:
         assert len(results) == 2
 
 
+class TestStreamBgpEdgePaths:
+    """Regression tests: offset/limit/timeout on the Cartesian and error paths.
+
+    The streaming executor's Cartesian-product fallback and timeout handling
+    previously had no direct assertions for ``offset`` at or beyond the
+    result count; these pin the boundary behaviour down for both executors.
+    """
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        triples = [(0, 0, 1), (0, 0, 2), (3, 1, 4), (5, 1, 6), (5, 1, 7)]
+        store = TripleStore.from_triples(triples)
+        return build_index(store, "2tp"), store
+
+    @pytest.fixture(scope="class")
+    def cartesian_query(self):
+        # 2 matches of (?a 0 ?b) x 3 matches of (?c 1 ?d) = 6 solutions.
+        return parse_sparql("SELECT ?a ?b ?c ?d WHERE { ?a 0 ?b . ?c 1 ?d }")
+
+    @pytest.mark.parametrize("engine", ["nested", "wcoj"])
+    def test_offset_equal_to_result_count(self, graph, cartesian_query, engine):
+        import warnings as warnings_module
+
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore", CartesianProductWarning)
+            results, stats = execute_bgp(index, cartesian_query, store=store,
+                                         offset=6, engine=engine)
+        assert results == []
+        assert stats.results == 0
+
+    @pytest.mark.parametrize("engine", ["nested", "wcoj"])
+    def test_offset_beyond_result_count(self, graph, cartesian_query, engine):
+        import warnings as warnings_module
+
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore", CartesianProductWarning)
+            results, _ = execute_bgp(index, cartesian_query, store=store,
+                                     offset=100, limit=5, engine=engine)
+        assert results == []
+
+    @pytest.mark.parametrize("engine", ["nested", "wcoj"])
+    def test_last_solution_reachable_by_offset(self, graph, cartesian_query,
+                                               engine):
+        import warnings as warnings_module
+
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore", CartesianProductWarning)
+            full, _ = execute_bgp(index, cartesian_query, store=store,
+                                  engine=engine)
+            last, _ = execute_bgp(index, cartesian_query, store=store,
+                                  offset=5, engine=engine)
+        assert len(full) == 6
+        assert last == full[5:]
+
+    @pytest.mark.parametrize("engine", ["nested", "wcoj"])
+    def test_cartesian_pages_tile(self, graph, cartesian_query, engine):
+        import warnings as warnings_module
+
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore", CartesianProductWarning)
+            full, _ = execute_bgp(index, cartesian_query, store=store,
+                                  engine=engine)
+            pages = []
+            for offset in range(0, 8, 2):
+                page, _ = execute_bgp(index, cartesian_query, store=store,
+                                      offset=offset, limit=2, engine=engine)
+                pages.extend(page)
+        assert pages == full
+
+    @pytest.mark.parametrize("engine", ["nested", "wcoj"])
+    def test_timeout_on_cartesian_fallback(self, graph, cartesian_query,
+                                           engine):
+        import warnings as warnings_module
+
+        from repro.errors import QueryTimeoutError
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = graph
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore", CartesianProductWarning)
+            with pytest.raises(QueryTimeoutError):
+                execute_bgp(index, cartesian_query, store=store,
+                            timeout=0.0, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["nested", "wcoj"])
+    def test_timeout_not_triggered_while_skipping_offset(self, graph, engine):
+        # A generous timeout with a large offset must complete, not raise.
+        index, store = graph
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a 0 ?b }")
+        results, _ = execute_bgp(index, query, store=store, offset=50,
+                                 timeout=30.0, engine=engine)
+        assert results == []
+
+
 class TestPlannerCardinalities:
     def test_explicit_cardinalities_plan_like_a_store(self, small_store):
         from repro.queries.planner import QueryPlanner

@@ -1,0 +1,470 @@
+"""Tests for the worst-case-optimal multiway join engine and its cursors."""
+
+import warnings
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.core.trie import ArrayCursor, FunctionCursor, RangeCursor
+from repro.errors import PatternError, QueryTimeoutError
+from repro.queries.planner import ExecutionStatistics, execute_bgp, stream_bgp
+from repro.queries.sparql import BasicGraphPattern, parse_sparql
+from repro.queries.wcoj import (
+    choose_engine,
+    plan_variable_order,
+    stream_bgp_wcoj,
+)
+from repro.rdf.triples import TripleStore
+
+
+def bag(results):
+    """Order-insensitive multiset view of a binding list."""
+    return sorted(tuple(sorted(b.items())) for b in results)
+
+
+# --------------------------------------------------------------------------- #
+# The seek-cursor protocol.
+# --------------------------------------------------------------------------- #
+
+class TestCursorProtocol:
+    def drain(self, cursor):
+        values = []
+        while cursor.key is not None:
+            values.append(cursor.key)
+            cursor.advance()
+        return values
+
+    def test_range_cursor(self):
+        cursor = RangeCursor(2, 6)
+        assert cursor.key == 2
+        cursor.seek(4)
+        assert cursor.key == 4
+        cursor.seek(3)  # backwards seek is a no-op
+        assert cursor.key == 4
+        cursor.seek(6)
+        assert cursor.key is None
+        cursor.seek(0)  # seeking an exhausted cursor stays exhausted
+        assert cursor.key is None
+        assert RangeCursor(3, 3).key is None
+
+    def test_array_cursor(self):
+        cursor = ArrayCursor([1, 4, 9, 12])
+        assert self.drain(cursor) == [1, 4, 9, 12]
+        cursor = ArrayCursor([1, 4, 9, 12])
+        cursor.seek(5)
+        assert cursor.key == 9
+        cursor.seek(13)
+        assert cursor.key is None
+        assert ArrayCursor([]).key is None
+
+    def test_function_cursor(self):
+        values = [3, 7, 8, 20, 21]
+        cursor = FunctionCursor(lambda i: values[i], 0, len(values))
+        assert cursor.key == 3
+        cursor.seek(8)
+        assert cursor.key == 8
+        cursor.advance()
+        assert cursor.key == 20
+        cursor.seek(22)
+        assert cursor.key is None
+
+    def test_level_cursors_on_trie(self, index_2tp, reference_triples):
+        spo = index_2tp.trie("spo")
+        subject = reference_triples[0][0]
+        expected = sorted({p for s, p, o in reference_triples if s == subject})
+        cursor = spo.children_cursor(subject)
+        assert self.drain(cursor) == expected
+        cursor = spo.children_cursor(subject)
+        cursor.seek(expected[-1])
+        assert cursor.key == expected[-1]
+        cursor.seek(expected[-1] + 1)
+        assert cursor.key is None
+        # Out-of-universe parents yield empty cursors.
+        assert spo.children_cursor(10 ** 9).key is None
+
+    def test_middle_cursor_matches_enumerate(self, index_2tp, reference_triples):
+        spo = index_2tp.trie("spo")
+        subject, _, object_id = reference_triples[len(reference_triples) // 2]
+        expected = sorted({p for s, p, o in reference_triples
+                           if s == subject and o == object_id})
+        assert self.drain(spo.middle_cursor(subject, object_id)) == expected
+
+    def test_seek_cursor_exactness(self, all_indexes, reference_triples):
+        subject, predicate, object_id = reference_triples[7]
+        for name, index in all_indexes.items():
+            cursor, exact = index.seek_cursor({0: subject, 1: predicate}, 2)
+            assert exact, name
+            assert self.drain(cursor) == sorted(
+                {o for s, p, o in reference_triples
+                 if s == subject and p == predicate}), name
+            cursor, exact = index.seek_cursor({1: predicate, 2: object_id}, 0)
+            assert exact, name
+            assert self.drain(cursor) == sorted(
+                {s for s, p, o in reference_triples
+                 if p == predicate and o == object_id}), name
+
+    def test_seek_cursor_empty_intersection_shapes(self, all_indexes):
+        for name, index in all_indexes.items():
+            cursor, exact = index.seek_cursor({0: 10 ** 9, 1: 0}, 2)
+            assert exact and cursor.key is None, name
+
+    def test_cc_pos_rank_cursors(self, index_cc, reference_triples):
+        """The CC overrides that unmap POS ranks, driven directly.
+
+        ``seek_cursor`` itself routes (s, p) -> o and (p, o) -> s to the SPO
+        trie whenever it scores at least as well, so the POS branches are
+        exercised here explicitly: they must stay correct in case a future
+        scoring change (or a layout without SPO) activates them.
+        """
+        pos = index_cc.trie("pos")
+        checked_deep = checked_middle = 0
+        for subject, predicate, object_id in reference_triples[::37]:
+            # k == 2: subjects of (p, o) through unmap.
+            cursor = index_cc._build_trie_cursor(
+                "pos", pos, {1: predicate, 2: object_id}, 0)
+            assert self.drain(cursor) == sorted(
+                {s for s, p, o in reference_triples
+                 if p == predicate and o == object_id})
+            checked_deep += 1
+            # k == 1 filtered: objects of p that contain the bound subject,
+            # probed through map_subject against the stored ranks.
+            cursor = index_cc._build_trie_cursor(
+                "pos", pos, {1: predicate, 0: subject}, 2)
+            assert self.drain(cursor) == sorted(
+                {o for s, p, o in reference_triples
+                 if p == predicate and s == subject})
+            checked_middle += 1
+        assert checked_deep and checked_middle
+
+
+# --------------------------------------------------------------------------- #
+# The executor.
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def ring_graph():
+    """A ring with chords plus attributes: triangles and paths coexist."""
+    knows, works_for = 0, 1
+    triples = sorted({(i, knows, (i + 1) % 12) for i in range(12)}
+                     | {(i, knows, (i + 5) % 12) for i in range(12)}
+                     | {((i + 6) % 12, knows, i) for i in range(0, 12, 2)}
+                     | {(i, works_for, 12 + i % 3) for i in range(12)})
+    store = TripleStore.from_triples(triples)
+    return build_index(store, "2tp"), store
+
+
+class TestWcojExecutor:
+    def test_single_pattern_matches_nested(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o }")
+        nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        wcoj, stats = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+        assert stats.engine == "wcoj"
+
+    def test_triangle_matches_nested(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql(
+            "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")
+        nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+        assert len(wcoj) > 0
+
+    def test_duplicate_variable_pattern(self, ring_graph):
+        index, store = ring_graph
+        # ?x ?p ?x — a self-loop probe; exercised through the materialise
+        # fallback because no native cursor serves duplicate positions.
+        query = parse_sparql("SELECT ?x ?p WHERE { ?x ?p ?x }")
+        nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+
+    def test_duplicate_variable_joined(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?x ?y WHERE { ?x 0 ?y . ?y ?q ?y }")
+        nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+
+    def test_constant_only_template_present(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s WHERE { ?s 0 1 . 0 0 1 }")
+        nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+        assert len(wcoj) > 0
+
+    def test_constant_only_template_absent(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s WHERE { ?s 0 1 . 1 1 1 }")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert wcoj == []
+
+    def test_empty_intersection(self, ring_graph):
+        index, store = ring_graph
+        # No subject both knows and is known by object 10**6.
+        query = parse_sparql("SELECT ?x WHERE { ?x 0 999 . ?x 1 999 }")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert wcoj == []
+
+    def test_projection_duplicates_preserved(self, ring_graph):
+        index, store = ring_graph
+        # Projecting away a join variable must keep the solution multiset.
+        query = parse_sparql("SELECT ?c WHERE { ?x 0 ?y . ?y 1 ?c }")
+        nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+        assert len(wcoj) > len(set(map(tuple, (sorted(b.items())
+                                               for b in wcoj))))
+
+    def test_disconnected_bgp_warns_and_matches(self, ring_graph):
+        from repro.queries.planner import CartesianProductWarning
+
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?a ?b ?c ?d WHERE { ?a 0 ?b . ?c 1 ?d }")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CartesianProductWarning)
+            nested, _ = execute_bgp(index, query, store=store, engine="nested")
+        with pytest.warns(CartesianProductWarning):
+            wcoj, stats = execute_bgp(index, query, store=store, engine="wcoj")
+        assert bag(nested) == bag(wcoj)
+        assert stats.cartesian_joins == 1
+
+    def test_unknown_engine_rejected_at_call_time(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s WHERE { ?s 0 ?o }")
+        with pytest.raises(PatternError):
+            stream_bgp(index, query, store=store, engine="quantum")
+
+    def test_plan_with_wcoj_engine_rejected(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a 0 ?b . ?b 0 ?a }")
+        plan = [query.bgp.templates[0], query.bgp.templates[1]]
+        with pytest.raises(PatternError):
+            stream_bgp(index, query, store=store, plan=plan, engine="wcoj")
+        # auto + plan pins the nested executor (a plan is a nested artifact).
+        statistics = ExecutionStatistics()
+        list(stream_bgp(index, query, store=store, plan=plan,
+                        engine="auto", statistics=statistics))
+        assert statistics.engine == "nested"
+
+    def test_all_layouts_agree_on_triangle(self, all_indexes, reference_triples):
+        query = parse_sparql(
+            "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")
+        expected = None
+        for name, index in all_indexes.items():
+            results, _ = execute_bgp(index, query, engine="wcoj")
+            if expected is None:
+                expected = bag(results)
+            else:
+                assert bag(results) == expected, name
+
+
+class TestWcojStreamSemantics:
+    """limit/offset/timeout parity with ``stream_bgp``."""
+
+    def test_limit_zero_is_empty(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s WHERE { ?s 0 ?o }")
+        assert list(stream_bgp_wcoj(index, query, store=store, limit=0)) == []
+
+    def test_pages_tile_the_stream(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a 0 ?b . ?b 1 ?c }")
+        full = list(stream_bgp_wcoj(index, query, store=store))
+        pages = []
+        for offset in range(0, len(full) + 5, 5):
+            pages.extend(stream_bgp_wcoj(index, query, store=store,
+                                         limit=5, offset=offset))
+        assert pages == full
+
+    def test_offset_beyond_result_count(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o . ?o 1 ?c }")
+        full = list(stream_bgp_wcoj(index, query, store=store))
+        beyond = list(stream_bgp_wcoj(index, query, store=store,
+                                      offset=len(full)))
+        assert beyond == []
+        beyond = list(stream_bgp_wcoj(index, query, store=store,
+                                      offset=len(full) + 10, limit=3))
+        assert beyond == []
+
+    def test_limit_stops_early(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql(
+            "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")
+        statistics = ExecutionStatistics()
+        limited = list(stream_bgp_wcoj(index, query, store=store, limit=2,
+                                       statistics=statistics))
+        assert len(limited) == 2
+        full_statistics = ExecutionStatistics()
+        list(stream_bgp_wcoj(index, query, store=store,
+                             statistics=full_statistics))
+        assert statistics.triples_matched < full_statistics.triples_matched
+
+    def test_timeout_before_execution(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s WHERE { ?s 0 ?o }")
+        with pytest.raises(QueryTimeoutError):
+            list(stream_bgp_wcoj(index, query, store=store, timeout=0.0))
+
+    def test_timeout_mid_join(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql(
+            "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")
+        with pytest.raises(QueryTimeoutError):
+            list(stream_bgp_wcoj(index, query, store=store, timeout=-1.0))
+
+    def test_statistics_count_results(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?s ?o WHERE { ?s 0 ?o }")
+        statistics = ExecutionStatistics()
+        results = list(stream_bgp_wcoj(index, query, store=store,
+                                       statistics=statistics))
+        assert statistics.results == len(results)
+        assert statistics.engine == "wcoj"
+        assert statistics.patterns_executed >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Planning: engine choice and variable order.
+# --------------------------------------------------------------------------- #
+
+class TestEnginePolicy:
+    def parse_bgp(self, text):
+        return parse_sparql(text).bgp
+
+    def test_single_pattern_stays_nested(self):
+        assert choose_engine(self.parse_bgp(
+            "SELECT * WHERE { ?s 0 ?o }")) == "nested"
+
+    def test_chain_stays_nested(self):
+        assert choose_engine(self.parse_bgp(
+            "SELECT * WHERE { ?a 0 ?b . ?b 1 ?c . ?c 2 ?d }")) == "nested"
+
+    def test_two_pattern_star_stays_nested(self):
+        assert choose_engine(self.parse_bgp(
+            "SELECT * WHERE { ?a 0 ?b . ?a 1 ?c }")) == "nested"
+
+    def test_triangle_goes_wcoj(self):
+        assert choose_engine(self.parse_bgp(
+            "SELECT * WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")) == "wcoj"
+
+    def test_multi_join_star_goes_wcoj(self):
+        assert choose_engine(self.parse_bgp(
+            "SELECT * WHERE { ?a 0 ?b . ?a 1 ?c . ?a 2 ?d }")) == "wcoj"
+
+    def test_double_edge_goes_wcoj(self):
+        # Two patterns sharing two variables close a cycle.
+        assert choose_engine(self.parse_bgp(
+            "SELECT * WHERE { ?a 0 ?b . ?b 1 ?a }")) == "wcoj"
+
+    def test_auto_dispatch_records_engine(self, ring_graph):
+        index, store = ring_graph
+        triangle = parse_sparql(
+            "SELECT ?a WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")
+        _, stats = execute_bgp(index, triangle, store=store, engine="auto")
+        assert stats.engine == "wcoj"
+        chain = parse_sparql("SELECT ?a WHERE { ?a 0 ?b . ?b 1 ?c }")
+        _, stats = execute_bgp(index, chain, store=store, engine="auto")
+        assert stats.engine == "nested"
+
+
+class TestVariableOrder:
+    def test_covers_all_variables_once(self):
+        bgp = parse_sparql(
+            "SELECT * WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a . ?c 1 ?d }").bgp
+        order = plan_variable_order(bgp)
+        assert sorted(order) == sorted(bgp.variables())
+
+    def test_empty_bgp_rejected(self):
+        with pytest.raises(PatternError):
+            plan_variable_order(BasicGraphPattern([]))
+
+    def test_connected_components_not_interleaved(self):
+        bgp = parse_sparql(
+            "SELECT * WHERE { ?a 0 ?b . ?b 0 ?a . ?c 1 ?d . ?d 1 ?c }").bgp
+        order = plan_variable_order(bgp)
+        first_component = {"?a", "?b"}
+        positions = [i for i, v in enumerate(order) if v in first_component]
+        assert positions in ([0, 1], [2, 3])
+
+    def test_explicit_variable_order_respected(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a 0 ?b }")
+        default = list(stream_bgp_wcoj(index, query, store=store))
+        forced = list(stream_bgp_wcoj(index, query, store=store,
+                                      variable_order=("?b", "?a")))
+        assert bag(default) == bag(forced)
+
+    def test_incomplete_variable_order_rejected(self, ring_graph):
+        index, store = ring_graph
+        query = parse_sparql("SELECT ?a ?b WHERE { ?a 0 ?b }")
+        with pytest.raises(PatternError):
+            list(stream_bgp_wcoj(index, query, store=store,
+                                 variable_order=("?a",)))
+
+
+class TestServiceEngineKnob:
+    @pytest.fixture(scope="class")
+    def service(self, index_2tp):
+        from repro.service import QueryService
+        return QueryService(index_2tp)
+
+    def test_engine_override_and_reporting(self, service):
+        chain = "SELECT ?a ?b WHERE { ?a 0 ?b . ?b 1 ?c }"
+        auto = service.execute(chain)
+        assert auto.statistics["engine"] == "nested"
+        forced = service.execute(chain, engine="wcoj")
+        assert forced.statistics["engine"] == "wcoj"
+        assert bag(forced.bindings) == bag(auto.bindings)
+
+    def test_cache_keyed_per_engine(self, service):
+        query = "SELECT ?a ?b WHERE { ?a 0 ?b . ?b 1 ?c }"
+        service.execute(query, limit=3, engine="nested")
+        hit = service.execute(query, limit=3, engine="nested")
+        assert hit.cached is True
+        other = service.execute(query, limit=3, engine="wcoj")
+        assert other.cached is False
+        assert other.statistics["engine"] == "wcoj"
+
+    def test_invalid_engine_rejected(self, service):
+        from repro.errors import ServiceError
+        with pytest.raises(ServiceError):
+            service.execute("SELECT ?a WHERE { ?a 0 ?b }", engine="quantum")
+
+    def test_stats_count_engines(self, index_2tp):
+        from repro.service import QueryService
+        service = QueryService(index_2tp)
+        service.execute("SELECT ?a WHERE { ?a 0 ?b }")
+        service.execute("SELECT ?a WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }")
+        statistics = service.statistics()
+        assert statistics["requests"]["engines"]["nested"] == 1
+        assert statistics["requests"]["engines"]["wcoj"] == 1
+        assert statistics["engine"] == "auto"
+
+    def test_engine_counters_skip_cache_hits(self, index_2tp):
+        from repro.service import QueryService
+        service = QueryService(index_2tp)
+        query = "SELECT ?a WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }"
+        service.execute(query)
+        assert service.execute(query).cached is True
+        statistics = service.statistics()
+        # Only the cold execution ran the executor.
+        assert statistics["requests"]["engines"]["wcoj"] == 1
+        assert statistics["requests"]["queries"] == 2
+
+    def test_wcoj_plan_cache_shared_across_renamings(self, index_2tp):
+        from repro.service import QueryService
+        service = QueryService(index_2tp)
+        triangle = "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }"
+        renamed = "SELECT ?x ?y ?z WHERE { ?x 0 ?y . ?y 0 ?z . ?z 0 ?x }"
+        first = service.execute(triangle, use_cache=False)
+        second = service.execute(renamed, use_cache=False)
+        assert first.statistics["engine"] == "wcoj"
+        assert second.statistics["engine"] == "wcoj"
+        assert sorted(tuple(sorted(b.values())) for b in first.bindings) == \
+            sorted(tuple(sorted(b.values())) for b in second.bindings)
+        plan_cache = service.statistics()["plan_cache"]
+        assert plan_cache["misses"] == 1 and plan_cache["hits"] == 1
