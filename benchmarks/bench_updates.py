@@ -1,0 +1,169 @@
+"""Dynamic update subsystem: insert throughput and query-under-delta cost.
+
+The delta overlay trades a little per-query work (tombstone filtering, a
+binary-searched delta probe per pattern) for the ability to absorb writes
+into an otherwise immutable index.  Measured here on a LUBM-like graph:
+
+* **insert throughput** — WAL-backed batches into the delta store; the
+  acceptance bar is >= 10 000 inserts/second *including* the fsync-ed
+  write-ahead logging and base-membership checks;
+* **query under delta** — a mixed selection-pattern workload plus a join
+  query against base+delta, compared with the identical workload after
+  ``compact`` folded the delta in; the bar is <= 3x the compacted cost;
+* **compaction** — the rebuild itself, reported for context.
+
+Writes ``benchmarks/results/BENCH_updates.json`` (the machine-readable
+numbers) next to the usual plain-text table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from functools import lru_cache
+
+import common
+from repro.bench.tables import format_table
+from repro.core.builder import IndexBuilder
+from repro.core.patterns import PatternKind, TriplePattern
+from repro.dynamic import DynamicIndex
+from repro.queries import QueryPlanner
+from repro.queries.planner import execute_bgp
+from repro.queries.sparql import parse_sparql
+
+#: Fraction of the base size inserted as delta (10% is a heavy backlog).
+DELTA_FRACTION = float(os.environ.get("REPRO_BENCH_DELTA_FRACTION", "0.10"))
+#: Insert batch size (the service layer's natural unit).
+BATCH_SIZE = int(os.environ.get("REPRO_BENCH_UPDATE_BATCH", "1000"))
+#: Selection patterns per workload pass.
+WORKLOAD_SIZE = int(os.environ.get("REPRO_BENCH_UPDATE_WORKLOAD", "300"))
+#: Workload repetitions (best-of, to shed scheduler noise).
+ROUNDS = int(os.environ.get("REPRO_BENCH_UPDATE_ROUNDS", "3"))
+
+JOIN_QUERY = "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c }"
+
+INSERTS_PER_SECOND_BAR = 10_000.0
+QUERY_UNDER_DELTA_BAR = 3.0
+
+
+def _fresh_triples(store, count):
+    """``count`` growth-shaped triples: new subjects over existing P/O."""
+    predicates = store.column(1)
+    objects = store.column(2)
+    base_subjects = int(store.column(0).max()) + 1
+    return [(base_subjects + i,
+             int(predicates[i % len(predicates)]),
+             int(objects[(i * 7) % len(objects)]))
+            for i in range(count)]
+
+
+def _workload(store, delta_triples):
+    """Mixed-kind selection patterns drawn from base and delta triples."""
+    probes = store.sample(WORKLOAD_SIZE, seed=11)
+    # One probe in five targets freshly inserted data.
+    for position in range(0, len(probes), 5):
+        probes[position] = delta_triples[position % len(delta_triples)]
+    kinds = (PatternKind.SP, PatternKind.S, PatternKind.PO, PatternKind.O,
+             PatternKind.SPO, PatternKind.SO)
+    return [TriplePattern.from_triple_with_wildcards(probe,
+                                                     kinds[i % len(kinds)])
+            for i, probe in enumerate(probes)]
+
+
+def _run_workload(index, patterns, query, planner) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        matched = 0
+        for pattern in patterns:
+            for _triple in index.select(pattern):
+                matched += 1
+        for engine in ("nested", "wcoj"):
+            execute_bgp(index, query, planner=planner, limit=2_000,
+                        engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@lru_cache(maxsize=None)
+def _measurements():
+    store = common.lubm_dataset()
+    base = IndexBuilder(store).build("2tp")
+    num_inserts = max(BATCH_SIZE, int(len(store) * DELTA_FRACTION))
+    fresh = _fresh_triples(store, num_inserts)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dynamic = DynamicIndex.open(base, wal_path=os.path.join(tmp, "b.wal"))
+        started = time.perf_counter()
+        for begin in range(0, len(fresh), BATCH_SIZE):
+            dynamic.insert(fresh[begin:begin + BATCH_SIZE])
+        insert_seconds = time.perf_counter() - started
+        assert dynamic.delta.num_inserted == len(fresh)
+
+        planner = QueryPlanner(
+            cardinalities=QueryPlanner.cardinalities_from_store(store))
+        patterns = _workload(store, fresh)
+        query = parse_sparql(JOIN_QUERY)
+        under_delta_seconds = _run_workload(dynamic, patterns, query, planner)
+
+        compaction = dynamic.compact()
+        planner = QueryPlanner(cardinalities=compaction.cardinalities)
+        compacted_seconds = _run_workload(dynamic, patterns, query, planner)
+        dynamic.close()
+
+    return {
+        "dataset": "lubm",
+        "base_triples": int(base.num_triples),
+        "delta_inserts": len(fresh),
+        "batch_size": BATCH_SIZE,
+        "insert_seconds": insert_seconds,
+        "inserts_per_second": len(fresh) / insert_seconds,
+        "workload_patterns": len(patterns),
+        "query_under_delta_seconds": under_delta_seconds,
+        "query_compacted_seconds": compacted_seconds,
+        "query_under_delta_ratio": under_delta_seconds / compacted_seconds,
+        "compaction_seconds": compaction.seconds,
+        "bars": {
+            "inserts_per_second_min": INSERTS_PER_SECOND_BAR,
+            "query_under_delta_ratio_max": QUERY_UNDER_DELTA_BAR,
+        },
+    }
+
+
+def test_insert_throughput_meets_bar():
+    """Acceptance: >= 10k WAL-backed inserts/second into the delta store."""
+    report = _measurements()
+    assert report["inserts_per_second"] >= INSERTS_PER_SECOND_BAR, report
+
+
+def test_query_under_delta_within_3x_of_compacted():
+    """Acceptance: the delta overlay costs <= 3x the compacted index."""
+    report = _measurements()
+    assert report["query_under_delta_ratio"] <= QUERY_UNDER_DELTA_BAR, report
+
+
+def test_report_updates():
+    """Emit the updates table and BENCH_updates.json."""
+    report = _measurements()
+    rows = [
+        ["insert throughput (WAL fsync)", f"{report['inserts_per_second']:,.0f}/s",
+         f">= {INSERTS_PER_SECOND_BAR:,.0f}/s"],
+        ["workload under delta", f"{report['query_under_delta_seconds'] * 1e3:.1f} ms",
+         ""],
+        ["workload compacted", f"{report['query_compacted_seconds'] * 1e3:.1f} ms",
+         ""],
+        ["under-delta / compacted", f"{report['query_under_delta_ratio']:.2f}x",
+         f"<= {QUERY_UNDER_DELTA_BAR:.0f}x"],
+        ["compaction rebuild", f"{report['compaction_seconds']:.2f} s", ""],
+    ]
+    table = format_table(
+        ["metric", "measured", "bar"], rows,
+        title=f"Dynamic updates — {report['delta_inserts']} inserts over a "
+              f"{report['base_triples']}-triple base (LUBM), "
+              f"{report['workload_patterns']}-pattern workload + joins")
+    common.write_result("updates", table)
+    common.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (common.RESULTS_DIR / "BENCH_updates.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8")

@@ -24,8 +24,12 @@ The package is organised in layers:
   paper-style table rendering used by the ``benchmarks/`` suite.
 * :mod:`repro.storage` — persistence: a versioned, checksummed binary
   container format with save/load for every codec, trie, index family and
-  dictionary, behind the ``repro`` command-line interface
-  (:mod:`repro.cli`).
+  dictionary, plus the write-ahead log behind dynamic updates, behind the
+  ``repro`` command-line interface (:mod:`repro.cli`).
+* :mod:`repro.dynamic` — dynamic updates over the static indexes: a
+  WAL-backed delta store (inserts + tombstones), the
+  :class:`~repro.dynamic.DynamicIndex` merged overlay both query engines
+  execute against, and online compaction back into a fresh index.
 
 Quickstart
 ----------
@@ -38,6 +42,7 @@ Quickstart
 """
 
 from repro.core.builder import IndexBuilder, build_index
+from repro.dynamic import DeltaState, DynamicIndex
 from repro.storage import load_index, save_index
 from repro.core.index_2t import TwoTrieIndex
 from repro.core.index_3t import PermutedTrieIndex
@@ -58,6 +63,8 @@ __all__ = [
     "TripleStore",
     "Dictionary",
     "RdfDictionary",
+    "DeltaState",
+    "DynamicIndex",
     "save_index",
     "load_index",
 ]

@@ -1,18 +1,24 @@
-"""Command-line interface: build, query and inspect saved indexes.
+"""Command-line interface: build, update, query and inspect saved indexes.
 
 The CLI makes the system operable end-to-end without writing Python::
 
-    repro build data.nt -o data.ridx --layout 2tp
+    repro build data.nt.gz -o data.ridx --layout 2tp
     repro info data.ridx
     repro query data.ridx --pattern '<http://example.org/alice> ? ?'
     repro query data.ridx --sparql 'SELECT ?o WHERE { 0 1 ?o }'
+    repro update data.ridx more.nt
+    repro compact data.ridx
 
-``build`` ingests an N-Triples file (or, with ``--ids``, whitespace-separated
-integer triples), builds one of the paper's four layouts and persists it —
-together with the string dictionaries when the input was N-Triples — into a
-single checksummed container file.  ``query`` loads such a file in a fresh
-process and answers triple selection patterns or SPARQL BGPs; ``info`` prints
-the file's metadata, per-section sizes and space statistics.
+``build`` ingests an N-Triples file (gzip-compressed ``.nt.gz`` works
+anywhere a plain file does; with ``--ids``, whitespace-separated integer
+triples), builds one of the paper's four layouts and persists it — together
+with the string dictionaries when the input was N-Triples — into a single
+checksummed container file.  ``query`` loads such a file in a fresh process
+and answers triple selection patterns or SPARQL BGPs; ``info`` prints the
+file's metadata, per-section sizes and space statistics.  ``update``
+inserts (or, with ``--delete``, removes) triples through the dynamic delta
+overlay and saves the file back with a ``delta`` section; ``compact`` folds
+an accumulated delta into a freshly built index.
 """
 
 from __future__ import annotations
@@ -87,7 +93,8 @@ def _resolve_pattern(text: str, dictionary) -> Optional[Tuple[Optional[int], ...
 def _format_triple(triple: Tuple[int, int, int], dictionary) -> str:
     if dictionary is None:
         return "{} {} {}".format(*triple)
-    s, p, o = dictionary.decode(triple)
+    # Lenient: IDs inserted dynamically may have no term yet.
+    s, p, o = dictionary.decode_lenient(triple)
     return f"{s} {p} {o} ."
 
 
@@ -96,8 +103,10 @@ def _format_triple(triple: Tuple[int, int, int], dictionary) -> str:
 # --------------------------------------------------------------------------- #
 
 def _read_id_triples(path: str) -> List[Tuple[int, int, int]]:
+    from repro.rdf.ntriples import open_text
+
     triples = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_text(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
@@ -149,6 +158,99 @@ def _command_build(args: argparse.Namespace) -> int:
           f"({written * 8 / len(store):.2f} bits/triple on disk)")
     print(f"timings: parse {parse_seconds:.3f}s, build {build_seconds:.3f}s, "
           f"save {save_seconds:.3f}s")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# update / compact
+# --------------------------------------------------------------------------- #
+
+def _resolve_update_triples(args: argparse.Namespace, dictionary
+                            ) -> List[Tuple[int, int, int]]:
+    """The ID triples an ``update`` run applies (terms resolved/minted)."""
+    from repro.rdf.ntriples import parse_ntriples_file
+
+    if args.ids:
+        return _read_id_triples(args.input)
+    if dictionary is None:
+        raise ParseError(
+            f"{args.index} was built without a dictionary (--ids); pass "
+            f"--ids and integer triples to update it")
+    triples: List[Tuple[int, int, int]] = []
+    for s, p, o in parse_ntriples_file(args.input):
+        if args.delete:
+            # Unknown terms cannot name an indexed triple: skip, don't mint.
+            ids = (dictionary.subjects.get(s.key()),
+                   dictionary.predicates.get(p.key()),
+                   dictionary.objects.get(o.key()))
+            if None in ids:
+                continue
+            triples.append(ids)
+        else:
+            triples.append(dictionary.encode_or_add(s.key(), p.key(), o.key()))
+    return triples
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    from repro.storage import load_index
+
+    started = time.perf_counter()
+    loaded = load_index(args.index)
+    index = loaded.queryable(writable=True,
+                             compaction_ratio=args.compact_ratio)
+    triples = _resolve_update_triples(args, loaded.dictionary)
+    result = (index.delete(triples) if args.delete
+              else index.insert(triples))
+    output = args.output or args.index
+    # An auto-compaction recomputed the cardinality histograms; saving the
+    # pre-update ones would make every later load plan on stale estimates.
+    planner_stats = (result.compaction.cardinalities
+                     if result.compaction is not None
+                     else loaded.planner_stats)
+    written = index.save(output, dictionary=loaded.dictionary,
+                         planner_stats=planner_stats)
+    seconds = time.perf_counter() - started
+    verb = "deleted" if args.delete else "inserted"
+    applied = result.deleted if args.delete else result.inserted
+    print(f"{verb} {applied} of {len(triples)} triples "
+          f"(epoch {index.epoch}, {index.num_triples} total)")
+    if result.compaction is not None:
+        print(f"compaction triggered: delta folded into a fresh "
+              f"{result.compaction.layout} index "
+              f"in {result.compaction.seconds:.3f}s")
+    compact_error = index.delta_statistics().get("auto_compact_error")
+    if compact_error:
+        # The update itself applied and is saved below; the operator asked
+        # for threshold compaction, so its failure must not be silent.
+        print(f"warning: requested auto-compaction failed "
+              f"({compact_error}); the delta was saved uncompacted — "
+              f"fix the cause and run 'repro compact'", file=sys.stderr)
+    delta = index.delta
+    print(f"delta: {delta.num_inserted} inserted, "
+          f"{delta.num_deleted} tombstones")
+    print(f"wrote {output}: {written} bytes in {seconds:.3f}s")
+    return 0
+
+
+def _command_compact(args: argparse.Namespace) -> int:
+    from repro.storage import load_index
+
+    started = time.perf_counter()
+    loaded = load_index(args.index)
+    index = loaded.queryable()
+    if not hasattr(index, "compact") or not index.delta:
+        print(f"{args.index}: no delta to compact")
+        return 0
+    result = index.compact()
+    output = args.output or args.index
+    written = index.save(output, dictionary=loaded.dictionary,
+                         planner_stats=result.cardinalities)
+    seconds = time.perf_counter() - started
+    print(f"compacted {result.absorbed_inserts} inserts and "
+          f"{result.absorbed_deletes} tombstones into a fresh "
+          f"{result.layout} index ({result.num_triples} triples)")
+    print(f"wrote {output}: {written} bytes "
+          f"(rebuild {result.seconds:.3f}s, total {seconds:.3f}s)")
     return 0
 
 
@@ -219,13 +321,15 @@ def _command_query(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     loaded = load_index(args.index)
+    # A file carrying a delta section must answer through the merged view.
+    index = loaded.queryable()
     if args.pattern is not None:
-        return _run_pattern_query(loaded.index, loaded.dictionary, args)
+        return _run_pattern_query(index, loaded.dictionary, args)
     if args.sparql is not None:
-        return _run_sparql_query(loaded.index, loaded.dictionary, args.sparql,
+        return _run_sparql_query(index, loaded.dictionary, args.sparql,
                                  args, cardinalities=loaded.planner_stats)
     with open(args.sparql_file, "r", encoding="utf-8") as handle:
-        return _run_sparql_query(loaded.index, loaded.dictionary, handle.read(),
+        return _run_sparql_query(index, loaded.dictionary, handle.read(),
                                  args, cardinalities=loaded.planner_stats)
 
 
@@ -248,6 +352,12 @@ def _command_info(args: argparse.Namespace) -> int:
     print(f"layout: {meta.get('layout', '?')}")
     num_triples = meta.get("num_triples", 0)
     print(f"triples: {num_triples}")
+    if meta.get("has_delta"):
+        inserted = meta.get("delta_inserted", 0)
+        deleted = meta.get("delta_deleted", 0)
+        print(f"delta: {inserted} inserted, {deleted} tombstones "
+              f"({num_triples + inserted - deleted} merged triples; "
+              f"run 'repro compact' to fold in)")
     print(f"dictionary bundled: {'yes' if meta.get('has_dictionary') else 'no'}")
     total = info["total_bytes"]
     print(f"file size: {total} bytes")
@@ -276,6 +386,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     service = QueryService.from_file(
         args.index,
+        writable=args.writable,
+        wal_path=args.wal,
+        compaction_ratio=args.compact_ratio,
         plan_cache_size=args.plan_cache,
         result_cache_size=args.result_cache,
         default_timeout=args.timeout,
@@ -288,8 +401,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"loaded {args.index} in {load_seconds:.3f}s "
           f"({service.index.num_triples} triples, layout "
           f"{getattr(service.index, 'name', '?')})")
+    writable = service.statistics()["index"]["writable"]
+    endpoints = "POST /query, GET /stats, GET /healthz"
+    if writable:
+        endpoints = "POST /query, POST /update, POST /compact, " \
+                    "GET /stats, GET /healthz"
+        durability = (f"WAL {args.wal}" if args.wal
+                      else "in-memory only (no --wal)")
+        print(f"writable: updates accepted, {durability}")
     print(f"serving on http://{host}:{port}  "
-          f"(POST /query, GET /stats, GET /healthz; Ctrl-C to stop)",
+          f"({endpoints}; Ctrl-C to stop)",
           flush=True)
     try:
         server.serve_forever()
@@ -327,6 +448,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip bundling the planner's cardinality "
                             "histograms into the output file")
     build.set_defaults(handler=_command_build)
+
+    update = subparsers.add_parser(
+        "update", help="insert or delete triples through the dynamic delta")
+    update.add_argument("index", help="index file written by 'repro build'")
+    update.add_argument("input",
+                        help="triples to apply (N-Triples, .nt.gz, or "
+                             "integer IDs with --ids)")
+    update.add_argument("-o", "--output", default=None,
+                        help="write the updated index here instead of "
+                             "in-place")
+    update.add_argument("--delete", action="store_true",
+                        help="delete the listed triples instead of "
+                             "inserting them")
+    update.add_argument("--ids", action="store_true",
+                        help="input lines are 's p o' integer IDs")
+    update.add_argument("--compact-ratio", type=float, default=None,
+                        metavar="RATIO",
+                        help="compact before saving when the delta exceeds "
+                             "RATIO * base triples (default/0: never)")
+    update.set_defaults(handler=_command_update)
+
+    compact = subparsers.add_parser(
+        "compact", help="fold an accumulated delta into a fresh index")
+    compact.add_argument("index", help="index file with a delta section")
+    compact.add_argument("-o", "--output", default=None,
+                         help="write the compacted index here instead of "
+                              "in-place")
+    compact.set_defaults(handler=_command_compact)
 
     query = subparsers.add_parser(
         "query", help="run a triple pattern or SPARQL BGP against a saved index")
@@ -387,6 +536,21 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("nested", "wcoj", "auto"),
                        help="default BGP executor for requests that do not "
                             "choose one (default: auto)")
+    serve.add_argument("--writable", action="store_true",
+                       help="accept POST /update and POST /compact "
+                            "(implied by --wal; a delta-carrying index "
+                            "file is served with its merged view but "
+                            "stays read-only without this flag)")
+    serve.add_argument("--wal", default=None, metavar="PATH",
+                       help="write-ahead log path: acknowledged updates "
+                            "survive a crash and are replayed on restart "
+                            "(implies --writable)")
+    serve.add_argument("--compact-ratio", type=float, default=0.25,
+                       metavar="RATIO",
+                       help="auto-compact when the delta exceeds RATIO * "
+                            "base triples; bounds the delta's per-batch "
+                            "copy-on-write cost (default: 0.25; 0 disables, "
+                            "leaving only explicit POST /compact)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     serve.set_defaults(handler=_command_serve)

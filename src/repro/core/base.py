@@ -94,11 +94,19 @@ class TripleIndex(ABC):
         Called on a concrete class (``TwoTrieIndex.load(path)``) it verifies
         the stored layout matches; called on :class:`TripleIndex` it accepts
         any layout.  Use :func:`repro.storage.load_index` to also recover the
-        bundled dictionary.
+        bundled dictionary.  A file carrying a dynamic-update delta is
+        refused — returning the bare base would silently resurrect deleted
+        triples and drop inserted ones; such files go through
+        ``load_index(path).queryable()`` (or ``repro compact``) instead.
         """
         from repro.errors import StorageError
         from repro.storage import load_index
         loaded = load_index(path, load_dictionary=False)
+        if loaded.delta is not None:
+            raise StorageError(
+                f"{path}: carries an uncompacted update delta; load it with "
+                f"repro.storage.load_index(path).queryable() or fold it in "
+                f"with 'repro compact' first")
         if not isinstance(loaded.index, cls):
             raise StorageError(f"{path}: holds a {type(loaded.index).__name__}, "
                                f"expected {cls.__name__}")

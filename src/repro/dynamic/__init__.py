@@ -1,0 +1,37 @@
+"""Dynamic updates over the paper's static indexes.
+
+The compressed tries are immutable by construction; this package adds the
+differential-index design classic RDF stores use to accept writes anyway
+(RDF-3X-style deltas merged at query time, HDT-style periodic
+re-materialisation):
+
+* :class:`~repro.dynamic.delta.DeltaState` — immutable snapshot of the
+  inserted triples and delete tombstones, held as sorted permutation maps;
+* :class:`~repro.dynamic.index.DynamicIndex` — the updatable facade: a
+  merged base+delta view behind the standard
+  :class:`~repro.core.base.TripleIndex` interface (including the seekable
+  cursors the worst-case-optimal join engine rides on), writes made
+  durable by :class:`~repro.storage.wal.WriteAheadLog`, and an online
+  compaction that folds the delta into a freshly built index;
+* :class:`~repro.dynamic.index.SnapshotIndex` — one pinned epoch of that
+  view, what a query actually executes against.
+"""
+
+from repro.dynamic.delta import DeltaState, normalize_triple
+from repro.dynamic.index import (
+    CompactionResult,
+    DynamicIndex,
+    MergedCursor,
+    SnapshotIndex,
+    UpdateResult,
+)
+
+__all__ = [
+    "CompactionResult",
+    "DeltaState",
+    "DynamicIndex",
+    "MergedCursor",
+    "SnapshotIndex",
+    "UpdateResult",
+    "normalize_triple",
+]

@@ -1,0 +1,313 @@
+"""The in-memory delta: inserted triples and delete tombstones.
+
+The paper's indexes are strictly static, so the dynamic subsystem keeps
+updates in an LSM-flavoured side structure: a :class:`DeltaState` holds the
+triples inserted since the last compaction and the tombstones of base
+triples deleted since then, as sorted in-memory permutation maps (SPO, POS
+and OSP orders — the same three orders the compressed tries materialise),
+so that any of the eight selection-pattern shapes can be answered with a
+binary-searched prefix range rather than a scan.
+
+States are *immutable*: a mutation builds a new state and the owner
+(:class:`repro.dynamic.DynamicIndex`) swaps one reference.  Readers
+therefore get snapshot isolation for free — a query that grabbed a state
+keeps seeing exactly that delta for its whole execution, no locks on the
+read path.  The price is a copy-on-write: each mutation batch pays
+``O(len(delta))`` to rebuild the sets, so sustained ingest over an
+*unbounded* delta degrades quadratically — the compaction threshold
+(``repro serve`` defaults to 0.25 x base) is what keeps the delta, and
+with it the per-batch cost, bounded.
+
+Two invariants keep the bookkeeping exact:
+
+* ``inserted`` never contains a triple present in the base index (checked
+  at insert time), so the merged triple count is simply
+  ``base + len(inserted) - len(deleted)`` and the overlay needs no
+  deduplication;
+* ``deleted`` only ever contains base triples (deleting a delta insert
+  just removes it), so every tombstone suppresses exactly one base triple.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.patterns import TriplePattern
+from repro.errors import UpdateError
+
+Triple = Tuple[int, int, int]
+
+#: The permutation orders kept as sorted views: canonical SPO plus the two
+#: rotations, which together give every pattern shape a bound *prefix*.
+_ORDERS: Tuple[Tuple[int, int, int], ...] = ((0, 1, 2), (1, 2, 0), (2, 0, 1))
+
+#: Largest representable component: the WAL records and the container's
+#: delta section store signed 64-bit values, so anything bigger must be
+#: rejected up front — not fail deep inside struct/numpy after the insert
+#: was acknowledged.
+MAX_COMPONENT = (1 << 63) - 1
+
+
+def normalize_triple(triple) -> Triple:
+    """Validate one ``(s, p, o)`` of non-negative int64s (bools rejected)."""
+    try:
+        s, p, o = triple
+    except (TypeError, ValueError):
+        raise UpdateError(
+            f"a triple needs exactly 3 components, got {triple!r}") from None
+    components = []
+    for value in (s, p, o):
+        if isinstance(value, bool):
+            raise UpdateError(
+                f"triple components must be integers, got {triple!r}")
+        if not isinstance(value, int):
+            try:
+                if value != int(value):  # reject silently-truncating floats
+                    raise TypeError
+                value = int(value)
+            except (TypeError, ValueError, OverflowError):  # inf/nan included
+                raise UpdateError(
+                    f"triple components must be integers, got {triple!r}"
+                ) from None
+        if value < 0:
+            raise UpdateError(
+                f"triple components must be non-negative, got {triple!r}")
+        if value > MAX_COMPONENT:
+            raise UpdateError(
+                f"triple components must fit in a signed 64-bit integer "
+                f"(<= {MAX_COMPONENT}), got {triple!r}")
+        components.append(int(value))
+    return tuple(components)
+
+
+class DeltaState:
+    """One immutable snapshot of the delta (see the module docstring).
+
+    The sorted permutation views are materialised lazily, once per state —
+    a state that only ever serves point membership checks never pays for
+    them.  The benign last-writer-wins race on the view cache is safe: both
+    writers compute identical lists.
+    """
+
+    __slots__ = ("inserted", "deleted", "_views")
+
+    def __init__(self, inserted: FrozenSet[Triple] = frozenset(),
+                 deleted: FrozenSet[Triple] = frozenset()):
+        self.inserted = inserted
+        self.deleted = deleted
+        self._views: dict = {}
+
+    @classmethod
+    def empty(cls) -> "DeltaState":
+        return _EMPTY
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_inserted(self) -> int:
+        return len(self.inserted)
+
+    @property
+    def num_deleted(self) -> int:
+        return len(self.deleted)
+
+    def __len__(self) -> int:
+        """Total delta entries (inserts plus tombstones)."""
+        return len(self.inserted) + len(self.deleted)
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted) or bool(self.deleted)
+
+    def size_in_bits(self) -> int:
+        """Nominal space of the delta (3 x 64-bit words per entry)."""
+        return len(self) * 3 * 64
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DeltaState(inserted={len(self.inserted)}, "
+                f"deleted={len(self.deleted)})")
+
+    # ------------------------------------------------------------------ #
+    # Mutation (returns a new state; ``self`` is never modified).
+    # ------------------------------------------------------------------ #
+
+    def apply(self, base, inserts: Iterable = (), deletes: Iterable = (),
+              validate: bool = True) -> Tuple["DeltaState", int, int]:
+        """Apply set-semantics updates against ``base``.
+
+        Returns ``(new_state, num_inserted, num_deleted)`` where the counts
+        are the updates that actually changed the merged triple set
+        (inserting a present triple and deleting an absent one are no-ops).
+        ``base`` is the immutable index underneath, consulted for membership
+        so the invariants in the module docstring hold.  ``validate=False``
+        skips per-triple normalisation for callers that already validated
+        (the write hot path and WAL replay, whose triples are int64 by
+        construction).
+        """
+        inserted = set(self.inserted)
+        deleted = set(self.deleted)
+        applied_inserts = 0
+        applied_deletes = 0
+        for triple in inserts:
+            if validate:
+                triple = normalize_triple(triple)
+            if triple in deleted:
+                # Un-delete: the triple is a base triple, drop its tombstone.
+                deleted.discard(triple)
+                applied_inserts += 1
+            elif triple in inserted or base.contains(triple):
+                continue
+            else:
+                inserted.add(triple)
+                applied_inserts += 1
+        for triple in deletes:
+            if validate:
+                triple = normalize_triple(triple)
+            if triple in inserted:
+                inserted.discard(triple)
+                applied_deletes += 1
+            elif triple in deleted:
+                continue
+            elif base.contains(triple):
+                deleted.add(triple)
+                applied_deletes += 1
+        if not applied_inserts and not applied_deletes:
+            return self, 0, 0
+        return (DeltaState(frozenset(inserted), frozenset(deleted)),
+                applied_inserts, applied_deletes)
+
+    # ------------------------------------------------------------------ #
+    # Pattern lookup over the inserted triples.
+    # ------------------------------------------------------------------ #
+
+    def _view(self, order: Tuple[int, int, int],
+              deleted: bool = False) -> List[Tuple[int, int, int]]:
+        key = (order, deleted)
+        view = self._views.get(key)
+        if view is None:
+            triples = self.deleted if deleted else self.inserted
+            view = sorted((t[order[0]], t[order[1]], t[order[2]])
+                          for t in triples)
+            self._views[key] = view
+        return view
+
+    def matching(self, pattern) -> Iterator[Triple]:
+        """Inserted triples matching ``pattern``, as canonical ``(s, p, o)``.
+
+        The permutation whose order puts the most bound components first is
+        chosen, the bound prefix is located with two binary searches, and
+        only the (delta-small) range is walked.
+        """
+        return self._matching(pattern, deleted=False)
+
+    def deleted_matching(self, pattern) -> Iterator[Triple]:
+        """Tombstones matching ``pattern`` (same lookup as :meth:`matching`)."""
+        return self._matching(pattern, deleted=True)
+
+    def has_deleted_matching(self, bound: Mapping[int, int]) -> bool:
+        """Whether any tombstone is consistent with the ``bound`` components.
+
+        The join engine's exactness question: if nothing matching the bound
+        prefix was deleted, a base-exact successor cursor under that prefix
+        is still exact in the merged view.
+        """
+        if not self.deleted:
+            return False
+        components: List[Optional[int]] = [None, None, None]
+        for role, value in bound.items():
+            components[role] = value
+        return any(self._matching(tuple(components), deleted=True))
+
+    def _matching(self, pattern, deleted: bool) -> Iterator[Triple]:
+        if not (self.deleted if deleted else self.inserted):
+            return
+        pattern = TriplePattern.from_tuple(pattern)
+        components = pattern.as_tuple()
+        bound = {role: value for role, value in enumerate(components)
+                 if value is not None}
+
+        def prefix_length(order: Tuple[int, int, int]) -> int:
+            length = 0
+            for role in order:
+                if role not in bound:
+                    break
+                length += 1
+            return length
+
+        order = max(_ORDERS, key=prefix_length)
+        prefix = [bound[role] for role in order[:prefix_length(order)]]
+        view = self._view(order, deleted=deleted)
+        if prefix:
+            low = bisect_left(view, tuple(prefix))
+            high = bisect_left(view, tuple(prefix[:-1]) + (prefix[-1] + 1,))
+        else:
+            low, high = 0, len(view)
+        inverse = [0, 0, 0]
+        for position, role in enumerate(order):
+            inverse[role] = position
+        remaining = [(role, value) for role, value in bound.items()
+                     if inverse[role] >= len(prefix)]
+        for permuted in view[low:high]:
+            if all(permuted[inverse[role]] == value
+                   for role, value in remaining):
+                yield (permuted[inverse[0]], permuted[inverse[1]],
+                       permuted[inverse[2]])
+
+    def candidates(self, bound: Mapping[int, int], role: int) -> List[int]:
+        """Sorted distinct ``role`` values of inserts matching ``bound``.
+
+        This is the delta side of the merged seek-cursor protocol: the join
+        engine asks for the successor stream of one component given the
+        components fixed by outer join levels.
+        """
+        if not self.inserted:
+            return []
+        components: List[Optional[int]] = [None, None, None]
+        for fixed_role, value in bound.items():
+            components[fixed_role] = value
+        components[role] = None
+        values = {triple[role] for triple in self.matching(tuple(components))}
+        return sorted(values)
+
+    # ------------------------------------------------------------------ #
+    # Persistence support (the container's ``delta`` section).
+    # ------------------------------------------------------------------ #
+
+    def to_columns(self) -> dict:
+        """Six sorted 1-D numpy columns, the ``delta`` section payload."""
+        import numpy as np
+
+        def columns(triples: Sequence[Triple]):
+            ordered = sorted(triples)
+            return tuple(
+                np.fromiter((t[role] for t in ordered), dtype=np.int64,
+                            count=len(ordered))
+                for role in range(3))
+        ins_s, ins_p, ins_o = columns(self.inserted)
+        del_s, del_p, del_o = columns(self.deleted)
+        return {"inserted_s": ins_s, "inserted_p": ins_p, "inserted_o": ins_o,
+                "deleted_s": del_s, "deleted_p": del_p, "deleted_o": del_o}
+
+    @classmethod
+    def from_columns(cls, state: dict) -> "DeltaState":
+        """Rebuild a state written by :meth:`to_columns`."""
+        def triples(prefix: str) -> FrozenSet[Triple]:
+            s, p, o = (state[prefix + "_s"], state[prefix + "_p"],
+                       state[prefix + "_o"])
+            return frozenset(zip((int(v) for v in s), (int(v) for v in p),
+                                 (int(v) for v in o)))
+        return cls(inserted=triples("inserted"), deleted=triples("deleted"))
+
+
+_EMPTY = DeltaState()

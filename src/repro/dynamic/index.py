@@ -1,0 +1,515 @@
+"""The dynamic overlay: an updatable facade over one immutable index.
+
+:class:`DynamicIndex` pairs an immutable compressed base index with a
+:class:`~repro.dynamic.delta.DeltaState` and answers the full
+:class:`~repro.core.base.TripleIndex` interface over the *merged* view:
+
+* ``select`` streams the base matches with tombstoned triples filtered out,
+  then the delta's inserted matches — no deduplication needed because the
+  delta never holds a base triple;
+* ``seek_cursor`` (the worst-case-optimal join substrate) returns the
+  merge-sorted union of the base cursor and the delta's candidate list.
+  Exactness is preserved conservatively: any outstanding tombstone demotes
+  the cursor to *inexact*, which makes the leapfrog engine fall back to
+  materialising through the (tombstone-filtered) ``select`` at a pattern's
+  last unbound variable — over-approximation can therefore never leak a
+  deleted triple into a solution.
+
+Writes go through :meth:`insert` / :meth:`delete`: the batch is appended to
+the write-ahead log first (:mod:`repro.storage.wal`), then a new immutable
+snapshot is swapped in atomically, bumping the *epoch* that the serving
+layer keys its caches on.  Readers are never blocked — a running query
+keeps the snapshot it started with.
+
+:meth:`compact` folds base + delta into a freshly built compressed index
+(same layout), swaps it in, clears the delta and resets the WAL.  Queries
+keep streaming from the old snapshot throughout; only writers wait.  A
+``compaction_ratio`` arms the size-ratio trigger: when the delta grows past
+``ratio * base_triples`` entries, the mutating call compacts before
+returning.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.base import PatternLike, TripleIndex
+from repro.core.builder import LAYOUTS as _REBUILDABLE
+from repro.core.patterns import TriplePattern
+from repro.core.trie import ArrayCursor
+from repro.dynamic.delta import DeltaState, Triple, normalize_triple
+from repro.errors import UpdateError
+
+
+class MergedCursor:
+    """Sorted-union of two seekable cursors, deduplicating common keys.
+
+    Implements the same protocol as the trie cursors (``key`` /
+    ``advance`` / ``seek``): keys are strictly increasing, ``key is None``
+    means exhausted, ``seek(v)`` jumps to the first key ``>= v``.
+    """
+
+    __slots__ = ("_a", "_b", "key")
+
+    def __init__(self, a, b):
+        self._a = a
+        self._b = b
+        self._sync()
+
+    def _sync(self) -> None:
+        a_key, b_key = self._a.key, self._b.key
+        if a_key is None:
+            self.key = b_key
+        elif b_key is None:
+            self.key = a_key
+        else:
+            self.key = a_key if a_key <= b_key else b_key
+
+    def advance(self) -> None:
+        current = self.key
+        if current is None:
+            return
+        if self._a.key == current:
+            self._a.advance()
+        if self._b.key == current:
+            self._b.advance()
+        self._sync()
+
+    def seek(self, value: int) -> None:
+        if self.key is None or value <= self.key:
+            return
+        if self._a.key is not None and self._a.key < value:
+            self._a.seek(value)
+        if self._b.key is not None and self._b.key < value:
+            self._b.seek(value)
+        self._sync()
+
+
+class SnapshotIndex(TripleIndex):
+    """One immutable merged view: ``(base, delta)`` pinned at an epoch.
+
+    This is what a query actually executes against — grabbing a snapshot
+    once per request gives snapshot isolation across the many ``select``
+    calls a join issues, even while writers keep landing.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, base: TripleIndex, delta: DeltaState, epoch: int):
+        self.base = base
+        self.delta = delta
+        self.epoch = epoch
+
+    # ------------------------------------------------------------------ #
+    # TripleIndex interface over the merged view.
+    # ------------------------------------------------------------------ #
+
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        pattern = TriplePattern.from_tuple(pattern)
+        deleted = self.delta.deleted
+        if deleted:
+            for triple in self.base.select(pattern):
+                if triple not in deleted:
+                    yield triple
+        else:
+            yield from self.base.select(pattern)
+        yield from self.delta.matching(pattern)
+
+    @property
+    def num_triples(self) -> int:
+        return (self.base.num_triples + self.delta.num_inserted
+                - self.delta.num_deleted)
+
+    def size_in_bits(self) -> int:
+        return self.base.size_in_bits() + self.delta.size_in_bits()
+
+    def space_breakdown(self) -> Dict[str, int]:
+        breakdown = dict(self.base.space_breakdown())
+        breakdown["delta"] = self.delta.size_in_bits()
+        return breakdown
+
+    def supported_kinds(self) -> Tuple[str, ...]:
+        return self.base.supported_kinds()
+
+    def contains(self, triple: Tuple[int, int, int]) -> bool:
+        triple = tuple(triple)
+        if triple in self.delta.inserted:
+            return True
+        if triple in self.delta.deleted:
+            return False
+        return self.base.contains(triple)
+
+    def seek_cursor(self, bound: Mapping[int, int], role: int):
+        """Merged successor cursor; see the module docstring for exactness.
+
+        Returns ``None`` (= let the join engine materialise through
+        ``select``) when the base index offers no native cursor for the
+        shape — the materialised path already sees the merged view.
+        """
+        native_factory = getattr(self.base, "seek_cursor", None)
+        if native_factory is None:
+            return None
+        native = native_factory(bound, role)
+        if native is None:
+            return None
+        cursor, exact = native
+        if self.delta.has_deleted_matching(bound):
+            # A tombstone under this bound prefix may have emptied some
+            # base candidate: the union can over-approximate, so exactness
+            # cannot be claimed.  Tombstones elsewhere in the graph leave
+            # this prefix's candidates intact — exactness (and with it the
+            # leapfrog's native acceleration) survives.
+            exact = False
+        delta_values = self.delta.candidates(bound, role)
+        if delta_values:
+            cursor = MergedCursor(cursor, ArrayCursor(delta_values))
+        return cursor, exact
+
+
+@dataclass
+class UpdateResult:
+    """What one :meth:`DynamicIndex.insert` / ``delete`` batch did."""
+
+    inserted: int
+    deleted: int
+    epoch: int
+    num_triples: int
+    #: Set when the batch tripped the size-ratio trigger.
+    compaction: Optional["CompactionResult"] = None
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "epoch": self.epoch,
+            "num_triples": self.num_triples,
+            "compacted": self.compaction is not None,
+        }
+        if self.compaction is not None:
+            payload["compaction"] = self.compaction.to_json()
+        return payload
+
+
+@dataclass
+class CompactionResult:
+    """What one compaction did (``cardinalities`` is for the planner)."""
+
+    compacted: bool
+    num_triples: int
+    absorbed_inserts: int
+    absorbed_deletes: int
+    epoch: int
+    seconds: float
+    layout: str
+    cardinalities: Optional[dict] = field(default=None, repr=False)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "compacted": self.compacted,
+            "num_triples": self.num_triples,
+            "absorbed_inserts": self.absorbed_inserts,
+            "absorbed_deletes": self.absorbed_deletes,
+            "epoch": self.epoch,
+            "seconds": self.seconds,
+            "layout": self.layout,
+        }
+
+
+class DynamicIndex(TripleIndex):
+    """An updatable triple index: immutable base + WAL-backed delta.
+
+    Read methods delegate to the current :class:`SnapshotIndex`; use
+    :meth:`snapshot` to pin one view across a multi-pattern query.  Writes
+    and compaction serialise on an internal lock; reads never take it.
+    """
+
+    def __init__(self, base: TripleIndex, delta: Optional[DeltaState] = None,
+                 wal=None, compaction_ratio: Optional[float] = None):
+        """``compaction_ratio``: auto-compact when the delta exceeds
+        ``ratio * base_triples`` entries; ``None`` or ``<= 0`` disables the
+        trigger (one convention for every entry point — CLI, service,
+        library)."""
+        if isinstance(base, (DynamicIndex, SnapshotIndex)):
+            raise UpdateError("cannot stack a DynamicIndex on a dynamic view")
+        if compaction_ratio is not None and compaction_ratio <= 0:
+            compaction_ratio = None
+        self._lock = threading.RLock()
+        self._wal = wal
+        self._compaction_ratio = compaction_ratio
+        self._view = SnapshotIndex(base, delta or DeltaState.empty(), epoch=0)
+        self._compactions = 0
+        self._total_inserted = 0
+        self._total_deleted = 0
+        #: A failed auto-compaction disarms the trigger (writes must keep
+        #: succeeding — the batch was already durable) until a successful
+        #: explicit compact re-arms it; the error is surfaced in the stats.
+        self._auto_compact_error: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(cls, base: TripleIndex, wal_path=None,
+             delta: Optional[DeltaState] = None,
+             compaction_ratio: Optional[float] = None,
+             sync: bool = True) -> "DynamicIndex":
+        """Wrap ``base``, replaying the WAL at ``wal_path`` if one exists.
+
+        Replay applies the logged batches on top of ``delta`` (a snapshot
+        restored from a container's ``delta`` section, if any) through the
+        same set-semantics path live writes use, so replaying a log twice
+        is harmless.
+        """
+        state = delta or DeltaState.empty()
+        wal = None
+        if wal_path is not None:
+            from repro.storage.wal import WriteAheadLog
+            wal = WriteAheadLog(wal_path, sync=sync)
+            for inserts, deletes in wal.replay():
+                state, _, _ = state.apply(base, inserts=inserts,
+                                          deletes=deletes, validate=False)
+            wal.release_replay()  # the history now lives in ``state``
+        return cls(base, delta=state, wal=wal,
+                   compaction_ratio=compaction_ratio)
+
+    # ------------------------------------------------------------------ #
+    # Read path (delegates to the current snapshot).
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> SnapshotIndex:
+        """The current immutable merged view (pin it for a whole query)."""
+        return self._view
+
+    @property
+    def base(self) -> TripleIndex:
+        return self._view.base
+
+    @property
+    def delta(self) -> DeltaState:
+        return self._view.delta
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic version: bumped by every effective write and compaction."""
+        return self._view.epoch
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"dynamic({getattr(self._view.base, 'name', '?')})"
+
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        return self._view.select(pattern)
+
+    @property
+    def num_triples(self) -> int:
+        return self._view.num_triples
+
+    def size_in_bits(self) -> int:
+        return self._view.size_in_bits()
+
+    def space_breakdown(self) -> Dict[str, int]:
+        return self._view.space_breakdown()
+
+    def supported_kinds(self) -> Tuple[str, ...]:
+        return self._view.supported_kinds()
+
+    def contains(self, triple: Tuple[int, int, int]) -> bool:
+        return self._view.contains(triple)
+
+    def seek_cursor(self, bound: Mapping[int, int], role: int):
+        return self._view.seek_cursor(bound, role)
+
+    # ------------------------------------------------------------------ #
+    # Write path.
+    # ------------------------------------------------------------------ #
+
+    def insert(self, triples: Sequence[Triple]) -> UpdateResult:
+        """Insert a batch of ID triples; returns what actually changed."""
+        return self.update(inserts=triples)
+
+    def delete(self, triples: Sequence[Triple]) -> UpdateResult:
+        """Delete a batch of ID triples (tombstoning base triples)."""
+        return self.update(deletes=triples)
+
+    def update(self, inserts: Sequence[Triple] = (),
+               deletes: Sequence[Triple] = ()) -> UpdateResult:
+        """Apply inserts and deletes as one atomic batch.
+
+        Everything is validated up front and applied under one lock with
+        one epoch bump: a malformed triple anywhere rejects the whole
+        request before any mutation, and readers never observe the inserts
+        without the deletes.
+        """
+        # Validate before touching the WAL so a malformed batch is rejected
+        # atomically instead of half-logged (apply() then skips re-checking).
+        inserts = [normalize_triple(t) for t in inserts]
+        deletes = [normalize_triple(t) for t in deletes]
+        with self._lock:
+            view = self._view
+            state, num_inserted, num_deleted = view.delta.apply(
+                view.base, inserts, deletes, validate=False)
+            compaction = None
+            if num_inserted or num_deleted:
+                if self._wal is not None:
+                    # Write-ahead: durable before visible, and one record
+                    # for the whole batch so a crash cannot surface the
+                    # inserts without their paired deletes.
+                    self._wal.append(inserts, deletes)
+                self._view = SnapshotIndex(view.base, state, view.epoch + 1)
+                self._total_inserted += num_inserted
+                self._total_deleted += num_deleted
+                if self._ratio_exceeded():
+                    try:
+                        compaction = self.compact()
+                    except Exception as error:
+                        # The batch is already durable and visible; failing
+                        # the write now would wedge the endpoint (every
+                        # later write would re-trip the same rebuild).
+                        # Disarm the trigger and report through the stats.
+                        self._auto_compact_error = (
+                            f"{type(error).__name__}: {error}")
+                        compaction = None
+            return UpdateResult(inserted=num_inserted, deleted=num_deleted,
+                                epoch=self._view.epoch,
+                                num_triples=self._view.num_triples,
+                                compaction=compaction)
+
+    def _ratio_exceeded(self) -> bool:
+        if self._compaction_ratio is None or self._auto_compact_error:
+            return False
+        view = self._view
+        if view.num_triples == 0:
+            return False  # nothing to rebuild from yet
+        return len(view.delta) >= self._compaction_ratio * max(
+            1, view.base.num_triples)
+
+    # ------------------------------------------------------------------ #
+    # Compaction.
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> CompactionResult:
+        """Rebuild the compressed index from base + delta and swap it in.
+
+        Readers keep streaming from the old snapshot for the duration; the
+        swap itself is one reference assignment.  No-op (``compacted`` is
+        ``False``) when the delta is empty.
+
+        The WAL is deliberately *not* truncated here: the rebuilt index
+        only exists in memory, so the log must keep the full op history
+        until a :meth:`save` persists the compacted state (replaying the
+        whole history onto the old on-disk base reproduces exactly the
+        current merged set — the ops are ordered set-semantics).  Pass
+        ``reset_wal=True`` to :meth:`save` once the container is durably
+        written.
+        """
+        from repro.core.builder import IndexBuilder
+        from repro.queries.planner import QueryPlanner
+        from repro.rdf.triples import TripleStore
+
+        with self._lock:
+            started = time.perf_counter()
+            view = self._view
+            layout = getattr(view.base, "name", None)
+            if not view.delta:
+                return CompactionResult(
+                    compacted=False, num_triples=view.num_triples,
+                    absorbed_inserts=0, absorbed_deletes=0, epoch=view.epoch,
+                    seconds=0.0, layout=layout or "?")
+            if layout not in _REBUILDABLE:
+                raise UpdateError(
+                    f"cannot compact: base layout {layout!r} is not "
+                    f"rebuildable (expected one of {_REBUILDABLE})")
+            if view.num_triples == 0:
+                raise UpdateError(
+                    "cannot compact: every triple is deleted and an index "
+                    "cannot be built from an empty store")
+            deleted = view.delta.deleted
+            triples: List[Triple] = [
+                t for t in view.base.select((None, None, None))
+                if t not in deleted]
+            triples.extend(view.delta.inserted)
+            try:
+                # Disjoint by the delta invariants: no dedup pass needed.
+                store = TripleStore.from_triples(triples, dedup=False)
+                new_base = IndexBuilder(store).build(layout)
+            except MemoryError:
+                # The trie builders allocate universe-sized arrays: one
+                # sparse, huge ID in the delta can make the rebuild
+                # unbuildable.  Surface it as a structured error (the
+                # delta keeps serving correctly in the meantime).
+                largest = max(max(t) for t in triples)
+                raise UpdateError(
+                    f"compaction cannot rebuild a {layout} index over a "
+                    f"universe of {largest + 1} IDs (largest inserted "
+                    f"component: {largest}); delete the sparse outlier "
+                    f"triples or rebuild offline with re-mapped IDs"
+                ) from None
+            cardinalities = QueryPlanner.cardinalities_from_store(store)
+            result = CompactionResult(
+                compacted=True, num_triples=new_base.num_triples,
+                absorbed_inserts=view.delta.num_inserted,
+                absorbed_deletes=view.delta.num_deleted,
+                epoch=view.epoch + 1,
+                seconds=time.perf_counter() - started,
+                layout=layout, cardinalities=cardinalities)
+            self._view = SnapshotIndex(new_base, DeltaState.empty(),
+                                       view.epoch + 1)
+            self._compactions += 1
+            self._auto_compact_error = None  # re-arm the size-ratio trigger
+            return result
+
+    # ------------------------------------------------------------------ #
+    # Persistence & statistics.
+    # ------------------------------------------------------------------ #
+
+    def save(self, path, dictionary=None, planner_stats=None,
+             reset_wal: bool = False) -> int:
+        """Persist base + delta into one container (``delta`` section).
+
+        ``reset_wal=True`` truncates the write-ahead log *after* the
+        container write succeeded — correct only when ``path`` is the file
+        a later reopen will pair with this WAL (the saved base+delta then
+        supersedes the logged history).  Saving a copy elsewhere must keep
+        the log, so the default leaves it untouched.
+        """
+        from repro.storage import save_index
+        with self._lock:
+            view = self._view
+            written = save_index(view.base, path, dictionary=dictionary,
+                                 planner_stats=planner_stats,
+                                 delta=view.delta)
+            if reset_wal and self._wal is not None:
+                self._wal.reset()
+        return written
+
+    def delta_statistics(self) -> Dict[str, object]:
+        """JSON-ready gauges for ``/stats`` and the CLI."""
+        view = self._view
+        stats: Dict[str, object] = {
+            "epoch": view.epoch,
+            "delta_inserted": view.delta.num_inserted,
+            "delta_deleted": view.delta.num_deleted,
+            "base_triples": int(view.base.num_triples),
+            "num_triples": int(view.num_triples),
+            "delta_ratio": (len(view.delta)
+                            / max(1, view.base.num_triples)),
+            "compactions": self._compactions,
+            "total_inserted": self._total_inserted,
+            "total_deleted": self._total_deleted,
+            "compaction_ratio": self._compaction_ratio,
+            "auto_compact_error": self._auto_compact_error,
+        }
+        if self._wal is not None:
+            stats["wal_path"] = str(self._wal.path)
+            stats["wal_records"] = self._wal.num_records
+            stats["wal_bytes"] = self._wal.size_bytes()
+        return stats
+
+    def close(self) -> None:
+        """Close the WAL handle (the in-memory view stays usable)."""
+        if self._wal is not None:
+            self._wal.close()

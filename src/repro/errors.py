@@ -51,6 +51,15 @@ class QueryTimeoutError(ReproError):
     """
 
 
+class UpdateError(ReproError):
+    """A dynamic update (insert / delete / compact) could not be applied.
+
+    Typical causes: a malformed triple (wrong arity, negative component),
+    an update aimed at a read-only index, or a compaction that would leave
+    nothing to index.
+    """
+
+
 class ServiceError(ReproError):
     """The query service received a request it cannot execute.
 

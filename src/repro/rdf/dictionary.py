@@ -32,11 +32,12 @@ class Dictionary:
     for its (default) ID assignment.
     """
 
-    __slots__ = ("_terms", "_ids")
+    __slots__ = ("_terms", "_ids", "_num_sorted")
 
     def __init__(self, terms: Sequence[str]):
         self._terms: List[str] = sorted(set(terms))
         self._ids: Dict[str, int] = {term: i for i, term in enumerate(self._terms)}
+        self._num_sorted = len(self._terms)
 
     @classmethod
     def from_terms(cls, terms: Iterable[str]) -> "Dictionary":
@@ -45,15 +46,47 @@ class Dictionary:
 
     @classmethod
     def _restore(cls, terms: Sequence[str]) -> "Dictionary":
-        """Rebuild from a term list already in ID (lexicographic) order.
+        """Rebuild from a term list already in ID order.
 
         Used by the persistence layer: skips the sort/dedup of ``__init__``
-        because the stored order *is* the ID assignment.
+        because the stored order *is* the ID assignment.  The order is the
+        build-time lexicographic run optionally followed by dynamically
+        :meth:`add`-ed terms, so the sorted-prefix length is re-derived for
+        :meth:`prefix_range`.
         """
         instance = cls.__new__(cls)
         instance._terms = list(terms)
         instance._ids = {term: i for i, term in enumerate(instance._terms)}
+        num_sorted = len(instance._terms)
+        for i in range(1, len(instance._terms)):
+            if instance._terms[i - 1] > instance._terms[i]:
+                num_sorted = i
+                break
+        instance._num_sorted = num_sorted
         return instance
+
+    def add(self, term: str) -> int:
+        """Return ``term``'s ID, appending it with a fresh ID if absent.
+
+        This is the dynamic-update entry point: build-time IDs are assigned
+        lexicographically, terms added later take the next free ID, so no
+        existing ID ever moves (triples already indexed stay valid).  A
+        term that happens to extend the lexicographic run keeps
+        :meth:`prefix_range` covering it; once an out-of-order term is
+        appended, the run freezes there until the next full rebuild.
+        Tracking the run incrementally keeps the answer identical to what
+        :meth:`_restore` re-derives after a save/load round trip.
+        """
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        identifier = len(self._terms)
+        if self._num_sorted == identifier and (
+                identifier == 0 or self._terms[-1] <= term):
+            self._num_sorted += 1
+        self._terms.append(term)
+        self._ids[term] = identifier
+        return identifier
 
     def save(self, path) -> int:
         """Persist this dictionary to ``path``; returns bytes written."""
@@ -97,10 +130,12 @@ class Dictionary:
         """Return the half-open ID range of terms starting with ``prefix``.
 
         Lexicographic assignment makes prefix lookups a pair of binary
-        searches; useful for namespace-scoped scans.
+        searches; useful for namespace-scoped scans.  Only the build-time
+        lexicographic run is covered: terms appended by :meth:`add` have
+        out-of-order IDs and are excluded until a rebuild re-sorts them.
         """
-        lo = bisect.bisect_left(self._terms, prefix)
-        hi = bisect.bisect_left(self._terms, prefix + "￿")
+        lo = bisect.bisect_left(self._terms, prefix, 0, self._num_sorted)
+        hi = bisect.bisect_left(self._terms, prefix + "￿", 0, self._num_sorted)
         return lo, hi
 
 
@@ -214,11 +249,46 @@ class RdfDictionary:
         """Encode a term triple into an ID triple."""
         return (self.subjects.id_of(s), self.predicates.id_of(p), self.objects.id_of(o))
 
+    def encode_or_add(self, s: str, p: str, o: str) -> Tuple[int, int, int]:
+        """Encode a term triple, minting fresh IDs for unseen terms.
+
+        The dynamic-update counterpart of :meth:`encode`: when subjects and
+        objects share one resource dictionary (the
+        :meth:`from_term_triples` layout), an entity added here keeps the
+        same ID in both roles, so joins across roles still work on
+        freshly-inserted triples.
+
+        Like :meth:`Dictionary.add`'s ``prefix_range`` caveat, the
+        immutable ``numeric_objects`` index (``R``) is *not* extended: a
+        numeric literal minted here is absent from
+        :class:`NumericIndex`-backed range queries until the next full
+        rebuild re-sorts the ID space.
+        """
+        return (self.subjects.add(s), self.predicates.add(p),
+                self.objects.add(o))
+
     def decode(self, triple: Tuple[int, int, int]) -> Tuple[str, str, str]:
         """Decode an ID triple back into terms."""
         s, p, o = triple
         return (self.subjects.term_of(s), self.predicates.term_of(p),
                 self.objects.term_of(o))
+
+    def decode_lenient(self, triple: Tuple[int, int, int]) -> Tuple[str, str, str]:
+        """Decode an ID triple, rendering term-less IDs as ``<id:N>``.
+
+        Dynamic updates may legitimately insert IDs this dictionary has no
+        term for (``repro update --ids``, ``POST /update``); display paths
+        use this so one such triple cannot crash the listing of a whole
+        result set.
+        """
+        parts = []
+        for role_dictionary, value in zip(
+                (self.subjects, self.predicates, self.objects), triple):
+            if 0 <= value < len(role_dictionary):
+                parts.append(role_dictionary.term_of(value))
+            else:
+                parts.append(f"<id:{value}>")
+        return tuple(parts)
 
     def save(self, path) -> int:
         """Persist the role dictionaries (and numeric index) to ``path``."""

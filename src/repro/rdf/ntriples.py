@@ -9,12 +9,29 @@ offending line number.
 
 from __future__ import annotations
 
+import gzip
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ParseError
+
+
+def open_text(path: Union[str, Path], mode: str = "r") -> IO[str]:
+    """Open a text file, transparently (de)compressing ``.gz`` paths.
+
+    The shared opener behind every N-Triples entry point (and the CLI's
+    ``build``/``update`` inputs): real RDF dumps ship gzip-compressed, so
+    ``data.nt.gz`` works anywhere ``data.nt`` does.  ``mode`` is ``"r"``
+    or ``"w"``.
+    """
+    if mode not in ("r", "w"):
+        raise ValueError(f"open_text supports modes 'r' and 'w', not {mode!r}")
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 _IRI = r"<(?P<{name}>[^>]*)>"
 _BNODE = r"(?P<{name}_bnode>_:[A-Za-z0-9_.\-]+)"
@@ -127,15 +144,19 @@ def parse_ntriples(lines: Iterable[str]) -> Iterator[Tuple[Term, Term, Term]]:
 
 
 def parse_ntriples_file(path: Union[str, Path]) -> Iterator[Tuple[Term, Term, Term]]:
-    """Stream-parse an N-Triples file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    """Stream-parse an N-Triples file (``.nt`` or gzip-compressed ``.nt.gz``)."""
+    with open_text(path) as handle:
         yield from parse_ntriples(handle)
 
 
 def write_ntriples(triples: Iterable[Tuple[Term, Term, Term]], path: Union[str, Path]) -> int:
-    """Write term triples to ``path`` in N-Triples syntax; returns the count."""
+    """Write term triples to ``path`` in N-Triples syntax; returns the count.
+
+    A ``.gz`` path writes gzip-compressed output through the same opener
+    the parser uses.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         for s, p, o in triples:
             handle.write(f"{s.ntriples()} {p.ntriples()} {o.ntriples()} .\n")
             count += 1

@@ -7,10 +7,13 @@ batch CLI into a server:
 
 * :class:`QueryService` (:mod:`repro.service.engine`) — the embeddable
   engine: plan cache, LRU result cache with statistics, streaming
-  execution with limit/offset/timeout, batch calls;
+  execution with limit/offset/timeout, batch calls, and — over a
+  :class:`repro.dynamic.DynamicIndex` — ``insert``/``delete``/``compact``
+  with epoch-keyed cache invalidation;
 * :func:`build_server` / :func:`serve` (:mod:`repro.service.http`) — the
-  stdlib-only threaded HTTP front-end (``POST /query``, ``GET /stats``,
-  ``GET /healthz``) behind ``repro serve``;
+  stdlib-only threaded HTTP front-end (``POST /query``, ``POST /update``,
+  ``POST /compact``, ``GET /stats``, ``GET /healthz``) behind
+  ``repro serve``;
 * :mod:`repro.service.cache` — the LRU + BGP-normalisation primitives;
 * :mod:`repro.service.jsonio` — the JSON serialisation shared with the
   CLI's ``--json`` output.

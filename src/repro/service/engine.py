@@ -17,10 +17,18 @@ BGPs and triple selection patterns from any number of threads:
   bounds runaway joins;
 * **statistics** — hit/miss/eviction counters for both caches, query and
   timeout totals, and latency percentiles over a sliding window, all
-  exported by :meth:`QueryService.statistics` (the ``/stats`` endpoint).
+  exported by :meth:`QueryService.statistics` (the ``/stats`` endpoint);
+* **updates** — when the index is a :class:`repro.dynamic.DynamicIndex`
+  (``from_file(..., writable=True)`` / ``repro serve --writable``),
+  :meth:`insert`, :meth:`delete` and :meth:`compact` mutate it.  Every
+  request executes against one pinned snapshot (epoch) of the index, and
+  result-cache keys carry that epoch, so a write can never serve stale
+  pages; cached plans are invalidated when a compaction refreshes the
+  planner's cardinality histograms.
 
-Everything is thread-safe: the index is read-only, the caches lock
-internally, and the counters share one service lock.
+Everything is thread-safe: reads run against immutable snapshots, writes
+serialise inside the dynamic index, the caches lock internally, and the
+counters share one service lock.
 """
 
 from __future__ import annotations
@@ -123,11 +131,21 @@ class QueryService:
                  max_limit: Optional[int] = None,
                  latency_window: int = 2048,
                  engine: str = "auto",
-                 meta: Optional[dict] = None):
+                 meta: Optional[dict] = None,
+                 writable: Optional[bool] = None):
         if engine not in self.ENGINES:
             raise ServiceError(
                 f"unknown engine {engine!r}; expected one of {self.ENGINES}")
         self._index = index
+        #: Whether this service accepts insert/delete/compact.  ``None``
+        #: (the default) means "iff the index is dynamic" — right for a
+        #: caller who constructed a DynamicIndex deliberately.  from_file
+        #: passes an explicit value so a delta-carrying file served without
+        #: ``writable=True`` stays read-only: the dynamic wrapper is then
+        #: only there so reads see the merged view.
+        if writable is None:
+            writable = hasattr(index, "delta_statistics")
+        self._writable = bool(writable)
         self._dictionary = dictionary
         self._planner = QueryPlanner(cardinalities=cardinalities)
         self._default_engine = engine
@@ -144,6 +162,16 @@ class QueryService:
         self._timeouts = 0
         self._errors = 0
         self._engine_counts: Dict[str, int] = {"nested": 0, "wcoj": 0}
+        self._updates_applied = 0
+        #: Set by :meth:`from_file`; a compaction persists the rebuilt
+        #: index here (None = in-memory only, the WAL keeps the history).
+        self._source_path = None
+        #: Last compaction-persist failure (None = the last persist, if
+        #: any, succeeded); surfaced under ``updates.persist_error``.
+        self._persist_error: Optional[str] = None
+        #: Bumped when the planner's cardinalities change (compaction):
+        #: carried in every plan-cache key, so stale plans die with it.
+        self._plan_epoch = 0
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -151,17 +179,35 @@ class QueryService:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_file(cls, path, **options) -> "QueryService":
+    def from_file(cls, path, writable: bool = False, wal_path=None,
+                  compaction_ratio: Optional[float] = None,
+                  **options) -> "QueryService":
         """Load a saved index file once and serve it indefinitely.
 
         Planner statistics bundled in the file (``repro build`` writes them
-        by default) become the service's selectivity estimates.
+        by default) become the service's selectivity estimates.  With
+        ``writable=True`` (implied by ``wal_path``) the index is wrapped in
+        a :class:`repro.dynamic.DynamicIndex` so :meth:`insert`,
+        :meth:`delete` and :meth:`compact` work; ``wal_path`` makes the
+        accepted writes durable (replayed if the file already exists), and
+        ``compaction_ratio`` arms the automatic size-ratio compaction
+        trigger.  A file carrying a ``delta`` section is always served
+        through the merged dynamic view so reads are correct, but it stays
+        *read-only* unless writability was explicitly requested.
         """
         from repro.storage import load_index
         loaded = load_index(path)
-        return cls(loaded.index, dictionary=loaded.dictionary,
-                   cardinalities=loaded.planner_stats, meta=loaded.meta,
-                   **options)
+        index = loaded.queryable(wal_path=wal_path,
+                                 compaction_ratio=compaction_ratio,
+                                 writable=writable)
+        service = cls(index, dictionary=loaded.dictionary,
+                      cardinalities=loaded.planner_stats, meta=loaded.meta,
+                      writable=writable or wal_path is not None,
+                      **options)
+        # Remembering the source file lets a compaction persist the rebuilt
+        # index back (and only then truncate the WAL).
+        service._source_path = path
+        return service
 
     # ------------------------------------------------------------------ #
     # Introspection.
@@ -169,6 +215,21 @@ class QueryService:
 
     @property
     def index(self) -> TripleIndex:
+        return self._index
+
+    def _snapshot(self) -> TripleIndex:
+        """The view one request executes against (pinned for its duration)."""
+        factory = getattr(self._index, "snapshot", None)
+        return factory() if factory is not None else self._index
+
+    def _dynamic_index(self):
+        """The mutable index behind :meth:`insert`/:meth:`delete`/:meth:`compact`."""
+        from repro.dynamic import DynamicIndex
+        if not self._writable or not isinstance(self._index, DynamicIndex):
+            raise ServiceError(
+                "this service is read-only: open the index with "
+                "writable=True (CLI: repro serve --writable) to accept "
+                "updates")
         return self._index
 
     @property
@@ -254,6 +315,12 @@ class QueryService:
             timeout = self._default_timeout if timeout is None else timeout
             engine = self._resolve_engine(query, engine)
 
+            # Pin one snapshot (and its epoch) for the whole request: the
+            # join sees a consistent view even while writes land, and the
+            # epoch in the cache key retires every page a write outdates.
+            index = self._snapshot()
+            epoch = getattr(index, "epoch", 0)
+
             key, mapping = normalize_bgp(query.bgp)
             projection = tuple(query.projection or query.variables())
             # Projection-only variables (absent from the BGP) are prefixed so
@@ -262,7 +329,8 @@ class QueryService:
                                           for v in projection)
             reverse = {canonical: original
                        for original, canonical in mapping.items()}
-            result_key = (key, normalized_projection, limit, offset, engine)
+            result_key = (key, normalized_projection, limit, offset, engine,
+                          epoch)
 
             if use_cache:
                 entry = self._result_cache.get(result_key)
@@ -289,22 +357,24 @@ class QueryService:
                 # BGP (stored under canonical variable names, translated to
                 # this request's spelling) — the wcoj counterpart of the
                 # nested path's template-order plan cache.
-                cached_order = self._plan_cache.get(("wcoj", key))
+                plan_key = ("wcoj", key, self._plan_epoch)
+                cached_order = self._plan_cache.get(plan_key)
                 if cached_order is None:
                     order = plan_variable_order(query.bgp, self._planner)
                     self._plan_cache.put(
-                        ("wcoj", key), tuple(mapping[v] for v in order))
+                        plan_key, tuple(mapping[v] for v in order))
                 else:
                     order = tuple(reverse[v] for v in cached_order)
                 bindings = list(stream_bgp_wcoj(
-                    self._index, query, planner=self._planner,
+                    index, query, planner=self._planner,
                     limit=fetch, offset=offset, timeout=timeout,
                     statistics=statistics, variable_order=order))
             else:
-                order, cartesian_joins = self._plan_for(query, key)
+                order, cartesian_joins = self._plan_for(
+                    query, (key, self._plan_epoch))
                 statistics.cartesian_joins = cartesian_joins
                 bindings = list(stream_bgp(
-                    self._index, query, planner=self._planner,
+                    index, query, planner=self._planner,
                     plan=[query.bgp.templates[i] for i in order],
                     limit=fetch, offset=offset, timeout=timeout,
                     statistics=statistics))
@@ -367,7 +437,9 @@ class QueryService:
             raise ServiceError(f"offset must be >= 0, got {offset}")
         started = time.monotonic()
         limit = self._effective_limit(limit)
-        key = ("pattern", tuple(pattern), limit, offset)
+        index = self._snapshot()
+        key = ("pattern", tuple(pattern), limit, offset,
+               getattr(index, "epoch", 0))
         if use_cache:
             entry = self._result_cache.get(key)
             if entry is not None:
@@ -380,7 +452,7 @@ class QueryService:
         triples: List[Tuple[int, int, int]] = []
         has_more: Optional[bool] = None
         fetch = None if limit is None else offset + limit + 1
-        for position, triple in enumerate(self._index.select(tuple(pattern))):
+        for position, triple in enumerate(index.select(tuple(pattern))):
             if position < offset:
                 continue
             triples.append(triple)
@@ -398,6 +470,79 @@ class QueryService:
                              offset=offset, has_more=has_more)
 
     # ------------------------------------------------------------------ #
+    # Updates (dynamic indexes only).
+    # ------------------------------------------------------------------ #
+
+    def update(self, inserts: Sequence[Tuple[int, int, int]] = (),
+               deletes: Sequence[Tuple[int, int, int]] = ()):
+        """Apply inserts and deletes as one atomic batch.
+
+        Requires a writable (dynamic) index.  The whole request is
+        validated before anything mutates (a malformed triple anywhere
+        rejects it all), applied under one lock with one epoch bump, and
+        made durable per the index's WAL configuration; cache invalidation
+        is automatic through the epoch carried in every result-cache key.
+        If the batch trips the compaction threshold, the returned result
+        carries the compaction report.
+        """
+        result = self._dynamic_index().update(inserts=inserts,
+                                              deletes=deletes)
+        self._record_update(result)
+        return result
+
+    def insert(self, triples: Sequence[Tuple[int, int, int]]):
+        """Insert a batch of ID triples; returns the applied counts."""
+        return self.update(inserts=triples)
+
+    def delete(self, triples: Sequence[Tuple[int, int, int]]):
+        """Delete a batch of ID triples (tombstoning base triples)."""
+        return self.update(deletes=triples)
+
+    def compact(self):
+        """Fold the delta into a freshly built index and swap it in.
+
+        Queries keep streaming from the pre-compaction snapshot while the
+        rebuild runs; afterwards the planner adopts the rebuilt index's
+        cardinality histograms and cached plans are retired.  A service
+        opened with :meth:`from_file` also persists the compacted container
+        back to its source file — only then is the WAL truncated, so a
+        crash at any point between leaves a replayable history.
+        """
+        result = self._dynamic_index().compact()
+        if result.compacted:
+            self._adopt_compaction(result)
+        return result
+
+    def _record_update(self, result) -> None:
+        with self._lock:
+            self._updates_applied += result.inserted + result.deleted
+        if result.compaction is not None and result.compaction.compacted:
+            self._adopt_compaction(result.compaction)
+
+    def _adopt_compaction(self, compaction) -> None:
+        if self._source_path is not None:
+            # Durability hand-over: once the rebuilt index (with its empty
+            # delta) is in the container, the logged history is redundant.
+            # A failed persist must not fail the (already durable, already
+            # visible) request that triggered it: the WAL still holds the
+            # full history, so nothing is lost — record the error for
+            # ``/stats`` and move on.
+            try:
+                self._index.save(self._source_path,
+                                 dictionary=self._dictionary,
+                                 planner_stats=compaction.cardinalities,
+                                 reset_wal=True)
+                self._persist_error = None
+            except Exception as error:
+                self._persist_error = f"{type(error).__name__}: {error}"
+        if compaction.cardinalities is not None:
+            self._planner = QueryPlanner(
+                cardinalities=compaction.cardinalities)
+        with self._lock:
+            # Retire every cached plan: the old histograms are gone.
+            self._plan_epoch += 1
+
+    # ------------------------------------------------------------------ #
     # Statistics.
     # ------------------------------------------------------------------ #
 
@@ -411,8 +556,9 @@ class QueryService:
             timeouts = self._timeouts
             errors = self._errors
             engine_counts = dict(self._engine_counts)
+            updates_applied = self._updates_applied
         index = self._index
-        return {
+        report = {
             "uptime_seconds": time.monotonic() - self._started,
             "index": {
                 "layout": getattr(index, "name", type(index).__name__),
@@ -443,3 +589,14 @@ class QueryService:
                 "max": (latencies[-1] * 1e3) if latencies else 0.0,
             },
         }
+        report["index"]["epoch"] = int(getattr(index, "epoch", 0))
+        delta_statistics = getattr(index, "delta_statistics", None)
+        report["index"]["writable"] = (self._writable
+                                       and delta_statistics is not None)
+        # ``compactions`` comes from the index (the single source of truth:
+        # it also counts compactions applied outside this service).
+        report["updates"] = {"applied": updates_applied, "compactions": 0}
+        if delta_statistics is not None:
+            report["updates"].update(delta_statistics())
+            report["updates"]["persist_error"] = self._persist_error
+        return report

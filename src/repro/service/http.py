@@ -13,7 +13,16 @@ Endpoints:
   with a bundled dictionary — ``"decode"``.  A ``"batch"`` key with a list
   of such objects answers many queries in one round trip; failed entries
   carry an ``"error"`` object instead of killing the whole batch.
-* ``GET /stats`` — cache hit rates, latency percentiles, index sizes.
+* ``POST /update`` — body is ``{"insert": [[s, p, o], ...]}`` and/or
+  ``{"delete": [...]}`` (integer ID triples).  Requires a writable service
+  (``repro serve --writable``); responds with the applied counts and the
+  new index epoch, plus the compaction report if the batch tripped the
+  size-ratio trigger.
+* ``POST /compact`` — fold the in-memory delta into a freshly built
+  index; responds with the compaction report (a no-op when the delta is
+  empty).
+* ``GET /stats`` — cache hit rates, latency percentiles, index sizes,
+  delta/epoch gauges.
 * ``GET /healthz`` — liveness probe.
 
 Failures are structured: every error response is
@@ -36,6 +45,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
     StorageError,
+    UpdateError,
 )
 from repro.service.engine import QueryService
 from repro.service.jsonio import pattern_result_to_json, query_result_to_json
@@ -46,6 +56,7 @@ _STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
     (ParseError, 400),
     (PatternError, 400),
     (DictionaryError, 400),
+    (UpdateError, 400),
     (ServiceError, 400),
     (QueryTimeoutError, 408),
     (StorageError, 500),
@@ -120,6 +131,45 @@ def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
     raise ServiceError("a query needs either a 'sparql' or a 'pattern' field")
 
 
+def _parse_triples(value: Any, field: str) -> list:
+    """Check the JSON *shape* of one ``insert``/``delete`` triple list.
+
+    Only structure is validated here; the component rules (integers,
+    non-negative, int64-bounded) live in one place —
+    :func:`repro.dynamic.delta.normalize_triple`, reached through
+    ``service.update`` — so the two layers cannot drift apart.  Both error
+    types map to HTTP 400.
+    """
+    if not isinstance(value, list):
+        raise ServiceError(f"'{field}' must be a list of [s, p, o] triples")
+    triples = []
+    for entry in value:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise ServiceError(
+                f"each '{field}' entry must be a list of 3 integer IDs, "
+                f"got {entry!r}")
+        triples.append(tuple(entry))
+    return triples
+
+
+def _run_update(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one ``POST /update`` body against ``service``."""
+    unknown = set(request) - {"insert", "delete"}
+    if unknown:
+        raise ServiceError(f"unknown update field(s): {sorted(unknown)}")
+    inserts = _parse_triples(request["insert"], "insert") \
+        if "insert" in request else []
+    deletes = _parse_triples(request["delete"], "delete") \
+        if "delete" in request else []
+    if not inserts and not deletes:
+        raise ServiceError(
+            "an update needs an 'insert' and/or a 'delete' list")
+    # One atomic batch: a failure anywhere applies nothing, and readers
+    # never observe the inserts without the deletes.
+    result = service.update(inserts=inserts, deletes=deletes)
+    return result.to_json()
+
+
 class QueryServiceHandler(BaseHTTPRequestHandler):
     """Routes requests to the shared :class:`QueryService`."""
 
@@ -166,7 +216,7 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
             self._send_error_json(error)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        if self.path != "/query":
+        if self.path not in ("/query", "/update", "/compact"):
             self._send_json(404, {"error": {
                 "type": "NotFound",
                 "message": f"unknown path {self.path!r}"}})
@@ -189,6 +239,15 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
                                    ) from error
             if not isinstance(request, dict):
                 raise ServiceError("request body must be a JSON object")
+            if self.path == "/update":
+                self._send_json(200, _run_update(self.service, request))
+                return
+            if self.path == "/compact":
+                if request:
+                    raise ServiceError(
+                        "POST /compact takes an empty body")
+                self._send_json(200, self.service.compact().to_json())
+                return
             if "batch" in request:
                 batch = request["batch"]
                 if not isinstance(batch, list):

@@ -76,10 +76,14 @@ def query_result_to_json(result) -> Dict[str, Any]:
 
 def triples_to_json(triples: Sequence[Tuple[int, int, int]],
                     dictionary=None) -> List[List[Any]]:
-    """Triple rows; with a dictionary, IDs are decoded back to RDF terms."""
+    """Triple rows; with a dictionary, IDs are decoded back to RDF terms.
+
+    Decoding is lenient: an ID inserted dynamically (no dictionary term)
+    renders as ``<id:N>`` instead of failing the whole response.
+    """
     if dictionary is None:
         return [list(triple) for triple in triples]
-    return [list(dictionary.decode(triple)) for triple in triples]
+    return [list(dictionary.decode_lenient(triple)) for triple in triples]
 
 
 def pattern_results_to_json(triples: Sequence[Tuple[int, int, int]],

@@ -8,7 +8,11 @@ Public surface:
 * :func:`save_object` / :func:`load_object` — standalone structures (any
   sequence codec, a bit vector, one permutation trie, a dictionary);
 * :func:`file_info` — cheap inspection of a saved file;
-* :data:`FORMAT_VERSION`, :data:`MAGIC` — the container identity;
+* :class:`WriteAheadLog` (:mod:`repro.storage.wal`) — the durable update
+  log behind the dynamic subsystem;
+* :data:`FORMAT_VERSION`, :data:`DELTA_FORMAT_VERSION`, :data:`MAGIC` —
+  the container identity (delta-carrying files advertise the higher
+  version so older builds refuse them instead of dropping the delta);
 * :func:`dumps_object` / :func:`loads_object` — in-memory (de)serialisation,
   useful for tests and for shipping indexes over a wire.
 
@@ -17,8 +21,11 @@ All failure modes raise :class:`repro.errors.StorageError`.
 
 from repro.storage.codecs import dumps_object, loads_object, type_name_of
 from repro.storage.container import (
+    DELTA_FORMAT_VERSION,
     FORMAT_VERSION,
     MAGIC,
+    SUPPORTED_VERSIONS,
+    container_version,
     parse_container,
     read_container,
     write_container,
@@ -31,10 +38,15 @@ from repro.storage.index_io import (
     save_index,
     save_object,
 )
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
+    "DELTA_FORMAT_VERSION",
     "FORMAT_VERSION",
     "MAGIC",
+    "SUPPORTED_VERSIONS",
+    "WriteAheadLog",
+    "container_version",
     "LoadedIndex",
     "dumps_object",
     "loads_object",

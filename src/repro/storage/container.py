@@ -28,16 +28,26 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Dict, List, Mapping, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import StorageError
 
 MAGIC = b"REPROIDX"
 
-#: Version of the container format written by this build.  Readers reject
-#: files with any other version, which is what makes future layout changes
-#: safe: bump the version and old builds fail loudly instead of misreading.
+#: Default version of the container format written by this build.  Readers
+#: reject files with any unsupported version, which is what makes future
+#: layout changes safe: bump the version and old builds fail loudly instead
+#: of misreading.
 FORMAT_VERSION = 1
+
+#: Version written when the file carries a dynamic-update ``delta`` section
+#: (inserted triples + tombstones awaiting compaction).  Builds that predate
+#: the dynamic subsystem would silently *drop* such a delta, so those files
+#: advertise a version old readers refuse.
+DELTA_FORMAT_VERSION = 2
+
+#: Every version this build can read.
+SUPPORTED_VERSIONS = (FORMAT_VERSION, DELTA_FORMAT_VERSION)
 
 _FIXED_HEADER = struct.Struct("<8sII")
 _TABLE_ENTRY_TAIL = struct.Struct("<QQI")
@@ -50,17 +60,41 @@ def _crc32(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
-def write_container(path: PathLike, sections: Mapping[str, bytes]) -> int:
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory entry to stable storage (best-effort off-Linux).
+
+    Needed after creating or renaming a file whose durability matters: the
+    file's own fsync persists its *contents*, but until the directory is
+    synced the *name* can vanish on power loss.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (e.g. Windows)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_container(path: PathLike, sections: Mapping[str, bytes],
+                    version: Optional[int] = None) -> int:
     """Write ``sections`` to ``path``; returns the total number of bytes written.
 
     The write is atomic: bytes go to a temporary file in the destination
     directory which is renamed over ``path`` only once fully written, so an
     interrupted save (disk full, crash, Ctrl-C) never destroys a previously
     valid index file.  Section order is preserved, so a round trip through
-    :func:`read_container` keeps files byte-identical.
+    :func:`read_container` keeps files byte-identical.  ``version`` is the
+    advertised format version (:data:`DELTA_FORMAT_VERSION` for files
+    carrying a delta section).
     """
     if not sections:
         raise StorageError("a container needs at least one section")
+    if version is None:
+        version = FORMAT_VERSION
     encoded_names: List[Tuple[bytes, bytes]] = []
     for name, payload in sections.items():
         encoded = name.encode("utf-8")
@@ -73,7 +107,7 @@ def write_container(path: PathLike, sections: Mapping[str, bytes]) -> int:
     payload_start = _FIXED_HEADER.size + table_size + _CRC.size
 
     header = bytearray()
-    header += _FIXED_HEADER.pack(MAGIC, FORMAT_VERSION, len(encoded_names))
+    header += _FIXED_HEADER.pack(MAGIC, version, len(encoded_names))
     offset = payload_start
     for encoded, payload in encoded_names:
         header += struct.pack("<H", len(encoded))
@@ -89,7 +123,15 @@ def write_container(path: PathLike, sections: Mapping[str, bytes]) -> int:
             handle.write(_CRC.pack(_crc32(bytes(header))))
             for _, payload in encoded_names:
                 handle.write(payload)
+            # Contents must be durable *before* the rename makes them the
+            # live file — otherwise a power loss can leave the destination
+            # pointing at unwritten pages.  The directory sync after the
+            # rename makes the new name itself durable; callers that
+            # truncate a WAL on the strength of this write depend on both.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temporary, destination)
+        fsync_directory(destination.parent)
     except OSError:
         try:
             os.unlink(temporary)
@@ -108,6 +150,21 @@ def read_container(path: PathLike) -> Dict[str, bytes]:
     return parse_container(data, source=str(path))
 
 
+def container_version(data: bytes, source: str = "<bytes>") -> int:
+    """The format version stamped in a container image's fixed header.
+
+    This is the *stored* version (what the writing build advertised), which
+    is what operators need to see — :data:`FORMAT_VERSION` is merely what
+    this build writes by default.
+    """
+    if len(data) < _FIXED_HEADER.size:
+        raise StorageError(f"{source}: too short to be a repro container")
+    magic, version, _ = _FIXED_HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise StorageError(f"{source}: not a repro container (bad magic)")
+    return int(version)
+
+
 def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
     """Validate an in-memory container image and return its sections."""
     if len(data) < _FIXED_HEADER.size + _CRC.size:
@@ -115,10 +172,10 @@ def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
     magic, version, num_sections = _FIXED_HEADER.unpack_from(data, 0)
     if magic != MAGIC:
         raise StorageError(f"{source}: not a repro container (bad magic)")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise StorageError(
             f"{source}: unsupported container format version {version} "
-            f"(this build reads version {FORMAT_VERSION})")
+            f"(this build reads versions {SUPPORTED_VERSIONS})")
 
     cursor = _FIXED_HEADER.size
     table: List[Tuple[str, int, int, int]] = []

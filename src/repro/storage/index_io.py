@@ -1,7 +1,7 @@
 """High-level persistence entry points: whole index files and standalone objects.
 
 A saved index file is a container (see :mod:`repro.storage.container`) with
-up to four sections:
+up to five sections:
 
 * ``meta``    — a small state tree describing what the file holds (stored
   kind, layout name, triple count, producing library version);
@@ -11,7 +11,11 @@ up to four sections:
 * ``stats``   — optional: the query planner's per-role cardinality
   histograms, so a loaded index plans with the same selectivity estimates as
   a freshly built one (without them the planner falls back to a
-  bound-component heuristic).
+  bound-component heuristic);
+* ``delta``   — optional: a dynamic-update snapshot (inserted triples plus
+  delete tombstones not yet compacted into the index).  Files carrying one
+  advertise :data:`repro.storage.container.DELTA_FORMAT_VERSION` so builds
+  that would silently drop the delta refuse the file instead.
 
 Standalone object files (a codec saved with ``sequence.save(path)``, a trie,
 a dictionary) use the same container with ``meta`` + ``payload`` sections, so
@@ -28,7 +32,10 @@ from repro.errors import StorageError
 from repro.storage import format as binary_format
 from repro.storage.codecs import dumps_object, loads_object, type_name_of
 from repro.storage.container import (
+    DELTA_FORMAT_VERSION,
     FORMAT_VERSION,
+    container_version,
+    parse_container,
     read_container,
     write_container,
 )
@@ -39,6 +46,7 @@ SECTION_META = "meta"
 SECTION_INDEX = "index"
 SECTION_DICTIONARY = "dictionary"
 SECTION_STATS = "stats"
+SECTION_DELTA = "delta"
 SECTION_PAYLOAD = "payload"
 
 
@@ -61,12 +69,35 @@ def _load_meta(sections: Dict[str, bytes], source: str) -> dict:
 
 
 class LoadedIndex(NamedTuple):
-    """What :func:`load_index` returns."""
+    """What :func:`load_index` returns.
+
+    ``index`` is always the *base* (immutable) index; if the file carried a
+    dynamic-update snapshot it is in ``delta`` and :meth:`queryable` is the
+    one-call way to get an index whose answers include it.
+    """
 
     index: Any
     dictionary: Optional[Any]
     meta: dict
     planner_stats: Optional[Dict[int, Dict[int, int]]] = None
+    delta: Optional[Any] = None
+
+    def queryable(self, wal_path: Optional[PathLike] = None,
+                  compaction_ratio: Optional[float] = None,
+                  writable: bool = False) -> Any:
+        """The index to answer queries with, delta overlay included.
+
+        Returns the bare base index when the file had no delta and no
+        dynamic features were requested; otherwise wraps it in a
+        :class:`repro.dynamic.DynamicIndex` (restoring the stored delta and
+        replaying ``wal_path`` if given).
+        """
+        if self.delta is None and wal_path is None and not writable:
+            return self.index
+        from repro.dynamic import DynamicIndex
+        return DynamicIndex.open(self.index, wal_path=wal_path,
+                                 delta=self.delta,
+                                 compaction_ratio=compaction_ratio)
 
 
 def _dump_planner_stats(cardinalities: Dict[int, Dict[int, int]]) -> bytes:
@@ -100,16 +131,36 @@ def _load_planner_stats(payload: bytes, source: str) -> Dict[int, Dict[int, int]
     return cardinalities
 
 
+def _dump_delta(delta: Any) -> bytes:
+    """Encode a :class:`repro.dynamic.DeltaState` as sorted triple columns."""
+    return binary_format.dumps(delta.to_columns())
+
+
+def _load_delta(payload: bytes, source: str) -> Any:
+    from repro.dynamic.delta import DeltaState
+    state = binary_format.loads(payload)
+    try:
+        return DeltaState.from_columns(state)
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(f"{source}: malformed {SECTION_DELTA!r} section "
+                           f"({error})") from None
+
+
 def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
-               planner_stats: Optional[Dict[int, Dict[int, int]]] = None) -> int:
+               planner_stats: Optional[Dict[int, Dict[int, int]]] = None,
+               delta: Optional[Any] = None) -> int:
     """Persist ``index`` (and optionally its RDF dictionary) to ``path``.
 
     Returns the number of bytes written.  The index may be any registered
     index family (3T, CC, 2Tp, 2To).  ``planner_stats`` — the
     :class:`repro.queries.planner.QueryPlanner` per-role cardinality
     histograms — travel with the file so selectivity-driven planning
-    survives the save/load round trip.
+    survives the save/load round trip.  A non-empty ``delta``
+    (:class:`repro.dynamic.DeltaState`) adds the dynamic-update snapshot
+    section and bumps the advertised format version.
     """
+    if delta is not None and not delta:
+        delta = None  # an empty delta is the same as no delta
     meta = {
         "kind": type_name_of(index),
         "layout": getattr(index, "name", type_name_of(index)),
@@ -119,6 +170,10 @@ def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
         "has_planner_stats": planner_stats is not None,
         "library_version": _library_version(),
     }
+    if delta is not None:
+        meta["has_delta"] = True
+        meta["delta_inserted"] = int(delta.num_inserted)
+        meta["delta_deleted"] = int(delta.num_deleted)
     sections: Dict[str, bytes] = {
         SECTION_META: _dump_meta(meta),
         SECTION_INDEX: dumps_object(index),
@@ -127,14 +182,19 @@ def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
         sections[SECTION_DICTIONARY] = dumps_object(dictionary)
     if planner_stats is not None:
         sections[SECTION_STATS] = _dump_planner_stats(planner_stats)
-    return write_container(path, sections)
+    if delta is not None:
+        sections[SECTION_DELTA] = _dump_delta(delta)
+    version = FORMAT_VERSION if delta is None else DELTA_FORMAT_VERSION
+    return write_container(path, sections, version=version)
 
 
 def load_index(path: PathLike, load_dictionary: bool = True) -> LoadedIndex:
     """Load an index file written by :func:`save_index`.
 
     ``load_dictionary=False`` skips decoding the (potentially large)
-    dictionary section for callers that only need the index payload.
+    dictionary section for callers that only need the index payload.  The
+    returned ``index`` is the immutable base; call
+    :meth:`LoadedIndex.queryable` to fold in a stored ``delta``.
     """
     sections = read_container(path)
     meta = _load_meta(sections, str(path))
@@ -148,8 +208,11 @@ def load_index(path: PathLike, load_dictionary: bool = True) -> LoadedIndex:
     planner_stats = None
     if SECTION_STATS in sections:
         planner_stats = _load_planner_stats(sections[SECTION_STATS], str(path))
+    delta = None
+    if SECTION_DELTA in sections:
+        delta = _load_delta(sections[SECTION_DELTA], str(path))
     return LoadedIndex(index=index, dictionary=dictionary, meta=meta,
-                       planner_stats=planner_stats)
+                       planner_stats=planner_stats, delta=delta)
 
 
 def save_object(obj: Any, path: PathLike) -> int:
@@ -188,20 +251,26 @@ def file_info(path: PathLike, include_breakdown: bool = False) -> dict:
     """Describe a container file without fully decoding its payloads.
 
     Returns the decoded ``meta`` section plus per-section and total byte
-    sizes — the data behind the CLI ``info`` subcommand.  With
-    ``include_breakdown=True`` the index payload is additionally decoded
-    (from the same single read of the file) and its per-component
+    sizes — the data behind the CLI ``info`` subcommand.  The reported
+    ``format_version`` is the version *stored in the file* (not this
+    build's default), so operators can tell delta-carrying files apart.
+    With ``include_breakdown=True`` the index payload is additionally
+    decoded (from the same single read of the file) and its per-component
     ``space_breakdown`` attached under ``"space_breakdown"``.
     """
-    sections = read_container(path)
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from None
+    sections = parse_container(data, source=str(path))
     meta = _load_meta(sections, str(path))
     section_sizes = {name: len(payload) for name, payload in sections.items()}
     info = {
         "path": str(path),
-        "format_version": FORMAT_VERSION,
+        "format_version": container_version(data, source=str(path)),
         "meta": meta,
         "section_bytes": section_sizes,
-        "total_bytes": Path(path).stat().st_size,
+        "total_bytes": len(data),
     }
     if include_breakdown:
         if SECTION_INDEX not in sections:

@@ -1,0 +1,277 @@
+"""Write-ahead log for the dynamic update subsystem.
+
+The compressed indexes are immutable; updates live in an in-memory delta
+(:mod:`repro.dynamic.delta`) until a compaction folds them into a fresh
+index.  Memory alone would lose acknowledged writes on a crash, so every
+mutation batch is appended here *before* it becomes visible, and replayed
+on reopen — the classic write-ahead contract.
+
+On-disk layout::
+
+    +--------------------------------------------------+
+    | magic "REPROWAL" (8 bytes) + version (uint32 LE) |
+    | record*                                          |
+    +--------------------------------------------------+
+
+    record := payload length (uint32 LE)
+              payload CRC-32 (uint32 LE)
+              payload
+
+    payload := insert count (uint32 LE)
+               delete count (uint32 LE)
+               inserts then deletes, each (s, p, o) as int64 LE
+
+A record carries one whole mutation batch — inserts *and* deletes
+together — so batch atomicity survives a crash: either the entire batch
+is durable or none of it is (a half-written record fails its CRC and is
+discarded).  Appends are flushed and ``fsync``-ed before the call returns
+(unless ``sync=False``), so a record either made it to stable storage
+entirely or the crash happened before the write was acknowledged.  Replay
+validates each record's CRC and stops at the first short or corrupt
+record — a torn tail from a mid-write crash is never misread — and the
+file is truncated back to its last valid record so later appends continue
+from a clean end.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import StorageError
+
+PathLike = Union[str, Path]
+Triple = Tuple[int, int, int]
+#: What :meth:`WriteAheadLog.replay` yields: one ``(inserts, deletes)`` batch.
+Batch = Tuple[List[Triple], List[Triple]]
+
+WAL_MAGIC = b"REPROWAL"
+WAL_VERSION = 1
+
+_HEADER = struct.Struct("<8sI")
+_RECORD_HEADER = struct.Struct("<II")
+_PAYLOAD_HEADER = struct.Struct("<II")
+_TRIPLE = struct.Struct("<qqq")
+
+#: Per-record ceiling; a batch larger than this must be split by the caller
+#: (the service layer batches far below it).  Guards replay against reading
+#: a corrupted length field as a multi-gigabyte allocation.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class WriteAheadLog:
+    """An append-only, checksummed log of atomic mutation batches.
+
+    Opening an existing log validates the header and scans the records once
+    for :meth:`replay`; a torn tail is truncated away.  Opening a missing
+    or empty file writes a fresh header.
+    """
+
+    def __init__(self, path: PathLike, sync: bool = True):
+        self._path = Path(path)
+        self._sync = sync
+        #: Batches found at open time, in append order (what replay yields).
+        #: Appends after open only bump ``_num_records`` — retaining every
+        #: live-appended batch would grow memory with the whole history.
+        self._records: List[Batch] = []
+        existing = b""
+        if self._path.exists():
+            try:
+                existing = self._path.read_bytes()
+            except OSError as exc:
+                raise StorageError(f"cannot read WAL {path}: {exc}") from None
+        if 0 < len(existing) < _HEADER.size:
+            # Torn header: the process died between creating the file and
+            # completing the 12-byte header, so no record was ever durable.
+            # Heal it like a torn tail instead of refusing to start.  (A
+            # full-size header with a bad magic still errors — that may be
+            # somebody else's file.)
+            existing = b""
+        if existing:
+            valid_end = self._scan(existing)
+        else:
+            valid_end = 0
+        self._num_records = len(self._records)
+        try:
+            self._handle = open(self._path, "r+b" if existing else "w+b")
+            if existing:
+                self._handle.truncate(valid_end)
+                self._handle.seek(valid_end)
+            else:
+                self._handle.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION))
+                self._flush()
+                # Make the *name* durable too: per-record fsyncs are
+                # worthless if a power loss can drop the whole freshly
+                # created file from its directory.
+                from repro.storage.container import fsync_directory
+                fsync_directory(self._path.parent)
+        except OSError as exc:
+            raise StorageError(f"cannot open WAL {path}: {exc}") from None
+
+    # ------------------------------------------------------------------ #
+    # Reading.
+    # ------------------------------------------------------------------ #
+
+    def _scan(self, data: bytes) -> int:
+        """Parse ``data``, fill ``self._records``, return the valid end offset."""
+        if len(data) < _HEADER.size:
+            raise StorageError(f"{self._path}: too short to be a repro WAL")
+        magic, version = _HEADER.unpack_from(data, 0)
+        if magic != WAL_MAGIC:
+            raise StorageError(f"{self._path}: not a repro WAL (bad magic)")
+        if version != WAL_VERSION:
+            raise StorageError(
+                f"{self._path}: unsupported WAL version {version} "
+                f"(this build reads version {WAL_VERSION})")
+        cursor = _HEADER.size
+        while True:
+            if cursor + _RECORD_HEADER.size > len(data):
+                break  # torn tail: record header incomplete
+            length, crc = _RECORD_HEADER.unpack_from(data, cursor)
+            if length > MAX_RECORD_BYTES:
+                break  # corrupt length field
+            start = cursor + _RECORD_HEADER.size
+            if start + length > len(data):
+                break  # torn tail: payload incomplete
+            payload = data[start:start + length]
+            if _crc32(payload) != crc:
+                break  # corrupt payload
+            record = self._decode_payload(payload)
+            if record is None:
+                break
+            self._records.append(record)
+            cursor = start + length
+        return cursor
+
+    @staticmethod
+    def _decode_payload(payload: bytes):
+        if len(payload) < _PAYLOAD_HEADER.size:
+            return None
+        num_inserts, num_deletes = _PAYLOAD_HEADER.unpack_from(payload, 0)
+        expected = (_PAYLOAD_HEADER.size
+                    + (num_inserts + num_deletes) * _TRIPLE.size)
+        if len(payload) != expected:
+            return None
+        triples = [_TRIPLE.unpack_from(payload, _PAYLOAD_HEADER.size
+                                       + i * _TRIPLE.size)
+                   for i in range(num_inserts + num_deletes)]
+        return triples[:num_inserts], triples[num_inserts:]
+
+    def replay(self) -> Iterator[Batch]:
+        """Yield every batch that was durable *at open time*, in order.
+
+        Batches appended through this handle after open are not re-yielded
+        (the caller already applied them); reopen the log to see everything.
+        Call :meth:`release_replay` once the history has been applied —
+        otherwise a handle over a large log pins the whole decoded history
+        in memory for its lifetime.
+        """
+        yield from self._records
+
+    def release_replay(self) -> None:
+        """Free the open-time replay buffer (the on-disk log is untouched)."""
+        self._records = []
+
+    # ------------------------------------------------------------------ #
+    # Writing.
+    # ------------------------------------------------------------------ #
+
+    def _open_handle(self):
+        if self._handle is None:
+            raise StorageError(f"WAL {self._path} is closed")
+        return self._handle
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+
+    def append(self, inserts: Sequence[Triple] = (),
+               deletes: Sequence[Triple] = ()) -> int:
+        """Durably append one mutation batch; returns the record's byte size.
+
+        When this returns, the whole batch — inserts and deletes together —
+        has been flushed (and, unless the log was opened with
+        ``sync=False``, fsync-ed): a subsequent crash either keeps all of
+        it or none of it.
+        """
+        payload = bytearray(_PAYLOAD_HEADER.pack(len(inserts), len(deletes)))
+        for s, p, o in inserts:
+            payload += _TRIPLE.pack(s, p, o)
+        for s, p, o in deletes:
+            payload += _TRIPLE.pack(s, p, o)
+        if len(payload) > MAX_RECORD_BYTES:
+            raise StorageError(
+                f"WAL batch of {len(inserts) + len(deletes)} triples exceeds "
+                f"the {MAX_RECORD_BYTES} byte record limit; split the batch")
+        record = _RECORD_HEADER.pack(len(payload), _crc32(bytes(payload)))
+        record += bytes(payload)
+        handle = self._open_handle()
+        handle.seek(0, os.SEEK_END)
+        start = handle.tell()
+        try:
+            handle.write(record)
+            self._flush()
+        except OSError as exc:
+            # Roll the file back to the record boundary: leaving torn bytes
+            # mid-log would make replay stop there and silently drop every
+            # later (acknowledged) record appended after them.
+            try:
+                handle.truncate(start)
+                handle.seek(start)
+            except OSError:  # pragma: no cover - double-fault path
+                pass
+            raise StorageError(
+                f"cannot append to WAL {self._path}: {exc}") from None
+        self._num_records += 1
+        return len(record)
+
+    def reset(self) -> None:
+        """Drop every record (called once a save absorbed the history)."""
+        handle = self._open_handle()
+        handle.truncate(_HEADER.size)
+        handle.seek(_HEADER.size)
+        self._flush()
+        self._records.clear()
+        self._num_records = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log (stat-based once closed, so a
+        stats probe racing shutdown degrades gracefully)."""
+        if self._handle is None:
+            try:
+                return self._path.stat().st_size
+            except OSError:
+                return 0
+        self._handle.seek(0, os.SEEK_END)
+        return self._handle.tell()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

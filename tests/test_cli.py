@@ -262,3 +262,187 @@ class TestServe:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+
+MORE_NTRIPLES = """\
+<http://example.org/carol> <http://xmlns.com/foaf/0.1/knows> <http://example.org/dave> .
+<http://example.org/dave> <http://xmlns.com/foaf/0.1/name> "Dave" .
+"""
+
+
+class TestGzipInput:
+    def test_build_accepts_nt_gz(self, tmp_path, capsys):
+        import gzip
+        source = tmp_path / "data.nt.gz"
+        with gzip.open(source, "wt", encoding="utf-8") as handle:
+            handle.write(NTRIPLES)
+        out = tmp_path / "gz.ridx"
+        assert main(["build", str(source), "-o", str(out)]) == 0
+        assert "indexed 6 triples" in capsys.readouterr().out
+
+    def test_update_accepts_nt_gz(self, index_file, tmp_path, capsys):
+        import gzip
+        source = tmp_path / "more.nt.gz"
+        with gzip.open(source, "wt", encoding="utf-8") as handle:
+            handle.write(MORE_NTRIPLES)
+        assert main(["update", str(index_file), str(source)]) == 0
+        assert "inserted 2 of 2" in capsys.readouterr().out
+
+
+class TestUpdateCommand:
+    def test_insert_then_query_sees_the_delta(self, index_file, tmp_path,
+                                              capsys):
+        more = tmp_path / "more.nt"
+        more.write_text(MORE_NTRIPLES, encoding="utf-8")
+        assert main(["update", str(index_file), str(more)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(index_file), "--count", "--pattern",
+                     f"? {KNOWS} ?"]) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_delete_and_unknown_terms_are_skipped(self, index_file, tmp_path,
+                                                  capsys):
+        victims = tmp_path / "victims.nt"
+        victims.write_text(
+            f"{ALICE} {KNOWS} <http://example.org/bob> .\n"
+            f"<http://example.org/nobody> {KNOWS} {ALICE} .\n",
+            encoding="utf-8")
+        assert main(["update", str(index_file), str(victims),
+                     "--delete"]) == 0
+        assert "deleted 1 of 1" in capsys.readouterr().out
+        assert main(["query", str(index_file), "--count", "--pattern",
+                     f"{ALICE} {KNOWS} ?"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_update_to_separate_output(self, index_file, tmp_path, capsys):
+        more = tmp_path / "more.nt"
+        more.write_text(MORE_NTRIPLES, encoding="utf-8")
+        out = tmp_path / "updated.ridx"
+        assert main(["update", str(index_file), str(more),
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["info", str(index_file)]) == 0
+        assert "delta" not in capsys.readouterr().out  # original untouched
+        assert main(["info", str(out)]) == 0
+        assert "2 inserted" in capsys.readouterr().out
+
+    def test_ids_update_on_ids_index(self, tmp_path, capsys):
+        source = tmp_path / "ids.txt"
+        source.write_text("0 0 1\n0 1 2\n1 0 2\n", encoding="utf-8")
+        index = tmp_path / "ids.ridx"
+        assert main(["build", str(source), "-o", str(index), "--ids"]) == 0
+        patch = tmp_path / "patch.txt"
+        patch.write_text("5 0 5\n", encoding="utf-8")
+        assert main(["update", str(index), str(patch), "--ids"]) == 0
+        capsys.readouterr()
+        assert main(["query", str(index), "--count", "--pattern",
+                     "? ? ?"]) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_term_update_on_ids_index_fails_cleanly(self, tmp_path, nt_file,
+                                                    capsys):
+        source = tmp_path / "ids.txt"
+        source.write_text("0 0 1\n", encoding="utf-8")
+        index = tmp_path / "ids.ridx"
+        assert main(["build", str(source), "-o", str(index), "--ids"]) == 0
+        capsys.readouterr()
+        assert main(["update", str(index), str(nt_file)]) == 1
+        assert "--ids" in capsys.readouterr().err
+
+
+class TestCompactCommand:
+    def test_compact_folds_the_delta(self, index_file, tmp_path, capsys):
+        more = tmp_path / "more.nt"
+        more.write_text(MORE_NTRIPLES, encoding="utf-8")
+        assert main(["update", str(index_file), str(more)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(index_file), "--count", "--pattern",
+                     "? ? ?"]) == 0
+        before = capsys.readouterr().out.strip()
+        assert main(["compact", str(index_file)]) == 0
+        assert "compacted 2 inserts" in capsys.readouterr().out
+        assert main(["info", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "container format version: 1" in out
+        assert "triples: 8" in out
+        assert main(["query", str(index_file), "--count", "--pattern",
+                     "? ? ?"]) == 0
+        assert capsys.readouterr().out.strip() == before == "8"
+
+    def test_compact_without_delta_is_a_noop(self, index_file, capsys):
+        assert main(["compact", str(index_file)]) == 0
+        assert "no delta to compact" in capsys.readouterr().out
+
+
+class TestInfoJsonVersion:
+    def test_json_reports_stored_version_and_sections(self, index_file,
+                                                      tmp_path, capsys):
+        import json
+        assert main(["info", str(index_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 1
+        assert set(payload["section_bytes"]) >= {"meta", "index"}
+        more = tmp_path / "more.nt"
+        more.write_text(MORE_NTRIPLES, encoding="utf-8")
+        assert main(["update", str(index_file), str(more)]) == 0
+        capsys.readouterr()
+        assert main(["info", str(index_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 2  # the *stored* version
+        assert payload["section_bytes"]["delta"] > 0
+        assert payload["meta"]["delta_inserted"] == 2
+
+    def test_update_auto_compaction_persists_fresh_stats(self, index_file,
+                                                         tmp_path, capsys):
+        import json
+        more = tmp_path / "more.nt"
+        more.write_text(MORE_NTRIPLES, encoding="utf-8")
+        # 2 delta entries over 6 base triples: ratio 0.1 forces compaction.
+        assert main(["update", str(index_file), str(more),
+                     "--compact-ratio", "0.1"]) == 0
+        assert "compaction triggered" in capsys.readouterr().out
+        assert main(["info", str(index_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 1  # delta folded in
+        assert payload["meta"]["num_triples"] == 8
+        # The stats section reflects the *post-compaction* histograms.
+        from repro.storage import load_index
+        loaded = load_index(index_file)
+        total = sum(loaded.planner_stats[0].values())
+        assert total == 8
+
+    def test_query_decodes_dynamic_ids_leniently(self, index_file, tmp_path,
+                                                 capsys):
+        """An ID inserted without a dictionary term must not crash listing."""
+        patch = tmp_path / "patch.txt"
+        patch.write_text("999 0 998\n", encoding="utf-8")
+        assert main(["update", str(index_file), str(patch), "--ids"]) == 0
+        capsys.readouterr()
+        assert main(["query", str(index_file), "--pattern", "999 ? ?"]) == 0
+        out = capsys.readouterr().out
+        assert "<id:999>" in out and "<id:998>" in out
+        assert "<http://xmlns.com/foaf/0.1/knows>" in out  # predicate 0 known
+        import json
+        assert main(["query", str(index_file), "--json", "--pattern",
+                     "999 ? ?"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["triples"] == [["<id:999>",
+                                       "<http://xmlns.com/foaf/0.1/knows>",
+                                       "<id:998>"]]
+
+    def test_failed_auto_compaction_warns(self, index_file, tmp_path,
+                                          capsys, monkeypatch):
+        from repro.core.builder import IndexBuilder
+
+        def exploding_build(self, layout="2tp"):
+            raise MemoryError("universe too large")
+
+        monkeypatch.setattr(IndexBuilder, "build", exploding_build)
+        more = tmp_path / "more.nt"
+        more.write_text(MORE_NTRIPLES, encoding="utf-8")
+        assert main(["update", str(index_file), str(more),
+                     "--compact-ratio", "0.01"]) == 0
+        captured = capsys.readouterr()
+        assert "inserted 2 of 2" in captured.out  # the update itself applied
+        assert "auto-compaction failed" in captured.err
+        assert "repro compact" in captured.err

@@ -10,6 +10,12 @@ Join reordering and intersection code is exactly where subtle bugs hide
 duplicate-variable patterns, disconnected BGPs), so this harness is the
 safety net under both executors and all index families at once.
 
+The dynamic sweep extends this to interleaved *update* sequences: random
+inserts and deletes applied through the delta overlay, queried after every
+step, then compacted and re-queried — the base+delta view and the
+post-compaction index must agree with an oracle rebuilt from the plain
+triple set at every point.
+
 Run locally with a bigger budget::
 
     PYTHONPATH=src HYPOTHESIS_PROFILE=ci python -m pytest tests/test_differential.py
@@ -27,6 +33,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.vertical_partitioning import VerticalPartitioningIndex
 from repro.core.builder import IndexBuilder
+from repro.dynamic import DynamicIndex
 from repro.queries.planner import CartesianProductWarning, execute_bgp
 from repro.queries.sparql import (
     BasicGraphPattern,
@@ -151,6 +158,91 @@ def test_wcoj_oracle_fallback_without_seek_cursors(case):
         expected = reference_solutions(store, query)
         results, _ = execute_bgp(oracle, query, store=store, engine="wcoj")
         assert solution_bag(results) == expected
+
+
+@st.composite
+def update_sequences(draw):
+    """A base graph, a BGP, and 2..4 interleaved insert/delete steps."""
+    store = draw(graphs())
+    num_templates = draw(st.integers(1, 3))
+    bgp = BasicGraphPattern([draw(templates(store))
+                             for _ in range(num_templates)])
+    triple = st.tuples(st.integers(0, NUM_SUBJECTS - 1),
+                       st.integers(0, NUM_PREDICATES - 1),
+                       st.integers(0, NUM_OBJECTS - 1))
+    base_triples = list(store)
+    steps = []
+    for _ in range(draw(st.integers(2, 4))):
+        op = draw(st.sampled_from(("insert", "delete")))
+        if op == "delete" and base_triples and draw(st.booleans()):
+            # Bias deletes toward triples that actually exist.
+            batch = draw(st.lists(st.sampled_from(base_triples),
+                                  min_size=1, max_size=4))
+        else:
+            batch = draw(st.lists(triple, min_size=1, max_size=4))
+        steps.append((op, batch))
+    return store, bgp, steps
+
+
+def oracle_solutions(triples, query, store):
+    """The VP baseline rebuilt from the plain triple set."""
+    if not triples:
+        return []  # every template needs a matching triple: no solutions
+    oracle = VerticalPartitioningIndex(TripleStore.from_triples(triples))
+    results, _ = execute_bgp(oracle, query, store=store, engine="nested")
+    return solution_bag(results)
+
+
+@given(update_sequences())
+def test_interleaved_updates_match_oracle(case):
+    """Acceptance: base+delta equals the oracle at every step, both engines,
+    all layouts — and equals itself again after ``compact``."""
+    store, bgp, steps = case
+    if not bgp.variables():
+        return
+    query = SparqlQuery(projection=bgp.variables(), bgp=bgp)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CartesianProductWarning)
+        builder = IndexBuilder(store)
+        dynamics = {layout: DynamicIndex(builder.build(layout))
+                    for layout in LAYOUTS}
+        current = set(store)
+        for op, batch in steps:
+            if op == "insert":
+                current |= set(batch)
+            else:
+                current -= set(batch)
+            for dynamic in dynamics.values():
+                if op == "insert":
+                    dynamic.insert(batch)
+                else:
+                    dynamic.delete(batch)
+            expected = oracle_solutions(current, query, store)
+            for layout, dynamic in dynamics.items():
+                assert sorted(dynamic.select((None, None, None))) \
+                    == sorted(current), f"{layout} triple set diverged"
+                for engine in ENGINES:
+                    results, _ = execute_bgp(dynamic, query, store=store,
+                                             engine=engine)
+                    assert solution_bag(results) == expected, (
+                        f"{layout}/{engine} diverged under delta on "
+                        f"{[t.terms() for t in bgp.templates]} after "
+                        f"{op} {batch}")
+        if not current:
+            return  # compaction of a fully-deleted index is refused
+        expected = oracle_solutions(current, query, store)
+        for layout, dynamic in dynamics.items():
+            before = {engine: solution_bag(
+                execute_bgp(dynamic, query, store=store, engine=engine)[0])
+                for engine in ENGINES}
+            dynamic.compact()
+            for engine in ENGINES:
+                results, _ = execute_bgp(dynamic, query, store=store,
+                                         engine=engine)
+                # The same query must return the same solution multiset
+                # before and after compaction, and match the oracle.
+                assert solution_bag(results) == before[engine] == expected, (
+                    f"{layout}/{engine} diverged after compact")
 
 
 @pytest.mark.parametrize("layout", LAYOUTS)

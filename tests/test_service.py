@@ -351,3 +351,170 @@ class TestNormalizeBgp:
         key, _ = normalize_bgp(BasicGraphPattern(
             [TriplePatternTemplate(3, 1, "?x")]))
         assert key == ((3, 1, "?v0"),)
+
+
+class TestUpdates:
+    """The service's dynamic-update surface: insert/delete/compact plus
+    epoch-keyed cache invalidation."""
+
+    def dynamic_service(self, store, cardinalities):
+        from repro.dynamic import DynamicIndex
+        index = DynamicIndex(build_index(store, "2tp"))
+        return QueryService(index, cardinalities=cardinalities)
+
+    def test_read_only_service_rejects_updates(self, service):
+        with pytest.raises(ServiceError, match="read-only"):
+            service.insert([(900, 0, 901)])
+        with pytest.raises(ServiceError, match="read-only"):
+            service.delete([(0, 0, 1)])
+        with pytest.raises(ServiceError, match="read-only"):
+            service.compact()
+
+    def test_insert_invalidates_cached_results(self, store, cardinalities):
+        service = self.dynamic_service(store, cardinalities)
+        query = "SELECT ?x WHERE { ?x 0 1 }"
+        cold = service.execute(query)
+        warm = service.execute(query)
+        assert not cold.cached and warm.cached
+        result = service.insert([(900, KNOWS, 1)])
+        assert result.inserted == 1
+        fresh = service.execute(query)
+        assert not fresh.cached  # the epoch in the key retired the old page
+        assert fresh.count == cold.count + 1
+        assert service.execute(query).cached  # new epoch page caches again
+
+    def test_delete_invalidates_pattern_cache(self, store, cardinalities):
+        service = self.dynamic_service(store, cardinalities)
+        first = service.select((0, KNOWS, None))
+        assert service.select((0, KNOWS, None)).cached
+        service.delete([first.triples[0]])
+        after = service.select((0, KNOWS, None))
+        assert not after.cached
+        assert after.count == first.count - 1
+
+    def test_compact_preserves_answers_and_refreshes_planner(
+            self, store, cardinalities):
+        service = self.dynamic_service(store, cardinalities)
+        service.insert([(900, KNOWS, 0), (0, KNOWS, 900)])
+        service.delete([(0, KNOWS, 1)])
+        before = service.execute(JOIN_QUERY, use_cache=False)
+        result = service.compact()
+        assert result.compacted
+        after = service.execute(JOIN_QUERY, use_cache=False)
+        assert (sorted(map(sorted, (b.items() for b in before.bindings)))
+                == sorted(map(sorted, (a.items() for a in after.bindings))))
+        report = service.statistics()
+        assert report["updates"]["compactions"] == 1
+        assert report["updates"]["delta_inserted"] == 0
+        assert report["index"]["epoch"] == 3
+
+    def test_statistics_report_delta_gauges(self, store, cardinalities):
+        service = self.dynamic_service(store, cardinalities)
+        service.insert([(901, LIKES, 300)])
+        report = service.statistics()
+        assert report["index"]["writable"] is True
+        assert report["index"]["epoch"] == 1
+        assert report["updates"]["applied"] == 1
+        assert report["updates"]["delta_inserted"] == 1
+        read_only = QueryService(build_index(store, "2tp"),
+                                 cardinalities=cardinalities)
+        assert read_only.statistics()["index"]["writable"] is False
+
+    def test_auto_compaction_through_the_service(self, store, cardinalities):
+        from repro.dynamic import DynamicIndex
+        index = DynamicIndex(build_index(store, "2tp"),
+                             compaction_ratio=0.01)
+        service = QueryService(index, cardinalities=cardinalities)
+        result = service.insert([(910, KNOWS, 911), (912, KNOWS, 913)])
+        assert result.compaction is not None
+        assert service.statistics()["updates"]["compactions"] == 1
+
+    def test_from_file_writable_round_trip(self, store, cardinalities,
+                                           tmp_path):
+        path = tmp_path / "dyn.ridx"
+        build_index(store, "2tp").save(path)
+        wal = tmp_path / "dyn.wal"
+        service = QueryService.from_file(path, writable=True, wal_path=wal)
+        service.insert([(920, KNOWS, 921)])
+        service.index.close()
+        # A restart replays the WAL: the acknowledged insert is still there.
+        recovered = QueryService.from_file(path, writable=True, wal_path=wal)
+        assert recovered.select((920, KNOWS, None)).count == 1
+        recovered.index.close()
+
+    def test_compact_persists_container_and_resets_wal(self, store,
+                                                       cardinalities,
+                                                       tmp_path):
+        """Durability hand-over: the WAL survives an in-memory compaction
+        and is truncated only once the rebuilt container is on disk."""
+        from repro.dynamic import DynamicIndex
+        from repro.storage import file_info
+
+        path = tmp_path / "dyn.ridx"
+        build_index(store, "2tp").save(path)
+        wal = tmp_path / "dyn.wal"
+        service = QueryService.from_file(path, writable=True, wal_path=wal)
+        service.insert([(930, KNOWS, 931)])
+        # A bare DynamicIndex.compact keeps the WAL (nothing persisted)...
+        bare = DynamicIndex.open(build_index(store, "2tp"),
+                                 wal_path=tmp_path / "bare.wal")
+        bare.insert([(1, KNOWS, 940)])
+        bare.compact()
+        assert bare._wal.num_records == 1
+        bare.close()
+        # ...while the service persists to its source file, then truncates.
+        service.compact()
+        assert service.index._wal.num_records == 0
+        info = file_info(path)
+        assert info["meta"]["num_triples"] == len(_graph_triples()) + 1
+        assert "delta" not in info["section_bytes"]
+        service.index.close()
+        # A restart sees the compacted container; the empty WAL adds nothing.
+        recovered = QueryService.from_file(path, writable=True, wal_path=wal)
+        assert recovered.select((930, KNOWS, None)).count == 1
+        recovered.index.close()
+
+    def test_failed_compaction_persist_does_not_fail_the_request(
+            self, store, cardinalities, tmp_path, monkeypatch):
+        path = tmp_path / "dyn.ridx"
+        build_index(store, "2tp").save(path)
+        wal = tmp_path / "dyn.wal"
+        service = QueryService.from_file(path, writable=True, wal_path=wal)
+        service.insert([(940, KNOWS, 941)])
+        from repro.errors import StorageError
+
+        def failing_save(*args, **kwargs):
+            raise StorageError("disk full")
+
+        monkeypatch.setattr(type(service.index), "save", failing_save)
+        result = service.compact()  # compaction itself succeeds in memory
+        assert result.compacted
+        monkeypatch.undo()
+        report = service.statistics()["updates"]
+        assert "StorageError" in report["persist_error"]
+        # The WAL was NOT reset: a restart still replays the full history.
+        assert service.index._wal.num_records == 1
+        service.index.close()
+        recovered = QueryService.from_file(path, writable=True, wal_path=wal)
+        assert recovered.select((940, KNOWS, None)).count == 1
+        recovered.index.close()
+
+    def test_delta_file_served_read_only_stays_read_only(self, store,
+                                                         cardinalities,
+                                                         tmp_path):
+        """A delta-carrying file needs the dynamic wrapper for correct
+        reads, but that must not silently enable writes."""
+        from repro.dynamic import DynamicIndex
+        path = tmp_path / "delta.ridx"
+        writable = DynamicIndex(build_index(store, "2tp"))
+        writable.insert([(950, KNOWS, 951)])
+        writable.save(path)
+        service = QueryService.from_file(path)  # no writable=True
+        # Reads see the merged view (the stored delta insert is there)...
+        assert service.select((950, KNOWS, None)).count == 1
+        # ...but every mutation is refused, and /stats says read-only.
+        with pytest.raises(ServiceError, match="read-only"):
+            service.insert([(960, KNOWS, 961)])
+        with pytest.raises(ServiceError, match="read-only"):
+            service.compact()
+        assert service.statistics()["index"]["writable"] is False

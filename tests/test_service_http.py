@@ -233,3 +233,94 @@ class TestBodySizeLimit:
         assert excinfo.value.code == 413
         body = json.loads(excinfo.value.read())
         assert body["error"]["type"] == "PayloadTooLarge"
+
+
+def _post_path(url, path, body):
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url + path, data=data, method="POST",
+                                     headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def writable_url():
+    """A fresh writable server per test (updates mutate state)."""
+    from repro.dynamic import DynamicIndex
+
+    dictionary, store = RdfDictionary.from_term_triples(TERM_TRIPLES)
+    index = DynamicIndex(build_index(store, "2tp"))
+    service = QueryService(index, dictionary=dictionary)
+    instance = build_server(service, host="127.0.0.1", port=0, quiet=True)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    host, port = instance.server_address[:2]
+    yield f"http://{host}:{port}"
+    instance.shutdown()
+    instance.server_close()
+    thread.join(timeout=5)
+
+
+class TestUpdateEndpoint:
+    def test_insert_query_compact_requery(self, writable_url):
+        """The serving-loop acceptance flow, over real HTTP."""
+        status, before = _post_path(writable_url, "/query",
+                                    {"pattern": [None, None, None]})
+        assert status == 200
+        status, update = _post_path(
+            writable_url, "/update",
+            {"insert": [[90, 0, 91], [91, 0, 92]], "delete": [[0, 0, 1]]})
+        assert status == 200
+        assert update["inserted"] == 2 and update["deleted"] == 1
+        # insert + delete land as ONE atomic batch: a single epoch bump.
+        assert update["epoch"] == 1 and update["compacted"] is False
+        status, merged = _post_path(writable_url, "/query",
+                                    {"pattern": [None, None, None]})
+        assert merged["count"] == before["count"] + 1
+        status, compacted = _post_path(writable_url, "/compact", {})
+        assert status == 200
+        assert compacted["compacted"] is True
+        assert compacted["absorbed_inserts"] == 2
+        status, after = _post_path(writable_url, "/query",
+                                   {"pattern": [None, None, None]})
+        assert after["count"] == merged["count"]
+        assert after["triples"] == merged["triples"]
+
+    def test_stats_expose_delta_and_epoch_gauges(self, writable_url):
+        _post_path(writable_url, "/update", {"insert": [[80, 1, 81]]})
+        status, stats = _get(writable_url + "/stats")
+        assert status == 200
+        assert stats["index"]["writable"] is True
+        assert stats["index"]["epoch"] == 1
+        assert stats["updates"]["delta_inserted"] == 1
+        assert stats["updates"]["applied"] == 1
+
+    def test_malformed_updates_are_400(self, writable_url):
+        # Shape errors raise ServiceError at the HTTP layer; component
+        # errors raise UpdateError from the one shared validator.  Either
+        # way: structured 400, nothing applied.
+        for body in ({}, {"insert": "nope"}, {"insert": [[1, 2]]},
+                     {"insert": [[1, 2, -3]]}, {"insert": [[1, 2, 2**63]]},
+                     {"insert": [], "bogus": 1}):
+            status, response = _post_path(writable_url, "/update", body)
+            assert status == 400, body
+            assert response["error"]["type"] in ("ServiceError",
+                                                 "UpdateError")
+        status, q = _post_path(writable_url, "/query",
+                               {"pattern": [None, None, None]})
+        assert q["count"] == len(TERM_TRIPLES)
+
+    def test_compact_rejects_a_body(self, writable_url):
+        status, response = _post_path(writable_url, "/compact",
+                                      {"unexpected": True})
+        assert status == 400
+        assert "empty body" in response["error"]["message"]
+
+    def test_read_only_server_rejects_updates(self, base_url):
+        status, response = _post_path(base_url, "/update",
+                                      {"insert": [[1, 1, 1]]})
+        assert status == 400
+        assert "read-only" in response["error"]["message"]
