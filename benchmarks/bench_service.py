@@ -38,6 +38,12 @@ WARM_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_WARM_REQUESTS", "640"))
 COLD_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_COLD_REQUESTS", "64"))
 MAX_LIMIT = 1_000
 
+#: Sum of per-query cold execution times over the LUBM log, measured at the
+#: previous PR's head (commit e5505de, same machine/dataset/defaults).
+#: Kept in the JSON so successive PRs can read the trajectory without
+#: checking out old commits; re-measure when the dataset defaults change.
+PR5_COLD_TOTAL_SECONDS = 0.415
+
 
 @lru_cache(maxsize=None)
 def _setup():
@@ -122,14 +128,20 @@ def _measurements():
 def _report() -> dict:
     per_query, throughput = _measurements()
     speedups = [entry["speedup"] for entry in per_query]
+    cold_total = sum(entry["cold_us"] for entry in per_query) / 1e6
     return {
         "dataset": "lubm",
         "num_queries": len(per_query),
         "per_query": per_query,
         "median_cached_speedup": sorted(speedups)[len(speedups) // 2],
         "min_cached_speedup": min(speedups),
+        "cold_total_seconds": cold_total,
         "throughput": throughput,
         "num_threads": NUM_THREADS,
+        "baseline": {
+            "pr5_cold_total_seconds": PR5_COLD_TOTAL_SECONDS,
+            "cold_speedup_vs_pr5": PR5_COLD_TOTAL_SECONDS / cold_total,
+        },
     }
 
 

@@ -61,6 +61,12 @@ QUERIES = {
 CYCLIC = ("triangle", "square")
 MIN_TRIANGLE_SPEEDUP = 2.0
 
+#: Triangle wcoj wall-clock measured at the previous PR's head (commit
+#: e5505de, same machine/dataset/defaults), before the batch-cursor work.
+#: Kept in the JSON so successive PRs can read the trajectory without
+#: checking out old commits; re-measure when the dataset defaults change.
+PR5_TRIANGLE_WCOJ_SECONDS = 3.2
+
 
 def zipf_graph(num_edges: int, num_nodes: int, exponent: float,
                seed: int = 0) -> TripleStore:
@@ -116,6 +122,8 @@ def _report() -> "dict":
                 "wcoj_seconds": wcoj_seconds,
                 "speedup": nested_seconds / wcoj_seconds,
             })
+    by_name = {row["query"]: row for row in rows}
+    triangle_wcoj = by_name["triangle"]["wcoj_seconds"]
     return {
         "dataset": {
             "main_triples": len(_setup("main")[0]),
@@ -124,6 +132,11 @@ def _report() -> "dict":
             "layout": LAYOUT,
         },
         "queries": rows,
+        "baseline": {
+            "pr5_triangle_wcoj_seconds": PR5_TRIANGLE_WCOJ_SECONDS,
+            "triangle_speedup_vs_pr5":
+                PR5_TRIANGLE_WCOJ_SECONDS / triangle_wcoj,
+        },
     }
 
 

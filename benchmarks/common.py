@@ -83,8 +83,17 @@ def workloads_for(profile_name: str, num_triples: int = DEFAULT_TRIPLES,
     return build_workloads(dataset(profile_name, num_triples), count=count, seed=seed)
 
 
-def write_result(name: str, text: str) -> None:
-    """Print a paper-style table and persist it under ``benchmarks/results/``."""
+def write_result(name: str, text: str, data: dict | None = None) -> None:
+    """Print a paper-style table and persist it under ``benchmarks/results/``.
+
+    ``data`` (optional) additionally writes structured numbers to
+    ``BENCH_<name>.json`` so that successive PRs can track the trajectory
+    without parsing tables.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        import json
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     print(f"\n{text}\n")

@@ -147,7 +147,7 @@ def _command_build(args: argparse.Namespace) -> int:
     planner_stats = (None if args.no_stats
                      else QueryPlanner.cardinalities_from_store(store))
     written = index.save(args.output, dictionary=dictionary,
-                         planner_stats=planner_stats)
+                         planner_stats=planner_stats, aligned=args.align)
     save_seconds = time.perf_counter() - started
 
     print(f"indexed {len(store)} triples "
@@ -320,7 +320,7 @@ def _command_query(args: argparse.Namespace) -> int:
         print("error: --engine only applies to SPARQL queries, not --pattern",
               file=sys.stderr)
         return 2
-    loaded = load_index(args.index)
+    loaded = load_index(args.index, mmap=args.mmap)
     # A file carrying a delta section must answer through the merged view.
     index = loaded.queryable()
     if args.pattern is not None:
@@ -393,7 +393,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         result_cache_size=args.result_cache,
         default_timeout=args.timeout,
         max_limit=args.max_limit,
-        engine=args.engine)
+        engine=args.engine,
+        mmap=args.mmap)
     load_seconds = time.perf_counter() - started
     server = build_server(service, host=args.host, port=args.port,
                           quiet=args.quiet)
@@ -447,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--no-stats", action="store_true",
                        help="skip bundling the planner's cardinality "
                             "histograms into the output file")
+    build.add_argument("--align", action="store_true",
+                       help="write the v3 container with 64-byte aligned "
+                            "sections, the layout 'query --mmap' and "
+                            "'serve --mmap' map most efficiently")
     build.set_defaults(handler=_command_build)
 
     update = subparsers.add_parser(
@@ -503,6 +508,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "pipeline, leapfrog worst-case-optimal multiway "
                             "join, or auto (default: auto picks wcoj for "
                             "cyclic/multi-join BGPs)")
+    query.add_argument("--mmap", action="store_true",
+                       help="memory-map the index file instead of reading "
+                            "it eagerly (O(1) start-up; skips per-section "
+                            "payload checksums)")
     query.set_defaults(handler=_command_query)
 
     info = subparsers.add_parser(
@@ -551,6 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "base triples; bounds the delta's per-batch "
                             "copy-on-write cost (default: 0.25; 0 disables, "
                             "leaving only explicit POST /compact)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the index file instead of reading "
+                            "it eagerly (O(1) start-up; skips per-section "
+                            "payload checksums)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     serve.set_defaults(handler=_command_serve)

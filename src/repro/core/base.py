@@ -58,6 +58,33 @@ class TripleIndex(ABC):
         """Materialise the matches of ``pattern`` as a sorted list."""
         return sorted(self.select(pattern))
 
+    def select_values(self, bound: Dict[int, int], role: int):
+        """Distinct values of component ``role`` among matching triples, as a
+        sorted ``numpy.int64`` array — or ``None`` when no exact block source
+        exists for the shape.
+
+        ``bound`` maps roles (0=S, 1=P, 2=O) to fixed constants, exactly as
+        in ``seek_cursor``.  The default implementation asks ``seek_cursor``
+        for an *exact* cursor exposing ``remaining_block()`` and decodes it
+        in one vectorised pass; index families without native cursors (the
+        educational baselines) return ``None`` and callers fall back to the
+        scalar path.  Overlay indexes override this to apply per-block
+        tombstone filtering (see :class:`repro.dynamic.SnapshotIndex`).
+        """
+        seek = getattr(self, "seek_cursor", None)
+        if seek is None:
+            return None
+        native = seek(bound, role)
+        if native is None:
+            return None
+        cursor, exact = native
+        if not exact:
+            return None
+        block = getattr(cursor, "remaining_block", None)
+        if block is None:
+            return None
+        return block()
+
     def bits_per_triple(self) -> float:
         """Average space per triple — the headline space metric of the paper."""
         if self.num_triples == 0:
@@ -72,7 +99,8 @@ class TripleIndex(ABC):
     # Persistence.
     # ------------------------------------------------------------------ #
 
-    def save(self, path, dictionary=None, planner_stats=None) -> int:
+    def save(self, path, dictionary=None, planner_stats=None,
+             aligned: bool = False) -> int:
         """Persist this index (plus an optional RDF dictionary) to ``path``.
 
         The file is a versioned, checksummed container readable by
@@ -81,11 +109,13 @@ class TripleIndex(ABC):
         raise :class:`repro.errors.StorageError`.  ``planner_stats`` are the
         query planner's per-role cardinality histograms (see
         ``QueryPlanner.cardinalities_from_store``); bundling them lets a
-        loaded index plan as well as a freshly built one.
+        loaded index plan as well as a freshly built one.  ``aligned=True``
+        writes the v3 container (64-byte aligned sections) so the file can
+        later be opened with ``load_index(path, mmap=True)``.
         """
         from repro.storage import save_index
         return save_index(self, path, dictionary=dictionary,
-                          planner_stats=planner_stats)
+                          planner_stats=planner_stats, aligned=aligned)
 
     @classmethod
     def load(cls, path) -> "TripleIndex":

@@ -150,6 +150,16 @@ class CrossCompressedIndex(PermutedTrieIndex):
         # Level-1 objects are stored verbatim; the default cursor is fine.
         return super()._build_trie_cursor(name, trie, bound, role)
 
+    def _block_from_plan(self, name: str, bound: Mapping[int, int],
+                         role: int):
+        if name == "pos" and PERMUTATIONS["pos"].order.index(role) == 2:
+            # The deep POS level stores subject *ranks*: decoding the raw
+            # block would skip the unmap indirection.  Fall back to the
+            # generic cursor path, which routes through the FunctionCursor
+            # built by :meth:`_build_trie_cursor`.
+            return None
+        return super()._block_from_plan(name, bound, role)
+
     def _select_on_pos_unmapping(self, pattern: TriplePattern
                                  ) -> Iterator[Tuple[int, int, int]]:
         trie = self._tries["pos"]

@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.base import PatternLike, TripleIndex
-from repro.core.index_3t import build_trie_cursor, plan_trie_cursor
+from repro.core.index_3t import (build_trie_cursor, plan_trie_cursor,
+                                 trie_value_block)
 from repro.core.pairs import PairStructure
 from repro.core.patterns import PatternKind, TriplePattern
 from repro.core.permutations import PERMUTATIONS
@@ -49,6 +50,10 @@ class TwoTrieIndex(TripleIndex):
         self._second = second_trie
         self._variant = variant
         self._ps = ps_structure
+        # Memoised seek_cursor decisions, keyed by (bound roles, role): the
+        # plan depends only on the bound *shape*, never on the values.
+        self._cursor_plans: Dict[Tuple[frozenset, int],
+                                 Optional[Tuple[str, bool]]] = {}
 
     # ------------------------------------------------------------------ #
     # Properties.
@@ -154,6 +159,48 @@ class TwoTrieIndex(TripleIndex):
         the two materialised tries; 2To additionally serves ``?P? -> subject``
         successors exactly from its auxiliary PS structure.
         """
+        plan_key = (frozenset(bound), role)
+        cached = self._cursor_plans.get(plan_key, False)
+        if cached is False:
+            cached = self._plan_seek_cursor(bound, role)
+            self._cursor_plans[plan_key] = cached
+        if cached is None:
+            return None
+        name, exact = cached
+        if name == "ps":
+            return self._ps.cursor_of(bound[PREDICATE]), exact
+        trie = self._spo if name == "spo" else self._second
+        return build_trie_cursor(trie, PERMUTATIONS[name].order, bound,
+                                 role), exact
+
+    def select_values(self, bound: Mapping[int, int], role: int):
+        """Sorted distinct candidate block without cursor construction.
+
+        Mirrors :meth:`PermutedTrieIndex.select_values`: exact trie plans
+        decode their sibling range in one vectorised pass; the auxiliary PS
+        plan and block-less shapes fall back to the generic cursor path.
+        """
+        plan_key = (frozenset(bound), role)
+        cached = self._cursor_plans.get(plan_key, False)
+        if cached is False:
+            cached = self._plan_seek_cursor(bound, role)
+            self._cursor_plans[plan_key] = cached
+        if cached is None:
+            return None
+        name, exact = cached
+        if not exact:
+            return None
+        if name != "ps":
+            trie = self._spo if name == "spo" else self._second
+            block = trie_value_block(trie, PERMUTATIONS[name].order, bound,
+                                     role)
+            if block is not None:
+                return block
+        return super().select_values(bound, role)
+
+    def _plan_seek_cursor(self, bound: Mapping[int, int], role: int
+                          ) -> Optional[Tuple[str, bool]]:
+        """The (trie name, exact) decision behind :meth:`seek_cursor`."""
         best = None
         for name, trie in (("spo", self._spo),
                            (self._second.permutation_name, self._second)):
@@ -170,12 +217,11 @@ class TwoTrieIndex(TripleIndex):
                 and SUBJECT not in bound and OBJECT not in bound):
             ps_score = (1, 1, 1)
             if best is None or ps_score > best[0]:
-                return self._ps.cursor_of(bound[PREDICATE]), True
+                return "ps", True
         if best is None:
             return None
-        _score, exact, name, trie = best
-        return build_trie_cursor(trie, PERMUTATIONS[name].order, bound,
-                                 role), exact
+        _score, exact, name, _trie = best
+        return name, exact
 
     # ------------------------------------------------------------------ #
     # Space accounting.

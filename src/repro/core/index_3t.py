@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.core.base import PatternLike, TripleIndex
 from repro.core.patterns import PatternKind, TriplePattern
 from repro.core.permutations import PERMUTATIONS
@@ -74,6 +76,34 @@ def build_trie_cursor(trie: PermutationTrie,
     return trie.prefix_cursor(first, bound[permutation_order[1]])
 
 
+_EMPTY_BLOCK = np.zeros(0, dtype=np.int64)
+
+
+def trie_value_block(trie: PermutationTrie,
+                     permutation_order: Tuple[int, int, int],
+                     bound: Mapping[int, int], role: int
+                     ) -> Optional[np.ndarray]:
+    """Vectorised counterpart of :func:`build_trie_cursor` for exact plans.
+
+    Returns the sorted distinct candidate values as one int64 block without
+    constructing any cursor object, or ``None`` when the selected plan has no
+    single-block form (implicit root, or the filtered "middle" cursor whose
+    per-child membership probes cannot be batched here).
+    """
+    k = permutation_order.index(role)
+    if k == 0:
+        return None
+    first = bound[permutation_order[0]]
+    if k == 1:
+        if permutation_order[2] in bound:
+            return None
+        return trie.children_block(first)
+    position = trie.find_child(first, bound[permutation_order[1]])
+    if position < 0:
+        return _EMPTY_BLOCK
+    return trie.pair_children_block(position)
+
+
 class PermutedTrieIndex(TripleIndex):
     """3T: SPO + POS + OSP permuted tries behind a single pattern interface."""
 
@@ -96,6 +126,11 @@ class PermutedTrieIndex(TripleIndex):
         if missing:
             raise PatternError(f"3T index requires tries {sorted(missing)}")
         self._tries = tries
+        # seek_cursor plans depend only on *which* roles are bound, not on
+        # their values, so the (bound-roles, role) -> (trie, exact) decision
+        # is memoised; the join engines re-plan the same shape per binding.
+        self._cursor_plans: Dict[Tuple[frozenset, int],
+                                 Optional[Tuple[str, bool]]] = {}
 
     # ------------------------------------------------------------------ #
     # TripleIndex interface.
@@ -154,6 +189,20 @@ class PermutedTrieIndex(TripleIndex):
         serve the shape — the join engine then falls back to materialising
         the candidates through :meth:`select`.
         """
+        cached = self._plan(bound, role)
+        if cached is None:
+            return None
+        name, exact = cached
+        return self._build_trie_cursor(name, self._tries[name], bound,
+                                       role), exact
+
+    def _plan(self, bound: Mapping[int, int], role: int
+              ) -> Optional[Tuple[str, bool]]:
+        """Memoised ``(trie name, exact)`` decision for one bound shape."""
+        plan_key = (frozenset(bound), role)
+        cached = self._cursor_plans.get(plan_key, False)
+        if cached is not False:
+            return cached
         best = None
         for name, trie in self._tries.items():
             plan = plan_trie_cursor(PERMUTATIONS[name].order, bound, role)
@@ -163,9 +212,39 @@ class PermutedTrieIndex(TripleIndex):
             if best is None or score > best[0]:
                 best = (score, exact, name, trie)
         if best is None:
+            self._cursor_plans[plan_key] = None
             return None
-        _score, exact, name, trie = best
-        return self._build_trie_cursor(name, trie, bound, role), exact
+        _score, exact, name, _trie = best
+        self._cursor_plans[plan_key] = (name, exact)
+        return name, exact
+
+    def select_values(self, bound: Mapping[int, int], role: int
+                      ) -> Optional[np.ndarray]:
+        """Sorted distinct candidate block without cursor construction.
+
+        Rides the memoised plan: exact prefix/children plans decode their
+        sibling range in one vectorised pass; shapes whose plan has no block
+        form fall back to the generic cursor-based implementation (which in
+        turn returns ``None`` for inexact plans).
+        """
+        cached = self._plan(bound, role)
+        if cached is None:
+            return None
+        name, exact = cached
+        if not exact:
+            return None
+        block = self._block_from_plan(name, bound, role)
+        if block is None:
+            return super().select_values(bound, role)
+        return block
+
+    def _block_from_plan(self, name: str, bound: Mapping[int, int],
+                         role: int) -> Optional[np.ndarray]:
+        """Decode the chosen plan's block on one trie (hook for subclasses
+        whose stored levels need a value rewrite — see
+        :class:`repro.core.cross_compression.CrossCompressedIndex`)."""
+        return trie_value_block(self._tries[name], PERMUTATIONS[name].order,
+                                bound, role)
 
     def _build_trie_cursor(self, name: str, trie: PermutationTrie,
                            bound: Mapping[int, int], role: int):

@@ -53,6 +53,16 @@ from repro.sequences.prefix_sum import RangedSequence
 #
 # Elements are distinct and strictly increasing, which every trie sibling
 # range guarantees (triples are deduplicated).
+#
+# Cursors backed by decodable storage additionally expose
+#
+# ``remaining_block()`` — every element from the current key (inclusive) to
+#                         the end, as one sorted ``numpy.int64`` array,
+#                         without moving the cursor.
+#
+# The join engines probe for it with ``getattr`` and fall back to the scalar
+# protocol where it is absent (e.g. predicate-filtered cursors, for which a
+# block would cost as much as the scalar walk).
 # --------------------------------------------------------------------------- #
 
 
@@ -65,6 +75,16 @@ class RangeCursor:
         self._end = end
         self.key: Optional[int] = begin if begin < end else None
 
+    @property
+    def end(self) -> int:
+        """Exclusive upper bound of the virtual range.
+
+        The join engine reads this to collapse an implicit-root cursor into
+        a clip on an already-vectorised intersection instead of stepping the
+        whole dense domain through the leapfrog.
+        """
+        return self._end
+
     def advance(self) -> None:
         position = self.key + 1
         self.key = position if position < self._end else None
@@ -73,6 +93,11 @@ class RangeCursor:
         if self.key is None or value <= self.key:
             return
         self.key = value if value < self._end else None
+
+    def remaining_block(self) -> np.ndarray:
+        if self.key is None:
+            return np.zeros(0, dtype=np.int64)
+        return np.arange(self.key, self._end, dtype=np.int64)
 
 
 class ArrayCursor:
@@ -97,6 +122,12 @@ class ArrayCursor:
         position = bisect_left(self._values, value, self._position, self._end)
         self._position = position
         self.key = self._values[position] if position < self._end else None
+
+    def remaining_block(self) -> np.ndarray:
+        if self.key is None:
+            return np.zeros(0, dtype=np.int64)
+        return np.asarray(self._values[self._position:self._end],
+                          dtype=np.int64)
 
 
 class LevelCursor:
@@ -136,6 +167,14 @@ class LevelCursor:
             self._position = self._end
             self.key = None
 
+    def remaining_block(self) -> np.ndarray:
+        """All elements from the current position to the range end, decoded
+        with the codec's batch kernel (one vectorised pass, no Python loop)."""
+        if self.key is None:
+            return np.zeros(0, dtype=np.int64)
+        return self._nodes.decode_block_in_range(self._begin, self._end,
+                                                 start=self._position)
+
 
 class FunctionCursor:
     """Cursor over a strictly increasing function of positions ``[begin, end)``.
@@ -171,6 +210,19 @@ class FunctionCursor:
                 hi = mid
         self._position = lo
         self.key = fn(lo) if lo < self._end else None
+
+    def remaining_block(self) -> np.ndarray:
+        """Remaining elements as an array.
+
+        The indirection function runs once per element, so this is no faster
+        than the scalar walk — it exists so callers intersecting several
+        cursors can use one code path.
+        """
+        if self.key is None:
+            return np.zeros(0, dtype=np.int64)
+        fn = self._fn
+        return np.fromiter((fn(p) for p in range(self._position, self._end)),
+                           dtype=np.int64, count=self._end - self._position)
 
 
 class FilteredChildrenCursor:
@@ -240,7 +292,14 @@ class PermutationTrie:
     """A 3-level trie over one permutation of the triples."""
 
     __slots__ = ("permutation_name", "config", "_num_first", "_num_pairs",
-                 "_num_triples", "_pointers0", "_nodes1", "_pointers1", "_nodes2")
+                 "_num_triples", "_pointers0", "_nodes1", "_pointers1", "_nodes2",
+                 "_ptr0_decoded", "_ptr1_decoded", "_ptr_ops")
+
+    #: Scalar pointer lookups tolerated before the Elias-Fano pointer arrays
+    #: are mirrored into plain numpy arrays (same adaptive warm-up contract
+    #: as :class:`repro.sequences.RangedSequence` — derived state, never
+    #: persisted, so O(1) loads stay O(1) for one-shot lookups).
+    ADAPTIVE_DECODE_THRESHOLD = 64
 
     def __init__(self, permutation_name: str, config: TrieConfig, num_first: int,
                  pointers0: EliasFano, nodes1: RangedSequence, pointers1: EliasFano,
@@ -254,6 +313,9 @@ class PermutationTrie:
         self._nodes2 = nodes2
         self._num_pairs = len(nodes1)
         self._num_triples = num_triples
+        self._ptr0_decoded: Optional[np.ndarray] = None
+        self._ptr1_decoded: Optional[np.ndarray] = None
+        self._ptr_ops = 0
 
     # ------------------------------------------------------------------ #
     # Construction.
@@ -344,12 +406,27 @@ class PermutationTrie:
         """Range ``[begin, end)`` of first_id's children in the level-1 sequence."""
         if not 0 <= first_id < self._num_first:
             return (0, 0)
-        return (self._pointers0.access(first_id), self._pointers0.access(first_id + 1))
+        ptr = self._ptr0_decoded
+        if ptr is None:
+            self._ptr_ops += 1
+            if self._ptr_ops < self.ADAPTIVE_DECODE_THRESHOLD:
+                return (self._pointers0.access(first_id),
+                        self._pointers0.access(first_id + 1))
+            ptr = self._ptr0_decoded = self._pointers0.decode_block(
+                0, len(self._pointers0))
+        return (int(ptr[first_id]), int(ptr[first_id + 1]))
 
     def pair_children_range(self, pair_position: int) -> Tuple[int, int]:
         """Range ``[begin, end)`` of a level-1 node's children in the level-2 sequence."""
-        return (self._pointers1.access(pair_position),
-                self._pointers1.access(pair_position + 1))
+        ptr = self._ptr1_decoded
+        if ptr is None:
+            self._ptr_ops += 1
+            if self._ptr_ops < self.ADAPTIVE_DECODE_THRESHOLD:
+                return (self._pointers1.access(pair_position),
+                        self._pointers1.access(pair_position + 1))
+            ptr = self._ptr1_decoded = self._pointers1.decode_block(
+                0, len(self._pointers1))
+        return (int(ptr[pair_position]), int(ptr[pair_position + 1]))
 
     def second_at(self, begin: int, end: int, position: int) -> int:
         """Level-1 node value at ``position`` within sibling range ``[begin, end)``."""
@@ -362,6 +439,20 @@ class PermutationTrie:
     def scan_third(self, begin: int, end: int) -> Iterator[int]:
         """Decode the level-2 sibling range ``[begin, end)``."""
         return self._nodes2.scan_range(begin, end)
+
+    def children_block(self, first_id: int) -> np.ndarray:
+        """All level-1 children of ``first_id`` as one sorted int64 array."""
+        begin, end = self.children_range(first_id)
+        return self._nodes1.decode_block_in_range(begin, end)
+
+    def third_block(self, begin: int, end: int) -> np.ndarray:
+        """The level-2 sibling range ``[begin, end)`` as one int64 array."""
+        return self._nodes2.decode_block_in_range(begin, end)
+
+    def pair_children_block(self, pair_position: int) -> np.ndarray:
+        """All level-2 children of a level-1 node as one sorted int64 array."""
+        begin, end = self.pair_children_range(pair_position)
+        return self._nodes2.decode_block_in_range(begin, end)
 
     def find_third(self, begin: int, end: int, value: int) -> int:
         """Absolute position of ``value`` in the level-2 sibling range, or -1."""
@@ -414,17 +505,22 @@ class PermutationTrie:
                 if position != NOT_FOUND:
                     yield (first, second_value, third)
             else:
-                for third_value in self._nodes2.scan_range(child_begin, child_end):
+                block = self._nodes2.decode_block_in_range(child_begin, child_end)
+                for third_value in block.tolist():
                     yield (first, second_value, third_value)
 
     def scan_all(self) -> Iterator[Tuple[int, int, int]]:
         """Full scan (the ``???`` pattern), in lexicographic permuted order."""
         for first in range(self._num_first):
             begin, end = self.children_range(first)
-            for pair_position in range(begin, end):
-                second_value = self._nodes1.access_in_range(begin, end, pair_position)
+            if begin == end:
+                continue
+            seconds = self._nodes1.decode_block_in_range(begin, end).tolist()
+            for offset, pair_position in enumerate(range(begin, end)):
+                second_value = seconds[offset]
                 child_begin, child_end = self.pair_children_range(pair_position)
-                for third_value in self._nodes2.scan_range(child_begin, child_end):
+                block = self._nodes2.decode_block_in_range(child_begin, child_end)
+                for third_value in block.tolist():
                     yield (first, second_value, third_value)
 
     # ------------------------------------------------------------------ #

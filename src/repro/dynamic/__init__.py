@@ -15,6 +15,24 @@ re-materialisation):
   compaction that folds the delta into a freshly built index;
 * :class:`~repro.dynamic.index.SnapshotIndex` — one pinned epoch of that
   view, what a query actually executes against.
+
+Two invariants the rest of the system leans on:
+
+**Epoch/snapshot isolation.**  Every effective write bumps the epoch and
+replaces the immutable ``(delta, epoch)`` snapshot; readers that pinned the
+previous snapshot keep a consistent view for their whole query, with no
+locks on the read path.  The serving layer keys its result cache on the
+epoch, so a write retires exactly the cached pages it could have outdated.
+
+**Tombstone-conservative exactness.**  Merged answers must never show a
+deleted triple.  Scalar paths filter tombstones per candidate; any
+outstanding tombstone that could intersect a pattern demotes its cursors
+to *inexact*, routing the join engines through their filtered fallback.
+The vectorised block path applies the same rule: ``select_values`` filters
+tombstones out of a block only when two roles are bound (each block value
+then names exactly one triple, so removal is sound) and returns ``None``
+for shorter prefixes, falling back to cursors rather than risk an unsound
+block.  See ``docs/ARCHITECTURE.md``.
 """
 
 from repro.dynamic.delta import DeltaState, normalize_triple

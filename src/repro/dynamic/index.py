@@ -36,6 +36,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.base import PatternLike, TripleIndex
 from repro.core.builder import LAYOUTS as _REBUILDABLE
 from repro.core.patterns import TriplePattern
@@ -86,6 +88,16 @@ class MergedCursor:
         if self._b.key is not None and self._b.key < value:
             self._b.seek(value)
         self._sync()
+
+    def remaining_block(self) -> np.ndarray:
+        """Sorted distinct union of both sides' remaining elements.
+
+        The vectorised tail of the block-cursor protocol (see
+        ``core/trie.py``): lets the join engines drain a merged cursor in
+        one pass instead of stepping key by key.
+        """
+        return np.union1d(self._a.remaining_block(),
+                          self._b.remaining_block())
 
 
 class SnapshotIndex(TripleIndex):
@@ -167,6 +179,41 @@ class SnapshotIndex(TripleIndex):
         if delta_values:
             cursor = MergedCursor(cursor, ArrayCursor(delta_values))
         return cursor, exact
+
+    def select_values(self, bound: Mapping[int, int], role: int):
+        """Sorted candidate block over the merged view, or ``None``.
+
+        The vectorised analogue of :meth:`seek_cursor`: the base block is
+        fetched in one pass, tombstones under the bound prefix are removed
+        *per block* (only possible when ``bound`` pins both other roles, so
+        every block value corresponds to exactly one base triple), and the
+        delta's inserted candidates are unioned in.  When a tombstone
+        matches a shorter prefix the value↔triple correspondence is lost
+        and the method returns ``None`` — the scalar merged-cursor path
+        then applies the conservative exactness demotion instead, so a
+        deleted triple can never leak into a block-built solution.
+        """
+        native = getattr(self.base, "select_values", None)
+        if native is None:
+            return None
+        block = native(bound, role)
+        if block is None:
+            return None
+        delta = self.delta
+        if delta.deleted and delta.has_deleted_matching(bound):
+            if len(bound) != 2:
+                return None
+            components: List[Optional[int]] = [None, None, None]
+            for fixed_role, value in bound.items():
+                components[fixed_role] = value
+            removed = {t[role]
+                       for t in delta.deleted_matching(tuple(components))}
+            if removed:
+                block = block[~np.isin(block, sorted(removed))]
+        inserts = delta.candidates(bound, role)
+        if inserts:
+            block = np.union1d(block, np.asarray(inserts, dtype=np.int64))
+        return block
 
 
 @dataclass
@@ -322,6 +369,9 @@ class DynamicIndex(TripleIndex):
 
     def seek_cursor(self, bound: Mapping[int, int], role: int):
         return self._view.seek_cursor(bound, role)
+
+    def select_values(self, bound: Mapping[int, int], role: int):
+        return self._view.select_values(bound, role)
 
     # ------------------------------------------------------------------ #
     # Write path.

@@ -209,9 +209,68 @@ def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
     instead of materialising every intermediate binding list.
     """
     num_levels = len(plan)
+    # Per-template term shape, computed once per plan: (role, constant, name)
+    # with exactly one of constant/name set.  ``final_level_block`` runs once
+    # per innermost-level visit, so re-scanning the template there would cost
+    # tens of thousands of ``is_variable`` calls on join-heavy queries.
+    term_shapes = [
+        tuple((role, None if is_variable(term) else int(term),
+               term if is_variable(term) else None)
+              for role, term in enumerate(template.terms()))
+        for template in plan
+    ]
+
+    def final_level_block(depth: int, binding: Dict[str, int]):
+        """``(variable, block)`` for the innermost level, or ``None``.
+
+        When the last template has exactly one free occurrence of one
+        variable under ``binding``, every solution it contributes is one
+        value of that variable — so the index can hand back the whole sorted
+        candidate block in a single vectorised pass (``select_values``)
+        instead of streaming triples one by one.  Any other shape (repeated
+        free variable, fully bound, no exact block source) returns ``None``
+        and the scalar pipeline below runs unchanged.
+        """
+        bound: Dict[int, int] = {}
+        free_role = -1
+        free_variable = ""
+        for role, constant, name in term_shapes[depth]:
+            if name is None:
+                bound[role] = constant
+                continue
+            value = binding.get(name)
+            if value is None:
+                if free_role >= 0:
+                    return None
+                free_role, free_variable = role, name
+            else:
+                bound[role] = value
+        if free_role < 0:
+            return None
+        block = index.select_values(bound, free_role)
+        if block is None:
+            return None
+        return free_variable, block
 
     def recurse(depth: int, binding: Dict[str, int]) -> Iterator[Dict[str, int]]:
         template = plan[depth]
+        if depth + 1 == num_levels:
+            native = final_level_block(depth, binding)
+            if native is not None:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        "query exceeded its wall-clock timeout "
+                        f"after matching {statistics.triples_matched} triples")
+                variable, block = native
+                statistics.patterns_executed += 1
+                statistics.executed_patterns.append(
+                    template.bind(binding).to_selection_pattern())
+                statistics.triples_matched += int(block.size)
+                for value in block.tolist():
+                    extended = dict(binding)
+                    extended[variable] = value
+                    yield extended
+                return
         pattern = template.bind(binding).to_selection_pattern()
         statistics.patterns_executed += 1
         statistics.executed_patterns.append(pattern)

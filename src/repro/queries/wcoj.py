@@ -31,6 +31,19 @@ index families:
   the most selective pattern's candidates so at least one exact, tight
   stream drives the leapfrog.
 
+* **Blocks.**  At the *last* variable of the elimination order the engine
+  abandons pointer-chasing entirely: each pattern contributes its sorted
+  candidate block (``index.select_values`` / ``cursor.remaining_block()``,
+  both numpy int64 arrays) and :func:`_intersect_blocks` intersects them
+  with ``searchsorted`` — one vectorised call replacing an entire leapfrog
+  round.  The block path inherits the exactness rule *tombstone-
+  conservatively*: the dynamic overlay only returns a block when it can
+  filter delete tombstones soundly (two bound roles, so each block value
+  names exactly one triple) and returns ``None`` otherwise, which drops the
+  engine back to the cursor path with its per-candidate filtered fallback.
+  A deleted triple can therefore never leak into a block-built solution.
+  See ``docs/ARCHITECTURE.md`` for the full protocol contract.
+
 :func:`stream_bgp_wcoj` mirrors the ``limit``/``offset``/``timeout``
 semantics of :func:`repro.queries.planner.stream_bgp`; :func:`choose_engine`
 implements the ``engine="auto"`` policy (wcoj for cyclic or multi-join BGPs,
@@ -42,6 +55,8 @@ from __future__ import annotations
 import time
 import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.base import TripleIndex
 from repro.core.trie import ArrayCursor
@@ -172,25 +187,71 @@ class _CursorFactory:
         self._statistics = statistics
         self._deadline = deadline
         self._cache: Dict[tuple, List[int]] = {}
+        # Per-(template, variable) shape analysis — which roles hold the
+        # target variable, which hold constants, which hold other variables —
+        # is binding-independent, so it is computed once per query instead of
+        # once per recursion step.
+        self._shapes: Dict[Tuple[int, str], tuple] = {}
+
+    def _shape_for(self, template_index: int,
+                   template: TriplePatternTemplate, variable: str) -> tuple:
+        shape = self._shapes.get((template_index, variable))
+        if shape is None:
+            terms = template.terms()
+            positions = [role for role, term in enumerate(terms)
+                         if term == variable]
+            constants = {role: int(term) for role, term in enumerate(terms)
+                         if not is_variable(term)}
+            other_vars = [(role, term) for role, term in enumerate(terms)
+                          if is_variable(term) and term != variable]
+            shape = (positions, constants, other_vars)
+            self._shapes[(template_index, variable)] = shape
+        return shape
 
     def cursor_for(self, template_index: int, template: TriplePatternTemplate,
                    binding: Dict[str, int], variable: str):
         """``(cursor, exact)`` for ``variable``'s candidates in one pattern."""
-        bound_template = template.bind(binding)
-        terms = bound_template.terms()
-        positions = [role for role, term in enumerate(terms) if term == variable]
-        has_other_free = any(is_variable(term) and term != variable
-                             for term in terms)
+        positions, constants, other_vars = self._shape_for(
+            template_index, template, variable)
         if len(positions) == 1 and self._seek_cursor is not None:
-            bound = {role: int(term) for role, term in enumerate(terms)
-                     if not is_variable(term)}
+            bound = dict(constants)
+            has_other_free = False
+            for role, name in other_vars:
+                value = binding.get(name)
+                if value is None:
+                    has_other_free = True
+                else:
+                    bound[role] = value
             native = self._seek_cursor(bound, positions[0])
             if native is not None:
                 cursor, exact = native
                 if exact or has_other_free:
                     self._statistics.patterns_executed += 1
                     return cursor, exact
-        return self.materialise(template_index, bound_template, variable), True
+        return self.materialise(template_index, template.bind(binding),
+                                variable), True
+
+    def block_for(self, template_index: int,
+                  template: TriplePatternTemplate,
+                  binding: Dict[str, int], variable: str):
+        """Sorted distinct candidate block for the *last* unbound variable of
+        one pattern, or ``None`` when no vectorised exact source exists.
+
+        Skips cursor construction entirely by asking the index for
+        ``select_values`` on the fully bound shape — the per-binding fast
+        path of the deepest join level.
+        """
+        positions, constants, other_vars = self._shape_for(
+            template_index, template, variable)
+        if len(positions) != 1:
+            return None
+        bound = dict(constants)
+        for role, name in other_vars:
+            value = binding.get(name)
+            if value is None:
+                return None
+            bound[role] = value
+        return self._index.select_values(bound, positions[0])
 
     def materialise(self, template_index: int,
                     bound_template: TriplePatternTemplate,
@@ -233,6 +294,24 @@ class _CursorFactory:
             self._cache.clear()
         self._cache[key] = candidates
         return ArrayCursor(candidates)
+
+
+def _intersect_blocks(blocks: List[np.ndarray]) -> np.ndarray:
+    """Intersect sorted distinct int64 blocks, smallest first.
+
+    ``searchsorted`` of the running intersection into each further block is
+    O(|common| log |block|) — unlike ``np.intersect1d`` it never re-sorts the
+    concatenation, so a tiny exact block probing a huge one stays cheap.
+    """
+    blocks = sorted(blocks, key=lambda b: b.size)
+    common = blocks[0]
+    for other in blocks[1:]:
+        if common.size == 0:
+            break
+        positions = other.searchsorted(common)
+        np.minimum(positions, other.size - 1, out=positions)
+        common = common[other[positions] == common]
+    return common
 
 
 def _leapfrog(cursors: Sequence, statistics: ExecutionStatistics,
@@ -347,6 +426,37 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
 
     def recurse(depth: int, binding: Dict[str, int]) -> Iterator[Dict[str, int]]:
         variable = order[depth]
+        last = depth + 1 == len(order)
+        if last:
+            # Last variable: every pattern is fully bound except for this
+            # role, so each pattern's exact candidates come back as one
+            # sorted block straight from the index — no cursor objects at
+            # all.  Any pattern without a vectorised exact source drops us
+            # to the cursor path below.  (At *upper* levels, by contrast,
+            # the lazy cursor protocol wins: blocks would decode whole
+            # sibling ranges whose intersection the leapfrog skips in a few
+            # galloping seeks.)
+            blocks = []
+            for template_index, template in templates_for[variable]:
+                block = factory.block_for(template_index, template, binding,
+                                          variable)
+                if block is None:
+                    blocks = None
+                    break
+                blocks.append(block)
+            if blocks is not None:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        "query exceeded its wall-clock timeout during the "
+                        "multiway intersection")
+                stats.patterns_executed += len(blocks)
+                common = _intersect_blocks(blocks)
+                stats.triples_matched += int(common.size)
+                for value in common.tolist():
+                    binding[variable] = value
+                    yield dict(binding)
+                binding.pop(variable, None)
+                return
         cursors = []
         any_exact = False
         for template_index, template in templates_for[variable]:
@@ -367,9 +477,33 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
             if cursor.key is None:
                 return
             cursors.append(cursor)
+        if last:
+            # Cursor-path variant of the vectorised last level (reached when
+            # some pattern lacked a ``select_values`` source but the cursors
+            # themselves expose blocks — e.g. materialised candidates or the
+            # cross-compressed unmap cursor).
+            blocks = []
+            for cursor in cursors:
+                block_of = getattr(cursor, "remaining_block", None)
+                if block_of is None:
+                    blocks = None
+                    break
+                blocks.append(block_of())
+            if blocks is not None:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        "query exceeded its wall-clock timeout during the "
+                        "multiway intersection")
+                common = _intersect_blocks(blocks)
+                stats.triples_matched += int(common.size)
+                for value in common.tolist():
+                    binding[variable] = value
+                    yield dict(binding)
+                binding.pop(variable, None)
+                return
         for value in _leapfrog(cursors, stats, deadline):
             binding[variable] = value
-            if depth + 1 == len(order):
+            if last:
                 yield dict(binding)
             else:
                 yield from recurse(depth + 1, binding)

@@ -4,12 +4,28 @@ The interface follows the operations required by the pattern-matching
 algorithms of the paper (Fig. 2 and Fig. 5): constant-or-logarithmic random
 ``access``, ``find`` within a sorted sibling range, and cheap sequential
 ``scan`` of a range.
+
+Two *batch kernels* complement the scalar operations:
+
+* :meth:`EncodedSequence.decode_block` — decode a contiguous ``[begin, end)``
+  range into one ``numpy.int64`` array;
+* :meth:`EncodedSequence.next_geq_batch` — the successor primitive for many
+  probe values at once.
+
+The base class provides reference implementations in terms of ``access`` (so
+every codec supports them); codecs whose payload lives in contiguous machine
+words (Elias-Fano, PEF, fixed-width, vbyte) override ``decode_block`` with a
+vectorised decode, and ``next_geq_batch`` rides on it via ``searchsorted``.
+The batch results are **bit-for-bit equal** to looping the scalar operation —
+the property tests in ``tests/test_batch_kernels.py`` pin this down.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import EncodingError
 
@@ -137,6 +153,47 @@ class EncodedSequence(ABC):
         if lo < end:
             return lo, self.access(lo)
         return end, -1
+
+    def decode_block(self, begin: int = 0,
+                     end: Optional[int] = None) -> np.ndarray:
+        """Decode the contiguous range ``[begin, end)`` into an int64 array.
+
+        Reference implementation loops ``access``; codecs with word-aligned
+        payloads override it with a vectorised decode.  The result always
+        equals ``np.fromiter(self.scan(begin, end), np.int64)``.
+        """
+        if end is None:
+            end = len(self)
+        if begin < 0 or end > len(self) or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {len(self)}")
+        return np.fromiter((self.access(i) for i in range(begin, end)),
+                           dtype=np.int64, count=end - begin)
+
+    def next_geq_batch(self, values: Sequence[int], begin: int = 0,
+                       end: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`next_geq` over many probe values.
+
+        Returns ``(positions, elements)`` arrays where row ``i`` equals
+        ``self.next_geq(values[i], begin, end)`` — in particular a probe with
+        no successor in the range yields ``(end, -1)``.  The default decodes
+        the block once and resolves every probe with one ``searchsorted``,
+        which is the right trade when there are many probes per range.
+        """
+        if end is None:
+            end = len(self)
+        if begin < 0 or end > len(self) or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {len(self)}")
+        probes = np.asarray(values, dtype=np.int64)
+        block = self.decode_block(begin, end)
+        if block.size == 0:
+            return (np.full(probes.shape, end, dtype=np.int64),
+                    np.full(probes.shape, -1, dtype=np.int64))
+        offsets = np.searchsorted(block, probes, side="left")
+        positions = offsets + begin
+        elements = np.where(offsets < block.size,
+                            block[np.minimum(offsets, block.size - 1)],
+                            np.int64(-1))
+        return positions.astype(np.int64), elements.astype(np.int64)
 
     def scan(self, begin: int = 0, end: Optional[int] = None) -> Iterator[int]:
         """Yield the elements in ``[begin, end)`` in order."""

@@ -1,9 +1,16 @@
 """Bit vector with rank and select support.
 
 This is the substrate below Elias-Fano and the wavelet tree.  Bits are packed
-into ``numpy.uint64`` words.  Rank uses per-word cumulative popcounts computed
-at construction time; select binary-searches those counts and finishes with a
-byte-table scan inside the word.
+into ``numpy.uint64`` words.  Rank uses per-word cumulative popcounts; select
+either binary-searches those counts and finishes with a byte-table scan inside
+the word, or — once :meth:`BitVector.ones_positions` has been materialised —
+indexes straight into a positions directory.
+
+All acceleration state (cumulative popcounts, the positions directory, even
+the total popcount) is derived *lazily* from the stored words: constructing a
+``BitVector`` over an existing word array is O(1).  That is what makes
+mmap-backed loading near-instant — the words stay on disk until a rank or
+select actually touches them.
 
 Space accounting: :meth:`BitVector.size_in_bits` charges the raw words plus a
 64-bit rank sample every 512 bits (the overhead a practical succinct C++
@@ -14,7 +21,6 @@ this Python port and is not charged.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -92,7 +98,8 @@ class BitVectorBuilder:
 class BitVector:
     """Immutable bit vector supporting ``rank1/rank0`` and ``select1/select0``."""
 
-    __slots__ = ("_words", "_num_bits", "_num_ones", "_cum_list", "_word_list")
+    __slots__ = ("_words", "_num_bits", "_num_ones", "_cum_list", "_word_list",
+                 "_ones_np", "_ones_list")
 
     def __init__(self, words: np.ndarray, num_bits: int):
         expected_words = (num_bits + _WORD_BITS - 1) // _WORD_BITS
@@ -100,7 +107,9 @@ class BitVector:
             raise EncodingError("inconsistent word array for bit vector")
         self._words = words
         self._num_bits = num_bits
-        self._num_ones = int(_popcount_words(words).sum())
+        # All counts and directories are derived lazily from the words so
+        # that constructing over an mmap-backed array touches no pages.
+        self._num_ones: Optional[int] = None
         # Plain-Python mirrors of the rank/select acceleration state, built
         # lazily on the first scalar operation: ``bisect`` on a list and list
         # indexing beat their numpy scalar counterparts by an order of
@@ -110,6 +119,11 @@ class BitVector:
         # ``size_in_bits``).
         self._cum_list: Optional[List[int]] = None
         self._word_list: Optional[List[int]] = None
+        # Select directory: positions of all set bits, as a numpy array (for
+        # batch kernels) plus a plain list (for scalar select1).  Lazy for
+        # the same reason as the mirrors.
+        self._ones_np: Optional[np.ndarray] = None
+        self._ones_list: Optional[List[int]] = None
 
     def _mirrors(self) -> "List[int]":
         """Materialise (once) and return the plain-Python word mirror."""
@@ -119,6 +133,32 @@ class BitVector:
                 ([0], np.cumsum(counts, dtype=np.int64))).tolist()
             self._word_list = self._words.tolist()
         return self._word_list
+
+    def ones_positions(self) -> np.ndarray:
+        """Positions of every set bit, as an ``int64`` array (cached).
+
+        This is the select-1 directory: ``ones_positions()[k] == select1(k)``.
+        Materialising it is one vectorised pass over the words
+        (``np.unpackbits`` + ``flatnonzero``); afterwards scalar ``select1``
+        is a list index and batch Elias-Fano decoding is pure numpy.
+        """
+        if self._ones_np is None:
+            if self._words.size == 0:
+                self._ones_np = np.zeros(0, dtype=np.int64)
+            else:
+                bits = np.unpackbits(self._words.view(np.uint8),
+                                     bitorder="little")
+                self._ones_np = np.flatnonzero(
+                    bits[:self._num_bits]).astype(np.int64)
+            if self._num_ones is None:
+                self._num_ones = int(self._ones_np.size)
+        return self._ones_np
+
+    def _ones(self) -> "List[int]":
+        """Materialise (once) and return the select directory as a list."""
+        if self._ones_list is None:
+            self._ones_list = self.ones_positions().tolist()
+        return self._ones_list
 
     # ------------------------------------------------------------------ #
     # Construction helpers.
@@ -148,13 +188,15 @@ class BitVector:
 
     @property
     def num_ones(self) -> int:
-        """Total number of set bits."""
+        """Total number of set bits (computed lazily, then cached)."""
+        if self._num_ones is None:
+            self._num_ones = int(_popcount_words(self._words).sum())
         return self._num_ones
 
     @property
     def num_zeros(self) -> int:
         """Total number of unset bits."""
-        return self._num_bits - self._num_ones
+        return self._num_bits - self.num_ones
 
     def get(self, position: int) -> bool:
         """Return the bit at ``position``."""
@@ -196,15 +238,22 @@ class BitVector:
         return position - self.rank1(position)
 
     def select1(self, k: int) -> int:
-        """Position of the ``k``-th (0-based) set bit."""
-        if not 0 <= k < self._num_ones:
-            raise IndexError(f"select1({k}) out of range, only {self._num_ones} ones")
-        words = self._word_list
-        if words is None:
-            words = self._mirrors()
-        word_index = bisect_right(self._cum_list, k) - 1
-        remaining = k - self._cum_list[word_index]
-        return (word_index << 6) + _select_in_word(words[word_index], remaining)
+        """Position of the ``k``-th (0-based) set bit.
+
+        A list index into the lazily-built positions directory — O(1) after
+        the first call, which is what makes Elias-Fano ``access`` cheap.
+        """
+        ones = self._ones_list
+        if ones is None:
+            ones = self._ones()
+        if not 0 <= k < len(ones):
+            raise IndexError(f"select1({k}) out of range, only {len(ones)} ones")
+        return ones[k]
+
+    def select1_batch(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select1` over an array of ranks."""
+        ones = self.ones_positions()
+        return ones[ks]
 
     def select0(self, k: int) -> int:
         """Position of the ``k``-th (0-based) unset bit."""
@@ -240,7 +289,7 @@ class BitVector:
         if position >= self._num_bits:
             return None
         rank = self.rank1(position)
-        if rank >= self._num_ones:
+        if rank >= self.num_ones:
             return None
         return self.select1(rank)
 
@@ -284,4 +333,4 @@ class BitVector:
         return payload + samples
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"BitVector(num_bits={self._num_bits}, num_ones={self._num_ones})"
+        return f"BitVector(num_bits={self._num_bits}, num_ones={self.num_ones})"

@@ -133,6 +133,15 @@ class CompactVector(EncodedSequence):
             low = low | high
         return (low & mask).astype(np.int64)
 
+    def decode_block(self, begin: int = 0,
+                     end: Optional[int] = None) -> np.ndarray:
+        """Vectorised decode of ``[begin, end)`` (alias of :meth:`decode_range`)."""
+        if end is None:
+            end = self._size
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        return self.decode_range(begin, end)
+
     def to_numpy(self) -> np.ndarray:
         """Decode the full sequence into a numpy array."""
         return self.decode_range(0, self._size)

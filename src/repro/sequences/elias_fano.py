@@ -101,6 +101,28 @@ class EliasFano(EncodedSequence):
         low_bits = self._low.size_in_bits() if self._low is not None else 0
         return low_bits + self._high.size_in_bits() + 2 * _WORD_BITS
 
+    def decode_block(self, begin: int = 0,
+                     end: Optional[int] = None) -> np.ndarray:
+        """Vectorised decode of ``[begin, end)``.
+
+        The high parts fall straight out of the bit vector's cached select
+        directory (``ones_positions()[i] - i``); the low parts use the
+        fixed-width vectorised decode.  No per-element Python work at all.
+        """
+        if end is None:
+            end = self._size
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        if begin == end:
+            return np.zeros(0, dtype=np.int64)
+        ones = self._high.ones_positions()
+        high = ones[begin:end] - np.arange(begin, end, dtype=np.int64)
+        if self._low_bits:
+            high = high << self._low_bits
+        if self._low is not None:
+            return high | self._low.decode_range(begin, end)
+        return high
+
     # ------------------------------------------------------------------ #
     # Elias-Fano specific operations.
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ Two classes implement that contract:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,8 +33,25 @@ class RangedSequence:
     time.
     """
 
+    #: Number of scalar operations on a still-encoded level before the
+    #: decoded mirror is built anyway: one-shot pattern lookups never pay
+    #: for a full decode, while join workloads (thousands of seeks per
+    #: level) converge to ``searchsorted`` after a negligible warm-up.
+    ADAPTIVE_DECODE_THRESHOLD = 64
+
     def __init__(self, sequence: EncodedSequence):
         self._sequence = sequence
+        # Lazily-decoded mirror of the whole stored sequence (the *stored*
+        # domain, i.e. transformed values for PrefixSummedSequence).  It is
+        # materialised by the first batch operation — or adaptively, once a
+        # level has absorbed ``ADAPTIVE_DECODE_THRESHOLD`` scalar probes —
+        # and turns every range operation into a numpy slice / searchsorted.
+        # Like the bit-vector select directory it is derived acceleration
+        # state: never persisted, not charged by ``size_in_bits``, and never
+        # built at load time — so mmap-backed loads stay O(1) until a
+        # consumer actually shows up.
+        self._decoded: Optional[np.ndarray] = None
+        self._scalar_ops = 0
 
     @property
     def sequence(self) -> EncodedSequence:
@@ -44,13 +61,38 @@ class RangedSequence:
     def __len__(self) -> int:
         return len(self._sequence)
 
+    def _directory(self) -> np.ndarray:
+        """Materialise (once) the decoded mirror of the stored sequence."""
+        if self._decoded is None:
+            self._decoded = self._sequence.decode_block(0, len(self._sequence))
+        return self._decoded
+
     def access_in_range(self, begin: int, end: int, i: int) -> int:
         """Value at absolute position ``i`` inside the sibling range ``[begin, end)``."""
-        return self._sequence.access(i)
+        decoded = self._decoded
+        if decoded is None:
+            # Adaptive warm-up: one-shot lookups stay on the codec's scalar
+            # path; once a level has proven itself seek-heavy the mirror is
+            # built and every subsequent probe is an array index.
+            self._scalar_ops += 1
+            if self._scalar_ops < self.ADAPTIVE_DECODE_THRESHOLD:
+                return self._sequence.access(i)
+            decoded = self._directory()
+        return int(decoded[i])
 
     def find_in_range(self, begin: int, end: int, value: int) -> int:
         """Absolute position of ``value`` inside ``[begin, end)``, or -1."""
-        return self._sequence.find(begin, end, value)
+        decoded = self._decoded
+        if decoded is None:
+            self._scalar_ops += 1
+            if self._scalar_ops < self.ADAPTIVE_DECODE_THRESHOLD:
+                return self._sequence.find(begin, end, value)
+            decoded = self._directory()
+        window = decoded[begin:end]
+        position = int(window.searchsorted(value))
+        if position < end - begin and int(window[position]) == value:
+            return begin + position
+        return NOT_FOUND
 
     def next_geq_in_range(self, begin: int, end: int, value: int) -> Tuple[int, int]:
         """``(position, element)`` of the first element >= ``value`` in the
@@ -58,13 +100,37 @@ class RangedSequence:
 
         This is the seek primitive of the worst-case-optimal join cursors; it
         delegates to the codec's ``next_geq`` (Elias-Fano ``select0``, PEF
-        partition pruning, or a plain binary search).
+        partition pruning, or a plain binary search), or to a ``searchsorted``
+        on the decoded mirror once a batch operation has materialised it.
         """
-        return self._sequence.next_geq(value, begin, end)
+        decoded = self._decoded
+        if decoded is None:
+            self._scalar_ops += 1
+            if self._scalar_ops < self.ADAPTIVE_DECODE_THRESHOLD:
+                return self._sequence.next_geq(value, begin, end)
+            decoded = self._directory()
+        window = decoded[begin:end]
+        position = int(window.searchsorted(value))
+        if position < end - begin:
+            return begin + position, int(window[position])
+        return end, -1
 
     def scan_range(self, begin: int, end: int) -> Iterator[int]:
         """Decode the sibling range ``[begin, end)``."""
         return self._sequence.scan(begin, end)
+
+    def decode_block_in_range(self, begin: int, end: int,
+                              start: Optional[int] = None) -> np.ndarray:
+        """Vectorised decode of ``[start or begin, end)`` within the sibling
+        range ``[begin, end)``.
+
+        Equal to ``np.fromiter(scan_range(start, end), np.int64)`` but runs
+        on the decoded-mirror directory (materialised on first use) — this is
+        what the block cursors and the ``select_values`` fast path ride on.
+        ``begin`` must still be the range boundary because the prefix-sum
+        transform derives its base from it.
+        """
+        return self._directory()[(begin if start is None else start):end]
 
     def size_in_bits(self) -> int:
         """Space of the underlying representation."""
@@ -126,23 +192,48 @@ class PrefixSummedSequence(RangedSequence):
     def _base(self, begin: int) -> int:
         if begin == 0:
             return 0
+        if self._decoded is not None:
+            return int(self._decoded[begin - 1])
         return self._sequence.access(begin - 1)
 
     def access_in_range(self, begin: int, end: int, i: int) -> int:
         if not begin <= i < end:
             raise IndexError(f"position {i} outside sibling range [{begin}, {end})")
-        return self._sequence.access(i) - self._base(begin)
+        decoded = self._decoded
+        if decoded is not None:
+            # Flattened hot path: one array read for the value, one for the
+            # base (the join cursors call this once per step).
+            if begin == 0:
+                return int(decoded[i])
+            return int(decoded[i]) - int(decoded[begin - 1])
+        return super().access_in_range(begin, end, i) - self._base(begin)
 
     def find_in_range(self, begin: int, end: int, value: int) -> int:
         if begin == end:
             return NOT_FOUND
-        return self._sequence.find(begin, end, value + self._base(begin))
+        decoded = self._decoded
+        if decoded is not None:
+            target = value if begin == 0 else value + int(decoded[begin - 1])
+            window = decoded[begin:end]
+            position = window.searchsorted(target)
+            if position < end - begin and window[position] == target:
+                return begin + int(position)
+            return NOT_FOUND
+        return super().find_in_range(begin, end, value + self._base(begin))
 
     def next_geq_in_range(self, begin: int, end: int, value: int) -> Tuple[int, int]:
         if begin == end:
             return end, -1
+        decoded = self._decoded
+        if decoded is not None:
+            base = 0 if begin == 0 else int(decoded[begin - 1])
+            window = decoded[begin:end]
+            position = window.searchsorted(value + base)
+            if position < end - begin:
+                return begin + int(position), int(window[position]) - base
+            return end, -1
         base = self._base(begin)
-        position, element = self._sequence.next_geq(value + base, begin, end)
+        position, element = super().next_geq_in_range(begin, end, value + base)
         if position == end:
             return end, -1
         return position, element - base
@@ -151,3 +242,11 @@ class PrefixSummedSequence(RangedSequence):
         base = self._base(begin) if end > begin else 0
         for transformed in self._sequence.scan(begin, end):
             yield transformed - base
+
+    def decode_block_in_range(self, begin: int, end: int,
+                              start: Optional[int] = None) -> np.ndarray:
+        if start is None:
+            start = begin
+        if end <= start:
+            return np.zeros(0, dtype=np.int64)
+        return self._directory()[start:end] - self._base(begin)

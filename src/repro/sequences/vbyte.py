@@ -200,6 +200,28 @@ class VByte(EncodedSequence):
             for position in range(lo, hi):
                 yield decoded[position]
 
+    def decode_block(self, begin: int = 0,
+                     end: Optional[int] = None) -> np.ndarray:
+        """Decode ``[begin, end)`` one stored block at a time into int64."""
+        if end is None:
+            end = self._size
+        if begin < 0 or end > self._size or begin > end:
+            raise IndexError(f"invalid range [{begin}, {end}) for length {self._size}")
+        if begin == end:
+            return np.zeros(0, dtype=np.int64)
+        first_block = begin // self._block_size
+        last_block = (end - 1) // self._block_size
+        chunks: List[np.ndarray] = []
+        for block_index in range(first_block, last_block + 1):
+            block_start = block_index * self._block_size
+            decoded = self._decode_block(block_index)
+            lo = max(begin, block_start) - block_start
+            hi = min(end, block_start + len(decoded)) - block_start
+            chunks.append(np.asarray(decoded[lo:hi], dtype=np.int64))
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
     def size_in_bits(self) -> int:
         payload = len(self._data) * 8
         # Per-block skip data: byte offset + first value, 32 bits each is what

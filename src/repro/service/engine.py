@@ -181,7 +181,7 @@ class QueryService:
     @classmethod
     def from_file(cls, path, writable: bool = False, wal_path=None,
                   compaction_ratio: Optional[float] = None,
-                  **options) -> "QueryService":
+                  mmap: bool = False, **options) -> "QueryService":
         """Load a saved index file once and serve it indefinitely.
 
         Planner statistics bundled in the file (``repro build`` writes them
@@ -194,9 +194,15 @@ class QueryService:
         trigger.  A file carrying a ``delta`` section is always served
         through the merged dynamic view so reads are correct, but it stays
         *read-only* unless writability was explicitly requested.
+
+        ``mmap=True`` page-maps the container instead of reading it eagerly,
+        so start-up is O(1) in index size (best paired with a v3 aligned
+        file, see ``save_index(..., aligned=True)``).  Writability composes
+        with it: the base stays a read-only view while delta state lives on
+        the side.
         """
         from repro.storage import load_index
-        loaded = load_index(path)
+        loaded = load_index(path, mmap=mmap)
         index = loaded.queryable(wal_path=wal_path,
                                  compaction_ratio=compaction_ratio,
                                  writable=writable)

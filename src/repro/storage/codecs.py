@@ -27,7 +27,9 @@ from repro.rdf.dictionary import Dictionary, NumericIndex, RdfDictionary
 from repro.sequences.bitvector import BitVector
 from repro.sequences.compact import CompactVector
 from repro.sequences.elias_fano import EliasFano
-from repro.sequences.partitioned_elias_fano import PartitionedEliasFano, _Partition
+from repro.sequences.partitioned_elias_fano import (PartitionedEliasFano,
+                                                    _LazyPartitions, _Partition,
+                                                    flatten_partitions)
 from repro.sequences.prefix_sum import PrefixSummedSequence, RangedSequence
 from repro.sequences.vbyte import VByte
 from repro.storage import format as binary_format
@@ -91,6 +93,19 @@ def loads_object(data: bytes) -> Any:
     return binary_format.loads(data, object_decoder=decode_object)
 
 
+def loads_object_view(data) -> Any:
+    """Rebuild an object with its arrays as views into ``data`` (zero-copy).
+
+    ``data`` is typically a section view from a mapped container: array
+    leaves become read-only numpy views over the file's pages instead of
+    owned copies.  All stored words are treated as immutable by every
+    structure in the package, so the only observable difference from
+    :func:`loads_object` is that the bytes stay on disk until touched.
+    """
+    return binary_format.loads(data, object_decoder=decode_object,
+                               zero_copy=True)
+
+
 # --------------------------------------------------------------------------- #
 # Sequence substrate.
 # --------------------------------------------------------------------------- #
@@ -125,16 +140,35 @@ register(
                              state["payload"]),
 )
 
-register(
-    "pef", PartitionedEliasFano,
-    lambda pef: {"partitions": list(pef._partitions),
-                 "upper_bounds": pef._upper_bounds, "size": len(pef),
-                 "partition_size": pef.partition_size,
-                 "universe": pef._universe},
-    lambda state: PartitionedEliasFano(state["partitions"], state["upper_bounds"],
-                                       state["size"], state["partition_size"],
-                                       state["universe"]),
-)
+def _pef_state(pef: PartitionedEliasFano) -> dict:
+    """Flat PEF state: parallel partition-scalar arrays + one word pool.
+
+    Writing one nested object per partition (the original encoding, still
+    accepted on read) made loading O(partitions) tagged-object decodes; the
+    flat shape loads as six arrays and defers partition reconstruction to
+    first touch, which is what keeps mmap-backed loads O(1).
+    """
+    state = flatten_partitions(pef._partitions)
+    state.update({"upper_bounds": pef._upper_bounds, "size": len(pef),
+                  "partition_size": pef.partition_size,
+                  "universe": pef._universe})
+    return state
+
+
+def _pef_from_state(state: dict) -> PartitionedEliasFano:
+    if "partitions" in state:  # legacy nested-object encoding
+        partitions = state["partitions"]
+    else:
+        partitions = _LazyPartitions(state["kinds"], state["bases"],
+                                     state["lengths"], state["extras"],
+                                     state["low_bits"], state["offsets"],
+                                     state["words"])
+    return PartitionedEliasFano(partitions, state["upper_bounds"],
+                                state["size"], state["partition_size"],
+                                state["universe"])
+
+
+register("pef", PartitionedEliasFano, _pef_state, _pef_from_state)
 
 register(
     "vbyte", VByte,

@@ -46,8 +46,20 @@ FORMAT_VERSION = 1
 #: advertise a version old readers refuse.
 DELTA_FORMAT_VERSION = 2
 
+#: Version written by aligned (mmap-friendly) saves: every section payload
+#: starts on a :data:`SECTION_ALIGNMENT`-byte boundary, with zero padding
+#: between payloads.  Supersedes version 2 (it also admits a ``delta``
+#: section); the alignment is what lets :func:`map_container` hand the
+#: decoders page-backed views that numpy can address without copying.
+ALIGNED_FORMAT_VERSION = 3
+
 #: Every version this build can read.
-SUPPORTED_VERSIONS = (FORMAT_VERSION, DELTA_FORMAT_VERSION)
+SUPPORTED_VERSIONS = (FORMAT_VERSION, DELTA_FORMAT_VERSION,
+                      ALIGNED_FORMAT_VERSION)
+
+#: Alignment (bytes) of section payloads in version-3 containers: a cache
+#: line, and a multiple of every array itemsize the format allows.
+SECTION_ALIGNMENT = 64
 
 _FIXED_HEADER = struct.Struct("<8sII")
 _TABLE_ENTRY_TAIL = struct.Struct("<QQI")
@@ -95,6 +107,7 @@ def write_container(path: PathLike, sections: Mapping[str, bytes],
         raise StorageError("a container needs at least one section")
     if version is None:
         version = FORMAT_VERSION
+    aligned = version >= ALIGNED_FORMAT_VERSION
     encoded_names: List[Tuple[bytes, bytes]] = []
     for name, payload in sections.items():
         encoded = name.encode("utf-8")
@@ -106,14 +119,22 @@ def write_container(path: PathLike, sections: Mapping[str, bytes],
                      for encoded, _ in encoded_names)
     payload_start = _FIXED_HEADER.size + table_size + _CRC.size
 
+    def _align(position: int) -> int:
+        if not aligned:
+            return position
+        remainder = position % SECTION_ALIGNMENT
+        return position if remainder == 0 else position + SECTION_ALIGNMENT - remainder
+
     header = bytearray()
     header += _FIXED_HEADER.pack(MAGIC, version, len(encoded_names))
-    offset = payload_start
+    offset = _align(payload_start)
+    offsets: List[int] = []
     for encoded, payload in encoded_names:
         header += struct.pack("<H", len(encoded))
         header += encoded
         header += _TABLE_ENTRY_TAIL.pack(offset, len(payload), _crc32(payload))
-        offset += len(payload)
+        offsets.append(offset)
+        offset = _align(offset + len(payload))
 
     destination = Path(path)
     temporary = destination.with_name(destination.name + ".tmp")
@@ -121,8 +142,12 @@ def write_container(path: PathLike, sections: Mapping[str, bytes],
         with open(temporary, "wb") as handle:
             handle.write(header)
             handle.write(_CRC.pack(_crc32(bytes(header))))
-            for _, payload in encoded_names:
+            position = payload_start
+            for (_, payload), aligned_offset in zip(encoded_names, offsets):
+                if aligned_offset > position:
+                    handle.write(b"\x00" * (aligned_offset - position))
                 handle.write(payload)
+                position = aligned_offset + len(payload)
             # Contents must be durable *before* the rename makes them the
             # live file — otherwise a power loss can leave the destination
             # pointing at unwritten pages.  The directory sync after the
@@ -138,7 +163,7 @@ def write_container(path: PathLike, sections: Mapping[str, bytes],
         except OSError:
             pass
         raise
-    return offset
+    return position
 
 
 def read_container(path: PathLike) -> Dict[str, bytes]:
@@ -165,8 +190,14 @@ def container_version(data: bytes, source: str = "<bytes>") -> int:
     return int(version)
 
 
-def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
-    """Validate an in-memory container image and return its sections."""
+def _parse_header(data, source: str) -> Tuple[int, List[Tuple[str, int, int, int]]]:
+    """Validate magic, version, section table and header CRC.
+
+    Returns ``(version, table)`` with ``table`` entries of
+    ``(name, offset, length, payload_crc)``.  Accepts any buffer supporting
+    the buffer protocol (bytes or an mmap), and never touches payload bytes —
+    which is what keeps :func:`map_container` O(header size).
+    """
     if len(data) < _FIXED_HEADER.size + _CRC.size:
         raise StorageError(f"{source}: too short to be a repro container")
     magic, version, num_sections = _FIXED_HEADER.unpack_from(data, 0)
@@ -187,7 +218,7 @@ def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
         if cursor + name_length + _TABLE_ENTRY_TAIL.size > len(data):
             raise StorageError(f"{source}: truncated section table")
         try:
-            name = data[cursor:cursor + name_length].decode("utf-8")
+            name = bytes(data[cursor:cursor + name_length]).decode("utf-8")
         except UnicodeDecodeError:
             raise StorageError(f"{source}: malformed section name") from None
         cursor += name_length
@@ -198,8 +229,14 @@ def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
     if cursor + _CRC.size > len(data):
         raise StorageError(f"{source}: truncated header checksum")
     (header_crc,) = _CRC.unpack_from(data, cursor)
-    if header_crc != _crc32(data[:cursor]):
+    if header_crc != _crc32(bytes(data[:cursor])):
         raise StorageError(f"{source}: header checksum mismatch (corrupted file)")
+    return int(version), table
+
+
+def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
+    """Validate an in-memory container image and return its sections."""
+    _version, table = _parse_header(data, source)
 
     sections: Dict[str, bytes] = {}
     for name, offset, length, crc in table:
@@ -213,3 +250,84 @@ def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
             raise StorageError(f"{source}: duplicate section {name!r}")
         sections[name] = payload
     return sections
+
+
+class MappedContainer:
+    """A container whose section payloads are views over one shared mmap.
+
+    Produced by :func:`map_container`.  ``sections`` maps names to read-only
+    :class:`memoryview` objects backed by the page cache — no payload byte is
+    read (or checksummed) until something dereferences it.  Consumers that
+    build numpy arrays over the views keep the mapping alive through the
+    buffer protocol, so the container object itself may be dropped freely;
+    :meth:`close` is best-effort and refuses nothing.
+    """
+
+    def __init__(self, path: str, version: int,
+                 sections: Dict[str, memoryview], mapping) -> None:
+        self.path = path
+        self.version = version
+        self.sections = sections
+        self._mmap = mapping
+
+    def close(self) -> None:
+        """Release the mapping if no exported view pins it."""
+        for view in self.sections.values():
+            view.release()
+        self.sections = {}
+        try:
+            self._mmap.close()
+        except (BufferError, ValueError):
+            pass  # arrays still reference pages; the OS reclaims on exit
+
+    def __enter__(self) -> "MappedContainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def map_container(path: PathLike) -> MappedContainer:
+    """Memory-map a container and return lazily-read section views.
+
+    Unlike :func:`read_container` this is O(header): the magic, version,
+    section table and header CRC are validated — so every offset is trusted
+    and in bounds — but the per-section payload CRCs are **not** verified
+    (doing so would fault in every page, defeating the point of mapping).
+    Callers that need end-to-end corruption detection should use
+    :func:`read_container`; the mapped path trades that check for
+    constant-time loading, as the format documentation spells out.
+    """
+    import mmap as _mmap_module
+
+    source = str(path)
+    try:
+        with open(source, "rb") as handle:
+            mapping = _mmap_module.mmap(handle.fileno(), 0,
+                                        access=_mmap_module.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"cannot map {source}: {exc}") from None
+    try:
+        version, table = _parse_header(mapping, source)
+    except StorageError:
+        mapping.close()
+        raise
+    whole = memoryview(mapping)
+    sections: Dict[str, memoryview] = {}
+    try:
+        for name, offset, length, _crc in table:
+            if offset + length > len(mapping):
+                raise StorageError(
+                    f"{source}: section {name!r} extends past end of file")
+            if name in sections:
+                raise StorageError(f"{source}: duplicate section {name!r}")
+            sections[name] = whole[offset:offset + length]
+    except StorageError:
+        for view in sections.values():
+            view.release()
+        whole.release()
+        mapping.close()
+        raise
+    finally:
+        whole.release()
+    return MappedContainer(source, version, sections, mapping)

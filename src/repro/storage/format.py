@@ -157,14 +157,23 @@ class _Writer:
 
 
 class _Reader:
-    """Decodes one state tree with explicit bounds checks."""
+    """Decodes one state tree with explicit bounds checks.
 
-    def __init__(self, data: bytes, object_decoder: Optional[ObjectDecoder]):
-        self._data = data
+    ``data`` may be any buffer (bytes, or a memoryview over an mmap).  With
+    ``zero_copy=True`` decoded arrays are read-only views into that buffer —
+    nothing is copied, so decoding an mmap-backed payload touches only the
+    pages holding tags and lengths, not the array bodies.  The views keep the
+    underlying buffer alive through numpy's ``base`` chain.
+    """
+
+    def __init__(self, data, object_decoder: Optional[ObjectDecoder],
+                 zero_copy: bool = False):
+        self._data = memoryview(data)
         self._offset = 0
         self._object_decoder = object_decoder
+        self._zero_copy = zero_copy
 
-    def _take(self, count: int) -> bytes:
+    def _take(self, count: int) -> memoryview:
         end = self._offset + count
         if count < 0 or end > len(self._data):
             raise StorageError("truncated payload while decoding")
@@ -202,7 +211,7 @@ class _Reader:
         if tag == _TAG_STR:
             return self._decode_text(self._take(self._read_uvarint()))
         if tag == _TAG_BYTES:
-            return self._take(self._read_uvarint())
+            return bytes(self._take(self._read_uvarint()))
         if tag == _TAG_LIST:
             count = self._read_uvarint()
             return [self.read() for _ in range(count)]
@@ -220,19 +229,24 @@ class _Reader:
         raise StorageError(f"unknown value tag 0x{tag:02x}")
 
     @staticmethod
-    def _decode_text(data: bytes) -> str:
+    def _decode_text(data) -> str:
         try:
-            return data.decode("utf-8")
+            return bytes(data).decode("utf-8")
         except UnicodeDecodeError as exc:
             raise StorageError(f"malformed UTF-8 in payload: {exc}") from None
 
     def _read_array(self) -> np.ndarray:
-        dtype_code = self._take(self._read_uvarint()).decode("ascii", "replace")
+        dtype_code = bytes(self._take(self._read_uvarint())).decode("ascii", "replace")
         if dtype_code not in _ALLOWED_DTYPES:
             raise StorageError(f"unsupported array dtype {dtype_code!r} in payload")
         dtype = np.dtype(dtype_code)
         size = self._read_uvarint()
         raw = self._take(size * dtype.itemsize)
+        if self._zero_copy:
+            # A read-only view straight over the source buffer: no bytes
+            # move, no pages fault in.  Every consumer treats stored words
+            # as immutable, so read-only is the honest dtype of the data.
+            return np.frombuffer(raw, dtype=dtype)
         # .copy() yields an aligned, writable array owning its buffer.
         return np.frombuffer(raw, dtype=dtype).copy()
 
@@ -253,9 +267,17 @@ def dumps(value: Any, object_encoder: Optional[ObjectEncoder] = None) -> bytes:
     return writer.getvalue()
 
 
-def loads(data: bytes, object_decoder: Optional[ObjectDecoder] = None) -> Any:
-    """Decode bytes produced by :func:`dumps` back into a state tree."""
-    reader = _Reader(data, object_decoder)
+def loads(data, object_decoder: Optional[ObjectDecoder] = None,
+          zero_copy: bool = False) -> Any:
+    """Decode bytes produced by :func:`dumps` back into a state tree.
+
+    ``data`` may be bytes or any read-only buffer (e.g. a memoryview over a
+    mapped container section).  With ``zero_copy=True`` array leaves are
+    read-only views into ``data`` instead of owned copies — the caller must
+    then keep ``data``'s backing storage valid for the arrays' lifetime
+    (numpy's ``base`` chain does this automatically for mmap-backed views).
+    """
+    reader = _Reader(data, object_decoder, zero_copy=zero_copy)
     value = reader.read()
     if not reader.at_end():
         raise StorageError("trailing garbage after payload")

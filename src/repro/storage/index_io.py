@@ -30,11 +30,14 @@ from typing import Any, Dict, NamedTuple, Optional, Type, Union
 
 from repro.errors import StorageError
 from repro.storage import format as binary_format
-from repro.storage.codecs import dumps_object, loads_object, type_name_of
+from repro.storage.codecs import (dumps_object, loads_object,
+                                  loads_object_view, type_name_of)
 from repro.storage.container import (
+    ALIGNED_FORMAT_VERSION,
     DELTA_FORMAT_VERSION,
     FORMAT_VERSION,
     container_version,
+    map_container,
     parse_container,
     read_container,
     write_container,
@@ -148,7 +151,7 @@ def _load_delta(payload: bytes, source: str) -> Any:
 
 def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
                planner_stats: Optional[Dict[int, Dict[int, int]]] = None,
-               delta: Optional[Any] = None) -> int:
+               delta: Optional[Any] = None, aligned: bool = False) -> int:
     """Persist ``index`` (and optionally its RDF dictionary) to ``path``.
 
     Returns the number of bytes written.  The index may be any registered
@@ -157,7 +160,11 @@ def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
     histograms — travel with the file so selectivity-driven planning
     survives the save/load round trip.  A non-empty ``delta``
     (:class:`repro.dynamic.DeltaState`) adds the dynamic-update snapshot
-    section and bumps the advertised format version.
+    section and bumps the advertised format version.  ``aligned=True``
+    writes format version 3 (64-byte-aligned sections) so the file can be
+    memory-mapped with ``load_index(path, mmap=True)``; unaligned files can
+    still be mapped, alignment just guarantees naturally-aligned array
+    views.
     """
     if delta is not None and not delta:
         delta = None  # an empty delta is the same as no delta
@@ -184,27 +191,46 @@ def save_index(index: Any, path: PathLike, dictionary: Optional[Any] = None,
         sections[SECTION_STATS] = _dump_planner_stats(planner_stats)
     if delta is not None:
         sections[SECTION_DELTA] = _dump_delta(delta)
-    version = FORMAT_VERSION if delta is None else DELTA_FORMAT_VERSION
+    if aligned:
+        version = ALIGNED_FORMAT_VERSION
+    else:
+        version = FORMAT_VERSION if delta is None else DELTA_FORMAT_VERSION
     return write_container(path, sections, version=version)
 
 
-def load_index(path: PathLike, load_dictionary: bool = True) -> LoadedIndex:
+def load_index(path: PathLike, load_dictionary: bool = True,
+               mmap: bool = False) -> LoadedIndex:
     """Load an index file written by :func:`save_index`.
 
     ``load_dictionary=False`` skips decoding the (potentially large)
     dictionary section for callers that only need the index payload.  The
     returned ``index`` is the immutable base; call
     :meth:`LoadedIndex.queryable` to fold in a stored ``delta``.
+
+    ``mmap=True`` memory-maps the file instead of reading it: the header is
+    validated but payload bytes stay on disk, index arrays become read-only
+    views over the page cache, and the call returns in near-constant time
+    regardless of index size.  The trade-offs, per ``docs/STORAGE_FORMAT.md``:
+    payload CRCs are *not* verified, and the first query to touch a region
+    pays the page faults instead of load time.  Works for any supported
+    format version; version-3 (aligned) files additionally guarantee
+    naturally-aligned array views.
     """
-    sections = read_container(path)
+    if mmap:
+        container = map_container(path)
+        sections: Dict[str, Any] = container.sections
+        decode = loads_object_view
+    else:
+        sections = read_container(path)
+        decode = loads_object
     meta = _load_meta(sections, str(path))
     if SECTION_INDEX not in sections:
         raise StorageError(f"{path}: missing {SECTION_INDEX!r} section "
                            f"(not an index file?)")
-    index = loads_object(sections[SECTION_INDEX])
+    index = decode(sections[SECTION_INDEX])
     dictionary = None
     if load_dictionary and SECTION_DICTIONARY in sections:
-        dictionary = loads_object(sections[SECTION_DICTIONARY])
+        dictionary = decode(sections[SECTION_DICTIONARY])
     planner_stats = None
     if SECTION_STATS in sections:
         planner_stats = _load_planner_stats(sections[SECTION_STATS], str(path))

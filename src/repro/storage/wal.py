@@ -30,7 +30,8 @@ entirely or the crash happened before the write was acknowledged.  Replay
 validates each record's CRC and stops at the first short or corrupt
 record — a torn tail from a mid-write crash is never misread — and the
 file is truncated back to its last valid record so later appends continue
-from a clean end.
+from a clean end.  The byte-level framing is specified in
+``docs/STORAGE_FORMAT.md`` alongside the container format.
 """
 
 from __future__ import annotations

@@ -1,0 +1,91 @@
+"""Property tests for the vectorised batch cursor kernels.
+
+The batch protocol's contract (see ``docs/ARCHITECTURE.md``) is exactness:
+``decode_block(begin, end)`` must equal the scalar ``scan`` of the same
+range, and ``next_geq_batch(values, begin, end)`` must equal the scalar
+``next_geq`` probe by probe — including the no-successor ``(end, -1)``
+sentinel.  Hypothesis drives every codec through random monotone sequences,
+random sub-ranges and random probe sets (in and out of universe) so the
+vectorised kernels cannot quietly diverge from the reference loops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences.compact import CompactVector
+from repro.sequences.elias_fano import EliasFano
+from repro.sequences.partitioned_elias_fano import PartitionedEliasFano
+from repro.sequences.vbyte import VByte
+
+CODECS = {
+    "elias-fano": lambda values: EliasFano.from_values(values),
+    "pef": lambda values: PartitionedEliasFano.from_values(
+        values, partition_size=8),
+    "vbyte": lambda values: VByte.from_values(values, block_size=8),
+    "compact": lambda values: CompactVector.from_values(values),
+}
+
+# Small partition/block sizes above force the multi-partition code paths
+# even with modest sequences; values stay small so duplicates and dense
+# runs (the RUN/BITMAP partition kinds) occur often.
+monotone_values = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=1, max_size=80,
+).map(sorted)
+
+probe_values = st.lists(
+    st.integers(min_value=-5, max_value=350), min_size=0, max_size=20)
+
+
+@st.composite
+def sequence_range_probes(draw):
+    values = draw(monotone_values)
+    begin = draw(st.integers(min_value=0, max_value=len(values)))
+    end = draw(st.integers(min_value=begin, max_value=len(values)))
+    probes = draw(probe_values)
+    return values, begin, end, probes
+
+
+@pytest.mark.parametrize("codec", sorted(CODECS))
+@settings(max_examples=60, deadline=None)
+@given(case=sequence_range_probes())
+def test_next_geq_batch_matches_scalar(codec, case):
+    values, begin, end, probes = case
+    sequence = CODECS[codec](values)
+    positions, elements = sequence.next_geq_batch(probes, begin, end)
+    assert positions.shape == elements.shape == (len(probes),)
+    for i, probe in enumerate(probes):
+        expected_position, expected_element = sequence.next_geq(
+            probe, begin, end)
+        assert int(positions[i]) == expected_position, (codec, probe)
+        assert int(elements[i]) == expected_element, (codec, probe)
+
+
+@pytest.mark.parametrize("codec", sorted(CODECS))
+@settings(max_examples=60, deadline=None)
+@given(case=sequence_range_probes())
+def test_decode_block_matches_scan(codec, case):
+    values, begin, end, _ = case
+    sequence = CODECS[codec](values)
+    block = sequence.decode_block(begin, end)
+    assert block.dtype == np.int64
+    assert block.tolist() == list(sequence.scan(begin, end))
+    assert block.tolist() == values[begin:end]
+
+
+@pytest.mark.parametrize("codec", sorted(CODECS))
+def test_batch_kernels_validate_ranges(codec):
+    sequence = CODECS[codec]([1, 2, 3])
+    with pytest.raises(IndexError):
+        sequence.decode_block(0, 4)
+    with pytest.raises(IndexError):
+        sequence.next_geq_batch([1], 2, 1)
+
+
+@pytest.mark.parametrize("codec", sorted(CODECS))
+def test_no_successor_yields_end_sentinel(codec):
+    sequence = CODECS[codec]([2, 4, 6])
+    positions, elements = sequence.next_geq_batch([7, 100], 0, 3)
+    assert positions.tolist() == [3, 3]
+    assert elements.tolist() == [-1, -1]

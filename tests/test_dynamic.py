@@ -623,3 +623,52 @@ class TestDictionaryPrefixRunConsistency:
         restored = Dictionary.load(path)
         for prefix, expected in live.items():
             assert restored.prefix_range(prefix) == expected, prefix
+
+
+class TestOverlaySelectValues:
+    """The block-building fast path (``select_values``) under live deltas.
+
+    The contract: a returned block is *exact* (tombstoned values removed,
+    delta inserts merged in), and any bound shape where per-value tombstone
+    filtering is ambiguous returns None so callers fall back to the
+    conservative cursor path.  See docs/ARCHITECTURE.md.
+    """
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_blocks_reflect_inserts_and_deletes(self, layout):
+        base = IndexBuilder(build_store()).build(layout)
+        if getattr(base, "select_values", None) is None:
+            pytest.skip(f"{layout} has no block fast path")
+        dyn = DynamicIndex(base)
+        dyn.insert([(0, 0, 7)])
+        dyn.delete([(0, 0, 1)])
+        block = dyn.select_values({0: 0, 1: 0}, role=2)
+        if block is None:
+            pytest.skip(f"{layout} returned no block for this bound shape")
+        values = list(block)
+        assert 7 in values      # delta insert merged in
+        assert 1 not in values  # tombstone filtered out
+        # And the block agrees with the merged select.
+        expected = sorted(t[2] for t in dyn.select_list((0, 0, None)))
+        assert values == expected
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_single_bound_with_tombstones_falls_back(self, layout):
+        """With one bound role a block value may have several witnesses, so
+        tombstone filtering is unsound — the overlay must return None."""
+        base = IndexBuilder(build_store()).build(layout)
+        if getattr(base, "select_values", None) is None:
+            pytest.skip(f"{layout} has no block fast path")
+        dyn = DynamicIndex(base)
+        dyn.delete([(0, 0, 1)])
+        assert dyn.select_values({0: 0}, role=2) is None
+
+    def test_clean_delta_passes_base_block_through(self):
+        base = IndexBuilder(build_store()).build("2tp")
+        dyn = DynamicIndex(base)
+        base_block = base.select_values({0: 0, 1: 0}, role=2)
+        overlay_block = dyn.select_values({0: 0, 1: 0}, role=2)
+        if base_block is None:
+            assert overlay_block is None
+        else:
+            assert list(overlay_block) == list(base_block)

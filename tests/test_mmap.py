@@ -1,0 +1,192 @@
+"""Zero-copy mmap loading: equivalence with eager loads, v3 alignment,
+concurrent readers sharing one mapping, and the CLI/service knobs.
+
+The mapped path trades the per-section payload CRC check for O(1) loading
+(see ``docs/STORAGE_FORMAT.md``), so these tests pin down everything else:
+a mapped index must answer byte-identically to the eagerly loaded one on
+every layout, v1/v2 files must map too (alignment is a performance property,
+not a correctness requirement), and many threads reading through one mapped
+file must agree with the single-threaded answers.
+"""
+
+import mmap as mmap_module
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.builder import IndexBuilder
+from repro.datasets import generate_from_profile
+from repro.errors import StorageError
+from repro.storage import load_index, save_index
+from repro.storage.container import (
+    ALIGNED_FORMAT_VERSION,
+    SECTION_ALIGNMENT,
+    container_version,
+    map_container,
+)
+
+LAYOUTS = ("3t", "cc", "2to", "2tp")
+
+
+@pytest.fixture(scope="module")
+def store():
+    return generate_from_profile("dbpedia", 4000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def patterns(store):
+    probes = []
+    for s, p, o in store.sample(12, seed=5):
+        probes.extend([(s, None, None), (None, p, None), (None, None, o),
+                       (s, p, None), (None, p, o), (s, None, o), (s, p, o)])
+    probes.append((None, None, None))
+    return probes
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+@pytest.mark.parametrize("aligned", (False, True))
+def test_mmap_load_equals_eager_load(store, patterns, layout, aligned, tmp_path):
+    """A mapped index answers every pattern kind like the eager one."""
+    index = IndexBuilder(store).build(layout)
+    path = tmp_path / f"{layout}.ridx"
+    save_index(index, path, aligned=aligned)
+    eager = load_index(path).index
+    mapped = load_index(path, mmap=True).index
+    assert mapped.num_triples == eager.num_triples
+    for pattern in patterns:
+        assert mapped.select_list(pattern) == eager.select_list(pattern)
+
+
+def test_aligned_save_writes_v3_with_aligned_sections(store, tmp_path):
+    index = IndexBuilder(store).build("2tp")
+    path = tmp_path / "aligned.ridx"
+    save_index(index, path, aligned=True)
+    data = path.read_bytes()
+    assert container_version(data) == ALIGNED_FORMAT_VERSION
+    from repro.storage.container import _parse_header
+    _version, table = _parse_header(data, str(path))
+    assert table
+    for name, offset, _length, _crc in table:
+        assert offset % SECTION_ALIGNMENT == 0, name
+
+
+def test_default_save_stays_v1_and_still_maps(store, tmp_path):
+    """mmap is not gated on v3: plain v1 files map correctly too."""
+    index = IndexBuilder(store).build("2tp")
+    path = tmp_path / "plain.ridx"
+    save_index(index, path)
+    assert container_version(path.read_bytes()) == 1
+    mapped = load_index(path, mmap=True).index
+    assert mapped.num_triples == index.num_triples
+
+
+def test_mmap_arrays_are_zero_copy_views(store, tmp_path):
+    """Loaded array leaves alias the mapping (read-only, mmap-backed)."""
+    index = IndexBuilder(store).build("2tp")
+    path = tmp_path / "zc.ridx"
+    save_index(index, path, aligned=True)
+    loaded = load_index(path, mmap=True).index
+    views = []
+    seen = set()
+
+    def children(obj):
+        if isinstance(obj, dict):
+            return list(obj.values())
+        if isinstance(obj, (list, tuple)):
+            return list(obj)
+        values = []
+        if hasattr(obj, "__dict__"):
+            values.extend(vars(obj).values())
+        for klass in type(obj).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(obj, slot):
+                    values.append(getattr(obj, slot))
+        return values
+
+    def collect(obj, depth=0):
+        if depth > 10 or id(obj) in seen:
+            return
+        seen.add(id(obj))
+        for value in children(obj):
+            if isinstance(value, np.ndarray):
+                views.append(value)
+            elif not isinstance(value, (str, bytes, int, float, bool,
+                                        type(None))):
+                collect(value, depth + 1)
+
+    collect(loaded)
+    mapped_backed = [a for a in views
+                     if isinstance(_root_base(a), mmap_module.mmap)]
+    assert mapped_backed, "no array leaf is backed by the mapping"
+    for array in mapped_backed:
+        assert not array.flags.writeable
+
+
+def _root_base(array):
+    base = array
+    while getattr(base, "base", None) is not None:
+        base = base.base
+    if isinstance(base, memoryview):
+        base = base.obj
+    return base
+
+
+def test_corrupt_header_is_rejected_on_map(store, tmp_path):
+    index = IndexBuilder(store).build("2tp")
+    path = tmp_path / "corrupt.ridx"
+    save_index(index, path, aligned=True)
+    data = bytearray(path.read_bytes())
+    data[4] ^= 0xFF  # inside the header, after the magic
+    path.write_bytes(bytes(data))
+    with pytest.raises(StorageError):
+        load_index(path, mmap=True)
+
+
+def test_concurrent_readers_share_one_mapped_index(store, patterns, tmp_path):
+    """Many threads over one mapped index agree with the serial answers."""
+    index = IndexBuilder(store).build("2tp")
+    path = tmp_path / "shared.ridx"
+    save_index(index, path, aligned=True)
+    shared = load_index(path, mmap=True).index
+    expected = {pattern: index.select_list(pattern) for pattern in patterns}
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def reader(offset):
+        barrier.wait()
+        for i in range(len(patterns) * 2):
+            pattern = patterns[(offset + i) % len(patterns)]
+            if shared.select_list(pattern) != expected[pattern]:
+                errors.append(pattern)
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+
+def test_mmap_with_delta_file_serves_merged_view(store, tmp_path):
+    """A delta-carrying (v2) file still answers through the overlay when mapped."""
+    index = IndexBuilder(store).build("2tp")
+    path = tmp_path / "delta.ridx"
+    save_index(index, path)
+
+    from repro.dynamic import DynamicIndex
+    dynamic = DynamicIndex(index)
+    probe = store.sample(1, seed=2)[0]
+    extra = (probe[0], probe[1], store.num_objects + 10)
+    dynamic.insert([extra])
+    dynamic.delete([probe])
+    dynamic.save(path)
+
+    loaded = load_index(path, mmap=True)
+    merged = loaded.queryable()
+    assert list(extra) in [list(t) for t in merged.select_list(
+        (extra[0], None, None))]
+    assert list(probe) not in [list(t) for t in merged.select_list(
+        (probe[0], probe[1], None))]
