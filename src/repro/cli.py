@@ -381,7 +381,36 @@ def _command_info(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.service import QueryService, build_server
+    import signal
+
+    if args.workers > 1:
+        # Pre-fork pool: master + single writer + N accepting workers over
+        # one shared listener and one mmap-shared index.  The pool prints
+        # its own "serving on ..." line and handles SIGTERM/SIGINT itself.
+        from repro.service.pool import ServerPool
+        pool = ServerPool(
+            args.index, workers=args.workers,
+            host=args.host, port=args.port,
+            writable=args.writable or args.wal is not None,
+            wal_path=args.wal, compaction_ratio=args.compact_ratio,
+            mmap=args.mmap, quiet=args.quiet,
+            max_inflight=args.max_inflight,
+            rate_limit=args.rate_limit, rate_burst=args.rate_burst,
+            service_options=dict(
+                plan_cache_size=args.plan_cache,
+                result_cache_size=args.result_cache,
+                default_timeout=args.timeout,
+                max_limit=args.max_limit,
+                engine=args.engine))
+        return pool.run()
+
+    from repro.service import (
+        AdmissionControl,
+        MetricsBlock,
+        QueryService,
+        TokenBucketLimiter,
+        build_server,
+    )
 
     started = time.perf_counter()
     service = QueryService.from_file(
@@ -396,29 +425,46 @@ def _command_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         mmap=args.mmap)
     load_seconds = time.perf_counter() - started
+    block = MetricsBlock(1)
+    limiter = (TokenBucketLimiter(args.rate_limit, args.rate_burst)
+               if args.rate_limit > 0 else None)
     server = build_server(service, host=args.host, port=args.port,
-                          quiet=args.quiet)
+                          quiet=args.quiet,
+                          admission=AdmissionControl(args.max_inflight),
+                          rate_limiter=limiter,
+                          metrics=block.worker(0), metrics_block=block)
     host, port = server.server_address[:2]
     print(f"loaded {args.index} in {load_seconds:.3f}s "
           f"({service.index.num_triples} triples, layout "
           f"{getattr(service.index, 'name', '?')})")
     writable = service.statistics()["index"]["writable"]
-    endpoints = "POST /query, GET /stats, GET /healthz"
+    endpoints = "POST /query, GET /stats, GET /metrics, GET /healthz"
     if writable:
         endpoints = "POST /query, POST /update, POST /compact, " \
-                    "GET /stats, GET /healthz"
+                    "GET /stats, GET /metrics, GET /healthz"
         durability = (f"WAL {args.wal}" if args.wal
                       else "in-memory only (no --wal)")
         print(f"writable: updates accepted, {durability}")
     print(f"serving on http://{host}:{port}  "
           f"({endpoints}; Ctrl-C to stop)",
           flush=True)
+
+    def _sigterm(_signum, _frame):
+        # Containers and orchestrators stop services with SIGTERM; route it
+        # through the KeyboardInterrupt path so the shutdown is identical
+        # to Ctrl-C (server_close + WAL release) instead of the default
+        # kill skipping cleanup entirely.
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
+        signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()
+        service.close()
     return 0
 
 
@@ -564,6 +610,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="memory-map the index file instead of reading "
                             "it eagerly (O(1) start-up; skips per-section "
                             "payload checksums)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1 = one threaded "
+                            "process; N >= 2 forks a pre-fork pool sharing "
+                            "the listener and the mmap-loaded index, with "
+                            "writes routed to a single writer process)")
+    serve.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                       help="admission control: concurrent requests one "
+                            "worker executes before shedding with 503 "
+                            "(default: 64)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       metavar="RPS",
+                       help="per-client token-bucket rate limit in "
+                            "requests/second, answered with 429 beyond it "
+                            "(default: 0 = unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       metavar="N",
+                       help="token-bucket depth for --rate-limit "
+                            "(default: 2x the rate)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     serve.set_defaults(handler=_command_serve)

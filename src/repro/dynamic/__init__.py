@@ -36,6 +36,12 @@ block.  See ``docs/ARCHITECTURE.md``.
 """
 
 from repro.dynamic.delta import DeltaState, normalize_triple
+from repro.dynamic.follower import (
+    EpochFollower,
+    combined_epoch,
+    read_epoch_document,
+    write_epoch_document,
+)
 from repro.dynamic.index import (
     CompactionResult,
     DynamicIndex,
@@ -48,6 +54,10 @@ __all__ = [
     "CompactionResult",
     "DeltaState",
     "DynamicIndex",
+    "EpochFollower",
+    "combined_epoch",
+    "read_epoch_document",
+    "write_epoch_document",
     "MergedCursor",
     "SnapshotIndex",
     "UpdateResult",

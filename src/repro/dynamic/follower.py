@@ -1,0 +1,246 @@
+"""Read-only replication for the pre-fork serving pool.
+
+A worker process must see every acknowledged write without sharing any
+mutable Python state with the writer process.  The writer therefore
+publishes two things workers can consume through the filesystem alone:
+
+* the **WAL** (:mod:`repro.storage.wal`) — the ordered history of mutation
+  batches, already fsync-ed before any write is acknowledged; and
+* an **epoch document** — a tiny JSON file, atomically replaced
+  (``os.replace``) after every effective write, naming how much of the
+  world is durable: ``{"generation", "epoch", "wal_records", "wal"}``.
+
+:class:`EpochFollower` is the worker-side consumer: a read-only
+:class:`~repro.core.base.TripleIndex` over ``base container + replayed WAL
+tail``.  :meth:`refresh` stats the epoch document (cheap enough to run per
+request); when it changed, the follower reads the newly published WAL
+records through a non-truncating :class:`~repro.storage.wal.WalReader`,
+folds them into a fresh immutable :class:`~repro.dynamic.SnapshotIndex`,
+and swaps the view — the exact snapshot discipline
+:class:`~repro.dynamic.DynamicIndex` uses in-process, driven remotely.
+
+The ``generation`` field is the compaction signal: the writer bumps it
+after persisting a compacted container and resetting the WAL, and the
+follower responds by re-mapping the container from disk (mmap-loaded, so
+the reload is O(header)) and rewinding its WAL reader.  Replay is safe
+against every crash interleaving because both sides apply batches through
+the same ordered set-semantics ``DeltaState.apply`` path: replaying a
+batch that a compacted base already absorbed is a no-op.
+
+Epochs exposed to the cache layer are ``generation * 2**32 + epoch`` so a
+writer restart (which restarts its in-memory epoch counter) can never
+alias a cached result page from an earlier generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.core.base import PatternLike, TripleIndex
+from repro.dynamic.delta import DeltaState
+from repro.dynamic.index import SnapshotIndex
+
+#: Generations are folded into the published epoch in the high bits, so a
+#: follower's epoch stays monotonic across writer restarts and compactions.
+GENERATION_SHIFT = 32
+
+
+def combined_epoch(generation: int, epoch: int) -> int:
+    """One monotonic integer from a ``(generation, epoch)`` pair."""
+    return (generation << GENERATION_SHIFT) + epoch
+
+
+def read_epoch_document(path) -> Optional[dict]:
+    """The currently published epoch document, or ``None`` if absent/torn.
+
+    The writer replaces the file atomically, so a successful read is always
+    a complete document; a missing file or invalid JSON (it never writes
+    one, but a crashed half-provisioned deployment might) reads as "nothing
+    published yet".
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+        document = json.loads(text)
+    except (OSError, ValueError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def write_epoch_document(path, document: dict) -> None:
+    """Atomically publish ``document`` at ``path`` (tmp + ``os.replace``)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class EpochFollower(TripleIndex):
+    """A read-only index view that follows a writer's published epochs.
+
+    Thread-safe: many handler threads may call :meth:`refresh` and the read
+    methods concurrently; refresh work serialises on an internal lock while
+    readers keep using the immutable snapshot they pinned.
+    """
+
+    name = "follower"
+
+    def __init__(self, index_path, epoch_path, mmap: bool = True):
+        from repro.storage.wal import WalReader
+
+        self._index_path = Path(index_path)
+        self._epoch_path = Path(epoch_path)
+        self._mmap = mmap
+        self._lock = threading.Lock()
+        #: ``(st_mtime_ns, st_size)`` of the epoch file at the last applied
+        #: refresh — the cheap no-change fast path.
+        self._stamp: Optional[Tuple[int, int]] = None
+        self._generation: Optional[int] = None
+        self._reader: Optional[WalReader] = None
+        self._applied_records = 0
+        self._refreshes = 0
+        self._reloads = 0
+        self._load_container()
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Replication.
+    # ------------------------------------------------------------------ #
+
+    def _load_container(self) -> None:
+        from repro.storage import load_index
+
+        loaded = load_index(self._index_path, mmap=self._mmap)
+        self._loaded = loaded
+        self._base = loaded.index
+        self._applied_records = 0
+        self._view = SnapshotIndex(self._base, loaded.delta or DeltaState.empty(),
+                                   epoch=0)
+
+    @property
+    def dictionary(self):
+        return self._loaded.dictionary
+
+    @property
+    def planner_stats(self):
+        return self._loaded.planner_stats
+
+    @property
+    def meta(self) -> dict:
+        return self._loaded.meta
+
+    def _epoch_stamp(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = self._epoch_path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def refresh(self) -> bool:
+        """Catch up with the writer; returns whether the view changed.
+
+        Designed to be called at the start of every request: the common
+        case (nothing published since last time) is one ``stat``.
+        """
+        from repro.storage.wal import WalReader
+
+        stamp = self._epoch_stamp()
+        if stamp is None or stamp == self._stamp:
+            return False
+        with self._lock:
+            if stamp == self._stamp:
+                return False  # another thread already applied it
+            document = read_epoch_document(self._epoch_path)
+            if document is None:
+                return False
+            self._refreshes += 1
+            generation = int(document.get("generation", 0))
+            if generation != self._generation:
+                if self._generation is not None:
+                    # The writer persisted a compacted container and reset
+                    # the WAL: re-map the (new) container and start the log
+                    # over.  The old mapping stays valid for in-flight
+                    # queries — the container writer replaces the file via
+                    # rename, never in place.
+                    self._load_container()
+                    self._reloads += 1
+                self._generation = generation
+                wal_path = document.get("wal")
+                self._reader = WalReader(wal_path) if wal_path else None
+                if self._reader is not None:
+                    self._reader.rewind()
+            target = int(document.get("wal_records", 0))
+            view = self._view
+            delta, base = view.delta, view.base
+            while (self._reader is not None
+                   and self._applied_records < target):
+                batches = self._reader.read(
+                    limit=target - self._applied_records)
+                if not batches:
+                    break  # torn tail: the next refresh catches up
+                for inserts, deletes in batches:
+                    delta, _, _ = delta.apply(base, inserts=inserts,
+                                              deletes=deletes, validate=False)
+                self._applied_records += len(batches)
+            epoch = combined_epoch(generation, int(document.get("epoch", 0)))
+            self._view = SnapshotIndex(base, delta, epoch=epoch)
+            self._stamp = stamp
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Read interface (delegates to the current snapshot).
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> SnapshotIndex:
+        """The current immutable merged view (pin it for a whole query)."""
+        return self._view
+
+    @property
+    def epoch(self) -> int:
+        return self._view.epoch
+
+    @property
+    def generation(self) -> int:
+        return self._generation or 0
+
+    def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
+        return self._view.select(pattern)
+
+    @property
+    def num_triples(self) -> int:
+        return self._view.num_triples
+
+    def size_in_bits(self) -> int:
+        return self._view.size_in_bits()
+
+    def space_breakdown(self) -> Dict[str, int]:
+        return self._view.space_breakdown()
+
+    def supported_kinds(self) -> Tuple[str, ...]:
+        return self._view.supported_kinds()
+
+    def contains(self, triple: Tuple[int, int, int]) -> bool:
+        return self._view.contains(triple)
+
+    def seek_cursor(self, bound: Mapping[int, int], role: int):
+        return self._view.seek_cursor(bound, role)
+
+    def select_values(self, bound: Mapping[int, int], role: int):
+        return self._view.select_values(bound, role)
+
+    def follower_statistics(self) -> Dict[str, object]:
+        """JSON-ready replication gauges (mirrors ``delta_statistics``)."""
+        view = self._view
+        return {
+            "epoch": view.epoch,
+            "generation": self.generation,
+            "applied_wal_records": self._applied_records,
+            "refreshes": self._refreshes,
+            "container_reloads": self._reloads,
+            "delta_inserted": view.delta.num_inserted,
+            "delta_deleted": view.delta.num_deleted,
+            "num_triples": int(view.num_triples),
+        }

@@ -52,13 +52,24 @@ class MergedCursor:
     Implements the same protocol as the trie cursors (``key`` /
     ``advance`` / ``seek``): keys are strictly increasing, ``key is None``
     means exhausted, ``seek(v)`` jumps to the first key ``>= v``.
+
+    ``remaining_block`` is an instance attribute, not a method: the union
+    of two blocks only exists when *both* sides can produce one, and some
+    base cursors (the predicate-filtered ones) deliberately don't.  For
+    those the attribute is ``None``, which is exactly what the join
+    engines' ``getattr`` probe treats as "fall back to the scalar walk".
     """
 
-    __slots__ = ("_a", "_b", "key")
+    __slots__ = ("_a", "_b", "key", "remaining_block")
 
     def __init__(self, a, b):
         self._a = a
         self._b = b
+        block_a = getattr(a, "remaining_block", None)
+        block_b = getattr(b, "remaining_block", None)
+        self.remaining_block = (self._union_block
+                                if block_a is not None and block_b is not None
+                                else None)
         self._sync()
 
     def _sync(self) -> None:
@@ -89,7 +100,7 @@ class MergedCursor:
             self._b.seek(value)
         self._sync()
 
-    def remaining_block(self) -> np.ndarray:
+    def _union_block(self) -> np.ndarray:
         """Sorted distinct union of both sides' remaining elements.
 
         The vectorised tail of the block-cursor protocol (see

@@ -266,7 +266,18 @@ def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
                 statistics.executed_patterns.append(
                     template.bind(binding).to_selection_pattern())
                 statistics.triples_matched += int(block.size)
-                for value in block.tolist():
+                # Re-check the deadline every 1024 yielded values: a single
+                # block can hold millions of candidates, and the pre-block
+                # check alone would let one vectorised level overshoot the
+                # wall-clock budget by the whole block's consumption time.
+                for position, value in enumerate(block.tolist()):
+                    if (deadline is not None and position
+                            and not (position & 1023)
+                            and time.monotonic() > deadline):
+                        raise QueryTimeoutError(
+                            "query exceeded its wall-clock timeout "
+                            f"after matching {statistics.triples_matched} "
+                            "triples")
                     extended = dict(binding)
                     extended[variable] = value
                     yield extended

@@ -296,16 +296,24 @@ class _CursorFactory:
         return ArrayCursor(candidates)
 
 
-def _intersect_blocks(blocks: List[np.ndarray]) -> np.ndarray:
+def _intersect_blocks(blocks: List[np.ndarray],
+                      deadline: Optional[float] = None) -> np.ndarray:
     """Intersect sorted distinct int64 blocks, smallest first.
 
     ``searchsorted`` of the running intersection into each further block is
     O(|common| log |block|) — unlike ``np.intersect1d`` it never re-sorts the
     concatenation, so a tiny exact block probing a huge one stays cheap.
+    The ``deadline`` is re-checked between pairwise steps: each step is one
+    vectorised call, but on wide intersections of large blocks the sum of
+    steps is where block-heavy plans used to overshoot their timeout.
     """
     blocks = sorted(blocks, key=lambda b: b.size)
     common = blocks[0]
     for other in blocks[1:]:
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueryTimeoutError(
+                "query exceeded its wall-clock timeout during the "
+                "multiway block intersection")
         if common.size == 0:
             break
         positions = other.searchsorted(common)
@@ -438,6 +446,14 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
             # galloping seeks.)
             blocks = []
             for template_index, template in templates_for[variable]:
+                # Each ``select_values`` call can decode a large sibling
+                # range; check the deadline between them rather than only
+                # once per level, so a binding with several fat blocks
+                # cannot overshoot the budget by the whole fetch sequence.
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        "query exceeded its wall-clock timeout while "
+                        "fetching candidate blocks")
                 block = factory.block_for(template_index, template, binding,
                                           variable)
                 if block is None:
@@ -445,14 +461,16 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                     break
                 blocks.append(block)
             if blocks is not None:
-                if deadline is not None and time.monotonic() > deadline:
-                    raise QueryTimeoutError(
-                        "query exceeded its wall-clock timeout during the "
-                        "multiway intersection")
                 stats.patterns_executed += len(blocks)
-                common = _intersect_blocks(blocks)
+                common = _intersect_blocks(blocks, deadline)
                 stats.triples_matched += int(common.size)
-                for value in common.tolist():
+                for position, value in enumerate(common.tolist()):
+                    if (deadline is not None and position
+                            and not (position & 1023)
+                            and time.monotonic() > deadline):
+                        raise QueryTimeoutError(
+                            "query exceeded its wall-clock timeout while "
+                            "enumerating the block intersection")
                     binding[variable] = value
                     yield dict(binding)
                 binding.pop(variable, None)
@@ -488,15 +506,21 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                 if block_of is None:
                     blocks = None
                     break
-                blocks.append(block_of())
-            if blocks is not None:
                 if deadline is not None and time.monotonic() > deadline:
                     raise QueryTimeoutError(
-                        "query exceeded its wall-clock timeout during the "
-                        "multiway intersection")
-                common = _intersect_blocks(blocks)
+                        "query exceeded its wall-clock timeout while "
+                        "fetching candidate blocks")
+                blocks.append(block_of())
+            if blocks is not None:
+                common = _intersect_blocks(blocks, deadline)
                 stats.triples_matched += int(common.size)
-                for value in common.tolist():
+                for position, value in enumerate(common.tolist()):
+                    if (deadline is not None and position
+                            and not (position & 1023)
+                            and time.monotonic() > deadline):
+                        raise QueryTimeoutError(
+                            "query exceeded its wall-clock timeout while "
+                            "enumerating the block intersection")
                     binding[variable] = value
                     yield dict(binding)
                 binding.pop(variable, None)

@@ -14,6 +14,13 @@ batch CLI into a server:
   stdlib-only threaded HTTP front-end (``POST /query``, ``POST /update``,
   ``POST /compact``, ``GET /stats``, ``GET /healthz``) behind
   ``repro serve``;
+* :class:`ServerPool` (:mod:`repro.service.pool`) — the pre-fork
+  multi-process pool behind ``repro serve --workers N``: one master, one
+  writer, N forked workers sharing the listening socket and one
+  mmap-loaded index, with admission control
+  (:class:`AdmissionControl`), per-client rate limiting
+  (:class:`TokenBucketLimiter`) and a shared-memory ``GET /metrics``
+  (:mod:`repro.service.metrics`);
 * :mod:`repro.service.cache` — the LRU + BGP-normalisation primitives;
 * :mod:`repro.service.jsonio` — the JSON serialisation shared with the
   CLI's ``--json`` output.
@@ -22,17 +29,27 @@ batch CLI into a server:
 from repro.service.cache import CacheStatistics, LRUCache, normalize_bgp
 from repro.service.engine import PatternResult, QueryResult, QueryService
 from repro.service.http import (
+    AdmissionControl,
     QueryServiceHandler,
     QueryServiceServer,
+    TokenBucketLimiter,
     build_server,
     serve,
     status_for_error,
 )
+from repro.service.metrics import MetricsBlock, render_prometheus
+from repro.service.pool import ServerPool, WriterClient
 
 __all__ = [
+    "AdmissionControl",
     "CacheStatistics",
     "LRUCache",
+    "MetricsBlock",
+    "ServerPool",
+    "TokenBucketLimiter",
+    "WriterClient",
     "normalize_bgp",
+    "render_prometheus",
     "PatternResult",
     "QueryResult",
     "QueryService",

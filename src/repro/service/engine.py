@@ -549,6 +549,22 @@ class QueryService:
             self._plan_epoch += 1
 
     # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release held resources — the WAL handle of a writable index.
+
+        The graceful-shutdown path (SIGTERM / pool drain) calls this after
+        the HTTP server stops accepting, so the log's file descriptor is
+        released cleanly; every acknowledged write was already fsync-ed at
+        append time.  Idempotent, and a no-op for read-only services.
+        """
+        closer = getattr(self._index, "close", None)
+        if closer is not None:
+            closer()
+
+    # ------------------------------------------------------------------ #
     # Statistics.
     # ------------------------------------------------------------------ #
 

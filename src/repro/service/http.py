@@ -3,6 +3,10 @@
 Stdlib only (``http.server``): a :class:`ThreadingHTTPServer` dispatches each
 request to its own thread, all of them sharing one read-only index through
 the service — the shape the paper's immutable compressed tries are built for.
+For multi-core serving, :mod:`repro.service.pool` forks several of these
+servers over one inherited listening socket; everything in this module is
+per-process and needs no coordination beyond the optional shared metrics
+slot it is handed.
 
 Endpoints:
 
@@ -17,23 +21,33 @@ Endpoints:
   ``{"delete": [...]}`` (integer ID triples).  Requires a writable service
   (``repro serve --writable``); responds with the applied counts and the
   new index epoch, plus the compaction report if the batch tripped the
-  size-ratio trigger.
+  size-ratio trigger.  Under the pre-fork pool the batch is proxied to the
+  single writer process and acknowledged only once durable and published.
 * ``POST /compact`` — fold the in-memory delta into a freshly built
   index; responds with the compaction report (a no-op when the delta is
   empty).
 * ``GET /stats`` — cache hit rates, latency percentiles, index sizes,
   delta/epoch gauges.
-* ``GET /healthz`` — liveness probe.
+* ``GET /metrics`` — Prometheus text exposition (see
+  :mod:`repro.service.metrics`), aggregated across workers under the pool.
+* ``GET /healthz`` — liveness probe; reports the answering process's pid
+  and index epoch.
 
 Failures are structured: every error response is
 ``{"error": {"type": ..., "message": ...}}`` with the HTTP status mapped
 from the :mod:`repro.errors` hierarchy (bad input 400, timeout 408,
-storage trouble 500).
+storage trouble 500).  Load shedding is explicit: a full admission gate
+answers 503, an exhausted per-client token bucket answers 429, both with
+``Retry-After``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -82,6 +96,101 @@ def error_body(error: Exception) -> Dict[str, Any]:
     return {"error": {"type": type(error).__name__, "message": str(error)}}
 
 
+class AdmissionControl:
+    """A bounded in-flight gate: at most ``max_inflight`` requests execute.
+
+    Load shedding beats queueing for an interactive query endpoint: once
+    every executor slot is busy, a new request would only wait behind work
+    it cannot speed up, so the server answers 503 + ``Retry-After``
+    immediately and the client (or its load balancer) retries elsewhere.
+    """
+
+    def __init__(self, max_inflight: int):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+
+class TokenBucketLimiter:
+    """Per-client token buckets: ``rate`` requests/second, ``burst`` deep.
+
+    Keyed by client IP.  Buckets refill lazily on access; idle full
+    buckets are pruned so the table cannot grow without bound under an
+    address scan.
+    """
+
+    #: Prune sweep threshold — far above any honest client population.
+    MAX_CLIENTS = 8192
+
+    def __init__(self, rate: float, burst: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 requests/second, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst else max(1.0, 2 * self.rate)
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    def allow(self, client: str) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            allowed = tokens >= 1.0
+            if allowed:
+                tokens -= 1.0
+            self._buckets[client] = (tokens, now)
+            if len(self._buckets) > self.MAX_CLIENTS:
+                self._prune(now)
+            return allowed
+
+    def _prune(self, now: float) -> None:
+        refilled = {
+            client for client, (tokens, last) in self._buckets.items()
+            if tokens + (now - last) * self.rate >= self.burst}
+        for client in refilled:
+            del self._buckets[client]
+
+
+def _validate_page_options(limit, offset, timeout) -> None:
+    """Reject malformed paging/deadline fields before they reach a join.
+
+    ``bool`` is an ``int`` subclass in Python, so ``true``/``false`` would
+    otherwise sail through the integer checks and mean 1/0 downstream.
+    """
+    if limit is not None:
+        if isinstance(limit, bool) or not isinstance(limit, int):
+            raise ServiceError("limit must be an integer")
+        if limit < 0:
+            raise ServiceError(f"limit must be >= 0, got {limit}")
+    if isinstance(offset, bool) or not isinstance(offset, int):
+        raise ServiceError("offset must be an integer")
+    if offset < 0:
+        raise ServiceError(f"offset must be >= 0, got {offset}")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ServiceError("timeout must be a number (seconds)")
+        if timeout <= 0:
+            raise ServiceError(
+                f"timeout must be > 0 seconds, got {timeout}")
+
+
 def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one request object against ``service`` and serialise it."""
     if not isinstance(request, dict):
@@ -95,12 +204,7 @@ def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
     timeout = request.get("timeout")
     use_cache = bool(request.get("cache", True))
     engine = request.get("engine")
-    if limit is not None and not isinstance(limit, int):
-        raise ServiceError("limit must be an integer")
-    if not isinstance(offset, int):
-        raise ServiceError("offset must be an integer")
-    if timeout is not None and not isinstance(timeout, (int, float)):
-        raise ServiceError("timeout must be a number (seconds)")
+    _validate_page_options(limit, offset, timeout)
     if engine is not None and engine not in QueryService.ENGINES:
         raise ServiceError(
             f"unknown engine {engine!r}; expected one of "
@@ -152,8 +256,8 @@ def _parse_triples(value: Any, field: str) -> list:
     return triples
 
 
-def _run_update(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one ``POST /update`` body against ``service``."""
+def _validate_update(request: Dict[str, Any]) -> Tuple[list, list]:
+    """Shape-check one ``POST /update`` body; returns ``(inserts, deletes)``."""
     unknown = set(request) - {"insert", "delete"}
     if unknown:
         raise ServiceError(f"unknown update field(s): {sorted(unknown)}")
@@ -164,6 +268,12 @@ def _run_update(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any
     if not inserts and not deletes:
         raise ServiceError(
             "an update needs an 'insert' and/or a 'delete' list")
+    return inserts, deletes
+
+
+def _run_update(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one ``POST /update`` body against ``service``."""
+    inserts, deletes = _validate_update(request)
     # One atomic batch: a failure anywhere applies nothing, and readers
     # never observe the inserts without the deletes.
     result = service.update(inserts=inserts, deletes=deletes)
@@ -180,30 +290,100 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
     def service(self) -> QueryService:
         return self.server.service  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        timeout = getattr(self.server, "handler_timeout", None)
+        if timeout is not None:
+            # Bounds an idle keep-alive read so a draining worker's
+            # server_close() cannot block forever on a silent client.
+            self.timeout = timeout
+        super().setup()
+
     def log_message(self, format: str, *args: Any) -> None:
         if not getattr(self.server, "quiet", False):
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+    def _send_json(self, status: int, body: Dict[str, Any],
+                   extra_headers: Optional[Dict[str, str]] = None) -> None:
         payload = json.dumps(body).encode("utf-8")
+        self._send_payload(status, payload, "application/json",
+                           extra_headers)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_payload(status, text.encode("utf-8"), content_type)
+
+    def _send_payload(self, status: int, payload: bytes, content_type: str,
+                      extra_headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
+        self._count_response(status)
+
+    def _count_response(self, status: int) -> None:
+        metrics = getattr(self.server, "metrics", None)
+        if metrics is None:
+            return
+        metrics.add("requests")
+        started = getattr(self, "_request_started", None)
+        if started is not None:
+            metrics.observe_latency(time.monotonic() - started)
+            self._request_started = None  # one observation per request
+        if status == 408:
+            metrics.add("timeouts")
+        elif status == 429:
+            metrics.add("ratelimited")
+        elif status == 503:
+            metrics.add("overload")
+        elif status >= 500:
+            metrics.add("errors")
+        elif status >= 400:
+            metrics.add("client_errors")
 
     def _send_error_json(self, error: Exception) -> None:
         self._send_json(status_for_error(error), error_body(error))
 
+    def _begin_request(self) -> None:
+        self._request_started = time.monotonic()
+        refresh = getattr(self.server, "refresh_index", None)
+        if refresh is None:
+            return
+        try:
+            # Catch up with the writer's published epoch before answering:
+            # this is what gives the pool read-your-writes across worker
+            # processes.  The no-change fast path is a single stat().
+            if refresh():
+                metrics = getattr(self.server, "metrics", None)
+                if metrics is not None:
+                    metrics.add("refreshes")
+        except Exception:  # pragma: no cover - replication must not 500 reads
+            pass
+
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._begin_request()
         try:
             if self.path == "/healthz":
+                index = self.service.index
                 self._send_json(200, {
                     "status": "ok",
-                    "num_triples": int(self.service.index.num_triples),
+                    "pid": os.getpid(),
+                    "epoch": int(getattr(index, "epoch", 0)),
+                    "num_triples": int(index.num_triples),
                 })
             elif self.path == "/stats":
                 self._send_json(200, self.service.statistics())
+            elif self.path == "/metrics":
+                from repro.service.metrics import (
+                    render_prometheus,
+                    service_gauges,
+                )
+                block = getattr(self.server, "metrics_block", None)
+                self._send_text(
+                    200,
+                    render_prometheus(block, service_gauges(self.service)),
+                    "text/plain; version=0.0.4; charset=utf-8")
             elif self.path == "/query":
                 self._send_json(405, {"error": {
                     "type": "MethodNotAllowed",
@@ -215,14 +395,79 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
         except Exception as error:  # pragma: no cover - handler guard
             self._send_error_json(error)
 
+    def _read_body_length(self) -> Optional[int]:
+        """The validated Content-Length, or ``None`` after rejecting.
+
+        A missing header on a body-carrying method is 411 and a malformed
+        one is 400 — both used to fall through to ``int()`` and surface as
+        a raw 500.  Either way the connection closes: the body (if any)
+        was never read and would poison the next keep-alive request.
+        """
+        header = self.headers.get("Content-Length")
+        if header is None:
+            self.close_connection = True
+            self._send_json(411, {"error": {
+                "type": "LengthRequired",
+                "message": "POST requires a Content-Length header"}})
+            return None
+        try:
+            length = int(header.strip())
+        except ValueError:
+            length = -1
+        if length < 0:
+            self.close_connection = True
+            self._send_json(400, {"error": {
+                "type": "BadRequest",
+                "message": f"malformed Content-Length {header!r}"}})
+            return None
+        return length
+
+    def _shed_load(self) -> bool:
+        """Apply rate limiting; True = a 429 was sent."""
+        limiter = getattr(self.server, "rate_limiter", None)
+        if limiter is not None and not limiter.allow(self.client_address[0]):
+            self.close_connection = True
+            self._send_json(429, {"error": {
+                "type": "RateLimited",
+                "message": "per-client rate limit exceeded; retry later"}},
+                extra_headers={"Retry-After": "1"})
+            return True
+        return False
+
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._begin_request()
         if self.path not in ("/query", "/update", "/compact"):
             self._send_json(404, {"error": {
                 "type": "NotFound",
                 "message": f"unknown path {self.path!r}"}})
             return
+        if self._shed_load():
+            return
+        admission = getattr(self.server, "admission", None)
+        metrics = getattr(self.server, "metrics", None)
+        if admission is not None and not admission.try_acquire():
+            self.close_connection = True
+            self._send_json(503, {"error": {
+                "type": "Overloaded",
+                "message": f"all {admission.max_inflight} request slots are "
+                           f"busy; retry later"}},
+                extra_headers={"Retry-After": "1"})
+            return
+        if metrics is not None:
+            metrics.add("inflight")
         try:
-            length = int(self.headers.get("Content-Length") or 0)
+            self._handle_post()
+        finally:
+            if metrics is not None:
+                metrics.sub("inflight")
+            if admission is not None:
+                admission.release()
+
+    def _handle_post(self) -> None:
+        try:
+            length = self._read_body_length()
+            if length is None:
+                return
             if length > MAX_BODY_BYTES:
                 # The unread body would poison the next keep-alive request.
                 self.close_connection = True
@@ -240,13 +485,13 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
             if not isinstance(request, dict):
                 raise ServiceError("request body must be a JSON object")
             if self.path == "/update":
-                self._send_json(200, _run_update(self.service, request))
+                self._handle_update(request)
                 return
             if self.path == "/compact":
                 if request:
                     raise ServiceError(
                         "POST /compact takes an empty body")
-                self._send_json(200, self.service.compact().to_json())
+                self._handle_compact()
                 return
             if "batch" in request:
                 batch = request["batch"]
@@ -267,27 +512,117 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
         except Exception as error:
             self._send_error_json(error)
 
+    def _handle_update(self, request: Dict[str, Any]) -> None:
+        proxy = getattr(self.server, "update_proxy", None)
+        if proxy is None:
+            body = _run_update(self.service, request)
+            self._count_updates(body)
+            self._send_json(200, body)
+            return
+        # Pool worker: shape-check locally (cheap, keeps malformed input
+        # off the writer), then route the batch to the single writer
+        # process.  Its reply means "durable in the WAL and published";
+        # refreshing before answering gives this worker read-your-writes.
+        inserts, deletes = _validate_update(request)
+        status, body = proxy.request({
+            "op": "update",
+            "insert": [list(t) for t in inserts],
+            "delete": [list(t) for t in deletes]})
+        if status == 200:
+            self._count_updates(body)
+            self._refresh_after_write()
+        self._send_json(status, body)
+
+    def _handle_compact(self) -> None:
+        proxy = getattr(self.server, "update_proxy", None)
+        if proxy is None:
+            self._send_json(200, self.service.compact().to_json())
+            return
+        status, body = proxy.request({"op": "compact"})
+        if status == 200:
+            self._refresh_after_write()
+        self._send_json(status, body)
+
+    def _count_updates(self, body: Dict[str, Any]) -> None:
+        metrics = getattr(self.server, "metrics", None)
+        if metrics is not None and isinstance(body, dict):
+            applied = (int(body.get("inserted", 0))
+                       + int(body.get("deleted", 0)))
+            if applied:
+                metrics.add("updates", applied)
+
+    def _refresh_after_write(self) -> None:
+        refresh = getattr(self.server, "refresh_index", None)
+        if refresh is not None:
+            try:
+                refresh()
+            except Exception:  # pragma: no cover - reply is still correct
+                pass
+
 
 class QueryServiceServer(ThreadingHTTPServer):
-    """A threaded HTTP server bound to one shared :class:`QueryService`."""
+    """A threaded HTTP server bound to one shared :class:`QueryService`.
+
+    Beyond the address/service pair this carries the per-process serving
+    policy the handler consults: an optional :class:`AdmissionControl`
+    gate, an optional :class:`TokenBucketLimiter`, the process's shared
+    metrics slot, and — under the pre-fork pool — an already-bound
+    ``listen_socket`` to adopt instead of binding, a ``refresh_index``
+    callable (epoch catch-up) and an ``update_proxy`` (route writes to
+    the writer process).
+    """
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: QueryService,
-                 quiet: bool = False):
-        super().__init__(address, QueryServiceHandler)
+                 quiet: bool = False,
+                 listen_socket: Optional[socket.socket] = None,
+                 admission: Optional[AdmissionControl] = None,
+                 rate_limiter: Optional[TokenBucketLimiter] = None,
+                 metrics=None, metrics_block=None,
+                 refresh_index=None, update_proxy=None,
+                 drain: bool = False,
+                 handler_timeout: Optional[float] = None):
+        if listen_socket is None:
+            super().__init__(address, QueryServiceHandler)
+        else:
+            # Adopt a socket bound (and listened) by the pool master before
+            # forking: every worker accepts from the same kernel queue.
+            super().__init__(address, QueryServiceHandler,
+                             bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()[:2]
+            self.server_name, self.server_port = self.server_address
         self.service = service
         self.quiet = quiet
+        self.admission = admission
+        self.rate_limiter = rate_limiter
+        self.metrics = metrics
+        self.metrics_block = metrics_block
+        self.refresh_index = refresh_index
+        self.update_proxy = update_proxy
+        self.handler_timeout = handler_timeout
+        if drain:
+            # Graceful shutdown: server_close() joins the in-flight handler
+            # threads (ThreadingMixIn.block_on_close) instead of abandoning
+            # them mid-response.  ``handler_timeout`` bounds how long an
+            # idle keep-alive connection can hold the join.
+            self.daemon_threads = False
 
 
 def build_server(service: QueryService, host: str = "127.0.0.1",
-                 port: int = 8377, quiet: bool = False) -> QueryServiceServer:
+                 port: int = 8377, quiet: bool = False,
+                 **server_options) -> QueryServiceServer:
     """Bind a server (``port=0`` picks a free port) without starting it.
 
     Call ``serve_forever()`` to run; the bound port is
-    ``server.server_address[1]``.
+    ``server.server_address[1]``.  ``server_options`` are forwarded to
+    :class:`QueryServiceServer` (admission control, rate limiter, metrics,
+    pool plumbing).
     """
-    return QueryServiceServer((host, port), service, quiet=quiet)
+    return QueryServiceServer((host, port), service, quiet=quiet,
+                              **server_options)
 
 
 def serve(index_path, host: str = "127.0.0.1", port: int = 8377,

@@ -1,0 +1,557 @@
+"""The pre-fork worker pool behind ``repro serve --workers N``.
+
+One box, many cores, one index.  The GIL caps a single
+:class:`~repro.service.http.QueryServiceServer` at one CPU, but the
+compressed tries are immutable and (since the v3 aligned container)
+mmap-loadable — the classic HDT/RDF-3X serving shape applies: page-share
+one read-only index across processes and let the kernel do the fan-out.
+
+Process model::
+
+    master ──────────── binds the listening socket, forks, supervises
+      ├─ writer         owns the DynamicIndex + WAL; applies every write,
+      │                 publishes an epoch document after each one
+      └─ worker × N     mmap the index read-only, accept() on the shared
+                        listener, answer queries; follow the writer's
+                        epochs; proxy /update & /compact to the writer
+
+* **Sockets.**  The master binds and listens once; every worker inherits
+  the socket through ``fork`` and calls ``accept`` on it, so the kernel
+  load-balances connections across workers and a worker crash never loses
+  the listening queue.  ``SO_REUSEPORT`` is additionally set where the
+  platform offers it, so an operator can co-bind a second pool on the
+  same port for a blue-green handover.
+* **Writes.**  Workers never mutate anything.  ``POST /update`` and
+  ``POST /compact`` are framed as JSON over a unix domain socket to the
+  single writer process, which applies them through the ordinary
+  :class:`~repro.service.engine.QueryService` write path (WAL first, then
+  visible), *publishes* the new epoch, and only then acknowledges — so an
+  acknowledged write is durable and observable from every worker.
+* **Epochs.**  Publication is a tiny atomically-replaced JSON document
+  (see :mod:`repro.dynamic.follower`).  Workers run an
+  :class:`~repro.dynamic.EpochFollower` and refresh at the start of every
+  request: one ``stat`` when nothing changed, a WAL tail replay when
+  something did, a container re-map when a compaction landed.
+* **Supervision.**  The master reaps children; a crashed worker (or
+  writer) is respawned into the same metrics slot, a SIGTERM drains:
+  workers stop accepting, finish their in-flight requests, then the
+  writer flushes and exits, then the master closes the listener.
+
+Metrics are aggregated across processes through one pre-fork shared
+memory block (:mod:`repro.service.metrics`) — any worker can answer
+``GET /metrics`` for the whole pool.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+import socket
+import struct
+import sys
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.dynamic.follower import (
+    EpochFollower,
+    read_epoch_document,
+    write_epoch_document,
+)
+from repro.service.engine import QueryService
+from repro.service.http import (
+    AdmissionControl,
+    QueryServiceServer,
+    TokenBucketLimiter,
+    error_body,
+    status_for_error,
+)
+from repro.service.metrics import MetricsBlock
+
+#: Frame header of the worker↔writer protocol: payload length, uint32 LE.
+_FRAME = struct.Struct("<I")
+#: A writer frame far larger than this is a protocol bug, not a request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: How long a worker waits for (re)connecting to the writer socket.
+_WRITER_CONNECT_TIMEOUT = 5.0
+#: Per-request writer timeout — compactions rebuild the index, so this is
+#: generous; queries never wait on it.
+_WRITER_REPLY_TIMEOUT = 600.0
+
+
+def _read_frame(sock: socket.socket) -> Optional[bytes]:
+    """One length-prefixed frame, or ``None`` on a clean EOF."""
+    header = _recv_exactly(sock, _FRAME.size, at_start=True)
+    if header is None:
+        return None
+    (length,) = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"writer-protocol frame of {length} bytes")
+    return _recv_exactly(sock, length)
+
+
+def _recv_exactly(sock: socket.socket, count: int,
+                  at_start: bool = False) -> Optional[bytes]:
+    """``count`` bytes from ``sock``; EOF mid-read is a protocol error.
+
+    ``at_start=True`` makes an immediate EOF a clean ``None`` (the peer
+    hung up between frames) instead of an error.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_start and remaining == count:
+                return None
+            raise ConnectionError("writer-protocol frame truncated")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_FRAME.pack(len(payload)) + payload)
+
+
+class WriterClient:
+    """A worker's connection to the writer process (lazy, self-healing).
+
+    One request/reply in flight at a time per worker (serialised on a
+    lock); a broken connection is retried once — the writer may have just
+    been respawned.  An unreachable writer is reported as a 503 body, not
+    an exception: queries must keep flowing while writes shed.
+    """
+
+    def __init__(self, path):
+        self._path = str(path)
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(_WRITER_CONNECT_TIMEOUT)
+        sock.connect(self._path)
+        sock.settimeout(_WRITER_REPLY_TIMEOUT)
+        return sock
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+    def request(self, message: dict) -> Tuple[int, dict]:
+        """Send one operation; returns ``(http_status, json_body)``."""
+        payload = json.dumps(message).encode("utf-8")
+        with self._lock:
+            last_error: Optional[Exception] = None
+            for _ in range(2):
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    _send_frame(self._sock, payload)
+                    reply = _read_frame(self._sock)
+                    if reply is None:
+                        raise ConnectionError("writer closed the connection")
+                    response = json.loads(reply.decode("utf-8"))
+                    return (int(response.get("status", 500)),
+                            response.get("body", {}))
+                except (OSError, ValueError, ConnectionError) as exc:
+                    last_error = exc
+                    if self._sock is not None:
+                        try:
+                            self._sock.close()
+                        finally:
+                            self._sock = None
+        return 503, {"error": {
+            "type": "WriterUnavailable",
+            "message": f"the writer process is unreachable "
+                       f"({last_error}); retry later"}}
+
+
+class _WriterProcess:
+    """The single mutating process: applies writes, publishes epochs."""
+
+    def __init__(self, pool: "ServerPool"):
+        self._pool = pool
+        self._stop = threading.Event()
+        self._lock = threading.Lock()  # serialises apply + publish + ack
+        self._service: Optional[QueryService] = None
+        self._generation = 0
+        self._epoch_offset = 0
+
+    def run(self) -> int:
+        pool = self._pool
+        signal.signal(signal.SIGTERM, lambda *_: self._stop.set())
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        self._service = QueryService.from_file(
+            pool.index_path, writable=True, wal_path=pool.wal_path,
+            compaction_ratio=pool.compaction_ratio, mmap=pool.mmap,
+            **pool.service_options)
+        previous = read_epoch_document(pool.epoch_path)
+        if previous is not None:
+            # Continue the published history instead of restarting it: the
+            # replayed index is byte-for-byte the acknowledged state, so
+            # generation is unchanged and epochs resume monotonically.
+            self._generation = int(previous.get("generation", 0))
+            self._epoch_offset = int(previous.get("epoch", 0))
+        self._publish()
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            os.unlink(pool.writer_socket_path)
+        except OSError:
+            pass
+        server.bind(pool.writer_socket_path)
+        server.listen(pool.workers + 8)
+        server.settimeout(0.5)
+        threads = []
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True)
+                thread.start()
+                threads.append(thread)
+        finally:
+            server.close()
+            for thread in threads:
+                thread.join(timeout=2.0)
+            # Flush-on-shutdown: the WAL handle is fsync-per-append, so
+            # closing is about releasing the descriptor cleanly.
+            closer = getattr(self._service, "close", None)
+            if closer is not None:
+                closer()
+        return 0
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    frame = _read_frame(conn)
+                except (OSError, ConnectionError):
+                    return
+                if frame is None:
+                    return
+                try:
+                    message = json.loads(frame.decode("utf-8"))
+                    status, body = self._handle(message)
+                except Exception as error:  # noqa: BLE001 - reply, don't die
+                    status, body = status_for_error(error), error_body(error)
+                try:
+                    _send_frame(conn, json.dumps(
+                        {"status": status, "body": body}).encode("utf-8"))
+                except OSError:
+                    return
+
+    def _handle(self, message: dict) -> Tuple[int, dict]:
+        operation = message.get("op")
+        service = self._service
+        with self._lock:
+            if operation == "ping":
+                return 200, {"status": "ok", "pid": os.getpid()}
+            if operation == "update":
+                inserts = [tuple(t) for t in message.get("insert", [])]
+                deletes = [tuple(t) for t in message.get("delete", [])]
+                result = service.update(inserts=inserts, deletes=deletes)
+                if (result.compaction is not None
+                        and result.compaction.compacted):
+                    self._note_compaction()
+                # Publish *before* acknowledging: once the client sees 200
+                # the write is durable in the WAL and visible to any worker
+                # that refreshes — the no-lost-acknowledged-writes contract
+                # the chaos test leans on.
+                self._publish()
+                return 200, result.to_json()
+            if operation == "compact":
+                result = service.compact()
+                if result.compacted:
+                    self._note_compaction()
+                self._publish()
+                return 200, result.to_json()
+        return 400, {"error": {"type": "BadRequest",
+                               "message": f"unknown writer op {operation!r}"}}
+
+    def _note_compaction(self) -> None:
+        # Only a *persisted* compaction re-points the container file and
+        # resets the WAL; bumping the generation then tells workers to
+        # re-map.  If the persist failed the WAL still holds the full
+        # history and workers' merged views remain correct as they are.
+        if getattr(self._service, "_persist_error", None) is None:
+            self._generation += 1
+
+    def _publish(self) -> None:
+        index = self._service.index
+        stats = index.delta_statistics()
+        write_epoch_document(self._pool.epoch_path, {
+            "generation": self._generation,
+            "epoch": self._epoch_offset + int(stats.get("epoch", 0)),
+            "wal": str(self._pool.wal_path),
+            "wal_records": int(stats.get("wal_records", 0)),
+            "pid": os.getpid(),
+        })
+
+
+class ServerPool:
+    """Master of the pre-fork pool: bind, fork, supervise, drain.
+
+    ``run()`` blocks until SIGTERM/SIGINT and returns a process exit
+    code.  ``service_options`` are forwarded to every per-process
+    :class:`~repro.service.engine.QueryService` (engine, default timeout,
+    cache sizes, page cap).
+    """
+
+    def __init__(self, index_path, workers: int = 2,
+                 host: str = "127.0.0.1", port: int = 8377,
+                 writable: bool = False, wal_path=None,
+                 compaction_ratio: Optional[float] = None,
+                 mmap: bool = True, quiet: bool = False,
+                 max_inflight: int = 64, rate_limit: float = 0.0,
+                 rate_burst: Optional[float] = None,
+                 drain_timeout: float = 10.0,
+                 service_options: Optional[dict] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if writable and wal_path is None:
+            # The WAL doubles as the write-publication bus, so a writable
+            # pool always has one (single-process serve keeps it optional).
+            wal_path = str(index_path) + ".wal"
+        self.index_path = index_path
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.writable = writable
+        self.wal_path = wal_path
+        self.compaction_ratio = compaction_ratio
+        self.mmap = mmap
+        self.quiet = quiet
+        self.max_inflight = max_inflight
+        self.rate_limit = rate_limit
+        self.rate_burst = rate_burst
+        self.drain_timeout = drain_timeout
+        self.service_options = dict(service_options or {})
+        self.epoch_path = (str(wal_path) + ".epoch") if wal_path else None
+        self.writer_socket_path = (str(wal_path) + ".sock") if wal_path \
+            else None
+        self._listener: Optional[socket.socket] = None
+        self._block: Optional[MetricsBlock] = None
+        #: pid → ("worker", slot) or ("writer", None)
+        self._children: Dict[int, Tuple[str, Optional[int]]] = {}
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # Master.
+    # ------------------------------------------------------------------ #
+
+    def _bind_listener(self) -> socket.socket:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if hasattr(socket, "SO_REUSEPORT"):
+            try:
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+        listener.bind((self.host, self.port))
+        listener.listen(1024)
+        self.port = listener.getsockname()[1]
+        return listener
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(message, flush=True)
+
+    def run(self) -> int:
+        """Run the pool until SIGTERM/SIGINT; returns an exit code."""
+        self._listener = self._bind_listener()
+        self._block = MetricsBlock(self.workers)
+        signal.signal(signal.SIGTERM, self._request_stop)
+        signal.signal(signal.SIGINT, self._request_stop)
+        if self.writable:
+            self._spawn_writer()
+            self._await_writer()
+        print(f"serving on http://{self.host}:{self.port} "
+              f"(pid {os.getpid()}, workers {self.workers}"
+              f"{', writable' if self.writable else ''})", flush=True)
+        for slot in range(self.workers):
+            self._spawn_worker(slot)
+        self._supervise()
+        self._drain()
+        return 0
+
+    def _request_stop(self, *_args) -> None:
+        self._stopping = True
+
+    def _fork(self, target, role: Tuple[str, Optional[int]]) -> int:
+        pid = os.fork()
+        if pid != 0:
+            self._children[pid] = role
+            return pid
+        # Child: never return into the master's stack.
+        code = 1
+        try:
+            code = target() or 0
+        except SystemExit as exit_:  # pragma: no cover - child plumbing
+            code = exit_.code if isinstance(exit_.code, int) else 0
+        except BaseException:  # noqa: BLE001 - child must report and die
+            traceback.print_exc()
+            code = 1
+        finally:
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(code)
+
+    def _spawn_writer(self) -> int:
+        return self._fork(lambda: _WriterProcess(self).run(),
+                          ("writer", None))
+
+    def _spawn_worker(self, slot: int) -> int:
+        pid = self._fork(lambda: self._worker_main(slot), ("worker", slot))
+        self._block.master().add("workers")
+        return pid
+
+    def _await_writer(self, timeout: float = 60.0) -> None:
+        """Block until the writer has published and answers pings."""
+        client = WriterClient(self.writer_socket_path)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if read_epoch_document(self.epoch_path) is not None:
+                status, _ = client.request({"op": "ping"})
+                if status == 200:
+                    client.close()
+                    return
+            if self._reap_one():
+                break  # the writer died on startup: surface it below
+            time.sleep(0.05)
+        client.close()
+        raise RuntimeError(
+            f"writer process did not become ready within {timeout:.0f}s "
+            f"(index {self.index_path}, wal {self.wal_path})")
+
+    def _reap_one(self) -> Optional[int]:
+        try:
+            pid, _status = os.waitpid(-1, os.WNOHANG)
+        except ChildProcessError:
+            return None
+        return pid or None
+
+    def _supervise(self) -> None:
+        master = self._block.master()
+        while not self._stopping:
+            pid = self._reap_one()
+            if pid is None:
+                time.sleep(0.1)
+                continue
+            role = self._children.pop(pid, None)
+            if role is None or self._stopping:
+                continue
+            kind, slot = role
+            master.add("restarts")
+            self._log(f"[pool] {kind} {pid} exited unexpectedly; respawning")
+            if kind == "writer":
+                self._spawn_writer()
+            else:
+                master.sub("workers")
+                self._spawn_worker(slot)
+
+    def _alive(self, kind: str) -> Dict[int, Tuple[str, Optional[int]]]:
+        return {pid: role for pid, role in self._children.items()
+                if role[0] == kind}
+
+    def _terminate(self, pids, grace: float) -> None:
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                self._children.pop(pid, None)
+        deadline = time.monotonic() + grace
+        while (any(pid in self._children for pid in pids)
+               and time.monotonic() < deadline):
+            pid = self._reap_one()
+            if pid:
+                self._children.pop(pid, None)
+            else:
+                time.sleep(0.05)
+        for pid in pids:
+            if pid in self._children:  # drain timeout: stop waiting nicely
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                try:
+                    os.waitpid(pid, 0)
+                except (ChildProcessError, OSError):
+                    pass
+                self._children.pop(pid, None)
+
+    def _drain(self) -> None:
+        """Orderly shutdown: workers first (they finish in-flight requests),
+        then the writer (no more writes can arrive), then the listener."""
+        self._log("[pool] draining workers")
+        self._terminate(list(self._alive("worker")), grace=self.drain_timeout)
+        self._block.master().set("workers", 0)
+        self._terminate(list(self._alive("writer")), grace=self.drain_timeout)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # ------------------------------------------------------------------ #
+    # Worker.
+    # ------------------------------------------------------------------ #
+
+    def _worker_main(self, slot: int) -> int:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        metrics = self._block.worker(slot)
+        # A predecessor killed mid-request leaves its gauge high forever.
+        metrics.set("inflight", 0)
+        refresh = None
+        proxy = None
+        if self.writable:
+            follower = EpochFollower(self.index_path, self.epoch_path,
+                                     mmap=self.mmap)
+            service = QueryService(
+                follower, dictionary=follower.dictionary,
+                cardinalities=follower.planner_stats, meta=follower.meta,
+                writable=False, **self.service_options)
+            refresh = follower.refresh
+            proxy = WriterClient(self.writer_socket_path)
+        else:
+            service = QueryService.from_file(
+                self.index_path, writable=False, mmap=self.mmap,
+                **self.service_options)
+        limiter = (TokenBucketLimiter(self.rate_limit, self.rate_burst)
+                   if self.rate_limit and self.rate_limit > 0 else None)
+        server = QueryServiceServer(
+            (self.host, self.port), service, quiet=self.quiet,
+            listen_socket=self._listener,
+            admission=AdmissionControl(self.max_inflight),
+            rate_limiter=limiter, metrics=metrics, metrics_block=self._block,
+            refresh_index=refresh, update_proxy=proxy,
+            drain=True, handler_timeout=5.0)
+
+        def _graceful(*_args):
+            # shutdown() blocks until serve_forever exits, and the handler
+            # runs *on* the serve_forever thread — hand it to a helper.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        server.serve_forever(poll_interval=0.1)
+        server.server_close()  # joins in-flight handler threads
+        if proxy is not None:
+            proxy.close()
+        closer = getattr(service, "close", None)
+        if closer is not None:
+            closer()
+        return 0

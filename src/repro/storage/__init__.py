@@ -9,7 +9,8 @@ Public surface:
   sequence codec, a bit vector, one permutation trie, a dictionary);
 * :func:`file_info` — cheap inspection of a saved file;
 * :class:`WriteAheadLog` (:mod:`repro.storage.wal`) — the durable update
-  log behind the dynamic subsystem;
+  log behind the dynamic subsystem — and :class:`WalReader`, its
+  read-only incremental follower used by the pre-fork serving pool;
 * :data:`FORMAT_VERSION`, :data:`DELTA_FORMAT_VERSION`, :data:`MAGIC` —
   the container identity (delta-carrying files advertise the higher
   version so older builds refuse them instead of dropping the delta);
@@ -38,13 +39,14 @@ from repro.storage.index_io import (
     save_index,
     save_object,
 )
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import WalReader, WriteAheadLog
 
 __all__ = [
     "DELTA_FORMAT_VERSION",
     "FORMAT_VERSION",
     "MAGIC",
     "SUPPORTED_VERSIONS",
+    "WalReader",
     "WriteAheadLog",
     "container_version",
     "LoadedIndex",

@@ -40,7 +40,7 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterator, List, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import StorageError
 
@@ -276,3 +276,98 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class WalReader:
+    """A read-only incremental follower over a (possibly live) WAL file.
+
+    Unlike :class:`WriteAheadLog`, opening a reader never truncates a torn
+    tail — the file may be mid-append by another process, so an incomplete
+    record simply means "stop here and try again later".  This is the
+    publication bus of the pre-fork serving pool: the single writer process
+    appends batches, and every worker replays the tail it has not applied
+    yet through :meth:`read`.
+
+    A reader is lazy and stateless on disk: it remembers only the byte
+    offset of the next unread record.  If the log shrinks underneath it
+    (the writer's :meth:`WriteAheadLog.reset` after a persisted
+    compaction), :meth:`read` rewinds to the header and starts over —
+    callers that re-base onto the compacted container call :meth:`rewind`
+    explicitly instead.
+    """
+
+    def __init__(self, path: PathLike):
+        self._path = Path(path)
+        #: Byte offset of the next unread record; 0 = header not yet seen.
+        self._offset = 0
+        self._records_read = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def records_read(self) -> int:
+        """How many complete batches :meth:`read` has returned so far."""
+        return self._records_read
+
+    def rewind(self) -> None:
+        """Forget all progress; the next :meth:`read` starts at record 0."""
+        self._offset = 0
+        self._records_read = 0
+
+    def read(self, limit: Optional[int] = None) -> List[Batch]:
+        """Return the complete batches appended since the last call.
+
+        Stops early at a torn tail (a record the writer has not finished
+        flushing) or at ``limit`` batches; both cases simply leave the
+        offset where it is for the next call.  A missing or header-less
+        file yields ``[]`` — the writer may not have created it yet.
+        """
+        try:
+            handle = open(self._path, "rb")
+        except OSError:
+            return []
+        with handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size < self._offset:
+                # The log shrank (writer reset after compaction): start over.
+                self.rewind()
+            if self._offset == 0:
+                if size < _HEADER.size:
+                    return []
+                handle.seek(0)
+                magic, version = _HEADER.unpack(handle.read(_HEADER.size))
+                if magic != WAL_MAGIC:
+                    raise StorageError(
+                        f"{self._path}: not a repro WAL (bad magic)")
+                if version != WAL_VERSION:
+                    raise StorageError(
+                        f"{self._path}: unsupported WAL version {version} "
+                        f"(this build reads version {WAL_VERSION})")
+                self._offset = _HEADER.size
+            handle.seek(self._offset)
+            data = handle.read()
+        batches: List[Batch] = []
+        cursor = 0
+        while limit is None or len(batches) < limit:
+            if cursor + _RECORD_HEADER.size > len(data):
+                break
+            length, crc = _RECORD_HEADER.unpack_from(data, cursor)
+            if length > MAX_RECORD_BYTES:
+                break  # corrupt length field; the writer heals on reopen
+            start = cursor + _RECORD_HEADER.size
+            if start + length > len(data):
+                break  # torn tail: the writer is still flushing this record
+            payload = data[start:start + length]
+            if _crc32(payload) != crc:
+                break
+            record = WriteAheadLog._decode_payload(payload)
+            if record is None:
+                break
+            batches.append(record)
+            cursor = start + length
+        self._offset += cursor
+        self._records_read += len(batches)
+        return batches

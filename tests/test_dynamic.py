@@ -139,6 +139,36 @@ class TestMergedCursor:
         assert self.drain(MergedCursor(ArrayCursor([4]), ArrayCursor([]))) == [4]
         assert MergedCursor(ArrayCursor([]), ArrayCursor([])).key is None
 
+    def test_remaining_block_unions_both_sides(self):
+        cursor = MergedCursor(ArrayCursor([1, 3, 5]), ArrayCursor([2, 3, 8]))
+        cursor.advance()
+        assert cursor.remaining_block().tolist() == [2, 3, 5, 8]
+        # Producing the block must not move the cursor.
+        assert cursor.key == 2
+
+    def test_no_block_when_a_side_cannot_produce_one(self):
+        """A child without ``remaining_block`` (the predicate-filtered
+        cursors) must leave the merged cursor block-less — the engines'
+        ``getattr`` probe then routes to the scalar walk instead of
+        crashing inside a union of a method that does not exist."""
+        class ScalarOnly:
+            def __init__(self, values):
+                self._inner = ArrayCursor(values)
+
+            @property
+            def key(self):
+                return self._inner.key
+
+            def advance(self):
+                self._inner.advance()
+
+            def seek(self, value):
+                self._inner.seek(value)
+
+        cursor = MergedCursor(ScalarOnly([1, 4]), ArrayCursor([2, 4, 6]))
+        assert getattr(cursor, "remaining_block", None) is None
+        assert self.drain(cursor) == [1, 2, 4, 6]
+
     def test_seek(self):
         cursor = MergedCursor(ArrayCursor([1, 4, 9]), ArrayCursor([2, 6, 9]))
         cursor.seek(3)

@@ -166,7 +166,7 @@ class TestErrorPaths:
     def test_timeout_is_408(self, base_url):
         status, body = _post(base_url, {
             "sparql": f"SELECT ?a ?b ?c WHERE {{ ?a {KNOWS} ?b . ?b {KNOWS} ?c }}",
-            "timeout": 0.0, "cache": False})
+            "timeout": 1e-9, "cache": False})
         assert status == 408
         assert body["error"]["type"] == "QueryTimeoutError"
 
@@ -190,6 +190,83 @@ class TestErrorPaths:
         status, body = _post(base_url, {"pattern": [1, "two", 3]})
         assert status == 400
         assert body["error"]["type"] == "ServiceError"
+
+    def test_negative_limit_is_400(self, base_url):
+        status, body = _post(base_url, {"pattern": [None, None, None],
+                                        "limit": -1})
+        assert status == 400
+        assert "limit" in body["error"]["message"]
+
+    def test_negative_offset_is_400(self, base_url):
+        status, body = _post(base_url, {"pattern": [None, None, None],
+                                        "offset": -3})
+        assert status == 400
+        assert "offset" in body["error"]["message"]
+
+    def test_boolean_limit_is_400(self, base_url):
+        # bool subclasses int; it must not silently mean limit=1.
+        status, body = _post(base_url, {"pattern": [None, None, None],
+                                        "limit": True})
+        assert status == 400
+        assert "limit" in body["error"]["message"]
+
+    @pytest.mark.parametrize("timeout", [0, 0.0, -1, -0.5, "fast", False])
+    def test_nonpositive_or_nonnumeric_timeout_is_400(self, base_url, timeout):
+        status, body = _post(base_url, {
+            "sparql": "SELECT ?x WHERE { ?x 0 ?y }", "timeout": timeout})
+        assert status == 400
+        assert "timeout" in body["error"]["message"]
+
+
+class TestContentLength:
+    """Raw-socket cases urllib cannot produce: absent/garbled framing used
+    to fall through ``int()`` and surface as an opaque 500."""
+
+    def _raw(self, server, request_bytes):
+        import socket
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as conn:
+            conn.sendall(request_bytes)
+            response = b""
+            while b"\r\n\r\n" not in response:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+            # The body may arrive after the header chunk; read until EOF
+            # (these responses all close the connection).
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        head, _, body = response.partition(b"\r\n\r\n")
+        status = int(head.split(None, 2)[1])
+        return status, json.loads(body) if body else {}
+
+    def test_missing_content_length_is_411(self, server):
+        status, body = self._raw(
+            server,
+            b"POST /query HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert status == 411
+        assert body["error"]["type"] == "LengthRequired"
+
+    def test_malformed_content_length_is_400(self, server):
+        status, body = self._raw(
+            server,
+            b"POST /query HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: banana\r\n\r\n")
+        assert status == 400
+        assert body["error"]["type"] == "BadRequest"
+
+    def test_negative_content_length_is_400(self, server):
+        status, body = self._raw(
+            server,
+            b"POST /query HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: -5\r\n\r\n")
+        assert status == 400
+        assert body["error"]["type"] == "BadRequest"
 
 
 class TestConcurrentClients:

@@ -1,0 +1,83 @@
+"""Regression tests: wall-clock timeouts must cancel work *inside* the
+vectorised block paths.
+
+Both executors have fast paths that bypass the per-binding deadline
+check: the nested-loop pipeline's ``final_level_block`` consumes a whole
+``select_values`` block per innermost visit, and the worst-case-optimal
+engine fetches and intersects one block per pattern at the last variable
+of the elimination order.  On hub-heavy graphs those blocks hold
+thousands of candidates each, so a deadline consulted only *between*
+bindings used to overshoot the budget by the full block-processing time.
+The checks now live between block fetches, between pairwise intersection
+steps, and every 1024 yielded values — these tests pin the resulting
+bound.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.builder import build_index
+from repro.errors import QueryTimeoutError
+from repro.queries.planner import execute_bgp
+from repro.queries.sparql import parse_sparql
+from repro.rdf.triples import TripleStore
+
+#: Generous slack for CI stalls — still ~20x below the seconds the
+#: un-cancelled triangle join takes on this graph.
+OVERSHOOT_TOLERANCE = 1.0
+
+TIMEOUT = 0.05
+
+TRIANGLE = "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c . ?c 0 ?a }"
+
+
+@pytest.fixture(scope="module")
+def hub_graph():
+    """Hubs wired to every node: every last-level candidate block is huge."""
+    rng = random.Random(11)
+    n = 1200
+    triples = set()
+    for hub in range(6):
+        for i in range(n):
+            triples.add((hub, 0, i))
+            triples.add((i, 0, hub))
+    for _ in range(20000):
+        triples.add((rng.randrange(n), 0, rng.randrange(n)))
+    store = TripleStore.from_triples(sorted(triples))
+    return build_index(store, "2tp"), store
+
+
+def _assert_deadline_bounded(index, store, engine):
+    query = parse_sparql(TRIANGLE)
+    started = time.monotonic()
+    with pytest.raises(QueryTimeoutError):
+        results, _ = execute_bgp(index, query, store=store, engine=engine,
+                                 timeout=TIMEOUT)
+        del results  # force materialisation if no timeout fired
+    elapsed = time.monotonic() - started
+    assert elapsed <= TIMEOUT + OVERSHOOT_TOLERANCE, (
+        f"{engine} overshot its {TIMEOUT}s deadline: ran {elapsed:.3f}s")
+
+
+class TestTimeoutOvershoot:
+    def test_wcoj_block_path_obeys_deadline(self, hub_graph):
+        index, store = hub_graph
+        _assert_deadline_bounded(index, store, "wcoj")
+
+    def test_nested_block_path_obeys_deadline(self, hub_graph):
+        index, store = hub_graph
+        _assert_deadline_bounded(index, store, "nested")
+
+    def test_results_identical_without_timeout(self, hub_graph):
+        """The added checks must not change what the engines produce:
+        paginated slices from both engines still agree on a solution
+        count over the block-heavy graph."""
+        index, store = hub_graph
+        query = parse_sparql(TRIANGLE)
+        nested, _ = execute_bgp(index, query, store=store, engine="nested",
+                                limit=2000)
+        wcoj, _ = execute_bgp(index, query, store=store, engine="wcoj",
+                              limit=2000)
+        assert len(nested) == len(wcoj) == 2000
