@@ -1,0 +1,380 @@
+"""Scatter-gather overhead and chaos bars for the sharded cluster.
+
+Three phases against real ``repro`` subprocesses (shard servers + the
+coordinator's HTTP front, exactly the production topology):
+
+1. **baseline** — point lookups (bound-subject patterns, cache off) over
+   HTTP against a single-box ``repro serve`` process;
+2. **cluster** — the same lookups against a ``repro coordinator`` over K
+   ``repro shard`` processes.  The acceptance bar is a median
+   scatter-gather overhead of at most :data:`OVERHEAD_BAR` (2x) — a point
+   lookup routes to exactly one shard, so the coordinator adds one RPC
+   hop, not a fan-out;
+3. **chaos** — routed writes are acknowledged through the coordinator,
+   then one shard process is SIGKILLed mid-run.  The (best-effort)
+   coordinator must keep answering — broadcast queries return partial
+   results explicitly flagged ``incomplete`` — with ZERO coordinator
+   crashes, and after the shard restarts (WAL replay) ZERO acknowledged
+   writes may be missing.
+
+Run directly (``python benchmarks/bench_cluster.py``) or as the CI smoke
+profile (``--ci``: fewer lookups and writes, same phases including the
+kill).  Writes ``benchmarks/results/BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import common  # noqa: E402
+
+from repro.core import build_index  # noqa: E402
+from repro.queries.planner import QueryPlanner  # noqa: E402
+from repro.rdf.dictionary import RdfDictionary  # noqa: E402
+from repro.storage import save_index  # noqa: E402
+
+NUM_SUBJECTS = 2000
+OVERHEAD_BAR = 2.0
+NUM_SHARDS = 2
+
+
+def _build_index_file(path: Path) -> tuple:
+    """Build the bench index; return ``(num_triples, subject_ids, p0)``.
+
+    Subject/object terms share one sorted dictionary, so subject IDs are
+    *not* ``0..N-1`` — the lookup workload must use the real IDs.
+    """
+    terms = []
+    for i in range(NUM_SUBJECTS):
+        terms.append((f"<http://b/s{i}>", "<http://b/p0>",
+                      f"<http://b/o{(i * 7 + 1) % 400}>"))
+        terms.append((f"<http://b/s{i}>", "<http://b/p1>",
+                      f"<http://b/s{(i + 13) % NUM_SUBJECTS}>"))
+        terms.append((f"<http://b/s{i}>", "<http://b/p2>",
+                      f"<http://b/o{i % 31}>"))
+    dictionary, store = RdfDictionary.from_term_triples(terms)
+    index = build_index(store, "2tp")
+    stats = QueryPlanner.cardinalities_from_store(store)
+    save_index(index, path, dictionary=dictionary, planner_stats=stats,
+               aligned=True)
+    subject_ids = [dictionary.subjects.id_of(f"<http://b/s{i}>")
+                   for i in range(NUM_SUBJECTS)]
+    return (index.num_triples, subject_ids,
+            dictionary.predicates.id_of("<http://b/p0>"))
+
+
+# --------------------------------------------------------------------------- #
+# Subprocess management.
+# --------------------------------------------------------------------------- #
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn(arguments: list, ready_pattern: str) -> tuple:
+    """Start a repro subprocess; return ``(proc, match)`` once ready."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *arguments],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=_env(),
+        text=True)
+    deadline = time.monotonic() + 60
+    lines = []
+    match = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = re.search(ready_pattern, line)
+        if match is not None:
+            return proc, match
+    proc.kill()
+    raise RuntimeError(f"subprocess never became ready: {lines!r}")
+
+
+def _stop(proc) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+    proc.stdout.close()
+
+
+def _start_box(index_path: Path, wal: Path) -> tuple:
+    proc, match = _spawn(
+        ["serve", str(index_path), "--port", "0", "--quiet",
+         "--wal", str(wal)],
+        r"http://([\d.]+):(\d+)")
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+def _start_shard(cluster_dir: Path, shard_id: int, port: int):
+    proc, _ = _spawn(
+        ["shard", str(cluster_dir), "--id", str(shard_id),
+         "--port", str(port)],
+        rf"shard {shard_id} serving on ([\d.]+):(\d+)")
+    return proc
+
+
+def _start_coordinator(cluster_dir: Path, shard_ports: list) -> tuple:
+    arguments = ["coordinator", str(cluster_dir), "--port", "0",
+                 "--quiet", "--best-effort"]
+    for port in shard_ports:
+        arguments += ["--shard", f"127.0.0.1:{port}"]
+    proc, match = _spawn(arguments, r"http://([\d.]+):(\d+)")
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+# --------------------------------------------------------------------------- #
+# Measurement.
+# --------------------------------------------------------------------------- #
+
+def _post(url: str, path: str, body: dict, timeout: float = 30.0):
+    """POST JSON; return ``(status, body)`` for error statuses too."""
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url + path, data=data, method="POST",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get_health(url: str):
+    try:
+        with urllib.request.urlopen(url + "/healthz",
+                                    timeout=10) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return json.loads(error.read())
+
+
+def _measure_point_lookups(url: str, subjects: list, p0: int,
+                           count: int) -> dict:
+    """Median/p90 latency of bound-subject pattern lookups, cache off."""
+    latencies = []
+    checked = 0
+    for i in range(count):
+        subject = subjects[(i * 37) % len(subjects)]
+        started = time.perf_counter()
+        status, body = _post(url, "/query",
+                             {"pattern": [subject, p0, None],
+                              "cache": False})
+        latencies.append(time.perf_counter() - started)
+        assert status == 200, (status, body)
+        checked += len(body["triples"])
+    latencies.sort()
+    return {
+        "lookups": count,
+        "matched_triples": checked,
+        "median_ms": statistics.median(latencies) * 1e3,
+        "p90_ms": latencies[int(0.9 * (len(latencies) - 1))] * 1e3,
+        "max_ms": latencies[-1] * 1e3,
+    }
+
+
+def _run_chaos(coordinator_url: str, cluster_dir: Path, shard_procs: list,
+               shard_ports: list, num_writes: int) -> dict:
+    """Kill shard 1 mid-write-stream; count crashes and lost acks."""
+    acked = []
+    coordinator_errors = 0
+    incomplete_seen = 0
+    write_failures_while_down = 0
+
+    for i in range(num_writes):
+        triple = [200_000 + i, 99, 300_000 + i]
+        if i == num_writes // 2:
+            shard_procs[1].send_signal(signal.SIGKILL)
+            shard_procs[1].wait(timeout=10)
+            # Broadcast reads during the outage: the best-effort
+            # coordinator must answer 200 with the partial flag set.
+            for _ in range(3):
+                status, body = _post(coordinator_url, "/query",
+                                     {"sparql": "SELECT ?s ?o WHERE "
+                                                "{ ?s 99 ?o }",
+                                      "cache": False})
+                if status != 200:
+                    coordinator_errors += 1
+                elif body.get("incomplete"):
+                    incomplete_seen += 1
+        try:
+            status, body = _post(coordinator_url, "/update",
+                                 {"insert": [triple]})
+        except (urllib.error.URLError, OSError, ValueError):
+            status = None
+        if status == 200:
+            acked.append(triple)
+        else:
+            # Writes are fail-fast by contract: with an owning shard down
+            # they must be *rejected*, never half-acknowledged.
+            write_failures_while_down += 1
+
+    # /healthz must still answer (degraded) — the coordinator survived.
+    health_during = _get_health(coordinator_url)
+
+    # Restart the killed shard on its old port; WAL replay restores
+    # everything it ever acknowledged.
+    shard_procs[1] = _start_shard(cluster_dir, 1, shard_ports[1])
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if _get_health(coordinator_url).get("status") == "ok":
+            break
+        time.sleep(0.3)
+
+    status, result = _post(coordinator_url, "/query",
+                           {"pattern": [None, 99, None], "cache": False,
+                            "limit": num_writes + 10})
+    served = {tuple(t) for t in result["triples"]}
+    lost = [t for t in acked if tuple(t) not in served]
+    return {
+        "writes_attempted": num_writes,
+        "writes_acknowledged": len(acked),
+        "writes_rejected_while_down": write_failures_while_down,
+        "incomplete_results_seen": incomplete_seen,
+        "coordinator_errors": coordinator_errors,
+        "health_during_outage": health_during.get("status"),
+        "acked_writes_lost": len(lost),
+        "lost": lost,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Orchestration.
+# --------------------------------------------------------------------------- #
+
+def run_bench(lookups: int, chaos_writes: int) -> dict:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+    index_path = tmp / "box.repro"
+    num_triples, subjects, p0 = _build_index_file(index_path)
+    report = {"num_triples": num_triples, "num_shards": NUM_SHARDS,
+              "overhead_bar": OVERHEAD_BAR, "cpus": os.cpu_count()}
+
+    box_proc, box_url = _start_box(index_path, tmp / "box.wal")
+    try:
+        _measure_point_lookups(box_url, subjects, p0, min(20, lookups))
+        report["single_box"] = _measure_point_lookups(
+            box_url, subjects, p0, lookups)
+    finally:
+        _stop(box_proc)
+
+    subprocess.run(
+        [sys.executable, "-m", "repro", "partition", str(index_path),
+         "-o", str(tmp / "cluster"), "--shards", str(NUM_SHARDS)],
+        env=_env(), check=True, stdout=subprocess.DEVNULL)
+
+    shard_ports = [18490 + i for i in range(NUM_SHARDS)]
+    shard_procs = [_start_shard(tmp / "cluster", i, shard_ports[i])
+                   for i in range(NUM_SHARDS)]
+    coordinator_proc, coordinator_url = _start_coordinator(
+        tmp / "cluster", shard_ports)
+    try:
+        _measure_point_lookups(coordinator_url, subjects, p0,
+                               min(20, lookups))
+        report["cluster"] = _measure_point_lookups(
+            coordinator_url, subjects, p0, lookups)
+        report["scatter_gather_overhead"] = (
+            report["cluster"]["median_ms"]
+            / report["single_box"]["median_ms"]
+            if report["single_box"]["median_ms"] else float("nan"))
+        report["chaos"] = _run_chaos(coordinator_url, tmp / "cluster",
+                                     shard_procs, shard_ports, chaos_writes)
+    finally:
+        _stop(coordinator_proc)
+        for proc in shard_procs:
+            if proc.poll() is None:
+                _stop(proc)
+    return report
+
+
+def check_bars(report: dict) -> list:
+    problems = []
+    if report["scatter_gather_overhead"] > OVERHEAD_BAR:
+        problems.append(
+            f"point-lookup overhead {report['scatter_gather_overhead']:.2f}x "
+            f"the single box (bar: {OVERHEAD_BAR}x)")
+    chaos = report["chaos"]
+    if chaos["coordinator_errors"]:
+        problems.append(
+            f"{chaos['coordinator_errors']} coordinator failures during the "
+            f"shard outage (bar: zero — best-effort must keep answering)")
+    if not chaos["incomplete_results_seen"]:
+        problems.append(
+            "no partial result was flagged incomplete during the outage "
+            "(bar: the flag must be explicit)")
+    if chaos["acked_writes_lost"]:
+        problems.append(
+            f"chaos lost {chaos['acked_writes_lost']} acknowledged writes: "
+            f"{chaos['lost']} (bar: zero)")
+    return problems
+
+
+def _format_report(report: dict) -> str:
+    box, cluster, chaos = (report["single_box"], report["cluster"],
+                           report["chaos"])
+    return "\n".join([
+        f"Cluster — {report['num_shards']} shards over "
+        f"{report['num_triples']} triples, "
+        f"{cluster['lookups']} point lookups per side",
+        f"  single box      median {box['median_ms']:.2f} ms, "
+        f"p90 {box['p90_ms']:.2f} ms",
+        f"  coordinator     median {cluster['median_ms']:.2f} ms, "
+        f"p90 {cluster['p90_ms']:.2f} ms",
+        f"  overhead        {report['scatter_gather_overhead']:.2f}x "
+        f"(bar {report['overhead_bar']}x)",
+        f"  chaos           {chaos['writes_acknowledged']} acked writes, "
+        f"{chaos['writes_rejected_while_down']} rejected while down, "
+        f"{chaos['acked_writes_lost']} lost",
+        f"  outage          {chaos['incomplete_results_seen']} partial "
+        f"results flagged incomplete, "
+        f"{chaos['coordinator_errors']} coordinator errors, "
+        f"health {chaos['health_during_outage']}",
+    ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lookups", type=int, default=300)
+    parser.add_argument("--chaos-writes", type=int, default=40)
+    parser.add_argument("--ci", action="store_true",
+                        help="short smoke profile: 100 lookups, 20 writes")
+    args = parser.parse_args(argv)
+    if args.ci:
+        args.lookups = min(args.lookups, 100)
+        args.chaos_writes = min(args.chaos_writes, 20)
+
+    report = run_bench(args.lookups, args.chaos_writes)
+    problems = check_bars(report)
+    report["problems"] = problems
+    common.write_result("cluster", _format_report(report), data=report)
+    if problems:
+        for problem in problems:
+            print(f"BAR FAILED: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

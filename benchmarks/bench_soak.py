@@ -14,8 +14,11 @@ Four phases against a real ``repro serve`` process tree (master + writer
    means a kill can fail an in-flight request, never un-acknowledge one;
 4. **baseline** — the same measurement against ``--workers 1`` (the
    single-process threaded server) for the multi-process speedup ratio.
-   The >= 2.5x bar is asserted only on boxes with >= 4 CPUs; a 1-2 core
-   runner reports the ratio without gating on it.
+   The bar scales with what the box can physically deliver
+   (``min(workers, cpus)``-way parallelism): 2.5x at 4-way and above,
+   1.3x at 2-3-way, 0.5x (oversubscription overhead, but no collapse)
+   on a single core — and is always asserted, so a saturated CI runner
+   still gates on "forking must not fall off a cliff".
 
 Run directly (``python benchmarks/bench_soak.py``) or as the CI smoke
 profile (``--ci --workers 2``: shorter windows, same phases including
@@ -52,8 +55,20 @@ from repro.storage import save_index  # noqa: E402
 #: The base graph: hub-and-ring, ~50k triples — big enough that queries do
 #: real index work, small enough to build in a second.
 NUM_NODES = 4000
-SPEEDUP_BAR = 2.5
-SPEEDUP_GATE_CPUS = 4
+
+
+def speedup_bar_for(parallelism: int) -> float:
+    """The multi-process speedup bar for ``min(workers, cpus)``-way
+    parallelism.  Forking cannot beat the core count, so the bar tracks
+    the hardware: ambitious on real multi-core boxes, and on a single
+    core — where extra workers only buy scheduling and IPC overhead —
+    merely "not catastrophically slower".  Always gated, so a saturated
+    CI runner still catches a pathological collapse."""
+    if parallelism >= 4:
+        return 2.5
+    if parallelism >= 2:
+        return 1.3
+    return 0.5
 
 
 def _build_index_file(path: Path) -> int:
@@ -306,12 +321,14 @@ def run_soak(workers: int, connections: int, duration: float,
     tmp = Path(tempfile.mkdtemp(prefix="repro-soak-"))
     index_path = tmp / "soak.bin"
     num_triples = _build_index_file(index_path)
+    cpus = os.cpu_count() or 1
+    parallelism = min(workers, cpus)
     report = {
         "workers": workers,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
         "num_triples": num_triples,
-        "speedup_bar": SPEEDUP_BAR,
-        "speedup_gated": (os.cpu_count() or 1) >= SPEEDUP_GATE_CPUS,
+        "speedup_parallelism": parallelism,
+        "speedup_bar": speedup_bar_for(parallelism),
     }
 
     proc, host, port = _start_pool(index_path, workers, tmp / "soak.wal",
@@ -358,20 +375,21 @@ def check_bars(report: dict) -> list:
         problems.append(
             f"chaos lost {report['chaos']['acked_writes_lost']} "
             f"acknowledged writes: {report['chaos']['lost']} (bar: zero)")
-    if report["speedup_gated"] and \
-            report["speedup_vs_single_process"] < SPEEDUP_BAR:
+    if report["speedup_vs_single_process"] < report["speedup_bar"]:
         problems.append(
             f"multi-worker throughput only "
             f"{report['speedup_vs_single_process']:.2f}x the single-process "
-            f"baseline (bar: {SPEEDUP_BAR}x on >= {SPEEDUP_GATE_CPUS} CPUs)")
+            f"baseline (bar: {report['speedup_bar']}x at "
+            f"{report['speedup_parallelism']}-way parallelism — "
+            f"{report['workers']} workers on {report['cpus']} CPU(s))")
     return problems
 
 
 def _format_report(report: dict) -> str:
     measure, baseline, chaos = (report["measure"], report["baseline"],
                                 report["chaos"])
-    gate = ("gated" if report["speedup_gated"]
-            else f"reported only ({report['cpus']} CPU(s))")
+    gate = (f"{report['speedup_parallelism']}-way parallelism, "
+            f"{report['cpus']} CPU(s)")
     return "\n".join([
         f"Soak — {report['workers']} workers, "
         f"{measure['connections']} concurrent connections, "
@@ -387,7 +405,7 @@ def _format_report(report: dict) -> str:
         f"  baseline        {baseline['throughput_rps']:.0f} req/s over "
         f"{baseline['connections']} connections (1 process)",
         f"  speedup         {report['speedup_vs_single_process']:.2f}x "
-        f"({gate}; bar {SPEEDUP_BAR}x)",
+        f"({gate}; bar {report['speedup_bar']}x)",
     ])
 
 

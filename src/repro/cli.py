@@ -469,6 +469,126 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# verify
+# --------------------------------------------------------------------------- #
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.storage import verify_container
+
+    report = verify_container(args.index)
+    if args.json:
+        from repro.service import jsonio
+        print(jsonio.dumps(report))
+        return 0 if report["ok"] else 1
+    print(f"file: {report['path']}")
+    print(f"container format version: {report['format_version']}"
+          + (" (aligned)" if report["aligned"] else ""))
+    print(f"file size: {report['total_bytes']} bytes, "
+          f"{report['num_sections']} sections")
+    for section in report["sections"]:
+        status = "ok" if not section["errors"] else "; ".join(section["errors"])
+        print(f"    {section['name']:<12} offset {section['offset']:>10} "
+              f"length {section['length']:>10}  {status}")
+    if report["ok"]:
+        print("all section checksums verified")
+        return 0
+    print(f"error: {len(report['problems'])} problem(s) found",
+          file=sys.stderr)
+    return 1
+
+
+# --------------------------------------------------------------------------- #
+# partition / shard / coordinator
+# --------------------------------------------------------------------------- #
+
+def _command_partition(args: argparse.Namespace) -> int:
+    from repro.cluster.partition import build_cluster
+
+    started = time.perf_counter()
+    manifest = build_cluster(
+        args.index, args.output, args.shards,
+        layout=args.layout, replica_layout=args.replica_layout,
+        key=args.key, aligned=not args.no_align)
+    seconds = time.perf_counter() - started
+    total = sum(entry["num_triples"] for entry in manifest["shards"])
+    print(f"partitioned {total} triples into {manifest['num_shards']} "
+          f"shard(s) under {args.output} in {seconds:.3f}s")
+    for entry in manifest["shards"]:
+        line = (f"    shard {entry['id']}: {entry['num_triples']} primary "
+                f"triples ({entry['primary']})")
+        if entry.get("replica"):
+            line += (f", {entry['replica_num_triples']} replica triples "
+                     f"({entry['replica']})")
+        print(line)
+    print("manifest: signed manifest.json (verify with the same key on load)")
+    return 0
+
+
+def _serve_until_interrupt(serve, close) -> int:
+    """Run a blocking serve loop with SIGTERM folded into Ctrl-C."""
+    import signal
+
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        serve()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous_handler)
+        close()
+    return 0
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cluster.partition import MANIFEST_NAME, read_manifest
+    from repro.cluster.shard import ShardServer
+    from repro.errors import ClusterError
+
+    cluster_dir = Path(args.cluster)
+    manifest = read_manifest(cluster_dir / MANIFEST_NAME, args.key)
+    shards = manifest["shards"]
+    if not 0 <= args.id < len(shards):
+        raise ClusterError(
+            f"shard id {args.id} out of range; the manifest describes "
+            f"{len(shards)} shard(s)")
+    entry = shards[args.id]
+    replica = entry.get("replica")
+    port = args.port if args.port is not None else 8390 + args.id
+    server = ShardServer(
+        args.id, cluster_dir / entry["primary"],
+        cluster_dir / replica if replica else None,
+        host=args.host, port=port,
+        compaction_ratio=args.compact_ratio, mmap=args.mmap, quiet=False)
+    return _serve_until_interrupt(server.serve_forever, server.close)
+
+
+def _command_coordinator(args: argparse.Namespace) -> int:
+    from repro.cluster.coordinator import build_coordinator, parse_address
+
+    addresses = [parse_address(text) for text in args.shard]
+    server = build_coordinator(
+        args.cluster, addresses, host=args.host, port=args.port,
+        key=args.key, quiet=args.quiet, best_effort=args.best_effort,
+        default_timeout=args.timeout, max_limit=args.max_limit,
+        engine=args.engine)
+    host, port = server.server_address[:2]
+    print(f"coordinating {len(addresses)} shard(s) on http://{host}:{port}  "
+          f"(POST /query, POST /update, POST /compact, GET /stats, "
+          f"GET /metrics, GET /healthz; Ctrl-C to stop)", flush=True)
+
+    def _close():
+        server.server_close()
+        server.service.close()
+
+    return _serve_until_interrupt(server.serve_forever, _close)
+
+
+# --------------------------------------------------------------------------- #
 # Argument parsing.
 # --------------------------------------------------------------------------- #
 
@@ -631,6 +751,96 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
     serve.set_defaults(handler=_command_serve)
+
+    verify = subparsers.add_parser(
+        "verify", help="audit a saved index file's checksums and layout")
+    verify.add_argument("index", help="index file written by 'repro build'")
+    verify.add_argument("--json", action="store_true",
+                        help="print the integrity report as JSON")
+    verify.set_defaults(handler=_command_verify)
+
+    partition = subparsers.add_parser(
+        "partition", help="hash-partition an index file into cluster shards")
+    partition.add_argument("index", help="index file written by 'repro build' "
+                                         "(must carry a dictionary)")
+    partition.add_argument("-o", "--output", required=True,
+                           help="output cluster directory (shard containers "
+                                "+ signed manifest.json)")
+    partition.add_argument("--shards", type=int, required=True, metavar="K",
+                           help="number of shards (subject-hash partitions)")
+    partition.add_argument("--layout", default=None,
+                           choices=("3t", "cc", "2tp", "2to"),
+                           help="primary shard layout (default: the source "
+                                "file's layout)")
+    partition.add_argument("--replica-layout", default="2to",
+                           choices=("3t", "cc", "2tp", "2to", "none"),
+                           help="object-routed replica layout (default: 2to, "
+                                "object-rooted; 'none' skips replicas)")
+    partition.add_argument("--key", default=None,
+                           help="manifest signing key (default: "
+                                "$REPRO_CLUSTER_KEY or a built-in dev key)")
+    partition.add_argument("--no-align", action="store_true",
+                           help="write unaligned (v2) shard containers")
+    partition.set_defaults(handler=_command_partition)
+
+    shard = subparsers.add_parser(
+        "shard", help="serve one cluster shard over the cluster RPC")
+    shard.add_argument("cluster", help="cluster directory written by "
+                                       "'repro partition'")
+    shard.add_argument("--id", type=int, required=True,
+                       help="shard id from the manifest")
+    shard.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    shard.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: 8390 + shard id; 0 picks a "
+                            "free port)")
+    shard.add_argument("--key", default=None,
+                       help="manifest signing key (default: "
+                            "$REPRO_CLUSTER_KEY or a built-in dev key)")
+    shard.add_argument("--compact-ratio", type=float, default=0.25,
+                       metavar="RATIO",
+                       help="auto-compact when the shard delta exceeds "
+                            "RATIO * base triples (default: 0.25; 0 "
+                            "disables)")
+    shard.add_argument("--mmap", action="store_true",
+                       help="memory-map the shard containers")
+    shard.set_defaults(handler=_command_shard)
+
+    coordinator = subparsers.add_parser(
+        "coordinator",
+        help="serve scatter-gather HTTP queries over running shards")
+    coordinator.add_argument("cluster", help="cluster directory written by "
+                                             "'repro partition'")
+    coordinator.add_argument("--shard", action="append", required=True,
+                             metavar="HOST:PORT",
+                             help="one shard endpoint per --shard flag, in "
+                                  "manifest shard-id order")
+    coordinator.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default: 127.0.0.1)")
+    coordinator.add_argument("--port", type=int, default=8378,
+                             help="TCP port (default: 8378; 0 picks a free "
+                                  "port)")
+    coordinator.add_argument("--key", default=None,
+                             help="manifest signing key (default: "
+                                  "$REPRO_CLUSTER_KEY or a built-in dev key)")
+    coordinator.add_argument("--best-effort", action="store_true",
+                             help="serve partial results (marked "
+                                  "incomplete) when a shard is down instead "
+                                  "of failing the request with 503")
+    coordinator.add_argument("--timeout", type=float, default=30.0,
+                             metavar="SECONDS",
+                             help="default per-query wall-clock timeout "
+                                  "(default: 30)")
+    coordinator.add_argument("--max-limit", type=int, default=100_000,
+                             metavar="N",
+                             help="largest result page a request may ask "
+                                  "for (default: 100000)")
+    coordinator.add_argument("--engine", default="auto",
+                             choices=("nested", "wcoj", "auto"),
+                             help="default BGP executor (default: auto)")
+    coordinator.add_argument("--quiet", action="store_true",
+                             help="suppress per-request access logging")
+    coordinator.set_defaults(handler=_command_coordinator)
     return parser
 
 

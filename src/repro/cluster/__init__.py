@@ -1,0 +1,49 @@
+"""Sharded-cluster serving: partitioner, shard servers, coordinator.
+
+The subsystem that turns the single-box server into a horizontally
+scalable system (see ``docs/ARCHITECTURE.md``, "Cluster topology"):
+
+* :mod:`repro.cluster.partition` — hash-partition a built container into
+  K subject-routed primary shards + object-routed replicas, with a
+  signed ``manifest.json``;
+* :mod:`repro.cluster.rpc` — the length-prefixed JSON RPC every cluster
+  process (and the pre-fork pool's writer channel) speaks;
+* :mod:`repro.cluster.shard` — one shard's serve stack behind that RPC
+  (``repro shard``);
+* :mod:`repro.cluster.client` / :mod:`repro.cluster.coordinator` — the
+  scatter-gather coordinator and its HTTP front (``repro coordinator``).
+
+This package root stays import-light (framing + partitioning only):
+:mod:`repro.service.pool` imports the RPC framing from here, so pulling
+the coordinator stack in eagerly would cycle back into the service
+package.  Import the heavier submodules explicitly.
+"""
+
+from repro.cluster.partition import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    META_NAME,
+    build_cluster,
+    load_cluster_meta,
+    read_manifest,
+    shard_of,
+    splitmix64,
+    write_manifest,
+)
+from repro.cluster.rpc import (
+    FRAME,
+    MAX_FRAME_BYTES,
+    RpcClient,
+    RpcServer,
+    read_frame,
+    recv_exactly,
+    send_frame,
+)
+
+__all__ = [
+    "MANIFEST_NAME", "MANIFEST_VERSION", "META_NAME",
+    "build_cluster", "load_cluster_meta", "read_manifest",
+    "shard_of", "splitmix64", "write_manifest",
+    "FRAME", "MAX_FRAME_BYTES", "RpcClient", "RpcServer",
+    "read_frame", "recv_exactly", "send_frame",
+]

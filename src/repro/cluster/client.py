@@ -1,0 +1,313 @@
+"""The coordinator's view of the shards: routing, scatter, fan-in.
+
+:class:`ClusterClient` owns one :class:`~repro.cluster.rpc.RpcClient`
+per shard and implements the routing rules the partitioner's layout
+promises (see :mod:`repro.cluster.partition`):
+
+* subject bound → the one **primary** shard ``shard_of(s, K)``;
+* subject free, object bound (and replicas exist) → the one **replica**
+  shard ``shard_of(o, K)``;
+* otherwise → broadcast over every primary shard (primaries partition
+  the triple set, so chaining the disjoint streams is an exact union).
+
+:class:`ClusterIndex` wraps that routing behind the ordinary
+:class:`~repro.core.base.TripleIndex` interface — only ``select()`` is
+implemented, which is the one method both query engines need (the wcoj
+executor materialises per-pattern when no native cursors exist).  That
+is what lets the unmodified single-box :class:`QueryService` — plan
+cache, result cache, limit/offset/timeout — run distributed joins.
+
+**Partial-failure policy** rides a per-request thread-local context:
+under ``best_effort`` a dead shard's contribution is skipped and the
+failure recorded (the coordinator marks the response ``incomplete``);
+fail-fast (the default) re-raises
+:class:`~repro.errors.ShardUnavailableError`, which HTTP maps to 503.
+Writes are *always* fail-fast: an acknowledgement must mean every owning
+shard holds the triples in its WAL.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster import rpc
+from repro.cluster.partition import shard_of
+from repro.core.base import TripleIndex
+from repro.core.patterns import TriplePattern
+from repro.errors import ClusterError, ShardUnavailableError
+from repro import wire
+
+_context = threading.local()
+
+
+def begin_request(best_effort: bool) -> None:
+    """Open a per-thread request scope for the partial-failure policy."""
+    _context.best_effort = bool(best_effort)
+    _context.failed = {}
+
+
+def end_request() -> Dict[int, str]:
+    """Close the scope; returns ``{shard_id: error message}`` skipped."""
+    failed = getattr(_context, "failed", {})
+    _context.best_effort = False
+    _context.failed = {}
+    return failed
+
+
+def absorb_failure(shard_id: int, error: Exception) -> bool:
+    """Record a shard failure if best-effort allows skipping it."""
+    if not getattr(_context, "best_effort", False):
+        return False
+    failures = getattr(_context, "failed", None)
+    if failures is None:
+        _context.failed = failures = {}
+    failures.setdefault(int(shard_id), str(error))
+    return True
+
+
+class ClusterClient:
+    """RPC fan-out over the manifest's shards.
+
+    ``addresses`` lists one ``(host, port)`` per shard, in manifest
+    order — the deployment's mapping from shard id to endpoint.
+    """
+
+    def __init__(self, manifest: dict,
+                 addresses: Sequence[Tuple[str, int]],
+                 retries: int = 2, backoff: float = 0.05):
+        self.manifest = manifest
+        self.num_shards = int(manifest["num_shards"])
+        if len(addresses) != self.num_shards:
+            raise ClusterError(
+                f"manifest describes {self.num_shards} shard(s) but "
+                f"{len(addresses)} address(es) were given")
+        self.clients = [rpc.RpcClient(host, port, retries=retries,
+                                      backoff=backoff)
+                        for host, port in addresses]
+        self.has_replicas = all(entry.get("replica")
+                                for entry in manifest["shards"])
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+    # ------------------------------------------------------------------ #
+    # Pattern routing.
+    # ------------------------------------------------------------------ #
+
+    def route(self, pattern: Sequence[Optional[int]]
+              ) -> Tuple[str, List[int]]:
+        """``(side, shard ids)`` answering ``pattern`` exactly once."""
+        s, _, o = pattern
+        if s is not None:
+            return "primary", [shard_of(s, self.num_shards)]
+        if o is not None and self.has_replicas:
+            return "replica", [shard_of(o, self.num_shards)]
+        return "primary", list(range(self.num_shards))
+
+    def select(self, pattern: Sequence[Optional[int]]
+               ) -> Iterator[Tuple[int, int, int]]:
+        """Lazily yield every matching triple across the cluster."""
+        side, targets = self.route(pattern)
+        message = {"op": "select",
+                   "pattern": [None if t is None else int(t)
+                               for t in pattern],
+                   "side": side}
+        for shard_id in targets:
+            try:
+                stream = self.clients[shard_id].stream(message)
+            except ShardUnavailableError as error:
+                if absorb_failure(shard_id, error):
+                    continue
+                raise
+            try:
+                for frame in stream:
+                    for row in frame.get("rows", ()):
+                        yield (int(row[0]), int(row[1]), int(row[2]))
+            except ShardUnavailableError as error:
+                if absorb_failure(shard_id, error):
+                    continue
+                raise
+
+    # ------------------------------------------------------------------ #
+    # Pushed-down BGP execution.
+    # ------------------------------------------------------------------ #
+
+    def query_shard(self, shard_id: int, query, engine: str,
+                    limit: Optional[int], timeout: Optional[float],
+                    use_cache: bool) -> Tuple[List[Dict[str, int]], dict]:
+        """Run a whole BGP on one shard; returns ``(bindings, trailer)``.
+
+        Bindings come back in engine-native spelling (``?x`` keys);
+        the trailer is the stream's ``eos`` frame (statistics, cached).
+        """
+        message: Dict[str, Any] = {"op": "query",
+                                   "query": wire.encode_query(query),
+                                   "engine": engine,
+                                   "use_cache": use_cache}
+        if limit is not None:
+            message["limit"] = int(limit)
+        if timeout is not None:
+            message["timeout"] = float(timeout)
+        rows: List[Dict[str, int]] = []
+        trailer: dict = {}
+        for frame in self.clients[shard_id].stream(message):
+            for row in frame.get("rows", ()):
+                rows.append({wire.variable_sigil(name): int(value)
+                             for name, value in row.items()})
+            if frame.get("eos"):
+                trailer = frame
+        return rows, trailer
+
+    # ------------------------------------------------------------------ #
+    # Routed writes (always fail-fast).
+    # ------------------------------------------------------------------ #
+
+    def plan_update(self, inserts: Sequence[Tuple[int, int, int]],
+                    deletes: Sequence[Tuple[int, int, int]]
+                    ) -> Dict[int, Dict[str, Dict[str, list]]]:
+        """Group a write batch by owning shard and side.
+
+        Every triple lands in the primary of ``shard_of(s)`` and (when
+        replicas exist) the replica of ``shard_of(o)`` — the same rule
+        the partitioner used, so reads keep finding one copy per side.
+        """
+        plan: Dict[int, Dict[str, Dict[str, list]]] = {}
+
+        def portion(shard_id: int, side: str, op: str, triple) -> None:
+            shard_plan = plan.setdefault(shard_id, {})
+            side_plan = shard_plan.setdefault(
+                side, {"insert": [], "delete": []})
+            side_plan[op].append([int(triple[0]), int(triple[1]),
+                                  int(triple[2])])
+
+        for op, batch in (("insert", inserts), ("delete", deletes)):
+            for triple in batch:
+                portion(shard_of(triple[0], self.num_shards), "primary",
+                        op, triple)
+                if self.has_replicas:
+                    portion(shard_of(triple[2], self.num_shards), "replica",
+                            op, triple)
+        return plan
+
+    def update(self, inserts: Sequence[Tuple[int, int, int]] = (),
+               deletes: Sequence[Tuple[int, int, int]] = ()
+               ) -> Dict[str, Any]:
+        """Forward a write batch to every owning shard; aggregate acks.
+
+        Sends are sequential and each is retried inside the RPC client;
+        updates are idempotent on the shard (set semantics), so a retry
+        after an ambiguous failure cannot double-apply.  Any shard still
+        unreachable fails the whole batch — no partial acknowledgement.
+        """
+        plan = self.plan_update(inserts, deletes)
+        replies = []
+        for shard_id in sorted(plan):
+            message = {"op": "update"}
+            message.update(plan[shard_id])
+            replies.append(self.clients[shard_id].call(message))
+        aggregated = {
+            "inserted": sum(reply.get("primary", {}).get("inserted", 0)
+                            for reply in replies),
+            "deleted": sum(reply.get("primary", {}).get("deleted", 0)
+                           for reply in replies),
+            "compacted": any(reply.get("primary", {}).get("compacted")
+                             for reply in replies),
+            "shards": [{"shard": reply.get("shard"),
+                        "combined_epoch": reply.get("combined_epoch")}
+                       for reply in replies],
+        }
+        return aggregated
+
+    def compact(self) -> Dict[str, Any]:
+        """Compact every shard (both sides); aggregate the reports."""
+        replies = [client.call({"op": "compact"})
+                   for client in self.clients]
+        return {
+            "compacted": any(reply.get("primary", {}).get("compacted")
+                             for reply in replies),
+            "shards": [{"shard": reply.get("shard"),
+                        "primary": reply.get("primary"),
+                        "replica": reply.get("replica"),
+                        "combined_epoch": reply.get("combined_epoch")}
+                       for reply in replies],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Observability fan-in.
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> List[Dict[str, Any]]:
+        """Per-shard health; an unreachable shard reports an error entry."""
+        reports = []
+        for shard_id, client in enumerate(self.clients):
+            try:
+                report = client.call({"op": "health"})
+                report.pop("ok", None)
+                reports.append(report)
+            except Exception as error:  # noqa: BLE001 - health must degrade
+                reports.append({"shard": shard_id, "status": "unreachable",
+                                "error": str(error)})
+        return reports
+
+    def stats(self) -> List[Dict[str, Any]]:
+        reports = []
+        for shard_id, client in enumerate(self.clients):
+            try:
+                report = client.call({"op": "stats"})
+                report.pop("ok", None)
+                reports.append(report)
+            except Exception as error:  # noqa: BLE001 - stats must degrade
+                reports.append({"shard": shard_id, "status": "unreachable",
+                                "error": str(error)})
+        return reports
+
+
+class ClusterIndex(TripleIndex):
+    """The cluster behind the single-box :class:`TripleIndex` interface.
+
+    Implements only the mandatory surface; deliberately no
+    ``seek_cursor``/``select_values``, so the wcoj executor takes its
+    materialising fallback — per-pattern scatter instead of per-seek
+    network round trips.
+    """
+
+    name = "cluster"
+
+    def __init__(self, cluster: ClusterClient):
+        self._cluster = cluster
+        self._epoch = 0
+        self._size_estimate: Optional[int] = None
+
+    @property
+    def cluster(self) -> ClusterClient:
+        return self._cluster
+
+    @property
+    def epoch(self) -> int:
+        """The coordinator's write epoch: bumped on every routed write or
+        compaction, carried in every result-cache key, so cached pages
+        die with the data that produced them."""
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        self._epoch += 1
+
+    def select(self, pattern) -> Iterator[Tuple[int, int, int]]:
+        terms = TriplePattern.from_tuple(pattern).as_tuple()
+        return self._cluster.select(terms)
+
+    @property
+    def num_triples(self) -> int:
+        total = 0
+        for report in self._cluster.health():
+            total += int(report.get("num_triples", 0))
+        return total
+
+    def size_in_bits(self) -> int:
+        total = 0
+        for report in self._cluster.stats():
+            total += int(report.get("primary", {})
+                         .get("index", {}).get("size_in_bits", 0))
+        return total

@@ -1,0 +1,403 @@
+"""The coordinator: the single-box service surface over many shards.
+
+:class:`ClusterQueryService` subclasses the ordinary
+:class:`~repro.service.engine.QueryService`, swapping the local index
+for a :class:`~repro.cluster.client.ClusterIndex` and overriding the
+write path to route batches to their owning shards.  Everything else —
+SPARQL parsing against the cluster dictionary, plan cache, epoch-keyed
+result cache, limit/offset/timeout enforcement, latency statistics, the
+whole HTTP layer — is inherited.  Two execution strategies:
+
+**Star pushdown.**  When every pattern of the BGP has the *same* subject
+term (one shared variable, or one constant), every solution's triples
+live on a single subject-hash shard, so the whole BGP is scattered and
+each shard runs it locally with the requested engine; the disjoint
+binding streams are concatenated and the page (``offset``/``limit``) is
+cut at the coordinator.  A constant subject narrows the scatter to its
+one owning shard.  Per-shard result caches make repeated pushdowns
+cheap; the merged statistics sum the shards' counters.
+
+**Coordinator-side join.**  Any other BGP runs through the *inherited*
+``QueryService.execute`` against the :class:`ClusterIndex` facade: each
+per-pattern probe of the nested-loop (or materialising wcoj) executor
+becomes a routed ``select`` scatter.  Correctness needs nothing beyond
+``select()``, which is exactly what the facade provides.
+
+The **partial-failure policy** is chosen at coordinator start
+(``best_effort=True``) — reads then skip unreachable shards and mark
+the response ``incomplete`` (and skip the result cache, so a partial
+page is never served after the shard returns); the default is fail-fast
+(503).  Writes are always fail-fast and idempotent, so a retried batch
+cannot double-apply and an acknowledgement means every owning shard has
+the triples WAL-durable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.client import (
+    ClusterClient,
+    ClusterIndex,
+    absorb_failure,
+    begin_request,
+    end_request,
+)
+from repro.cluster.partition import (
+    MANIFEST_NAME,
+    META_NAME,
+    load_cluster_meta,
+    read_manifest,
+    shard_of,
+)
+from repro.errors import (
+    ClusterError,
+    QueryTimeoutError,
+    ServiceError,
+    ShardUnavailableError,
+)
+from repro.queries.sparql import is_variable
+from repro.service.engine import QueryResult, QueryService
+from repro.service.http import QueryServiceHandler, QueryServiceServer, _run_one
+from repro import wire
+
+
+class ClusterWriteResult:
+    """An aggregated routed-write (or compaction) acknowledgement."""
+
+    def __init__(self, payload: Dict[str, Any]):
+        self.payload = payload
+
+    def to_json(self) -> Dict[str, Any]:
+        return dict(self.payload)
+
+    def __getattr__(self, name: str):
+        try:
+            return self.payload[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class ClusterQueryService(QueryService):
+    """A :class:`QueryService` whose index is a shard cluster."""
+
+    def __init__(self, cluster: ClusterClient, dictionary=None,
+                 cardinalities=None, best_effort: bool = False,
+                 meta: Optional[dict] = None, **options):
+        index = ClusterIndex(cluster)
+        super().__init__(index, dictionary=dictionary,
+                         cardinalities=cardinalities,
+                         meta=meta, writable=True, **options)
+        self._cluster = cluster
+        self.best_effort = bool(best_effort)
+        self._request_state = threading.local()
+
+    @classmethod
+    def from_cluster_dir(cls, cluster_dir,
+                         addresses: Sequence[Tuple[str, int]],
+                         key: Optional[str] = None,
+                         **options) -> "ClusterQueryService":
+        """Open a partitioner output directory: verify the manifest, load
+        the dictionary + global planner stats, connect the shard clients."""
+        from pathlib import Path
+        cluster_dir = Path(cluster_dir)
+        manifest = read_manifest(cluster_dir / MANIFEST_NAME, key)
+        meta_path = cluster_dir / manifest.get("meta_container", META_NAME)
+        dictionary = planner_stats = None
+        if meta_path.exists():
+            dictionary, planner_stats, _ = load_cluster_meta(meta_path)
+        client = ClusterClient(manifest, addresses)
+        return cls(client, dictionary=dictionary,
+                   cardinalities=planner_stats,
+                   meta={"num_shards": manifest["num_shards"],
+                         "layout": "cluster"},
+                   **options)
+
+    # ------------------------------------------------------------------ #
+    # Per-request partial-failure bookkeeping.
+    # ------------------------------------------------------------------ #
+
+    def last_request_report(self) -> Dict[str, Any]:
+        """``{"incomplete": bool, "failed_shards": [...]}`` for the most
+        recent read executed on the calling thread."""
+        state = self._request_state
+        return {"incomplete": bool(getattr(state, "incomplete", False)),
+                "failed_shards": list(getattr(state, "failed", ()))}
+
+    def _remember(self, failures: Dict[int, str]) -> None:
+        self._request_state.incomplete = bool(failures)
+        self._request_state.failed = sorted(failures)
+
+    # ------------------------------------------------------------------ #
+    # Reads.
+    # ------------------------------------------------------------------ #
+
+    def _pushdown_route(self, query) -> Tuple[Optional[str], Optional[int]]:
+        """``("broadcast"|"single", shard)`` when the BGP is subject-star
+        pushdownable, ``(None, None)`` for a coordinator-side join."""
+        subjects = [template.subject for template in query.bgp]
+        if not subjects:
+            return None, None
+        first = subjects[0]
+        if any(subject != first for subject in subjects):
+            return None, None
+        if is_variable(first):
+            return "broadcast", None
+        return "single", shard_of(int(first), self._cluster.num_shards)
+
+    def execute(self, query, limit: Optional[int] = None, offset: int = 0,
+                timeout: Optional[float] = None, use_cache: bool = True,
+                engine: Optional[str] = None) -> QueryResult:
+        if isinstance(query, str):
+            query = self.parse(query)
+        # A partial page must never be cached or served from cache: in
+        # best-effort mode every request recomputes against live shards.
+        use_cache = use_cache and not self.best_effort
+        begin_request(self.best_effort)
+        failures: Dict[int, str] = {}
+        try:
+            route, shard = self._pushdown_route(query)
+            if route is None:
+                result = super().execute(query, limit=limit, offset=offset,
+                                         timeout=timeout,
+                                         use_cache=use_cache, engine=engine)
+            else:
+                result = self._execute_pushdown(query, route, shard, limit,
+                                                offset, timeout, use_cache,
+                                                engine)
+        finally:
+            failures = end_request()
+            self._remember(failures)
+        result.statistics["incomplete"] = bool(failures)
+        if failures:
+            result.statistics["failed_shards"] = sorted(failures)
+        return result
+
+    def _execute_pushdown(self, query, route: str, shard: Optional[int],
+                          limit: Optional[int], offset: int,
+                          timeout: Optional[float], use_cache: bool,
+                          engine: Optional[str]) -> QueryResult:
+        if offset < 0:
+            raise ServiceError(f"offset must be >= 0, got {offset}")
+        started = time.monotonic()
+        try:
+            limit = self._effective_limit(limit)
+            timeout = self._default_timeout if timeout is None else timeout
+            engine = self._resolve_engine(query, engine)
+            deadline = None if timeout is None else started + timeout
+            # One solution past the page proves (or disproves) has_more.
+            fetch = None if limit is None else offset + limit + 1
+            targets = ([shard] if route == "single"
+                       else range(self._cluster.num_shards))
+            rows: List[Dict[str, int]] = []
+            payloads: List[dict] = []
+            cached = True
+            for shard_id in targets:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise QueryTimeoutError(
+                        f"query exceeded its {timeout:.3f}s budget while "
+                        f"scattering to shard {shard_id}")
+                try:
+                    shard_rows, trailer = self._cluster.query_shard(
+                        shard_id, query, engine, fetch, remaining, use_cache)
+                except ShardUnavailableError as error:
+                    if absorb_failure(shard_id, error):
+                        cached = False
+                        continue
+                    raise
+                rows.extend(shard_rows)
+                payloads.append(trailer.get("statistics", {}))
+                cached = cached and bool(trailer.get("cached"))
+                if fetch is not None and len(rows) >= fetch:
+                    # The page (plus its has_more sentinel) is already
+                    # full; the remaining shards cannot change it.
+                    break
+            has_more: Optional[bool] = None
+            if limit is not None:
+                has_more = len(rows) > offset + limit
+                page = rows[offset:offset + limit]
+            else:
+                page = rows[offset:] if offset else rows
+            summary = wire.merge_statistics(payloads, engine=engine)
+            projection = tuple(query.projection or query.variables())
+            elapsed = time.monotonic() - started
+            self._record(elapsed, engine=engine)
+            return QueryResult(
+                variables=projection, bindings=page,
+                cached=cached and bool(payloads),
+                elapsed_seconds=elapsed, limit=limit, offset=offset,
+                has_more=has_more, statistics=summary)
+        except Exception as error:
+            elapsed = time.monotonic() - started
+            self._record(elapsed,
+                         timed_out=isinstance(error, QueryTimeoutError),
+                         failed=not isinstance(error, QueryTimeoutError))
+            raise
+
+    def select(self, pattern, limit: Optional[int] = None, offset: int = 0,
+               use_cache: bool = True):
+        use_cache = use_cache and not self.best_effort
+        begin_request(self.best_effort)
+        try:
+            return super().select(pattern, limit=limit, offset=offset,
+                                  use_cache=use_cache)
+        finally:
+            self._remember(end_request())
+
+    # ------------------------------------------------------------------ #
+    # Routed writes.
+    # ------------------------------------------------------------------ #
+
+    def update(self, inserts: Sequence[Tuple[int, int, int]] = (),
+               deletes: Sequence[Tuple[int, int, int]] = ()):
+        """Route one atomic batch to its owning shards; ack only once
+        every shard has acknowledged (WAL-durable, epoch-published)."""
+        from repro.dynamic.delta import normalize_triple
+        inserts = [normalize_triple(t) for t in inserts]
+        deletes = [normalize_triple(t) for t in deletes]
+        payload = self._cluster.update(inserts, deletes)
+        self._index.bump_epoch()
+        payload["epoch"] = self._index.epoch
+        with self._lock:
+            self._updates_applied += (payload.get("inserted", 0)
+                                      + payload.get("deleted", 0))
+        return ClusterWriteResult(payload)
+
+    def compact(self):
+        payload = self._cluster.compact()
+        self._index.bump_epoch()
+        payload["epoch"] = self._index.epoch
+        return ClusterWriteResult(payload)
+
+    # ------------------------------------------------------------------ #
+    # Observability.
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        """The aggregated ``/healthz`` body: cluster-wide epoch + lag plus
+        every shard's own report (unreachable shards degrade the status)."""
+        shards = self._cluster.health()
+        reachable = [s for s in shards if s.get("status") == "ok"]
+        return {
+            "status": "ok" if len(reachable) == len(shards) else "degraded",
+            "num_shards": len(shards),
+            "shards_reachable": len(reachable),
+            "combined_epoch": sum(int(s.get("combined_epoch", 0))
+                                  for s in reachable),
+            "wal_lag": sum(int(s.get("wal_lag", 0)) for s in reachable),
+            "num_triples": sum(int(s.get("num_triples", 0))
+                               for s in reachable),
+            "best_effort": self.best_effort,
+            "shards": shards,
+        }
+
+    def statistics(self) -> Dict[str, Any]:
+        shard_stats = self._cluster.stats()
+        report = {
+            "cluster": {
+                "num_shards": self._cluster.num_shards,
+                "has_replicas": self._cluster.has_replicas,
+                "best_effort": self.best_effort,
+                "epoch": self._index.epoch,
+            },
+            "coordinator": self._local_statistics(),
+            "shards": shard_stats,
+        }
+        return report
+
+    def _local_statistics(self) -> Dict[str, Any]:
+        """The inherited per-service report, minus the index gauges that
+        would each cost a cluster-wide fan-in of their own."""
+        with self._lock:
+            queries = self._queries_executed
+            patterns = self._patterns_executed
+            batches = self._batches_executed
+            timeouts = self._timeouts
+            errors = self._errors
+            engine_counts = dict(self._engine_counts)
+            updates_applied = self._updates_applied
+            latencies = sorted(self._latencies)
+        from repro.service.engine import _percentile
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "requests": {
+                "queries": queries,
+                "patterns": patterns,
+                "batches": batches,
+                "timeouts": timeouts,
+                "errors": errors,
+                "engines": engine_counts,
+            },
+            "engine": self._default_engine,
+            "updates": {"applied": updates_applied},
+            "result_cache": self._result_cache.snapshot(),
+            "plan_cache": self._plan_cache.snapshot(),
+            "latency_ms": {
+                "window": len(latencies),
+                "mean": (sum(latencies) / len(latencies) * 1e3
+                         if latencies else 0.0),
+                "p50": _percentile(latencies, 0.50) * 1e3,
+                "p90": _percentile(latencies, 0.90) * 1e3,
+                "p99": _percentile(latencies, 0.99) * 1e3,
+            },
+        }
+
+    def close(self) -> None:
+        self._cluster.close()
+
+
+class CoordinatorHandler(QueryServiceHandler):
+    """The single-box HTTP handler plus cluster-aware ``/healthz`` and an
+    explicit ``incomplete`` flag on best-effort query responses."""
+
+    server_version = "repro-coordinator"
+
+    def _run_query_object(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        body = _run_one(self.service, request)
+        report = self.service.last_request_report()
+        body["incomplete"] = report["incomplete"]
+        if report["failed_shards"]:
+            body["failed_shards"] = report["failed_shards"]
+        return body
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path == "/healthz":
+            self._begin_request()
+            try:
+                self._send_json(200, self.service.health())
+            except Exception as error:  # pragma: no cover - handler guard
+                self._send_error_json(error)
+            return
+        super().do_GET()
+
+
+class CoordinatorServer(QueryServiceServer):
+    """A :class:`QueryServiceServer` dispatching to the cluster handler."""
+
+    def finish_request(self, request, client_address) -> None:
+        CoordinatorHandler(request, client_address, self)
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)`` (for --shard CLI flags)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ClusterError(
+            f"shard address must be host:port, got {text!r}")
+    return host, int(port)
+
+
+def build_coordinator(cluster_dir, addresses: Sequence[Tuple[str, int]],
+                      host: str = "127.0.0.1", port: int = 8378,
+                      key: Optional[str] = None, quiet: bool = False,
+                      best_effort: bool = False,
+                      **service_options) -> CoordinatorServer:
+    """Open the cluster and bind (not start) the coordinator HTTP server."""
+    service = ClusterQueryService.from_cluster_dir(
+        cluster_dir, addresses, key=key, best_effort=best_effort,
+        **service_options)
+    return CoordinatorServer((host, port), service, quiet=quiet)

@@ -1,0 +1,267 @@
+"""Hash-partitioning a built index into K shard containers + a manifest.
+
+The partitioning scheme is the classic distributed-RDF one: dictionary-
+encoded triples are routed by **subject hash** into K primary shards, so
+any subject-rooted lookup — and any star join around one subject —
+touches exactly one shard.  Because object- and predicate-rooted lookups
+would otherwise degrade to broadcasts, every shard also gets a
+**replica** container holding the triples whose *object* hashes to it
+(stored in an object-rooted layout), keeping ``(?, ?, o)`` point lookups
+single-shard and the wcoj leapfrog's per-pattern probes cheap in both
+directions.  Primary and replica are two complete, disjoint partitions
+of the same triple set; a query pattern is routed through exactly one of
+them, so nothing is ever double-counted.
+
+Routing must be stable across processes, machines and Python versions,
+so the hash is a fixed **splitmix64** finalizer over the component ID —
+never ``hash()``, which is salted per process.
+
+Every shard container is a self-sufficient ordinary index file (it
+carries the full dictionary and shard-local planner statistics), so the
+existing single-box tooling — ``repro query``, ``repro serve``,
+``repro info``, ``repro verify`` — works on a shard unchanged.  A
+``cluster-meta.repro`` container carries the dictionary and the *global*
+planner statistics for the coordinator.
+
+The **manifest** (``manifest.json``) names every container, records the
+partitioning scheme and counts, and is signed with HMAC-SHA256 over its
+canonical JSON form.  :func:`read_manifest` refuses an unsigned or
+tampered manifest — a coordinator must never scatter queries over a
+shard map it cannot trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import build_index
+from repro.errors import ClusterError, StorageError
+from repro.queries.planner import QueryPlanner
+from repro.rdf.triples import TripleStore
+from repro.storage.container import read_container, write_container
+from repro.storage.index_io import (
+    SECTION_DICTIONARY,
+    SECTION_META,
+    SECTION_STATS,
+    _dump_meta,
+    _dump_planner_stats,
+    _load_meta,
+    _load_planner_stats,
+    load_index,
+)
+from repro.storage.codecs import dumps_object, loads_object
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+META_NAME = "cluster-meta.repro"
+PARTITION_SCHEME = "splitmix64-mod"
+
+#: The default signing key.  HMAC with a published key is an integrity
+#: check (it catches corruption and accidental edits); operators who want
+#: tamper evidence pass their own key (``--key`` / ``REPRO_CLUSTER_KEY``).
+DEFAULT_KEY = "repro-cluster-manifest-v1"
+
+
+def manifest_key(key: Optional[str] = None) -> bytes:
+    """Resolve the signing key: explicit > ``REPRO_CLUSTER_KEY`` > default."""
+    if key is None:
+        key = os.environ.get("REPRO_CLUSTER_KEY") or DEFAULT_KEY
+    return key.encode("utf-8")
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a fixed, well-mixed 64-bit permutation."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def shard_of(component_id: int, num_shards: int) -> int:
+    """The shard owning ``component_id`` under the fixed routing hash."""
+    return splitmix64(int(component_id)) % num_shards
+
+
+# --------------------------------------------------------------------------- #
+# Manifest.
+# --------------------------------------------------------------------------- #
+
+def _canonical(manifest: dict) -> bytes:
+    return json.dumps(manifest, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def sign_manifest(manifest: dict, key: Optional[str] = None) -> str:
+    return hmac.new(manifest_key(key), _canonical(manifest),
+                    hashlib.sha256).hexdigest()
+
+
+def write_manifest(path, manifest: dict, key: Optional[str] = None) -> None:
+    document = {"manifest": manifest,
+                "signature": sign_manifest(manifest, key)}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def read_manifest(path, key: Optional[str] = None) -> dict:
+    """Load and verify a manifest; raises :class:`ClusterError` when the
+    signature does not match (wrong key, or a tampered/corrupt file)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ClusterError(f"cannot read manifest {path}: {exc}") from exc
+    manifest = document.get("manifest")
+    signature = document.get("signature")
+    if not isinstance(manifest, dict) or not isinstance(signature, str):
+        raise ClusterError(f"{path}: not a shard manifest")
+    expected = sign_manifest(manifest, key)
+    if not hmac.compare_digest(expected, signature):
+        raise ClusterError(
+            f"{path}: manifest signature mismatch — wrong key or the "
+            f"manifest was modified after signing")
+    version = int(manifest.get("manifest_version", 0))
+    if version != MANIFEST_VERSION:
+        raise ClusterError(
+            f"{path}: manifest version {version} not supported "
+            f"(this build reads version {MANIFEST_VERSION})")
+    return manifest
+
+
+# --------------------------------------------------------------------------- #
+# Cluster meta container (dictionary + global planner stats).
+# --------------------------------------------------------------------------- #
+
+def _write_cluster_meta(path, dictionary, planner_stats, meta: dict) -> int:
+    sections: Dict[str, bytes] = {SECTION_META: _dump_meta(meta)}
+    if dictionary is not None:
+        sections[SECTION_DICTIONARY] = dumps_object(dictionary)
+    if planner_stats is not None:
+        sections[SECTION_STATS] = _dump_planner_stats(planner_stats)
+    return write_container(path, sections)
+
+
+def load_cluster_meta(path) -> Tuple[Optional[object], Optional[dict], dict]:
+    """``(dictionary, planner_stats, meta)`` from ``cluster-meta.repro``."""
+    sections = read_container(path)
+    meta = _load_meta(sections, str(path))
+    if meta.get("kind") != "cluster-meta":
+        raise StorageError(f"{path}: not a cluster meta container")
+    dictionary = (loads_object(sections[SECTION_DICTIONARY])
+                  if SECTION_DICTIONARY in sections else None)
+    planner_stats = (_load_planner_stats(sections[SECTION_STATS], str(path))
+                     if SECTION_STATS in sections else None)
+    return dictionary, planner_stats, meta
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning.
+# --------------------------------------------------------------------------- #
+
+def _shard_save(triples: List[Tuple[int, int, int]], path, layout: str,
+                dictionary, aligned: bool) -> dict:
+    store = TripleStore.from_triples(triples)
+    index = build_index(store, layout)
+    stats = QueryPlanner.cardinalities_from_store(store)
+    from repro.storage import save_index
+    size = save_index(index, path, dictionary=dictionary,
+                      planner_stats=stats, aligned=aligned)
+    return {"num_triples": int(index.num_triples), "bytes": int(size)}
+
+
+def build_cluster(source_path, out_dir, num_shards: int,
+                  layout: Optional[str] = None,
+                  replica_layout: str = "2to",
+                  key: Optional[str] = None,
+                  aligned: bool = True,
+                  mmap: bool = False) -> dict:
+    """Partition a built index container into ``num_shards`` shard files.
+
+    Writes, under ``out_dir``: ``shard-NNN.repro`` (subject-partitioned
+    primary, in ``layout`` — default: the source's layout),
+    ``shard-NNN-replica.repro`` (object-partitioned POS-style replica, in
+    ``replica_layout``; ``"none"`` skips replicas and object-routed
+    lookups broadcast instead), ``cluster-meta.repro`` and a signed
+    ``manifest.json``.  Returns the manifest.
+
+    A shard that would receive no triples on either side is an error:
+    the data has too few distinct subjects/objects for ``num_shards``.
+    """
+    if num_shards < 1:
+        raise ClusterError(f"num_shards must be >= 1, got {num_shards}")
+    with_replicas = replica_layout not in (None, "none")
+    loaded = load_index(source_path, mmap=mmap)
+    if loaded.dictionary is None:
+        raise ClusterError(
+            f"{source_path}: container has no dictionary section; "
+            f"partitioning needs the full dictionary to replicate it "
+            f"into every shard")
+    index = loaded.queryable()
+    layout = layout or loaded.meta.get("layout", "2tp")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    primary: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
+    replica: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
+    total = 0
+    for triple in index.select((None, None, None)):
+        total += 1
+        primary[shard_of(triple[0], num_shards)].append(triple)
+        if with_replicas:
+            replica[shard_of(triple[2], num_shards)].append(triple)
+    for shard in range(num_shards):
+        if not primary[shard] or (with_replicas and not replica[shard]):
+            side = "subjects" if not primary[shard] else "objects"
+            raise ClusterError(
+                f"shard {shard} of {num_shards} would be empty (no {side} "
+                f"hash to it); the data is too small for this shard "
+                f"count — reduce --shards")
+
+    shards = []
+    for shard in range(num_shards):
+        primary_name = f"shard-{shard:03d}.repro"
+        primary_info = _shard_save(primary[shard], out / primary_name,
+                                   layout, loaded.dictionary, aligned)
+        entry = {
+            "id": shard,
+            "primary": primary_name,
+            "replica": None,
+            "num_triples": primary_info["num_triples"],
+            "replica_num_triples": 0,
+        }
+        if with_replicas:
+            replica_name = f"shard-{shard:03d}-replica.repro"
+            replica_info = _shard_save(replica[shard], out / replica_name,
+                                       replica_layout, loaded.dictionary,
+                                       aligned)
+            entry["replica"] = replica_name
+            entry["replica_num_triples"] = replica_info["num_triples"]
+        shards.append(entry)
+
+    global_stats = loaded.planner_stats
+    if global_stats is None:
+        # Recompute from the full data so the coordinator can plan.
+        store = TripleStore.from_triples(index.select((None, None, None)))
+        global_stats = QueryPlanner.cardinalities_from_store(store)
+    _write_cluster_meta(out / META_NAME, loaded.dictionary, global_stats,
+                        {"kind": "cluster-meta", "num_shards": num_shards,
+                         "num_triples": total})
+
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "partition": {"scheme": PARTITION_SCHEME,
+                      "primary_key": "subject", "replica_key": "object"},
+        "num_shards": num_shards,
+        "num_triples": total,
+        "layout": layout,
+        "replica_layout": replica_layout,
+        "meta_container": META_NAME,
+        "shards": shards,
+        "source": str(source_path),
+    }
+    write_manifest(out / MANIFEST_NAME, manifest, key)
+    return manifest

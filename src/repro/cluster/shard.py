@@ -1,0 +1,302 @@
+"""One shard of the cluster: the single-box serve stack behind an RPC.
+
+A :class:`ShardServer` wraps two ordinary
+:class:`~repro.service.engine.QueryService` instances — the
+subject-partitioned **primary** and the object-partitioned **replica**
+container — each writable with its own shard-local WAL, plan/result
+caches, compaction trigger and latency statistics.  Everything the
+single-box server learned (epoch-keyed caching, WAL-first durability,
+snapshot-pinned reads) is reused unchanged; the only new code is the
+:mod:`repro.cluster.rpc` surface the coordinator talks to:
+
+``ping`` / ``health`` / ``stats``
+    liveness, ``combined_epoch`` + WAL state, aggregated service reports.
+``select`` (streaming)
+    one triple pattern against the primary or replica side — the
+    coordinator's distributed-join probe path.  Rows stream lazily off
+    the snapshot, so an abandoned coordinator stream stops the scan.
+``query`` (streaming)
+    a whole dictionary-encoded BGP executed locally (the coordinator's
+    star-pushdown path) through ``QueryService.execute`` — plan cache,
+    result cache and engine selection included.
+``update`` / ``compact``
+    routed writes: the coordinator sends each shard exactly the triples
+    it owns, split into a primary and a replica portion; both are applied
+    WAL-first under one lock and the shard's epoch document is published
+    *before* the acknowledgement, mirroring the pool writer's
+    no-lost-acknowledged-writes contract.  Updates are idempotent (set
+    semantics), so a coordinator retry after an ambiguous failure is
+    safe.
+
+Epoch publication follows :mod:`repro.dynamic.follower`: one atomically
+replaced JSON document per shard, ``generation`` bumped when a persisted
+compaction re-points the container.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+from repro.cluster import rpc
+from repro.dynamic.follower import (
+    combined_epoch,
+    read_epoch_document,
+    write_epoch_document,
+)
+from repro.errors import ClusterError
+from repro.service.engine import QueryService
+from repro import wire
+
+
+class ShardServer:
+    """Serve one shard's primary + replica containers over the cluster RPC.
+
+    ``replica_path=None`` runs a primary-only shard (K=1 clusters and
+    tests); object-routed lookups then fall back to the primary side.
+    ``service_options`` forward to both underlying ``QueryService``s.
+    """
+
+    def __init__(self, shard_id: int, primary_path, replica_path=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 compaction_ratio: Optional[float] = None,
+                 mmap: bool = True, quiet: bool = True,
+                 service_options: Optional[dict] = None):
+        self.shard_id = int(shard_id)
+        self.primary_path = str(primary_path)
+        self.replica_path = str(replica_path) if replica_path else None
+        self.quiet = quiet
+        options = dict(service_options or {})
+        self.wal_path = self.primary_path + ".wal"
+        self.epoch_path = self.primary_path + ".epoch"
+        self.primary = QueryService.from_file(
+            self.primary_path, writable=True, wal_path=self.wal_path,
+            compaction_ratio=compaction_ratio, mmap=mmap, **options)
+        self.replica: Optional[QueryService] = None
+        if self.replica_path is not None:
+            self.replica = QueryService.from_file(
+                self.replica_path, writable=True,
+                wal_path=self.replica_path + ".wal",
+                compaction_ratio=compaction_ratio, mmap=mmap, **options)
+        # One lock serialises apply + publish + ack across both sides.
+        self._write_lock = threading.Lock()
+        self._generation = 0
+        previous = read_epoch_document(self.epoch_path)
+        if previous is not None:
+            # Resume the published history: the WAL replay reproduced the
+            # acknowledged state, so epochs continue monotonically.
+            self._generation = int(previous.get("generation", 0))
+            published = combined_epoch(self._generation,
+                                       int(previous.get("epoch", 0)))
+            if self.combined_epoch() < published:
+                # A clean shutdown folded the WAL into the base container,
+                # resetting the delta epoch to zero; a new generation keeps
+                # the shard's combined epoch above everything it ever
+                # acknowledged, so follower caches stay invalidated.
+                self._generation += 1
+        self._server = rpc.RpcServer((host, port), {
+            "ping": self._op_ping,
+            "health": self._op_health,
+            "stats": self._op_stats,
+            "select": self._op_select,
+            "query": self._op_query,
+            "update": self._op_update,
+            "compact": self._op_compact,
+        })
+        self.host = host
+        self.port = self._server.port
+        self._thread: Optional[threading.Thread] = None
+        self._publish()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def serve_forever(self) -> None:
+        if not self.quiet:
+            print(f"shard {self.shard_id} serving on "
+                  f"{self.host}:{self.port} (pid {os.getpid()})", flush=True)
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ShardServer":
+        """Serve on a background thread (tests and embedded clusters)."""
+        self._thread = rpc.serve_in_thread(self._server)
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for service in (self.primary, self.replica):
+            closer = getattr(service, "close", None)
+            if closer is not None:
+                closer()
+
+    # ------------------------------------------------------------------ #
+    # Epochs.
+    # ------------------------------------------------------------------ #
+
+    def _delta(self, service: Optional[QueryService]) -> Dict[str, Any]:
+        if service is None:
+            return {}
+        stats = getattr(service.index, "delta_statistics", None)
+        return dict(stats()) if stats is not None else {}
+
+    def combined_epoch(self) -> int:
+        return combined_epoch(
+            self._generation, int(self._delta(self.primary).get("epoch", 0)))
+
+    def _publish(self) -> None:
+        primary = self._delta(self.primary)
+        replica = self._delta(self.replica)
+        write_epoch_document(self.epoch_path, {
+            "generation": self._generation,
+            "epoch": int(primary.get("epoch", 0)),
+            "wal": self.wal_path,
+            "wal_records": int(primary.get("wal_records", 0)),
+            "replica_wal_records": int(replica.get("wal_records", 0)),
+            "shard": self.shard_id,
+            "pid": os.getpid(),
+        })
+
+    def _note_compaction(self) -> None:
+        if getattr(self.primary, "_persist_error", None) is None:
+            self._generation += 1
+
+    # ------------------------------------------------------------------ #
+    # Read ops.
+    # ------------------------------------------------------------------ #
+
+    def _op_ping(self, message: dict) -> dict:
+        return {"pid": os.getpid(), "shard": self.shard_id}
+
+    def _op_health(self, message: dict) -> dict:
+        primary = self._delta(self.primary)
+        return {
+            "shard": self.shard_id,
+            "status": "ok",
+            "combined_epoch": self.combined_epoch(),
+            "generation": self._generation,
+            "epoch": int(primary.get("epoch", 0)),
+            # The shard applies its own writes synchronously, so its view
+            # never trails the WAL: lag is by construction zero.  The
+            # field exists so coordinator /healthz can sum follower lags
+            # uniformly across pool workers and shards.
+            "wal_lag": 0,
+            "wal_records": int(primary.get("wal_records", 0)),
+            "num_triples": int(self.primary.index.num_triples),
+            "has_replica": self.replica is not None,
+        }
+
+    def _op_stats(self, message: dict) -> dict:
+        payload: Dict[str, Any] = {
+            "shard": self.shard_id,
+            "primary": self.primary.statistics(),
+        }
+        if self.replica is not None:
+            payload["replica"] = self.replica.statistics()
+        return payload
+
+    def _side(self, name: str) -> QueryService:
+        if name == "replica":
+            if self.replica is None:
+                raise ClusterError(
+                    f"shard {self.shard_id} has no replica container")
+            return self.replica
+        if name != "primary":
+            raise ClusterError(f"unknown shard side {name!r}")
+        return self.primary
+
+    def _op_select(self, message: dict) -> Iterator[dict]:
+        raw = message.get("pattern")
+        if not isinstance(raw, (list, tuple)) or len(raw) != 3:
+            raise ClusterError(f"malformed select pattern {raw!r}")
+        pattern = tuple(None if term is None else int(term) for term in raw)
+        service = self._side(str(message.get("side", "primary")))
+        index = service.index
+        factory = getattr(index, "snapshot", None)
+        snapshot = factory() if factory is not None else index
+
+        def frames() -> Iterator[dict]:
+            count = 0
+            for batch in rpc.chunk_rows(snapshot.select(pattern)):
+                count += len(batch)
+                yield {"rows": wire.encode_triples(batch)}
+            yield {"eos": True, "count": count,
+                   "epoch": self.combined_epoch()}
+        return frames()
+
+    def _op_query(self, message: dict) -> Iterator[dict]:
+        query = wire.decode_query(message.get("query", {}))
+        limit = message.get("limit")
+        offset = int(message.get("offset", 0))
+        timeout = message.get("timeout")
+        engine = message.get("engine")
+        use_cache = bool(message.get("use_cache", True))
+        result = self.primary.execute(
+            query, limit=None if limit is None else int(limit),
+            offset=offset, timeout=timeout, engine=engine,
+            use_cache=use_cache)
+
+        def frames() -> Iterator[dict]:
+            for batch in rpc.chunk_rows(result.bindings):
+                yield {"rows": [
+                    {wire.variable_name(v): int(value)
+                     for v, value in row.items()} for row in batch]}
+            yield {"eos": True, "count": len(result.bindings),
+                   "has_more": result.has_more,
+                   "cached": result.cached,
+                   "statistics": dict(result.statistics),
+                   "epoch": self.combined_epoch()}
+        return frames()
+
+    # ------------------------------------------------------------------ #
+    # Write ops.
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _portion(message: dict, side: str) -> Dict[str, list]:
+        portion = message.get(side) or {}
+        return {
+            "insert": [tuple(t) for t in portion.get("insert", [])],
+            "delete": [tuple(t) for t in portion.get("delete", [])],
+        }
+
+    def _op_update(self, message: dict) -> dict:
+        primary = self._portion(message, "primary")
+        replica = self._portion(message, "replica")
+        with self._write_lock:
+            reply: Dict[str, Any] = {"shard": self.shard_id}
+            if primary["insert"] or primary["delete"]:
+                result = self.primary.update(inserts=primary["insert"],
+                                             deletes=primary["delete"])
+                reply["primary"] = result.to_json()
+                if (result.compaction is not None
+                        and result.compaction.compacted):
+                    self._note_compaction()
+            if self.replica is not None and (replica["insert"]
+                                             or replica["delete"]):
+                replica_result = self.replica.update(
+                    inserts=replica["insert"], deletes=replica["delete"])
+                reply["replica"] = replica_result.to_json()
+            # Publish before acknowledging: once the coordinator sees the
+            # reply the write is WAL-durable and epoch-visible.
+            self._publish()
+            reply["combined_epoch"] = self.combined_epoch()
+        return reply
+
+    def _op_compact(self, message: dict) -> dict:
+        with self._write_lock:
+            result = self.primary.compact()
+            reply: Dict[str, Any] = {"shard": self.shard_id,
+                                     "primary": result.to_json()}
+            if self.replica is not None:
+                reply["replica"] = self.replica.compact().to_json()
+            if result.compacted:
+                self._note_compaction()
+            self._publish()
+            reply["combined_epoch"] = self.combined_epoch()
+        return reply

@@ -206,6 +206,33 @@ class EpochFollower(TripleIndex):
     def generation(self) -> int:
         return self._generation or 0
 
+    @property
+    def combined_epoch(self) -> int:
+        """The view's position in the combined (generation, epoch) order.
+
+        Alias of :attr:`epoch`, which already folds the generation in —
+        named explicitly because health endpoints report it verbatim.
+        """
+        return self._view.epoch
+
+    def wal_lag(self) -> int:
+        """Published WAL records this follower has not yet applied.
+
+        Zero means the view is current with the writer's last published
+        epoch document; a persistently positive lag marks a stale reader
+        (e.g. a torn WAL tail that never completes).  One small file read
+        — cheap enough for a health probe on every scrape.
+        """
+        document = read_epoch_document(self._epoch_path)
+        if document is None:
+            return 0
+        target = int(document.get("wal_records", 0))
+        if int(document.get("generation", 0)) != self.generation:
+            # A compaction was published that we have not replayed yet:
+            # the whole new log counts as lag.
+            return max(0, target)
+        return max(0, target - self._applied_records)
+
     def select(self, pattern: PatternLike) -> Iterator[Tuple[int, int, int]]:
         return self._view.select(pattern)
 

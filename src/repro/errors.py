@@ -68,6 +68,23 @@ class ServiceError(ReproError):
     """
 
 
+class ClusterError(ReproError):
+    """A sharded-cluster operation failed.
+
+    Typical causes: a manifest that does not verify against its signing
+    key, a shard count that leaves a shard empty, or a coordinator asked
+    to route to a shard the manifest does not describe.
+    """
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard could not be reached (after retries) for a required reply.
+
+    The coordinator maps this to HTTP 503 in fail-fast mode; best-effort
+    mode swallows it per shard and marks the response ``incomplete``.
+    """
+
+
 class StorageError(ReproError):
     """A persisted index file cannot be written or read back.
 

@@ -58,6 +58,7 @@ from repro.errors import (
     QueryTimeoutError,
     ReproError,
     ServiceError,
+    ShardUnavailableError,
     StorageError,
     UpdateError,
 )
@@ -73,6 +74,7 @@ _STATUS_BY_ERROR: Tuple[Tuple[type, int], ...] = (
     (UpdateError, 400),
     (ServiceError, 400),
     (QueryTimeoutError, 408),
+    (ShardUnavailableError, 503),
     (StorageError, 500),
     (ReproError, 400),
 )
@@ -366,12 +368,26 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 index = self.service.index
-                self._send_json(200, {
+                body = {
                     "status": "ok",
                     "pid": os.getpid(),
                     "epoch": int(getattr(index, "epoch", 0)),
+                    # For a process that applies its own writes the epoch
+                    # *is* the combined epoch and it never trails the WAL;
+                    # followers and coordinators override both through the
+                    # ``health_extra`` hook.
+                    "combined_epoch": int(getattr(index, "combined_epoch",
+                                                  getattr(index, "epoch", 0))),
+                    "wal_lag": 0,
                     "num_triples": int(index.num_triples),
-                })
+                }
+                extra = getattr(self.server, "health_extra", None)
+                if extra is not None:
+                    try:
+                        body.update(extra())
+                    except Exception:  # health must not 500 on a gauge
+                        body["status"] = "degraded"
+                self._send_json(200, body)
             elif self.path == "/stats":
                 self._send_json(200, self.service.statistics())
             elif self.path == "/metrics":
@@ -500,7 +516,7 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
                 results = []
                 for entry in batch:
                     try:
-                        results.append(_run_one(self.service, entry))
+                        results.append(self._run_query_object(entry))
                     except Exception as error:
                         body = error_body(error)
                         body["error"]["status"] = status_for_error(error)
@@ -508,9 +524,14 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, {"results": results,
                                       "count": len(results)})
             else:
-                self._send_json(200, _run_one(self.service, request))
+                self._send_json(200, self._run_query_object(request))
         except Exception as error:
             self._send_error_json(error)
+
+    def _run_query_object(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One ``POST /query`` object → response body.  The coordinator's
+        handler overrides this to annotate partial (best-effort) results."""
+        return _run_one(self.service, request)
 
     def _handle_update(self, request: Dict[str, Any]) -> None:
         proxy = getattr(self.server, "update_proxy", None)
@@ -581,6 +602,7 @@ class QueryServiceServer(ThreadingHTTPServer):
                  rate_limiter: Optional[TokenBucketLimiter] = None,
                  metrics=None, metrics_block=None,
                  refresh_index=None, update_proxy=None,
+                 health_extra=None,
                  drain: bool = False,
                  handler_timeout: Optional[float] = None):
         if listen_socket is None:
@@ -602,6 +624,10 @@ class QueryServiceServer(ThreadingHTTPServer):
         self.metrics_block = metrics_block
         self.refresh_index = refresh_index
         self.update_proxy = update_proxy
+        #: Optional zero-arg callable returning extra ``GET /healthz``
+        #: fields (pool workers report follower WAL lag, the coordinator
+        #: reports per-shard health through it).
+        self.health_extra = health_extra
         self.handler_timeout = handler_timeout
         if drain:
             # Graceful shutdown: server_close() joins the in-flight handler

@@ -2,7 +2,11 @@
 
 ``repro query --json``, ``repro info --json``, ``POST /query`` and
 ``GET /stats`` all produce their payloads through the helpers here, so
-scripts that consume one consume them all.  Conventions:
+scripts that consume one consume them all.  The value-level codec
+(variables, binding rows, triples, statistics, errors) lives in the
+transport-agnostic :mod:`repro.wire` module — the same functions encode
+the cluster shard RPC, so the coordinator decodes shard replies with the
+exact inverses of what this module emits.  Conventions:
 
 * variables lose their ``?`` sigil (``?person`` → ``"person"``), matching
   the spirit of the SPARQL JSON results format;
@@ -17,31 +21,28 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import wire
 from repro.queries.planner import ExecutionStatistics
+from repro.wire import variable_name
 
-
-def variable_name(variable: str) -> str:
-    """``?person`` → ``person`` (already-bare names pass through)."""
-    return variable[1:] if variable.startswith("?") else variable
+__all__ = [
+    "variable_name", "bindings_to_json", "execution_statistics_to_json",
+    "sparql_results_to_json", "query_result_to_json", "triples_to_json",
+    "pattern_results_to_json", "pattern_result_to_json", "info_to_json",
+    "dumps",
+]
 
 
 def bindings_to_json(variables: Sequence[str],
                      bindings: Sequence[Dict[str, int]]
                      ) -> Tuple[List[str], List[Dict[str, int]]]:
     """Bare-name variable list + binding rows, ready for ``json.dumps``."""
-    names = [variable_name(v) for v in variables]
-    rows = [{variable_name(v): value for v, value in binding.items()}
-            for binding in bindings]
-    return names, rows
+    payload = wire.encode_bindings(variables, bindings)
+    return payload["variables"], payload["bindings"]
 
 
 def execution_statistics_to_json(statistics: ExecutionStatistics) -> Dict[str, Any]:
-    return {
-        "patterns_executed": statistics.patterns_executed,
-        "triples_matched": statistics.triples_matched,
-        "cartesian_joins": statistics.cartesian_joins,
-        "engine": statistics.engine,
-    }
+    return wire.encode_statistics(statistics)
 
 
 def sparql_results_to_json(variables: Sequence[str],

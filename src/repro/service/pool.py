@@ -44,19 +44,23 @@ memory block (:mod:`repro.service.metrics`) — any worker can answer
 
 from __future__ import annotations
 
-import errno
 import json
 import os
 import signal
 import socket
-import struct
 import sys
 import threading
 import time
 import traceback
-from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro.cluster.rpc import (
+    FRAME as _FRAME,
+    MAX_FRAME_BYTES,
+    read_frame as _read_frame,
+    recv_exactly as _recv_exactly,
+    send_frame as _send_frame,
+)
 from repro.dynamic.follower import (
     EpochFollower,
     read_epoch_document,
@@ -72,51 +76,13 @@ from repro.service.http import (
 )
 from repro.service.metrics import MetricsBlock
 
-#: Frame header of the worker↔writer protocol: payload length, uint32 LE.
-_FRAME = struct.Struct("<I")
-#: A writer frame far larger than this is a protocol bug, not a request.
-MAX_FRAME_BYTES = 64 * 1024 * 1024
+__all__ = ["ServerPool", "WriterClient", "MAX_FRAME_BYTES"]
 
 #: How long a worker waits for (re)connecting to the writer socket.
 _WRITER_CONNECT_TIMEOUT = 5.0
 #: Per-request writer timeout — compactions rebuild the index, so this is
 #: generous; queries never wait on it.
 _WRITER_REPLY_TIMEOUT = 600.0
-
-
-def _read_frame(sock: socket.socket) -> Optional[bytes]:
-    """One length-prefixed frame, or ``None`` on a clean EOF."""
-    header = _recv_exactly(sock, _FRAME.size, at_start=True)
-    if header is None:
-        return None
-    (length,) = _FRAME.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ConnectionError(f"writer-protocol frame of {length} bytes")
-    return _recv_exactly(sock, length)
-
-
-def _recv_exactly(sock: socket.socket, count: int,
-                  at_start: bool = False) -> Optional[bytes]:
-    """``count`` bytes from ``sock``; EOF mid-read is a protocol error.
-
-    ``at_start=True`` makes an immediate EOF a clean ``None`` (the peer
-    hung up between frames) instead of an error.
-    """
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if at_start and remaining == count:
-                return None
-            raise ConnectionError("writer-protocol frame truncated")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def _send_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(_FRAME.pack(len(payload)) + payload)
 
 
 class WriterClient:
@@ -518,6 +484,7 @@ class ServerPool:
         metrics.set("inflight", 0)
         refresh = None
         proxy = None
+        health_extra = None
         if self.writable:
             follower = EpochFollower(self.index_path, self.epoch_path,
                                      mmap=self.mmap)
@@ -527,6 +494,11 @@ class ServerPool:
                 writable=False, **self.service_options)
             refresh = follower.refresh
             proxy = WriterClient(self.writer_socket_path)
+
+            def health_extra(follower=follower):
+                return {"combined_epoch": follower.combined_epoch,
+                        "wal_lag": follower.wal_lag(),
+                        "generation": follower.generation}
         else:
             service = QueryService.from_file(
                 self.index_path, writable=False, mmap=self.mmap,
@@ -539,6 +511,7 @@ class ServerPool:
             admission=AdmissionControl(self.max_inflight),
             rate_limiter=limiter, metrics=metrics, metrics_block=self._block,
             refresh_index=refresh, update_proxy=proxy,
+            health_extra=health_extra,
             drain=True, handler_timeout=5.0)
 
         def _graceful(*_args):

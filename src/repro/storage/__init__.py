@@ -29,6 +29,7 @@ from repro.storage.container import (
     container_version,
     parse_container,
     read_container,
+    verify_container,
     write_container,
 )
 from repro.storage.index_io import (
@@ -55,6 +56,7 @@ __all__ = [
     "type_name_of",
     "parse_container",
     "read_container",
+    "verify_container",
     "write_container",
     "file_info",
     "load_index",

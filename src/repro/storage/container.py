@@ -252,6 +252,72 @@ def parse_container(data: bytes, source: str = "<bytes>") -> Dict[str, bytes]:
     return sections
 
 
+def verify_container(path: PathLike) -> Dict[str, object]:
+    """Audit a container file; returns a structured integrity report.
+
+    Stricter than :func:`read_container` — beyond the header CRC and the
+    per-section payload CRC-32s it also audits the section *table* itself:
+    payloads must lie after the header, in table order, without overlap,
+    and (for version-3 files) each payload must start on a
+    :data:`SECTION_ALIGNMENT`-byte boundary.  Structural failures (bad
+    magic, truncated table, header CRC) raise :class:`StorageError` as
+    usual; payload-level problems are *reported*, one entry per section,
+    so operators see every damaged section in one pass instead of the
+    first one per invocation.
+    """
+    source = str(path)
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read {source}: {exc}") from None
+    version, table = _parse_header(data, source)
+    aligned = version >= ALIGNED_FORMAT_VERSION
+
+    header_end = (_FIXED_HEADER.size
+                  + sum(2 + len(name.encode("utf-8")) + _TABLE_ENTRY_TAIL.size
+                        for name, _, _, _ in table)
+                  + _CRC.size)
+    sections: List[Dict[str, object]] = []
+    problems: List[str] = []
+    seen: Dict[str, int] = {}
+    previous_end = header_end
+    for name, offset, length, crc in table:
+        entry: Dict[str, object] = {"name": name, "offset": offset,
+                                    "length": length}
+        errors: List[str] = []
+        if name in seen:
+            errors.append("duplicate section name")
+        seen[name] = offset
+        if offset < header_end:
+            errors.append("payload overlaps the header")
+        if offset < previous_end:
+            errors.append("payload overlaps the previous section")
+        if aligned and offset % SECTION_ALIGNMENT:
+            errors.append(f"payload not {SECTION_ALIGNMENT}-byte aligned")
+        if offset + length > len(data):
+            errors.append("payload extends past end of file")
+            entry["crc_ok"] = False
+        else:
+            entry["crc_ok"] = _crc32(data[offset:offset + length]) == crc
+            if not entry["crc_ok"]:
+                errors.append("payload checksum mismatch")
+            previous_end = max(previous_end, offset + length)
+        entry["errors"] = errors
+        problems.extend(f"section {name!r}: {error}" for error in errors)
+        sections.append(entry)
+
+    return {
+        "path": source,
+        "format_version": version,
+        "aligned": aligned,
+        "total_bytes": len(data),
+        "num_sections": len(table),
+        "sections": sections,
+        "problems": problems,
+        "ok": not problems,
+    }
+
+
 class MappedContainer:
     """A container whose section payloads are views over one shared mmap.
 

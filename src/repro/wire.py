@@ -1,0 +1,185 @@
+"""Transport-agnostic wire codec for bindings, triples, errors and stats.
+
+One serialisation vocabulary shared by every surface that ships query
+results between processes: the HTTP endpoints and CLI ``--json`` output
+(through :mod:`repro.service.jsonio`, which keeps the historical names)
+and the cluster shard RPC (:mod:`repro.cluster.rpc`).  Extracting the
+codec from the HTTP layer is what lets a coordinator deserialise a shard's
+reply with the exact inverse of the function the shard used to build it.
+
+Every ``encode_*`` function returns plain JSON-compatible data (dicts,
+lists, strings, ints) and has a ``decode_*`` inverse restoring the
+engine-native form, with ``decode(encode(x)) == x`` — the round-trip law
+pinned by ``tests/test_wire.py``.  Conventions:
+
+* engine-native variables carry their ``?`` sigil (``?person``); on the
+  wire they are bare names (``"person"``), matching the spirit of the
+  SPARQL JSON results format;
+* bindings are flat objects mapping bare variable name to integer
+  component ID (the native currency of the indexes);
+* errors travel as ``{"type": <class name>, "message": <str>}`` and decode
+  back into the matching :mod:`repro.errors` class (or the base
+  :class:`~repro.errors.ReproError` for unknown types), so a remote
+  failure re-raises locally with its original meaning;
+* execution statistics travel as the four counters of
+  :class:`~repro.queries.planner.ExecutionStatistics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import errors as _errors
+from repro.errors import ReproError
+from repro.queries.planner import ExecutionStatistics
+
+#: ``name -> class`` for every error type in :mod:`repro.errors` — how a
+#: decoded wire error finds the class the remote side raised.
+ERROR_TYPES: Dict[str, type] = {
+    name: value for name, value in vars(_errors).items()
+    if isinstance(value, type) and issubclass(value, ReproError)}
+
+
+# --------------------------------------------------------------------------- #
+# Variables and bindings.
+# --------------------------------------------------------------------------- #
+
+def variable_name(variable: str) -> str:
+    """``?person`` → ``person`` (already-bare names pass through)."""
+    return variable[1:] if variable.startswith("?") else variable
+
+
+def variable_sigil(name: str) -> str:
+    """``person`` → ``?person``, the engine-native spelling."""
+    return name if name.startswith("?") else "?" + name
+
+
+def encode_bindings(variables: Sequence[str],
+                    bindings: Sequence[Mapping[str, int]]
+                    ) -> Dict[str, Any]:
+    """Bare-name variable list + binding rows, ready for ``json.dumps``."""
+    return {
+        "variables": [variable_name(v) for v in variables],
+        "bindings": [{variable_name(v): int(value)
+                      for v, value in binding.items()}
+                     for binding in bindings],
+    }
+
+
+def decode_bindings(payload: Mapping[str, Any]
+                    ) -> Tuple[Tuple[str, ...], List[Dict[str, int]]]:
+    """The engine-native ``(variables, rows)`` pair behind a wire payload."""
+    variables = tuple(variable_sigil(name) for name in payload["variables"])
+    rows = [{variable_sigil(name): int(value) for name, value in row.items()}
+            for row in payload["bindings"]]
+    return variables, rows
+
+
+# --------------------------------------------------------------------------- #
+# Triples.
+# --------------------------------------------------------------------------- #
+
+def encode_triples(triples: Sequence[Tuple[int, int, int]]) -> List[List[int]]:
+    """ID triples as JSON rows (terms stay integers on the wire)."""
+    return [[int(s), int(p), int(o)] for s, p, o in triples]
+
+
+def decode_triples(rows: Sequence[Sequence[int]]
+                   ) -> List[Tuple[int, int, int]]:
+    return [(int(s), int(p), int(o)) for s, p, o in rows]
+
+
+# --------------------------------------------------------------------------- #
+# BGP queries (the cluster pushdown payload).
+# --------------------------------------------------------------------------- #
+
+def encode_query(query) -> Dict[str, Any]:
+    """A :class:`~repro.queries.sparql.SparqlQuery` as JSON: projection as
+    bare names, pattern terms as ints (constants) or ``?``-strings."""
+    return {
+        "projection": [variable_name(v) for v in query.projection],
+        "patterns": [[term if isinstance(term, int) else str(term)
+                      for term in template.terms()]
+                     for template in query.bgp],
+    }
+
+
+def decode_query(payload: Mapping[str, Any]):
+    from repro.queries.sparql import (
+        BasicGraphPattern,
+        SparqlQuery,
+        TriplePatternTemplate,
+    )
+    templates = [
+        TriplePatternTemplate(*(
+            int(term) if isinstance(term, (int, float)) else str(term)
+            for term in row))
+        for row in payload.get("patterns", [])]
+    projection = tuple(variable_sigil(name)
+                       for name in payload.get("projection", []))
+    return SparqlQuery(projection=projection,
+                       bgp=BasicGraphPattern(templates))
+
+
+# --------------------------------------------------------------------------- #
+# Errors.
+# --------------------------------------------------------------------------- #
+
+def encode_error(error: Exception) -> Dict[str, str]:
+    """``{"type", "message"}`` naming what failed (wrap under ``"error"``)."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def decode_error(payload: Mapping[str, Any]) -> ReproError:
+    """Rebuild the exception a remote :func:`encode_error` described.
+
+    Unknown type names (a newer peer, a non-repro exception) decode to the
+    base :class:`~repro.errors.ReproError` with the type folded into the
+    message, so nothing is silently dropped.
+    """
+    type_name = str(payload.get("type", "ReproError"))
+    message = str(payload.get("message", ""))
+    error_type = ERROR_TYPES.get(type_name)
+    if error_type is None:
+        return ReproError(f"{type_name}: {message}" if message else type_name)
+    return error_type(message)
+
+
+# --------------------------------------------------------------------------- #
+# Execution statistics.
+# --------------------------------------------------------------------------- #
+
+def encode_statistics(statistics: ExecutionStatistics) -> Dict[str, Any]:
+    return {
+        "patterns_executed": int(statistics.patterns_executed),
+        "triples_matched": int(statistics.triples_matched),
+        "cartesian_joins": int(statistics.cartesian_joins),
+        "engine": statistics.engine,
+    }
+
+
+def decode_statistics(payload: Mapping[str, Any]) -> ExecutionStatistics:
+    statistics = ExecutionStatistics()
+    statistics.patterns_executed = int(payload.get("patterns_executed", 0))
+    statistics.triples_matched = int(payload.get("triples_matched", 0))
+    statistics.cartesian_joins = int(payload.get("cartesian_joins", 0))
+    statistics.engine = payload.get("engine", statistics.engine)
+    return statistics
+
+
+def merge_statistics(payloads: Sequence[Mapping[str, Any]],
+                     engine: Optional[str] = None) -> Dict[str, Any]:
+    """Sum counter payloads from several shards into one summary.
+
+    ``engine`` names the executor the merged summary advertises (the one
+    the request asked for); with ``None`` the first payload's engine wins.
+    """
+    merged = {"patterns_executed": 0, "triples_matched": 0,
+              "cartesian_joins": 0,
+              "engine": engine or (payloads[0].get("engine", "nested")
+                                   if payloads else "nested")}
+    for payload in payloads:
+        for counter in ("patterns_executed", "triples_matched",
+                        "cartesian_joins"):
+            merged[counter] += int(payload.get(counter, 0))
+    return merged

@@ -446,3 +446,74 @@ class TestInfoJsonVersion:
         assert "inserted 2 of 2" in captured.out  # the update itself applied
         assert "auto-compaction failed" in captured.err
         assert "repro compact" in captured.err
+
+
+class TestVerifyCommand:
+    def test_verify_clean_file(self, index_file, capsys):
+        assert main(["verify", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "all section checksums verified" in out
+        for section in ("meta", "index", "dictionary"):
+            assert section in out
+
+    def test_verify_reports_corruption(self, index_file, capsys):
+        data = bytearray(index_file.read_bytes())
+        data[-3] ^= 0xFF  # flip a payload byte, header stays valid
+        index_file.write_bytes(bytes(data))
+        assert main(["verify", str(index_file)]) == 1
+        captured = capsys.readouterr()
+        assert "checksum mismatch" in captured.out
+        assert "problem(s) found" in captured.err
+
+    def test_verify_json_report(self, index_file, capsys):
+        import json
+        assert main(["verify", str(index_file), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert {s["name"] for s in report["sections"]} >= {"meta", "index"}
+
+    def test_verify_garbage_fails_cleanly(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.ridx"
+        garbage.write_bytes(b"not a container at all")
+        assert main(["verify", str(garbage)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestClusterCommands:
+    @pytest.fixture()
+    def big_index(self, tmp_path):
+        lines = []
+        for i in range(120):
+            lines.append(f"<http://x/s{i % 20}> <http://x/p{i % 5}> "
+                         f"<http://x/o{i % 17}> .")
+        source = tmp_path / "big.nt"
+        source.write_text("\n".join(lines), encoding="utf-8")
+        path = tmp_path / "big.ridx"
+        assert main(["build", str(source), "-o", str(path)]) == 0
+        return path
+
+    def test_partition_writes_shards_and_manifest(self, big_index, tmp_path,
+                                                  capsys):
+        out = tmp_path / "cluster"
+        assert main(["partition", str(big_index), "-o", str(out),
+                     "--shards", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "partitioned" in printed and "2 shard(s)" in printed
+        assert (out / "manifest.json").exists()
+        assert (out / "shard-000.repro").exists()
+        assert (out / "shard-001-replica.repro").exists()
+        assert main(["verify", str(out / "shard-000.repro")]) == 0
+
+    def test_partition_too_many_shards_fails(self, index_file, tmp_path,
+                                             capsys):
+        assert main(["partition", str(index_file), "-o",
+                     str(tmp_path / "c"), "--shards", "64"]) == 1
+        assert "reduce --shards" in capsys.readouterr().err
+
+    def test_shard_id_out_of_range_fails(self, big_index, tmp_path, capsys):
+        out = tmp_path / "cluster"
+        assert main(["partition", str(big_index), "-o", str(out),
+                     "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["shard", str(out), "--id", "5"]) == 1
+        assert "out of range" in capsys.readouterr().err

@@ -1,0 +1,548 @@
+"""The sharded cluster: partitioner, shard RPC, coordinator, chaos.
+
+The load-bearing property is **differential**: for every shard count K
+(including K=1) and both executors, the coordinator must return exactly
+the bindings the single-box service returns over the same data — through
+interleaved inserts, deletes, compactions and a shard kill + restart.
+Everything runs in-process (shard servers on background threads, real TCP
+between coordinator and shards), so the suite exercises the actual RPC
+framing without subprocess management.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import rpc
+from repro.cluster.client import ClusterClient
+from repro.cluster.coordinator import (
+    ClusterQueryService,
+    CoordinatorServer,
+    parse_address,
+)
+from repro.cluster.partition import (
+    MANIFEST_NAME,
+    build_cluster,
+    read_manifest,
+    shard_of,
+    splitmix64,
+)
+from repro.cluster.shard import ShardServer
+from repro.core import build_index
+from repro.errors import ClusterError, ShardUnavailableError
+from repro.queries.planner import QueryPlanner
+from repro.rdf.dictionary import RdfDictionary
+from repro.service.engine import QueryService
+from repro.storage import save_index
+
+QUERIES = [
+    "SELECT ?s ?o WHERE { ?s 1 ?o }",
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+    "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c }",
+    "SELECT ?a ?c WHERE { ?a 0 ?b . ?a 1 ?c }",
+]
+ENGINES = ["nested", "wcoj"]
+PATTERNS = [(None, None, None), (3, None, None), (None, 1, None),
+            (None, None, 5), (3, 1, None), (None, 1, 5)]
+
+
+def _term_triples():
+    triples = []
+    for i in range(260):
+        triples.append((f"<http://x/s{i % 50}>", f"<http://x/p{i % 6}>",
+                        f"<http://x/o{i % 37}>"))
+        triples.append((f"<http://x/s{i % 50}>", "<http://x/knows>",
+                        f"<http://x/s{(i + 11) % 50}>"))
+    return triples
+
+
+@pytest.fixture(scope="module")
+def source_container(tmp_path_factory):
+    dictionary, store = RdfDictionary.from_term_triples(_term_triples())
+    index = build_index(store, "2tp")
+    stats = QueryPlanner.cardinalities_from_store(store)
+    path = tmp_path_factory.mktemp("cluster-src") / "box.repro"
+    save_index(index, path, dictionary=dictionary, planner_stats=stats,
+               aligned=True)
+    return path
+
+
+class _Cluster:
+    """An in-process cluster: shard threads + a connected coordinator."""
+
+    def __init__(self, source, directory, num_shards, **service_options):
+        self.directory = directory
+        self.manifest = build_cluster(source, directory, num_shards)
+        self.shards = []
+        for entry in self.manifest["shards"]:
+            self.shards.append(self._spawn(entry, port=0))
+        self.service = ClusterQueryService.from_cluster_dir(
+            directory, self.addresses(), **service_options)
+
+    def _spawn(self, entry, port):
+        return ShardServer(
+            entry["id"], self.directory / entry["primary"],
+            self.directory / entry["replica"], port=port).start()
+
+    def addresses(self):
+        return [(shard.host, shard.port) for shard in self.shards]
+
+    def kill(self, shard_id):
+        self.shards[shard_id].close()
+
+    def restart(self, shard_id):
+        port = self.shards[shard_id].port
+        entry = self.manifest["shards"][shard_id]
+        self.shards[shard_id] = self._spawn(entry, port=port)
+
+    def close(self):
+        self.service.close()
+        for shard in self.shards:
+            shard.close()
+
+
+# --------------------------------------------------------------------------- #
+# Partitioner.
+# --------------------------------------------------------------------------- #
+
+class TestPartitioner:
+    def test_splitmix64_is_stable(self):
+        # Pinned values: routing must not depend on PYTHONHASHSEED or
+        # platform, or a rebuilt coordinator would mis-route every shard.
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+        assert splitmix64(1) == 0x910A2DEC89025CC1
+        assert shard_of(0, 4) == splitmix64(0) % 4
+
+    def test_partition_is_exact_cover(self, source_container, tmp_path):
+        manifest = build_cluster(source_container, tmp_path / "c", 2)
+        box = QueryService.from_file(source_container)
+        expected = sorted(box.select((None, None, None), limit=10**6).triples)
+        for side in ("primary", "replica"):
+            union = []
+            for entry in manifest["shards"]:
+                loaded = QueryService.from_file(tmp_path / "c" / entry[side])
+                part = loaded.select((None, None, None), limit=10**6).triples
+                union.extend(part)
+                for s, p, o in part:
+                    key = s if side == "primary" else o
+                    assert shard_of(key, 2) == entry["id"]
+            assert sorted(union) == expected
+
+    def test_manifest_tamper_detection(self, source_container, tmp_path):
+        build_cluster(source_container, tmp_path / "c", 2)
+        manifest_path = tmp_path / "c" / MANIFEST_NAME
+        document = json.loads(manifest_path.read_text())
+        document["manifest"]["num_shards"] = 3
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(ClusterError):
+            read_manifest(manifest_path)
+
+    def test_manifest_wrong_key_rejected(self, source_container, tmp_path):
+        build_cluster(source_container, tmp_path / "c", 2, key="secret-a")
+        with pytest.raises(ClusterError):
+            read_manifest(tmp_path / "c" / MANIFEST_NAME, "secret-b")
+        read_manifest(tmp_path / "c" / MANIFEST_NAME, "secret-a")
+
+    def test_too_many_shards_is_an_error(self, tmp_path):
+        dictionary, store = RdfDictionary.from_term_triples(
+            [("<http://x/a>", "<http://x/p>", "<http://x/b>")])
+        index = build_index(store, "2tp")
+        path = tmp_path / "tiny.repro"
+        save_index(index, path, dictionary=dictionary)
+        with pytest.raises(ClusterError, match="reduce --shards"):
+            build_cluster(path, tmp_path / "c", 4)
+
+    def test_replica_layout_none(self, source_container, tmp_path):
+        manifest = build_cluster(source_container, tmp_path / "c", 2,
+                                 replica_layout="none")
+        assert all(entry["replica"] is None
+                   for entry in manifest["shards"])
+
+
+# --------------------------------------------------------------------------- #
+# Differential: coordinator vs single box.
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_cluster_matches_single_box(source_container, tmp_path, num_shards):
+    box = QueryService.from_file(source_container, writable=True)
+    cluster = _Cluster(source_container, tmp_path / "c", num_shards)
+    try:
+        for pattern in PATTERNS:
+            expected = sorted(box.select(pattern, limit=10**6).triples)
+            actual = sorted(
+                cluster.service.select(pattern, limit=10**6).triples)
+            assert actual == expected, pattern
+        for query in QUERIES:
+            for engine in ENGINES:
+                expected = box.execute(query, engine=engine, limit=10**6)
+                actual = cluster.service.execute(query, engine=engine,
+                                                 limit=10**6)
+                key = lambda row: sorted(row.items())
+                assert sorted(actual.bindings, key=key) == \
+                    sorted(expected.bindings, key=key), (query, engine)
+                assert actual.statistics["incomplete"] is False
+
+        # Interleaved writes: insert / query / delete / compact / query.
+        batch = [(9001, 9001, 9002), (9002, 9001, 9003),
+                 (9003, 9001, 9001), (9004, 9001, 9002)]
+        for target in (box, cluster.service):
+            target.update(inserts=batch)
+        for target in (box, cluster.service):
+            target.update(deletes=batch[:2])
+        box.compact()
+        cluster.service.compact()
+        for pattern in [(None, 9001, None), (None, None, 9002),
+                        (9003, None, None), (None, None, None)]:
+            expected = sorted(box.select(pattern, limit=10**6).triples)
+            actual = sorted(
+                cluster.service.select(pattern, limit=10**6).triples)
+            assert actual == expected, pattern
+        for engine in ENGINES:
+            query = "SELECT ?s ?o WHERE { ?s 9001 ?o }"
+            expected = box.execute(query, engine=engine)
+            actual = cluster.service.execute(query, engine=engine)
+            key = lambda row: sorted(row.items())
+            assert sorted(actual.bindings, key=key) == \
+                sorted(expected.bindings, key=key)
+    finally:
+        cluster.close()
+        box.close()
+
+
+def test_limit_offset_paging(source_container, tmp_path):
+    box = QueryService.from_file(source_container)
+    cluster = _Cluster(source_container, tmp_path / "c", 2)
+    try:
+        query = "SELECT ?s ?o WHERE { ?s 1 ?o }"
+        full = cluster.service.execute(query, limit=10**6)
+        pages = []
+        offset = 0
+        while True:
+            page = cluster.service.execute(query, limit=7, offset=offset)
+            pages.extend(page.bindings)
+            if not page.has_more:
+                break
+            offset += 7
+        assert pages == full.bindings
+        assert len(full.bindings) == len(
+            box.execute(query, limit=10**6).bindings)
+    finally:
+        cluster.close()
+        box.close()
+
+
+def test_kill_and_restart_shard_mid_run(source_container, tmp_path):
+    box = QueryService.from_file(source_container, writable=True)
+    cluster = _Cluster(source_container, tmp_path / "c", 2)
+    try:
+        batch = [(8101, 8100, 8102), (8102, 8100, 8103),
+                 (8103, 8100, 8101)]
+        box.update(inserts=batch)
+        cluster.service.update(inserts=batch)
+
+        cluster.kill(1)
+        with pytest.raises(ShardUnavailableError):
+            cluster.service.select((None, None, None), use_cache=False)
+        cluster.restart(1)
+
+        # The restarted shard replayed its WAL: acknowledged writes and
+        # base data are all still there, exactly matching the single box.
+        for pattern in [(None, None, None), (None, 8100, None)]:
+            expected = sorted(box.select(pattern, limit=10**6).triples)
+            actual = sorted(
+                cluster.service.select(pattern, limit=10**6,
+                                       use_cache=False).triples)
+            assert actual == expected, pattern
+        for engine in ENGINES:
+            query = "SELECT ?a ?c WHERE { ?a 8100 ?b . ?b 8100 ?c }"
+            expected = box.execute(query, engine=engine)
+            actual = cluster.service.execute(query, engine=engine,
+                                             use_cache=False)
+            key = lambda row: sorted(row.items())
+            assert sorted(actual.bindings, key=key) == \
+                sorted(expected.bindings, key=key)
+    finally:
+        cluster.close()
+        box.close()
+
+
+def test_best_effort_marks_partial_results(source_container, tmp_path):
+    cluster = _Cluster(source_container, tmp_path / "c", 2,
+                       best_effort=True)
+    try:
+        complete = cluster.service.execute(
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o }", limit=10**6)
+        assert complete.statistics["incomplete"] is False
+
+        cluster.kill(0)
+        partial = cluster.service.execute(
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o }", limit=10**6)
+        assert partial.statistics["incomplete"] is True
+        assert partial.statistics["failed_shards"] == [0]
+        assert 0 < len(partial.bindings) < len(complete.bindings)
+        report = cluster.service.last_request_report()
+        assert report["incomplete"] is True
+
+        # Writes stay fail-fast even under best-effort: an acknowledged
+        # write must never silently miss a dead owning shard.
+        with pytest.raises(ShardUnavailableError):
+            cluster.service.update(inserts=[(4, 4, 4), (5, 5, 5),
+                                            (6, 6, 6), (7, 7, 7)])
+    finally:
+        cluster.close()
+
+
+def test_star_query_single_shard_pushdown(source_container, tmp_path):
+    cluster = _Cluster(source_container, tmp_path / "c", 2)
+    try:
+        # Constant subject: the whole star routes to one shard, so the
+        # other shard being dead must not matter.
+        target = 3
+        dead = 1 - shard_of(target, 2)
+        cluster.kill(dead)
+        query = f"SELECT ?b ?c WHERE {{ {target} 0 ?b . {target} 1 ?c }}"
+        result = cluster.service.execute(query, use_cache=False)
+        assert result.statistics["incomplete"] is False
+    finally:
+        cluster.close()
+
+
+# --------------------------------------------------------------------------- #
+# Epochs and observability.
+# --------------------------------------------------------------------------- #
+
+def test_health_aggregation_and_epochs(source_container, tmp_path):
+    cluster = _Cluster(source_container, tmp_path / "c", 2)
+    try:
+        health = cluster.service.health()
+        assert health["status"] == "ok"
+        assert health["shards_reachable"] == 2
+        assert health["wal_lag"] == 0
+        before = health["combined_epoch"]
+
+        cluster.service.update(inserts=[(7001, 7000, 7002)])
+        after = cluster.service.health()["combined_epoch"]
+        assert after > before
+
+        stats = cluster.service.statistics()
+        assert set(stats) == {"cluster", "coordinator", "shards"}
+        assert stats["cluster"]["num_shards"] == 2
+        assert len(stats["shards"]) == 2
+
+        cluster.kill(1)
+        degraded = cluster.service.health()
+        assert degraded["status"] == "degraded"
+        assert degraded["shards_reachable"] == 1
+    finally:
+        cluster.close()
+
+
+def test_shard_epoch_survives_restart(source_container, tmp_path):
+    cluster = _Cluster(source_container, tmp_path / "c", 2)
+    try:
+        cluster.service.update(inserts=[(6001, 6000, 6002),
+                                        (6002, 6000, 6001)])
+        owner = shard_of(6001, 2)
+        before = cluster.shards[owner].combined_epoch()
+        assert before > 0
+        cluster.kill(owner)
+        cluster.restart(owner)
+        assert cluster.shards[owner].combined_epoch() >= before
+    finally:
+        cluster.close()
+
+
+# --------------------------------------------------------------------------- #
+# RPC layer.
+# --------------------------------------------------------------------------- #
+
+class TestRpc:
+    def test_unary_and_error(self):
+        def boom(message):
+            raise ClusterError("no such thing")
+
+        server = rpc.RpcServer(("127.0.0.1", 0),
+                               {"echo": lambda m: {"value": m["value"]},
+                                "boom": boom})
+        rpc.serve_in_thread(server)
+        client = rpc.RpcClient("127.0.0.1", server.port, retries=0)
+        try:
+            assert client.call({"op": "echo", "value": 7})["value"] == 7
+            with pytest.raises(ClusterError, match="no such thing"):
+                client.call({"op": "boom"})
+            with pytest.raises(ClusterError, match="unknown rpc op"):
+                client.call({"op": "nope"})
+        finally:
+            client.close()
+            server.shutdown()
+            server.server_close()
+
+    def test_streaming_and_socket_reuse(self):
+        def stream(message):
+            def frames():
+                for batch in rpc.chunk_rows(range(1000), 128):
+                    yield {"rows": list(batch)}
+                yield {"eos": True, "count": 1000}
+            return frames()
+
+        server = rpc.RpcServer(("127.0.0.1", 0), {"nums": stream})
+        rpc.serve_in_thread(server)
+        client = rpc.RpcClient("127.0.0.1", server.port, retries=0)
+        try:
+            rows = []
+            for frame in client.stream({"op": "nums"}):
+                rows.extend(frame.get("rows", ()))
+            assert rows == list(range(1000))
+            # Fully-drained stream returns its socket to the free-list …
+            assert len(client._free) == 1
+            # … an abandoned one is closed, not reused (unread frames
+            # would corrupt the next request on that socket).
+            iterator = client.stream({"op": "nums"})
+            next(iterator)
+            iterator.close()
+            assert len(client._free) == 0
+            rows = []
+            for frame in client.stream({"op": "nums"}):
+                rows.extend(frame.get("rows", ()))
+            assert rows == list(range(1000))
+            assert len(client._free) == 1
+        finally:
+            client.close()
+            server.shutdown()
+            server.server_close()
+
+    def test_unreachable_peer_raises_shard_unavailable(self):
+        client = rpc.RpcClient("127.0.0.1", 1, retries=1, backoff=0.01)
+        with pytest.raises(ShardUnavailableError):
+            client.call({"op": "ping"})
+        with pytest.raises(ShardUnavailableError):
+            list(client.stream({"op": "select"}))
+
+    def test_shutdown_severs_live_connections(self):
+        server = rpc.RpcServer(("127.0.0.1", 0),
+                               {"ping": lambda m: {"pong": True}})
+        rpc.serve_in_thread(server)
+        client = rpc.RpcClient("127.0.0.1", server.port, retries=0)
+        try:
+            assert client.call({"op": "ping"})["pong"] is True
+            server.shutdown()
+            server.server_close()
+            with pytest.raises(ShardUnavailableError):
+                client.call({"op": "ping"})
+        finally:
+            client.close()
+
+    def test_cluster_client_validates_address_count(self, source_container,
+                                                    tmp_path):
+        manifest = build_cluster(source_container, tmp_path / "c", 2)
+        with pytest.raises(ClusterError, match="address"):
+            ClusterClient(manifest, [("127.0.0.1", 1)])
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:8390") == ("10.0.0.1", 8390)
+        with pytest.raises(ClusterError):
+            parse_address("nope")
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator HTTP front.
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def http_cluster(source_container, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("http-cluster")
+    cluster = _Cluster(source_container, directory / "c", 2)
+    server = CoordinatorServer(("127.0.0.1", 0), cluster.service, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield cluster, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    cluster.close()
+
+
+def _http(url, body=None):
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method="POST" if data else "GET",
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestCoordinatorHttp:
+    def test_query(self, http_cluster):
+        _, base = http_cluster
+        status, body = _http(base + "/query",
+                             {"sparql": QUERIES[0], "limit": 5})
+        assert status == 200
+        assert body["variables"] == ["s", "o"]
+        assert len(body["bindings"]) == 5
+        assert body["incomplete"] is False
+
+    def test_update_and_read_back(self, http_cluster):
+        _, base = http_cluster
+        status, body = _http(base + "/update",
+                             {"insert": [[5101, 5100, 5102]]})
+        assert status == 200
+        assert body["inserted"] == 1
+        status, body = _http(base + "/query",
+                             {"sparql": "SELECT ?s ?o WHERE { ?s 5100 ?o }"})
+        assert status == 200
+        assert body["bindings"] == [{"s": 5101, "o": 5102}]
+
+    def test_compact(self, http_cluster):
+        _, base = http_cluster
+        status, body = _http(base + "/compact", {})
+        assert status == 200
+        assert "shards" in body
+
+    def test_healthz_aggregates_shards(self, http_cluster):
+        _, base = http_cluster
+        status, body = _http(base + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["num_shards"] == 2
+        assert {"combined_epoch", "wal_lag", "num_triples"} <= set(body)
+        assert len(body["shards"]) == 2
+
+    def test_stats_and_metrics(self, http_cluster):
+        _, base = http_cluster
+        status, body = _http(base + "/stats")
+        assert status == 200
+        assert set(body) == {"cluster", "coordinator", "shards"}
+        request = urllib.request.Request(base + "/metrics")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            text = response.read().decode()
+        assert "repro_index_triples" in text
+
+    def test_dead_shard_maps_to_503(self, source_container,
+                                    tmp_path_factory):
+        directory = tmp_path_factory.mktemp("http-503")
+        cluster = _Cluster(source_container, directory / "c", 2)
+        server = CoordinatorServer(("127.0.0.1", 0), cluster.service,
+                                   quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            cluster.kill(1)
+            status, body = _http(base + "/query",
+                                 {"sparql": QUERIES[1], "cache": False})
+            assert status == 503
+            assert body["error"]["type"] == "ShardUnavailableError"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            cluster.close()

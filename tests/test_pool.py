@@ -372,6 +372,23 @@ class TestPoolServing:
         assert errors == []
         assert len(pids) >= 2, f"all requests served by one worker: {pids}"
 
+    def test_healthz_reports_follower_epoch_and_lag(self, pool):
+        status, body = _get_json(pool["url"], "/healthz")
+        assert status == 200
+        # Workers answer through an EpochFollower; the probe must expose
+        # its combined (generation, epoch) point and WAL-tail lag so
+        # orchestrators can tell a wedged follower from a healthy one.
+        assert body["combined_epoch"] == body["epoch"]
+        assert body["wal_lag"] == 0
+        assert body["generation"] >= 0
+        _post_json(pool["url"], "/update", {"insert": [[910, 7, 911]]})
+
+        def converged():
+            status, body = _get_json(pool["url"], "/healthz")
+            return status == 200 and body["wal_lag"] == 0 \
+                and body["combined_epoch"] >= 1
+        assert _wait_until(converged, timeout=20)
+
     def test_differential_vs_single_process(self, pool):
         """Every worker answers base-graph queries byte-identically to an
         in-process service over the same index file."""

@@ -78,6 +78,57 @@ class TestProbes:
         assert body["status"] == "ok"
         assert body["num_triples"] == len(TERM_TRIPLES)
 
+    def test_healthz_reports_epoch_and_lag(self, base_url):
+        status, body = _get(base_url + "/healthz")
+        assert status == 200
+        # Uniform probe contract across single box, pool workers and
+        # cluster shards: a follower's combined (generation, epoch) point
+        # plus how far its view trails the published WAL.
+        assert body["combined_epoch"] == 0
+        assert body["wal_lag"] == 0
+
+    def test_healthz_health_extra_hook(self):
+        dictionary, store = RdfDictionary.from_term_triples(TERM_TRIPLES)
+        service = QueryService(build_index(store, "2tp"),
+                               dictionary=dictionary)
+        instance = build_server(
+            service, host="127.0.0.1", port=0, quiet=True,
+            health_extra=lambda: {"combined_epoch": 7, "wal_lag": 3})
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = instance.server_address[:2]
+            status, body = _get(f"http://{host}:{port}/healthz")
+            assert status == 200
+            assert body["combined_epoch"] == 7
+            assert body["wal_lag"] == 3
+        finally:
+            instance.shutdown()
+            instance.server_close()
+            thread.join(timeout=5)
+
+    def test_healthz_degrades_when_health_extra_fails(self):
+        dictionary, store = RdfDictionary.from_term_triples(TERM_TRIPLES)
+        service = QueryService(build_index(store, "2tp"),
+                               dictionary=dictionary)
+
+        def broken():
+            raise RuntimeError("follower is wedged")
+
+        instance = build_server(service, host="127.0.0.1", port=0,
+                                quiet=True, health_extra=broken)
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = instance.server_address[:2]
+            status, body = _get(f"http://{host}:{port}/healthz")
+            assert status == 200
+            assert body["status"] == "degraded"
+        finally:
+            instance.shutdown()
+            instance.server_close()
+            thread.join(timeout=5)
+
     def test_stats_shape(self, base_url):
         status, body = _get(base_url + "/stats")
         assert status == 200

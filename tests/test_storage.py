@@ -29,6 +29,7 @@ from repro.storage import (
     read_container,
     save_index,
     save_object,
+    verify_container,
     write_container,
 )
 from repro.storage import container as container_module
@@ -103,6 +104,74 @@ class TestContainer:
     def test_missing_file(self, tmp_path):
         with pytest.raises(StorageError, match="cannot read"):
             read_container(tmp_path / "nope.bin")
+
+
+class TestVerifyContainer:
+    def test_clean_report(self, tmp_path):
+        path = tmp_path / "c.bin"
+        sections = {"meta": b"m" * 10, "payload": bytes(range(256))}
+        write_container(path, sections)
+        report = verify_container(path)
+        assert report["ok"] is True
+        assert report["problems"] == []
+        assert [s["name"] for s in report["sections"]] == ["meta", "payload"]
+        assert all(s["crc_ok"] for s in report["sections"])
+
+    def test_aligned_report(self, tmp_path):
+        path = tmp_path / "c.bin"
+        write_container(path, {"a": b"x" * 70, "b": b"y" * 3},
+                        version=container_module.ALIGNED_FORMAT_VERSION)
+        report = verify_container(path)
+        assert report["ok"] is True
+        assert report["aligned"] is True
+        for section in report["sections"]:
+            assert section["offset"] % container_module.SECTION_ALIGNMENT == 0
+
+    def test_reports_every_corrupted_section(self, tmp_path):
+        path = tmp_path / "c.bin"
+        write_container(path, {"a": b"A" * 64, "b": b"B" * 64})
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF          # corrupt section "b"
+        data[-70] ^= 0xFF         # corrupt section "a"
+        path.write_bytes(bytes(data))
+        report = verify_container(path)
+        assert report["ok"] is False
+        # One pass reports *both* damaged sections, unlike read_container
+        # which stops at the first.
+        assert [s["crc_ok"] for s in report["sections"]] == [False, False]
+        assert len(report["problems"]) == 2
+
+    def test_misaligned_section_reported(self, tmp_path):
+        path = tmp_path / "c.bin"
+        write_container(path, {"a": b"A" * 64})
+        data = bytearray(path.read_bytes())
+        # Advertise the aligned format without the aligned layout.
+        struct_at = container_module._FIXED_HEADER
+        magic, _version, count = struct_at.unpack_from(data, 0)
+        struct_at.pack_into(data, 0, magic,
+                            container_module.ALIGNED_FORMAT_VERSION, count)
+        # Re-seal the header CRC so only the alignment claim is wrong.
+        crc_offset = len(data) - 64 - container_module._CRC.size
+        container_module._CRC.pack_into(
+            data, crc_offset, container_module._crc32(bytes(data[:crc_offset])))
+        path.write_bytes(bytes(data))
+        report = verify_container(path)
+        assert report["ok"] is False
+        assert any("aligned" in problem for problem in report["problems"])
+
+    def test_structural_damage_still_raises(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not an index file, but long enough")
+        with pytest.raises(StorageError, match="bad magic"):
+            verify_container(path)
+
+    def test_real_index_file_verifies(self, tmp_path, index_2tp):
+        path = tmp_path / "idx.repro"
+        save_index(index_2tp, path, aligned=True)
+        report = verify_container(path)
+        assert report["ok"] is True
+        assert report["aligned"] is True
+        assert {s["name"] for s in report["sections"]} >= {"meta", "index"}
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,180 @@
+"""Round-trip laws for the transport-agnostic wire codec.
+
+Every ``encode_*``/``decode_*`` pair in :mod:`repro.wire` must satisfy
+``decode(encode(x)) == x`` over the payload classes the cluster RPC and
+the HTTP endpoints exchange: bindings, triples, errors, execution
+statistics and pushed-down BGP queries.  The encoded form must also be
+JSON-stable (``json.loads(json.dumps(payload))`` decodes identically),
+because both transports ship the payloads as JSON text.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors as repro_errors
+from repro import wire
+from repro.errors import (
+    ClusterError,
+    QueryTimeoutError,
+    ReproError,
+    ShardUnavailableError,
+    StorageError,
+)
+from repro.queries.planner import ExecutionStatistics
+from repro.queries.sparql import (
+    BasicGraphPattern,
+    SparqlQuery,
+    TriplePatternTemplate,
+)
+
+_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_0123456789",
+                 min_size=1, max_size=8).map(lambda s: "v" + s)
+_ids = st.integers(min_value=0, max_value=2**40)
+
+
+def _json_round(payload):
+    return json.loads(json.dumps(payload))
+
+
+# --------------------------------------------------------------------------- #
+# Bindings.
+# --------------------------------------------------------------------------- #
+
+@st.composite
+def _binding_sets(draw):
+    variables = draw(st.lists(_names, min_size=1, max_size=4, unique=True))
+    sigiled = tuple("?" + name for name in variables)
+    rows = draw(st.lists(
+        st.fixed_dictionaries({v: _ids for v in sigiled}),
+        min_size=0, max_size=8))
+    return sigiled, rows
+
+
+@given(_binding_sets())
+@settings(max_examples=60, deadline=None)
+def test_bindings_round_trip(case):
+    variables, rows = case
+    payload = _json_round(wire.encode_bindings(variables, rows))
+    assert wire.decode_bindings(payload) == (variables, rows)
+
+
+def test_variable_spelling_is_idempotent():
+    assert wire.variable_name("?x") == "x"
+    assert wire.variable_name("x") == "x"
+    assert wire.variable_sigil("x") == "?x"
+    assert wire.variable_sigil("?x") == "?x"
+
+
+# --------------------------------------------------------------------------- #
+# Triples.
+# --------------------------------------------------------------------------- #
+
+@given(st.lists(st.tuples(_ids, _ids, _ids), max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_triples_round_trip(triples):
+    payload = _json_round(wire.encode_triples(triples))
+    assert wire.decode_triples(payload) == triples
+
+
+# --------------------------------------------------------------------------- #
+# Errors.
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("error_type", [
+    ReproError, StorageError, QueryTimeoutError,
+    ClusterError, ShardUnavailableError,
+])
+def test_error_round_trip(error_type):
+    original = error_type("shard 3 went away")
+    decoded = wire.decode_error(_json_round(wire.encode_error(original)))
+    assert type(decoded) is error_type
+    assert str(decoded) == str(original)
+
+
+def test_every_repro_error_type_is_decodable():
+    for name, value in vars(repro_errors).items():
+        if isinstance(value, type) and issubclass(value, ReproError):
+            assert wire.ERROR_TYPES[name] is value
+
+
+def test_unknown_error_type_degrades_to_base():
+    decoded = wire.decode_error({"type": "FutureError", "message": "boom"})
+    assert type(decoded) is ReproError
+    assert "FutureError" in str(decoded) and "boom" in str(decoded)
+
+
+# --------------------------------------------------------------------------- #
+# Execution statistics.
+# --------------------------------------------------------------------------- #
+
+_counters = st.integers(min_value=0, max_value=2**32)
+
+
+@given(_counters, _counters, _counters,
+       st.sampled_from(["nested", "wcoj"]))
+@settings(max_examples=60, deadline=None)
+def test_statistics_round_trip(executed, matched, cartesian, engine):
+    statistics = ExecutionStatistics()
+    statistics.patterns_executed = executed
+    statistics.triples_matched = matched
+    statistics.cartesian_joins = cartesian
+    statistics.engine = engine
+    payload = _json_round(wire.encode_statistics(statistics))
+    decoded = wire.decode_statistics(payload)
+    assert wire.encode_statistics(decoded) == payload
+
+
+@given(st.lists(st.fixed_dictionaries({
+    "patterns_executed": _counters,
+    "triples_matched": _counters,
+    "cartesian_joins": _counters,
+    "engine": st.sampled_from(["nested", "wcoj"]),
+}), max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_merge_statistics_sums_counters(payloads):
+    merged = wire.merge_statistics(payloads, engine="wcoj")
+    assert merged["engine"] == "wcoj"
+    for counter in ("patterns_executed", "triples_matched",
+                    "cartesian_joins"):
+        assert merged[counter] == sum(p[counter] for p in payloads)
+
+
+def test_merge_statistics_defaults():
+    assert wire.merge_statistics([])["engine"] == "nested"
+    merged = wire.merge_statistics([{"engine": "wcoj",
+                                     "patterns_executed": 2}])
+    assert merged["engine"] == "wcoj"
+    assert merged["patterns_executed"] == 2
+
+
+# --------------------------------------------------------------------------- #
+# Pushed-down queries.
+# --------------------------------------------------------------------------- #
+
+_terms = st.one_of(_ids, _names.map(lambda n: "?" + n))
+
+
+@given(st.lists(st.tuples(_terms, _terms, _terms),
+                min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_query_round_trip(rows):
+    templates = [TriplePatternTemplate(*row) for row in rows]
+    variables = sorted({term for row in rows for term in row
+                        if isinstance(term, str)})
+    query = SparqlQuery(projection=tuple(variables),
+                        bgp=BasicGraphPattern(templates))
+    payload = _json_round(wire.encode_query(query))
+    decoded = wire.decode_query(payload)
+    assert decoded.projection == query.projection
+    assert [t.terms() for t in decoded.bgp] == [t.terms() for t in query.bgp]
+
+
+def test_jsonio_delegates_to_wire():
+    from repro.service import jsonio
+    variables, rows = jsonio.bindings_to_json(
+        ["?a", "?b"], [{"?a": 1, "?b": 2}])
+    assert variables == ["a", "b"]
+    assert rows == [{"a": 1, "b": 2}]
