@@ -1,25 +1,31 @@
-"""Scatter-gather overhead and chaos bars for the sharded cluster.
+"""Scatter-gather, failover and chaos bars for the replicated cluster.
 
-Three phases against real ``repro`` subprocesses (shard servers + the
-coordinator's HTTP front, exactly the production topology):
+Four phases against real ``repro`` subprocesses (K x R shard serving
+processes + the coordinator's HTTP front, exactly the production
+topology):
 
 1. **baseline** — point lookups (bound-subject patterns, cache off) over
    HTTP against a single-box ``repro serve`` process;
-2. **cluster** — the same lookups against a ``repro coordinator`` over K
-   ``repro shard`` processes.  The acceptance bar is a median
+2. **cluster** — the same lookups against a ``repro coordinator`` over
+   K shards x R=2 replicas.  The acceptance bar is a median
    scatter-gather overhead of at most :data:`OVERHEAD_BAR` (2x) — a point
    lookup routes to exactly one shard, so the coordinator adds one RPC
    hop, not a fan-out;
-3. **chaos** — routed writes are acknowledged through the coordinator,
-   then one shard process is SIGKILLed mid-run.  The (best-effort)
-   coordinator must keep answering — broadcast queries return partial
-   results explicitly flagged ``incomplete`` — with ZERO coordinator
-   crashes, and after the shard restarts (WAL replay) ZERO acknowledged
-   writes may be missing.
+3. **failover** — one shard's *leader* process is SIGKILLed (a single
+   process; its follower survives) and the lookups are repeated.  Reads
+   must fail over to the follower with every result complete (never
+   flagged ``incomplete``) and the failover read path must stay within
+   the same :data:`OVERHEAD_BAR` of the single box;
+4. **chaos** — routed writes stream through the coordinator (the dead
+   leader forces a follower promotion mid-stream), then the shard's
+   *last* replica is SIGKILLed too.  Only now may broadcast reads come
+   back partial — explicitly flagged ``incomplete`` — with ZERO
+   coordinator crashes; and after the shard restarts (WAL replay) ZERO
+   acknowledged writes may be missing.
 
 Run directly (``python benchmarks/bench_cluster.py``) or as the CI smoke
-profile (``--ci``: fewer lookups and writes, same phases including the
-kill).  Writes ``benchmarks/results/BENCH_cluster.json``.
+profile (``--ci``: fewer lookups and writes, same phases including both
+kills).  Writes ``benchmarks/results/BENCH_cluster.json``.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ from repro.storage import save_index  # noqa: E402
 NUM_SUBJECTS = 2000
 OVERHEAD_BAR = 2.0
 NUM_SHARDS = 2
+NUM_REPLICAS = 2
 
 
 def _build_index_file(path: Path) -> tuple:
@@ -129,19 +136,24 @@ def _start_box(index_path: Path, wal: Path) -> tuple:
         r"http://([\d.]+):(\d+)")
     return proc, f"http://{match.group(1)}:{match.group(2)}"
 
-def _start_shard(cluster_dir: Path, shard_id: int, port: int):
+def _start_shard(cluster_dir: Path, shard_id: int, port: int,
+                 replica: int = 0):
     proc, _ = _spawn(
         ["shard", str(cluster_dir), "--id", str(shard_id),
-         "--port", str(port)],
-        rf"shard {shard_id} serving on ([\d.]+):(\d+)")
+         "--port", str(port), "--replica", str(replica)],
+        rf"shard {shard_id} \((?:leader|follower)\) serving on "
+        rf"([\d.]+):(\d+)")
     return proc
 
 
 def _start_coordinator(cluster_dir: Path, shard_ports: list) -> tuple:
+    """``shard_ports`` is one list of replica ports per shard, leader
+    first — exactly the ``--shard host:port,host:port`` CLI form."""
     arguments = ["coordinator", str(cluster_dir), "--port", "0",
                  "--quiet", "--best-effort"]
-    for port in shard_ports:
-        arguments += ["--shard", f"127.0.0.1:{port}"]
+    for ports in shard_ports:
+        arguments += ["--shard",
+                      ",".join(f"127.0.0.1:{port}" for port in ports)]
     proc, match = _spawn(arguments, r"http://([\d.]+):(\d+)")
     return proc, f"http://{match.group(1)}:{match.group(2)}"
 
@@ -177,6 +189,7 @@ def _measure_point_lookups(url: str, subjects: list, p0: int,
     """Median/p90 latency of bound-subject pattern lookups, cache off."""
     latencies = []
     checked = 0
+    incomplete = 0
     for i in range(count):
         subject = subjects[(i * 37) % len(subjects)]
         started = time.perf_counter()
@@ -186,10 +199,12 @@ def _measure_point_lookups(url: str, subjects: list, p0: int,
         latencies.append(time.perf_counter() - started)
         assert status == 200, (status, body)
         checked += len(body["triples"])
+        incomplete += bool(body.get("incomplete"))
     latencies.sort()
     return {
         "lookups": count,
         "matched_triples": checked,
+        "incomplete_results": incomplete,
         "median_ms": statistics.median(latencies) * 1e3,
         "p90_ms": latencies[int(0.9 * (len(latencies) - 1))] * 1e3,
         "max_ms": latencies[-1] * 1e3,
@@ -198,19 +213,31 @@ def _measure_point_lookups(url: str, subjects: list, p0: int,
 
 def _run_chaos(coordinator_url: str, cluster_dir: Path, shard_procs: list,
                shard_ports: list, num_writes: int) -> dict:
-    """Kill shard 1 mid-write-stream; count crashes and lost acks."""
+    """Write through a promotion, then kill the shard's last replica.
+
+    ``shard_procs``/``shard_ports`` hold one list per shard (leader
+    first).  Shard 1's leader is already dead when this runs (the
+    failover phase killed it), so the very first write routed there
+    exercises follower promotion.  Halfway through, the shard's last
+    replica is SIGKILLed too — only then may results go partial and
+    writes to that shard be rejected.
+    """
     acked = []
     coordinator_errors = 0
     incomplete_seen = 0
+    complete_while_replicated = 0
+    write_failures_while_replicated = 0
     write_failures_while_down = 0
+    whole_shard_down = False
 
     for i in range(num_writes):
         triple = [200_000 + i, 99, 300_000 + i]
         if i == num_writes // 2:
-            shard_procs[1].send_signal(signal.SIGKILL)
-            shard_procs[1].wait(timeout=10)
-            # Broadcast reads during the outage: the best-effort
-            # coordinator must answer 200 with the partial flag set.
+            # Kill the promoted follower as well: the whole shard is now
+            # gone and the partial-failure policy must become visible.
+            whole_shard_down = True
+            shard_procs[1][1].send_signal(signal.SIGKILL)
+            shard_procs[1][1].wait(timeout=10)
             for _ in range(3):
                 status, body = _post(coordinator_url, "/query",
                                      {"sparql": "SELECT ?s ?o WHERE "
@@ -220,6 +247,15 @@ def _run_chaos(coordinator_url: str, cluster_dir: Path, shard_procs: list,
                     coordinator_errors += 1
                 elif body.get("incomplete"):
                     incomplete_seen += 1
+        elif not whole_shard_down and i % 7 == 0:
+            # With one replica per shard still alive every broadcast
+            # must stay complete — a single process death is invisible.
+            status, body = _post(coordinator_url, "/query",
+                                 {"sparql": "SELECT ?s ?o WHERE "
+                                            "{ ?s 99 ?o }",
+                                  "cache": False})
+            if status == 200 and not body.get("incomplete"):
+                complete_while_replicated += 1
         try:
             status, body = _post(coordinator_url, "/update",
                                  {"insert": [triple]})
@@ -227,17 +263,26 @@ def _run_chaos(coordinator_url: str, cluster_dir: Path, shard_procs: list,
             status = None
         if status == 200:
             acked.append(triple)
-        else:
-            # Writes are fail-fast by contract: with an owning shard down
-            # they must be *rejected*, never half-acknowledged.
+        elif whole_shard_down:
+            # Writes are fail-fast by contract: with every replica of an
+            # owning shard down they must be *rejected*, never
+            # half-acknowledged.
             write_failures_while_down += 1
+        else:
+            # A surviving replica existed — the promotion path should
+            # have absorbed this write.
+            write_failures_while_replicated += 1
 
     # /healthz must still answer (degraded) — the coordinator survived.
     health_during = _get_health(coordinator_url)
 
-    # Restart the killed shard on its old port; WAL replay restores
-    # everything it ever acknowledged.
-    shard_procs[1] = _start_shard(cluster_dir, 1, shard_ports[1])
+    # Restart the killed shard on its old ports, leader first (followers
+    # tail the leader's epoch documents); WAL replay restores everything
+    # the shard ever acknowledged, including post-promotion writes.
+    shard_procs[1][0] = _start_shard(cluster_dir, 1, shard_ports[1][0],
+                                     replica=0)
+    shard_procs[1][1] = _start_shard(cluster_dir, 1, shard_ports[1][1],
+                                     replica=1)
     deadline = time.monotonic() + 30
     while time.monotonic() < deadline:
         if _get_health(coordinator_url).get("status") == "ok":
@@ -252,7 +297,9 @@ def _run_chaos(coordinator_url: str, cluster_dir: Path, shard_procs: list,
     return {
         "writes_attempted": num_writes,
         "writes_acknowledged": len(acked),
+        "writes_failed_while_replicated": write_failures_while_replicated,
         "writes_rejected_while_down": write_failures_while_down,
+        "complete_results_while_replicated": complete_while_replicated,
         "incomplete_results_seen": incomplete_seen,
         "coordinator_errors": coordinator_errors,
         "health_during_outage": health_during.get("status"),
@@ -270,6 +317,7 @@ def run_bench(lookups: int, chaos_writes: int) -> dict:
     index_path = tmp / "box.repro"
     num_triples, subjects, p0 = _build_index_file(index_path)
     report = {"num_triples": num_triples, "num_shards": NUM_SHARDS,
+              "num_replicas": NUM_REPLICAS,
               "overhead_bar": OVERHEAD_BAR, "cpus": os.cpu_count()}
 
     box_proc, box_url = _start_box(index_path, tmp / "box.wal")
@@ -282,12 +330,21 @@ def run_bench(lookups: int, chaos_writes: int) -> dict:
 
     subprocess.run(
         [sys.executable, "-m", "repro", "partition", str(index_path),
-         "-o", str(tmp / "cluster"), "--shards", str(NUM_SHARDS)],
+         "-o", str(tmp / "cluster"), "--shards", str(NUM_SHARDS),
+         "--replicas", str(NUM_REPLICAS)],
         env=_env(), check=True, stdout=subprocess.DEVNULL)
 
-    shard_ports = [18490 + i for i in range(NUM_SHARDS)]
-    shard_procs = [_start_shard(tmp / "cluster", i, shard_ports[i])
-                   for i in range(NUM_SHARDS)]
+    # One port list per shard, leader first; leaders must be up (epoch
+    # documents published) before their followers open.
+    shard_ports = [[18490 + shard + replica * NUM_SHARDS
+                    for replica in range(NUM_REPLICAS)]
+                   for shard in range(NUM_SHARDS)]
+    shard_procs = []
+    for shard in range(NUM_SHARDS):
+        shard_procs.append([
+            _start_shard(tmp / "cluster", shard, shard_ports[shard][replica],
+                         replica=replica)
+            for replica in range(NUM_REPLICAS)])
     coordinator_proc, coordinator_url = _start_coordinator(
         tmp / "cluster", shard_ports)
     try:
@@ -299,13 +356,26 @@ def run_bench(lookups: int, chaos_writes: int) -> dict:
             report["cluster"]["median_ms"]
             / report["single_box"]["median_ms"]
             if report["single_box"]["median_ms"] else float("nan"))
+
+        # Failover: SIGKILL shard 1's leader — a single process; its
+        # follower keeps serving reads, so nothing may go partial.
+        shard_procs[1][0].send_signal(signal.SIGKILL)
+        shard_procs[1][0].wait(timeout=10)
+        report["failover"] = _measure_point_lookups(
+            coordinator_url, subjects, p0, lookups)
+        report["failover_overhead"] = (
+            report["failover"]["median_ms"]
+            / report["single_box"]["median_ms"]
+            if report["single_box"]["median_ms"] else float("nan"))
+
         report["chaos"] = _run_chaos(coordinator_url, tmp / "cluster",
                                      shard_procs, shard_ports, chaos_writes)
     finally:
         _stop(coordinator_proc)
-        for proc in shard_procs:
-            if proc.poll() is None:
-                _stop(proc)
+        for group in shard_procs:
+            for proc in group:
+                if proc.poll() is None:
+                    _stop(proc)
     return report
 
 
@@ -315,15 +385,30 @@ def check_bars(report: dict) -> list:
         problems.append(
             f"point-lookup overhead {report['scatter_gather_overhead']:.2f}x "
             f"the single box (bar: {OVERHEAD_BAR}x)")
+    failover = report["failover"]
+    if report["failover_overhead"] > OVERHEAD_BAR:
+        problems.append(
+            f"failover read path {report['failover_overhead']:.2f}x the "
+            f"single box (bar: {OVERHEAD_BAR}x)")
+    if failover["incomplete_results"]:
+        problems.append(
+            f"{failover['incomplete_results']} results flagged incomplete "
+            f"with a follower still alive (bar: zero — one dead process "
+            f"must be invisible)")
     chaos = report["chaos"]
     if chaos["coordinator_errors"]:
         problems.append(
             f"{chaos['coordinator_errors']} coordinator failures during the "
             f"shard outage (bar: zero — best-effort must keep answering)")
+    if chaos["writes_failed_while_replicated"]:
+        problems.append(
+            f"{chaos['writes_failed_while_replicated']} writes failed while "
+            f"a replica survived (bar: zero — promotion must absorb a dead "
+            f"leader)")
     if not chaos["incomplete_results_seen"]:
         problems.append(
-            "no partial result was flagged incomplete during the outage "
-            "(bar: the flag must be explicit)")
+            "no partial result was flagged incomplete during the "
+            "whole-shard outage (bar: the flag must be explicit)")
     if chaos["acked_writes_lost"]:
         problems.append(
             f"chaos lost {chaos['acked_writes_lost']} acknowledged writes: "
@@ -332,10 +417,11 @@ def check_bars(report: dict) -> list:
 
 
 def _format_report(report: dict) -> str:
-    box, cluster, chaos = (report["single_box"], report["cluster"],
-                           report["chaos"])
+    box, cluster, failover, chaos = (report["single_box"], report["cluster"],
+                                     report["failover"], report["chaos"])
     return "\n".join([
-        f"Cluster — {report['num_shards']} shards over "
+        f"Cluster — {report['num_shards']} shards x "
+        f"{report['num_replicas']} replicas over "
         f"{report['num_triples']} triples, "
         f"{cluster['lookups']} point lookups per side",
         f"  single box      median {box['median_ms']:.2f} ms, "
@@ -344,12 +430,18 @@ def _format_report(report: dict) -> str:
         f"p90 {cluster['p90_ms']:.2f} ms",
         f"  overhead        {report['scatter_gather_overhead']:.2f}x "
         f"(bar {report['overhead_bar']}x)",
+        f"  failover        median {failover['median_ms']:.2f} ms "
+        f"({report['failover_overhead']:.2f}x, bar "
+        f"{report['overhead_bar']}x), "
+        f"{failover['incomplete_results']} incomplete",
         f"  chaos           {chaos['writes_acknowledged']} acked writes, "
-        f"{chaos['writes_rejected_while_down']} rejected while down, "
-        f"{chaos['acked_writes_lost']} lost",
+        f"{chaos['writes_failed_while_replicated']} failed while "
+        f"replicated, {chaos['writes_rejected_while_down']} rejected while "
+        f"down, {chaos['acked_writes_lost']} lost",
         f"  outage          {chaos['incomplete_results_seen']} partial "
         f"results flagged incomplete, "
-        f"{chaos['coordinator_errors']} coordinator errors, "
+        f"{chaos['complete_results_while_replicated']} complete while "
+        f"replicated, {chaos['coordinator_errors']} coordinator errors, "
         f"health {chaos['health_during_outage']}",
     ])
 

@@ -473,8 +473,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 
 def _command_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.storage import verify_container
 
+    if Path(args.index).is_dir():
+        return _verify_cluster_dir(args)
     report = verify_container(args.index)
     if args.json:
         from repro.service import jsonio
@@ -497,8 +501,52 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _verify_cluster_dir(args: argparse.Namespace) -> int:
+    """Verify a cluster directory: manifest signature + every container."""
+    from pathlib import Path
+
+    from repro.cluster.partition import MANIFEST_NAME, META_NAME, read_manifest
+    from repro.storage import verify_container
+
+    cluster_dir = Path(args.index)
+    manifest = read_manifest(cluster_dir / MANIFEST_NAME,
+                             getattr(args, "key", None))
+    containers = [manifest.get("meta_container", META_NAME)]
+    for entry in manifest["shards"]:
+        containers.append(entry["primary"])
+        if entry.get("replica"):
+            containers.append(entry["replica"])
+    reports = []
+    for name in containers:
+        reports.append(verify_container(cluster_dir / name))
+    ok = all(report["ok"] for report in reports)
+    if args.json:
+        from repro.service import jsonio
+        print(jsonio.dumps({
+            "ok": ok,
+            "manifest": {"num_shards": manifest["num_shards"],
+                         "num_replicas": manifest.get("num_replicas", 1),
+                         "version": manifest.get("version", 1),
+                         "num_triples": manifest["num_triples"]},
+            "containers": reports}))
+        return 0 if ok else 1
+    print(f"cluster: {cluster_dir}")
+    print(f"manifest: signature ok, {manifest['num_shards']} shard(s), "
+          f"{manifest.get('num_replicas', 1)} replica(s), topology version "
+          f"{manifest.get('version', 1)}, {manifest['num_triples']} triples")
+    for name, report in zip(containers, reports):
+        status = ("ok" if report["ok"]
+                  else "; ".join(str(p) for p in report["problems"]))
+        print(f"    {name:<28} {report['total_bytes']:>10} bytes  {status}")
+    if ok:
+        print("manifest and all container checksums verified")
+        return 0
+    print("error: container problem(s) found", file=sys.stderr)
+    return 1
+
+
 # --------------------------------------------------------------------------- #
-# partition / shard / coordinator
+# partition / rebalance / shard / coordinator
 # --------------------------------------------------------------------------- #
 
 def _command_partition(args: argparse.Namespace) -> int:
@@ -508,11 +556,13 @@ def _command_partition(args: argparse.Namespace) -> int:
     manifest = build_cluster(
         args.index, args.output, args.shards,
         layout=args.layout, replica_layout=args.replica_layout,
-        key=args.key, aligned=not args.no_align)
+        key=args.key, aligned=not args.no_align,
+        num_replicas=args.replicas)
     seconds = time.perf_counter() - started
     total = sum(entry["num_triples"] for entry in manifest["shards"])
     print(f"partitioned {total} triples into {manifest['num_shards']} "
-          f"shard(s) under {args.output} in {seconds:.3f}s")
+          f"shard(s) x {manifest['num_replicas']} replica(s) under "
+          f"{args.output} in {seconds:.3f}s")
     for entry in manifest["shards"]:
         line = (f"    shard {entry['id']}: {entry['num_triples']} primary "
                 f"triples ({entry['primary']})")
@@ -521,6 +571,24 @@ def _command_partition(args: argparse.Namespace) -> int:
                      f"({entry['replica']})")
         print(line)
     print("manifest: signed manifest.json (verify with the same key on load)")
+    return 0
+
+
+def _command_rebalance(args: argparse.Namespace) -> int:
+    from repro.cluster.partition import rebalance_cluster
+
+    started = time.perf_counter()
+    manifest = rebalance_cluster(
+        args.cluster, args.shards, key=args.key,
+        aligned=not args.no_align, num_replicas=args.replicas)
+    seconds = time.perf_counter() - started
+    print(f"rebalanced {manifest['num_triples']} triples into "
+          f"{manifest['num_shards']} shard(s) under {args.cluster} in "
+          f"{seconds:.3f}s (topology version {manifest['version']})")
+    for entry in manifest["shards"]:
+        print(f"    shard {entry['id']}: {entry['num_triples']} primary "
+              f"triples ({entry['primary']})")
+    print("restart the shard servers, then audit with 'repro verify'")
     return 0
 
 
@@ -558,26 +626,34 @@ def _command_shard(args: argparse.Namespace) -> int:
             f"{len(shards)} shard(s)")
     entry = shards[args.id]
     replica = entry.get("replica")
-    port = args.port if args.port is not None else 8390 + args.id
+    if args.port is not None:
+        port = args.port
+    else:
+        # Default layout: 8390 + id for leaders, then one block of K
+        # ports per extra replica (e.g. K=2: leaders 8390/8391,
+        # replica-1 processes 8392/8393).
+        port = 8390 + args.id + args.replica * len(shards)
     server = ShardServer(
         args.id, cluster_dir / entry["primary"],
         cluster_dir / replica if replica else None,
-        host=args.host, port=port,
+        host=args.host, port=port, replica_index=args.replica,
         compaction_ratio=args.compact_ratio, mmap=args.mmap, quiet=False)
     return _serve_until_interrupt(server.serve_forever, server.close)
 
 
 def _command_coordinator(args: argparse.Namespace) -> int:
-    from repro.cluster.coordinator import build_coordinator, parse_address
+    from repro.cluster.coordinator import build_coordinator, parse_replica_set
 
-    addresses = [parse_address(text) for text in args.shard]
+    addresses = [parse_replica_set(text) for text in args.shard]
     server = build_coordinator(
         args.cluster, addresses, host=args.host, port=args.port,
         key=args.key, quiet=args.quiet, best_effort=args.best_effort,
         default_timeout=args.timeout, max_limit=args.max_limit,
         engine=args.engine)
     host, port = server.server_address[:2]
-    print(f"coordinating {len(addresses)} shard(s) on http://{host}:{port}  "
+    endpoints = sum(len(group) for group in addresses)
+    print(f"coordinating {len(addresses)} shard(s) over {endpoints} "
+          f"endpoint(s) on http://{host}:{port}  "
           f"(POST /query, POST /update, POST /compact, GET /stats, "
           f"GET /metrics, GET /healthz; Ctrl-C to stop)", flush=True)
 
@@ -753,10 +829,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(handler=_command_serve)
 
     verify = subparsers.add_parser(
-        "verify", help="audit a saved index file's checksums and layout")
-    verify.add_argument("index", help="index file written by 'repro build'")
+        "verify", help="audit a saved index file (or a whole cluster "
+                       "directory) for checksum and layout problems")
+    verify.add_argument("index", help="index file written by 'repro build', "
+                                      "or a cluster directory written by "
+                                      "'repro partition' / 'repro rebalance'")
     verify.add_argument("--json", action="store_true",
                         help="print the integrity report as JSON")
+    verify.add_argument("--key", default=None,
+                        help="manifest signing key for cluster directories "
+                             "(default: $REPRO_CLUSTER_KEY or a built-in "
+                             "dev key)")
     verify.set_defaults(handler=_command_verify)
 
     partition = subparsers.add_parser(
@@ -781,7 +864,29 @@ def build_parser() -> argparse.ArgumentParser:
                                 "$REPRO_CLUSTER_KEY or a built-in dev key)")
     partition.add_argument("--no-align", action="store_true",
                            help="write unaligned (v2) shard containers")
+    partition.add_argument("--replicas", type=int, default=1, metavar="R",
+                           help="serving processes per shard (R-way "
+                                "replication over shared storage: replica 0 "
+                                "is the writable leader, the rest read-only "
+                                "WAL-tailing followers; default: 1)")
     partition.set_defaults(handler=_command_partition)
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="repartition a cluster directory to a new shard count")
+    rebalance.add_argument("cluster", help="cluster directory written by "
+                                           "'repro partition'")
+    rebalance.add_argument("--shards", type=int, required=True, metavar="K",
+                           help="new number of shards")
+    rebalance.add_argument("--replicas", type=int, default=None, metavar="R",
+                           help="new serving-process count per shard "
+                                "(default: keep the manifest's)")
+    rebalance.add_argument("--key", default=None,
+                           help="manifest signing key (default: "
+                                "$REPRO_CLUSTER_KEY or a built-in dev key)")
+    rebalance.add_argument("--no-align", action="store_true",
+                           help="write unaligned (v2) shard containers")
+    rebalance.set_defaults(handler=_command_rebalance)
 
     shard = subparsers.add_parser(
         "shard", help="serve one cluster shard over the cluster RPC")
@@ -789,11 +894,15 @@ def build_parser() -> argparse.ArgumentParser:
                                        "'repro partition'")
     shard.add_argument("--id", type=int, required=True,
                        help="shard id from the manifest")
+    shard.add_argument("--replica", type=int, default=0, metavar="N",
+                       help="replica index for this process (0 = writable "
+                            "leader, >0 = read-only WAL-tailing follower "
+                            "over the same containers; default: 0)")
     shard.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     shard.add_argument("--port", type=int, default=None,
-                       help="TCP port (default: 8390 + shard id; 0 picks a "
-                            "free port)")
+                       help="TCP port (default: 8390 + shard id + "
+                            "replica * K; 0 picks a free port)")
     shard.add_argument("--key", default=None,
                        help="manifest signing key (default: "
                             "$REPRO_CLUSTER_KEY or a built-in dev key)")
@@ -812,9 +921,10 @@ def build_parser() -> argparse.ArgumentParser:
     coordinator.add_argument("cluster", help="cluster directory written by "
                                              "'repro partition'")
     coordinator.add_argument("--shard", action="append", required=True,
-                             metavar="HOST:PORT",
-                             help="one shard endpoint per --shard flag, in "
-                                  "manifest shard-id order")
+                             metavar="HOST:PORT[,HOST:PORT...]",
+                             help="one --shard flag per shard in manifest "
+                                  "shard-id order; comma-separate that "
+                                  "shard's replica endpoints, leader first")
     coordinator.add_argument("--host", default="127.0.0.1",
                              help="bind address (default: 127.0.0.1)")
     coordinator.add_argument("--port", type=int, default=8378,

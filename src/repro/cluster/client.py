@@ -1,8 +1,10 @@
 """The coordinator's view of the shards: routing, scatter, fan-in.
 
-:class:`ClusterClient` owns one :class:`~repro.cluster.rpc.RpcClient`
-per shard and implements the routing rules the partitioner's layout
-promises (see :mod:`repro.cluster.partition`):
+:class:`ClusterClient` owns one :class:`ShardReplicaSet` per shard — a
+health-tracked group of :class:`~repro.cluster.rpc.RpcClient` endpoints
+over that shard's R serving processes — and implements the routing
+rules the partitioner's layout promises (see
+:mod:`repro.cluster.partition`):
 
 * subject bound → the one **primary** shard ``shard_of(s, K)``;
 * subject free, object bound (and replicas exist) → the one **replica**
@@ -10,7 +12,17 @@ promises (see :mod:`repro.cluster.partition`):
 * otherwise → broadcast over every primary shard (primaries partition
   the triple set, so chaining the disjoint streams is an exact union).
 
-:class:`ClusterIndex` wraps that routing behind the ordinary
+**Failover** lives in the replica set.  Reads prefer the endpoint that
+answered last (sticky, so a healthy replica keeps its warm caches) and
+on connection failure rotate to the next replica before the shard is
+declared down — a shard is only unavailable when *every* replica is.
+Writes go to the shard's leader; when the leader fails its whole retry
+budget the set promotes the next live replica (the ``promote`` RPC) and
+retries the write there.  Both paths fail over only on transport-level
+:class:`~repro.errors.ShardUnavailableError` — a remote application
+error is the answer, not a reason to ask someone else.
+
+:class:`ClusterIndex` wraps the routing behind the ordinary
 :class:`~repro.core.base.TripleIndex` interface — only ``select()`` is
 implemented, which is the one method both query engines need (the wcoj
 executor materialises per-pattern when no native cursors exist).  That
@@ -19,8 +31,8 @@ cache, result cache, limit/offset/timeout — run distributed joins.
 
 **Partial-failure policy** rides a per-request thread-local context:
 under ``best_effort`` a dead shard's contribution is skipped and the
-failure recorded (the coordinator marks the response ``incomplete``);
-fail-fast (the default) re-raises
+failure recorded (the coordinator marks the response ``incomplete`` and
+refuses to cache it); fail-fast (the default) re-raises
 :class:`~repro.errors.ShardUnavailableError`, which HTTP maps to 503.
 Writes are *always* fail-fast: an acknowledgement must mean every owning
 shard holds the triples in its WAL.
@@ -35,7 +47,7 @@ from repro.cluster import rpc
 from repro.cluster.partition import shard_of
 from repro.core.base import TripleIndex
 from repro.core.patterns import TriplePattern
-from repro.errors import ClusterError, ShardUnavailableError
+from repro.errors import ClusterError, NotLeaderError, ShardUnavailableError
 from repro import wire
 
 _context = threading.local()
@@ -66,31 +78,237 @@ def absorb_failure(shard_id: int, error: Exception) -> bool:
     return True
 
 
-class ClusterClient:
-    """RPC fan-out over the manifest's shards.
+def request_failures() -> Dict[int, str]:
+    """Failures recorded so far in the calling thread's open scope.
 
-    ``addresses`` lists one ``(host, port)`` per shard, in manifest
-    order — the deployment's mapping from shard id to endpoint.
+    Lets the coordinator's result cache refuse to store a page that was
+    computed while any shard was being skipped, without closing the
+    scope (``end_request``) prematurely.
+    """
+    return dict(getattr(_context, "failed", None) or {})
+
+
+def _normalize_endpoints(addresses) -> List[List[Tuple[str, int]]]:
+    """One list of ``(host, port)`` per shard, from either shape.
+
+    Accepts the PR 7 form (one ``(host, port)`` per shard) or the
+    replicated form (one sequence of endpoints per shard, leader first).
+    """
+    groups: List[List[Tuple[str, int]]] = []
+    for entry in addresses:
+        entry = list(entry)
+        if len(entry) == 2 and isinstance(entry[0], str):
+            groups.append([(entry[0], int(entry[1]))])
+        else:
+            group = [(str(host), int(port)) for host, port in entry]
+            if not group:
+                raise ClusterError("a shard needs at least one endpoint")
+            groups.append(group)
+    return groups
+
+
+class ShardReplicaSet:
+    """One shard's endpoints with sticky read preference and failover.
+
+    ``endpoints`` are ordered leader first (replica 0).  Reads start at
+    the last endpoint that answered and rotate on transport failure;
+    writes start at the believed leader and, once it has failed its
+    whole retry budget, promote the next live replica before retrying.
+    Thread-safe: the preference indices are advisory hints guarded by a
+    lock; the underlying :class:`~repro.cluster.rpc.RpcClient`s do their
+    own locking.
     """
 
-    def __init__(self, manifest: dict,
-                 addresses: Sequence[Tuple[str, int]],
+    def __init__(self, shard_id: int, endpoints: Sequence[Tuple[str, int]],
                  retries: int = 2, backoff: float = 0.05):
-        self.manifest = manifest
-        self.num_shards = int(manifest["num_shards"])
-        if len(addresses) != self.num_shards:
-            raise ClusterError(
-                f"manifest describes {self.num_shards} shard(s) but "
-                f"{len(addresses)} address(es) were given")
+        self.shard_id = int(shard_id)
         self.clients = [rpc.RpcClient(host, port, retries=retries,
                                       backoff=backoff)
-                        for host, port in addresses]
-        self.has_replicas = all(entry.get("replica")
-                                for entry in manifest["shards"])
+                        for host, port in endpoints]
+        self._lock = threading.Lock()
+        self._preferred = 0
+        self._leader = 0
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.clients)
+
+    def addresses(self) -> List[str]:
+        return [client.address for client in self.clients]
 
     def close(self) -> None:
         for client in self.clients:
             client.close()
+
+    def _rotation(self, start: int) -> List[int]:
+        count = len(self.clients)
+        return [(start + step) % count for step in range(count)]
+
+    def _mark_read(self, index: int) -> None:
+        with self._lock:
+            self._preferred = index
+
+    def _mark_leader(self, index: int) -> None:
+        with self._lock:
+            self._leader = index
+            self._preferred = index
+
+    def _unreachable(self, last_error: Optional[Exception]
+                     ) -> ShardUnavailableError:
+        return ShardUnavailableError(
+            f"shard {self.shard_id}: no replica reachable "
+            f"({', '.join(self.addresses())}): {last_error}")
+
+    # -- reads ---------------------------------------------------------- #
+
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """A read-path unary call with replica failover."""
+        with self._lock:
+            start = self._preferred
+        last_error: Optional[Exception] = None
+        for index in self._rotation(start):
+            try:
+                reply = self.clients[index].call(message)
+            except ShardUnavailableError as error:
+                last_error = error
+                continue
+            self._mark_read(index)
+            return reply
+        raise self._unreachable(last_error)
+
+    def stream(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """A streaming read with replica failover.
+
+        Failover happens only before the first frame —
+        :meth:`RpcClient.stream` raises before returning the iterator if
+        the peer is unreachable, and a mid-stream death cannot be
+        silently re-sent without duplicating rows.
+        """
+        with self._lock:
+            start = self._preferred
+        last_error: Optional[Exception] = None
+        for index in self._rotation(start):
+            try:
+                frames = self.clients[index].stream(message)
+            except ShardUnavailableError as error:
+                last_error = error
+                continue
+            self._mark_read(index)
+            return frames
+        raise self._unreachable(last_error)
+
+    # -- writes --------------------------------------------------------- #
+
+    def write(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """A leader unary call with promote-on-failure.
+
+        The believed leader goes first.  Only after it fails its whole
+        RPC retry budget is the next live replica asked to ``promote``
+        (reopening the writable stack over the shared container + WAL)
+        and the write retried there — shard ops are idempotent, so the
+        retry after an ambiguous first send cannot double-apply.
+        """
+        with self._lock:
+            start = self._leader
+        last_error: Optional[Exception] = None
+        for position, index in enumerate(self._rotation(start)):
+            client = self.clients[index]
+            try:
+                reply = client.call(message)
+            except NotLeaderError as error:
+                if position == 0:
+                    # Our leader pointer is stale (e.g. a killed leader
+                    # restarted as a follower); find the real one below.
+                    last_error = error
+                    continue
+                try:
+                    client.call({"op": "promote"})
+                    reply = client.call(message)
+                except (ShardUnavailableError, ClusterError) as promote_error:
+                    last_error = promote_error
+                    continue
+            except ShardUnavailableError as error:
+                last_error = error
+                continue
+            self._mark_leader(index)
+            return reply
+        raise ShardUnavailableError(
+            f"shard {self.shard_id}: no writable replica "
+            f"({', '.join(self.addresses())}): {last_error}")
+
+    # -- observability -------------------------------------------------- #
+
+    def health(self) -> Dict[str, Any]:
+        """The shard's health: the first reachable replica's report plus
+        per-replica reachability — a shard is only down when every
+        replica is."""
+        replicas = []
+        primary_report: Optional[Dict[str, Any]] = None
+        for index, client in enumerate(self.clients):
+            try:
+                report = client.call({"op": "health"})
+                report.pop("ok", None)
+                replicas.append({"address": client.address,
+                                 "status": "ok",
+                                 "role": report.get("role", "leader"),
+                                 "combined_epoch":
+                                     report.get("combined_epoch"),
+                                 "wal_lag": report.get("wal_lag", 0)})
+                if primary_report is None:
+                    primary_report = report
+            except Exception as error:  # noqa: BLE001 - health must degrade
+                replicas.append({"address": client.address,
+                                 "status": "unreachable",
+                                 "error": str(error)})
+        if primary_report is None:
+            return {"shard": self.shard_id, "status": "unreachable",
+                    "error": "no replica reachable",
+                    "replicas": replicas, "replicas_reachable": 0}
+        primary_report["replicas"] = replicas
+        primary_report["replicas_reachable"] = sum(
+            1 for entry in replicas if entry["status"] == "ok")
+        return primary_report
+
+    def stats(self) -> Dict[str, Any]:
+        last_error: Optional[Exception] = None
+        for client in self.clients:
+            try:
+                report = client.call({"op": "stats"})
+                report.pop("ok", None)
+                return report
+            except Exception as error:  # noqa: BLE001 - stats must degrade
+                last_error = error
+        return {"shard": self.shard_id, "status": "unreachable",
+                "error": str(last_error)}
+
+
+class ClusterClient:
+    """RPC fan-out over the manifest's shards.
+
+    ``addresses`` lists, per shard in manifest order, either one
+    ``(host, port)`` endpoint (an unreplicated deployment) or a sequence
+    of them — that shard's replica set, leader first.
+    """
+
+    def __init__(self, manifest: dict,
+                 addresses: Sequence,
+                 retries: int = 2, backoff: float = 0.05):
+        self.manifest = manifest
+        self.num_shards = int(manifest["num_shards"])
+        groups = _normalize_endpoints(addresses)
+        if len(groups) != self.num_shards:
+            raise ClusterError(
+                f"manifest describes {self.num_shards} shard(s) but "
+                f"{len(groups)} address group(s) were given")
+        self.shards = [ShardReplicaSet(shard_id, endpoints,
+                                       retries=retries, backoff=backoff)
+                       for shard_id, endpoints in enumerate(groups)]
+        self.has_replicas = all(entry.get("replica")
+                                for entry in manifest["shards"])
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
 
     # ------------------------------------------------------------------ #
     # Pattern routing.
@@ -116,7 +334,7 @@ class ClusterClient:
                    "side": side}
         for shard_id in targets:
             try:
-                stream = self.clients[shard_id].stream(message)
+                stream = self.shards[shard_id].stream(message)
             except ShardUnavailableError as error:
                 if absorb_failure(shard_id, error):
                     continue
@@ -152,7 +370,7 @@ class ClusterClient:
             message["timeout"] = float(timeout)
         rows: List[Dict[str, int]] = []
         trailer: dict = {}
-        for frame in self.clients[shard_id].stream(message):
+        for frame in self.shards[shard_id].stream(message):
             for row in frame.get("rows", ()):
                 rows.append({wire.variable_sigil(name): int(value)
                              for name, value in row.items()})
@@ -206,7 +424,7 @@ class ClusterClient:
         for shard_id in sorted(plan):
             message = {"op": "update"}
             message.update(plan[shard_id])
-            replies.append(self.clients[shard_id].call(message))
+            replies.append(self.shards[shard_id].write(message))
         aggregated = {
             "inserted": sum(reply.get("primary", {}).get("inserted", 0)
                             for reply in replies),
@@ -222,8 +440,8 @@ class ClusterClient:
 
     def compact(self) -> Dict[str, Any]:
         """Compact every shard (both sides); aggregate the reports."""
-        replies = [client.call({"op": "compact"})
-                   for client in self.clients]
+        replies = [shard.write({"op": "compact"})
+                   for shard in self.shards]
         return {
             "compacted": any(reply.get("primary", {}).get("compacted")
                              for reply in replies),
@@ -239,29 +457,12 @@ class ClusterClient:
     # ------------------------------------------------------------------ #
 
     def health(self) -> List[Dict[str, Any]]:
-        """Per-shard health; an unreachable shard reports an error entry."""
-        reports = []
-        for shard_id, client in enumerate(self.clients):
-            try:
-                report = client.call({"op": "health"})
-                report.pop("ok", None)
-                reports.append(report)
-            except Exception as error:  # noqa: BLE001 - health must degrade
-                reports.append({"shard": shard_id, "status": "unreachable",
-                                "error": str(error)})
-        return reports
+        """Per-shard health (with per-replica detail); a shard reports
+        unreachable only when *no* replica answers."""
+        return [shard.health() for shard in self.shards]
 
     def stats(self) -> List[Dict[str, Any]]:
-        reports = []
-        for shard_id, client in enumerate(self.clients):
-            try:
-                report = client.call({"op": "stats"})
-                report.pop("ok", None)
-                reports.append(report)
-            except Exception as error:  # noqa: BLE001 - stats must degrade
-                reports.append({"shard": shard_id, "status": "unreachable",
-                                "error": str(error)})
-        return reports
+        return [shard.stats() for shard in self.shards]
 
 
 class ClusterIndex(TripleIndex):

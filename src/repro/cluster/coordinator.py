@@ -24,12 +24,13 @@ becomes a routed ``select`` scatter.  Correctness needs nothing beyond
 ``select()``, which is exactly what the facade provides.
 
 The **partial-failure policy** is chosen at coordinator start
-(``best_effort=True``) — reads then skip unreachable shards and mark
-the response ``incomplete`` (and skip the result cache, so a partial
-page is never served after the shard returns); the default is fail-fast
-(503).  Writes are always fail-fast and idempotent, so a retried batch
-cannot double-apply and an acknowledgement means every owning shard has
-the triples WAL-durable.
+(``best_effort=True``) — reads then skip shards whose whole replica set
+is unreachable and mark the response ``incomplete``; the default is
+fail-fast (503).  The result cache stores complete responses only (an
+incomplete page is computed fresh every time and never served later),
+so best-effort mode keeps its cache hits.  Writes are always fail-fast
+and idempotent, so a retried batch cannot double-apply and an
+acknowledgement means every owning shard has the triples WAL-durable.
 """
 
 from __future__ import annotations
@@ -44,6 +45,7 @@ from repro.cluster.client import (
     absorb_failure,
     begin_request,
     end_request,
+    request_failures,
 )
 from repro.cluster.partition import (
     MANIFEST_NAME,
@@ -62,6 +64,31 @@ from repro.queries.sparql import is_variable
 from repro.service.engine import QueryResult, QueryService
 from repro.service.http import QueryServiceHandler, QueryServiceServer, _run_one
 from repro import wire
+
+
+class _CompleteOnlyResultCache:
+    """A result-cache wrapper that refuses to store partial pages.
+
+    Only ``put`` is guarded: a page computed while any shard was being
+    skipped (the thread-local request scope recorded failures) is never
+    stored, so everything *in* the cache is a complete response and
+    lookups need no guard — best-effort mode keeps its cache hits, and
+    only actually-incomplete results bypass the cache.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def put(self, key, value) -> None:
+        if request_failures():
+            return
+        self._inner.put(key, value)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
 
 
 class ClusterWriteResult:
@@ -93,6 +120,9 @@ class ClusterQueryService(QueryService):
         self._cluster = cluster
         self.best_effort = bool(best_effort)
         self._request_state = threading.local()
+        # Complete responses are cacheable even in best-effort mode; only
+        # a page computed with a shard skipped must never be stored.
+        self._result_cache = _CompleteOnlyResultCache(self._result_cache)
 
     @classmethod
     def from_cluster_dir(cls, cluster_dir,
@@ -152,9 +182,9 @@ class ClusterQueryService(QueryService):
                 engine: Optional[str] = None) -> QueryResult:
         if isinstance(query, str):
             query = self.parse(query)
-        # A partial page must never be cached or served from cache: in
-        # best-effort mode every request recomputes against live shards.
-        use_cache = use_cache and not self.best_effort
+        # The guarded result cache holds complete responses only, so
+        # best-effort requests may both read it and (when every shard
+        # answered) populate it; a partial page is never stored.
         begin_request(self.best_effort)
         failures: Dict[int, str] = {}
         try:
@@ -240,7 +270,6 @@ class ClusterQueryService(QueryService):
 
     def select(self, pattern, limit: Optional[int] = None, offset: int = 0,
                use_cache: bool = True):
-        use_cache = use_cache and not self.best_effort
         begin_request(self.best_effort)
         try:
             return super().select(pattern, limit=limit, offset=offset,
@@ -389,6 +418,19 @@ def parse_address(text: str) -> Tuple[str, int]:
         raise ClusterError(
             f"shard address must be host:port, got {text!r}")
     return host, int(port)
+
+
+def parse_replica_set(text: str) -> List[Tuple[str, int]]:
+    """``host:port[,host:port...]`` → one shard's replica endpoints.
+
+    The leader's endpoint comes first; a plain ``host:port`` is the
+    unreplicated degenerate case.
+    """
+    endpoints = [parse_address(part.strip())
+                 for part in text.split(",") if part.strip()]
+    if not endpoints:
+        raise ClusterError(f"no shard endpoints in {text!r}")
+    return endpoints
 
 
 def build_coordinator(cluster_dir, addresses: Sequence[Tuple[str, int]],

@@ -37,7 +37,7 @@ import hmac
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core import build_index
 from repro.errors import ClusterError, StorageError
@@ -56,7 +56,11 @@ from repro.storage.index_io import (
 )
 from repro.storage.codecs import dumps_object, loads_object
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+#: Manifest versions this build can read.  Version 1 (PR 7) predates
+#: replication and topology versioning; it normalises to ``num_replicas=1``
+#: and topology ``version=1`` on read.
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 META_NAME = "cluster-meta.repro"
 PARTITION_SCHEME = "splitmix64-mod"
@@ -125,10 +129,14 @@ def read_manifest(path, key: Optional[str] = None) -> dict:
             f"{path}: manifest signature mismatch — wrong key or the "
             f"manifest was modified after signing")
     version = int(manifest.get("manifest_version", 0))
-    if version != MANIFEST_VERSION:
+    if version not in SUPPORTED_MANIFEST_VERSIONS:
         raise ClusterError(
             f"{path}: manifest version {version} not supported "
-            f"(this build reads version {MANIFEST_VERSION})")
+            f"(this build reads versions {SUPPORTED_MANIFEST_VERSIONS})")
+    # Normalise version-1 manifests to the version-2 vocabulary so every
+    # consumer sees one shape.
+    manifest.setdefault("num_replicas", 1)
+    manifest.setdefault("version", 1)
     return manifest
 
 
@@ -173,12 +181,60 @@ def _shard_save(triples: List[Tuple[int, int, int]], path, layout: str,
     return {"num_triples": int(index.num_triples), "bytes": int(size)}
 
 
+def _partition_triples(triples, num_shards: int, with_replicas: bool
+                       ) -> Tuple[List[List[Tuple[int, int, int]]],
+                                  List[List[Tuple[int, int, int]]], int]:
+    """Route an iterable of triples into per-shard primary/replica lists."""
+    primary: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
+    replica: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
+    total = 0
+    for triple in triples:
+        total += 1
+        primary[shard_of(triple[0], num_shards)].append(triple)
+        if with_replicas:
+            replica[shard_of(triple[2], num_shards)].append(triple)
+    return primary, replica, total
+
+
+def _write_shards(out: Path, primary, replica, num_shards: int, layout: str,
+                  replica_layout: str, with_replicas: bool, dictionary,
+                  aligned: bool) -> List[dict]:
+    """Write every shard container; returns the manifest ``shards`` list.
+
+    A shard that received no triples on a side still gets a valid (empty)
+    container: skewed small datasets with a large K legitimately leave
+    hash buckets empty, and an empty shard answers every pattern with
+    zero rows — exactly the right contribution to a scatter.
+    """
+    shards = []
+    for shard in range(num_shards):
+        primary_name = f"shard-{shard:03d}.repro"
+        primary_info = _shard_save(primary[shard], out / primary_name,
+                                   layout, dictionary, aligned)
+        entry = {
+            "id": shard,
+            "primary": primary_name,
+            "replica": None,
+            "num_triples": primary_info["num_triples"],
+            "replica_num_triples": 0,
+        }
+        if with_replicas:
+            replica_name = f"shard-{shard:03d}-replica.repro"
+            replica_info = _shard_save(replica[shard], out / replica_name,
+                                       replica_layout, dictionary, aligned)
+            entry["replica"] = replica_name
+            entry["replica_num_triples"] = replica_info["num_triples"]
+        shards.append(entry)
+    return shards
+
+
 def build_cluster(source_path, out_dir, num_shards: int,
                   layout: Optional[str] = None,
                   replica_layout: str = "2to",
                   key: Optional[str] = None,
                   aligned: bool = True,
-                  mmap: bool = False) -> dict:
+                  mmap: bool = False,
+                  num_replicas: int = 1) -> dict:
     """Partition a built index container into ``num_shards`` shard files.
 
     Writes, under ``out_dir``: ``shard-NNN.repro`` (subject-partitioned
@@ -188,11 +244,20 @@ def build_cluster(source_path, out_dir, num_shards: int,
     lookups broadcast instead), ``cluster-meta.repro`` and a signed
     ``manifest.json``.  Returns the manifest.
 
-    A shard that would receive no triples on either side is an error:
-    the data has too few distinct subjects/objects for ``num_shards``.
+    ``num_replicas`` records how many serving processes each shard's
+    containers are assigned to (R-way process replication over shared
+    storage): replica 0 is the shard's leader (writable, WAL + epoch
+    publication), replicas 1..R-1 are read-only followers tailing the
+    leader's WAL.  The containers themselves are written once — the
+    processes share them.
+
+    A shard that receives no triples on a side gets a valid empty
+    container (small or skewed data with a large K is legitimate).
     """
     if num_shards < 1:
         raise ClusterError(f"num_shards must be >= 1, got {num_shards}")
+    if num_replicas < 1:
+        raise ClusterError(f"num_replicas must be >= 1, got {num_replicas}")
     with_replicas = replica_layout not in (None, "none")
     loaded = load_index(source_path, mmap=mmap)
     if loaded.dictionary is None:
@@ -205,42 +270,11 @@ def build_cluster(source_path, out_dir, num_shards: int,
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
-    primary: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
-    replica: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
-    total = 0
-    for triple in index.select((None, None, None)):
-        total += 1
-        primary[shard_of(triple[0], num_shards)].append(triple)
-        if with_replicas:
-            replica[shard_of(triple[2], num_shards)].append(triple)
-    for shard in range(num_shards):
-        if not primary[shard] or (with_replicas and not replica[shard]):
-            side = "subjects" if not primary[shard] else "objects"
-            raise ClusterError(
-                f"shard {shard} of {num_shards} would be empty (no {side} "
-                f"hash to it); the data is too small for this shard "
-                f"count — reduce --shards")
-
-    shards = []
-    for shard in range(num_shards):
-        primary_name = f"shard-{shard:03d}.repro"
-        primary_info = _shard_save(primary[shard], out / primary_name,
-                                   layout, loaded.dictionary, aligned)
-        entry = {
-            "id": shard,
-            "primary": primary_name,
-            "replica": None,
-            "num_triples": primary_info["num_triples"],
-            "replica_num_triples": 0,
-        }
-        if with_replicas:
-            replica_name = f"shard-{shard:03d}-replica.repro"
-            replica_info = _shard_save(replica[shard], out / replica_name,
-                                       replica_layout, loaded.dictionary,
-                                       aligned)
-            entry["replica"] = replica_name
-            entry["replica_num_triples"] = replica_info["num_triples"]
-        shards.append(entry)
+    primary, replica, total = _partition_triples(
+        index.select((None, None, None)), num_shards, with_replicas)
+    shards = _write_shards(out, primary, replica, num_shards, layout,
+                           replica_layout, with_replicas, loaded.dictionary,
+                           aligned)
 
     global_stats = loaded.planner_stats
     if global_stats is None:
@@ -256,6 +290,8 @@ def build_cluster(source_path, out_dir, num_shards: int,
         "partition": {"scheme": PARTITION_SCHEME,
                       "primary_key": "subject", "replica_key": "object"},
         "num_shards": num_shards,
+        "num_replicas": int(num_replicas),
+        "version": 1,
         "num_triples": total,
         "layout": layout,
         "replica_layout": replica_layout,
@@ -265,3 +301,111 @@ def build_cluster(source_path, out_dir, num_shards: int,
     }
     write_manifest(out / MANIFEST_NAME, manifest, key)
     return manifest
+
+
+# --------------------------------------------------------------------------- #
+# Rebalancing.
+# --------------------------------------------------------------------------- #
+
+def _shard_triples_with_wal(path) -> Iterator[Tuple[int, int, int]]:
+    """Every triple a shard container holds, WAL tail included.
+
+    Loads the container (base + any persisted delta) and folds in the
+    shard's WAL file if one exists beside it — the same replay the shard
+    server performs on restart, so rebalancing sees exactly the
+    acknowledged state.
+    """
+    from repro.dynamic.delta import DeltaState
+    from repro.dynamic.index import SnapshotIndex
+    from repro.storage.wal import WalReader
+
+    loaded = load_index(path)
+    base = loaded.index
+    delta = loaded.delta or DeltaState.empty()
+    wal_path = Path(str(path) + ".wal")
+    if wal_path.exists():
+        for inserts, deletes in WalReader(wal_path).read():
+            delta, _, _ = delta.apply(base, inserts=inserts, deletes=deletes,
+                                      validate=False)
+    return SnapshotIndex(base, delta, epoch=0).select((None, None, None))
+
+
+def rebalance_cluster(cluster_dir, num_shards: int,
+                      key: Optional[str] = None,
+                      aligned: bool = True,
+                      num_replicas: Optional[int] = None) -> dict:
+    """Repartition an existing cluster directory to ``num_shards`` shards.
+
+    An offline, manifest-versioned move: every current shard's primary
+    container is loaded (with its WAL tail folded in, so no acknowledged
+    write is lost), the union is re-routed under the same splitmix64
+    scheme, fresh shard containers are written, and a new manifest is
+    signed with its topology ``version`` incremented.  Stale WAL/epoch
+    sidecar files and out-of-range shard containers are removed — the
+    folded-in WALs must not be replayed over the rebuilt containers.
+
+    Shard servers must be stopped while rebalancing (it rewrites the
+    files under them); ``repro verify`` checks the result.
+    """
+    if num_shards < 1:
+        raise ClusterError(f"num_shards must be >= 1, got {num_shards}")
+    cluster = Path(cluster_dir)
+    manifest = read_manifest(cluster / MANIFEST_NAME, key)
+    with_replicas = manifest.get("replica_layout") not in (None, "none")
+    layout = manifest.get("layout", "2tp")
+    replica_layout = manifest.get("replica_layout", "none")
+    if num_replicas is None:
+        num_replicas = int(manifest.get("num_replicas", 1))
+    if num_replicas < 1:
+        raise ClusterError(f"num_replicas must be >= 1, got {num_replicas}")
+
+    # Primaries partition the triple set, so chaining them (WAL included)
+    # reproduces the full data exactly once.
+    def all_triples():
+        for entry in manifest["shards"]:
+            yield from _shard_triples_with_wal(cluster / entry["primary"])
+
+    primary, replica, total = _partition_triples(
+        all_triples(), num_shards, with_replicas)
+
+    dictionary, global_stats, _ = load_cluster_meta(
+        cluster / manifest.get("meta_container", META_NAME))
+    if dictionary is None:
+        raise ClusterError(
+            f"{cluster}: cluster meta container has no dictionary")
+
+    # Remove every stale sidecar first: the old WALs are folded into the
+    # new containers and must never be replayed again.
+    for pattern in ("shard-*.repro.wal", "shard-*.repro.epoch"):
+        for stale in cluster.glob(pattern):
+            stale.unlink()
+
+    shards = _write_shards(cluster, primary, replica, num_shards, layout,
+                           replica_layout, with_replicas, dictionary, aligned)
+
+    # Drop containers beyond the new shard count (shrinking K).
+    for stale in cluster.glob("shard-*.repro"):
+        if not any(stale.name in (entry["primary"], entry.get("replica"))
+                   for entry in shards):
+            stale.unlink()
+
+    store = TripleStore.from_triples(
+        triple for bucket in primary for triple in bucket)
+    global_stats = QueryPlanner.cardinalities_from_store(store)
+    _write_cluster_meta(cluster / META_NAME, dictionary, global_stats,
+                        {"kind": "cluster-meta", "num_shards": num_shards,
+                         "num_triples": total})
+
+    new_manifest = dict(manifest)
+    new_manifest.update({
+        "manifest_version": MANIFEST_VERSION,
+        "num_shards": num_shards,
+        "num_replicas": int(num_replicas),
+        "version": int(manifest.get("version", 1)) + 1,
+        "num_triples": total,
+        "layout": layout,
+        "replica_layout": replica_layout,
+        "shards": shards,
+    })
+    write_manifest(cluster / MANIFEST_NAME, new_manifest, key)
+    return new_manifest

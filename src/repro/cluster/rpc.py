@@ -35,6 +35,7 @@ operation is idempotent by design); an unreachable peer surfaces as
 from __future__ import annotations
 
 import json
+import random
 import socket
 import socketserver
 import struct
@@ -57,6 +58,23 @@ STREAM_CHUNK_ROWS = 512
 _CONNECT_TIMEOUT = 5.0
 #: Compactions rebuild the index, so the reply timeout is generous.
 _REPLY_TIMEOUT = 600.0
+
+#: Ceiling on any single retry sleep.  Uncapped exponential backoff turns a
+#: shard restart into a multi-second stall; anything a retry can fix (a
+#: restarting process, a dropped socket) resolves well under a second.
+MAX_BACKOFF = 1.0
+
+
+def backoff_delay(attempt: int, base: float, cap: float = MAX_BACKOFF) -> float:
+    """Full-jitter delay before retry ``attempt`` (1-based).
+
+    The exponential bound ``base * 2**(attempt-1)`` is capped at ``cap``
+    and the actual sleep drawn uniformly from ``[0, bound]`` — full jitter
+    desynchronises a coordinator fan-out so K clients retrying one dead
+    shard do not reconnect in lockstep storms.
+    """
+    bound = min(float(cap), float(base) * (2 ** (max(attempt, 1) - 1)))
+    return random.uniform(0.0, bound)
 
 
 def recv_exactly(sock: socket.socket, count: int,
@@ -249,10 +267,12 @@ def serve_in_thread(server: RpcServer) -> threading.Thread:
 class RpcClient:
     """One shard's endpoint: retried unary calls + pooled stream sockets.
 
-    ``retries`` counts *re*-attempts after the first try; backoff doubles
-    from ``backoff`` seconds between attempts.  Thread-safe: unary calls
-    serialise on the persistent socket's lock, streams each draw a
-    dedicated socket from the free-list.
+    ``retries`` counts *re*-attempts after the first try; between attempts
+    the client sleeps a full-jitter exponential delay starting from
+    ``backoff`` seconds and capped at :data:`MAX_BACKOFF` (no sleep after
+    the final attempt).  Thread-safe: unary calls serialise on the
+    persistent socket's lock, streams each draw a dedicated socket from
+    the free-list.
     """
 
     def __init__(self, host: str, port: int,
@@ -299,8 +319,6 @@ class RpcClient:
         last_error: Optional[Exception] = None
         with self._lock:
             for attempt in range(self.retries + 1):
-                if attempt:
-                    time.sleep(self.backoff * (2 ** (attempt - 1)))
                 try:
                     if self._sock is None:
                         self._sock = self._connect()
@@ -315,6 +333,8 @@ class RpcClient:
                             self._sock.close()
                         finally:
                             self._sock = None
+                    if attempt < self.retries:
+                        time.sleep(backoff_delay(attempt + 1, self.backoff))
                     continue
                 if reply.get("ok", False):
                     return reply
@@ -346,12 +366,12 @@ class RpcClient:
         payload = json.dumps(message).encode("utf-8")
         last_error: Optional[Exception] = None
         for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
             try:
                 sock = self._checkout()
             except OSError as exc:
                 last_error = exc
+                if attempt < self.retries:
+                    time.sleep(backoff_delay(attempt + 1, self.backoff))
                 continue
             try:
                 send_frame(sock, payload)
@@ -364,6 +384,8 @@ class RpcClient:
                     sock.close()
                 except OSError:
                     pass
+                if attempt < self.retries:
+                    time.sleep(backoff_delay(attempt + 1, self.backoff))
                 continue
             return self._consume(sock, first)
         raise ShardUnavailableError(

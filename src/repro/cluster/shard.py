@@ -1,16 +1,40 @@
 """One shard of the cluster: the single-box serve stack behind an RPC.
 
-A :class:`ShardServer` wraps two ordinary
-:class:`~repro.service.engine.QueryService` instances — the
-subject-partitioned **primary** and the object-partitioned **replica**
-container — each writable with its own shard-local WAL, plan/result
-caches, compaction trigger and latency statistics.  Everything the
-single-box server learned (epoch-keyed caching, WAL-first durability,
-snapshot-pinned reads) is reused unchanged; the only new code is the
-:mod:`repro.cluster.rpc` surface the coordinator talks to:
+A :class:`ShardServer` serves one shard's **primary** (subject-routed)
+and **replica** (object-routed) containers.  Since PR 9 a shard may be
+served by R processes over the same files — ``replica_index`` selects
+the process's role:
+
+**Leader** (``replica_index == 0``)
+    two writable :class:`~repro.service.engine.QueryService` instances,
+    each with its own shard-local WAL, plan/result caches, compaction
+    trigger and latency statistics.  Every write is applied WAL-first
+    and the shard's epoch documents are published *before* the
+    acknowledgement, mirroring the pool writer's
+    no-lost-acknowledged-writes contract.  The leader publishes one
+    epoch document per side (``<container>.epoch``) — that is the WAL
+    shipping channel to the followers.
+
+**Follower** (``replica_index > 0``)
+    read-only services over :class:`~repro.dynamic.follower.EpochFollower`
+    views of the same containers, refreshed at the start of every read:
+    the follower stats the leader's epoch document and tail-replays the
+    acknowledged WAL records through :class:`~repro.storage.wal.WalReader`
+    — exactly the pre-fork pool's worker replication path.  Because the
+    leader publishes before acknowledging, an acknowledged write is
+    always readable from any follower that refreshed after the ack.
+    Writes and compactions answer :class:`~repro.errors.NotLeaderError`.
+    The ``promote`` op turns a follower into the leader: it reopens the
+    writable stack over the shared container + WAL (replaying every
+    acknowledged record) and resumes the published epoch history, so a
+    coordinator that confirmed the old leader dead can fail writes over
+    without losing an acknowledged triple.
+
+The :mod:`repro.cluster.rpc` surface the coordinator talks to:
 
 ``ping`` / ``health`` / ``stats``
-    liveness, ``combined_epoch`` + WAL state, aggregated service reports.
+    liveness (now with ``role``), ``combined_epoch`` + WAL state,
+    aggregated service reports.
 ``select`` (streaming)
     one triple pattern against the primary or replica side — the
     coordinator's distributed-join probe path.  Rows stream lazily off
@@ -19,18 +43,16 @@ snapshot-pinned reads) is reused unchanged; the only new code is the
     a whole dictionary-encoded BGP executed locally (the coordinator's
     star-pushdown path) through ``QueryService.execute`` — plan cache,
     result cache and engine selection included.
-``update`` / ``compact``
-    routed writes: the coordinator sends each shard exactly the triples
-    it owns, split into a primary and a replica portion; both are applied
-    WAL-first under one lock and the shard's epoch document is published
-    *before* the acknowledgement, mirroring the pool writer's
-    no-lost-acknowledged-writes contract.  Updates are idempotent (set
-    semantics), so a coordinator retry after an ambiguous failure is
-    safe.
+``update`` / ``compact`` / ``promote``
+    routed writes (leader only): the coordinator sends each shard
+    exactly the triples it owns, split into a primary and a replica
+    portion; both are applied WAL-first under one lock.  Updates are
+    idempotent (set semantics), so a coordinator retry after an
+    ambiguous failure is safe.
 
 Epoch publication follows :mod:`repro.dynamic.follower`: one atomically
-replaced JSON document per shard, ``generation`` bumped when a persisted
-compaction re-points the container.
+replaced JSON document per container, ``generation`` bumped when a
+persisted compaction re-points the container.
 """
 
 from __future__ import annotations
@@ -41,11 +63,12 @@ from typing import Any, Dict, Iterator, Optional
 
 from repro.cluster import rpc
 from repro.dynamic.follower import (
+    EpochFollower,
     combined_epoch,
     read_epoch_document,
     write_epoch_document,
 )
-from repro.errors import ClusterError
+from repro.errors import ClusterError, NotLeaderError
 from repro.service.engine import QueryService
 from repro import wire
 
@@ -55,46 +78,45 @@ class ShardServer:
 
     ``replica_path=None`` runs a primary-only shard (K=1 clusters and
     tests); object-routed lookups then fall back to the primary side.
-    ``service_options`` forward to both underlying ``QueryService``s.
+    ``replica_index`` picks the process role: 0 is the shard leader
+    (writable), anything higher a read-only follower over the same
+    files.  ``service_options`` forward to the underlying
+    ``QueryService``s.
     """
 
     def __init__(self, shard_id: int, primary_path, replica_path=None,
                  host: str = "127.0.0.1", port: int = 0,
                  compaction_ratio: Optional[float] = None,
                  mmap: bool = True, quiet: bool = True,
+                 replica_index: int = 0,
                  service_options: Optional[dict] = None):
         self.shard_id = int(shard_id)
         self.primary_path = str(primary_path)
         self.replica_path = str(replica_path) if replica_path else None
+        self.replica_index = int(replica_index)
         self.quiet = quiet
-        options = dict(service_options or {})
+        self._options = dict(service_options or {})
+        self._compaction_ratio = compaction_ratio
+        self._mmap = mmap
         self.wal_path = self.primary_path + ".wal"
         self.epoch_path = self.primary_path + ".epoch"
-        self.primary = QueryService.from_file(
-            self.primary_path, writable=True, wal_path=self.wal_path,
-            compaction_ratio=compaction_ratio, mmap=mmap, **options)
+        self.replica_wal_path = (self.replica_path + ".wal"
+                                 if self.replica_path else None)
+        self.replica_epoch_path = (self.replica_path + ".epoch"
+                                   if self.replica_path else None)
+        self.primary: QueryService
         self.replica: Optional[QueryService] = None
-        if self.replica_path is not None:
-            self.replica = QueryService.from_file(
-                self.replica_path, writable=True,
-                wal_path=self.replica_path + ".wal",
-                compaction_ratio=compaction_ratio, mmap=mmap, **options)
-        # One lock serialises apply + publish + ack across both sides.
+        self._primary_follower: Optional[EpochFollower] = None
+        self._replica_follower: Optional[EpochFollower] = None
+        # One lock serialises apply + publish + ack across both sides
+        # (and, on a follower, a promotion against everything else).
         self._write_lock = threading.Lock()
         self._generation = 0
-        previous = read_epoch_document(self.epoch_path)
-        if previous is not None:
-            # Resume the published history: the WAL replay reproduced the
-            # acknowledged state, so epochs continue monotonically.
-            self._generation = int(previous.get("generation", 0))
-            published = combined_epoch(self._generation,
-                                       int(previous.get("epoch", 0)))
-            if self.combined_epoch() < published:
-                # A clean shutdown folded the WAL into the base container,
-                # resetting the delta epoch to zero; a new generation keeps
-                # the shard's combined epoch above everything it ever
-                # acknowledged, so follower caches stay invalidated.
-                self._generation += 1
+        self._replica_generation = 0
+        if self.is_leader:
+            self._open_leader()
+        else:
+            self._open_follower()
         self._server = rpc.RpcServer((host, port), {
             "ping": self._op_ping,
             "health": self._op_health,
@@ -103,11 +125,94 @@ class ShardServer:
             "query": self._op_query,
             "update": self._op_update,
             "compact": self._op_compact,
+            "promote": self._op_promote,
         })
         self.host = host
         self.port = self._server.port
         self._thread: Optional[threading.Thread] = None
-        self._publish()
+        if self.is_leader:
+            self._publish()
+
+    @property
+    def is_leader(self) -> bool:
+        return self.replica_index == 0
+
+    @property
+    def role(self) -> str:
+        return "leader" if self.is_leader else "follower"
+
+    # ------------------------------------------------------------------ #
+    # Role stacks.
+    # ------------------------------------------------------------------ #
+
+    def _open_leader(self) -> None:
+        """Open the writable stack: WAL-replaying services on both sides,
+        resuming the published generation history so combined epochs stay
+        monotonic across restarts and promotions."""
+        self.primary = QueryService.from_file(
+            self.primary_path, writable=True, wal_path=self.wal_path,
+            compaction_ratio=self._compaction_ratio, mmap=self._mmap,
+            **self._options)
+        if self.replica_path is not None:
+            self.replica = QueryService.from_file(
+                self.replica_path, writable=True,
+                wal_path=self.replica_wal_path,
+                compaction_ratio=self._compaction_ratio, mmap=self._mmap,
+                **self._options)
+        self._primary_follower = None
+        self._replica_follower = None
+        self._generation = self._resume_generation(
+            self.epoch_path, lambda: int(
+                self._delta(self.primary).get("epoch", 0)))
+        if self.replica_path is not None:
+            self._replica_generation = self._resume_generation(
+                self.replica_epoch_path, lambda: int(
+                    self._delta(self.replica).get("epoch", 0)))
+
+    def _resume_generation(self, epoch_path, current_epoch) -> int:
+        previous = read_epoch_document(epoch_path)
+        if previous is None:
+            return 0
+        # Resume the published history: the WAL replay reproduced the
+        # acknowledged state, so epochs continue monotonically.
+        generation = int(previous.get("generation", 0))
+        published = combined_epoch(generation, int(previous.get("epoch", 0)))
+        if combined_epoch(generation, current_epoch()) < published:
+            # A clean shutdown folded the WAL into the base container,
+            # resetting the delta epoch to zero; a new generation keeps
+            # the shard's combined epoch above everything it ever
+            # acknowledged, so follower caches stay invalidated.
+            generation += 1
+        return generation
+
+    def _open_follower(self) -> None:
+        """Open read-only services over epoch-following views of the
+        leader's containers (the WAL-shipping consumer side)."""
+        self._primary_follower = EpochFollower(
+            self.primary_path, self.epoch_path, mmap=self._mmap)
+        self.primary = QueryService(
+            self._primary_follower,
+            dictionary=self._primary_follower.dictionary,
+            cardinalities=self._primary_follower.planner_stats,
+            meta=self._primary_follower.meta,
+            writable=False, **self._options)
+        if self.replica_path is not None:
+            self._replica_follower = EpochFollower(
+                self.replica_path, self.replica_epoch_path, mmap=self._mmap)
+            self.replica = QueryService(
+                self._replica_follower,
+                dictionary=self._replica_follower.dictionary,
+                cardinalities=self._replica_follower.planner_stats,
+                meta=self._replica_follower.meta,
+                writable=False, **self._options)
+
+    def _refresh(self) -> None:
+        """Catch a follower up with the leader's published epoch documents
+        (one ``stat`` each when nothing changed); no-op on the leader."""
+        if self._primary_follower is not None:
+            self._primary_follower.refresh()
+        if self._replica_follower is not None:
+            self._replica_follower.refresh()
 
     # ------------------------------------------------------------------ #
     # Lifecycle.
@@ -115,7 +220,7 @@ class ShardServer:
 
     def serve_forever(self) -> None:
         if not self.quiet:
-            print(f"shard {self.shard_id} serving on "
+            print(f"shard {self.shard_id} ({self.role}) serving on "
                   f"{self.host}:{self.port} (pid {os.getpid()})", flush=True)
         self._server.serve_forever(poll_interval=0.1)
 
@@ -146,6 +251,8 @@ class ShardServer:
         return dict(stats()) if stats is not None else {}
 
     def combined_epoch(self) -> int:
+        if self._primary_follower is not None:
+            return int(self._primary_follower.combined_epoch)
         return combined_epoch(
             self._generation, int(self._delta(self.primary).get("epoch", 0)))
 
@@ -161,39 +268,66 @@ class ShardServer:
             "shard": self.shard_id,
             "pid": os.getpid(),
         })
+        if self.replica_epoch_path is not None:
+            write_epoch_document(self.replica_epoch_path, {
+                "generation": self._replica_generation,
+                "epoch": int(replica.get("epoch", 0)),
+                "wal": self.replica_wal_path,
+                "wal_records": int(replica.get("wal_records", 0)),
+                "shard": self.shard_id,
+                "pid": os.getpid(),
+            })
 
     def _note_compaction(self) -> None:
         if getattr(self.primary, "_persist_error", None) is None:
             self._generation += 1
+
+    def _note_replica_compaction(self) -> None:
+        if getattr(self.replica, "_persist_error", None) is None:
+            self._replica_generation += 1
 
     # ------------------------------------------------------------------ #
     # Read ops.
     # ------------------------------------------------------------------ #
 
     def _op_ping(self, message: dict) -> dict:
-        return {"pid": os.getpid(), "shard": self.shard_id}
+        return {"pid": os.getpid(), "shard": self.shard_id,
+                "role": self.role, "replica_index": self.replica_index}
 
     def _op_health(self, message: dict) -> dict:
-        primary = self._delta(self.primary)
-        return {
+        self._refresh()
+        report = {
             "shard": self.shard_id,
             "status": "ok",
+            "role": self.role,
+            "replica_index": self.replica_index,
             "combined_epoch": self.combined_epoch(),
-            "generation": self._generation,
-            "epoch": int(primary.get("epoch", 0)),
-            # The shard applies its own writes synchronously, so its view
-            # never trails the WAL: lag is by construction zero.  The
-            # field exists so coordinator /healthz can sum follower lags
-            # uniformly across pool workers and shards.
-            "wal_lag": 0,
-            "wal_records": int(primary.get("wal_records", 0)),
             "num_triples": int(self.primary.index.num_triples),
             "has_replica": self.replica is not None,
         }
+        if self._primary_follower is not None:
+            report["generation"] = self._primary_follower.generation
+            report["epoch"] = self._primary_follower.epoch
+            # Published records this follower has not applied yet; the
+            # publish-before-ack contract plus refresh-per-read keeps it
+            # at zero on every served request.
+            report["wal_lag"] = int(self._primary_follower.wal_lag())
+            report["wal_records"] = 0
+        else:
+            primary = self._delta(self.primary)
+            report["generation"] = self._generation
+            report["epoch"] = int(primary.get("epoch", 0))
+            # The leader applies its own writes synchronously, so its
+            # view never trails the WAL: lag is by construction zero.
+            report["wal_lag"] = 0
+            report["wal_records"] = int(primary.get("wal_records", 0))
+        return report
 
     def _op_stats(self, message: dict) -> dict:
+        self._refresh()
         payload: Dict[str, Any] = {
             "shard": self.shard_id,
+            "role": self.role,
             "primary": self.primary.statistics(),
         }
         if self.replica is not None:
@@ -215,6 +349,7 @@ class ShardServer:
         if not isinstance(raw, (list, tuple)) or len(raw) != 3:
             raise ClusterError(f"malformed select pattern {raw!r}")
         pattern = tuple(None if term is None else int(term) for term in raw)
+        self._refresh()
         service = self._side(str(message.get("side", "primary")))
         index = service.index
         factory = getattr(index, "snapshot", None)
@@ -236,6 +371,7 @@ class ShardServer:
         timeout = message.get("timeout")
         engine = message.get("engine")
         use_cache = bool(message.get("use_cache", True))
+        self._refresh()
         result = self.primary.execute(
             query, limit=None if limit is None else int(limit),
             offset=offset, timeout=timeout, engine=engine,
@@ -257,6 +393,13 @@ class ShardServer:
     # Write ops.
     # ------------------------------------------------------------------ #
 
+    def _require_leader(self, op: str) -> None:
+        if not self.is_leader:
+            raise NotLeaderError(
+                f"shard {self.shard_id} replica {self.replica_index} is a "
+                f"read-only follower; send {op!r} to the leader (or promote "
+                f"this replica once the leader is confirmed dead)")
+
     @staticmethod
     def _portion(message: dict, side: str) -> Dict[str, list]:
         portion = message.get(side) or {}
@@ -266,6 +409,7 @@ class ShardServer:
         }
 
     def _op_update(self, message: dict) -> dict:
+        self._require_leader("update")
         primary = self._portion(message, "primary")
         replica = self._portion(message, "replica")
         with self._write_lock:
@@ -282,21 +426,51 @@ class ShardServer:
                 replica_result = self.replica.update(
                     inserts=replica["insert"], deletes=replica["delete"])
                 reply["replica"] = replica_result.to_json()
+                if (replica_result.compaction is not None
+                        and replica_result.compaction.compacted):
+                    self._note_replica_compaction()
             # Publish before acknowledging: once the coordinator sees the
-            # reply the write is WAL-durable and epoch-visible.
+            # reply the write is WAL-durable and epoch-visible — on every
+            # follower of this shard, not just here.
             self._publish()
             reply["combined_epoch"] = self.combined_epoch()
         return reply
 
     def _op_compact(self, message: dict) -> dict:
+        self._require_leader("compact")
         with self._write_lock:
             result = self.primary.compact()
             reply: Dict[str, Any] = {"shard": self.shard_id,
                                      "primary": result.to_json()}
             if self.replica is not None:
-                reply["replica"] = self.replica.compact().to_json()
+                replica_result = self.replica.compact()
+                reply["replica"] = replica_result.to_json()
+                if replica_result.compacted:
+                    self._note_replica_compaction()
             if result.compacted:
                 self._note_compaction()
             self._publish()
             reply["combined_epoch"] = self.combined_epoch()
         return reply
+
+    def _op_promote(self, message: dict) -> dict:
+        """Become this shard's leader (idempotent).
+
+        Safe when the old leader is dead: the writable stack reopens over
+        the shared container + WAL, replaying every acknowledged record,
+        and resumes the published generation history.  The caller (the
+        coordinator's write failover) only promotes after the configured
+        leader failed its whole retry budget.  The old follower views are
+        simply dropped — in-flight readers keep their pinned snapshots.
+        """
+        with self._write_lock:
+            if not self.is_leader:
+                self._open_leader()
+                self.replica_index = 0
+                self._publish()
+                promoted = True
+            else:
+                promoted = False
+            return {"shard": self.shard_id, "role": self.role,
+                    "promoted": promoted,
+                    "combined_epoch": self.combined_epoch()}

@@ -53,19 +53,20 @@ class IndexBuilder:
 
     def __init__(self, store: TripleStore,
                  trie_configs: Optional[Dict[str, TrieConfig]] = None):
-        if len(store) == 0:
-            raise IndexBuildError("cannot index an empty triple store")
         self._store = store
         self._configs = dict(DEFAULT_TRIE_CONFIGS)
         if trie_configs:
             self._configs.update(trie_configs)
         # Universe sizes per role: the first trie level is implicit, so its
-        # size is the largest identifier + 1 of the role it represents.
+        # size is the largest identifier + 1 of the role it represents.  An
+        # empty store (legitimate for partitioned shards that received no
+        # triples) gets the minimal one-node universe.
         columns = store.columns()
+        nonempty = len(store) > 0
         self._role_universe = {
-            SUBJECT: int(columns[SUBJECT].max()) + 1,
-            PREDICATE: int(columns[PREDICATE].max()) + 1,
-            OBJECT: int(columns[OBJECT].max()) + 1,
+            SUBJECT: int(columns[SUBJECT].max()) + 1 if nonempty else 1,
+            PREDICATE: int(columns[PREDICATE].max()) + 1 if nonempty else 1,
+            OBJECT: int(columns[OBJECT].max()) + 1 if nonempty else 1,
         }
 
     @property

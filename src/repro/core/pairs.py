@@ -39,14 +39,12 @@ class PairStructure:
         seconds = np.asarray(seconds, dtype=np.int64)
         if firsts.size != seconds.size:
             raise IndexBuildError("pair columns must have equal length")
-        if firsts.size == 0:
-            raise IndexBuildError("cannot build a pair structure over zero pairs")
         stacked = np.stack([firsts, seconds], axis=1)
         unique = np.unique(stacked, axis=0)
         first_sorted = unique[:, 0]
         second_sorted = unique[:, 1]
         if num_first is None:
-            num_first = int(first_sorted.max()) + 1
+            num_first = int(first_sorted.max()) + 1 if first_sorted.size else 1
         boundaries = np.searchsorted(first_sorted, np.arange(num_first + 1))
         pointers = EliasFano.from_values(boundaries.tolist())
         values = make_ranged_sequence(second_sorted.tolist(), boundaries.tolist(),

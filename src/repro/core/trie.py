@@ -338,18 +338,18 @@ class PermutationTrie:
         n = int(first.size)
         if not (first.size == second.size == third.size):
             raise IndexBuildError("trie columns must have equal length")
-        if n == 0:
-            raise IndexBuildError("cannot build a trie over zero triples")
 
         if num_first is None:
-            num_first = int(first.max()) + 1
+            num_first = int(first.max()) + 1 if n else 1
 
         # Level 0 pointers: for each first-level ID, where its (first, second)
         # pairs start in the level-1 node sequence.  First find the distinct
-        # (first, second) pairs.
+        # (first, second) pairs.  Zero triples yields a structurally valid
+        # empty trie (all pointer ranges collapse to [0, 0)).
         pair_change = np.empty(n, dtype=bool)
-        pair_change[0] = True
-        pair_change[1:] = (first[1:] != first[:-1]) | (second[1:] != second[:-1])
+        if n:
+            pair_change[0] = True
+            pair_change[1:] = (first[1:] != first[:-1]) | (second[1:] != second[:-1])
         pair_starts = np.nonzero(pair_change)[0]
         pair_first = first[pair_starts]
         pair_second = second[pair_starts]

@@ -85,6 +85,15 @@ class ShardUnavailableError(ClusterError):
     """
 
 
+class NotLeaderError(ClusterError):
+    """A write or compaction was sent to a follower replica.
+
+    Followers serve reads only; the coordinator reacts by promoting a
+    replica (after the leader is confirmed dead) or redirecting the write
+    to the current leader.
+    """
+
+
 class StorageError(ReproError):
     """A persisted index file cannot be written or read back.
 

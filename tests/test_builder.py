@@ -25,9 +25,14 @@ class TestBuild:
         with pytest.raises(IndexBuildError):
             builder.build("7t")
 
-    def test_empty_store_rejected(self):
-        with pytest.raises(IndexBuildError):
-            IndexBuilder(TripleStore.from_triples([]))
+    @pytest.mark.parametrize("layout", sorted(LAYOUTS))
+    def test_empty_store_builds_empty_index(self, layout):
+        # An empty shard of a hash-partitioned cluster is legitimate: the
+        # index must build and answer every pattern with zero rows.
+        index = IndexBuilder(TripleStore.from_triples([])).build(layout)
+        assert index.num_triples == 0
+        assert list(index.select((None, None, None))) == []
+        assert list(index.select((0, None, 5))) == []
 
     def test_build_index_convenience(self, small_store, reference_triples):
         index = build_index(small_store, "2tp")

@@ -504,11 +504,43 @@ class TestClusterCommands:
         assert (out / "shard-001-replica.repro").exists()
         assert main(["verify", str(out / "shard-000.repro")]) == 0
 
-    def test_partition_too_many_shards_fails(self, index_file, tmp_path,
-                                             capsys):
-        assert main(["partition", str(index_file), "-o",
-                     str(tmp_path / "c"), "--shards", "64"]) == 1
-        assert "reduce --shards" in capsys.readouterr().err
+    def test_partition_more_shards_than_subjects(self, index_file, tmp_path,
+                                                 capsys):
+        # More hash buckets than subjects leaves some shards empty — a
+        # legitimate layout, not an error (used to raise).
+        out = tmp_path / "c"
+        assert main(["partition", str(index_file), "-o", str(out),
+                     "--shards", "8"]) == 0
+        assert "8 shard(s)" in capsys.readouterr().out
+        assert main(["verify", str(out)]) == 0
+
+    def test_partition_with_replicas_and_verify_dir(self, big_index,
+                                                    tmp_path, capsys):
+        out = tmp_path / "cluster"
+        assert main(["partition", str(big_index), "-o", str(out),
+                     "--shards", "2", "--replicas", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "2 shard(s) x 2 replica(s)" in printed
+        assert main(["verify", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "2 replica(s)" in printed
+        assert "all container checksums verified" in printed
+
+    def test_rebalance_rewrites_topology(self, big_index, tmp_path, capsys):
+        out = tmp_path / "cluster"
+        assert main(["partition", str(big_index), "-o", str(out),
+                     "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["rebalance", str(out), "--shards", "3"]) == 0
+        printed = capsys.readouterr().out
+        assert "3 shard(s)" in printed
+        assert "topology version 2" in printed
+        assert (out / "shard-002.repro").exists()
+        assert main(["verify", str(out), "--json"]) == 0
+        report = __import__("json").loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["manifest"]["num_shards"] == 3
+        assert report["manifest"]["version"] == 2
 
     def test_shard_id_out_of_range_fails(self, big_index, tmp_path, capsys):
         out = tmp_path / "cluster"

@@ -1,9 +1,10 @@
-"""The sharded cluster: partitioner, shard RPC, coordinator, chaos.
+"""The sharded cluster: partitioner, replication, coordinator, chaos.
 
 The load-bearing property is **differential**: for every shard count K
 (including K=1) and both executors, the coordinator must return exactly
 the bindings the single-box service returns over the same data — through
-interleaved inserts, deletes, compactions and a shard kill + restart.
+interleaved inserts, deletes, compactions, shard kills + restarts, and
+(with R > 1 serving processes per shard) the loss of any single replica.
 Everything runs in-process (shard servers on background threads, real TCP
 between coordinator and shards), so the suite exercises the actual RPC
 framing without subprocess management.
@@ -22,17 +23,20 @@ from repro.cluster.coordinator import (
     ClusterQueryService,
     CoordinatorServer,
     parse_address,
+    parse_replica_set,
 )
 from repro.cluster.partition import (
     MANIFEST_NAME,
     build_cluster,
     read_manifest,
+    rebalance_cluster,
     shard_of,
     splitmix64,
+    write_manifest,
 )
 from repro.cluster.shard import ShardServer
 from repro.core import build_index
-from repro.errors import ClusterError, ShardUnavailableError
+from repro.errors import ClusterError, NotLeaderError, ShardUnavailableError
 from repro.queries.planner import QueryPlanner
 from repro.rdf.dictionary import RdfDictionary
 from repro.service.engine import QueryService
@@ -71,37 +75,72 @@ def source_container(tmp_path_factory):
 
 
 class _Cluster:
-    """An in-process cluster: shard threads + a connected coordinator."""
+    """An in-process cluster: shard threads + a connected coordinator.
 
-    def __init__(self, source, directory, num_shards, **service_options):
+    With ``num_replicas > 1`` every shard gets R serving processes over
+    the same containers — replica 0 the writable leader, the rest
+    read-only followers tailing its WAL.  ``source=None`` reopens an
+    existing cluster directory (e.g. after a rebalance) without
+    rebuilding it.
+    """
+
+    def __init__(self, source, directory, num_shards, num_replicas=1,
+                 **service_options):
         self.directory = directory
-        self.manifest = build_cluster(source, directory, num_shards)
-        self.shards = []
+        self.num_replicas = num_replicas
+        if source is None:
+            self.manifest = read_manifest(directory / MANIFEST_NAME)
+        else:
+            self.manifest = build_cluster(source, directory, num_shards,
+                                          num_replicas=num_replicas)
+        self.servers = []
         for entry in self.manifest["shards"]:
-            self.shards.append(self._spawn(entry, port=0))
+            # The leader publishes the epoch documents the followers
+            # tail, so replica 0 must be up before any follower opens.
+            self.servers.append([self._spawn(entry, port=0, replica=index)
+                                 for index in range(num_replicas)])
         self.service = ClusterQueryService.from_cluster_dir(
             directory, self.addresses(), **service_options)
 
-    def _spawn(self, entry, port):
+    def _spawn(self, entry, port, replica=0):
+        replica_container = (None if entry["replica"] is None
+                             else self.directory / entry["replica"])
         return ShardServer(
             entry["id"], self.directory / entry["primary"],
-            self.directory / entry["replica"], port=port).start()
+            replica_container, port=port, replica_index=replica).start()
+
+    @property
+    def shards(self):
+        """The per-shard leader servers (the PR 7 single-process view)."""
+        return [group[0] for group in self.servers]
 
     def addresses(self):
-        return [(shard.host, shard.port) for shard in self.shards]
+        if self.num_replicas == 1:
+            return [(group[0].host, group[0].port)
+                    for group in self.servers]
+        return [[(server.host, server.port) for server in group]
+                for group in self.servers]
 
-    def kill(self, shard_id):
-        self.shards[shard_id].close()
+    def kill(self, shard_id, replica=None):
+        """Stop one replica process, or the whole shard when unset."""
+        group = self.servers[shard_id]
+        for server in (group if replica is None else [group[replica]]):
+            server.close()
 
-    def restart(self, shard_id):
-        port = self.shards[shard_id].port
+    def restart(self, shard_id, replica=None):
         entry = self.manifest["shards"][shard_id]
-        self.shards[shard_id] = self._spawn(entry, port=port)
+        indices = (range(self.num_replicas) if replica is None
+                   else [replica])
+        for index in indices:
+            port = self.servers[shard_id][index].port
+            self.servers[shard_id][index] = self._spawn(
+                entry, port=port, replica=index)
 
     def close(self):
         self.service.close()
-        for shard in self.shards:
-            shard.close()
+        for group in self.servers:
+            for server in group:
+                server.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -146,14 +185,61 @@ class TestPartitioner:
             read_manifest(tmp_path / "c" / MANIFEST_NAME, "secret-b")
         read_manifest(tmp_path / "c" / MANIFEST_NAME, "secret-a")
 
-    def test_too_many_shards_is_an_error(self, tmp_path):
+    def test_more_shards_than_subjects_builds_empty_shards(self, tmp_path):
+        # Regression: K greater than the number of distinct subjects used
+        # to be a build error.  An empty hash bucket is legitimate (small
+        # or skewed data); the shard gets a valid empty container that
+        # answers every pattern with zero rows.
         dictionary, store = RdfDictionary.from_term_triples(
             [("<http://x/a>", "<http://x/p>", "<http://x/b>")])
         index = build_index(store, "2tp")
         path = tmp_path / "tiny.repro"
         save_index(index, path, dictionary=dictionary)
-        with pytest.raises(ClusterError, match="reduce --shards"):
-            build_cluster(path, tmp_path / "c", 4)
+        manifest = build_cluster(path, tmp_path / "c", 4)
+        assert len(manifest["shards"]) == 4
+        populated = 0
+        for entry in manifest["shards"]:
+            service = QueryService.from_file(tmp_path / "c" / entry["primary"])
+            rows = service.select((None, None, None), limit=10).triples
+            populated += bool(rows)
+            service.close()
+        assert populated == 1  # one subject lands in exactly one bucket
+
+        # The cluster over those shards still answers exactly.
+        cluster = _Cluster(path, tmp_path / "cl", 4)
+        try:
+            result = cluster.service.select((None, None, None), limit=10)
+            assert len(result.triples) == 1
+            empty = cluster.service.select((999, None, None), limit=10,
+                                           use_cache=False)
+            assert list(empty.triples) == []
+        finally:
+            cluster.close()
+
+    def test_manifest_v1_is_normalized_on_read(self, source_container,
+                                               tmp_path):
+        build_cluster(source_container, tmp_path / "c", 2)
+        path = tmp_path / "c" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())["manifest"]
+        # Strip the v2 vocabulary and re-sign, exactly what a PR 7
+        # partitioner would have written.
+        manifest["manifest_version"] = 1
+        del manifest["num_replicas"]
+        del manifest["version"]
+        write_manifest(path, manifest)
+        reread = read_manifest(path)
+        assert reread["num_replicas"] == 1
+        assert reread["version"] == 1
+
+    def test_rejects_unknown_manifest_version(self, source_container,
+                                              tmp_path):
+        build_cluster(source_container, tmp_path / "c", 2)
+        path = tmp_path / "c" / MANIFEST_NAME
+        manifest = json.loads(path.read_text())["manifest"]
+        manifest["manifest_version"] = 99
+        write_manifest(path, manifest)
+        with pytest.raises(ClusterError, match="version 99"):
+            read_manifest(path)
 
     def test_replica_layout_none(self, source_container, tmp_path):
         manifest = build_cluster(source_container, tmp_path / "c", 2,
@@ -296,6 +382,53 @@ def test_best_effort_marks_partial_results(source_container, tmp_path):
         cluster.close()
 
 
+def test_best_effort_caches_complete_pages(source_container, tmp_path):
+    # Regression: best-effort mode used to bypass the result cache for
+    # every request.  Complete responses are cacheable — only a page
+    # computed while a shard was being skipped must never be stored.
+    cluster = _Cluster(source_container, tmp_path / "c", 2,
+                       best_effort=True)
+    try:
+        query = "SELECT ?a ?b ?c WHERE { ?a 0 ?b . ?b 0 ?c }"
+        complete = cluster.service.execute(query, limit=10**6)
+        assert complete.statistics["incomplete"] is False
+        repeat = cluster.service.execute(query, limit=10**6)
+        assert repeat.cached is True
+        assert repeat.bindings == complete.bindings
+
+        # The cached page was computed while every shard answered, so a
+        # shard dying later must not degrade it to a partial recompute.
+        cluster.kill(0)
+        served = cluster.service.execute(query, limit=10**6)
+        assert served.cached is True
+        assert served.statistics["incomplete"] is False
+        assert served.bindings == complete.bindings
+    finally:
+        cluster.close()
+
+
+def test_partial_pages_are_never_cached(source_container, tmp_path):
+    cluster = _Cluster(source_container, tmp_path / "c", 2,
+                       best_effort=True)
+    try:
+        query = "SELECT ?x ?z WHERE { ?x 1 ?y . ?y 0 ?z }"
+        cluster.kill(0)
+        partial = cluster.service.execute(query, limit=10**6)
+        assert partial.statistics["incomplete"] is True
+        assert partial.cached is False
+        again = cluster.service.execute(query, limit=10**6)
+        assert again.cached is False  # nothing partial was stored
+
+        # Once the shard is back the same request heals to the full
+        # answer — a cached partial page would have been served instead.
+        cluster.restart(0)
+        healed = cluster.service.execute(query, limit=10**6)
+        assert healed.statistics["incomplete"] is False
+        assert len(healed.bindings) >= len(partial.bindings)
+    finally:
+        cluster.close()
+
+
 def test_star_query_single_shard_pushdown(source_container, tmp_path):
     cluster = _Cluster(source_container, tmp_path / "c", 2)
     try:
@@ -354,6 +487,197 @@ def test_shard_epoch_survives_restart(source_container, tmp_path):
         assert cluster.shards[owner].combined_epoch() >= before
     finally:
         cluster.close()
+
+
+# --------------------------------------------------------------------------- #
+# Process replication and failover (R > 1).
+# --------------------------------------------------------------------------- #
+
+class TestReplication:
+    def test_followers_serve_acked_writes(self, source_container, tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           num_replicas=2)
+        try:
+            batch = [(9101, 9100, 9102), (9102, 9100, 9101)]
+            cluster.service.update(inserts=batch)
+            # Ask each follower directly: publish-before-ack means the
+            # write is epoch-visible there the moment the ack returned.
+            for shard_id, group in enumerate(cluster.servers):
+                follower = group[1]
+                client = rpc.RpcClient(follower.host, follower.port,
+                                       retries=0)
+                try:
+                    report = client.call({"op": "health"})
+                    assert report["role"] == "follower"
+                    assert report["wal_lag"] == 0
+                    rows = []
+                    for frame in client.stream(
+                            {"op": "select",
+                             "pattern": [None, 9100, None],
+                             "side": "primary"}):
+                        rows.extend(tuple(row)
+                                    for row in frame.get("rows", ()))
+                finally:
+                    client.close()
+                expected = [t for t in batch
+                            if shard_of(t[0], 2) == shard_id]
+                assert sorted(rows) == sorted(expected)
+        finally:
+            cluster.close()
+
+    def test_followers_reject_writes(self, source_container, tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           num_replicas=2)
+        try:
+            follower = cluster.servers[0][1]
+            client = rpc.RpcClient(follower.host, follower.port, retries=0)
+            try:
+                with pytest.raises(NotLeaderError, match="follower"):
+                    client.call({"op": "update",
+                                 "primary": {"insert": [[1, 2, 3]]}})
+                with pytest.raises(NotLeaderError):
+                    client.call({"op": "compact"})
+            finally:
+                client.close()
+        finally:
+            cluster.close()
+
+    def test_kill_any_single_replica_keeps_reads_complete(
+            self, source_container, tmp_path):
+        # The acceptance bar: with K=2 / R=2 the loss of any single
+        # serving process must leave every acknowledged write readable
+        # and every result complete (never marked incomplete).
+        box = QueryService.from_file(source_container, writable=True)
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           num_replicas=2, best_effort=True)
+        try:
+            batch = [(9201, 9200, 9202), (9202, 9200, 9203),
+                     (9203, 9200, 9201)]
+            box.update(inserts=batch)
+            cluster.service.update(inserts=batch)
+            patterns = [(None, None, None), (None, 9200, None),
+                        (None, None, 9202)]
+            for shard_id in range(2):
+                for replica in range(2):
+                    cluster.kill(shard_id, replica=replica)
+                    for pattern in patterns:
+                        expected = sorted(
+                            box.select(pattern, limit=10**6).triples)
+                        actual = sorted(cluster.service.select(
+                            pattern, limit=10**6, use_cache=False).triples)
+                        assert actual == expected, (shard_id, replica,
+                                                    pattern)
+                        report = cluster.service.last_request_report()
+                        assert report["incomplete"] is False
+                    cluster.restart(shard_id, replica=replica)
+        finally:
+            cluster.close()
+            box.close()
+
+    def test_leader_kill_promotes_follower_for_writes(
+            self, source_container, tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           num_replicas=2)
+        try:
+            first = [(9301, 9300, 9302), (9302, 9300, 9303)]
+            cluster.service.update(inserts=first)
+            cluster.kill(0, replica=0)
+            cluster.kill(1, replica=0)
+
+            # The write exhausts the dead leader's retry budget, then
+            # promotes the surviving follower and retries there — all
+            # inside one coordinator call.
+            second = [(9303, 9300, 9304), (9304, 9300, 9301)]
+            reply = cluster.service.update(inserts=second)
+            assert reply.inserted == len(second)
+
+            result = cluster.service.select((None, 9300, None),
+                                            limit=10**6, use_cache=False)
+            assert sorted(result.triples) == sorted(first + second)
+
+            # The promoted replicas now answer as leaders, and the
+            # sticky leader pointer makes the next write go straight in.
+            for report in cluster.service.health()["shards"]:
+                assert report["role"] == "leader"
+            third = cluster.service.update(inserts=[(9305, 9300, 9306)])
+            assert third.inserted == 1
+        finally:
+            cluster.close()
+
+    def test_replica_health_detail(self, source_container, tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           num_replicas=2)
+        try:
+            health = cluster.service.health()
+            assert health["status"] == "ok"
+            for shard in health["shards"]:
+                assert shard["replicas_reachable"] == 2
+                roles = [entry["role"] for entry in shard["replicas"]]
+                assert roles == ["leader", "follower"]
+
+            # Losing one replica degrades nothing: the shard is down
+            # only when every replica is.
+            cluster.kill(0, replica=1)
+            health = cluster.service.health()
+            assert health["status"] == "ok"
+            assert health["shards_reachable"] == 2
+            assert health["shards"][0]["replicas_reachable"] == 1
+        finally:
+            cluster.close()
+
+
+# --------------------------------------------------------------------------- #
+# Rebalancing.
+# --------------------------------------------------------------------------- #
+
+class TestRebalance:
+    def test_rebalance_preserves_acked_writes(self, source_container,
+                                              tmp_path):
+        box = QueryService.from_file(source_container, writable=True)
+        cluster = _Cluster(source_container, tmp_path / "c", 2)
+        batch = [(9401, 9400, 9402), (9402, 9400, 9403)]
+        box.update(inserts=batch)
+        cluster.service.update(inserts=batch)
+        expected = sorted(box.select((None, None, None), limit=10**6).triples)
+        box.close()
+        cluster.close()  # rebalancing is offline
+
+        manifest = rebalance_cluster(tmp_path / "c", 3)
+        assert manifest["num_shards"] == 3
+        assert manifest["version"] == 2
+        # The WALs were folded into the rebuilt containers; replaying
+        # them again would double-apply, so the sidecars must be gone.
+        assert not list((tmp_path / "c").glob("*.wal"))
+        assert not list((tmp_path / "c").glob("*.epoch"))
+
+        reopened = _Cluster(None, tmp_path / "c", 3)
+        try:
+            actual = sorted(reopened.service.select(
+                (None, None, None), limit=10**6).triples)
+            assert actual == expected
+        finally:
+            reopened.close()
+
+    def test_rebalance_shrink_removes_stale_shards(self, source_container,
+                                                   tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 3)
+        expected = sorted(cluster.service.select(
+            (None, None, None), limit=10**6).triples)
+        cluster.close()
+
+        manifest = rebalance_cluster(tmp_path / "c", 2)
+        assert manifest["num_shards"] == 2
+        assert manifest["version"] == 2
+        assert not (tmp_path / "c" / "shard-002.repro").exists()
+        assert not (tmp_path / "c" / "shard-002-replica.repro").exists()
+
+        reopened = _Cluster(None, tmp_path / "c", 2)
+        try:
+            actual = sorted(reopened.service.select(
+                (None, None, None), limit=10**6).triples)
+            assert actual == expected
+        finally:
+            reopened.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -446,6 +770,48 @@ class TestRpc:
         assert parse_address("10.0.0.1:8390") == ("10.0.0.1", 8390)
         with pytest.raises(ClusterError):
             parse_address("nope")
+
+    def test_parse_replica_set(self):
+        assert parse_replica_set("10.0.0.1:8390") == [("10.0.0.1", 8390)]
+        assert parse_replica_set("a:1,b:2, c:3") == [
+            ("a", 1), ("b", 2), ("c", 3)]
+        with pytest.raises(ClusterError):
+            parse_replica_set(",")
+
+
+class TestBackoff:
+    def test_delay_is_capped_full_jitter(self):
+        # Full jitter: uniform in [0, min(cap, base * 2^(n-1))].  The
+        # cap keeps a long outage from sleeping for minutes, the jitter
+        # keeps a shard restart from being met by synchronized retries.
+        for attempt in range(1, 12):
+            bound = min(rpc.MAX_BACKOFF, 0.05 * 2 ** (attempt - 1))
+            for _ in range(50):
+                delay = rpc.backoff_delay(attempt, 0.05)
+                assert 0.0 <= delay <= bound
+        # An overflow-scale attempt count must still respect the cap.
+        assert rpc.backoff_delay(64, 0.05) <= rpc.MAX_BACKOFF
+
+    def test_no_sleep_after_final_attempt(self, monkeypatch):
+        # Regression: the retry loop used to sleep and then give up —
+        # pure added latency on an already-failed call.
+        sleeps = []
+        monkeypatch.setattr(rpc.time, "sleep", sleeps.append)
+        client = rpc.RpcClient("127.0.0.1", 1, retries=2, backoff=0.01)
+        with pytest.raises(ShardUnavailableError):
+            client.call({"op": "ping"})
+        assert len(sleeps) == 2  # three attempts, two sleeps between
+        assert all(0.0 <= delay <= rpc.MAX_BACKOFF for delay in sleeps)
+
+    def test_no_sleep_without_retries(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(rpc.time, "sleep", sleeps.append)
+        client = rpc.RpcClient("127.0.0.1", 1, retries=0)
+        with pytest.raises(ShardUnavailableError):
+            client.call({"op": "ping"})
+        with pytest.raises(ShardUnavailableError):
+            list(client.stream({"op": "select"}))
+        assert sleeps == []
 
 
 # --------------------------------------------------------------------------- #

@@ -21,9 +21,10 @@ class TestConstruction:
         assert structure.num_first == 10
         assert list(structure.values_of(9)) == []
 
-    def test_empty_rejected(self):
-        with pytest.raises(IndexBuildError):
-            PairStructure.from_pairs(np.array([]), np.array([]))
+    def test_empty_input_builds_empty_structure(self):
+        structure = PairStructure.from_pairs(np.array([]), np.array([]))
+        assert structure.num_pairs == 0
+        assert list(structure.values_of(0)) == []
 
     def test_mismatched_columns_rejected(self):
         with pytest.raises(IndexBuildError):

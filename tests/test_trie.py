@@ -48,10 +48,14 @@ class TestConstruction:
         begin, end = trie.pair_children_range(0)
         assert list(trie.scan_third(begin, end)) == [2, 3]
 
-    def test_empty_input_rejected(self):
+    def test_empty_input_builds_empty_trie(self):
+        # Empty shards are legitimate; every pointer range collapses to
+        # [0, 0) and all traversals come back empty.
         empty = np.zeros(0, dtype=np.int64)
-        with pytest.raises(IndexBuildError):
-            PermutationTrie.from_sorted_columns(empty, empty, empty)
+        trie = PermutationTrie.from_sorted_columns(empty, empty, empty)
+        assert trie.num_triples == 0
+        assert list(trie.children_of(0)) == []
+        assert trie.num_children(0) == 0
 
     def test_mismatched_columns_rejected(self):
         with pytest.raises(IndexBuildError):
