@@ -6,6 +6,7 @@ The CLI makes the system operable end-to-end without writing Python::
     repro info data.ridx
     repro query data.ridx --pattern '<http://example.org/alice> ? ?'
     repro query data.ridx --sparql 'SELECT ?o WHERE { 0 1 ?o }'
+    repro explain data.ridx --sparql 'SELECT ?o WHERE { 0 1 ?o }'
     repro update data.ridx more.nt
     repro compact data.ridx
 
@@ -334,6 +335,37 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# explain
+# --------------------------------------------------------------------------- #
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.obs import render_profile
+    from repro.service.engine import QueryService
+
+    if args.sparql is not None:
+        text = args.sparql
+    else:
+        with open(args.sparql_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    service = QueryService.from_file(args.index, mmap=args.mmap,
+                                     engine=args.engine or "auto")
+    try:
+        result = service.execute(text, limit=args.limit, profile=True)
+    finally:
+        service.close()
+    if args.json:
+        from repro.service import jsonio
+        print(jsonio.dumps(result.profile))
+        return 0
+    print(render_profile(result.profile))
+    print(f"{result.count} solutions in "
+          f"{result.elapsed_seconds * 1000:.2f}ms "
+          f"({result.statistics.get('engine', '?')} engine)",
+          file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # info
 # --------------------------------------------------------------------------- #
 
@@ -396,12 +428,15 @@ def _command_serve(args: argparse.Namespace) -> int:
             mmap=args.mmap, quiet=args.quiet,
             max_inflight=args.max_inflight,
             rate_limit=args.rate_limit, rate_burst=args.rate_burst,
+            log_format=args.log_format,
             service_options=dict(
                 plan_cache_size=args.plan_cache,
                 result_cache_size=args.result_cache,
                 default_timeout=args.timeout,
                 max_limit=args.max_limit,
-                engine=args.engine))
+                engine=args.engine,
+                slow_log=args.slow_log,
+                slow_ms=args.slow_ms))
         return pool.run()
 
     from repro.service import (
@@ -423,7 +458,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         max_limit=args.max_limit,
         engine=args.engine,
-        mmap=args.mmap)
+        mmap=args.mmap,
+        slow_log=args.slow_log,
+        slow_ms=args.slow_ms)
     load_seconds = time.perf_counter() - started
     block = MetricsBlock(1)
     limiter = (TokenBucketLimiter(args.rate_limit, args.rate_burst)
@@ -432,6 +469,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                           quiet=args.quiet,
                           admission=AdmissionControl(args.max_inflight),
                           rate_limiter=limiter,
+                          log_format=args.log_format,
                           metrics=block.worker(0), metrics_block=block)
     host, port = server.server_address[:2]
     print(f"loaded {args.index} in {load_seconds:.3f}s "
@@ -649,7 +687,8 @@ def _command_coordinator(args: argparse.Namespace) -> int:
         args.cluster, addresses, host=args.host, port=args.port,
         key=args.key, quiet=args.quiet, best_effort=args.best_effort,
         default_timeout=args.timeout, max_limit=args.max_limit,
-        engine=args.engine)
+        engine=args.engine, log_format=args.log_format,
+        slow_log=args.slow_log, slow_ms=args.slow_ms)
     host, port = server.server_address[:2]
     endpoints = sum(len(group) for group in addresses)
     print(f"coordinating {len(addresses)} shard(s) over {endpoints} "
@@ -756,6 +795,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "payload checksums)")
     query.set_defaults(handler=_command_query)
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="run a SPARQL query with profiling on and pretty-print its "
+             "span tree (plan choice, estimated vs. actual cardinalities, "
+             "per-operator counters)")
+    explain.add_argument("index", help="index file written by 'repro build'")
+    what = explain.add_mutually_exclusive_group(required=True)
+    what.add_argument("--sparql", help="SPARQL SELECT query text")
+    what.add_argument("--sparql-file", help="file containing a SPARQL query")
+    explain.add_argument("--engine", default=None,
+                         choices=("nested", "wcoj", "auto"),
+                         help="BGP executor (default: auto)")
+    explain.add_argument("--limit", type=int, default=None,
+                         help="stop after this many results")
+    explain.add_argument("--json", action="store_true",
+                         help="print the raw profile span tree as JSON "
+                              "instead of rendering it")
+    explain.add_argument("--mmap", action="store_true",
+                         help="memory-map the index file instead of reading "
+                              "it eagerly")
+    explain.set_defaults(handler=_command_explain)
+
     info = subparsers.add_parser(
         "info", help="print size and statistics of a saved index")
     info.add_argument("index", help="index file written by 'repro build'")
@@ -826,6 +887,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 2x the rate)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request access logging")
+    serve.add_argument("--log-format", default="text",
+                       choices=("text", "json"),
+                       help="structured log format for access and "
+                            "supervision lines (default: text)")
+    serve.add_argument("--slow-log", default=None, metavar="PATH",
+                       help="append a JSONL record (with the full execution "
+                            "profile) for every query slower than --slow-ms "
+                            "to PATH; safe under --workers (atomic "
+                            "appends)")
+    serve.add_argument("--slow-ms", type=float, default=500.0, metavar="N",
+                       help="slow-query threshold in milliseconds for "
+                            "--slow-log (default: 500)")
     serve.set_defaults(handler=_command_serve)
 
     verify = subparsers.add_parser(
@@ -950,6 +1023,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="default BGP executor (default: auto)")
     coordinator.add_argument("--quiet", action="store_true",
                              help="suppress per-request access logging")
+    coordinator.add_argument("--log-format", default="text",
+                             choices=("text", "json"),
+                             help="structured log format for access lines "
+                                  "(default: text)")
+    coordinator.add_argument("--slow-log", default=None, metavar="PATH",
+                             help="append a JSONL record (with the stitched "
+                                  "cluster profile) for every query slower "
+                                  "than --slow-ms to PATH")
+    coordinator.add_argument("--slow-ms", type=float, default=500.0,
+                             metavar="N",
+                             help="slow-query threshold in milliseconds "
+                                  "for --slow-log (default: 500)")
     coordinator.set_defaults(handler=_command_coordinator)
     return parser
 

@@ -53,10 +53,16 @@ from repro import wire
 _context = threading.local()
 
 
-def begin_request(best_effort: bool) -> None:
-    """Open a per-thread request scope for the partial-failure policy."""
+def begin_request(best_effort: bool, collect_events: bool = False) -> None:
+    """Open a per-thread request scope for the partial-failure policy.
+
+    ``collect_events=True`` (a profiled query) additionally records every
+    failed replica attempt and best-effort drop, so the coordinator can
+    attach them to the per-shard trace spans.
+    """
     _context.best_effort = bool(best_effort)
     _context.failed = {}
+    _context.events = [] if collect_events else None
 
 
 def end_request() -> Dict[int, str]:
@@ -64,7 +70,25 @@ def end_request() -> Dict[int, str]:
     failed = getattr(_context, "failed", {})
     _context.best_effort = False
     _context.failed = {}
+    _context.events = None
     return failed
+
+
+def record_attempt(shard_id: int, address: str,
+                   error: Optional[Exception] = None) -> None:
+    """Note one replica attempt in the open scope (profiled queries only)."""
+    events = getattr(_context, "events", None)
+    if events is None:
+        return
+    event: Dict[str, Any] = {"shard": int(shard_id), "address": str(address)}
+    if error is not None:
+        event["error"] = str(error)
+    events.append(event)
+
+
+def request_events() -> List[Dict[str, Any]]:
+    """The failover/drop events recorded so far in the open scope."""
+    return list(getattr(_context, "events", None) or [])
 
 
 def absorb_failure(shard_id: int, error: Exception) -> bool:
@@ -75,6 +99,10 @@ def absorb_failure(shard_id: int, error: Exception) -> bool:
     if failures is None:
         _context.failed = failures = {}
     failures.setdefault(int(shard_id), str(error))
+    events = getattr(_context, "events", None)
+    if events is not None:
+        events.append({"shard": int(shard_id), "dropped": True,
+                       "error": str(error)})
     return True
 
 
@@ -171,6 +199,8 @@ class ShardReplicaSet:
                 reply = self.clients[index].call(message)
             except ShardUnavailableError as error:
                 last_error = error
+                record_attempt(self.shard_id, self.clients[index].address,
+                               error)
                 continue
             self._mark_read(index)
             return reply
@@ -192,6 +222,8 @@ class ShardReplicaSet:
                 frames = self.clients[index].stream(message)
             except ShardUnavailableError as error:
                 last_error = error
+                record_attempt(self.shard_id, self.clients[index].address,
+                               error)
                 continue
             self._mark_read(index)
             return frames
@@ -354,11 +386,16 @@ class ClusterClient:
 
     def query_shard(self, shard_id: int, query, engine: str,
                     limit: Optional[int], timeout: Optional[float],
-                    use_cache: bool) -> Tuple[List[Dict[str, int]], dict]:
+                    use_cache: bool, profile: bool = False,
+                    trace: Optional[Dict[str, str]] = None
+                    ) -> Tuple[List[Dict[str, int]], dict]:
         """Run a whole BGP on one shard; returns ``(bindings, trailer)``.
 
         Bindings come back in engine-native spelling (``?x`` keys);
-        the trailer is the stream's ``eos`` frame (statistics, cached).
+        the trailer is the stream's ``eos`` frame (statistics, cached,
+        and — when ``profile`` was requested — the shard's span tree).
+        ``trace`` carries the coordinator's trace context so the shard's
+        spans join the same distributed trace.
         """
         message: Dict[str, Any] = {"op": "query",
                                    "query": wire.encode_query(query),
@@ -368,6 +405,10 @@ class ClusterClient:
             message["limit"] = int(limit)
         if timeout is not None:
             message["timeout"] = float(timeout)
+        if profile:
+            message["profile"] = True
+        if trace:
+            message["trace"] = dict(trace)
         rows: List[Dict[str, int]] = []
         trailer: dict = {}
         for frame in self.shards[shard_id].stream(message):

@@ -45,6 +45,7 @@ from repro.cluster.client import (
     absorb_failure,
     begin_request,
     end_request,
+    request_events,
     request_failures,
 )
 from repro.cluster.partition import (
@@ -60,8 +61,9 @@ from repro.errors import (
     ServiceError,
     ShardUnavailableError,
 )
+from repro.obs import QueryProfile, Span, decode_trace_context
 from repro.queries.sparql import is_variable
-from repro.service.engine import QueryResult, QueryService
+from repro.service.engine import QueryResult, QueryService, latency_report
 from repro.service.http import QueryServiceHandler, QueryServiceServer, _run_one
 from repro import wire
 
@@ -179,24 +181,30 @@ class ClusterQueryService(QueryService):
 
     def execute(self, query, limit: Optional[int] = None, offset: int = 0,
                 timeout: Optional[float] = None, use_cache: bool = True,
-                engine: Optional[str] = None) -> QueryResult:
+                engine: Optional[str] = None, profile: bool = False,
+                trace: Optional[Dict[str, str]] = None) -> QueryResult:
         if isinstance(query, str):
             query = self.parse(query)
+        want_profile = bool(profile) or self._slow_log is not None
         # The guarded result cache holds complete responses only, so
         # best-effort requests may both read it and (when every shard
-        # answered) populate it; a partial page is never stored.
-        begin_request(self.best_effort)
+        # answered) populate it; a partial page is never stored.  A
+        # profiled request additionally records failover attempts and
+        # best-effort drops for the span tree.
+        begin_request(self.best_effort, collect_events=want_profile)
         failures: Dict[int, str] = {}
         try:
             route, shard = self._pushdown_route(query)
             if route is None:
                 result = super().execute(query, limit=limit, offset=offset,
                                          timeout=timeout,
-                                         use_cache=use_cache, engine=engine)
+                                         use_cache=use_cache, engine=engine,
+                                         profile=profile, trace=trace)
+                self._append_events(result.profile)
             else:
                 result = self._execute_pushdown(query, route, shard, limit,
                                                 offset, timeout, use_cache,
-                                                engine)
+                                                engine, profile, trace)
         finally:
             failures = end_request()
             self._remember(failures)
@@ -205,13 +213,48 @@ class ClusterQueryService(QueryService):
             result.statistics["failed_shards"] = sorted(failures)
         return result
 
+    @staticmethod
+    def _append_events(profile_doc: Optional[Dict[str, Any]]) -> None:
+        """Graft the failover/drop events of the open request scope onto
+        an already-serialised profile (the inherited execute path)."""
+        if profile_doc is None:
+            return
+        events = request_events()
+        if not events:
+            return
+        root = profile_doc.get("root")
+        if not isinstance(root, dict):
+            return
+        span = Span("failover", parent_span_id=root.get("span_id"))
+        span.counters["attempts"] = len(events)
+        dropped = sum(1 for event in events if event.get("dropped"))
+        if dropped:
+            span.counters["dropped"] = dropped
+        span.attrs["last_error"] = events[-1].get("error")
+        root.setdefault("children", []).append(span.to_json())
+
     def _execute_pushdown(self, query, route: str, shard: Optional[int],
                           limit: Optional[int], offset: int,
                           timeout: Optional[float], use_cache: bool,
-                          engine: Optional[str]) -> QueryResult:
+                          engine: Optional[str], profile: bool = False,
+                          trace: Optional[Dict[str, str]] = None
+                          ) -> QueryResult:
         if offset < 0:
             raise ServiceError(f"offset must be >= 0, got {offset}")
         started = time.monotonic()
+        want_profile = bool(profile) or self._slow_log is not None
+        query_profile: Optional[QueryProfile] = None
+        execute_span: Optional[Span] = None
+        shard_spans: Dict[int, Span] = {}
+        if want_profile:
+            trace_id, parent_span_id = decode_trace_context(trace)
+            query_profile = QueryProfile(name="coordinator",
+                                         trace_id=trace_id,
+                                         parent_span_id=parent_span_id)
+            if profile:
+                with self._lock:
+                    self._profile_requests += 1
+                self._bump_metric("profile_requests")
         try:
             limit = self._effective_limit(limit)
             timeout = self._default_timeout if timeout is None else timeout
@@ -221,6 +264,13 @@ class ClusterQueryService(QueryService):
             fetch = None if limit is None else offset + limit + 1
             targets = ([shard] if route == "single"
                        else range(self._cluster.num_shards))
+            if query_profile is not None:
+                plan_span = query_profile.span("plan")
+                plan_span.attrs.update({
+                    "route": route, "engine": engine,
+                    "shards": len(list(targets))})
+                plan_span.elapsed_seconds = time.monotonic() - started
+                execute_span = query_profile.span("execute")
             rows: List[Dict[str, int]] = []
             payloads: List[dict] = []
             cached = True
@@ -231,17 +281,45 @@ class ClusterQueryService(QueryService):
                     raise QueryTimeoutError(
                         f"query exceeded its {timeout:.3f}s budget while "
                         f"scattering to shard {shard_id}")
+                shard_span: Optional[Span] = None
+                shard_trace: Optional[Dict[str, str]] = None
+                if execute_span is not None:
+                    # The shard's own spans take this per-shard RPC span
+                    # as their parent, so the stitched tree reads
+                    # coordinator → shard RPC → shard engine operators.
+                    shard_span = execute_span.child(f"shard:{shard_id}")
+                    shard_spans[shard_id] = shard_span
+                    shard_trace = {"trace_id": query_profile.trace_id,
+                                   "parent_span_id": shard_span.span_id}
+                shard_started = time.monotonic()
                 try:
                     shard_rows, trailer = self._cluster.query_shard(
-                        shard_id, query, engine, fetch, remaining, use_cache)
+                        shard_id, query, engine, fetch, remaining, use_cache,
+                        profile=want_profile, trace=shard_trace)
                 except ShardUnavailableError as error:
                     if absorb_failure(shard_id, error):
                         cached = False
+                        if shard_span is not None:
+                            shard_span.elapsed_seconds = (
+                                time.monotonic() - shard_started)
+                            shard_span.attrs["dropped"] = True
+                            shard_span.attrs["error"] = str(error)
                         continue
                     raise
                 rows.extend(shard_rows)
                 payloads.append(trailer.get("statistics", {}))
                 cached = cached and bool(trailer.get("cached"))
+                if shard_span is not None:
+                    shard_span.elapsed_seconds = (
+                        time.monotonic() - shard_started)
+                    shard_span.counters["rows"] = len(shard_rows)
+                    if trailer.get("cached"):
+                        shard_span.attrs["cache_hit"] = True
+                    shard_profile = trailer.get("profile")
+                    if isinstance(shard_profile, dict) and isinstance(
+                            shard_profile.get("root"), dict):
+                        shard_span.children.append(
+                            Span.from_json(shard_profile["root"]))
                 if fetch is not None and len(rows) >= fetch:
                     # The page (plus its has_more sentinel) is already
                     # full; the remaining shards cannot change it.
@@ -256,17 +334,43 @@ class ClusterQueryService(QueryService):
             projection = tuple(query.projection or query.variables())
             elapsed = time.monotonic() - started
             self._record(elapsed, engine=engine)
-            return QueryResult(
+            result = QueryResult(
                 variables=projection, bindings=page,
                 cached=cached and bool(payloads),
                 elapsed_seconds=elapsed, limit=limit, offset=offset,
-                has_more=has_more, statistics=summary)
+                has_more=has_more, statistics=summary,
+                stages={"plan": 0.0, "execute": elapsed})
+            if query_profile is not None:
+                self._stitch(query_profile, execute_span, shard_spans,
+                             summary)
+                self._finalize_profile(query_profile, profile, result, None)
+            return result
         except Exception as error:
             elapsed = time.monotonic() - started
             self._record(elapsed,
                          timed_out=isinstance(error, QueryTimeoutError),
                          failed=not isinstance(error, QueryTimeoutError))
             raise
+
+    def _stitch(self, query_profile: QueryProfile,
+                execute_span: Optional[Span],
+                shard_spans: Dict[int, Span],
+                summary: Dict[str, Any]) -> None:
+        """Fold the request scope's failover events into the per-shard
+        spans and close the tree's bookkeeping counters."""
+        root = query_profile.root
+        root.attrs["engine"] = summary.get("engine")
+        if execute_span is not None:
+            execute_span.finish()
+        for event in request_events():
+            span = shard_spans.get(int(event.get("shard", -1)))
+            if span is None:
+                continue
+            span.add("attempts")
+            if event.get("dropped"):
+                span.attrs["dropped"] = True
+            if event.get("error"):
+                span.attrs["error"] = str(event["error"])
 
     def select(self, pattern, limit: Optional[int] = None, offset: int = 0,
                use_cache: bool = True):
@@ -349,8 +453,9 @@ class ClusterQueryService(QueryService):
             errors = self._errors
             engine_counts = dict(self._engine_counts)
             updates_applied = self._updates_applied
+            profile_requests = self._profile_requests
+            slow_queries = self._slow_queries
             latencies = sorted(self._latencies)
-        from repro.service.engine import _percentile
         return {
             "uptime_seconds": time.monotonic() - self._started,
             "requests": {
@@ -360,23 +465,20 @@ class ClusterQueryService(QueryService):
                 "timeouts": timeouts,
                 "errors": errors,
                 "engines": engine_counts,
+                "profile_requests": profile_requests,
+                "slow_queries": slow_queries,
             },
             "engine": self._default_engine,
             "updates": {"applied": updates_applied},
             "result_cache": self._result_cache.snapshot(),
             "plan_cache": self._plan_cache.snapshot(),
-            "latency_ms": {
-                "window": len(latencies),
-                "mean": (sum(latencies) / len(latencies) * 1e3
-                         if latencies else 0.0),
-                "p50": _percentile(latencies, 0.50) * 1e3,
-                "p90": _percentile(latencies, 0.90) * 1e3,
-                "p99": _percentile(latencies, 0.99) * 1e3,
-            },
+            "latency_ms": latency_report(latencies),
         }
 
     def close(self) -> None:
         self._cluster.close()
+        if self._slow_log is not None:
+            self._slow_log.close()
 
 
 class CoordinatorHandler(QueryServiceHandler):
@@ -386,7 +488,9 @@ class CoordinatorHandler(QueryServiceHandler):
     server_version = "repro-coordinator"
 
     def _run_query_object(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        body = _run_one(self.service, request)
+        body = _run_one(self.service, request,
+                        metrics=getattr(self.server, "metrics", None),
+                        trace={"trace_id": self._trace_id})
         report = self.service.last_request_report()
         body["incomplete"] = report["incomplete"]
         if report["failed_shards"]:
@@ -437,9 +541,11 @@ def build_coordinator(cluster_dir, addresses: Sequence[Tuple[str, int]],
                       host: str = "127.0.0.1", port: int = 8378,
                       key: Optional[str] = None, quiet: bool = False,
                       best_effort: bool = False,
+                      log_format: str = "text",
                       **service_options) -> CoordinatorServer:
     """Open the cluster and bind (not start) the coordinator HTTP server."""
     service = ClusterQueryService.from_cluster_dir(
         cluster_dir, addresses, key=key, best_effort=best_effort,
         **service_options)
-    return CoordinatorServer((host, port), service, quiet=quiet)
+    return CoordinatorServer((host, port), service, quiet=quiet,
+                             log_format=log_format, subsystem="coordinator")

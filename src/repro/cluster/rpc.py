@@ -30,6 +30,16 @@ socket is closed rather than reused.  Unary calls retry with backoff
 across reconnects (shard restarts are expected events, and every shard
 operation is idempotent by design); an unreachable peer surfaces as
 :class:`~repro.errors.ShardUnavailableError`.
+
+**Trace context.**  A profiled request frame may carry two extra keys —
+``"profile": true`` and ``"trace": {"trace_id": <32-hex>,
+"parent_span_id": <16-hex>}`` (the :mod:`repro.obs.spans` codec,
+re-exported by :mod:`repro.wire`).  Handlers that do not understand them
+ignore them; handlers that do (the shard's ``query`` op) execute under
+that trace and return their span tree in the ``eos`` trailer's
+``"profile"`` key, which is how a cluster query stitches into one tree.
+Malformed trace fields are dropped by the tolerant decoder, never an
+error — tracing is metadata, not semantics.
 """
 
 from __future__ import annotations

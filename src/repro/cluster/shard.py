@@ -371,22 +371,32 @@ class ShardServer:
         timeout = message.get("timeout")
         engine = message.get("engine")
         use_cache = bool(message.get("use_cache", True))
+        # Trace context rides the request frame (see repro.wire); the
+        # shard's spans then share the coordinator's trace id, with the
+        # coordinator's per-shard span as their parent.
+        profile = bool(message.get("profile", False))
+        trace = message.get("trace")
+        if not isinstance(trace, dict):
+            trace = None
         self._refresh()
         result = self.primary.execute(
             query, limit=None if limit is None else int(limit),
             offset=offset, timeout=timeout, engine=engine,
-            use_cache=use_cache)
+            use_cache=use_cache, profile=profile, trace=trace)
 
         def frames() -> Iterator[dict]:
             for batch in rpc.chunk_rows(result.bindings):
                 yield {"rows": [
                     {wire.variable_name(v): int(value)
                      for v, value in row.items()} for row in batch]}
-            yield {"eos": True, "count": len(result.bindings),
-                   "has_more": result.has_more,
-                   "cached": result.cached,
-                   "statistics": dict(result.statistics),
-                   "epoch": self.combined_epoch()}
+            trailer = {"eos": True, "count": len(result.bindings),
+                       "has_more": result.has_more,
+                       "cached": result.cached,
+                       "statistics": dict(result.statistics),
+                       "epoch": self.combined_epoch()}
+            if result.profile is not None:
+                trailer["profile"] = result.profile
+            yield trailer
         return frames()
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,42 @@
+"""Observability: execution profiles, trace propagation, structured logs.
+
+The package is deliberately dependency-free (stdlib only) so every layer —
+query engines, the HTTP service, the pre-fork pool, the cluster RPC — can
+import it without cycles:
+
+* :mod:`repro.obs.spans` — the :class:`Span` / :class:`QueryProfile` tree
+  recorded per query, the per-operator counters the engines fill in, and
+  the trace-context codec carried on request frames;
+* :mod:`repro.obs.slowlog` — the append-only JSONL slow-query log, safe
+  under the pre-fork pool (single ``write()`` per line, bounded size);
+* :mod:`repro.obs.logs` — one structured logger per subsystem
+  (``--log-format json|text``);
+* :mod:`repro.obs.explain` — the ``repro explain`` pretty-printer.
+"""
+
+from repro.obs.logs import StructuredLogger, get_logger
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.spans import (
+    OperatorCounters,
+    QueryProfile,
+    Span,
+    decode_trace_context,
+    encode_trace_context,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.explain import render_profile
+
+__all__ = [
+    "OperatorCounters",
+    "QueryProfile",
+    "SlowQueryLog",
+    "Span",
+    "StructuredLogger",
+    "decode_trace_context",
+    "encode_trace_context",
+    "get_logger",
+    "new_span_id",
+    "new_trace_id",
+    "render_profile",
+]

@@ -1,0 +1,71 @@
+"""Render a query profile as an indented tree (``repro explain``).
+
+Takes the JSON form a profiled query returns (``result.profile`` /
+the ``"profile"`` field of a POST /query response) and prints one line
+per span: name, wall time, the operator counters, and — for engine
+operator spans — the planner's estimated cardinality next to the actual
+bindings produced, the rows roadmap item 2's feedback loop consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["render_profile"]
+
+#: Counter display order (anything else appends alphabetically after).
+_COUNTER_ORDER = ("visits", "seeks", "blocks", "values", "scanned",
+                  "bindings", "overlay_merges", "rows", "attempts")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _span_line(span: Dict[str, Any]) -> str:
+    parts = [str(span.get("name", "?"))]
+    elapsed = float(span.get("elapsed_ms", 0.0) or 0.0)
+    if elapsed:
+        parts.append(f"{elapsed:.2f}ms")
+    attrs = dict(span.get("attrs") or {})
+    estimated = attrs.pop("estimated", None)
+    actual = attrs.pop("actual", None)
+    if estimated is not None or actual is not None:
+        est = "?" if estimated is None else _format_value(float(estimated))
+        act = "?" if actual is None else _format_value(actual)
+        parts.append(f"est={est} act={act}")
+    for key in sorted(attrs):
+        parts.append(f"{key}={_format_value(attrs[key])}")
+    counters = span.get("counters") or {}
+    ordered = [key for key in _COUNTER_ORDER if key in counters]
+    ordered += sorted(set(counters) - set(ordered))
+    if ordered:
+        parts.append("[" + " ".join(f"{key}={counters[key]}"
+                                    for key in ordered) + "]")
+    return "  ".join(parts)
+
+
+def _render_span(span: Dict[str, Any], lines: List[str],
+                 prefix: str, last: bool) -> None:
+    connector = "└─ " if last else "├─ "
+    lines.append(prefix + connector + _span_line(span))
+    children = span.get("children") or []
+    child_prefix = prefix + ("   " if last else "│  ")
+    for position, child in enumerate(children):
+        _render_span(child, lines, child_prefix,
+                     position == len(children) - 1)
+
+
+def render_profile(profile: Dict[str, Any]) -> str:
+    """The profile tree as text, one line per span."""
+    if not isinstance(profile, dict):
+        return "(no profile)"
+    root = profile.get("root") or {}
+    lines = [f"trace {profile.get('trace_id', '?')}"]
+    lines.append(_span_line(root))
+    children = root.get("children") or []
+    for position, child in enumerate(children):
+        _render_span(child, lines, "", position == len(children) - 1)
+    return "\n".join(lines)

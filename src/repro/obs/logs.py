@@ -1,0 +1,92 @@
+"""Structured, per-subsystem loggers (``--log-format json|text``).
+
+One stdlib :mod:`logging` logger per subsystem (``repro.http``,
+``repro.pool``, ``repro.coordinator``, ...), wrapped in a tiny facade that
+takes an event name plus keyword fields and renders either one JSON object
+per line or a readable ``key=value`` text line.  The facade owns the
+rendering so the two formats share one handler and the call sites never
+build strings themselves::
+
+    logger = get_logger("http", "json")
+    logger.info("access", method="POST", path="/query", status=200,
+                trace_id=trace_id, elapsed_ms=1.9)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["FORMATS", "StructuredLogger", "get_logger"]
+
+FORMATS = ("text", "json")
+
+
+def _text_value(value: Any) -> str:
+    text = str(value)
+    if " " in text or '"' in text or not text:
+        return json.dumps(text)
+    return text
+
+
+class StructuredLogger:
+    """One subsystem's logger; ``info("event", key=value, ...)``."""
+
+    def __init__(self, subsystem: str, log_format: str = "text",
+                 stream: Optional[TextIO] = None):
+        if log_format not in FORMATS:
+            raise ValueError(f"unknown log format {log_format!r}; "
+                             f"expected one of {FORMATS}")
+        self.subsystem = subsystem
+        self.format = log_format
+        self._logger = logging.getLogger(f"repro.{subsystem}")
+        self._logger.setLevel(logging.INFO)
+        self._logger.propagate = False
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        self._logger.handlers[:] = [handler]
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit(logging.INFO, "info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit(logging.WARNING, "warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit(logging.ERROR, "error", event, fields)
+
+    def _emit(self, levelno: int, level: str, event: str,
+              fields: Dict[str, Any]) -> None:
+        fields = {key: value for key, value in fields.items()
+                  if value is not None}
+        if self.format == "json":
+            message = json.dumps(
+                {"ts": round(time.time(), 6), "level": level,
+                 "logger": self._logger.name, "event": event, **fields},
+                separators=(",", ":"), default=str)
+        else:
+            pairs = " ".join(f"{key}={_text_value(value)}"
+                             for key, value in fields.items())
+            stamp = time.strftime("%d/%b/%Y %H:%M:%S")
+            message = f"[{stamp}] {self._logger.name} {event}"
+            if pairs:
+                message += " " + pairs
+        self._logger.log(levelno, "%s", message)
+
+
+_registry: Dict[tuple, StructuredLogger] = {}
+_registry_lock = threading.Lock()
+
+
+def get_logger(subsystem: str, log_format: str = "text") -> StructuredLogger:
+    """The (cached) structured logger for one subsystem + format."""
+    key = (subsystem, log_format)
+    with _registry_lock:
+        logger = _registry.get(key)
+        if logger is None:
+            logger = _registry[key] = StructuredLogger(subsystem, log_format)
+        return logger

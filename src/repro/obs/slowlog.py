@@ -1,0 +1,109 @@
+"""The structured slow-query log: one JSON line per offending query.
+
+Multi-process safety is the whole design: the pre-fork pool has N worker
+processes appending to one file, and a worker can be SIGKILLed mid-request.
+Every record is therefore written as a **single** ``os.write`` to an
+``O_APPEND`` descriptor, and every line is kept under
+:data:`ATOMIC_LINE_BYTES` — within that bound POSIX appends do not
+interleave, so a reader (or a crash) can never observe a torn line.
+Records that would overflow the bound are shrunk (profile first, then the
+query text) and marked ``"truncated": true`` rather than split.
+
+The descriptor is (re)opened lazily per process, so a log constructed
+before ``fork()`` is safe to hand to every worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["ATOMIC_LINE_BYTES", "SlowQueryLog"]
+
+#: POSIX guarantees writes of up to PIPE_BUF bytes (>= 512, 4096 on Linux)
+#: are atomic; a single write() to an O_APPEND regular file is likewise
+#: never interleaved with concurrent appenders.  One line <= this bound is
+#: the pool-safety contract.
+ATOMIC_LINE_BYTES = 4096
+
+
+class SlowQueryLog:
+    """Append-only JSONL log of queries slower than ``threshold_ms``."""
+
+    def __init__(self, path, threshold_ms: float = 500.0,
+                 max_line_bytes: int = ATOMIC_LINE_BYTES):
+        self.path = str(path)
+        self.threshold_ms = float(threshold_ms)
+        self.max_line_bytes = int(max_line_bytes)
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+        self._pid: Optional[int] = None
+        self.records_written = 0
+
+    def should_log(self, elapsed_seconds: float) -> bool:
+        return elapsed_seconds * 1e3 >= self.threshold_ms
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        """Append one record (adds ``ts``/``pid``; never raises mid-query)."""
+        doc = {"ts": round(time.time(), 6), "pid": os.getpid()}
+        doc.update(entry)
+        line = self._render(doc)
+        try:
+            with self._lock:
+                os.write(self._file(), line)
+                self.records_written += 1
+        except OSError:
+            # A full or vanished log disk must not fail the query itself.
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None and self._pid == os.getpid():
+                os.close(self._fd)
+            self._fd = None
+            self._pid = None
+
+    # ------------------------------------------------------------------ #
+
+    def _file(self) -> int:
+        # Reopen after fork: children must not share a pre-fork handle's
+        # lifecycle (O_APPEND offsets are kernel-side either way, but a
+        # per-process descriptor keeps close() semantics sane).
+        pid = os.getpid()
+        if self._fd is None or self._pid != pid:
+            self._fd = os.open(self.path,
+                               os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            self._pid = pid
+        return self._fd
+
+    def _render(self, doc: Dict[str, Any]) -> bytes:
+        line = _encode(doc)
+        if len(line) <= self.max_line_bytes:
+            return line
+        # Too big for one atomic append: drop the profile body first (it
+        # dominates), keeping the trace id so the record still correlates.
+        slim = dict(doc)
+        profile = slim.get("profile")
+        if isinstance(profile, dict):
+            slim["profile"] = {"trace_id": profile.get("trace_id")}
+        slim["truncated"] = True
+        line = _encode(slim)
+        if len(line) <= self.max_line_bytes:
+            return line
+        # Still too big (a pathological query string): truncate it too.
+        slim["query"] = str(slim.get("query", ""))[:512]
+        line = _encode(slim)
+        if len(line) <= self.max_line_bytes:
+            return line
+        return _encode({"ts": doc.get("ts"), "pid": doc.get("pid"),
+                        "trace_id": doc.get("trace_id"),
+                        "elapsed_ms": doc.get("elapsed_ms"),
+                        "truncated": True})
+
+
+def _encode(doc: Dict[str, Any]) -> bytes:
+    return (json.dumps(doc, separators=(",", ":"), default=str) + "\n"
+            ).encode("utf-8")

@@ -1,0 +1,230 @@
+"""Execution spans, query profiles and the trace-context codec.
+
+A :class:`QueryProfile` is one query's worth of tracing: a ``trace_id``
+shared by every participant (client, coordinator, shards) plus a tree of
+:class:`Span` nodes.  The service records ``parse`` / ``plan`` / ``execute``
+spans; the engines hang one operator span per plan level (nested loop) or
+per variable level (leapfrog) underneath, carrying the counters collected
+by :class:`OperatorCounters`.  Profiles serialise to plain JSON dicts so
+they travel on the existing wire/RPC frames unchanged.
+
+Trace context is two fields — ``trace_id`` and ``parent_span_id`` — that a
+caller attaches to an outgoing request so the callee's profile stitches
+into the caller's tree.  Both are lowercase hex; anything else (a hostile
+``X-Trace-Id`` header, say) is silently dropped rather than propagated.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "OperatorCounters",
+    "QueryProfile",
+    "Span",
+    "decode_trace_context",
+    "encode_trace_context",
+    "new_span_id",
+    "new_trace_id",
+]
+
+#: Accepted wire form of a trace/span id: 8–64 lowercase hex characters.
+_ID_PATTERN = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 hex characters)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex characters)."""
+    return os.urandom(8).hex()
+
+
+def _valid_id(value: Any) -> Optional[str]:
+    if isinstance(value, str) and _ID_PATTERN.match(value):
+        return value
+    return None
+
+
+def encode_trace_context(trace_id: Optional[str],
+                         parent_span_id: Optional[str] = None
+                         ) -> Dict[str, str]:
+    """The trace fields attached to an outgoing request frame."""
+    context: Dict[str, str] = {}
+    if _valid_id(trace_id):
+        context["trace_id"] = trace_id
+    if _valid_id(parent_span_id):
+        context["parent_span_id"] = parent_span_id
+    return context
+
+
+def decode_trace_context(payload: Any
+                         ) -> Tuple[Optional[str], Optional[str]]:
+    """``(trace_id, parent_span_id)`` from a request frame, validated.
+
+    Tolerant by design: missing, malformed or non-hex fields decode to
+    ``None`` (the callee then starts its own trace) instead of raising —
+    trace context is metadata from a possibly-untrusted client and must
+    never fail a query.
+    """
+    if not isinstance(payload, dict):
+        return None, None
+    return (_valid_id(payload.get("trace_id")),
+            _valid_id(payload.get("parent_span_id")))
+
+
+class Span:
+    """One timed node in a profile tree.
+
+    ``counters`` holds integer tallies (seeks, blocks, ...), ``attrs``
+    free-form metadata (engine choice, estimated cardinality, ...).
+    Operator spans aggregated from :class:`OperatorCounters` carry no
+    timing of their own (``elapsed_ms`` 0): per-visit clocks would cost
+    more than the work they measure, so only the stage spans are timed.
+    """
+
+    __slots__ = ("name", "span_id", "parent_span_id", "counters", "attrs",
+                 "children", "elapsed_seconds", "_started")
+
+    def __init__(self, name: str, parent_span_id: Optional[str] = None,
+                 span_id: Optional[str] = None):
+        self.name = str(name)
+        self.span_id = span_id or new_span_id()
+        self.parent_span_id = parent_span_id
+        self.counters: Dict[str, int] = {}
+        self.attrs: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+        self.elapsed_seconds = 0.0
+        self._started = time.perf_counter()
+
+    def child(self, name: str) -> "Span":
+        span = Span(name, parent_span_id=self.span_id)
+        self.children.append(span)
+        return span
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def finish(self) -> "Span":
+        if not self.elapsed_seconds:
+            self.elapsed_seconds = time.perf_counter() - self._started
+        return self
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """The first span named ``name`` in this subtree, if any."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "elapsed_ms": round(self.elapsed_seconds * 1e3, 3),
+        }
+        if self.parent_span_id is not None:
+            doc["parent_span_id"] = self.parent_span_id
+        if self.counters:
+            doc["counters"] = dict(self.counters)
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.children:
+            doc["children"] = [child.to_json() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "Span":
+        span = cls(payload.get("name", "?"),
+                   parent_span_id=payload.get("parent_span_id"),
+                   span_id=payload.get("span_id"))
+        span.elapsed_seconds = float(payload.get("elapsed_ms", 0.0)) / 1e3
+        span.counters = dict(payload.get("counters") or {})
+        span.attrs = dict(payload.get("attrs") or {})
+        span.children = [cls.from_json(child)
+                         for child in payload.get("children") or []]
+        return span
+
+
+class QueryProfile:
+    """One query's trace: a shared ``trace_id`` plus a span tree."""
+
+    __slots__ = ("trace_id", "root")
+
+    def __init__(self, name: str = "query",
+                 trace_id: Optional[str] = None,
+                 parent_span_id: Optional[str] = None):
+        self.trace_id = _valid_id(trace_id) or new_trace_id()
+        self.root = Span(name, parent_span_id=parent_span_id)
+
+    def span(self, name: str) -> Span:
+        return self.root.child(name)
+
+    def finish(self) -> "QueryProfile":
+        self.root.finish()
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "root": self.root.to_json()}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "QueryProfile":
+        profile = cls(trace_id=payload.get("trace_id"))
+        profile.root = Span.from_json(payload.get("root") or {})
+        return profile
+
+
+class OperatorCounters:
+    """Per-operator tallies one engine level fills in while it runs.
+
+    The engines hold a list of these (one per plan level / variable
+    level) only when profiling is on; the unprofiled hot path pays a
+    single ``is None`` test per level visit.  Counters are bumped at
+    block granularity wherever a block path exists; the scalar fallbacks
+    accumulate into locals and flush once per level visit.
+    """
+
+    __slots__ = ("label", "estimate", "visits", "seeks", "blocks", "values",
+                 "scanned", "bindings", "overlay_merges")
+
+    def __init__(self, label: str, estimate: Optional[float] = None):
+        self.label = label
+        self.estimate = estimate
+        self.visits = 0
+        self.seeks = 0
+        self.blocks = 0
+        self.values = 0
+        self.scanned = 0
+        self.bindings = 0
+        self.overlay_merges = 0
+
+    def attach(self, parent: Span, kind: str) -> Span:
+        """Materialise these tallies as an operator span under ``parent``."""
+        span = parent.child(f"{kind}:{self.label}")
+        for counter in ("visits", "seeks", "blocks", "values", "scanned",
+                        "bindings", "overlay_merges"):
+            value = getattr(self, counter)
+            if value:
+                span.counters[counter] = int(value)
+        if self.estimate is not None:
+            span.attrs["estimated"] = float(self.estimate)
+        span.attrs["actual"] = int(self.bindings)
+        span.elapsed_seconds = 0.0
+        return span

@@ -65,6 +65,12 @@ class ExecutionStatistics:
     triples_matched: int = 0
     results: int = 0
     cartesian_joins: int = 0
+    #: Cursor repositioning calls (leapfrog ``next_geq`` seeks) and decoded
+    #: candidate blocks.  Both are bumped at seek/block granularity (never
+    #: per value), so they are cheap enough to stay on unconditionally and
+    #: feed the per-engine Prometheus counters.
+    seeks: int = 0
+    blocks_decoded: int = 0
     #: Which executor produced the results: ``"nested"`` (binary nested-loop
     #: pipeline) or ``"wcoj"`` (leapfrog worst-case-optimal multiway join).
     engine: str = "nested"
@@ -201,14 +207,26 @@ def _extend_binding(binding: Dict[str, int], template: TriplePatternTemplate,
 
 def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
                  statistics: ExecutionStatistics,
-                 deadline: Optional[float]) -> Iterator[Dict[str, int]]:
+                 deadline: Optional[float],
+                 profile: Optional[Sequence] = None
+                 ) -> Iterator[Dict[str, int]]:
     """Depth-first nested-loop join over ``plan``, yielding full bindings.
 
     Lazy end to end: the next solution is computed only when the consumer
     asks for it, so downstream ``LIMIT``/pagination stops the join early
     instead of materialising every intermediate binding list.
+
+    ``profile`` (one :class:`repro.obs.OperatorCounters` per plan level)
+    turns on per-level tallies.  The unprofiled path pays one ``is None``
+    test per level *visit*; the profiled scalar loop is a separate body
+    that accumulates into locals and flushes once per visit, so neither
+    path ever does per-value flag checks.
     """
     num_levels = len(plan)
+    # One pattern execution against a snapshot with a live delta merges the
+    # overlay into the scan; detected once so the per-level counter is free.
+    delta = getattr(index, "delta", None)
+    overlay_active = 1 if delta is not None and len(delta) else 0
     # Per-template term shape, computed once per plan: (role, constant, name)
     # with exactly one of constant/name set.  ``final_level_block`` runs once
     # per innermost-level visit, so re-scanning the template there would cost
@@ -254,6 +272,7 @@ def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
 
     def recurse(depth: int, binding: Dict[str, int]) -> Iterator[Dict[str, int]]:
         template = plan[depth]
+        level = None if profile is None else profile[depth]
         if depth + 1 == num_levels:
             native = final_level_block(depth, binding)
             if native is not None:
@@ -263,9 +282,18 @@ def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
                         f"after matching {statistics.triples_matched} triples")
                 variable, block = native
                 statistics.patterns_executed += 1
+                statistics.blocks_decoded += 1
                 statistics.executed_patterns.append(
                     template.bind(binding).to_selection_pattern())
-                statistics.triples_matched += int(block.size)
+                matched = int(block.size)
+                statistics.triples_matched += matched
+                if level is not None:
+                    level.visits += 1
+                    level.blocks += 1
+                    level.values += matched
+                    level.bindings += matched
+                    if overlay_active:
+                        level.overlay_merges += 1
                 # Re-check the deadline every 1024 yielded values: a single
                 # block can hold millions of candidates, and the pre-block
                 # check alone would let one vectorised level overshoot the
@@ -285,19 +313,48 @@ def _stream_join(index: TripleIndex, plan: Sequence[TriplePatternTemplate],
         pattern = template.bind(binding).to_selection_pattern()
         statistics.patterns_executed += 1
         statistics.executed_patterns.append(pattern)
-        for triple in index.select(pattern):
-            statistics.triples_matched += 1
-            if deadline is not None and time.monotonic() > deadline:
-                raise QueryTimeoutError(
-                    "query exceeded its wall-clock timeout "
-                    f"after matching {statistics.triples_matched} triples")
-            extended = _extend_binding(binding, template, triple)
-            if extended is None:
-                continue
-            if depth + 1 == num_levels:
-                yield extended
-            else:
-                yield from recurse(depth + 1, extended)
+        if level is None:
+            for triple in index.select(pattern):
+                statistics.triples_matched += 1
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        "query exceeded its wall-clock timeout "
+                        f"after matching {statistics.triples_matched} triples")
+                extended = _extend_binding(binding, template, triple)
+                if extended is None:
+                    continue
+                if depth + 1 == num_levels:
+                    yield extended
+                else:
+                    yield from recurse(depth + 1, extended)
+            return
+        # Profiled scalar loop: same pipeline, tallying into locals that are
+        # flushed once per level visit (even when the consumer abandons the
+        # stream mid-loop, via the finally).
+        level.visits += 1
+        if overlay_active:
+            level.overlay_merges += 1
+        scanned = 0
+        produced = 0
+        try:
+            for triple in index.select(pattern):
+                statistics.triples_matched += 1
+                scanned += 1
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        "query exceeded its wall-clock timeout "
+                        f"after matching {statistics.triples_matched} triples")
+                extended = _extend_binding(binding, template, triple)
+                if extended is None:
+                    continue
+                produced += 1
+                if depth + 1 == num_levels:
+                    yield extended
+                else:
+                    yield from recurse(depth + 1, extended)
+        finally:
+            level.scanned += scanned
+            level.bindings += produced
 
     if deadline is not None and time.monotonic() > deadline:
         raise QueryTimeoutError("query exceeded its wall-clock timeout "
@@ -313,7 +370,8 @@ def stream_bgp(index: TripleIndex, query: SparqlQuery,
                offset: int = 0,
                timeout: Optional[float] = None,
                statistics: Optional[ExecutionStatistics] = None,
-               engine: str = "nested"
+               engine: str = "nested",
+               profile: Optional[Sequence] = None
                ) -> Iterator[Dict[str, int]]:
     """Lazily yield the solutions of ``query``'s BGP, projected.
 
@@ -360,10 +418,12 @@ def stream_bgp(index: TripleIndex, query: SparqlQuery,
         from repro.queries.wcoj import stream_bgp_wcoj
         return stream_bgp_wcoj(
             index, query, store=store, planner=planner, limit=limit,
-            offset=offset, timeout=timeout, statistics=statistics)
+            offset=offset, timeout=timeout, statistics=statistics,
+            profile=profile)
     return _stream_bgp_nested(index, query, store=store, planner=planner,
                               plan=plan, limit=limit, offset=offset,
-                              timeout=timeout, statistics=statistics)
+                              timeout=timeout, statistics=statistics,
+                              profile=profile)
 
 
 def _stream_bgp_nested(index: TripleIndex, query: SparqlQuery,
@@ -373,7 +433,8 @@ def _stream_bgp_nested(index: TripleIndex, query: SparqlQuery,
                        limit: Optional[int] = None,
                        offset: int = 0,
                        timeout: Optional[float] = None,
-                       statistics: Optional[ExecutionStatistics] = None
+                       statistics: Optional[ExecutionStatistics] = None,
+                       profile: Optional[Sequence] = None
                        ) -> Iterator[Dict[str, int]]:
     """The nested-loop executor behind :func:`stream_bgp`."""
     if limit is not None and limit <= 0:
@@ -385,11 +446,15 @@ def _stream_bgp_nested(index: TripleIndex, query: SparqlQuery,
                                   ).plan_order(query.bgp)
         plan = [query.bgp.templates[i] for i in order]
         stats.cartesian_joins = cartesian_joins
+    if profile is not None and len(profile) != len(plan):
+        raise PatternError(
+            f"profile needs one counter per plan level: "
+            f"{len(profile)} != {len(plan)}")
     deadline = None if timeout is None else time.monotonic() + timeout
     projection = query.projection or query.variables()
     skipped = 0
     yielded = 0
-    for binding in _stream_join(index, plan, stats, deadline):
+    for binding in _stream_join(index, plan, stats, deadline, profile):
         if skipped < offset:
             skipped += 1
             continue

@@ -136,6 +136,25 @@ def choose_engine(bgp: BasicGraphPattern) -> str:
     return "nested"
 
 
+def variable_estimates(bgp: BasicGraphPattern,
+                       planner: Optional[QueryPlanner] = None
+                       ) -> Dict[str, float]:
+    """Per-variable cardinality estimate: the smallest estimate among the
+    patterns constraining that variable.
+
+    These are the numbers :func:`plan_variable_order` greedily minimises —
+    surfaced so a query profile can put the planner's *estimated*
+    cardinality next to the *actual* bindings each level produced (the
+    estimated-vs-actual rows roadmap item 2's feedback loop consumes).
+    """
+    planner = planner or QueryPlanner()
+    return {
+        variable: min(planner.selectivity_key(bgp.templates[i])[1]
+                      for i in positions)
+        for variable, positions in _variable_templates(bgp).items()
+    }
+
+
 def plan_variable_order(bgp: BasicGraphPattern,
                         planner: Optional[QueryPlanner] = None) -> Tuple[str, ...]:
     """Pick a global variable elimination order for ``bgp``.
@@ -152,11 +171,7 @@ def plan_variable_order(bgp: BasicGraphPattern,
     occurrences = _variable_templates(bgp)
     appearance = {variable: rank for rank, variable
                   in enumerate(bgp.variables())}
-    estimates = {
-        variable: min(planner.selectivity_key(bgp.templates[i])[1]
-                      for i in positions)
-        for variable, positions in occurrences.items()
-    }
+    estimates = variable_estimates(bgp, planner)
     order: List[str] = []
     ordered_templates: Set[int] = set()
     remaining = set(occurrences)
@@ -227,6 +242,8 @@ class _CursorFactory:
                 cursor, exact = native
                 if exact or has_other_free:
                     self._statistics.patterns_executed += 1
+                    # Positioning a native cursor is one next_geq seek.
+                    self._statistics.seeks += 1
                     return cursor, exact
         return self.materialise(template_index, template.bind(binding),
                                 variable), True
@@ -270,6 +287,7 @@ class _CursorFactory:
         if cached is not None:
             return ArrayCursor(cached)
         self._statistics.patterns_executed += 1
+        self._statistics.blocks_decoded += 1
         terms = bound_template.terms()
         deadline = self._deadline
         values: Set[int] = set()
@@ -323,8 +341,15 @@ def _intersect_blocks(blocks: List[np.ndarray],
 
 
 def _leapfrog(cursors: Sequence, statistics: ExecutionStatistics,
-              deadline: Optional[float]) -> Iterator[int]:
-    """Intersect sorted distinct cursors, yielding each common value once."""
+              deadline: Optional[float], level=None) -> Iterator[int]:
+    """Intersect sorted distinct cursors, yielding each common value once.
+
+    ``level`` (an :class:`repro.obs.OperatorCounters`, profiling only)
+    additionally attributes the galloping seeks to one join level.  The
+    tally accumulates in a local and is flushed once when the generator
+    finishes (or is abandoned), so a profiled intersection pays one local
+    increment per seek, never an attribute store.
+    """
     for cursor in cursors:
         if cursor.key is None:
             return
@@ -339,31 +364,38 @@ def _leapfrog(cursors: Sequence, statistics: ExecutionStatistics,
             yield cursor.key
             cursor.advance()
         return
-    while True:
-        if deadline is not None and time.monotonic() > deadline:
-            raise QueryTimeoutError(
-                "query exceeded its wall-clock timeout during the "
-                "multiway intersection")
-        lowest = highest = cursors[0].key
-        for cursor in cursors[1:]:
-            key = cursor.key
-            if key < lowest:
-                lowest = key
-            elif key > highest:
-                highest = key
-        if lowest == highest:
-            statistics.triples_matched += 1
-            yield highest
-            for cursor in cursors:
-                cursor.advance()
-                if cursor.key is None:
-                    return
-        else:
-            for cursor in cursors:
-                if cursor.key < highest:
-                    cursor.seek(highest)
+    seeks = 0
+    try:
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryTimeoutError(
+                    "query exceeded its wall-clock timeout during the "
+                    "multiway intersection")
+            lowest = highest = cursors[0].key
+            for cursor in cursors[1:]:
+                key = cursor.key
+                if key < lowest:
+                    lowest = key
+                elif key > highest:
+                    highest = key
+            if lowest == highest:
+                statistics.triples_matched += 1
+                yield highest
+                for cursor in cursors:
+                    cursor.advance()
                     if cursor.key is None:
                         return
+            else:
+                for cursor in cursors:
+                    if cursor.key < highest:
+                        cursor.seek(highest)
+                        seeks += 1
+                        if cursor.key is None:
+                            return
+    finally:
+        statistics.seeks += seeks
+        if level is not None and seeks:
+            level.seeks += seeks
 
 
 # --------------------------------------------------------------------------- #
@@ -377,7 +409,8 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                     offset: int = 0,
                     timeout: Optional[float] = None,
                     statistics: Optional[ExecutionStatistics] = None,
-                    variable_order: Optional[Sequence[str]] = None
+                    variable_order: Optional[Sequence[str]] = None,
+                    profile: Optional[Sequence] = None
                     ) -> Iterator[Dict[str, int]]:
     """Lazily yield the solutions of ``query``'s BGP via multiway joins.
 
@@ -387,6 +420,10 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
     :class:`repro.errors.QueryTimeoutError` — but the solutions are produced
     by variable elimination, so the *enumeration order* differs from the
     nested-loop executor (the solution multiset is identical).
+
+    ``profile`` (one :class:`repro.obs.OperatorCounters` per variable of
+    the elimination order) turns on per-level tallies; the unprofiled path
+    pays one ``is None`` test per level visit.
     """
     stats = statistics if statistics is not None else ExecutionStatistics()
     stats.engine = "wcoj"
@@ -413,6 +450,12 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
             f"component boundary(ies) share no variable; the multiway "
             f"join enumerates their Cartesian product",
             CartesianProductWarning, stacklevel=2)
+    if profile is not None and len(profile) != len(order):
+        raise PatternError(
+            f"profile needs one counter per variable level: "
+            f"{len(profile)} != {len(order)}")
+    delta = getattr(index, "delta", None)
+    overlay_active = 1 if delta is not None and len(delta) else 0
     deadline = None if timeout is None else time.monotonic() + timeout
     if deadline is not None and time.monotonic() > deadline:
         raise QueryTimeoutError("query exceeded its wall-clock timeout "
@@ -435,6 +478,11 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
     def recurse(depth: int, binding: Dict[str, int]) -> Iterator[Dict[str, int]]:
         variable = order[depth]
         last = depth + 1 == len(order)
+        level = None if profile is None else profile[depth]
+        if level is not None:
+            level.visits += 1
+            if overlay_active:
+                level.overlay_merges += 1
         if last:
             # Last variable: every pattern is fully bound except for this
             # role, so each pattern's exact candidates come back as one
@@ -461,9 +509,19 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                     break
                 blocks.append(block)
             if blocks is not None:
-                stats.patterns_executed += len(blocks)
+                num_blocks = len(blocks)
+                stats.patterns_executed += num_blocks
+                stats.blocks_decoded += num_blocks
                 common = _intersect_blocks(blocks, deadline)
-                stats.triples_matched += int(common.size)
+                matched = int(common.size)
+                stats.triples_matched += matched
+                if level is not None:
+                    candidates = 0
+                    for block in blocks:
+                        candidates += block.size
+                    level.blocks += num_blocks
+                    level.values += int(candidates)
+                    level.bindings += matched
                 for position, value in enumerate(common.tolist()):
                     if (deadline is not None and position
                             and not (position & 1023)
@@ -477,24 +535,39 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                 return
         cursors = []
         any_exact = False
-        for template_index, template in templates_for[variable]:
-            cursor, exact = factory.cursor_for(template_index, template,
-                                               binding, variable)
-            if cursor.key is None:
-                return
-            any_exact = any_exact or exact
-            cursors.append(cursor)
-        if not any_exact:
-            # Every stream over-approximates; materialise the most selective
-            # pattern so an exact, tight stream drives the intersection.
-            victim_index, victim = min(
-                templates_for[variable],
-                key=lambda pair: planner.selectivity_key(pair[1].bind(binding)))
-            cursor = factory.materialise(victim_index, victim.bind(binding),
-                                         variable)
-            if cursor.key is None:
-                return
-            cursors.append(cursor)
+        seeks_before = 0
+        if level is not None:
+            seeks_before = stats.seeks
+        try:
+            for template_index, template in templates_for[variable]:
+                cursor, exact = factory.cursor_for(template_index, template,
+                                                   binding, variable)
+                if cursor.key is None:
+                    return
+                any_exact = any_exact or exact
+                cursors.append(cursor)
+            if not any_exact:
+                # Every stream over-approximates; materialise the most
+                # selective pattern so an exact, tight stream drives the
+                # intersection.
+                victim_index, victim = min(
+                    templates_for[variable],
+                    key=lambda pair: planner.selectivity_key(
+                        pair[1].bind(binding)))
+                blocks_before = stats.blocks_decoded
+                cursor = factory.materialise(victim_index,
+                                             victim.bind(binding), variable)
+                if level is not None:
+                    level.blocks += stats.blocks_decoded - blocks_before
+                if cursor.key is None:
+                    return
+                cursors.append(cursor)
+        finally:
+            # Attribute the cursor-construction seeks (tallied by the
+            # factory) to this level, even when a dead-end cursor exits
+            # the visit early.
+            if level is not None:
+                level.seeks += stats.seeks - seeks_before
         if last:
             # Cursor-path variant of the vectorised last level (reached when
             # some pattern lacked a ``select_values`` source but the cursors
@@ -512,8 +585,18 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                         "fetching candidate blocks")
                 blocks.append(block_of())
             if blocks is not None:
+                num_blocks = len(blocks)
+                stats.blocks_decoded += num_blocks
                 common = _intersect_blocks(blocks, deadline)
-                stats.triples_matched += int(common.size)
+                matched = int(common.size)
+                stats.triples_matched += matched
+                if level is not None:
+                    candidates = 0
+                    for block in blocks:
+                        candidates += block.size
+                    level.blocks += num_blocks
+                    level.values += int(candidates)
+                    level.bindings += matched
                 for position, value in enumerate(common.tolist()):
                     if (deadline is not None and position
                             and not (position & 1023)
@@ -525,12 +608,29 @@ def stream_bgp_wcoj(index: TripleIndex, query: SparqlQuery,
                     yield dict(binding)
                 binding.pop(variable, None)
                 return
-        for value in _leapfrog(cursors, stats, deadline):
-            binding[variable] = value
-            if last:
-                yield dict(binding)
-            else:
-                yield from recurse(depth + 1, binding)
+        if level is None:
+            for value in _leapfrog(cursors, stats, deadline):
+                binding[variable] = value
+                if last:
+                    yield dict(binding)
+                else:
+                    yield from recurse(depth + 1, binding)
+            binding.pop(variable, None)
+            return
+        # Profiled variant of the same loop: bindings accumulate in a local
+        # and flush once when the visit ends (the finally also covers a
+        # consumer abandoning the stream at a LIMIT).
+        produced = 0
+        try:
+            for value in _leapfrog(cursors, stats, deadline, level):
+                binding[variable] = value
+                produced += 1
+                if last:
+                    yield dict(binding)
+                else:
+                    yield from recurse(depth + 1, binding)
+        finally:
+            level.bindings += produced
         binding.pop(variable, None)
 
     projection = query.projection or query.variables()

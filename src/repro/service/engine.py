@@ -33,6 +33,7 @@ counters share one service lock.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -41,6 +42,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.base import TripleIndex
 from repro.errors import ServiceError
+from repro.obs import (
+    OperatorCounters,
+    QueryProfile,
+    SlowQueryLog,
+    decode_trace_context,
+)
 from repro.queries.planner import ENGINES as _ENGINES
 from repro.queries.planner import (
     Cardinalities,
@@ -48,7 +55,11 @@ from repro.queries.planner import (
     QueryPlanner,
     stream_bgp,
 )
-from repro.queries.wcoj import plan_variable_order, stream_bgp_wcoj
+from repro.queries.wcoj import (
+    plan_variable_order,
+    stream_bgp_wcoj,
+    variable_estimates,
+)
 from repro.queries.sparql import SparqlQuery, parse_sparql
 from repro.service.cache import LRUCache, normalize_bgp
 
@@ -74,6 +85,13 @@ class QueryResult:
     #: Plain-dict execution summary (``patterns_executed`` etc.); for a
     #: cache hit this is the summary recorded when the entry was computed.
     statistics: Dict[str, int] = field(default_factory=dict)
+    #: Wall time per request stage (``parse`` / ``plan`` / ``execute``,
+    #: seconds) — always populated (three clock reads), feeding the
+    #: per-stage Prometheus histograms.
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: The JSON span tree (``{"trace_id", "root"}``) when the request asked
+    #: for ``profile=True``; ``None`` otherwise.
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def count(self) -> int:
@@ -97,12 +115,69 @@ class PatternResult:
 
 
 def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending sequence."""
+    """Nearest-rank percentile of an ascending sequence.
+
+    The classic ``ceil(fraction * n) - 1`` rank: monotone in ``fraction``
+    by construction, so ``p50 <= p90 <= p99`` holds for every window size
+    (the previous ``round``-based rank relied on the rounding mode and made
+    that property easy to break when tweaked; the ceiling form is the
+    textbook definition and keeps ``p100`` = max).
+    """
     if not sorted_values:
         return 0.0
     rank = min(len(sorted_values) - 1,
-               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+               max(0, math.ceil(fraction * len(sorted_values)) - 1))
     return sorted_values[rank]
+
+
+def latency_report(latencies: Sequence[float]) -> Dict[str, float]:
+    """The ``latency_ms`` block of a ``/stats`` report (shared with the
+    coordinator so both report percentiles identically)."""
+    ordered = sorted(latencies)
+    return {
+        "window": len(ordered),
+        "mean": (sum(ordered) / len(ordered) * 1e3 if ordered else 0.0),
+        "p50": _percentile(ordered, 0.50) * 1e3,
+        "p90": _percentile(ordered, 0.90) * 1e3,
+        "p99": _percentile(ordered, 0.99) * 1e3,
+        "max": (ordered[-1] * 1e3) if ordered else 0.0,
+    }
+
+
+def _build_spans(query_profile: "QueryProfile", stages: Dict[str, float],
+                 counters: Optional[List[OperatorCounters]],
+                 operator_kind: str, plan_attrs: Dict[str, Any],
+                 summary: Dict[str, Any], cached: bool) -> None:
+    """Assemble the parse/plan/execute span tree for one request.
+
+    Stage spans carry real wall times; operator spans (one per join level,
+    attached under ``execute``) carry counters and the estimated-vs-actual
+    cardinality pair but no own clock — a per-visit timer would cost more
+    than the work it measures.
+    """
+    root = query_profile.root
+    engine = summary.get("engine") or plan_attrs.get("engine")
+    if engine:
+        root.attrs["engine"] = engine
+    if "parse" in stages:
+        parse_span = root.child("parse")
+        parse_span.elapsed_seconds = stages["parse"]
+    plan_span = root.child("plan")
+    plan_span.elapsed_seconds = stages.get("plan", 0.0)
+    for key, value in plan_attrs.items():
+        plan_span.attrs.setdefault(key, value)
+    execute_span = root.child("execute")
+    execute_span.elapsed_seconds = stages.get("execute", 0.0)
+    if cached:
+        execute_span.attrs["cache_hit"] = True
+    for key in ("patterns_executed", "triples_matched", "seeks",
+                "blocks_decoded"):
+        value = summary.get(key)
+        if value:
+            execute_span.counters[key] = int(value)
+    if counters:
+        for level in counters:
+            level.attach(execute_span, operator_kind)
 
 
 class QueryService:
@@ -132,7 +207,9 @@ class QueryService:
                  latency_window: int = 2048,
                  engine: str = "auto",
                  meta: Optional[dict] = None,
-                 writable: Optional[bool] = None):
+                 writable: Optional[bool] = None,
+                 slow_log=None,
+                 slow_ms: float = 500.0):
         if engine not in self.ENGINES:
             raise ServiceError(
                 f"unknown engine {engine!r}; expected one of {self.ENGINES}")
@@ -163,6 +240,17 @@ class QueryService:
         self._errors = 0
         self._engine_counts: Dict[str, int] = {"nested": 0, "wcoj": 0}
         self._updates_applied = 0
+        #: ``slow_log`` is a path (or a ready :class:`SlowQueryLog`); when
+        #: set, every query is profiled so an offending one can be logged
+        #: with its span tree (you cannot profile retroactively).
+        if slow_log is not None and not isinstance(slow_log, SlowQueryLog):
+            slow_log = SlowQueryLog(slow_log, threshold_ms=slow_ms)
+        self._slow_log: Optional[SlowQueryLog] = slow_log
+        self._profile_requests = 0
+        self._slow_queries = 0
+        #: Optional per-process shared-metrics slot (set by the HTTP layer)
+        #: mirroring ``profile_requests``/``slow_queries`` into /metrics.
+        self.metrics_slot = None
         #: Set by :meth:`from_file`; a compaction persists the rebuilt
         #: index here (None = in-memory only, the WAL keeps the history).
         self._source_path = None
@@ -299,7 +387,9 @@ class QueryService:
     def execute(self, query: QueryLike, limit: Optional[int] = None,
                 offset: int = 0, timeout: Optional[float] = None,
                 use_cache: bool = True,
-                engine: Optional[str] = None) -> QueryResult:
+                engine: Optional[str] = None,
+                profile: bool = False,
+                trace: Optional[Dict[str, Any]] = None) -> QueryResult:
         """Answer one SPARQL BGP, preferring the result cache.
 
         ``query`` is SPARQL text (parsed against the bundled dictionary) or
@@ -310,15 +400,46 @@ class QueryService:
         result's ``statistics["engine"]`` records which executor ran (pages
         are cached per executor — the two engines enumerate the same solution
         multiset in different orders).
+
+        ``profile=True`` additionally records a span tree — parse, plan and
+        execute stages plus one operator span per join level with the
+        planner's estimated cardinality next to the actual bindings
+        produced — returned as ``result.profile``.  Profiling never changes
+        the result: the same executor runs the same plan, only counters are
+        collected.  ``trace`` (a ``{"trace_id", "parent_span_id"}`` mapping,
+        see :func:`repro.obs.encode_trace_context`) stitches this profile
+        into a caller's distributed trace.
         """
         if offset < 0:
             raise ServiceError(f"offset must be >= 0, got {offset}")
         started = time.monotonic()
+        query_text = query if isinstance(query, str) else None
+        # A slow-query log means every query is profiled (you cannot
+        # profile retroactively); the span tree is only *returned* when the
+        # request asked for it.
+        want_profile = bool(profile) or self._slow_log is not None
+        query_profile: Optional[QueryProfile] = None
+        if want_profile:
+            trace_id, parent_span_id = decode_trace_context(trace)
+            query_profile = QueryProfile(trace_id=trace_id,
+                                         parent_span_id=parent_span_id)
+            if profile:
+                with self._lock:
+                    self._profile_requests += 1
+                self._bump_metric("profile_requests")
+        stages: Dict[str, float] = {}
+        counters: Optional[List[OperatorCounters]] = None
+        operator_kind = "pattern"
+        plan_attrs: Dict[str, Any] = {}
+        statistics: Optional[ExecutionStatistics] = None
         try:
             if isinstance(query, str):
+                stamp = time.perf_counter()
                 query = self.parse(query)
+                stages["parse"] = time.perf_counter() - stamp
             limit = self._effective_limit(limit)
             timeout = self._default_timeout if timeout is None else timeout
+            stamp = time.perf_counter()
             engine = self._resolve_engine(query, engine)
 
             # Pin one snapshot (and its epoch) for the whole request: the
@@ -337,6 +458,7 @@ class QueryService:
                        for original, canonical in mapping.items()}
             result_key = (key, normalized_projection, limit, offset, engine,
                           epoch)
+            plan_attrs["engine"] = engine
 
             if use_cache:
                 entry = self._result_cache.get(result_key)
@@ -346,14 +468,20 @@ class QueryService:
                         {reverse[variable]: value
                          for variable, value in binding.items()}
                         for binding in normalized_bindings]
+                    stages["plan"] = time.perf_counter() - stamp
+                    stages["execute"] = 0.0
                     elapsed = time.monotonic() - started
                     # Cache hits do not run an executor, so they do not
                     # count toward the per-engine execution counters.
                     self._record(elapsed)
-                    return QueryResult(
+                    result = QueryResult(
                         variables=projection, bindings=bindings, cached=True,
                         elapsed_seconds=elapsed, limit=limit, offset=offset,
-                        has_more=has_more, statistics=dict(summary))
+                        has_more=has_more, statistics=dict(summary),
+                        stages=stages)
+                    self._observe(query_profile, profile, result, query_text,
+                                  None, operator_kind, plan_attrs)
+                    return result
 
             statistics = ExecutionStatistics()
             # Fetch one solution past the page to learn whether more exist.
@@ -371,19 +499,42 @@ class QueryService:
                         plan_key, tuple(mapping[v] for v in order))
                 else:
                     order = tuple(reverse[v] for v in cached_order)
+                stages["plan"] = time.perf_counter() - stamp
+                if query_profile is not None:
+                    operator_kind = "var"
+                    estimates = variable_estimates(query.bgp, self._planner)
+                    counters = [OperatorCounters(v, estimates.get(v))
+                                for v in order]
+                    plan_attrs["order"] = list(order)
+                stamp = time.perf_counter()
                 bindings = list(stream_bgp_wcoj(
                     index, query, planner=self._planner,
                     limit=fetch, offset=offset, timeout=timeout,
-                    statistics=statistics, variable_order=order))
+                    statistics=statistics, variable_order=order,
+                    profile=counters))
+                stages["execute"] = time.perf_counter() - stamp
             else:
                 order, cartesian_joins = self._plan_for(
                     query, (key, self._plan_epoch))
                 statistics.cartesian_joins = cartesian_joins
+                plan_templates = [query.bgp.templates[i] for i in order]
+                stages["plan"] = time.perf_counter() - stamp
+                if query_profile is not None:
+                    labels = [" ".join(str(term) for term in template.terms())
+                              for template in plan_templates]
+                    counters = [
+                        OperatorCounters(
+                            label,
+                            self._planner.selectivity_key(template)[1])
+                        for label, template in zip(labels, plan_templates)]
+                    plan_attrs["order"] = labels
+                stamp = time.perf_counter()
                 bindings = list(stream_bgp(
                     index, query, planner=self._planner,
-                    plan=[query.bgp.templates[i] for i in order],
+                    plan=plan_templates,
                     limit=fetch, offset=offset, timeout=timeout,
-                    statistics=statistics))
+                    statistics=statistics, profile=counters))
+                stages["execute"] = time.perf_counter() - stamp
             has_more: Optional[bool] = None
             if limit is not None:
                 has_more = len(bindings) > limit
@@ -392,6 +543,8 @@ class QueryService:
                 "patterns_executed": statistics.patterns_executed,
                 "triples_matched": statistics.triples_matched,
                 "cartesian_joins": statistics.cartesian_joins,
+                "seeks": statistics.seeks,
+                "blocks_decoded": statistics.blocks_decoded,
                 "engine": statistics.engine,
             }
             if use_cache:
@@ -403,16 +556,102 @@ class QueryService:
                     result_key, (normalized_bindings, has_more, dict(summary)))
             elapsed = time.monotonic() - started
             self._record(elapsed, engine=statistics.engine)
-            return QueryResult(
+            result = QueryResult(
                 variables=projection, bindings=bindings, cached=False,
                 elapsed_seconds=elapsed, limit=limit, offset=offset,
-                has_more=has_more, statistics=summary)
+                has_more=has_more, statistics=summary, stages=stages)
+            self._observe(query_profile, profile, result, query_text,
+                          counters, operator_kind, plan_attrs)
+            return result
         except Exception as error:
             from repro.errors import QueryTimeoutError
             elapsed = time.monotonic() - started
-            self._record(elapsed, timed_out=isinstance(error, QueryTimeoutError),
-                         failed=not isinstance(error, QueryTimeoutError))
+            timed_out = isinstance(error, QueryTimeoutError)
+            self._record(elapsed, timed_out=timed_out, failed=not timed_out)
+            if (query_profile is not None and self._slow_log is not None
+                    and self._slow_log.should_log(elapsed)):
+                # A timed-out (or failed) slow query is the one you most
+                # want in the log — record it with whatever the engines
+                # tallied before the abort.
+                summary = {} if statistics is None else {
+                    "patterns_executed": statistics.patterns_executed,
+                    "triples_matched": statistics.triples_matched,
+                    "seeks": statistics.seeks,
+                    "blocks_decoded": statistics.blocks_decoded,
+                    "engine": statistics.engine,
+                }
+                _build_spans(query_profile, stages, counters, operator_kind,
+                             plan_attrs, summary, cached=False)
+                query_profile.finish()
+                with self._lock:
+                    self._slow_queries += 1
+                self._bump_metric("slow_queries")
+                entry = {
+                    "trace_id": query_profile.trace_id,
+                    "elapsed_ms": round(elapsed * 1e3, 3),
+                    "slow_ms": self._slow_log.threshold_ms,
+                    "error": type(error).__name__,
+                    "timed_out": timed_out,
+                    "statistics": summary,
+                    "profile": query_profile.to_json(),
+                }
+                if query_text is not None:
+                    entry["query"] = query_text
+                self._slow_log.record(entry)
             raise
+
+    def _bump_metric(self, field: str) -> None:
+        slot = self.metrics_slot
+        if slot is not None:
+            try:
+                slot.add(field)
+            except Exception:  # pragma: no cover - metrics must not fail
+                pass
+
+    def _observe(self, query_profile: Optional[QueryProfile],
+                 requested_profile: bool, result: QueryResult,
+                 query_text: Optional[str],
+                 counters: Optional[List[OperatorCounters]],
+                 operator_kind: str, plan_attrs: Dict[str, Any]) -> None:
+        """Finalise the span tree and feed the slow-query log."""
+        if query_profile is None:
+            return
+        _build_spans(query_profile, result.stages, counters, operator_kind,
+                     plan_attrs, result.statistics, cached=result.cached)
+        self._finalize_profile(query_profile, requested_profile, result,
+                               query_text)
+
+    def _finalize_profile(self, query_profile: QueryProfile,
+                          requested_profile: bool, result: QueryResult,
+                          query_text: Optional[str]) -> None:
+        """Close a fully-assembled span tree: attach it to the result when
+        requested and emit the slow-query log line when the query was slow
+        (shared with the coordinator, which builds its own stitched tree)."""
+        query_profile.finish()
+        document = query_profile.to_json()
+        if requested_profile:
+            result.profile = document
+        slow_log = self._slow_log
+        if slow_log is None or not slow_log.should_log(result.elapsed_seconds):
+            return
+        with self._lock:
+            self._slow_queries += 1
+        self._bump_metric("slow_queries")
+        entry = {
+            "trace_id": query_profile.trace_id,
+            "elapsed_ms": round(result.elapsed_seconds * 1e3, 3),
+            "slow_ms": slow_log.threshold_ms,
+            "engine": result.statistics.get("engine"),
+            "cached": result.cached,
+            "limit": result.limit,
+            "offset": result.offset,
+            "results": result.count,
+            "statistics": dict(result.statistics),
+            "profile": document,
+        }
+        if query_text is not None:
+            entry["query"] = query_text
+        slow_log.record(entry)
 
     def execute_batch(self, queries: Iterable[QueryLike],
                       limit: Optional[int] = None, offset: int = 0,
@@ -563,6 +802,8 @@ class QueryService:
         closer = getattr(self._index, "close", None)
         if closer is not None:
             closer()
+        if self._slow_log is not None:
+            self._slow_log.close()
 
     # ------------------------------------------------------------------ #
     # Statistics.
@@ -579,6 +820,8 @@ class QueryService:
             errors = self._errors
             engine_counts = dict(self._engine_counts)
             updates_applied = self._updates_applied
+            profile_requests = self._profile_requests
+            slow_queries = self._slow_queries
         index = self._index
         report = {
             "uptime_seconds": time.monotonic() - self._started,
@@ -597,19 +840,13 @@ class QueryService:
                 "timeouts": timeouts,
                 "errors": errors,
                 "engines": engine_counts,
+                "profile_requests": profile_requests,
+                "slow_queries": slow_queries,
             },
             "engine": self._default_engine,
             "result_cache": self._result_cache.snapshot(),
             "plan_cache": self._plan_cache.snapshot(),
-            "latency_ms": {
-                "window": len(latencies),
-                "mean": (sum(latencies) / len(latencies) * 1e3
-                         if latencies else 0.0),
-                "p50": _percentile(latencies, 0.50) * 1e3,
-                "p90": _percentile(latencies, 0.90) * 1e3,
-                "p99": _percentile(latencies, 0.99) * 1e3,
-                "max": (latencies[-1] * 1e3) if latencies else 0.0,
-            },
+            "latency_ms": latency_report(latencies),
         }
         report["index"]["epoch"] = int(getattr(index, "epoch", 0))
         delta_statistics = getattr(index, "delta_statistics", None)

@@ -62,6 +62,7 @@ from repro.errors import (
     StorageError,
     UpdateError,
 )
+from repro.obs import decode_trace_context, get_logger, new_trace_id
 from repro.service.engine import QueryService
 from repro.service.jsonio import pattern_result_to_json, query_result_to_json
 
@@ -193,12 +194,33 @@ def _validate_page_options(limit, offset, timeout) -> None:
                 f"timeout must be > 0 seconds, got {timeout}")
 
 
-def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
+def _observe_result(metrics, result) -> None:
+    """Feed one answered query's stage times and engine counters into the
+    shared metrics slot (``parse`` folds into the plan histogram)."""
+    stages = getattr(result, "stages", None) or {}
+    metrics.observe_stage(
+        "plan", stages.get("parse", 0.0) + stages.get("plan", 0.0))
+    metrics.observe_stage("execute", stages.get("execute", 0.0))
+    summary = getattr(result, "statistics", None) or {}
+    engine = summary.get("engine")
+    if engine in ("nested", "wcoj"):
+        seeks = int(summary.get("seeks", 0) or 0)
+        blocks = int(summary.get("blocks_decoded", 0) or 0)
+        if seeks:
+            metrics.add(f"{engine}_seeks", seeks)
+        if blocks:
+            metrics.add(f"{engine}_blocks", blocks)
+
+
+def _run_one(service: QueryService, request: Dict[str, Any],
+             metrics=None, trace: Optional[Dict[str, str]] = None
+             ) -> Dict[str, Any]:
     """Execute one request object against ``service`` and serialise it."""
     if not isinstance(request, dict):
         raise ServiceError("each query must be a JSON object")
     unknown = set(request) - {"sparql", "pattern", "limit", "offset",
-                              "timeout", "cache", "decode", "engine"}
+                              "timeout", "cache", "decode", "engine",
+                              "profile"}
     if unknown:
         raise ServiceError(f"unknown request field(s): {sorted(unknown)}")
     limit = request.get("limit")
@@ -206,6 +228,9 @@ def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
     timeout = request.get("timeout")
     use_cache = bool(request.get("cache", True))
     engine = request.get("engine")
+    profile = request.get("profile", False)
+    if not isinstance(profile, bool):
+        raise ServiceError("'profile' must be a boolean")
     _validate_page_options(limit, offset, timeout)
     if engine is not None and engine not in QueryService.ENGINES:
         raise ServiceError(
@@ -218,10 +243,18 @@ def _run_one(service: QueryService, request: Dict[str, Any]) -> Dict[str, Any]:
             raise ServiceError("'sparql' must be a string")
         result = service.execute(text, limit=limit, offset=offset,
                                  timeout=timeout, use_cache=use_cache,
-                                 engine=engine)
-        return query_result_to_json(result)
+                                 engine=engine, profile=profile, trace=trace)
+        if metrics is None:
+            return query_result_to_json(result)
+        _observe_result(metrics, result)
+        stamp = time.perf_counter()
+        body = query_result_to_json(result)
+        metrics.observe_stage("serialize", time.perf_counter() - stamp)
+        return body
     if engine is not None:
         raise ServiceError("'engine' only applies to SPARQL queries")
+    if profile:
+        raise ServiceError("'profile' only applies to SPARQL queries")
     if "pattern" in request:
         pattern = request["pattern"]
         if (not isinstance(pattern, (list, tuple)) or len(pattern) != 3 or
@@ -300,9 +333,30 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
             self.timeout = timeout
         super().setup()
 
+    def log_request(self, code="-", size="-") -> None:
+        """One structured access-log line per response (replaces the
+        ad-hoc ``BaseHTTPRequestHandler`` Common Log Format line)."""
+        if getattr(self.server, "quiet", False):
+            return
+        logger = getattr(self.server, "access_logger", None)
+        if logger is None:  # embedding API built the server directly
+            BaseHTTPRequestHandler.log_request(self, code, size)
+            return
+        status = getattr(code, "value", code)
+        logger.info("access", client=self.address_string(),
+                    method=getattr(self, "command", None),
+                    path=getattr(self, "path", None), status=status,
+                    trace_id=getattr(self, "_trace_id", None))
+
     def log_message(self, format: str, *args: Any) -> None:
-        if not getattr(self.server, "quiet", False):
+        if getattr(self.server, "quiet", False):
+            return
+        logger = getattr(self.server, "access_logger", None)
+        if logger is None:
             BaseHTTPRequestHandler.log_message(self, format, *args)
+            return
+        logger.warning("http", client=self.address_string(),
+                       message=format % args)
 
     def _send_json(self, status: int, body: Dict[str, Any],
                    extra_headers: Optional[Dict[str, str]] = None) -> None:
@@ -318,6 +372,11 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            # Echo the request's trace id (accepted or generated) so a
+            # client can correlate its logs with the slow-query log.
+            self.send_header("X-Trace-Id", trace_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -349,6 +408,13 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
 
     def _begin_request(self) -> None:
         self._request_started = time.monotonic()
+        # Accept a caller's trace id (tolerantly — a malformed header is
+        # ignored, never a 400) or mint one; every response echoes it and
+        # every span/log line of this request carries it.
+        header = self.headers.get("X-Trace-Id") if self.headers else None
+        trace_id, _ = decode_trace_context(
+            {"trace_id": header.strip().lower()} if header else None)
+        self._trace_id = trace_id or new_trace_id()
         refresh = getattr(self.server, "refresh_index", None)
         if refresh is None:
             return
@@ -531,7 +597,9 @@ class QueryServiceHandler(BaseHTTPRequestHandler):
     def _run_query_object(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """One ``POST /query`` object → response body.  The coordinator's
         handler overrides this to annotate partial (best-effort) results."""
-        return _run_one(self.service, request)
+        return _run_one(self.service, request,
+                        metrics=getattr(self.server, "metrics", None),
+                        trace={"trace_id": self._trace_id})
 
     def _handle_update(self, request: Dict[str, Any]) -> None:
         proxy = getattr(self.server, "update_proxy", None)
@@ -604,7 +672,9 @@ class QueryServiceServer(ThreadingHTTPServer):
                  refresh_index=None, update_proxy=None,
                  health_extra=None,
                  drain: bool = False,
-                 handler_timeout: Optional[float] = None):
+                 handler_timeout: Optional[float] = None,
+                 log_format: str = "text",
+                 subsystem: str = "http"):
         if listen_socket is None:
             super().__init__(address, QueryServiceHandler)
         else:
@@ -629,6 +699,13 @@ class QueryServiceServer(ThreadingHTTPServer):
         #: reports per-shard health through it).
         self.health_extra = health_extra
         self.handler_timeout = handler_timeout
+        #: Structured per-subsystem access logger (``--log-format``).
+        self.access_logger = get_logger(subsystem, log_format)
+        if metrics is not None and getattr(service, "metrics_slot",
+                                           None) is None:
+            # Let the engine bump profile/slow-query counters in the shared
+            # block directly; the slot is per-process, like the service.
+            service.metrics_slot = metrics
         if drain:
             # Graceful shutdown: server_close() joins the in-flight handler
             # threads (ThreadingMixIn.block_on_close) instead of abandoning

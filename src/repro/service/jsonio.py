@@ -72,6 +72,9 @@ def query_result_to_json(result) -> Dict[str, Any]:
         "offset": result.offset,
         "has_more": result.has_more,
     })
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        payload["profile"] = profile
     return payload
 
 

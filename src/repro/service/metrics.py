@@ -29,8 +29,21 @@ from typing import Dict, List, Optional, Tuple
 LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
                    2.5, 5.0)
 
-#: Per-slot counter fields, in storage order.  ``latency_sum_us`` keeps
-#: microseconds so the slot stays integer-only.
+#: Per-stage histograms exported next to the request-latency one: query
+#: planning, engine execution, and JSON serialisation, all sharing
+#: :data:`LATENCY_BUCKETS`.  Each stage owns a ``<stage>_count`` /
+#: ``<stage>_sum_us`` / ``<stage>_le_<i>`` run of slot fields.
+STAGES = ("plan", "execute", "serialize")
+
+
+def _histogram_fields(prefix: str) -> Tuple[str, ...]:
+    return (f"{prefix}_count", f"{prefix}_sum_us") + tuple(
+        f"{prefix}_le_{i}" for i in range(len(LATENCY_BUCKETS)))
+
+
+#: Per-slot counter fields, in storage order.  ``*_sum_us`` fields keep
+#: microseconds so the slots stay integer-only.  ``SLOT_BYTES`` is derived
+#: from this tuple, so extending it resizes the shared block everywhere.
 FIELDS = (
     "requests",       # responses sent, any status
     "errors",         # 5xx responses (excluding overload shedding)
@@ -43,9 +56,14 @@ FIELDS = (
     "refreshes",      # epoch-document refreshes that changed the view
     "restarts",       # master slot only: children respawned after a crash
     "workers",        # master slot only: gauge of live worker processes
-    "latency_count",
-    "latency_sum_us",
-) + tuple(f"latency_le_{i}" for i in range(len(LATENCY_BUCKETS)))
+    "profile_requests",  # queries that asked for profile=true
+    "slow_queries",      # queries recorded in the slow-query log
+    "nested_seeks",      # cursor seeks by the nested-loop engine
+    "wcoj_seeks",        # cursor seeks by the leapfrog engine
+    "nested_blocks",     # blocks decoded by the nested-loop engine
+    "wcoj_blocks",       # blocks decoded by the leapfrog engine
+) + _histogram_fields("latency") + tuple(
+    field for stage in STAGES for field in _histogram_fields(stage))
 
 _FIELD_INDEX = {name: i for i, name in enumerate(FIELDS)}
 _WORD = struct.Struct("<Q")
@@ -88,17 +106,25 @@ class SlotMetrics:
     def get(self, field: str) -> int:
         return self._read(field)
 
-    def observe_latency(self, seconds: float) -> None:
-        """Record one served request's wall-clock latency."""
+    def _observe(self, prefix: str, seconds: float) -> None:
         with self._lock:
-            self._write("latency_count", self._read("latency_count") + 1)
-            self._write("latency_sum_us",
-                        self._read("latency_sum_us") + int(seconds * 1e6))
+            self._write(f"{prefix}_count", self._read(f"{prefix}_count") + 1)
+            self._write(f"{prefix}_sum_us",
+                        self._read(f"{prefix}_sum_us") + int(seconds * 1e6))
             for i, bound in enumerate(LATENCY_BUCKETS):
                 if seconds <= bound:
-                    field = f"latency_le_{i}"
+                    field = f"{prefix}_le_{i}"
                     self._write(field, self._read(field) + 1)
                     break
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one served request's wall-clock latency."""
+        self._observe("latency", seconds)
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Record one request's time in ``plan``/``execute``/``serialize``."""
+        if stage in STAGES:
+            self._observe(stage, seconds)
 
 
 class MetricsBlock:
@@ -140,6 +166,21 @@ def _line(out: List[str], name: str, value, labels: str = "") -> None:
     out.append(f"{name}{labels} {value}")
 
 
+def _histogram(out: List[str], totals: Dict[str, int], prefix: str,
+               name: str, help_text: str) -> None:
+    """Emit one histogram family from a slot-field run (cumulative buckets,
+    as the exposition format requires)."""
+    out.append(f"# HELP {name} {help_text}")
+    out.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for i, bound in enumerate(LATENCY_BUCKETS):
+        cumulative += totals[f"{prefix}_le_{i}"]
+        _line(out, f"{name}_bucket", cumulative, f'{{le="{bound}"}}')
+    _line(out, f"{name}_bucket", totals[f"{prefix}_count"], '{le="+Inf"}')
+    _line(out, f"{name}_sum", totals[f"{prefix}_sum_us"] / 1e6)
+    _line(out, f"{name}_count", totals[f"{prefix}_count"])
+
+
 def render_prometheus(block: Optional[MetricsBlock],
                       gauges: Optional[Dict[str, float]] = None) -> str:
     """The ``GET /metrics`` body, Prometheus text exposition format 0.0.4.
@@ -170,11 +211,29 @@ def render_prometheus(block: Optional[MetricsBlock],
              "Triples accepted through /update."),
             ("refreshes", "repro_epoch_refreshes_total",
              "Epoch refreshes that changed the served view."),
+            ("profile_requests", "repro_profile_requests_total",
+             "Queries that asked for profile=true."),
+            ("slow_queries", "repro_slow_queries_total",
+             "Queries recorded in the slow-query log."),
         )
         for field, name, help_text in counters:
             out.append(f"# HELP {name} {help_text}")
             out.append(f"# TYPE {name} counter")
             _line(out, name, totals[field])
+        out.append("# HELP repro_engine_seeks_total Trie cursor seeks, "
+                   "per executor.")
+        out.append("# TYPE repro_engine_seeks_total counter")
+        _line(out, "repro_engine_seeks_total", totals["nested_seeks"],
+              '{engine="nested"}')
+        _line(out, "repro_engine_seeks_total", totals["wcoj_seeks"],
+              '{engine="wcoj"}')
+        out.append("# HELP repro_engine_blocks_total Postings blocks "
+                   "decoded, per executor.")
+        out.append("# TYPE repro_engine_blocks_total counter")
+        _line(out, "repro_engine_blocks_total", totals["nested_blocks"],
+              '{engine="nested"}')
+        _line(out, "repro_engine_blocks_total", totals["wcoj_blocks"],
+              '{engine="wcoj"}')
         out.append("# HELP repro_inflight_requests Requests currently "
                    "executing, summed over workers.")
         out.append("# TYPE repro_inflight_requests gauge")
@@ -186,18 +245,14 @@ def render_prometheus(block: Optional[MetricsBlock],
         out.append("# HELP repro_workers Live worker processes.")
         out.append("# TYPE repro_workers gauge")
         _line(out, "repro_workers", master.get("workers"))
-        out.append("# HELP repro_request_seconds Request latency.")
-        out.append("# TYPE repro_request_seconds histogram")
-        cumulative = 0
-        for i, bound in enumerate(LATENCY_BUCKETS):
-            cumulative += totals[f"latency_le_{i}"]
-            _line(out, "repro_request_seconds_bucket", cumulative,
-                  f'{{le="{bound}"}}')
-        _line(out, "repro_request_seconds_bucket", totals["latency_count"],
-              '{le="+Inf"}')
-        _line(out, "repro_request_seconds_sum",
-              totals["latency_sum_us"] / 1e6)
-        _line(out, "repro_request_seconds_count", totals["latency_count"])
+        _histogram(out, totals, "latency", "repro_request_seconds",
+                   "Request latency.")
+        _histogram(out, totals, "plan", "repro_plan_seconds",
+                   "Query planning time (parse + plan selection).")
+        _histogram(out, totals, "execute", "repro_execute_seconds",
+                   "Engine execution time.")
+        _histogram(out, totals, "serialize", "repro_serialize_seconds",
+                   "Response serialisation time.")
     for name, value in sorted((gauges or {}).items()):
         metric = f"repro_{name}"
         out.append(f"# TYPE {metric} gauge")

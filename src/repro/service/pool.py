@@ -66,6 +66,7 @@ from repro.dynamic.follower import (
     read_epoch_document,
     write_epoch_document,
 )
+from repro.obs import get_logger
 from repro.service.engine import QueryService
 from repro.service.http import (
     AdmissionControl,
@@ -287,7 +288,8 @@ class ServerPool:
                  max_inflight: int = 64, rate_limit: float = 0.0,
                  rate_burst: Optional[float] = None,
                  drain_timeout: float = 10.0,
-                 service_options: Optional[dict] = None):
+                 service_options: Optional[dict] = None,
+                 log_format: str = "text"):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if writable and wal_path is None:
@@ -308,6 +310,7 @@ class ServerPool:
         self.rate_burst = rate_burst
         self.drain_timeout = drain_timeout
         self.service_options = dict(service_options or {})
+        self.log_format = log_format
         self.epoch_path = (str(wal_path) + ".epoch") if wal_path else None
         self.writer_socket_path = (str(wal_path) + ".sock") if wal_path \
             else None
@@ -336,7 +339,8 @@ class ServerPool:
 
     def _log(self, message: str) -> None:
         if not self.quiet:
-            print(message, flush=True)
+            get_logger("pool", self.log_format).info(
+                "supervise", message=message, pid=os.getpid())
 
     def run(self) -> int:
         """Run the pool until SIGTERM/SIGINT; returns an exit code."""
@@ -512,7 +516,8 @@ class ServerPool:
             rate_limiter=limiter, metrics=metrics, metrics_block=self._block,
             refresh_index=refresh, update_proxy=proxy,
             health_extra=health_extra,
-            drain=True, handler_timeout=5.0)
+            drain=True, handler_timeout=5.0,
+            log_format=self.log_format, subsystem="pool")
 
         def _graceful(*_args):
             # shutdown() blocks until serve_forever exits, and the handler

@@ -149,20 +149,26 @@ def decode_error(payload: Mapping[str, Any]) -> ReproError:
 # Execution statistics.
 # --------------------------------------------------------------------------- #
 
+#: The additive counters of :class:`ExecutionStatistics` (``engine`` is the
+#: one non-counter field).  ``seeks``/``blocks_decoded`` joined the frame in
+#: the observability release; :func:`decode_statistics` tolerates their
+#: absence, so mixed-version peers interoperate.
+STATISTICS_COUNTERS = ("patterns_executed", "triples_matched",
+                       "cartesian_joins", "seeks", "blocks_decoded")
+
+
 def encode_statistics(statistics: ExecutionStatistics) -> Dict[str, Any]:
-    return {
-        "patterns_executed": int(statistics.patterns_executed),
-        "triples_matched": int(statistics.triples_matched),
-        "cartesian_joins": int(statistics.cartesian_joins),
-        "engine": statistics.engine,
-    }
+    payload: Dict[str, Any] = {
+        counter: int(getattr(statistics, counter))
+        for counter in STATISTICS_COUNTERS}
+    payload["engine"] = statistics.engine
+    return payload
 
 
 def decode_statistics(payload: Mapping[str, Any]) -> ExecutionStatistics:
     statistics = ExecutionStatistics()
-    statistics.patterns_executed = int(payload.get("patterns_executed", 0))
-    statistics.triples_matched = int(payload.get("triples_matched", 0))
-    statistics.cartesian_joins = int(payload.get("cartesian_joins", 0))
+    for counter in STATISTICS_COUNTERS:
+        setattr(statistics, counter, int(payload.get(counter, 0)))
     statistics.engine = payload.get("engine", statistics.engine)
     return statistics
 
@@ -174,12 +180,25 @@ def merge_statistics(payloads: Sequence[Mapping[str, Any]],
     ``engine`` names the executor the merged summary advertises (the one
     the request asked for); with ``None`` the first payload's engine wins.
     """
-    merged = {"patterns_executed": 0, "triples_matched": 0,
-              "cartesian_joins": 0,
-              "engine": engine or (payloads[0].get("engine", "nested")
-                                   if payloads else "nested")}
+    merged: Dict[str, Any] = dict.fromkeys(STATISTICS_COUNTERS, 0)
+    merged["engine"] = engine or (payloads[0].get("engine", "nested")
+                                  if payloads else "nested")
     for payload in payloads:
-        for counter in ("patterns_executed", "triples_matched",
-                        "cartesian_joins"):
+        for counter in STATISTICS_COUNTERS:
             merged[counter] += int(payload.get(counter, 0))
     return merged
+
+
+# --------------------------------------------------------------------------- #
+# Trace context.
+# --------------------------------------------------------------------------- #
+
+# The distributed-trace context travels on the wire exactly as
+# ``repro.obs.spans`` encodes it: an optional ``{"trace_id": <32-hex>,
+# "parent_span_id": <16-hex>}`` object attached to a request frame.
+# Re-exported here so RPC layers import one codec module for the whole
+# frame vocabulary.
+from repro.obs.spans import (  # noqa: E402  (codec re-export)
+    decode_trace_context,
+    encode_trace_context,
+)

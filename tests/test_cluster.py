@@ -912,3 +912,130 @@ class TestCoordinatorHttp:
             server.server_close()
             thread.join(timeout=5)
             cluster.close()
+
+
+# --------------------------------------------------------------------------- #
+# Distributed tracing: one stitched span tree per cluster query.
+# --------------------------------------------------------------------------- #
+
+def _span_names(span):
+    yield span["name"]
+    for child in span.get("children", ()):
+        yield from _span_names(child)
+
+
+def _find_span(span, name):
+    if span["name"] == name:
+        return span
+    for child in span.get("children", ()):
+        found = _find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class TestClusterTracing:
+    STAR = "SELECT ?b ?c WHERE { ?a 0 ?b . ?a 1 ?c }"
+
+    def test_pushdown_profile_stitches_both_shards(self, source_container,
+                                                   tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2)
+        try:
+            result = cluster.service.execute(self.STAR, profile=True,
+                                             use_cache=False)
+            profile = result.profile
+            assert profile is not None
+            assert len(profile["trace_id"]) == 32
+            root = profile["root"]
+            assert root["name"] == "coordinator"
+            names = set(_span_names(root))
+            assert {"plan", "execute", "shard:0", "shard:1"} <= names
+            plan = _find_span(root, "plan")
+            assert plan["attrs"]["route"] == "broadcast"
+            assert plan["attrs"]["shards"] == 2
+            for shard_id in (0, 1):
+                shard_span = _find_span(root, f"shard:{shard_id}")
+                # The shard's own span tree is grafted under the RPC span:
+                # its engine root, then stage spans, then operator spans.
+                grafted = _find_span(shard_span, "query")
+                assert grafted is not None
+                execute = _find_span(grafted, "execute")
+                assert execute is not None and execute["children"]
+                operator = execute["children"][0]
+                assert operator["name"].split(":")[0] in ("pattern", "var")
+                # The graft preserves the parent/child link: the shard ran
+                # under the coordinator's trace, not a fresh one.
+                assert grafted["parent_span_id"] == shard_span["span_id"]
+        finally:
+            cluster.close()
+
+    def test_coordinator_side_join_still_profiles(self, source_container,
+                                                  tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2)
+        try:
+            # A path join is not subject-star pushdownable: it executes on
+            # the coordinator over the scatter-gather index, so the span
+            # tree is the single-box shape under the coordinator's trace.
+            result = cluster.service.execute(QUERIES[2], profile=True,
+                                             use_cache=False)
+            root = result.profile["root"]
+            assert root["name"] == "query"
+            # The coordinator parses before delegating, so the tree starts
+            # at the plan stage (no parse span for a pre-parsed query).
+            assert {"plan", "execute"} <= set(_span_names(root))
+        finally:
+            cluster.close()
+
+    def test_best_effort_drop_is_recorded_in_profile(self, source_container,
+                                                     tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           best_effort=True)
+        try:
+            cluster.kill(1)
+            result = cluster.service.execute(self.STAR, profile=True,
+                                             use_cache=False)
+            assert result.statistics["incomplete"] is True
+            shard_span = _find_span(result.profile["root"], "shard:1")
+            assert shard_span["attrs"]["dropped"] is True
+            assert shard_span["attrs"]["error"]
+        finally:
+            cluster.close()
+
+    def test_profile_does_not_change_cluster_results(self, source_container,
+                                                     tmp_path):
+        cluster = _Cluster(source_container, tmp_path / "c", 2)
+        try:
+            for query in QUERIES:
+                plain = cluster.service.execute(query, use_cache=False)
+                profiled = cluster.service.execute(query, profile=True,
+                                                   use_cache=False)
+                assert profiled.bindings == plain.bindings
+        finally:
+            cluster.close()
+
+    def test_http_profile_round_trip(self, http_cluster):
+        _, base = http_cluster
+        status, body = _http(base + "/query",
+                             {"sparql": self.STAR, "profile": True,
+                              "cache": False})
+        assert status == 200
+        profile = body["profile"]
+        names = set(_span_names(profile["root"]))
+        assert {"shard:0", "shard:1"} <= names
+        # One trace id covers the coordinator and every grafted shard span.
+        assert len(profile["trace_id"]) == 32
+
+    def test_coordinator_slow_log_records_stitched_profile(
+            self, source_container, tmp_path):
+        slow_path = tmp_path / "slow.jsonl"
+        cluster = _Cluster(source_container, tmp_path / "c", 2,
+                           slow_log=str(slow_path), slow_ms=0.0)
+        try:
+            cluster.service.execute(self.STAR, use_cache=False)
+        finally:
+            cluster.close()
+        entries = [json.loads(line)
+                   for line in slow_path.read_text().splitlines()]
+        assert entries
+        names = set(_span_names(entries[0]["profile"]["root"]))
+        assert {"shard:0", "shard:1"} <= names

@@ -534,3 +534,95 @@ class TestPoolDrain:
             assert status == 200 and result["count"] > 0
         finally:
             _stop_pool(proc)
+
+
+class TestPoolObservability:
+    """Slow-log atomicity under worker SIGKILL, plus metrics parity."""
+
+    SPARQL = "SELECT ?x ?y ?c WHERE { ?x 0 ?y . ?y 1 ?c }"
+
+    def test_slow_log_survives_worker_sigkill_untorn(self, tmp_path):
+        index_path = tmp_path / "idx.bin"
+        slow_path = tmp_path / "slow.jsonl"
+        store = TripleStore.from_triples(BASE_TRIPLES)
+        save_index(build_index(store, "2tp"), index_path, aligned=True)
+        proc, url = _start_pool(index_path, "--workers", "2",
+                                "--slow-log", str(slow_path),
+                                "--slow-ms", "0")
+        stop = threading.Event()
+        errors = []
+
+        def client():
+            while not stop.is_set():
+                try:
+                    _post_json(url, "/query",
+                               {"sparql": self.SPARQL, "cache": False})
+                except Exception as exc:  # dying worker resets are expected
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            assert _wait_until(
+                lambda: slow_path.exists()
+                and len(slow_path.read_bytes().splitlines()) >= 10)
+            victim = _get_json(url, "/healthz")[1]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            assert _wait_until(
+                lambda: _metric_value(url, "repro_workers") == 2)
+            before = len(slow_path.read_bytes().splitlines())
+            assert _wait_until(
+                lambda: len(slow_path.read_bytes().splitlines())
+                >= before + 10)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            _stop_pool(proc)
+        # The contract under SIGKILL: every line in the file — written
+        # concurrently by multiple workers, one of them killed mid-request
+        # — is one complete, parseable JSON object.
+        lines = slow_path.read_bytes().splitlines()
+        assert len(lines) >= 20
+        pids = set()
+        for line in lines:
+            entry = json.loads(line)  # raises on any torn/interleaved line
+            assert entry["query"] == self.SPARQL
+            pids.add(entry["pid"])
+        assert len(pids) >= 2  # both workers actually appended
+
+    def test_metrics_field_set_matches_single_box(self, pool):
+        def families(text):
+            return sorted({line.split("{")[0].split(" ")[0]
+                           for line in text.splitlines()
+                           if line and not line.startswith("#")})
+
+        status, pool_text = _get_text(pool["url"], "/metrics")
+        assert status == 200
+
+        block = MetricsBlock(1)
+        server = build_server(_service(), host="127.0.0.1", port=0,
+                              quiet=True, metrics=block.worker(0),
+                              metrics_block=block)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            status, single_text = _get_text(f"http://{host}:{port}",
+                                            "/metrics")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            block.close()
+        # Byte-identical field sets: dashboards written against one
+        # deployment shape must work unchanged against the other.
+        assert families(single_text) == families(pool_text)
+
+    def test_metrics_content_type_from_pool(self, pool):
+        with urllib.request.urlopen(pool["url"] + "/metrics",
+                                    timeout=10) as response:
+            assert response.headers["Content-Type"] == \
+                "text/plain; version=0.0.4; charset=utf-8"
